@@ -1,0 +1,82 @@
+// Ablation for the paper's §2.1 discussion: SMP performance on graph kernels
+// is a cache story. Sweep L2 size, line size, and memory latency and watch
+// list-ranking time move — on the Random layout it barely helps (no locality
+// to exploit), on the Ordered layout lines and caches matter a lot.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "core/kernels/kernels.hpp"
+#include "graph/linked_list.hpp"
+
+int main() {
+  using namespace archgraph;
+  using bench::Scale;
+  const Scale scale = bench::scale_from_env();
+  const i64 n = scale == Scale::kQuick ? (1 << 14) : (1 << 17);
+
+  bench::print_header(
+      "ABL-CACHE — SMP cache-parameter sensitivity (list ranking, p = 1)",
+      "paper §2.1: caching/prefetching help only with locality; random access "
+      "defeats them");
+
+  const graph::LinkedList ordered = graph::ordered_list(n);
+  const graph::LinkedList random_l = graph::random_list(n, 0xcafeu);
+
+  auto run = [&](const sim::SmpConfig& cfg, const graph::LinkedList& list) {
+    sim::SmpMachine m(cfg);
+    core::sim_rank_list_hj(m, list);
+    return m.cycles();
+  };
+
+  {
+    Table t({"L2 bytes", "ordered cycles", "random cycles", "random/ordered"},
+            2);
+    for (const u64 l2 : {256u * 1024, 1024u * 1024, 4096u * 1024}) {
+      sim::SmpConfig cfg = core::paper_smp_config(1);
+      cfg.l2_bytes = l2;
+      const auto o = run(cfg, ordered);
+      const auto r = run(cfg, random_l);
+      t.row().add(static_cast<i64>(l2)).add(o).add(r).add(
+          static_cast<double>(r) / static_cast<double>(o));
+    }
+    std::cout << "--- L2 capacity sweep ---\n" << t << '\n';
+  }
+
+  {
+    Table t({"line bytes", "ordered cycles", "random cycles",
+             "random/ordered"},
+            2);
+    for (const u64 line : {32u, 64u, 128u}) {
+      sim::SmpConfig cfg = core::paper_smp_config(1);
+      cfg.l2_bytes = 512 * 1024;  // out-of-cache regime (see EXPERIMENTS.md)
+      cfg.line_bytes = line;
+      const auto o = run(cfg, ordered);
+      const auto r = run(cfg, random_l);
+      t.row().add(static_cast<i64>(line)).add(o).add(r).add(
+          static_cast<double>(r) / static_cast<double>(o));
+    }
+    std::cout << "--- Line size sweep (bigger lines help ordered only) ---\n"
+              << t << '\n';
+  }
+
+  {
+    Table t({"mem latency", "ordered cycles", "random cycles",
+             "random/ordered"},
+            2);
+    for (const sim::Cycle lat : {60, 130, 260}) {
+      sim::SmpConfig cfg = core::paper_smp_config(1);
+      cfg.l2_bytes = 512 * 1024;  // out-of-cache regime (see EXPERIMENTS.md)
+      cfg.memory_latency = lat;
+      const auto o = run(cfg, ordered);
+      const auto r = run(cfg, random_l);
+      t.row().add(lat).add(o).add(r).add(static_cast<double>(r) /
+                                         static_cast<double>(o));
+    }
+    std::cout << "--- Memory latency sweep (random pays full latency per "
+                 "node) ---\n"
+              << t;
+  }
+  return 0;
+}

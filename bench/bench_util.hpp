@@ -1,0 +1,55 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace archgraph::bench {
+
+/// Problem-size scale: benches honor ARCHGRAPH_BENCH_SCALE=quick|default|full
+/// so CI smoke runs stay fast while full reproductions use bigger inputs.
+enum class Scale { kQuick, kDefault, kFull };
+
+inline Scale scale_from_env() {
+  const char* env = std::getenv("ARCHGRAPH_BENCH_SCALE");
+  if (env == nullptr) return Scale::kDefault;
+  const std::string s{env};
+  if (s == "quick") return Scale::kQuick;
+  if (s == "full") return Scale::kFull;
+  return Scale::kDefault;
+}
+
+/// If ARCHGRAPH_BENCH_CSV=<dir> is set, writes `table` to <dir>/<name>.csv
+/// (for plotting the figures); otherwise does nothing.
+inline void maybe_write_csv(const archgraph::Table& table,
+                            const std::string& name) {
+  const char* dir = std::getenv("ARCHGRAPH_BENCH_CSV");
+  if (dir == nullptr) return;
+  const std::string path = std::string{dir} + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << '\n';
+    return;
+  }
+  out << table.to_csv();
+  std::cout << "(csv written to " << path << ")\n";
+}
+
+inline void print_header(const std::string& title, const std::string& what) {
+  std::cout << "==============================================================="
+               "=================\n"
+            << title << '\n'
+            << what << '\n'
+            << "simulated machines: Cray MTA-2 (220 MHz) and Sun E4500-class "
+               "SMP (400 MHz)\n"
+            << "==============================================================="
+               "=================\n\n";
+}
+
+}  // namespace archgraph::bench

@@ -1,0 +1,125 @@
+// Reproduces Figure 1: running times for list ranking on the Cray MTA (left)
+// and Sun SMP (right) for p = 1, 2, 4, 8 processors, on Ordered and Random
+// lists, across problem sizes. Also prints the §5 headline ratios:
+//   * SMP ordered vs. random  (paper: 3-4x)
+//   * MTA vs. SMP on ordered  (paper: ~10x)
+//   * MTA vs. SMP on random   (paper: ~35x)
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "core/kernels/kernels.hpp"
+#include "core/listrank/listrank.hpp"
+#include "graph/linked_list.hpp"
+
+namespace {
+
+using namespace archgraph;
+
+struct Result {
+  double seconds = 0;
+};
+
+double run_mta(u32 procs, const graph::LinkedList& list) {
+  sim::MtaMachine machine(core::paper_mta_config(procs));
+  const auto ranks = core::sim_rank_list_walk(machine, list);
+  AG_CHECK(ranks == core::rank_sequential(list), "MTA kernel self-check");
+  return machine.seconds();
+}
+
+double run_smp(u32 procs, const graph::LinkedList& list) {
+  sim::SmpConfig cfg = core::paper_smp_config(procs);
+  // Scaled-machine methodology: the paper ranks lists of 1M-80M nodes
+  // (8 MB-640 MB per array) against a 4 MB L2, i.e. the working set never
+  // fits any processor's cache — let alone p caches. Our scaled-down lists
+  // would fit, so the L2 is scaled down with the input to preserve the
+  // working-set : cache ratio (EXPERIMENTS.md, FIG1 notes).
+  cfg.l2_bytes = 512 * 1024;
+  sim::SmpMachine machine(cfg);
+  const auto ranks = core::sim_rank_list_hj(machine, list);
+  AG_CHECK(ranks == core::rank_sequential(list), "SMP kernel self-check");
+  return machine.seconds();
+}
+
+}  // namespace
+
+int main() {
+  using bench::Scale;
+  const Scale scale = bench::scale_from_env();
+
+  std::vector<i64> sizes;
+  switch (scale) {
+    case Scale::kQuick:
+      sizes = {1 << 14, 1 << 16};
+      break;
+    case Scale::kDefault:
+      sizes = {1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20};
+      break;
+    case Scale::kFull:
+      sizes = {1 << 16, 1 << 18, 1 << 20, 1 << 21, 1 << 22};
+      break;
+  }
+  const std::vector<u32> procs{1, 2, 4, 8};
+
+  bench::print_header(
+      "FIG 1 — List ranking running times (seconds, simulated)",
+      "paper: Fig. 1, lists up to 80M nodes on real hardware; here sizes are "
+      "scaled down\nand times come from the architecture simulators "
+      "(shape/ratio comparison, not absolute)");
+
+  for (const bool random : {false, true}) {
+    const char* layout = random ? "Random" : "Ordered";
+
+    Table mta_table({std::string("n (") + layout + ")", "p=1", "p=2", "p=4",
+                     "p=8"},
+                    6);
+    Table smp_table({std::string("n (") + layout + ")", "p=1", "p=2", "p=4",
+                     "p=8"},
+                    6);
+    for (const i64 n : sizes) {
+      const graph::LinkedList list =
+          random ? graph::random_list(n, static_cast<u64>(n) * 7919)
+                 : graph::ordered_list(n);
+      mta_table.row().add(n);
+      smp_table.row().add(n);
+      for (const u32 p : procs) {
+        mta_table.add(run_mta(p, list));
+        smp_table.add(run_smp(p, list));
+      }
+    }
+    std::cout << "--- Cray MTA (" << layout << " list) ---\n"
+              << mta_table << '\n'
+              << "--- Sun SMP (" << layout << " list) ---\n"
+              << smp_table << '\n';
+    bench::maybe_write_csv(mta_table, std::string{"fig1_mta_"} + layout);
+    bench::maybe_write_csv(smp_table, std::string{"fig1_smp_"} + layout);
+  }
+
+  // Headline ratios at the largest size, p = 1 and p = 8.
+  const i64 n = sizes.back();
+  const graph::LinkedList ordered = graph::ordered_list(n);
+  const graph::LinkedList random_l =
+      graph::random_list(n, static_cast<u64>(n) * 7919);
+
+  Table ratios({"quantity", "paper", "measured(p=1)", "measured(p=8)"}, 2);
+  auto ratio_row = [&](const std::string& name, const std::string& paper,
+                       double r1, double r8) {
+    ratios.row().add(name).add(paper).add(r1).add(r8);
+  };
+  const double smp_ord_1 = run_smp(1, ordered), smp_ord_8 = run_smp(8, ordered);
+  const double smp_rnd_1 = run_smp(1, random_l), smp_rnd_8 = run_smp(8, random_l);
+  const double mta_ord_1 = run_mta(1, ordered), mta_ord_8 = run_mta(8, ordered);
+  const double mta_rnd_1 = run_mta(1, random_l), mta_rnd_8 = run_mta(8, random_l);
+  ratio_row("SMP random / SMP ordered", "3-4x", smp_rnd_1 / smp_ord_1,
+            smp_rnd_8 / smp_ord_8);
+  ratio_row("SMP ordered / MTA ordered", "~10x", smp_ord_1 / mta_ord_1,
+            smp_ord_8 / mta_ord_8);
+  ratio_row("SMP random / MTA random", "~35x", smp_rnd_1 / mta_rnd_1,
+            smp_rnd_8 / mta_rnd_8);
+  ratio_row("MTA random / MTA ordered", "~1x", mta_rnd_1 / mta_ord_1,
+            mta_rnd_8 / mta_ord_8);
+  std::cout << "--- §5 headline ratios (n = " << n << ") ---\n" << ratios;
+  bench::maybe_write_csv(ratios, "fig1_ratios");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Reproduces Figure 2: running times for connected components (Shiloach-
+// Vishkin) on the Cray MTA (left) and Sun SMP (right) for p = 1, 2, 4, 8,
+// on random graphs G(n, m) with m swept from 4n to 20n — the paper used
+// n = 1M vertices; sizes here are scaled (documented in EXPERIMENTS.md).
+// Also prints the §5 headline: MTA 5-6x faster than the SMP.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/concomp/concomp.hpp"
+#include "core/experiment.hpp"
+#include "core/kernels/kernels.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace archgraph;
+
+double run_mta(u32 procs, const graph::EdgeList& g,
+               const std::vector<NodeId>& truth) {
+  sim::MtaMachine machine(core::paper_mta_config(procs));
+  const auto result = core::sim_cc_sv_mta(machine, g);
+  AG_CHECK(result.labels == truth, "MTA CC self-check");
+  return machine.seconds();
+}
+
+double run_smp(u32 procs, const graph::EdgeList& g,
+               const std::vector<NodeId>& truth) {
+  sim::SmpMachine machine(core::paper_smp_config(procs));
+  const auto result = core::sim_cc_sv_smp(machine, g);
+  AG_CHECK(result.labels == truth, "SMP CC self-check");
+  return machine.seconds();
+}
+
+}  // namespace
+
+int main() {
+  using bench::Scale;
+  const Scale scale = bench::scale_from_env();
+
+  i64 n = 0;
+  std::vector<i64> edge_factors{4, 8, 12, 16, 20};
+  switch (scale) {
+    case Scale::kQuick:
+      n = 1 << 13;
+      edge_factors = {4, 12, 20};
+      break;
+    case Scale::kDefault:
+      n = 1 << 15;
+      break;
+    case Scale::kFull:
+      n = 1 << 17;
+      break;
+  }
+  const std::vector<u32> procs{1, 2, 4, 8};
+
+  bench::print_header(
+      "FIG 2 — Connected components running times (seconds, simulated)",
+      "paper: Fig. 2, random graph n = 1M vertices, m = 4M..20M edges; here "
+      "n = " + std::to_string(n) + " (scaled), m = 4n..20n");
+
+  Table mta_table({"m", "m/n", "p=1", "p=2", "p=4", "p=8"}, 6);
+  Table smp_table({"m", "m/n", "p=1", "p=2", "p=4", "p=8"}, 6);
+  Table ratio_table({"m/n", "SMP/MTA p=1", "SMP/MTA p=8", "paper"}, 2);
+
+  for (const i64 f : edge_factors) {
+    const i64 m = f * n;
+    const graph::EdgeList g =
+        graph::random_graph(n, m, static_cast<u64>(m) * 31 + 17);
+    const auto truth = core::cc_union_find(g);
+
+    mta_table.row().add(m).add(f);
+    smp_table.row().add(m).add(f);
+    double mta1 = 0, mta8 = 0, smp1 = 0, smp8 = 0;
+    for (const u32 p : procs) {
+      const double tm = run_mta(p, g, truth);
+      const double ts = run_smp(p, g, truth);
+      mta_table.add(tm);
+      smp_table.add(ts);
+      if (p == 1) {
+        mta1 = tm;
+        smp1 = ts;
+      }
+      if (p == 8) {
+        mta8 = tm;
+        smp8 = ts;
+      }
+    }
+    ratio_table.row().add(f).add(smp1 / mta1).add(smp8 / mta8).add("5-6x");
+  }
+
+  std::cout << "--- Cray MTA ---\n" << mta_table << '\n'
+            << "--- Sun SMP ---\n" << smp_table << '\n'
+            << "--- §5 headline: MTA vs SMP ---\n" << ratio_table;
+  bench::maybe_write_csv(mta_table, "fig2_mta");
+  bench::maybe_write_csv(smp_table, "fig2_smp");
+  bench::maybe_write_csv(ratio_table, "fig2_ratios");
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Host-native microbenchmarks (google-benchmark) of the library's CPU-side
+// algorithms. These measure this machine, not the simulated 2005 hardware —
+// they exist to keep the native implementations honest (regressions, layout
+// sensitivity on a real cache hierarchy) and to sanity-check that the same
+// ordered-vs-random effect the paper reports on the E4500 shows up natively.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "core/concomp/concomp.hpp"
+#include "core/euler/euler_tour.hpp"
+#include "core/exprtree/expression.hpp"
+#include "core/listrank/listrank.hpp"
+#include "core/mst/mst.hpp"
+#include "graph/generators.hpp"
+#include "graph/linked_list.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace {
+
+using namespace archgraph;
+
+void BM_RankSequential_Ordered(benchmark::State& state) {
+  const auto list = graph::ordered_list(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::rank_sequential(list));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RankSequential_Ordered)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RankSequential_Random(benchmark::State& state) {
+  const auto list = graph::random_list(state.range(0), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::rank_sequential(list));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RankSequential_Random)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RankHelmanJaja(benchmark::State& state) {
+  rt::ThreadPool pool(static_cast<usize>(state.range(1)));
+  const auto list = graph::random_list(state.range(0), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::rank_helman_jaja(pool, list));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RankHelmanJaja)
+    ->Args({1 << 18, 1})
+    ->Args({1 << 18, 2})
+    ->Args({1 << 18, 4});
+
+void BM_RankWyllie(benchmark::State& state) {
+  rt::ThreadPool pool(2);
+  const auto list = graph::random_list(state.range(0), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::rank_wyllie(pool, list));
+  }
+}
+BENCHMARK(BM_RankWyllie)->Arg(1 << 14);
+
+void BM_RankByCompaction(benchmark::State& state) {
+  rt::ThreadPool pool(2);
+  const auto list = graph::random_list(state.range(0), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::rank_by_compaction(pool, list));
+  }
+}
+BENCHMARK(BM_RankByCompaction)->Arg(1 << 18);
+
+void BM_CcUnionFind(benchmark::State& state) {
+  const auto g =
+      graph::random_graph(state.range(0), 8 * state.range(0), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cc_union_find(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CcUnionFind)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_CcShiloachVishkin(benchmark::State& state) {
+  rt::ThreadPool pool(static_cast<usize>(state.range(1)));
+  const auto g =
+      graph::random_graph(state.range(0), 8 * state.range(0), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cc_shiloach_vishkin(pool, g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CcShiloachVishkin)->Args({1 << 14, 1})->Args({1 << 14, 4});
+
+void BM_CcBfs(benchmark::State& state) {
+  const auto g =
+      graph::random_graph(state.range(0), 8 * state.range(0), 42);
+  const auto csr = graph::CsrGraph::from_edges(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cc_bfs(csr));
+  }
+}
+BENCHMARK(BM_CcBfs)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_RandomGraphGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        graph::random_graph(state.range(0), 8 * state.range(0), 42));
+  }
+}
+BENCHMARK(BM_RandomGraphGeneration)->Arg(1 << 14);
+
+void BM_EulerTreeFunctions(benchmark::State& state) {
+  rt::ThreadPool pool(2);
+  const auto tree = graph::random_tree(state.range(0), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::tree_functions_euler(pool, tree, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EulerTreeFunctions)->Arg(1 << 14)->Arg(1 << 17);
+
+void BM_MsfKruskal(benchmark::State& state) {
+  const auto g = graph::random_graph(state.range(0), 8 * state.range(0), 42);
+  const auto w = core::unique_random_weights(g.num_edges(), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::msf_kruskal(g, w));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_MsfKruskal)->Arg(1 << 14);
+
+void BM_MsfBoruvkaParallel(benchmark::State& state) {
+  rt::ThreadPool pool(static_cast<usize>(state.range(1)));
+  const auto g = graph::random_graph(state.range(0), 8 * state.range(0), 42);
+  const auto w = core::unique_random_weights(g.num_edges(), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::msf_boruvka_parallel(pool, g, w));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_MsfBoruvkaParallel)->Args({1 << 14, 1})->Args({1 << 14, 4});
+
+void BM_ExpressionSequential(benchmark::State& state) {
+  const auto tree = core::random_expression(state.range(0), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_sequential(tree));
+  }
+  state.SetItemsProcessed(state.iterations() * tree.size());
+}
+BENCHMARK(BM_ExpressionSequential)->Arg(1 << 15);
+
+void BM_ExpressionContraction(benchmark::State& state) {
+  rt::ThreadPool pool(2);
+  const auto tree = core::random_expression(state.range(0), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_by_contraction(pool, tree));
+  }
+  state.SetItemsProcessed(state.iterations() * tree.size());
+}
+BENCHMARK(BM_ExpressionContraction)->Arg(1 << 15);
+
+void BM_GenericListPrefixMax(benchmark::State& state) {
+  rt::ThreadPool pool(2);
+  const auto list = graph::random_list(state.range(0), 42);
+  std::vector<i64> values(static_cast<usize>(state.range(0)));
+  for (usize i = 0; i < values.size(); ++i) values[i] = static_cast<i64>(i * 2654435761u % 1000003);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::prefix_list_helman_jaja(
+        pool, list, values, std::numeric_limits<i64>::min(),
+        [](i64 a, i64 b) { return std::max(a, b); }));
+  }
+}
+BENCHMARK(BM_GenericListPrefixMax)->Arg(1 << 17);
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Speedup over the best sequential implementation — the paper's framing
+// device: "few parallel graph algorithms outperform their best sequential
+// implementation on SMP clusters" (§1), while on the MTA parallel codes win
+// outright. The paper points to its companion papers for SMP speedup tables
+// (§5, refs [4, 6]); this bench regenerates that kind of table on the
+// simulated machines for both kernels.
+//
+// Baselines: a single-thread pointer-chase ranking and a single-thread
+// union-find, run as simulated programs on the same machine as the parallel
+// code (speedup = same-machine sequential / parallel).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/concomp/concomp.hpp"
+#include "core/experiment.hpp"
+#include "core/kernels/kernels.hpp"
+#include "graph/generators.hpp"
+#include "graph/linked_list.hpp"
+
+int main() {
+  using namespace archgraph;
+  using bench::Scale;
+  const Scale scale = bench::scale_from_env();
+  const i64 list_n = scale == Scale::kQuick ? (1 << 14) : (1 << 18);
+  const i64 cc_n = scale == Scale::kQuick ? (1 << 11) : (1 << 13);
+  const i64 cc_m = 8 * cc_n;
+
+  // Paper regime for the list workload: working set beyond the caches at
+  // every p (same scaled-L2 methodology as bench/fig1, see EXPERIMENTS.md).
+  auto smp_cfg = [](u32 p) {
+    sim::SmpConfig cfg = core::paper_smp_config(p);
+    cfg.l2_bytes = 512 * 1024;
+    return cfg;
+  };
+
+  bench::print_header(
+      "SPEEDUP — parallel kernels vs. best sequential, same machine",
+      "paper §1/§5: SMP parallel graph codes struggle to beat sequential; "
+      "MTA ones do not");
+
+  // ---- list ranking -------------------------------------------------------
+  const graph::LinkedList list = graph::random_list(list_n, 0x5eedu);
+  {
+    Table t({"machine", "sequential s", "parallel s", "speedup"}, 4);
+    for (const u32 p : {1u, 2u, 4u, 8u}) {
+      sim::SmpMachine seq_m(smp_cfg(p));
+      core::sim_rank_list_sequential(seq_m, list);
+      sim::SmpMachine par_m(smp_cfg(p));
+      core::sim_rank_list_hj(par_m, list);
+      t.row()
+          .add("SMP p=" + std::to_string(p))
+          .add(seq_m.seconds())
+          .add(par_m.seconds())
+          .add(seq_m.seconds() / par_m.seconds());
+    }
+    for (const u32 p : {1u, 8u}) {
+      sim::MtaMachine seq_m(core::paper_mta_config(p));
+      core::sim_rank_list_sequential(seq_m, list);
+      sim::MtaMachine par_m(core::paper_mta_config(p));
+      core::sim_rank_list_walk(par_m, list);
+      t.row()
+          .add("MTA p=" + std::to_string(p))
+          .add(seq_m.seconds())
+          .add(par_m.seconds())
+          .add(seq_m.seconds() / par_m.seconds());
+    }
+    std::cout << "--- List ranking (random " << list_n << "-node list) ---\n"
+              << t
+              << "\nNote: the sequential baseline on the MTA is identical "
+                 "code to the SMP's — one\nthread chasing pointers — and "
+                 "cannot use the streams; the MTA's parallel win is\n"
+                 "the latency-tolerance story.\n\n";
+  }
+
+  // ---- connected components ----------------------------------------------
+  const graph::EdgeList g = graph::random_graph(cc_n, cc_m, 0xccu);
+  {
+    Table t({"machine", "sequential s", "parallel s", "speedup"}, 4);
+    for (const u32 p : {1u, 2u, 4u, 8u}) {
+      sim::SmpMachine seq_m(core::paper_smp_config(p));
+      core::sim_cc_union_find_sequential(seq_m, g);
+      sim::SmpMachine par_m(core::paper_smp_config(p));
+      core::sim_cc_sv_smp(par_m, g);
+      t.row()
+          .add("SMP p=" + std::to_string(p))
+          .add(seq_m.seconds())
+          .add(par_m.seconds())
+          .add(seq_m.seconds() / par_m.seconds());
+    }
+    for (const u32 p : {1u, 8u}) {
+      sim::MtaMachine seq_m(core::paper_mta_config(p));
+      core::sim_cc_union_find_sequential(seq_m, g);
+      sim::MtaMachine par_m(core::paper_mta_config(p));
+      core::sim_cc_sv_mta(par_m, g);
+      t.row()
+          .add("MTA p=" + std::to_string(p))
+          .add(seq_m.seconds())
+          .add(par_m.seconds())
+          .add(seq_m.seconds() / par_m.seconds());
+    }
+    std::cout << "--- Connected components (G(" << cc_n << ", " << cc_m
+              << ")) ---\n"
+              << t
+              << "\nExpected shape: SMP speedup over union-find is modest "
+                 "and only appears at\nseveral processors (SV does ~2x the "
+                 "memory traffic of union-find per edge);\nthe MTA turns the "
+                 "same algorithm into large speedups because every one of "
+                 "its\nmemory operations is latency-hidden.\n";
+  }
+  return 0;
+}

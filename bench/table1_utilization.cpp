@@ -1,0 +1,105 @@
+// Reproduces Table 1: Cray MTA processor utilization for list ranking
+// (random and ordered lists) and connected components, p = 1, 4, 8.
+// Paper values:
+//   list ranking random:  98% / 90% / 82%
+//   list ranking ordered: 97% / 85% / 80%
+//   connected components: 99% / 93% / 91%
+// The paper's inputs were a 20M-node list and a graph with n = 1M,
+// m = 20M (~ n log n) edges; ours are scaled down, which mainly lowers the
+// p = 8 entries (fixed region-fork overheads amortize less).
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/experiment.hpp"
+#include "core/kernels/kernels.hpp"
+#include "graph/generators.hpp"
+#include "graph/linked_list.hpp"
+
+namespace {
+
+using namespace archgraph;
+
+std::string percent(double fraction) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(0) << 100.0 * fraction << "%";
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  using bench::Scale;
+  const Scale scale = bench::scale_from_env();
+
+  i64 list_n = 0, cc_n = 0;
+  switch (scale) {
+    case Scale::kQuick:
+      list_n = 1 << 16;
+      cc_n = 1 << 12;
+      break;
+    case Scale::kDefault:
+      list_n = 1 << 20;
+      cc_n = 1 << 14;
+      break;
+    case Scale::kFull:
+      list_n = 1 << 22;
+      cc_n = 1 << 16;
+      break;
+  }
+  const i64 cc_m = cc_n * 17;  // ~ n log n, as in the paper's Table 1 input
+
+  bench::print_header(
+      "TABLE 1 — MTA processor utilization",
+      "paper: 20M-node list / n=1M m=20M graph; ours: " +
+          std::to_string(list_n) + "-node list, n=" + std::to_string(cc_n) +
+          " m=" + std::to_string(cc_m) + " graph (scaled)");
+
+  Table table({"workload", "p=1", "p=4", "p=8", "paper (p=1/4/8)"});
+
+  auto row = [&](const std::string& name,
+                 const std::function<double(u32)>& util,
+                 const std::string& paper) {
+    table.row().add(name);
+    for (const u32 p : {1u, 4u, 8u}) {
+      table.add(percent(util(p)));
+    }
+    table.add(paper);
+  };
+
+  const graph::LinkedList random_l =
+      graph::random_list(list_n, 0xf1a9u);
+  row("list ranking, Random list",
+      [&](u32 p) {
+        sim::MtaMachine m(core::paper_mta_config(p));
+        core::sim_rank_list_walk(m, random_l);
+        return m.utilization();
+      },
+      "98% / 90% / 82%");
+
+  const graph::LinkedList ordered_l = graph::ordered_list(list_n);
+  row("list ranking, Ordered list",
+      [&](u32 p) {
+        sim::MtaMachine m(core::paper_mta_config(p));
+        core::sim_rank_list_walk(m, ordered_l);
+        return m.utilization();
+      },
+      "97% / 85% / 80%");
+
+  const graph::EdgeList g =
+      graph::random_graph(cc_n, cc_m, 0xcc5eedu);
+  row("connected components",
+      [&](u32 p) {
+        sim::MtaMachine m(core::paper_mta_config(p));
+        core::sim_cc_sv_mta(m, g);
+        return m.utilization();
+      },
+      "99% / 93% / 91%");
+
+  std::cout << table;
+  bench::maybe_write_csv(table, "table1_utilization");
+  return 0;
+}

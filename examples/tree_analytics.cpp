@@ -1,0 +1,121 @@
+// Hierarchy analytics via the Euler-tour technique — the paper's §1 pitch
+// ("list ranking is a key technique needed in parallel algorithms for ...
+// computing the centroid of a tree, expression evaluation, minimum spanning
+// forest ...") turned into a small end-to-end scenario:
+//
+//   1. build a weighted network and extract its minimum spanning forest
+//      (parallel Borůvka);
+//   2. root the biggest tree and compute parent/depth/preorder/subtree sizes
+//      with ONE parallel list ranking over the Euler tour;
+//   3. report hierarchy analytics: depth histogram, the centroid (the vertex
+//      whose largest hanging subtree is minimal), and heavy-path heads.
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "common/check.hpp"
+#include "common/table.hpp"
+#include "core/concomp/concomp.hpp"
+#include "core/euler/euler_tour.hpp"
+#include "core/mst/mst.hpp"
+#include "graph/generators.hpp"
+#include "rt/thread_pool.hpp"
+
+int main() {
+  using namespace archgraph;
+  rt::ThreadPool pool(4);
+
+  // 1. Weighted network -> minimum spanning forest.
+  const NodeId n = 1 << 14;
+  const graph::EdgeList g = graph::random_graph(n, 6 * n, 0x77eeu);
+  const std::vector<i64> weights = core::unique_random_weights(g.num_edges(),
+                                                               0xbeefu);
+  const core::MsfResult msf = core::msf_boruvka_parallel(pool, g, weights);
+  AG_CHECK(core::is_minimum_spanning_forest(g, weights, msf),
+           "Boruvka self-check failed");
+  std::cout << "MSF of G(" << n << ", " << g.num_edges() << "): "
+            << msf.edge_ids.size() << " edges, total weight "
+            << msf.total_weight << "\n";
+
+  // Keep the biggest tree (G(n, 6n) is almost surely connected; the code
+  // does not rely on it).
+  graph::EdgeList forest(n);
+  for (const i64 id : msf.edge_ids) {
+    forest.add_edge(g.edge(id).u, g.edge(id).v);
+  }
+  const auto labels = core::cc_union_find(forest);
+  std::map<NodeId, i64> comp_size;
+  for (const NodeId l : labels) ++comp_size[l];
+  const auto giant = std::max_element(
+      comp_size.begin(), comp_size.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::cout << "largest tree: " << giant->second << " vertices\n\n";
+  AG_CHECK(giant->second == n, "example expects a connected G(n, 6n)");
+
+  // 2. Tree functions via Euler tour + list ranking.
+  const NodeId root = giant->first;
+  const core::TreeFunctions f = core::tree_functions_euler(pool, forest, root);
+  AG_CHECK(f.subtree_size[static_cast<usize>(root)] == giant->second,
+           "tour did not cover the tree");
+
+  // 3a. Depth histogram.
+  std::map<i64, i64> by_depth;
+  i64 max_depth = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    ++by_depth[f.depth[static_cast<usize>(v)]];
+    max_depth = std::max(max_depth, f.depth[static_cast<usize>(v)]);
+  }
+  Table depth_table({"depth", "vertices"});
+  for (i64 d = 0; d <= std::min<i64>(max_depth, 7); ++d) {
+    depth_table.row().add(d).add(by_depth[d]);
+  }
+  std::cout << "tree height " << max_depth << "; first depth levels:\n"
+            << depth_table << '\n';
+
+  // 3b. Centroid: the vertex minimizing the largest component left by its
+  // removal — computable from subtree sizes alone. The pieces around v are
+  // its children's subtrees and the "up" piece of n - size(v) vertices.
+  std::vector<i64> max_child(static_cast<usize>(n), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = f.parent[static_cast<usize>(v)];
+    if (p != kNilNode) {
+      max_child[static_cast<usize>(p)] = std::max(
+          max_child[static_cast<usize>(p)],
+          f.subtree_size[static_cast<usize>(v)]);
+    }
+  }
+  NodeId centroid = root;
+  i64 best_worst = n;
+  for (NodeId v = 0; v < n; ++v) {
+    const i64 worst = std::max(n - f.subtree_size[static_cast<usize>(v)],
+                               max_child[static_cast<usize>(v)]);
+    if (worst < best_worst) {
+      best_worst = worst;
+      centroid = v;
+    }
+  }
+  AG_CHECK(best_worst <= n / 2, "centroid property violated");
+  std::cout << "centroid: vertex " << centroid
+            << " (largest remaining piece after removal: " << best_worst
+            << " = " << 100.0 * static_cast<double>(best_worst) / n
+            << "% of the tree)\n";
+
+  // 3c. Heavy vertices: largest subtrees below the root.
+  Table heavy({"vertex", "subtree size", "depth"});
+  std::vector<NodeId> order(static_cast<usize>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<usize>(v)] = v;
+  std::partial_sort(order.begin(), order.begin() + 6, order.end(),
+                    [&](NodeId a, NodeId b) {
+                      return f.subtree_size[static_cast<usize>(a)] >
+                             f.subtree_size[static_cast<usize>(b)];
+                    });
+  for (int i = 1; i < 6; ++i) {  // skip the root itself
+    const NodeId v = order[static_cast<usize>(i)];
+    heavy.row()
+        .add(static_cast<i64>(v))
+        .add(f.subtree_size[static_cast<usize>(v)])
+        .add(f.depth[static_cast<usize>(v)]);
+  }
+  std::cout << "\nheaviest non-root subtrees:\n" << heavy;
+  return 0;
+}

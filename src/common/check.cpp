@@ -1,0 +1,18 @@
+#include "common/check.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace archgraph::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw std::logic_error(os.str());
+}
+
+}  // namespace archgraph::detail

@@ -1,0 +1,30 @@
+// Runtime check macros. AG_CHECK is always on (library invariants and user
+// input validation); AG_DCHECK compiles out in NDEBUG builds (hot loops).
+#pragma once
+
+#include <string>
+
+namespace archgraph::detail {
+
+/// Throws std::logic_error with a formatted location + message. Out-of-line so
+/// the macro expansion stays tiny in every call site.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace archgraph::detail
+
+#define AG_CHECK(expr, ...)                                                  \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]] {                                              \
+      ::archgraph::detail::check_failed(#expr, __FILE__, __LINE__,           \
+                                        ::std::string{__VA_ARGS__});         \
+    }                                                                        \
+  } while (false)
+
+#ifdef NDEBUG
+#define AG_DCHECK(expr, ...) \
+  do {                       \
+  } while (false)
+#else
+#define AG_DCHECK(expr, ...) AG_CHECK(expr, ##__VA_ARGS__)
+#endif

@@ -1,0 +1,15 @@
+#include "common/prng.hpp"
+
+#include <numeric>
+
+namespace archgraph {
+
+std::vector<NodeId> Prng::permutation(NodeId n) {
+  AG_CHECK(n >= 0, "permutation size must be non-negative");
+  std::vector<NodeId> perm(static_cast<usize>(n));
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  shuffle(std::span<NodeId>{perm});
+  return perm;
+}
+
+}  // namespace archgraph

@@ -1,0 +1,109 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized structures in the library (graph generators, list layouts,
+// sublist head selection) take an explicit 64-bit seed so every experiment is
+// reproducible bit-for-bit. The generator is xoshiro256**, seeded through
+// SplitMix64 per the authors' recommendation; both are tiny, fast and have no
+// global state.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace archgraph {
+
+/// SplitMix64 step: used for seeding and as a cheap stateless hash.
+constexpr u64 splitmix64(u64& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless avalanche hash of a 64-bit value (same mixer as SplitMix64).
+constexpr u64 hash64(u64 x) {
+  u64 s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Prng {
+ public:
+  using result_type = u64;
+
+  explicit Prng(u64 seed = 0x8ae5b3f201cc9d4bULL) {
+    u64 sm = seed;
+    for (auto& word : state_) {
+      word = splitmix64(sm);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~u64{0}; }
+
+  result_type operator()() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method, which is unbiased and avoids the modulo.
+  u64 below(u64 bound) {
+    AG_CHECK(bound > 0, "below() needs a positive bound");
+    u64 x = (*this)();
+    auto m = static_cast<unsigned __int128>(x) * bound;
+    auto low = static_cast<u64>(m);
+    if (low < bound) {
+      const u64 threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<unsigned __int128>(x) * bound;
+        low = static_cast<u64>(m);
+      }
+    }
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi) {
+    AG_CHECK(lo <= hi, "range() needs lo <= hi");
+    return lo + static_cast<i64>(below(static_cast<u64>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> data) {
+    for (usize i = data.size(); i > 1; --i) {
+      const usize j = below(i);
+      std::swap(data[i - 1], data[j]);
+    }
+  }
+
+  /// A uniformly random permutation of {0, ..., n-1}.
+  std::vector<NodeId> permutation(NodeId n);
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  u64 state_[4];
+};
+
+}  // namespace archgraph

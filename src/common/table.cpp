@@ -1,0 +1,127 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace archgraph {
+
+Table::Table(std::vector<std::string> headers, int double_precision)
+    : headers_(std::move(headers)), double_precision_(double_precision) {
+  AG_CHECK(!headers_.empty(), "a table needs at least one column");
+}
+
+Table& Table::row() {
+  if (!rows_.empty()) {
+    AG_CHECK(rows_.back().size() == headers_.size(),
+             "previous row is incomplete");
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string value) {
+  AG_CHECK(!rows_.empty() && rows_.back().size() < headers_.size(),
+           "add() without row() or too many cells");
+  rows_.back().emplace_back(std::move(value));
+  return *this;
+}
+
+Table& Table::add(const char* value) { return add(std::string{value}); }
+
+Table& Table::add(i64 value) {
+  AG_CHECK(!rows_.empty() && rows_.back().size() < headers_.size(),
+           "add() without row() or too many cells");
+  rows_.back().emplace_back(value);
+  return *this;
+}
+
+Table& Table::add(double value) {
+  AG_CHECK(!rows_.empty() && rows_.back().size() < headers_.size(),
+           "add() without row() or too many cells");
+  rows_.back().emplace_back(value);
+  return *this;
+}
+
+std::string Table::render_cell(const Cell& cell) const {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    os << *s;
+  } else if (const auto* i = std::get_if<i64>(&cell)) {
+    os << *i;
+  } else {
+    os << std::fixed << std::setprecision(double_precision_)
+       << std::get<double>(cell);
+  }
+  return os.str();
+}
+
+std::string Table::to_text() const {
+  std::vector<usize> widths(headers_.size());
+  for (usize c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    auto& out = rendered.emplace_back();
+    out.reserve(row.size());
+    for (usize c = 0; c < row.size(); ++c) {
+      out.push_back(render_cell(row[c]));
+      widths[c] = std::max(widths[c], out.back().size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (usize c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (usize c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : "  ") << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rendered) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      return s;
+    }
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (usize c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << quote(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (usize c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << quote(render_cell(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_text();
+}
+
+}  // namespace archgraph

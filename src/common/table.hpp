@@ -1,0 +1,50 @@
+// Small result-table builder used by the benchmark harnesses to print the
+// paper's tables/figures as aligned text and optionally as CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace archgraph {
+
+/// Column-oriented table. Cells are strings, integers or doubles; doubles are
+/// printed with a per-table precision. Rows are appended cell by cell.
+class Table {
+ public:
+  using Cell = std::variant<std::string, i64, double>;
+
+  explicit Table(std::vector<std::string> headers, int double_precision = 4);
+
+  /// Starts a new row. Must be followed by exactly headers().size() add()s.
+  Table& row();
+  Table& add(std::string value);
+  Table& add(const char* value);
+  Table& add(i64 value);
+  Table& add(int value) { return add(static_cast<i64>(value)); }
+  Table& add(u64 value) { return add(static_cast<i64>(value)); }
+  Table& add(double value);
+
+  usize num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+
+  /// Aligned fixed-width text rendering (what the bench binaries print).
+  std::string to_text() const;
+  /// RFC-4180-ish CSV rendering (no quoting of embedded commas needed here,
+  /// but quotes are added defensively when a cell contains ',' or '"').
+  std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& table);
+
+ private:
+  std::string render_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int double_precision_;
+};
+
+}  // namespace archgraph

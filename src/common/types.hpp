@@ -1,0 +1,26 @@
+// Fixed-width integer aliases used across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace archgraph {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using usize = std::size_t;
+
+/// Vertex / list-node index type. Graphs and lists in this library are bounded
+/// by memory, not by 2^32, so indices are 64-bit throughout.
+using NodeId = i64;
+
+/// Marker for "no node" (end of list, absent parent, ...).
+inline constexpr NodeId kNilNode = -1;
+
+}  // namespace archgraph

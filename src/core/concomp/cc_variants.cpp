@@ -1,0 +1,200 @@
+// The other parallel connected-components algorithms from the paper's §4
+// related-work discussion: Awerbuch–Shiloach and random-mating. Both share
+// SV's memory-access character (edge scans + non-contiguous label chasing),
+// which is why the paper treats SV as representative.
+#include <atomic>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "core/concomp/concomp.hpp"
+#include "rt/parallel_for.hpp"
+
+namespace archgraph::core {
+
+namespace {
+
+NodeId resolve(const std::vector<std::atomic<NodeId>>& d, NodeId v) {
+  NodeId root = d[static_cast<usize>(v)].load(std::memory_order_relaxed);
+  while (root !=
+         d[static_cast<usize>(root)].load(std::memory_order_relaxed)) {
+    root = d[static_cast<usize>(root)].load(std::memory_order_relaxed);
+  }
+  return root;
+}
+
+std::vector<NodeId> extract_labels(
+    const std::vector<std::atomic<NodeId>>& d) {
+  std::vector<NodeId> labels(d.size());
+  for (usize v = 0; v < d.size(); ++v) {
+    labels[v] = resolve(d, static_cast<NodeId>(v));
+  }
+  normalize_labels(labels);
+  return labels;
+}
+
+}  // namespace
+
+std::vector<NodeId> cc_awerbuch_shiloach(rt::ThreadPool& pool,
+                                         const graph::EdgeList& graph,
+                                         SvStats* stats) {
+  const NodeId n = graph.num_vertices();
+  const i64 m = graph.num_edges();
+  std::vector<std::atomic<NodeId>> d(static_cast<usize>(n));
+  std::vector<std::atomic<u8>> star(static_cast<usize>(n));
+  rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+    d[static_cast<usize>(i)].store(i, std::memory_order_relaxed);
+  });
+  auto load = [&](NodeId v) {
+    return d[static_cast<usize>(v)].load(std::memory_order_relaxed);
+  };
+
+  // Star detection (JáJá §5.1.2): a vertex is in a star iff its tree has
+  // depth <= 1. Three barrier-separated passes.
+  auto detect_stars = [&] {
+    rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+      star[static_cast<usize>(i)].store(1, std::memory_order_relaxed);
+    });
+    rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+      const NodeId p = load(static_cast<NodeId>(i));
+      const NodeId gp = load(p);
+      if (p != gp) {
+        star[static_cast<usize>(i)].store(0, std::memory_order_relaxed);
+        star[static_cast<usize>(gp)].store(0, std::memory_order_relaxed);
+      }
+    });
+    rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+      const NodeId p = load(static_cast<NodeId>(i));
+      if (star[static_cast<usize>(p)].load(std::memory_order_relaxed) == 0) {
+        star[static_cast<usize>(i)].store(0, std::memory_order_relaxed);
+      }
+    });
+  };
+  auto in_star = [&](NodeId v) {
+    return star[static_cast<usize>(v)].load(std::memory_order_relaxed) != 0;
+  };
+
+  i64 iterations = 0;
+  i64 grafts = 0;
+  std::atomic<bool> changed{true};
+  while (changed.load()) {
+    changed.store(false, std::memory_order_relaxed);
+    ++iterations;
+
+    // 1. Conditional star hooking: hook a star's root onto a smaller label.
+    detect_stars();
+    rt::parallel_for(pool, 0, m > 0 ? 2 * m : 0, rt::Schedule::Static, 1,
+                     [&](i64 slot) {
+                       const graph::Edge& e = graph.edge(slot % m);
+                       const NodeId u = slot < m ? e.u : e.v;
+                       const NodeId v = slot < m ? e.v : e.u;
+                       const NodeId du = load(u);
+                       const NodeId dv = load(v);
+                       if (in_star(u) && dv < du) {
+                         d[static_cast<usize>(du)].store(
+                             dv, std::memory_order_relaxed);
+                         changed.store(true, std::memory_order_relaxed);
+                       }
+                     });
+
+    // 2. Unconditional star hooking: stars that survived step 1 hook onto
+    // any adjacent different component. Two adjacent stars cannot both have
+    // survived (the larger-rooted one hooked in step 1), so no cycles.
+    detect_stars();
+    rt::parallel_for(pool, 0, m > 0 ? 2 * m : 0, rt::Schedule::Static, 1,
+                     [&](i64 slot) {
+                       const graph::Edge& e = graph.edge(slot % m);
+                       const NodeId u = slot < m ? e.u : e.v;
+                       const NodeId v = slot < m ? e.v : e.u;
+                       const NodeId du = load(u);
+                       const NodeId dv = load(v);
+                       if (in_star(u) && dv != du) {
+                         d[static_cast<usize>(du)].store(
+                             dv, std::memory_order_relaxed);
+                         changed.store(true, std::memory_order_relaxed);
+                       }
+                     });
+
+    // 3. One pointer-jumping step (halves tree depth).
+    rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+      const NodeId p = load(static_cast<NodeId>(i));
+      const NodeId gp = load(p);
+      if (p != gp) {
+        d[static_cast<usize>(i)].store(gp, std::memory_order_relaxed);
+        changed.store(true, std::memory_order_relaxed);
+      }
+    });
+
+    grafts = 0;  // AS does not track grafts individually; report iterations
+    AG_CHECK(iterations <= 8 * (64 + 2), "Awerbuch-Shiloach did not converge");
+  }
+
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->grafts = grafts;
+  }
+  return extract_labels(d);
+}
+
+std::vector<NodeId> cc_random_mating(rt::ThreadPool& pool,
+                                     const graph::EdgeList& graph, u64 seed,
+                                     SvStats* stats) {
+  const NodeId n = graph.num_vertices();
+  const i64 m = graph.num_edges();
+  std::vector<std::atomic<NodeId>> d(static_cast<usize>(n));
+  rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+    d[static_cast<usize>(i)].store(i, std::memory_order_relaxed);
+  });
+  auto load = [&](NodeId v) {
+    return d[static_cast<usize>(v)].load(std::memory_order_relaxed);
+  };
+
+  i64 iterations = 0;
+  i64 grafts = 0;
+  std::atomic<bool> live{true};
+  while (live.load()) {
+    live.store(false, std::memory_order_relaxed);
+    ++iterations;
+    // Coin flip per root per round, derived from a stateless hash so the
+    // parallel loop needs no shared RNG state.
+    const u64 round_salt = hash64(seed + static_cast<u64>(iterations));
+    auto is_parent = [&](NodeId root) {
+      return (hash64(round_salt ^ static_cast<u64>(root)) & 1) == 0;
+    };
+
+    std::atomic<i64> hooked{0};
+    rt::parallel_for(
+        pool, 0, m > 0 ? 2 * m : 0, rt::Schedule::Static, 1, [&](i64 slot) {
+          const graph::Edge& e = graph.edge(slot % m);
+          const NodeId u = slot < m ? e.u : e.v;
+          const NodeId v = slot < m ? e.v : e.u;
+          const NodeId du = load(u);
+          const NodeId dv = load(v);
+          if (du == dv) return;
+          live.store(true, std::memory_order_relaxed);
+          // Child roots hook onto adjacent parent roots — one-directional,
+          // so the pointer graph stays acyclic regardless of race winners.
+          if (!is_parent(du) && is_parent(dv) && du == load(du)) {
+            d[static_cast<usize>(du)].store(dv, std::memory_order_relaxed);
+            hooked.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+
+    // Full shortcut so labels are roots again.
+    rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+      const NodeId root = resolve(d, static_cast<NodeId>(i));
+      d[static_cast<usize>(i)].store(root, std::memory_order_relaxed);
+    });
+
+    grafts += hooked.load();
+    AG_CHECK(iterations <= 64 * 64,
+             "random mating did not converge — degenerate coin flips?");
+  }
+
+  if (stats != nullptr) {
+    stats->iterations = iterations;
+    stats->grafts = grafts;
+  }
+  return extract_labels(d);
+}
+
+}  // namespace archgraph::core

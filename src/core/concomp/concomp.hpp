@@ -1,0 +1,73 @@
+// Connected components — host-native implementations.
+//
+// The paper's second kernel. Labels are representative vertex ids: two
+// vertices get equal labels iff they are connected. All implementations
+// normalize so each component is labeled by its smallest member, making
+// outputs directly comparable.
+//
+//   * cc_union_find  — the "best sequential implementation" baseline the
+//                      paper measures speedup against (union by size + path
+//                      halving).
+//   * cc_bfs, cc_dfs — traversal baselines over CSR (the DEC-Alpha DFS in
+//                      Greiner's study is the classic comparator).
+//   * cc_shiloach_vishkin — native parallel SV over the edge list, with the
+//                      SMP-style optimizations the paper cites (graft to the
+//                      smaller label, full shortcut per iteration, early
+//                      exit when no grafting happened).
+//
+// The simulator versions (Alg. 2/3 of the paper) live in core/kernels/.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace archgraph::core {
+
+/// Union-find with union-by-size and path halving; labels normalized to the
+/// minimum vertex per component. O(m α(n)).
+std::vector<NodeId> cc_union_find(const graph::EdgeList& graph);
+
+/// BFS over CSR adjacency. O(n + m).
+std::vector<NodeId> cc_bfs(const graph::CsrGraph& graph);
+
+/// Iterative DFS over CSR adjacency. O(n + m).
+std::vector<NodeId> cc_dfs(const graph::CsrGraph& graph);
+
+struct SvStats {
+  i64 iterations = 0;
+  i64 grafts = 0;
+};
+
+/// Parallel Shiloach–Vishkin over the edge list (threads from `pool`).
+/// Benign write races are implemented with relaxed atomics; convergence does
+/// not depend on which concurrent graft wins. Returns normalized labels.
+std::vector<NodeId> cc_shiloach_vishkin(rt::ThreadPool& pool,
+                                        const graph::EdgeList& graph,
+                                        SvStats* stats = nullptr);
+
+/// Normalizes arbitrary representative labels to min-vertex-per-component.
+/// Requires labels to be a fixed point (label[label[v]] == label[v]).
+void normalize_labels(std::vector<NodeId>& labels);
+
+/// Awerbuch–Shiloach connected components (paper ref. [1]; one of the
+/// algorithms Greiner's comparison implements). Star-detection plus
+/// conditional and unconditional star hooking, one pointer jump per
+/// iteration. Returns normalized labels.
+std::vector<NodeId> cc_awerbuch_shiloach(rt::ThreadPool& pool,
+                                         const graph::EdgeList& graph,
+                                         SvStats* stats = nullptr);
+
+/// "Random-mating" connected components in the style of Reif [33] and
+/// Phillips [30] (the third algorithm in Greiner's comparison): every root
+/// flips a coin; child roots hook onto adjacent parent roots, so no cycles
+/// can form; labels fully shortcut between rounds. Deterministic in `seed`.
+std::vector<NodeId> cc_random_mating(rt::ThreadPool& pool,
+                                     const graph::EdgeList& graph,
+                                     u64 seed = 0x9a7eULL,
+                                     SvStats* stats = nullptr);
+
+}  // namespace archgraph::core

@@ -1,0 +1,108 @@
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/concomp/concomp.hpp"
+
+namespace archgraph::core {
+
+void normalize_labels(std::vector<NodeId>& labels) {
+  const auto n = static_cast<NodeId>(labels.size());
+  // Pass 1: smallest vertex per representative.
+  std::vector<NodeId> smallest(labels.size(), kNilNode);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId rep = labels[static_cast<usize>(v)];
+    AG_CHECK(rep >= 0 && rep < n, "label out of range");
+    AG_CHECK(labels[static_cast<usize>(rep)] == rep,
+             "labels are not a fixed point");
+    NodeId& slot = smallest[static_cast<usize>(rep)];
+    if (slot == kNilNode || v < slot) {
+      slot = v;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    labels[static_cast<usize>(v)] =
+        smallest[static_cast<usize>(labels[static_cast<usize>(v)])];
+  }
+}
+
+std::vector<NodeId> cc_union_find(const graph::EdgeList& graph) {
+  const NodeId n = graph.num_vertices();
+  std::vector<NodeId> parent(static_cast<usize>(n));
+  std::vector<i64> size(static_cast<usize>(n), 1);
+  for (NodeId v = 0; v < n; ++v) {
+    parent[static_cast<usize>(v)] = v;
+  }
+  auto find = [&](NodeId v) {
+    // Path halving: every other node on the path points to its grandparent.
+    while (parent[static_cast<usize>(v)] != v) {
+      parent[static_cast<usize>(v)] =
+          parent[static_cast<usize>(parent[static_cast<usize>(v)])];
+      v = parent[static_cast<usize>(v)];
+    }
+    return v;
+  };
+  for (const graph::Edge& e : graph.edges()) {
+    NodeId a = find(e.u);
+    NodeId b = find(e.v);
+    if (a == b) continue;
+    if (size[static_cast<usize>(a)] < size[static_cast<usize>(b)]) {
+      std::swap(a, b);
+    }
+    parent[static_cast<usize>(b)] = a;
+    size[static_cast<usize>(a)] += size[static_cast<usize>(b)];
+  }
+  std::vector<NodeId> labels(static_cast<usize>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    labels[static_cast<usize>(v)] = find(v);
+  }
+  normalize_labels(labels);
+  return labels;
+}
+
+std::vector<NodeId> cc_bfs(const graph::CsrGraph& graph) {
+  const NodeId n = graph.num_vertices();
+  std::vector<NodeId> labels(static_cast<usize>(n), kNilNode);
+  std::vector<NodeId> queue;
+  queue.reserve(static_cast<usize>(n));
+  for (NodeId root = 0; root < n; ++root) {
+    if (labels[static_cast<usize>(root)] != kNilNode) continue;
+    labels[static_cast<usize>(root)] = root;  // roots scan in increasing
+    queue.clear();                            // order => labels already
+    queue.push_back(root);                    // min-normalized
+    for (usize qi = 0; qi < queue.size(); ++qi) {
+      const NodeId v = queue[qi];
+      for (const NodeId w : graph.neighbors(v)) {
+        if (labels[static_cast<usize>(w)] == kNilNode) {
+          labels[static_cast<usize>(w)] = root;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+std::vector<NodeId> cc_dfs(const graph::CsrGraph& graph) {
+  const NodeId n = graph.num_vertices();
+  std::vector<NodeId> labels(static_cast<usize>(n), kNilNode);
+  std::vector<NodeId> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (labels[static_cast<usize>(root)] != kNilNode) continue;
+    labels[static_cast<usize>(root)] = root;
+    stack.clear();
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const NodeId w : graph.neighbors(v)) {
+        if (labels[static_cast<usize>(w)] == kNilNode) {
+          labels[static_cast<usize>(w)] = root;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace archgraph::core

@@ -1,0 +1,143 @@
+#include "core/concomp/spanning_forest.hpp"
+
+#include <atomic>
+
+#include "common/check.hpp"
+#include "core/concomp/concomp.hpp"
+#include "graph/validate.hpp"
+#include "rt/parallel_for.hpp"
+
+namespace archgraph::core {
+
+SpanningForest spanning_forest_sequential(const graph::EdgeList& graph) {
+  const NodeId n = graph.num_vertices();
+  std::vector<NodeId> parent(static_cast<usize>(n));
+  for (NodeId v = 0; v < n; ++v) parent[static_cast<usize>(v)] = v;
+  auto find = [&](NodeId v) {
+    while (parent[static_cast<usize>(v)] != v) {
+      parent[static_cast<usize>(v)] =
+          parent[static_cast<usize>(parent[static_cast<usize>(v)])];
+      v = parent[static_cast<usize>(v)];
+    }
+    return v;
+  };
+
+  SpanningForest forest;
+  for (const graph::Edge& e : graph.edges()) {
+    const NodeId a = find(e.u);
+    const NodeId b = find(e.v);
+    if (a != b) {
+      parent[static_cast<usize>(a)] = b;
+      forest.edges.push_back(e);
+    }
+  }
+  forest.labels.resize(static_cast<usize>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    forest.labels[static_cast<usize>(v)] = find(v);
+  }
+  normalize_labels(forest.labels);
+  return forest;
+}
+
+// SV grafting with edge recording. A root is grafted at most once in its
+// lifetime (its label strictly decreases and never equals itself again), and
+// the winner of the CAS owns the recording slot, so the recorded edges are
+// n - #components many and acyclic (every graft points a root at a strictly
+// smaller label, i.e. at another component as of the phase start).
+SpanningForest spanning_forest_sv(rt::ThreadPool& pool,
+                                  const graph::EdgeList& graph) {
+  const NodeId n = graph.num_vertices();
+  const i64 m = graph.num_edges();
+  std::vector<std::atomic<NodeId>> d(static_cast<usize>(n));
+  std::vector<i64> graft_edge(static_cast<usize>(n), -1);
+  rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+    d[static_cast<usize>(i)].store(i, std::memory_order_relaxed);
+  });
+  auto load = [&](NodeId v) {
+    return d[static_cast<usize>(v)].load(std::memory_order_relaxed);
+  };
+
+  std::atomic<bool> grafted{true};
+  i64 safety = 0;
+  while (grafted.load()) {
+    grafted.store(false, std::memory_order_relaxed);
+    rt::parallel_for(pool, 0, m > 0 ? 2 * m : 0, rt::Schedule::Static, 1,
+                     [&](i64 slot) {
+                       const graph::Edge& e = graph.edge(slot % m);
+                       const NodeId u = slot < m ? e.u : e.v;
+                       const NodeId v = slot < m ? e.v : e.u;
+                       const NodeId du = load(u);
+                       NodeId dv = load(v);
+                       if (du < dv && dv == load(dv)) {
+                         NodeId expected = dv;
+                         if (d[static_cast<usize>(dv)]
+                                 .compare_exchange_strong(
+                                     expected, du, std::memory_order_relaxed)) {
+                           graft_edge[static_cast<usize>(dv)] = slot % m;
+                           grafted.store(true, std::memory_order_relaxed);
+                         }
+                       }
+                     });
+    rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+      NodeId cur = load(static_cast<NodeId>(i));
+      while (cur != load(cur)) {
+        cur = load(cur);
+      }
+      d[static_cast<usize>(i)].store(cur, std::memory_order_relaxed);
+    });
+    AG_CHECK(++safety <= 4 * (n + 2), "SV spanning forest failed to converge");
+  }
+
+  SpanningForest forest;
+  forest.labels.resize(static_cast<usize>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId cur = load(v);
+    while (cur != load(cur)) {
+      cur = load(cur);
+    }
+    forest.labels[static_cast<usize>(v)] = cur;
+    if (graft_edge[static_cast<usize>(v)] >= 0) {
+      forest.edges.push_back(graph.edge(graft_edge[static_cast<usize>(v)]));
+    }
+  }
+  normalize_labels(forest.labels);
+  return forest;
+}
+
+bool is_spanning_forest(const graph::EdgeList& graph,
+                        const SpanningForest& forest) {
+  const NodeId n = graph.num_vertices();
+  if (static_cast<NodeId>(forest.labels.size()) != n) return false;
+
+  // Labels must be the true connectivity partition.
+  const std::vector<NodeId> truth = cc_union_find(graph);
+  if (!graph::validate::same_partition(truth, forest.labels)) return false;
+
+  // Forest edges must lie within components and be acyclic.
+  std::vector<NodeId> parent(static_cast<usize>(n));
+  for (NodeId v = 0; v < n; ++v) parent[static_cast<usize>(v)] = v;
+  auto find = [&](NodeId v) {
+    while (parent[static_cast<usize>(v)] != v) {
+      parent[static_cast<usize>(v)] =
+          parent[static_cast<usize>(parent[static_cast<usize>(v)])];
+      v = parent[static_cast<usize>(v)];
+    }
+    return v;
+  };
+  for (const graph::Edge& e : forest.edges) {
+    if (forest.labels[static_cast<usize>(e.u)] !=
+        forest.labels[static_cast<usize>(e.v)]) {
+      return false;
+    }
+    const NodeId a = find(e.u);
+    const NodeId b = find(e.v);
+    if (a == b) return false;  // cycle
+    parent[static_cast<usize>(a)] = b;
+  }
+
+  // Spanning: exactly n - #components edges.
+  const i64 components = graph::validate::count_distinct_labels(truth);
+  return static_cast<i64>(forest.edges.size()) == n - components;
+}
+
+}  // namespace archgraph::core

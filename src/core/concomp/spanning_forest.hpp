@@ -1,0 +1,38 @@
+// Spanning forest — a first consumer of the connectivity machinery.
+//
+// The paper motivates list ranking and connected components as building
+// blocks for higher-level algorithms (spanning tree, MSF, ...); this module
+// provides the natural next step so the examples can show the stack composing.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace archgraph::core {
+
+struct SpanningForest {
+  /// One edge per non-root vertex of each tree; |edges| = n - #components.
+  std::vector<graph::Edge> edges;
+  /// Component label per vertex (min-vertex normalized).
+  std::vector<NodeId> labels;
+};
+
+/// Sequential union-find spanning forest. O(m α(n)).
+SpanningForest spanning_forest_sequential(const graph::EdgeList& graph);
+
+/// Parallel SV-based spanning forest: runs Shiloach–Vishkin grafting and
+/// records, per grafted root, the edge that performed the graft (each root
+/// is grafted at most once per its lifetime as a root, so the recorded edges
+/// form a forest).
+SpanningForest spanning_forest_sv(rt::ThreadPool& pool,
+                                  const graph::EdgeList& graph);
+
+/// True iff `forest.edges` is cycle-free, within-component, and spanning
+/// (|edges| == n - #components). Used by tests and example self-checks.
+bool is_spanning_forest(const graph::EdgeList& graph,
+                        const SpanningForest& forest);
+
+}  // namespace archgraph::core

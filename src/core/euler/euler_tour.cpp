@@ -1,0 +1,211 @@
+#include "core/euler/euler_tour.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/listrank/listrank.hpp"
+#include "graph/validate.hpp"
+#include "rt/parallel_for.hpp"
+#include "rt/prefix_sum.hpp"
+
+namespace archgraph::core {
+
+namespace {
+
+/// Groups the 2m arcs by source vertex (counting sort). Returns, per arc,
+/// its slot within its source group, plus the group offsets and the arc ids
+/// in group order.
+struct ArcGroups {
+  std::vector<i64> offset;       // per vertex: start of its group (size n+1)
+  std::vector<i64> arcs;         // arc ids, grouped by source
+  std::vector<i64> slot_of_arc;  // arc id -> index within its group
+};
+
+ArcGroups group_arcs_by_source(const graph::EdgeList& tree) {
+  const NodeId n = tree.num_vertices();
+  const i64 m = tree.num_edges();
+  ArcGroups groups;
+  groups.offset.assign(static_cast<usize>(n) + 1, 0);
+  for (const graph::Edge& e : tree.edges()) {
+    ++groups.offset[static_cast<usize>(e.u) + 1];
+    ++groups.offset[static_cast<usize>(e.v) + 1];
+  }
+  for (usize i = 1; i < groups.offset.size(); ++i) {
+    groups.offset[i] += groups.offset[i - 1];
+  }
+  groups.arcs.resize(static_cast<usize>(2 * m));
+  groups.slot_of_arc.resize(static_cast<usize>(2 * m));
+  std::vector<i64> cursor(groups.offset.begin(), groups.offset.end() - 1);
+  for (i64 i = 0; i < m; ++i) {
+    const graph::Edge& e = tree.edge(i);
+    const i64 down = 2 * i;      // u -> v
+    const i64 up = 2 * i + 1;    // v -> u
+    i64& cu = cursor[static_cast<usize>(e.u)];
+    groups.slot_of_arc[static_cast<usize>(down)] =
+        cu - groups.offset[static_cast<usize>(e.u)];
+    groups.arcs[static_cast<usize>(cu++)] = down;
+    i64& cv = cursor[static_cast<usize>(e.v)];
+    groups.slot_of_arc[static_cast<usize>(up)] =
+        cv - groups.offset[static_cast<usize>(e.v)];
+    groups.arcs[static_cast<usize>(cv++)] = up;
+  }
+  return groups;
+}
+
+}  // namespace
+
+EulerTour build_euler_tour(const graph::EdgeList& tree, NodeId root) {
+  const NodeId n = tree.num_vertices();
+  const i64 m = tree.num_edges();
+  AG_CHECK(n >= 1 && root >= 0 && root < n, "bad root");
+  AG_CHECK(m == n - 1, "a tree on n vertices has exactly n-1 edges");
+  AG_CHECK(n >= 2, "the Euler tour of a single vertex is empty");
+
+  EulerTour tour;
+  tour.arc_source.resize(static_cast<usize>(2 * m));
+  tour.arc_target.resize(static_cast<usize>(2 * m));
+  for (i64 i = 0; i < m; ++i) {
+    const graph::Edge& e = tree.edge(i);
+    tour.arc_source[static_cast<usize>(2 * i)] = e.u;
+    tour.arc_target[static_cast<usize>(2 * i)] = e.v;
+    tour.arc_source[static_cast<usize>(2 * i + 1)] = e.v;
+    tour.arc_target[static_cast<usize>(2 * i + 1)] = e.u;
+  }
+
+  const ArcGroups groups = group_arcs_by_source(tree);
+  auto degree = [&](NodeId v) {
+    return groups.offset[static_cast<usize>(v) + 1] -
+           groups.offset[static_cast<usize>(v)];
+  };
+  AG_CHECK(degree(root) > 0, "root is isolated — input is not a tree");
+
+  // tour_next(a = u->v) = the arc after twin(a) = v->u in v's cyclic group.
+  tour.arcs.next.assign(static_cast<usize>(2 * m), kNilNode);
+  for (i64 a = 0; a < 2 * m; ++a) {
+    const i64 twin = a ^ 1;
+    const NodeId v = tour.arc_target[static_cast<usize>(a)];
+    const i64 deg = degree(v);
+    const i64 next_slot =
+        (groups.slot_of_arc[static_cast<usize>(twin)] + 1) % deg;
+    tour.arcs.next[static_cast<usize>(a)] =
+        groups.arcs[static_cast<usize>(
+            groups.offset[static_cast<usize>(v)] + next_slot)];
+  }
+
+  // Cut the circular tour just before the root's first outgoing arc.
+  const i64 head =
+      groups.arcs[static_cast<usize>(groups.offset[static_cast<usize>(root)])];
+  // The head's predecessor is the arc after whose twin the head follows:
+  // scan is O(m) and branch-free; done once.
+  i64 last = kNilNode;
+  for (i64 a = 0; a < 2 * m; ++a) {
+    if (tour.arcs.next[static_cast<usize>(a)] == head) {
+      last = a;
+      break;
+    }
+  }
+  AG_CHECK(last != kNilNode, "circular tour is broken");
+  tour.arcs.next[static_cast<usize>(last)] = kNilNode;
+  tour.arcs.head = head;
+
+  AG_CHECK(graph::validate::is_valid_list(tour.arcs),
+           "Euler tour does not cover all arcs — input is not a tree");
+  return tour;
+}
+
+TreeFunctions tree_functions_euler(rt::ThreadPool& pool,
+                                   const graph::EdgeList& tree, NodeId root) {
+  const NodeId n = tree.num_vertices();
+  TreeFunctions out;
+  out.root = root;
+  out.parent.assign(static_cast<usize>(n), kNilNode);
+  out.depth.assign(static_cast<usize>(n), 0);
+  out.preorder.assign(static_cast<usize>(n), 0);
+  out.subtree_size.assign(static_cast<usize>(n), 1);
+  if (n == 1) {
+    AG_CHECK(root == 0 && tree.num_edges() == 0, "bad single-vertex tree");
+    return out;
+  }
+
+  const EulerTour tour = build_euler_tour(tree, root);
+  const i64 arcs = tour.arcs.size();
+
+  // One parallel list ranking powers everything else.
+  const std::vector<i64> rank = rank_helman_jaja(pool, tour.arcs);
+
+  // An arc is a "down" arc (parent -> child) iff it precedes its twin.
+  // Scatter +1 for down arcs and -1 for up arcs into tour order, then
+  // prefix-sum: the running value after a down arc is the child's depth, and
+  // the running count of down arcs is the child's preorder number.
+  std::vector<i64> delta(static_cast<usize>(arcs));
+  std::vector<i64> down_flag(static_cast<usize>(arcs));
+  rt::parallel_for(pool, 0, arcs, rt::Schedule::Static, 1, [&](i64 a) {
+    const bool down =
+        rank[static_cast<usize>(a)] < rank[static_cast<usize>(a ^ 1)];
+    delta[static_cast<usize>(rank[static_cast<usize>(a)])] = down ? 1 : -1;
+    down_flag[static_cast<usize>(rank[static_cast<usize>(a)])] = down ? 1 : 0;
+  });
+  rt::prefix_sums(pool, std::span<i64>{delta});
+  rt::prefix_sums(pool, std::span<i64>{down_flag});
+
+  rt::parallel_for(pool, 0, arcs, rt::Schedule::Static, 1, [&](i64 a) {
+    const i64 r = rank[static_cast<usize>(a)];
+    const i64 r_twin = rank[static_cast<usize>(a ^ 1)];
+    if (r < r_twin) {  // down arc: a = parent -> child
+      const NodeId child = tour.arc_target[static_cast<usize>(a)];
+      out.parent[static_cast<usize>(child)] =
+          tour.arc_source[static_cast<usize>(a)];
+      out.depth[static_cast<usize>(child)] = delta[static_cast<usize>(r)];
+      out.preorder[static_cast<usize>(child)] =
+          down_flag[static_cast<usize>(r)];
+      // Window [down .. up] inclusive holds 2 * subtree_size arcs.
+      out.subtree_size[static_cast<usize>(child)] = (r_twin - r + 1) / 2;
+    }
+  });
+  out.subtree_size[static_cast<usize>(root)] = n;  // never closed by an arc
+  return out;
+}
+
+TreeFunctions tree_functions_sequential(const graph::EdgeList& tree,
+                                        NodeId root) {
+  const NodeId n = tree.num_vertices();
+  TreeFunctions out;
+  out.root = root;
+  out.parent.assign(static_cast<usize>(n), kNilNode);
+  out.depth.assign(static_cast<usize>(n), 0);
+  out.preorder.assign(static_cast<usize>(n), 0);
+  out.subtree_size.assign(static_cast<usize>(n), 1);
+  if (n == 1) {
+    AG_CHECK(root == 0 && tree.num_edges() == 0, "bad single-vertex tree");
+    return out;
+  }
+
+  const EulerTour tour = build_euler_tour(tree, root);
+  i64 depth = 0;
+  i64 next_preorder = 1;
+  std::vector<i64> enter_rank(static_cast<usize>(n), -1);
+  i64 r = 0;
+  for (NodeId a = tour.arcs.head; a != kNilNode;
+       a = tour.arcs.next[static_cast<usize>(a)], ++r) {
+    const NodeId src = tour.arc_source[static_cast<usize>(a)];
+    const NodeId dst = tour.arc_target[static_cast<usize>(a)];
+    if (out.parent[static_cast<usize>(dst)] == kNilNode && dst != root &&
+        enter_rank[static_cast<usize>(dst)] == -1) {
+      // First arrival at dst: a is its down arc.
+      out.parent[static_cast<usize>(dst)] = src;
+      out.depth[static_cast<usize>(dst)] = ++depth;
+      out.preorder[static_cast<usize>(dst)] = next_preorder++;
+      enter_rank[static_cast<usize>(dst)] = r;
+    } else {
+      // Up arc: closes dst == parent of src's subtree.
+      --depth;
+      out.subtree_size[static_cast<usize>(src)] =
+          (r - enter_rank[static_cast<usize>(src)] + 1) / 2;
+    }
+  }
+  AG_CHECK(depth == 0, "tour did not return to the root");
+  out.subtree_size[static_cast<usize>(root)] = n;  // never closed by an arc
+  return out;
+}
+
+}  // namespace archgraph::core

@@ -1,0 +1,56 @@
+// The Euler-tour technique: tree computations via list ranking.
+//
+// The paper motivates list ranking as "a key technique often needed in
+// efficient parallel algorithms for solving many graph-theoretic problems;
+// for example, computing the centroid of a tree, expression evaluation, ..."
+// and cites the authors' Euler-tour/rooted-spanning-tree companion work
+// (ref. [13]). This module is that consumer: replace every tree edge by two
+// arcs, link the arcs into one circular tour, cut it at the root, and a
+// single list ranking yields parent pointers, depths, preorder numbers and
+// subtree sizes — all without any recursive traversal.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/linked_list.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace archgraph::core {
+
+/// The arc structure of a tree's Euler tour. Arc 2i and 2i+1 are the two
+/// directions of edge i; twin(a) == a ^ 1.
+struct EulerTour {
+  /// Tour as a linked list over arc ids: head = first arc out of the root,
+  /// next[last arc] = kNilNode. Exactly 2(n-1) arcs.
+  graph::LinkedList arcs;
+  std::vector<NodeId> arc_source;  // arc id -> source vertex
+  std::vector<NodeId> arc_target;  // arc id -> target vertex
+};
+
+/// Builds the Euler tour of `tree` rooted at `root`. Throws std::logic_error
+/// if the input is not a tree on its full vertex set (m != n-1, disconnected,
+/// or cyclic). Deterministic: children are visited in adjacency-cycle order.
+EulerTour build_euler_tour(const graph::EdgeList& tree, NodeId root);
+
+struct TreeFunctions {
+  NodeId root = kNilNode;
+  std::vector<NodeId> parent;      // parent[root] = kNilNode
+  std::vector<i64> depth;          // edge distance from the root
+  std::vector<i64> preorder;       // DFS-preorder index, preorder[root] = 0
+  std::vector<i64> subtree_size;   // vertices in v's subtree (incl. v)
+};
+
+/// Parent/depth/preorder/subtree-size via Euler tour + parallel list ranking
+/// (Helman–JáJá) + parallel prefix sums — the PRAM-style pipeline.
+TreeFunctions tree_functions_euler(rt::ThreadPool& pool,
+                                   const graph::EdgeList& tree, NodeId root);
+
+/// Same quantities by sequentially walking the tour — the O(n) reference the
+/// parallel pipeline is validated against. (Visits children in the same
+/// order as the tour, so preorder numbers are directly comparable.)
+TreeFunctions tree_functions_sequential(const graph::EdgeList& tree,
+                                        NodeId root);
+
+}  // namespace archgraph::core

@@ -1,0 +1,30 @@
+// Experiment-level helpers: the paper's two machine configurations and a
+// measurement snapshot type shared by the benches and examples.
+#pragma once
+
+#include "sim/machine.hpp"
+#include "sim/mta/mta_machine.hpp"
+#include "sim/smp/smp_machine.hpp"
+
+namespace archgraph::core {
+
+/// Cray MTA-2 as described in §2.2: 220 MHz, 128 streams/processor, ~100
+/// cycle memory latency, hashed banks, cheap fine-grain synchronization.
+sim::MtaConfig paper_mta_config(u32 processors);
+
+/// Sun E4500 as described in §2.1: 400 MHz UltraSPARC II, 16 KB direct-mapped
+/// L1, 4 MB L2, 64 B lines, shared bus, software barriers.
+sim::SmpConfig paper_smp_config(u32 processors);
+
+struct Measurement {
+  double seconds = 0.0;
+  sim::Cycle cycles = 0;
+  double utilization = 0.0;  // Table 1's statistic
+  u32 processors = 0;
+  sim::MachineStats stats;
+};
+
+/// Captures a machine's accumulated state after running kernels on it.
+Measurement snapshot(const sim::Machine& machine);
+
+}  // namespace archgraph::core

@@ -1,0 +1,272 @@
+#include "core/exprtree/expression.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "core/euler/euler_tour.hpp"
+#include "graph/edge_list.hpp"
+#include "rt/parallel_for.hpp"
+
+namespace archgraph::core {
+
+namespace {
+
+/// Left-to-right leaf order via the Euler-tour preorder (the list-ranking
+/// dependency): edges are inserted parent-before-children and left-before-
+/// right, so the tour walks the expression in-order and preorder restricted
+/// to leaves is the left-to-right numbering.
+std::vector<NodeId> leaf_order_by_euler(rt::ThreadPool& pool,
+                                        const ExpressionTree& tree) {
+  const NodeId n = tree.size();
+  graph::EdgeList edges(n);
+  edges.reserve(n - 1);
+  // BFS from the root guarantees the parent edge precedes child edges.
+  std::vector<NodeId> queue{tree.root};
+  for (usize qi = 0; qi < queue.size(); ++qi) {
+    const NodeId v = queue[qi];
+    if (tree.is_leaf(v)) continue;
+    edges.add_edge(v, tree.left[static_cast<usize>(v)]);
+    edges.add_edge(v, tree.right[static_cast<usize>(v)]);
+    queue.push_back(tree.left[static_cast<usize>(v)]);
+    queue.push_back(tree.right[static_cast<usize>(v)]);
+  }
+  const TreeFunctions f = tree_functions_euler(pool, edges, tree.root);
+
+  // Scatter by preorder, then keep leaves: O(n), order-preserving.
+  std::vector<NodeId> by_pre(static_cast<usize>(n), kNilNode);
+  rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 v) {
+    by_pre[static_cast<usize>(f.preorder[static_cast<usize>(v)])] =
+        static_cast<NodeId>(v);
+  });
+  std::vector<NodeId> leaves;
+  leaves.reserve(static_cast<usize>((n + 1) / 2));
+  for (const NodeId v : by_pre) {
+    if (tree.is_leaf(v)) {
+      leaves.push_back(v);
+    }
+  }
+  return leaves;
+}
+
+}  // namespace
+
+ExpressionTree random_expression(i64 num_leaves, u64 seed, double skew) {
+  AG_CHECK(num_leaves >= 1, "an expression needs at least one leaf");
+  AG_CHECK(skew > 0.0 && skew < 1.0, "skew must be in (0, 1)");
+  ExpressionTree tree;
+  const i64 n = 2 * num_leaves - 1;  // full binary tree
+  tree.op.assign(static_cast<usize>(n), ExpressionTree::Op::kLeaf);
+  tree.left.assign(static_cast<usize>(n), kNilNode);
+  tree.right.assign(static_cast<usize>(n), kNilNode);
+  tree.value.assign(static_cast<usize>(n), 0);
+
+  Prng rng(seed);
+  NodeId next_id = 0;
+  tree.root = next_id++;
+  // Iterative top-down construction (recursion would overflow on skewed
+  // trees): each work item is (node, leaves it must span).
+  std::vector<std::pair<NodeId, i64>> work{{tree.root, num_leaves}};
+  while (!work.empty()) {
+    const auto [v, leaves] = work.back();
+    work.pop_back();
+    if (leaves == 1) {
+      tree.op[static_cast<usize>(v)] = ExpressionTree::Op::kLeaf;
+      tree.value[static_cast<usize>(v)] =
+          static_cast<i64>(rng.below(static_cast<u64>(tree.modulus)));
+      continue;
+    }
+    tree.op[static_cast<usize>(v)] = rng.below(2) == 0
+                                         ? ExpressionTree::Op::kAdd
+                                         : ExpressionTree::Op::kMul;
+    // Split: mostly uniform; with probability |2*skew-1| an extreme split
+    // toward the favored side (deep caterpillars for skew near 0 or 1).
+    i64 left_leaves;
+    const double extremeness = std::abs(2.0 * skew - 1.0);
+    if (rng.uniform() < extremeness) {
+      left_leaves = skew > 0.5 ? leaves - 1 : 1;
+    } else {
+      left_leaves = 1 + static_cast<i64>(rng.below(static_cast<u64>(leaves - 1)));
+    }
+    const NodeId l = next_id++;
+    const NodeId r = next_id++;
+    tree.left[static_cast<usize>(v)] = l;
+    tree.right[static_cast<usize>(v)] = r;
+    work.emplace_back(l, left_leaves);
+    work.emplace_back(r, leaves - left_leaves);
+  }
+  AG_CHECK(next_id == n, "construction did not fill the tree");
+  return tree;
+}
+
+i64 evaluate_sequential(const ExpressionTree& tree) {
+  const NodeId n = tree.size();
+  AG_CHECK(n >= 1 && tree.root >= 0 && tree.root < n, "bad tree");
+  const i64 p = tree.modulus;
+  std::vector<i64> result(static_cast<usize>(n), -1);
+  // Iterative post-order: push children before computing.
+  std::vector<NodeId> stack{tree.root};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    if (tree.is_leaf(v)) {
+      result[static_cast<usize>(v)] = tree.value[static_cast<usize>(v)] % p;
+      stack.pop_back();
+      continue;
+    }
+    const NodeId l = tree.left[static_cast<usize>(v)];
+    const NodeId r = tree.right[static_cast<usize>(v)];
+    const i64 rl = result[static_cast<usize>(l)];
+    const i64 rr = result[static_cast<usize>(r)];
+    if (rl < 0) {
+      stack.push_back(l);
+      continue;
+    }
+    if (rr < 0) {
+      stack.push_back(r);
+      continue;
+    }
+    result[static_cast<usize>(v)] =
+        tree.op[static_cast<usize>(v)] == ExpressionTree::Op::kAdd
+            ? (rl + rr) % p
+            : (rl * rr) % p;
+    stack.pop_back();
+  }
+  return result[static_cast<usize>(tree.root)];
+}
+
+i64 evaluate_by_contraction(rt::ThreadPool& pool,
+                            const ExpressionTree& tree) {
+  const NodeId n = tree.size();
+  AG_CHECK(n >= 1 && tree.root >= 0 && tree.root < n, "bad tree");
+  const i64 p = tree.modulus;
+  if (tree.is_leaf(tree.root)) {
+    return tree.value[static_cast<usize>(tree.root)] % p;
+  }
+
+  // Mutable contraction state. The child/parent links are relaxed atomics:
+  // concurrent rakes within a pass write disjoint slots, but a rake's
+  // "which child am I" reads can race with another rake splicing a sibling
+  // into the grandparent's OTHER slot — benign value-wise (old and new
+  // occupant both differ from the compared node), made well-defined here.
+  std::vector<std::atomic<NodeId>> left(static_cast<usize>(n));
+  std::vector<std::atomic<NodeId>> right(static_cast<usize>(n));
+  std::vector<std::atomic<NodeId>> parent(static_cast<usize>(n));
+  std::vector<i64> coef_a(static_cast<usize>(n), 1);
+  std::vector<i64> coef_b(static_cast<usize>(n), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    left[static_cast<usize>(v)].store(tree.left[static_cast<usize>(v)],
+                                      std::memory_order_relaxed);
+    right[static_cast<usize>(v)].store(tree.right[static_cast<usize>(v)],
+                                       std::memory_order_relaxed);
+    parent[static_cast<usize>(v)].store(kNilNode, std::memory_order_relaxed);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (!tree.is_leaf(v)) {
+      parent[static_cast<usize>(tree.left[static_cast<usize>(v)])].store(
+          v, std::memory_order_relaxed);
+      parent[static_cast<usize>(tree.right[static_cast<usize>(v)])].store(
+          v, std::memory_order_relaxed);
+    }
+  }
+  auto ld = [](const std::atomic<NodeId>& cell) {
+    return cell.load(std::memory_order_relaxed);
+  };
+  NodeId root = tree.root;
+
+  // The leaf contribution of a raked leaf u: a_u * c_u + b_u (a constant).
+  auto leaf_constant = [&](NodeId u) {
+    return (coef_a[static_cast<usize>(u)] * tree.value[static_cast<usize>(u)] +
+            coef_b[static_cast<usize>(u)]) % p;
+  };
+
+  // Rake leaf u: remove u and its parent v, fold both into the sibling's
+  // linear form, and splice the sibling into v's place.
+  auto rake = [&](NodeId u) {
+    const NodeId v = ld(parent[static_cast<usize>(u)]);
+    const NodeId w = ld(left[static_cast<usize>(v)]) == u
+                         ? ld(right[static_cast<usize>(v)])
+                         : ld(left[static_cast<usize>(v)]);
+    const i64 k = leaf_constant(u);
+    const i64 av = coef_a[static_cast<usize>(v)];
+    const i64 bv = coef_b[static_cast<usize>(v)];
+    const i64 aw = coef_a[static_cast<usize>(w)];
+    const i64 bw = coef_b[static_cast<usize>(w)];
+    i64 na, nb;
+    if (tree.op[static_cast<usize>(v)] == ExpressionTree::Op::kAdd) {
+      // a_v * (k + (a_w x + b_w)) + b_v
+      na = (av * aw) % p;
+      nb = (av * ((k + bw) % p) + bv) % p;
+    } else {
+      // a_v * (k * (a_w x + b_w)) + b_v
+      const i64 avk = (av * k) % p;
+      na = (avk * aw) % p;
+      nb = (avk * bw + bv) % p;
+    }
+    coef_a[static_cast<usize>(w)] = na;
+    coef_b[static_cast<usize>(w)] = nb;
+
+    const NodeId g = ld(parent[static_cast<usize>(v)]);
+    parent[static_cast<usize>(w)].store(g, std::memory_order_relaxed);
+    if (g == kNilNode) {
+      root = w;
+    } else if (ld(left[static_cast<usize>(g)]) == v) {
+      left[static_cast<usize>(g)].store(w, std::memory_order_relaxed);
+    } else {
+      right[static_cast<usize>(g)].store(w, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<NodeId> leaves = leaf_order_by_euler(pool, tree);
+  AG_CHECK(static_cast<i64>(leaves.size()) * 2 - 1 == n,
+           "not a full binary expression tree");
+
+  while (leaves.size() > 2) {
+    const auto count = static_cast<i64>(leaves.size());
+    // Pass 1: odd-numbered leaves that are LEFT children (last leaf exempt).
+    rt::parallel_for(pool, 0, count, rt::Schedule::Static, 1, [&](i64 i) {
+      if (i % 2 == 0 || i == count - 1) return;
+      const NodeId u = leaves[static_cast<usize>(i)];
+      if (ld(left[static_cast<usize>(ld(parent[static_cast<usize>(u)]))]) ==
+          u) {
+        rake(u);
+      }
+    });
+    // Pass 2: the remaining odd-numbered leaves (right children).
+    rt::parallel_for(pool, 0, count, rt::Schedule::Static, 1, [&](i64 i) {
+      if (i % 2 == 0 || i == count - 1) return;
+      const NodeId u = leaves[static_cast<usize>(i)];
+      if (ld(right[static_cast<usize>(ld(parent[static_cast<usize>(u)]))]) ==
+          u) {
+        rake(u);
+      }
+    });
+    // Survivors: even indices plus the exempt last leaf; order preserved.
+    std::vector<NodeId> next;
+    next.reserve(static_cast<usize>(count / 2 + 2));
+    for (i64 i = 0; i < count; ++i) {
+      if (i % 2 == 0 || i == count - 1) {
+        next.push_back(leaves[static_cast<usize>(i)]);
+      }
+    }
+    leaves = std::move(next);
+  }
+
+  // Final 3-node tree: root with the two surviving leaves.
+  AG_CHECK(leaves.size() == 2, "contraction left an unexpected shape");
+  const NodeId l = leaves[0];
+  const NodeId r = leaves[1];
+  AG_CHECK(ld(parent[static_cast<usize>(l)]) == root &&
+               ld(parent[static_cast<usize>(r)]) == root,
+           "contraction did not reduce to a 3-node tree");
+  const i64 kl = leaf_constant(l);
+  const i64 kr = leaf_constant(r);
+  const i64 combined =
+      tree.op[static_cast<usize>(root)] == ExpressionTree::Op::kAdd
+          ? (kl + kr) % p
+          : (kl * kr) % p;
+  return (coef_a[static_cast<usize>(root)] * combined +
+          coef_b[static_cast<usize>(root)]) % p;
+}
+
+}  // namespace archgraph::core

@@ -1,0 +1,60 @@
+// Parallel expression evaluation by tree contraction.
+//
+// The paper's §1 lists "expression evaluation" among the graph problems that
+// list ranking unlocks, citing the authors' tree-contraction companion paper
+// (ref. [3], Bader, Sreshta & Weisse-Bernstein, HiPC 2002). This module
+// implements that consumer: arithmetic (+, x) expression trees evaluated by
+// the classic rake-based contraction (JáJá §3.3):
+//
+//   * leaves are numbered left-to-right — via the Euler tour, i.e. a list
+//     ranking (the dependency the paper is about);
+//   * each round rakes the odd-numbered leaves (left children first, then
+//     right children — provably conflict-free within a pass);
+//   * every tree node carries a linear form a*x + b (mod p) that absorbs the
+//     raked-away structure; + and x keep the forms linear because a rake
+//     always combines a constant with a linear form;
+//   * O(log n) rounds, O(n) total work.
+//
+// Arithmetic is carried out modulo a prime so results are exact and overflow
+// -free regardless of tree depth.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace archgraph::core {
+
+struct ExpressionTree {
+  enum class Op : u8 { kLeaf, kAdd, kMul };
+
+  /// Per-node data; internal nodes have exactly two children.
+  std::vector<Op> op;
+  std::vector<NodeId> left;   // kNilNode for leaves
+  std::vector<NodeId> right;  // kNilNode for leaves
+  std::vector<i64> value;     // leaf constants (in [0, modulus))
+  NodeId root = kNilNode;
+  i64 modulus = 1'000'000'007;
+
+  NodeId size() const { return static_cast<NodeId>(op.size()); }
+  bool is_leaf(NodeId v) const {
+    return op[static_cast<usize>(v)] == Op::kLeaf;
+  }
+};
+
+/// A random full binary expression tree with `num_leaves` leaves, random
+/// {+, x} operators and random leaf values. Deterministic in `seed`.
+/// `skew` in [0,1]: 0.5 gives balanced splits, values near 0 or 1 give
+/// deep caterpillar-like trees (worst cases for sequential recursion).
+ExpressionTree random_expression(i64 num_leaves, u64 seed,
+                                 double skew = 0.5);
+
+/// Iterative post-order evaluation — the sequential reference. O(n).
+i64 evaluate_sequential(const ExpressionTree& tree);
+
+/// Rake-based parallel tree contraction. O(n) work, O(log n) rounds.
+/// Returns the same value as evaluate_sequential.
+i64 evaluate_by_contraction(rt::ThreadPool& pool, const ExpressionTree& tree);
+
+}  // namespace archgraph::core

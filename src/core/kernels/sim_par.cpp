@@ -1,0 +1,3 @@
+// sim_par.hpp is header-only; this TU exists so the build exercises the
+// header under the library's warning flags.
+#include "core/kernels/sim_par.hpp"

@@ -1,0 +1,42 @@
+// Shared helpers for simulator kernels.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+#include "sim/machine.hpp"
+
+namespace archgraph::core::simk {
+
+/// Contiguous block [lo, hi) of [0, n) for `worker` of `workers`
+/// (first n % workers blocks one element larger).
+struct Range {
+  i64 lo = 0;
+  i64 hi = 0;
+};
+
+inline Range static_block(i64 n, i64 worker, i64 workers) {
+  const i64 base = n / workers;
+  const i64 extra = n % workers;
+  const i64 lo = worker * base + std::min(worker, extra);
+  return Range{lo, lo + base + (worker < extra ? 1 : 0)};
+}
+
+/// Spawns `workers` copies of `kernel(ctx, worker, workers, args...)`.
+/// The caller still calls machine.run_region().
+template <typename F, typename... Args>
+void spawn_workers(sim::Machine& machine, i64 workers, F kernel,
+                   Args... args) {
+  for (i64 w = 0; w < workers; ++w) {
+    machine.spawn(kernel, w, workers, args...);
+  }
+}
+
+/// Default worker count for a phase with `items` units of work.
+inline i64 auto_workers(const sim::Machine& machine, i64 items,
+                        i64 requested) {
+  const i64 hw = requested > 0 ? requested : machine.concurrency();
+  return std::max<i64>(1, std::min(hw, items));
+}
+
+}  // namespace archgraph::core::simk

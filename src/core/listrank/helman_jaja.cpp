@@ -1,0 +1,125 @@
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "core/listrank/listrank.hpp"
+#include "core/listrank/sublist_detail.hpp"
+#include "rt/parallel_for.hpp"
+
+namespace archgraph::core {
+
+namespace detail {
+
+std::vector<NodeId> choose_sublist_heads(const graph::LinkedList& list,
+                                         NodeId head, i64 target_sublists,
+                                         u64 seed,
+                                         std::vector<i64>& head_mark) {
+  const i64 n = list.size();
+  head_mark.assign(static_cast<usize>(n), -1);
+  std::vector<NodeId> heads;
+  heads.reserve(static_cast<usize>(target_sublists));
+  heads.push_back(head);
+  head_mark[static_cast<usize>(head)] = 0;
+
+  Prng rng(seed);
+  const i64 picks = std::min<i64>(target_sublists - 1, n - 1);
+  if (picks > 0) {
+    const i64 block = std::max<i64>(1, n / picks);
+    for (i64 k = 0; k < picks; ++k) {
+      const i64 lo = k * block;
+      if (lo >= n) break;
+      const i64 hi = std::min<i64>(lo + block, n);
+      const auto v = static_cast<NodeId>(
+          lo + static_cast<i64>(rng.below(static_cast<u64>(hi - lo))));
+      if (head_mark[static_cast<usize>(v)] == -1) {
+        head_mark[static_cast<usize>(v)] = static_cast<i64>(heads.size());
+        heads.push_back(v);
+      }
+    }
+  }
+  return heads;
+}
+
+void walk_sublists(rt::ThreadPool& pool, const graph::LinkedList& list,
+                   const std::vector<NodeId>& heads,
+                   const std::vector<i64>& head_mark, std::vector<i64>& sub_of,
+                   std::vector<i64>& local, std::vector<i64>& length,
+                   std::vector<i64>& succ) {
+  const auto num_sublists = static_cast<i64>(heads.size());
+  length.assign(heads.size(), 0);
+  succ.assign(heads.size(), -1);
+  rt::parallel_for(
+      pool, 0, num_sublists, rt::Schedule::Dynamic, 1, [&](i64 k) {
+        NodeId j = heads[static_cast<usize>(k)];
+        i64 r = 0;
+        while (true) {
+          sub_of[static_cast<usize>(j)] = k;
+          local[static_cast<usize>(j)] = r++;
+          const NodeId jn = list.next[static_cast<usize>(j)];
+          if (jn == kNilNode) {
+            break;
+          }
+          if (head_mark[static_cast<usize>(jn)] != -1) {
+            succ[static_cast<usize>(k)] = head_mark[static_cast<usize>(jn)];
+            break;
+          }
+          j = jn;
+        }
+        length[static_cast<usize>(k)] = r;
+      });
+}
+
+}  // namespace detail
+
+std::vector<i64> rank_helman_jaja(rt::ThreadPool& pool,
+                                  const graph::LinkedList& list,
+                                  HelmanJajaParams params) {
+  const i64 n = list.size();
+  AG_CHECK(n >= 1, "empty list");
+  AG_CHECK(params.sublists_per_thread >= 1, "need at least one sublist");
+
+  // Step 1: find the head by the index-sum identity — a parallel reduction
+  // over a contiguous array, the kind of access SMPs are good at.
+  const i64 z = rt::parallel_reduce(
+      pool, 0, n, i64{0},
+      [&](i64 i) -> i64 { return list.next[static_cast<usize>(i)]; });
+  const NodeId head = n * (n - 1) / 2 - z - 1;  // tail's nil contributes -1
+  AG_CHECK(head >= 0 && head < n, "input is not a valid list");
+
+  // Step 2: s = 8p sublist heads.
+  const i64 s = params.sublists_per_thread * static_cast<i64>(pool.size());
+  std::vector<i64> head_mark;
+  const std::vector<NodeId> heads =
+      detail::choose_sublist_heads(list, head, s, params.seed, head_mark);
+
+  // Step 3: independent sublist walks.
+  std::vector<i64> sub_of(static_cast<usize>(n));
+  std::vector<i64> local(static_cast<usize>(n));
+  std::vector<i64> length;
+  std::vector<i64> succ;
+  detail::walk_sublists(pool, list, heads, head_mark, sub_of, local, length,
+                        succ);
+
+  // Step 4: prefix sums over the sublist records, following the sublist
+  // chain from the head's sublist (index 0). Sequential — s is O(p log n).
+  std::vector<i64> offset(heads.size(), 0);
+  i64 cur = 0;
+  i64 running = 0;
+  while (cur != -1) {
+    offset[static_cast<usize>(cur)] = running;
+    running += length[static_cast<usize>(cur)];
+    cur = succ[static_cast<usize>(cur)];
+  }
+  AG_CHECK(running == n, "sublist chain did not cover the list");
+
+  // Step 5: final per-node pass — contiguous reads, contiguous writes.
+  std::vector<i64> rank(static_cast<usize>(n));
+  rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+    rank[static_cast<usize>(i)] = offset[static_cast<usize>(
+                                      sub_of[static_cast<usize>(i)])] +
+                                  local[static_cast<usize>(i)];
+  });
+  return rank;
+}
+
+}  // namespace archgraph::core

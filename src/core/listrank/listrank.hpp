@@ -1,0 +1,96 @@
+// List ranking — host-native implementations.
+//
+// List ranking assigns every node its 0-based distance from the head of a
+// linked list stored in arbitrary array order. It is "a key technique often
+// needed in efficient parallel algorithms for many graph-theoretic problems"
+// (paper §1) and the first of the paper's two benchmark kernels.
+//
+// Four implementations:
+//   * rank_sequential     — the "best sequential implementation" baseline:
+//                           one pointer chase.
+//   * rank_wyllie         — textbook pointer jumping, O(n log n) work;
+//                           included as the classic PRAM baseline.
+//   * rank_helman_jaja    — the paper's SMP algorithm (§3 steps 1-5):
+//                           random sublist heads, independent sublist walks,
+//                           a scan over the sublist records, and a final
+//                           per-node pass.
+//   * prefix_list_*       — the general prefix problem (arbitrary values and
+//                           associative ⊕) that §3 frames list ranking as a
+//                           special case of.
+//
+// The simulator versions of these algorithms live in core/kernels/.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/linked_list.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace archgraph::core {
+
+/// 0-based rank of every node by a single traversal. O(n).
+std::vector<i64> rank_sequential(const graph::LinkedList& list);
+
+/// Generic sequential prefix: out[i] = value[head] ⊕ ... ⊕ value[i] along
+/// list order, for any associative op.
+template <typename T, typename Op>
+std::vector<T> prefix_list_sequential(const graph::LinkedList& list,
+                                      const std::vector<T>& values, Op op) {
+  std::vector<T> out(values.size());
+  NodeId node = list.head;
+  T running = values[static_cast<usize>(node)];
+  out[static_cast<usize>(node)] = running;
+  node = list.next[static_cast<usize>(node)];
+  while (node != kNilNode) {
+    running = op(running, values[static_cast<usize>(node)]);
+    out[static_cast<usize>(node)] = running;
+    node = list.next[static_cast<usize>(node)];
+  }
+  return out;
+}
+
+/// Wyllie pointer jumping (parallel, O(n log n) work, log n rounds).
+std::vector<i64> rank_wyllie(rt::ThreadPool& pool,
+                             const graph::LinkedList& list);
+
+struct HelmanJajaParams {
+  /// Number of sublists per processor; the paper's implementation uses
+  /// s = 8p total, i.e. 8 per processor.
+  i64 sublists_per_thread = 8;
+  u64 seed = 0x5eedf00dULL;  // sublist head selection
+};
+
+/// Helman–JáJá list ranking (the paper's SMP algorithm).
+std::vector<i64> rank_helman_jaja(rt::ThreadPool& pool,
+                                  const graph::LinkedList& list,
+                                  HelmanJajaParams params = {});
+
+/// Parallel generic prefix on a linked list (Helman–JáJá structure): for any
+/// associative op with identity, out[i] = value[head] ⊕ ... ⊕ value[i] along
+/// list order. List ranking is this with value ≡ 1 and ⊕ = "+" (paper §3).
+template <typename T, typename Op>
+std::vector<T> prefix_list_helman_jaja(rt::ThreadPool& pool,
+                                       const graph::LinkedList& list,
+                                       const std::vector<T>& values,
+                                       T identity, Op op,
+                                       HelmanJajaParams params = {});
+
+struct CompactionParams {
+  /// A list at or below this size is ranked sequentially.
+  i64 base_size = 4096;
+  /// Expected nodes per super-node at each compaction level.
+  i64 compaction_ratio = 16;
+  u64 seed = 0xc0117ac7ULL;
+};
+
+/// The paper's §6 "future work" technique: compact the list to super-nodes,
+/// rank the compacted list (recursively), then expand — compaction and
+/// expansion are parallel, O(n), and nearly synchronization-free.
+std::vector<i64> rank_by_compaction(rt::ThreadPool& pool,
+                                    const graph::LinkedList& list,
+                                    CompactionParams params = {});
+
+}  // namespace archgraph::core
+
+#include "core/listrank/prefix_list_inl.hpp"  // prefix_list_helman_jaja body

@@ -1,0 +1,86 @@
+// Implementation of prefix_list_helman_jaja (included by listrank.hpp).
+//
+// Same five-step structure as rank_helman_jaja, generalized to arbitrary
+// values and an associative op with identity:
+//   step 3 computes each node's inclusive prefix *within its sublist* and the
+//   per-sublist total;
+//   step 4 folds the totals along the sublist chain into exclusive sublist
+//   offsets;
+//   step 5 combines: out[i] = op(offset[sublist(i)], local[i]).
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/listrank/sublist_detail.hpp"
+#include "rt/parallel_for.hpp"
+
+namespace archgraph::core {
+
+template <typename T, typename Op>
+std::vector<T> prefix_list_helman_jaja(rt::ThreadPool& pool,
+                                       const graph::LinkedList& list,
+                                       const std::vector<T>& values,
+                                       T identity, Op op,
+                                       HelmanJajaParams params) {
+  const i64 n = list.size();
+  AG_CHECK(n >= 1, "empty list");
+  AG_CHECK(static_cast<i64>(values.size()) == n, "one value per node");
+  AG_CHECK(params.sublists_per_thread >= 1, "need at least one sublist");
+
+  const i64 s = params.sublists_per_thread * static_cast<i64>(pool.size());
+  std::vector<i64> head_mark;
+  const std::vector<NodeId> heads = detail::choose_sublist_heads(
+      list, list.head, s, params.seed, head_mark);
+  const auto num_sublists = static_cast<i64>(heads.size());
+
+  // Step 3: per-sublist inclusive prefixes and totals. (A value-typed walk;
+  // detail::walk_sublists only handles the rank specialization.)
+  std::vector<i64> sub_of(static_cast<usize>(n));
+  std::vector<T> local(static_cast<usize>(n));
+  std::vector<T> total(heads.size());
+  std::vector<i64> succ(heads.size(), -1);
+  rt::parallel_for(
+      pool, 0, num_sublists, rt::Schedule::Dynamic, 1, [&](i64 k) {
+        NodeId j = heads[static_cast<usize>(k)];
+        T running = values[static_cast<usize>(j)];
+        while (true) {
+          sub_of[static_cast<usize>(j)] = k;
+          local[static_cast<usize>(j)] = running;
+          const NodeId jn = list.next[static_cast<usize>(j)];
+          if (jn == kNilNode) {
+            break;
+          }
+          if (head_mark[static_cast<usize>(jn)] != -1) {
+            succ[static_cast<usize>(k)] = head_mark[static_cast<usize>(jn)];
+            break;
+          }
+          running = op(running, values[static_cast<usize>(jn)]);
+          j = jn;
+        }
+        total[static_cast<usize>(k)] = running;
+      });
+
+  // Step 4: exclusive offsets along the sublist chain.
+  std::vector<T> offset(heads.size(), identity);
+  i64 cur = 0;
+  T running = identity;
+  i64 visited = 0;
+  while (cur != -1) {
+    offset[static_cast<usize>(cur)] = running;
+    running = op(running, total[static_cast<usize>(cur)]);
+    cur = succ[static_cast<usize>(cur)];
+    AG_CHECK(++visited <= num_sublists, "cycle in sublist chain");
+  }
+
+  // Step 5: combine.
+  std::vector<T> out(static_cast<usize>(n));
+  rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+    out[static_cast<usize>(i)] =
+        op(offset[static_cast<usize>(sub_of[static_cast<usize>(i)])],
+           local[static_cast<usize>(i)]);
+  });
+  return out;
+}
+
+}  // namespace archgraph::core

@@ -1,0 +1,21 @@
+#include "core/listrank/listrank.hpp"
+
+#include "common/check.hpp"
+
+namespace archgraph::core {
+
+std::vector<i64> rank_sequential(const graph::LinkedList& list) {
+  const NodeId n = list.size();
+  AG_CHECK(n >= 1, "empty list");
+  std::vector<i64> rank(static_cast<usize>(n), -1);
+  NodeId node = list.head;
+  for (i64 r = 0; r < n; ++r) {
+    AG_CHECK(node != kNilNode, "list ended early — not a valid list");
+    rank[static_cast<usize>(node)] = r;
+    node = list.next[static_cast<usize>(node)];
+  }
+  AG_CHECK(node == kNilNode, "list has extra nodes — not a valid list");
+  return rank;
+}
+
+}  // namespace archgraph::core

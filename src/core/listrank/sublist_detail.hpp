@@ -1,0 +1,30 @@
+// Shared internals of the sublist-based list-ranking algorithms
+// (Helman–JáJá and the §6 compaction technique).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/linked_list.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace archgraph::core::detail {
+
+/// Marks `target_sublists` sublist heads: the true head plus one random node
+/// per memory block of ~n/(s-1) nodes, deduplicated (paper §3 step 2).
+/// head_mark[v] becomes the sublist index of v, or -1. Returns the heads.
+std::vector<NodeId> choose_sublist_heads(const graph::LinkedList& list,
+                                         NodeId head, i64 target_sublists,
+                                         u64 seed, std::vector<i64>& head_mark);
+
+/// Walks every sublist (paper §3 step 3), recording each node's sublist id
+/// and local rank, plus per-sublist length and successor sublist (-1 for the
+/// sublist ending at the tail). Dynamically scheduled: sublist lengths are
+/// random and uneven.
+void walk_sublists(rt::ThreadPool& pool, const graph::LinkedList& list,
+                   const std::vector<NodeId>& heads,
+                   const std::vector<i64>& head_mark, std::vector<i64>& sub_of,
+                   std::vector<i64>& local, std::vector<i64>& length,
+                   std::vector<i64>& succ);
+
+}  // namespace archgraph::core::detail

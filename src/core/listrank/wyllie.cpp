@@ -1,0 +1,58 @@
+#include <atomic>
+
+#include "common/check.hpp"
+#include "core/listrank/listrank.hpp"
+#include "rt/parallel_for.hpp"
+
+namespace archgraph::core {
+
+// Classic Wyllie pointer jumping. Each round halves every node's remaining
+// distance-to-tail chain:  dist[i] += dist[next[i]]; next[i] = next[next[i]].
+// Rounds are separated by pool barriers (region boundaries) and write into
+// double buffers, so no synchronization finer than the barrier is needed.
+// O(n log n) work — the price PRAM simplicity pays, and the reason
+// Helman–JáJá wins in practice.
+std::vector<i64> rank_wyllie(rt::ThreadPool& pool,
+                             const graph::LinkedList& list) {
+  const i64 n = list.size();
+  AG_CHECK(n >= 1, "empty list");
+
+  std::vector<NodeId> next(list.next.begin(), list.next.end());
+  std::vector<NodeId> next_buf(static_cast<usize>(n));
+  // dist[i] = number of hops to the tail along the *current* next pointers.
+  std::vector<i64> dist(static_cast<usize>(n));
+  std::vector<i64> dist_buf(static_cast<usize>(n));
+  rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+    dist[static_cast<usize>(i)] =
+        next[static_cast<usize>(i)] == kNilNode ? 0 : 1;
+  });
+
+  bool changed = true;
+  while (changed) {
+    std::atomic<bool> any{false};
+    rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+      const NodeId succ = next[static_cast<usize>(i)];
+      if (succ == kNilNode) {
+        dist_buf[static_cast<usize>(i)] = dist[static_cast<usize>(i)];
+        next_buf[static_cast<usize>(i)] = kNilNode;
+      } else {
+        dist_buf[static_cast<usize>(i)] =
+            dist[static_cast<usize>(i)] + dist[static_cast<usize>(succ)];
+        next_buf[static_cast<usize>(i)] = next[static_cast<usize>(succ)];
+        any.store(true, std::memory_order_relaxed);
+      }
+    });
+    next.swap(next_buf);
+    dist.swap(dist_buf);
+    changed = any.load();
+  }
+
+  // dist is now hops-to-tail; rank-from-head = (n-1) - dist.
+  std::vector<i64> rank(static_cast<usize>(n));
+  rt::parallel_for(pool, 0, n, rt::Schedule::Static, 1, [&](i64 i) {
+    rank[static_cast<usize>(i)] = (n - 1) - dist[static_cast<usize>(i)];
+  });
+  return rank;
+}
+
+}  // namespace archgraph::core

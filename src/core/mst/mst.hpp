@@ -1,0 +1,55 @@
+// Minimum spanning forests.
+//
+// The paper positions list ranking and connected components as "building
+// blocks for higher-level algorithms", naming minimum spanning forest
+// explicitly (§1, and the authors' IPDPS'04 MSF paper is ref. [5]; the
+// Borůvka-based parallel approach follows Chung & Condon, ref. [10]).
+// This module supplies that next layer: Kruskal as the sequential reference
+// and Borůvka in sequential and parallel (graft-and-shortcut) forms.
+//
+// Edge weights are caller-supplied 64-bit integers, one per edge, and are
+// REQUIRED to be pairwise distinct (then the MSF is unique and results are
+// directly comparable). unique_random_weights() generates suitable weights.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace archgraph::core {
+
+struct MsfResult {
+  std::vector<i64> edge_ids;  // indices into the input edge list, sorted
+  i64 total_weight = 0;
+};
+
+/// A random permutation of {0, ..., m-1}: distinct weights for m edges.
+std::vector<i64> unique_random_weights(i64 m, u64 seed);
+
+/// Kruskal: sort by weight + union-find. O(m log m). The reference.
+MsfResult msf_kruskal(const graph::EdgeList& graph,
+                      std::span<const i64> weights);
+
+/// Sequential Borůvka: each round every component selects its lightest
+/// outgoing edge; selected edges merge components. O(m log n).
+MsfResult msf_boruvka(const graph::EdgeList& graph,
+                      std::span<const i64> weights);
+
+/// Parallel Borůvka: the per-round lightest-edge selection scans all edges
+/// in parallel (atomic min per component root); the per-round merge of the
+/// <= #components selected edges is sequential (tiny). Labels shortcut in
+/// parallel between rounds — the same graft-and-shortcut skeleton as SV.
+MsfResult msf_boruvka_parallel(rt::ThreadPool& pool,
+                               const graph::EdgeList& graph,
+                               std::span<const i64> weights);
+
+/// True iff `result` is THE minimum spanning forest: edge set is a spanning
+/// forest of `graph` and its total weight equals Kruskal's.
+bool is_minimum_spanning_forest(const graph::EdgeList& graph,
+                                std::span<const i64> weights,
+                                const MsfResult& result);
+
+}  // namespace archgraph::core

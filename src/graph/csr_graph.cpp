@@ -1,0 +1,38 @@
+#include "graph/csr_graph.hpp"
+
+#include "common/check.hpp"
+
+namespace archgraph::graph {
+
+CsrGraph CsrGraph::from_edges(const EdgeList& edges) {
+  const NodeId n = edges.num_vertices();
+  CsrGraph g;
+  g.offsets_.assign(static_cast<usize>(n) + 1, 0);
+
+  for (const Edge& e : edges.edges()) {
+    ++g.offsets_[static_cast<usize>(e.u) + 1];
+    if (e.u != e.v) {
+      ++g.offsets_[static_cast<usize>(e.v) + 1];
+    }
+  }
+  for (usize i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.neighbors_.resize(static_cast<usize>(g.offsets_.back()));
+
+  std::vector<i64> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    g.neighbors_[static_cast<usize>(cursor[static_cast<usize>(e.u)]++)] = e.v;
+    if (e.u != e.v) {
+      g.neighbors_[static_cast<usize>(cursor[static_cast<usize>(e.v)]++)] = e.u;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    AG_CHECK(cursor[static_cast<usize>(v)] ==
+                 g.offsets_[static_cast<usize>(v) + 1],
+             "CSR fill mismatch");
+  }
+  return g;
+}
+
+}  // namespace archgraph::graph

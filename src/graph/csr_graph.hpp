@@ -1,0 +1,43 @@
+// Compressed-sparse-row adjacency structure built from an edge list.
+// Used by the sequential BFS/DFS connected-components baselines and by the
+// spanning-forest code; the parallel SV kernels scan the raw edge list.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+
+namespace archgraph::graph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds the symmetric adjacency structure: each undirected edge {u,v}
+  /// appears in both u's and v's neighbor range (self-loops appear once).
+  static CsrGraph from_edges(const EdgeList& edges);
+
+  NodeId num_vertices() const {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  /// Number of directed arcs stored (2x undirected edge count, modulo loops).
+  i64 num_arcs() const { return static_cast<i64>(neighbors_.size()); }
+
+  i64 degree(NodeId v) const {
+    return offsets_[static_cast<usize>(v) + 1] - offsets_[static_cast<usize>(v)];
+  }
+
+  std::span<const NodeId> neighbors(NodeId v) const {
+    const auto begin = static_cast<usize>(offsets_[static_cast<usize>(v)]);
+    const auto end = static_cast<usize>(offsets_[static_cast<usize>(v) + 1]);
+    return std::span<const NodeId>{neighbors_}.subspan(begin, end - begin);
+  }
+
+ private:
+  std::vector<i64> offsets_;     // size n+1
+  std::vector<NodeId> neighbors_;  // size num_arcs
+};
+
+}  // namespace archgraph::graph

@@ -1,0 +1,53 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace archgraph::graph {
+
+EdgeList::EdgeList(NodeId num_vertices) : num_vertices_(num_vertices) {
+  AG_CHECK(num_vertices >= 0, "vertex count must be non-negative");
+}
+
+EdgeList::EdgeList(NodeId num_vertices, std::vector<Edge> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  AG_CHECK(num_vertices >= 0, "vertex count must be non-negative");
+  for (const Edge& e : edges_) {
+    AG_CHECK(e.u >= 0 && e.u < num_vertices_ && e.v >= 0 && e.v < num_vertices_,
+             "edge endpoint out of range");
+  }
+}
+
+void EdgeList::add_edge(NodeId u, NodeId v) {
+  AG_CHECK(u >= 0 && u < num_vertices_ && v >= 0 && v < num_vertices_,
+           "edge endpoint out of range");
+  edges_.push_back(Edge{u, v});
+}
+
+i64 EdgeList::simplify() {
+  const auto before = edges_.size();
+  for (Edge& e : edges_) {
+    if (e.u > e.v) {
+      std::swap(e.u, e.v);
+    }
+  }
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  auto end = std::unique(edges_.begin(), edges_.end());
+  edges_.erase(end, edges_.end());
+  std::erase_if(edges_, [](const Edge& e) { return e.u == e.v; });
+  return static_cast<i64>(before - edges_.size());
+}
+
+void EdgeList::append_shifted(const EdgeList& other, NodeId offset) {
+  AG_CHECK(offset >= 0 && offset + other.num_vertices() <= num_vertices_,
+           "shifted vertices out of range");
+  edges_.reserve(edges_.size() + other.edges_.size());
+  for (const Edge& e : other.edges_) {
+    edges_.push_back(Edge{e.u + offset, e.v + offset});
+  }
+}
+
+}  // namespace archgraph::graph

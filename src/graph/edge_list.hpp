@@ -1,0 +1,53 @@
+// Edge-list graph representation.
+//
+// The paper's connected-components experiments operate directly on an edge
+// list "given in arbitrary order" (Shiloach–Vishkin scans edges, not adjacency
+// structures), so the edge list is a first-class representation here rather
+// than an import format.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace archgraph::graph {
+
+struct Edge {
+  NodeId u = kNilNode;
+  NodeId v = kNilNode;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// An undirected graph as a list of edges over vertices {0, ..., n-1}.
+/// Self-loops and parallel edges are representable; generators that promise
+/// simple graphs say so, and validate::is_simple() checks it.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  explicit EdgeList(NodeId num_vertices);
+  EdgeList(NodeId num_vertices, std::vector<Edge> edges);
+
+  NodeId num_vertices() const { return num_vertices_; }
+  i64 num_edges() const { return static_cast<i64>(edges_.size()); }
+  std::span<const Edge> edges() const { return edges_; }
+  const Edge& edge(i64 i) const { return edges_[static_cast<usize>(i)]; }
+
+  void add_edge(NodeId u, NodeId v);
+  void reserve(i64 num_edges) { edges_.reserve(static_cast<usize>(num_edges)); }
+
+  /// Canonicalizes (u <= v per edge), sorts, and removes duplicate edges and
+  /// self-loops. Returns the number of edges removed.
+  i64 simplify();
+
+  /// Appends all edges of `other` with vertex ids shifted by `offset`.
+  /// Used to build multi-component test graphs from known pieces.
+  void append_shifted(const EdgeList& other, NodeId offset);
+
+ private:
+  NodeId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace archgraph::graph

@@ -1,0 +1,205 @@
+#include "graph/generators.hpp"
+
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace archgraph::graph {
+
+namespace {
+
+/// Canonical 64-bit key of an undirected vertex pair, for dedup sets.
+u64 pair_key(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<u64>(u) << 32) | static_cast<u64>(v);
+}
+
+}  // namespace
+
+EdgeList random_graph(NodeId n, i64 m, u64 seed) {
+  AG_CHECK(n >= 0 && m >= 0, "bad random_graph parameters");
+  const double max_edges = 0.5 * static_cast<double>(n) *
+                           static_cast<double>(n > 0 ? n - 1 : 0);
+  AG_CHECK(static_cast<double>(m) <= max_edges,
+           "more edges requested than a simple graph admits");
+  AG_CHECK(n < (NodeId{1} << 32), "pair_key packs endpoints into 32 bits each");
+
+  EdgeList g(n);
+  g.reserve(m);
+  Prng rng(seed);
+  std::unordered_set<u64> present;
+  present.reserve(static_cast<usize>(m) * 2);
+  while (g.num_edges() < m) {
+    const auto u = static_cast<NodeId>(rng.below(static_cast<u64>(n)));
+    const auto v = static_cast<NodeId>(rng.below(static_cast<u64>(n)));
+    if (u == v) continue;
+    if (present.insert(pair_key(u, v)).second) {
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+EdgeList gnp_graph(NodeId n, double prob, u64 seed) {
+  AG_CHECK(prob >= 0.0 && prob <= 1.0, "probability out of range");
+  EdgeList g(n);
+  Prng rng(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.uniform() < prob) {
+        g.add_edge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+EdgeList mesh2d(NodeId rows, NodeId cols) {
+  AG_CHECK(rows >= 1 && cols >= 1, "mesh needs positive dimensions");
+  EdgeList g(rows * cols);
+  g.reserve(2 * rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+EdgeList mesh3d(NodeId nx, NodeId ny, NodeId nz) {
+  AG_CHECK(nx >= 1 && ny >= 1 && nz >= 1, "mesh needs positive dimensions");
+  EdgeList g(nx * ny * nz);
+  g.reserve(3 * nx * ny * nz);
+  auto id = [ny, nz](NodeId x, NodeId y, NodeId z) {
+    return (x * ny + y) * nz + z;
+  };
+  for (NodeId x = 0; x < nx; ++x) {
+    for (NodeId y = 0; y < ny; ++y) {
+      for (NodeId z = 0; z < nz; ++z) {
+        if (x + 1 < nx) g.add_edge(id(x, y, z), id(x + 1, y, z));
+        if (y + 1 < ny) g.add_edge(id(x, y, z), id(x, y + 1, z));
+        if (z + 1 < nz) g.add_edge(id(x, y, z), id(x, y, z + 1));
+      }
+    }
+  }
+  return g;
+}
+
+EdgeList path_graph(NodeId n) {
+  EdgeList g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    g.add_edge(v, v + 1);
+  }
+  return g;
+}
+
+EdgeList cycle_graph(NodeId n) {
+  AG_CHECK(n >= 3, "a simple cycle needs at least 3 vertices");
+  EdgeList g = path_graph(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+EdgeList star_graph(NodeId n) {
+  EdgeList g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge(0, v);
+  }
+  return g;
+}
+
+EdgeList complete_graph(NodeId n) {
+  EdgeList g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+EdgeList binary_tree(NodeId n) {
+  EdgeList g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    g.add_edge((v - 1) / 2, v);
+  }
+  return g;
+}
+
+EdgeList rmat_graph(NodeId n, i64 m, double a, double b, double c, u64 seed) {
+  AG_CHECK(n > 0 && (n & (n - 1)) == 0, "R-MAT needs a power-of-two n");
+  const double d = 1.0 - a - b - c;
+  AG_CHECK(a >= 0 && b >= 0 && c >= 0 && d >= 0, "R-MAT probabilities");
+  const double max_edges = 0.5 * static_cast<double>(n) *
+                           static_cast<double>(n - 1);
+  AG_CHECK(static_cast<double>(m) <= 0.5 * max_edges,
+           "R-MAT rejection sampling needs m well below the maximum");
+  AG_CHECK(n < (NodeId{1} << 32), "pair_key packs endpoints into 32 bits each");
+
+  EdgeList g(n);
+  g.reserve(m);
+  Prng rng(seed);
+  std::unordered_set<u64> present;
+  present.reserve(static_cast<usize>(m) * 2);
+  while (g.num_edges() < m) {
+    NodeId lo_u = 0, lo_v = 0;
+    for (NodeId span = n; span > 1; span /= 2) {
+      // Quadrants of the adjacency matrix: a=(top,left), b=(top,right),
+      // c=(bottom,left), d=(bottom,right).
+      const double r = rng.uniform();
+      const bool down = r >= a + b;
+      const bool right = (r >= a && r < a + b) || r >= a + b + c;
+      lo_u += down ? span / 2 : 0;
+      lo_v += right ? span / 2 : 0;
+    }
+    if (lo_u == lo_v) continue;
+    if (present.insert(pair_key(lo_u, lo_v)).second) {
+      g.add_edge(lo_u, lo_v);
+    }
+  }
+  return g;
+}
+
+EdgeList random_tree(NodeId n, u64 seed) {
+  AG_CHECK(n >= 1, "a tree needs at least one vertex");
+  Prng rng(seed);
+  const std::vector<NodeId> label = rng.permutation(n);
+  EdgeList g(n);
+  g.reserve(n - 1);
+  for (NodeId v = 1; v < n; ++v) {
+    const auto parent = static_cast<NodeId>(rng.below(static_cast<u64>(v)));
+    g.add_edge(label[static_cast<usize>(parent)],
+               label[static_cast<usize>(v)]);
+  }
+  return g;
+}
+
+EdgeList caterpillar(NodeId spine, NodeId legs) {
+  AG_CHECK(spine >= 1 && legs >= 0, "bad caterpillar parameters");
+  EdgeList g(spine * (1 + legs));
+  for (NodeId s = 0; s + 1 < spine; ++s) {
+    g.add_edge(s, s + 1);
+  }
+  for (NodeId s = 0; s < spine; ++s) {
+    for (NodeId leg = 0; leg < legs; ++leg) {
+      g.add_edge(s, spine + s * legs + leg);
+    }
+  }
+  return g;
+}
+
+EdgeList disjoint_random_graphs(NodeId n, i64 m, NodeId count, u64 seed) {
+  AG_CHECK(count >= 1, "need at least one copy");
+  EdgeList g(n * count);
+  g.reserve(m * count);
+  Prng seeder(seed);
+  for (NodeId k = 0; k < count; ++k) {
+    g.append_shifted(random_graph(n, m, seeder()), k * n);
+  }
+  return g;
+}
+
+}  // namespace archgraph::graph

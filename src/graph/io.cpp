@@ -1,0 +1,119 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace archgraph::graph {
+
+namespace {
+
+[[noreturn]] void parse_error(i64 line, const std::string& message) {
+  throw std::logic_error("DIMACS parse error at line " + std::to_string(line) +
+                         ": " + message);
+}
+
+}  // namespace
+
+DimacsGraph read_dimacs(std::istream& in) {
+  DimacsGraph out;
+  bool have_header = false;
+  NodeId n = 0;
+  i64 declared_edges = 0;
+  i64 weighted_lines = 0;
+  i64 unweighted_lines = 0;
+
+  std::string line;
+  i64 line_no = 0;
+  std::vector<i64> weights;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == 'c') {
+      continue;
+    }
+    std::istringstream ls(line);
+    char kind = 0;
+    ls >> kind;
+    if (kind == 'p') {
+      if (have_header) parse_error(line_no, "duplicate problem line");
+      std::string format;
+      ls >> format >> n >> declared_edges;
+      if (!ls || format != "edge" || n < 0 || declared_edges < 0) {
+        parse_error(line_no, "expected 'p edge <n> <m>'");
+      }
+      have_header = true;
+      out.edges = EdgeList(n);
+      out.edges.reserve(declared_edges);
+      weights.reserve(static_cast<usize>(declared_edges));
+    } else if (kind == 'e') {
+      if (!have_header) parse_error(line_no, "edge before problem line");
+      i64 u = 0, v = 0;
+      ls >> u >> v;
+      if (!ls) parse_error(line_no, "expected 'e <u> <v> [w]'");
+      if (u < 1 || u > n || v < 1 || v > n) {
+        parse_error(line_no, "vertex id out of range (ids are 1-based)");
+      }
+      i64 w = 0;
+      if (ls >> w) {
+        ++weighted_lines;
+        weights.push_back(w);
+      } else {
+        ++unweighted_lines;
+      }
+      out.edges.add_edge(u - 1, v - 1);
+    } else {
+      parse_error(line_no, std::string("unknown line type '") + kind + "'");
+    }
+  }
+  if (!have_header) parse_error(line_no, "missing problem line");
+  if (out.edges.num_edges() != declared_edges) {
+    parse_error(line_no, "edge count mismatch: header declares " +
+                             std::to_string(declared_edges) + ", found " +
+                             std::to_string(out.edges.num_edges()));
+  }
+  if (weighted_lines > 0 && unweighted_lines > 0) {
+    parse_error(line_no, "mixed weighted and unweighted edge lines");
+  }
+  if (weighted_lines > 0) {
+    out.weights = std::move(weights);
+  }
+  return out;
+}
+
+DimacsGraph read_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  AG_CHECK(static_cast<bool>(in), "cannot open " + path);
+  return read_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const EdgeList& graph,
+                  const std::vector<i64>* weights,
+                  const std::string& comment) {
+  if (weights != nullptr) {
+    AG_CHECK(static_cast<i64>(weights->size()) == graph.num_edges(),
+             "one weight per edge");
+  }
+  if (!comment.empty()) {
+    out << "c " << comment << '\n';
+  }
+  out << "p edge " << graph.num_vertices() << ' ' << graph.num_edges() << '\n';
+  for (i64 i = 0; i < graph.num_edges(); ++i) {
+    const Edge& e = graph.edge(i);
+    out << "e " << e.u + 1 << ' ' << e.v + 1;
+    if (weights != nullptr) {
+      out << ' ' << (*weights)[static_cast<usize>(i)];
+    }
+    out << '\n';
+  }
+}
+
+void write_dimacs_file(const std::string& path, const EdgeList& graph,
+                       const std::vector<i64>* weights,
+                       const std::string& comment) {
+  std::ofstream out(path);
+  AG_CHECK(static_cast<bool>(out), "cannot open " + path + " for writing");
+  write_dimacs(out, graph, weights, comment);
+}
+
+}  // namespace archgraph::graph

@@ -1,0 +1,66 @@
+#include "graph/linked_list.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace archgraph::graph {
+
+LinkedList ordered_list(NodeId n) {
+  AG_CHECK(n >= 1, "a list needs at least one node");
+  LinkedList list;
+  list.head = 0;
+  list.next.resize(static_cast<usize>(n));
+  std::iota(list.next.begin(), list.next.end(), NodeId{1});
+  list.next.back() = kNilNode;
+  return list;
+}
+
+LinkedList list_from_order(const std::vector<NodeId>& order) {
+  AG_CHECK(!order.empty(), "a list needs at least one node");
+  LinkedList list;
+  list.head = order.front();
+  list.next.assign(order.size(), kNilNode);
+  for (usize k = 0; k + 1 < order.size(); ++k) {
+    AG_CHECK(order[k] >= 0 && order[k] < static_cast<NodeId>(order.size()),
+             "order entry out of range");
+    list.next[static_cast<usize>(order[k])] = order[k + 1];
+  }
+  return list;
+}
+
+LinkedList random_list(NodeId n, u64 seed) {
+  AG_CHECK(n >= 1, "a list needs at least one node");
+  Prng rng(seed);
+  return list_from_order(rng.permutation(n));
+}
+
+NodeId find_head_by_sum(const LinkedList& list) {
+  const NodeId n = list.size();
+  AG_CHECK(n >= 1, "empty list has no head");
+  // sum(0..n-1) - (sum of successors, tail contributing -1):
+  i64 total = static_cast<i64>(n) * (n - 1) / 2;
+  for (NodeId s : list.next) {
+    total -= s;
+  }
+  const NodeId head = total - 1;  // undo the tail's kNilNode == -1 term
+  AG_CHECK(head >= 0 && head < n, "list is not a valid permutation list");
+  return head;
+}
+
+std::vector<i64> ranks_by_traversal(const LinkedList& list) {
+  const NodeId n = list.size();
+  std::vector<i64> rank(static_cast<usize>(n), -1);
+  NodeId node = list.head;
+  for (i64 r = 0; r < n; ++r) {
+    AG_CHECK(node != kNilNode, "list shorter than its node count");
+    AG_CHECK(rank[static_cast<usize>(node)] == -1, "cycle in list");
+    rank[static_cast<usize>(node)] = r;
+    node = list.next[static_cast<usize>(node)];
+  }
+  AG_CHECK(node == kNilNode, "list longer than its node count");
+  return rank;
+}
+
+}  // namespace archgraph::graph

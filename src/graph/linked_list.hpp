@@ -1,0 +1,49 @@
+// Linked lists laid out in arrays — the list-ranking workload.
+//
+// The paper's §5 uses two layouts of the same logical list:
+//   * Ordered — "node i is the ith position of the array and its successor is
+//     the node at position i+1"; maximal spatial locality.
+//   * Random — "places successive elements randomly in the array"; each
+//     traversal step is a cache miss on an SMP.
+// On the (simulated) MTA, logical addresses are hashed over physical memory,
+// so the two layouts behave identically — exactly the paper's point.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace archgraph::graph {
+
+/// A singly linked list over array slots {0, ..., n-1}.
+/// `next[i]` is the array index of i's successor; the tail has
+/// `next[tail] == kNilNode`.
+struct LinkedList {
+  NodeId head = kNilNode;
+  std::vector<NodeId> next;
+
+  NodeId size() const { return static_cast<NodeId>(next.size()); }
+};
+
+/// The Ordered layout: head at slot 0, successor of slot i is slot i+1.
+LinkedList ordered_list(NodeId n);
+
+/// The Random layout: the list visits the array slots in a uniformly random
+/// permutation order. Deterministic in `seed`.
+LinkedList random_list(NodeId n, u64 seed);
+
+/// Builds the list whose k-th element lives at array slot order[k].
+LinkedList list_from_order(const std::vector<NodeId>& order);
+
+/// Recovers the head using the paper's index-sum identity (§3 step 1):
+/// every slot except the head appears exactly once as a successor, so
+/// head = sum(all slots) - sum(successor indices), counting the tail's nil
+/// successor as contributing kNilNode (= -1). O(n) contiguous scan, no
+/// pointer chasing — this is why the paper computes the head this way.
+NodeId find_head_by_sum(const LinkedList& list);
+
+/// The ranks by definition: rank[head] = 0 and rank increases along `next`.
+/// O(n) sequential pointer chase; the reference for all tests.
+std::vector<i64> ranks_by_traversal(const LinkedList& list);
+
+}  // namespace archgraph::graph

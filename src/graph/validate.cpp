@@ -1,0 +1,114 @@
+#include "graph/validate.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.hpp"
+
+namespace archgraph::graph::validate {
+
+namespace {
+
+/// Minimal sequential union-find used only as ground truth inside validators
+/// (the library's user-facing union-find lives in core/concomp).
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n) : parent_(static_cast<usize>(n)) {
+    for (NodeId v = 0; v < n; ++v) parent_[static_cast<usize>(v)] = v;
+  }
+  NodeId find(NodeId v) {
+    NodeId root = v;
+    while (parent_[static_cast<usize>(root)] != root)
+      root = parent_[static_cast<usize>(root)];
+    while (parent_[static_cast<usize>(v)] != root) {
+      NodeId up = parent_[static_cast<usize>(v)];
+      parent_[static_cast<usize>(v)] = root;
+      v = up;
+    }
+    return root;
+  }
+  void unite(NodeId a, NodeId b) { parent_[static_cast<usize>(find(a))] = find(b); }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+bool is_valid_list(const LinkedList& list) {
+  const NodeId n = list.size();
+  if (n == 0 || list.head < 0 || list.head >= n) return false;
+  std::vector<bool> seen(static_cast<usize>(n), false);
+  NodeId node = list.head;
+  for (NodeId count = 0; count < n; ++count) {
+    if (node < 0 || node >= n || seen[static_cast<usize>(node)]) return false;
+    seen[static_cast<usize>(node)] = true;
+    node = list.next[static_cast<usize>(node)];
+  }
+  return node == kNilNode;
+}
+
+bool is_permutation(std::span<const i64> values) {
+  const auto n = static_cast<i64>(values.size());
+  std::vector<bool> seen(values.size(), false);
+  for (i64 v : values) {
+    if (v < 0 || v >= n || seen[static_cast<usize>(v)]) return false;
+    seen[static_cast<usize>(v)] = true;
+  }
+  return true;
+}
+
+bool is_simple(const EdgeList& graph) {
+  std::unordered_set<u64> seen;
+  seen.reserve(static_cast<usize>(graph.num_edges()) * 2);
+  for (const Edge& e : graph.edges()) {
+    if (e.u == e.v) return false;
+    NodeId lo = e.u, hi = e.v;
+    if (lo > hi) std::swap(lo, hi);
+    const u64 key = (static_cast<u64>(lo) << 32) | static_cast<u64>(hi);
+    if (!seen.insert(key).second) return false;
+  }
+  return true;
+}
+
+bool same_partition(std::span<const NodeId> a, std::span<const NodeId> b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<NodeId, NodeId> a_to_b;
+  std::unordered_map<NodeId, NodeId> b_to_a;
+  for (usize i = 0; i < a.size(); ++i) {
+    auto [it_ab, inserted_ab] = a_to_b.try_emplace(a[i], b[i]);
+    if (!inserted_ab && it_ab->second != b[i]) return false;
+    auto [it_ba, inserted_ba] = b_to_a.try_emplace(b[i], a[i]);
+    if (!inserted_ba && it_ba->second != a[i]) return false;
+  }
+  return true;
+}
+
+bool is_components_labeling(const EdgeList& graph,
+                            std::span<const NodeId> labels) {
+  const NodeId n = graph.num_vertices();
+  if (static_cast<NodeId>(labels.size()) != n) return false;
+  UnionFind uf(n);
+  for (const Edge& e : graph.edges()) {
+    if (labels[static_cast<usize>(e.u)] != labels[static_cast<usize>(e.v)]) {
+      return false;
+    }
+    uf.unite(e.u, e.v);
+  }
+  // Equal labels must imply same union-find root (i.e., actually connected).
+  std::unordered_map<NodeId, NodeId> label_to_root;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId root = uf.find(v);
+    auto [it, inserted] =
+        label_to_root.try_emplace(labels[static_cast<usize>(v)], root);
+    if (!inserted && it->second != root) return false;
+  }
+  return true;
+}
+
+i64 count_distinct_labels(std::span<const NodeId> labels) {
+  std::unordered_set<NodeId> distinct(labels.begin(), labels.end());
+  return static_cast<i64>(distinct.size());
+}
+
+}  // namespace archgraph::graph::validate

@@ -1,0 +1,35 @@
+// Validators shared by tests and benchmark self-checks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/edge_list.hpp"
+#include "graph/linked_list.hpp"
+
+namespace archgraph::graph::validate {
+
+/// True iff `list` is a single chain visiting every slot exactly once.
+bool is_valid_list(const LinkedList& list);
+
+/// True iff `values` is a permutation of {0, ..., values.size()-1}.
+bool is_permutation(std::span<const i64> values);
+
+/// True iff no self-loops and no duplicate undirected edges.
+bool is_simple(const EdgeList& graph);
+
+/// True iff the two label vectors induce the same partition of the vertices
+/// (labels themselves may differ — component ids are representative-relative).
+bool same_partition(std::span<const NodeId> a, std::span<const NodeId> b);
+
+/// True iff `labels` is a valid connected-components labeling of `graph`:
+/// endpoints of every edge share a label, and equal-labeled vertices are
+/// actually connected (checked against a union-find ground truth).
+bool is_components_labeling(const EdgeList& graph,
+                            std::span<const NodeId> labels);
+
+/// Number of distinct values in `labels`.
+i64 count_distinct_labels(std::span<const NodeId> labels);
+
+}  // namespace archgraph::graph::validate

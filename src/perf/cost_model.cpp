@@ -1,0 +1,94 @@
+#include "perf/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace archgraph::perf {
+
+double smp_predicted_cycles(const Triplet& t, const SmpCostParams& params) {
+  return t.t_m * params.noncontiguous_cycles + t.t_m_l2 * params.l2_cycles +
+         t.t_contig * params.contiguous_cycles + t.t_c * params.alu_cycles +
+         t.barriers * params.barrier_cycles;
+}
+
+Triplet lr_hj_triplet(i64 n, i64 p, bool random_layout) {
+  AG_CHECK(n >= 1 && p >= 1, "bad parameters");
+  Triplet t;
+  const double per_proc = static_cast<double>(n) / static_cast<double>(p);
+  // Step 0+1 (clear + index sum) and step 5 (final pass) stream ~5 array
+  // elements per node in total.
+  t.t_contig = 5.0 * per_proc;
+  if (random_layout) {
+    // Step 3: list successor, marker, and local-rank arrays are all visited
+    // in (random) list order — 3 non-contiguous accesses per node.
+    t.t_m = 3.0 * per_proc;
+  } else {
+    // Ordered layout: the same three arrays stream.
+    t.t_contig += 3.0 * per_proc;
+  }
+  t.t_c = 4.0 * per_proc;
+  t.barriers = 4;
+  return t;
+}
+
+Triplet cc_sv_triplet(i64 n, i64 m, i64 p, i64 iterations, bool d_fits_l2) {
+  AG_CHECK(n >= 1 && m >= 0 && p >= 1 && iterations >= 1, "bad parameters");
+  Triplet t;
+  const double slots = 2.0 * static_cast<double>(m) / static_cast<double>(p);
+  const double verts = static_cast<double>(n) / static_cast<double>(p);
+  const double iters = static_cast<double>(iterations);
+  // Graft: contiguous edge scan (2 endpoint words) + ~2.5 non-contiguous D
+  // accesses per slot; shortcut: ~2 non-contiguous D accesses per vertex.
+  t.t_contig = iters * slots * 2.0;
+  const double noncontig = iters * (slots * 2.5 + verts * 2.0);
+  if (d_fits_l2) {
+    t.t_m_l2 = noncontig;
+  } else {
+    t.t_m = noncontig;
+  }
+  t.t_c = iters * (slots * 2.0 + verts * 2.0);
+  t.barriers = 3.0 * iters;
+  return t;
+}
+
+double mta_utilization(double threads_per_proc, double issue_slots_per_op,
+                       double latency) {
+  AG_CHECK(threads_per_proc > 0 && issue_slots_per_op > 0 && latency >= 0,
+           "bad parameters");
+  const double g = issue_slots_per_op;
+  return std::min(1.0, threads_per_proc * g / (g + latency));
+}
+
+double mta_predicted_cycles(double total_instructions, i64 p,
+                            double threads_per_proc,
+                            double issue_slots_per_op,
+                            const MtaCostParams& params) {
+  AG_CHECK(p >= 1, "bad processor count");
+  const double util = mta_utilization(threads_per_proc, issue_slots_per_op,
+                                      params.memory_latency);
+  return total_instructions / (static_cast<double>(p) * util);
+}
+
+double lr_walk_instructions(i64 n, i64 num_walks) {
+  AG_CHECK(n >= 1 && num_walks >= 1, "bad parameters");
+  const double dn = static_cast<double>(n);
+  const double w = static_cast<double>(num_walks);
+  // Phases (slots): A sum n, B fill n (LIW folds loop control into the
+  // memory op), C mark 3W, D walk 3n, E doubling ~7 slots x W x
+  // (log2(W)+1), F final 3n.
+  const double rounds = std::ceil(std::log2(std::max(2.0, w))) + 1;
+  return dn + dn + 3 * w + 3 * dn + 7 * w * rounds + 3 * dn;
+}
+
+double cc_sv_mta_instructions(i64 n, i64 m, i64 iterations) {
+  AG_CHECK(n >= 1 && m >= 0 && iterations >= 1, "bad parameters");
+  const double slots = 2.0 * static_cast<double>(m);
+  const double dn = static_cast<double>(n);
+  const double iters = static_cast<double>(iterations);
+  // init 2n + per iteration: graft ~6.5/slot, shortcut ~3/vertex.
+  return 2 * dn + iters * (6.5 * slots + 3.0 * dn);
+}
+
+}  // namespace archgraph::perf

@@ -1,0 +1,78 @@
+// Analytic cost models (paper §2).
+//
+// SMP: the Helman–JáJá triplet T(n,p) = ⟨T_M(n,p); T_C(n,p); B(n,p)⟩ —
+// non-contiguous main-memory accesses, local computation, and barrier count.
+// We evaluate the triplet into predicted cycles with per-term unit costs so
+// tests can cross-check the cache simulator against the model.
+//
+// MTA: "if sufficient parallelism exists, [T_M and B] are reduced to zero and
+// performance is a function of only T_C: execution time is then the product
+// of the number of instructions and the cycle time." The utilization model
+// below quantifies "sufficient": a thread that issues g slots and then waits
+// L cycles offers g/(g+L) of a stream's issue capacity, so T threads on a
+// processor sustain min(1, T*g/(g+L)) of its issue rate — the paper's
+// "40-80 threads per processor are usually sufficient".
+#pragma once
+
+#include "common/types.hpp"
+
+namespace archgraph::perf {
+
+// ------------------------------------------------------------------- SMP
+
+struct SmpCostParams {
+  double noncontiguous_cycles = 130;  // cache-missing access (main memory)
+  double contiguous_cycles = 18;      // per-element cost of a streamed array
+  double l2_cycles = 22;              // non-contiguous access hitting L2
+  double alu_cycles = 1;              // per abstract instruction
+  double barrier_cycles = 1500;       // software barrier episode
+};
+
+/// One algorithm phase-set, counted per processor.
+struct Triplet {
+  double t_m = 0;        // non-contiguous accesses (missing to memory)
+  double t_m_l2 = 0;     // non-contiguous accesses expected to hit L2
+  double t_contig = 0;   // contiguous array elements streamed
+  double t_c = 0;        // local ALU operations
+  double barriers = 0;
+};
+
+double smp_predicted_cycles(const Triplet& t, const SmpCostParams& params);
+
+/// Helman–JáJá list ranking: per processor, step 3 performs ~3 non-contiguous
+/// accesses per node (random layout) or streams the same arrays (ordered);
+/// steps 0/1/5 stream ~5 array elements per node; B = 4.
+Triplet lr_hj_triplet(i64 n, i64 p, bool random_layout);
+
+/// Shiloach–Vishkin (per §4's analysis): per iteration, 2-3 non-contiguous
+/// accesses per edge plus a contiguous edge scan, and a pointer-jumping pass;
+/// `d_fits_l2` selects whether the D accesses cost L2 or memory.
+Triplet cc_sv_triplet(i64 n, i64 m, i64 p, i64 iterations, bool d_fits_l2);
+
+// ------------------------------------------------------------------- MTA
+
+struct MtaCostParams {
+  double memory_latency = 100;
+  i64 streams_per_processor = 128;
+  double clock_hz = 220e6;
+};
+
+/// Fraction of a processor's issue slots a population of `threads_per_proc`
+/// threads can fill when each issues `issue_slots_per_op` slots between
+/// memory waits of `latency` cycles. min(1, T*g/(g+L)).
+double mta_utilization(double threads_per_proc, double issue_slots_per_op,
+                       double latency);
+
+/// Predicted cycles: instructions / (p * utilization).
+double mta_predicted_cycles(double total_instructions, i64 p,
+                            double threads_per_proc,
+                            double issue_slots_per_op,
+                            const MtaCostParams& params);
+
+/// Issue-slot counts of the simulator kernels (the constants documented at
+/// their co_await sites): walk-based list ranking ≈ 10 slots/node + the
+/// doubling step; SV ≈ 6.5 slots/edge-slot/iteration + shortcut passes.
+double lr_walk_instructions(i64 n, i64 num_walks);
+double cc_sv_mta_instructions(i64 n, i64 m, i64 iterations);
+
+}  // namespace archgraph::perf

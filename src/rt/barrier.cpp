@@ -1,0 +1,46 @@
+#include "rt/barrier.hpp"
+
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace archgraph::rt {
+
+SpinBarrier::SpinBarrier(usize participants)
+    : participants_(participants), count_(participants) {
+  AG_CHECK(participants >= 1, "barrier needs at least one participant");
+}
+
+void SpinBarrier::arrive_and_wait() {
+  const u64 my_sense = sense_.load(std::memory_order_acquire);
+  if (count_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last arriver: reset the count and flip the sense to release everyone.
+    count_.store(participants_, std::memory_order_relaxed);
+    sense_.store(my_sense + 1, std::memory_order_release);
+  } else {
+    while (sense_.load(std::memory_order_acquire) == my_sense) {
+      // On an oversubscribed host, yielding lets the remaining participants
+      // actually reach the barrier.
+      std::this_thread::yield();
+    }
+  }
+}
+
+BlockingBarrier::BlockingBarrier(usize participants)
+    : participants_(participants) {
+  AG_CHECK(participants >= 1, "barrier needs at least one participant");
+}
+
+void BlockingBarrier::arrive_and_wait() {
+  std::unique_lock lock(mutex_);
+  const u64 my_generation = generation_;
+  if (++count_ == participants_) {
+    count_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return generation_ != my_generation; });
+  }
+}
+
+}  // namespace archgraph::rt

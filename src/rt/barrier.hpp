@@ -1,0 +1,50 @@
+// Software barriers.
+//
+// The paper notes SMPs have "no hardware support for synchronization
+// operations — locks and barriers are typically implemented in software", and
+// the cost model charges B(n,p) per barrier. These are the two classic
+// software implementations: a centralized sense-reversing spin barrier (what
+// the cost model's O(p) term describes) and a blocking barrier for
+// oversubscribed hosts.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/types.hpp"
+
+namespace archgraph::rt {
+
+/// Centralized sense-reversing spin barrier. All `participants` threads must
+/// call arrive_and_wait(); reusable across any number of phases.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(usize participants);
+
+  void arrive_and_wait();
+
+ private:
+  const usize participants_;
+  std::atomic<usize> count_;
+  std::atomic<u64> sense_{0};
+};
+
+/// Mutex/condvar barrier: threads sleep instead of spinning. Preferable when
+/// the host has fewer cores than participants (always true in this repo's
+/// single-core CI environment).
+class BlockingBarrier {
+ public:
+  explicit BlockingBarrier(usize participants);
+
+  void arrive_and_wait();
+
+ private:
+  const usize participants_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  usize count_ = 0;
+  u64 generation_ = 0;
+};
+
+}  // namespace archgraph::rt

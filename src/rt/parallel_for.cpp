@@ -1,0 +1,77 @@
+#include "rt/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.hpp"
+
+namespace archgraph::rt {
+
+void parallel_for_blocks(ThreadPool& pool, i64 begin, i64 end,
+                         Schedule schedule, i64 chunk,
+                         const std::function<void(usize, i64, i64)>& body) {
+  AG_CHECK(begin <= end, "inverted range");
+  AG_CHECK(chunk >= 1, "chunk must be positive");
+  const i64 total = end - begin;
+  const auto workers = static_cast<i64>(pool.size());
+
+  switch (schedule) {
+    case Schedule::Static: {
+      pool.run([&](usize worker) {
+        // Even split with the first (total % workers) blocks one larger.
+        const auto w = static_cast<i64>(worker);
+        const i64 base = total / workers;
+        const i64 extra = total % workers;
+        const i64 lo = begin + w * base + std::min(w, extra);
+        const i64 hi = lo + base + (w < extra ? 1 : 0);
+        if (lo < hi) {
+          body(worker, lo, hi);
+        }
+      });
+      return;
+    }
+    case Schedule::Dynamic: {
+      std::atomic<i64> cursor{begin};
+      pool.run([&](usize worker) {
+        while (true) {
+          const i64 lo = cursor.fetch_add(chunk, std::memory_order_relaxed);
+          if (lo >= end) {
+            return;
+          }
+          body(worker, lo, std::min(lo + chunk, end));
+        }
+      });
+      return;
+    }
+    case Schedule::Guided: {
+      std::atomic<i64> cursor{begin};
+      pool.run([&](usize worker) {
+        while (true) {
+          // Claim half the (approximate) remainder divided by workers,
+          // but at least `chunk`.
+          const i64 seen = cursor.load(std::memory_order_relaxed);
+          const i64 want =
+              std::max(chunk, (end - std::min(seen, end)) / (2 * workers));
+          const i64 lo = cursor.fetch_add(want, std::memory_order_relaxed);
+          if (lo >= end) {
+            return;
+          }
+          body(worker, lo, std::min(lo + want, end));
+        }
+      });
+      return;
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, i64 begin, i64 end, Schedule schedule,
+                  i64 chunk, const std::function<void(i64)>& body) {
+  parallel_for_blocks(pool, begin, end, schedule, chunk,
+                      [&](usize, i64 lo, i64 hi) {
+                        for (i64 i = lo; i < hi; ++i) {
+                          body(i);
+                        }
+                      });
+}
+
+}  // namespace archgraph::rt

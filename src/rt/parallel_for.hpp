@@ -1,0 +1,58 @@
+// Parallel loops over index ranges with the three classic schedules.
+//
+// `Schedule::Dynamic` is the host-native analogue of the MTA's
+// `#pragma mta assert parallel` + dynamic stream scheduling: workers claim the
+// next chunk with an atomic fetch-add on a shared counter, exactly the
+// int_fetch_add idiom the paper describes for load-balancing uneven walks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace archgraph::rt {
+
+enum class Schedule {
+  Static,   // contiguous blocks, one per worker (Helman–JáJá partitioning)
+  Dynamic,  // fetch-add chunk claiming (MTA-style)
+  Guided,   // exponentially shrinking chunks, floor of `chunk`
+};
+
+/// Calls body(worker, lo, hi) for disjoint subranges covering [begin, end).
+/// Under Static each worker receives exactly one (possibly empty) block;
+/// under Dynamic/Guided workers claim chunks until the range is exhausted.
+void parallel_for_blocks(ThreadPool& pool, i64 begin, i64 end,
+                         Schedule schedule, i64 chunk,
+                         const std::function<void(usize, i64, i64)>& body);
+
+/// Calls body(i) for every i in [begin, end).
+void parallel_for(ThreadPool& pool, i64 begin, i64 end, Schedule schedule,
+                  i64 chunk, const std::function<void(i64)>& body);
+
+/// Parallel reduction: init + sum of body(i) over [begin, end) with
+/// operator+. Per-worker partials are cache-line padded.
+template <typename T, typename Body>
+T parallel_reduce(ThreadPool& pool, i64 begin, i64 end, T init,
+                  const Body& body) {
+  struct alignas(64) Padded {
+    T value{};
+  };
+  std::vector<Padded> partial(pool.size());
+  parallel_for_blocks(pool, begin, end, Schedule::Static, /*chunk=*/1,
+                      [&](usize worker, i64 lo, i64 hi) {
+                        T local{};
+                        for (i64 i = lo; i < hi; ++i) {
+                          local = local + body(i);
+                        }
+                        partial[worker].value = partial[worker].value + local;
+                      });
+  T total = init;
+  for (const auto& p : partial) {
+    total = total + p.value;
+  }
+  return total;
+}
+
+}  // namespace archgraph::rt

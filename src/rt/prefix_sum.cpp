@@ -1,0 +1,10 @@
+#include "rt/prefix_sum.hpp"
+
+namespace archgraph::rt {
+
+void prefix_sums(ThreadPool& pool, std::span<i64> data) {
+  inclusive_scan_parallel(pool, data, i64{0},
+                          [](i64 a, i64 b) { return a + b; });
+}
+
+}  // namespace archgraph::rt

@@ -1,0 +1,74 @@
+// Prefix computations over arrays.
+//
+// The paper frames list ranking as the special case of the prefix problem
+// where all values are 1 and ⊕ is addition (§3). The array versions here are
+// the building block used by step 4 of Helman–JáJá (scan over the Sublists
+// records) and by several tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rt/parallel_for.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace archgraph::rt {
+
+/// In-place inclusive scan with a generic associative op (sequential).
+template <typename T, typename Op>
+void inclusive_scan_seq(std::span<T> data, Op op) {
+  for (usize i = 1; i < data.size(); ++i) {
+    data[i] = op(data[i - 1], data[i]);
+  }
+}
+
+/// In-place exclusive scan (sequential); identity becomes element 0.
+template <typename T, typename Op>
+void exclusive_scan_seq(std::span<T> data, T identity, Op op) {
+  T running = identity;
+  for (usize i = 0; i < data.size(); ++i) {
+    const T next = op(running, data[i]);
+    data[i] = running;
+    running = next;
+  }
+}
+
+/// In-place parallel inclusive scan: per-worker block scans, a sequential
+/// scan over the p block totals, then a parallel fix-up pass. Two barriers —
+/// exactly the B(n,p)=2 structure the Helman–JáJá prefix paper analyzes.
+template <typename T, typename Op>
+void inclusive_scan_parallel(ThreadPool& pool, std::span<T> data, T identity,
+                             Op op) {
+  const usize p = pool.size();
+  if (data.size() < 2 * p || p == 1) {
+    inclusive_scan_seq(data, op);
+    return;
+  }
+  std::vector<T> block_total(p, identity);
+  parallel_for_blocks(pool, 0, static_cast<i64>(data.size()),
+                      Schedule::Static, 1,
+                      [&](usize worker, i64 lo, i64 hi) {
+                        for (i64 i = lo + 1; i < hi; ++i) {
+                          data[static_cast<usize>(i)] =
+                              op(data[static_cast<usize>(i - 1)],
+                                 data[static_cast<usize>(i)]);
+                        }
+                        block_total[worker] = data[static_cast<usize>(hi - 1)];
+                      });
+  exclusive_scan_seq(std::span<T>{block_total}, identity, op);
+  parallel_for_blocks(pool, 0, static_cast<i64>(data.size()),
+                      Schedule::Static, 1,
+                      [&](usize worker, i64 lo, i64 hi) {
+                        const T offset = block_total[worker];
+                        for (i64 i = lo; i < hi; ++i) {
+                          data[static_cast<usize>(i)] =
+                              op(offset, data[static_cast<usize>(i)]);
+                        }
+                      });
+}
+
+/// Convenience: parallel inclusive prefix sums of i64.
+void prefix_sums(ThreadPool& pool, std::span<i64> data);
+
+}  // namespace archgraph::rt

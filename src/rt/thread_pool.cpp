@@ -1,0 +1,73 @@
+#include "rt/thread_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace archgraph::rt {
+
+ThreadPool::ThreadPool(usize num_threads) {
+  AG_CHECK(num_threads >= 1, "a pool needs at least one worker");
+  workers_.reserve(num_threads);
+  for (usize id = 0; id < num_threads; ++id) {
+    workers_.emplace_back([this, id] { worker_main(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::run(const std::function<void(usize)>& body) {
+  std::unique_lock lock(mutex_);
+  body_ = &body;
+  remaining_ = workers_.size();
+  first_error_ = nullptr;
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  body_ = nullptr;
+  if (first_error_) {
+    std::rethrow_exception(first_error_);
+  }
+}
+
+void ThreadPool::worker_main(usize id) {
+  u64 seen_generation = 0;
+  while (true) {
+    const std::function<void(usize)>* body = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      body = body_;
+    }
+    std::exception_ptr error;
+    try {
+      (*body)(id);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !first_error_) {
+        first_error_ = error;
+      }
+      if (--remaining_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace archgraph::rt

@@ -1,0 +1,50 @@
+// A persistent worker pool for the host-native parallel algorithms.
+//
+// The paper's SMP codes are POSIX-threads programs with software barriers;
+// this pool plays the role of that thread runtime. Workers are created once
+// and reused across parallel regions, so region launch cost is a wakeup, not
+// a thread spawn — matching how the Helman–JáJá implementations are run.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace archgraph::rt {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1). The constructing thread is not a
+  /// worker; it blocks in run() until the region completes.
+  explicit ThreadPool(usize num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  usize size() const { return workers_.size(); }
+
+  /// Executes body(worker_id) once on every worker, worker_id in [0, size()).
+  /// Blocks until all workers finish. Exceptions thrown by workers are
+  /// rethrown (the first one) in the caller.
+  void run(const std::function<void(usize)>& body);
+
+ private:
+  void worker_main(usize id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(usize)>* body_ = nullptr;
+  u64 generation_ = 0;
+  usize remaining_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace archgraph::rt

@@ -1,0 +1,46 @@
+// Deterministic discrete-event queue.
+//
+// Both machine models pop events in (time, insertion-order) order, so every
+// simulation is bit-for-bit reproducible: ties never resolve by container
+// whim. Payload interpretation belongs to the machines.
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace archgraph::sim {
+
+struct Event {
+  Cycle time = 0;
+  u64 seq = 0;   // insertion order, breaks time ties deterministically
+  u32 kind = 0;  // machine-defined
+  u64 payload = 0;
+};
+
+class EventQueue {
+ public:
+  void push(Cycle time, u32 kind, u64 payload) {
+    heap_.push(Event{time, next_seq_++, kind, payload});
+  }
+  bool empty() const { return heap_.empty(); }
+  usize size() const { return heap_.size(); }
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  u64 next_seq_ = 0;
+};
+
+}  // namespace archgraph::sim

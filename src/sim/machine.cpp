@@ -1,0 +1,59 @@
+#include "sim/machine.hpp"
+
+namespace archgraph::sim {
+
+namespace {
+
+/// Destroys all coroutine frames even if simulate() threw.
+struct FrameGuard {
+  std::vector<std::unique_ptr<ThreadState>>* threads;
+  ~FrameGuard() {
+    for (auto& t : *threads) {
+      if (t->handle) {
+        t->handle.destroy();
+        t->handle = nullptr;
+      }
+    }
+    threads->clear();
+  }
+};
+
+}  // namespace
+
+Machine::~Machine() {
+  for (auto& t : pending_) {
+    if (t->handle) {
+      t->handle.destroy();
+    }
+  }
+}
+
+void Machine::run_region() {
+  AG_CHECK(!pending_.empty(), "run_region() with no spawned threads");
+  std::vector<std::unique_ptr<ThreadState>> threads = std::move(pending_);
+  pending_.clear();
+  FrameGuard guard{&threads};
+
+  const i64 instructions_before = stats_.instructions;
+  const Cycle span = simulate(threads);
+
+  stats_.regions += 1;
+  stats_.threads += static_cast<i64>(threads.size());
+  stats_.cycles += span;
+  region_log_.push_back(RegionRecord{
+      .cycles = span,
+      .instructions = stats_.instructions - instructions_before,
+      .threads = static_cast<i64>(threads.size()),
+  });
+  for (const auto& t : threads) {
+    AG_CHECK(t->status == ThreadState::Status::kFinished,
+             "simulate() left a thread unfinished");
+  }
+  for (const auto& t : threads) {
+    if (t->error) {
+      std::rethrow_exception(t->error);
+    }
+  }
+}
+
+}  // namespace archgraph::sim

@@ -1,0 +1,104 @@
+// Abstract machine: the surface shared by the MTA and SMP models.
+//
+// Usage pattern (one parallel phase = one region):
+//
+//   MtaMachine machine(config);
+//   SimArray<i64> data(machine.memory(), n);   // setup: zero simulated cost
+//   for (i64 t = 0; t < workers; ++t) machine.spawn(kernel, t, args...);
+//   machine.run_region();                      // simulate until all finish
+//   double secs = machine.seconds();           // cycles / clock
+//
+// Host code between regions is free (experiment orchestration); anything the
+// paper's clock would have measured must run inside a region. Cycles and
+// statistics accumulate across regions so a multi-phase algorithm reports one
+// total, exactly like wall-clock timing around the whole computation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/memory.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace archgraph::sim {
+
+class Machine {
+ public:
+  virtual ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  SimMemory& memory() { return memory_; }
+  const MachineStats& stats() const { return stats_; }
+  Cycle cycles() const { return stats_.cycles; }
+
+  virtual u32 processors() const = 0;
+  virtual double clock_hz() const = 0;
+
+  /// Hardware thread slots the machine runs concurrently: streams x
+  /// processors on the MTA, processors on the SMP. Kernel drivers size their
+  /// worker counts from this, which is exactly how the paper's two codes
+  /// differ (thousands of fine-grain threads vs. p coarse threads).
+  virtual i64 concurrency() const = 0;
+
+  /// Simulated wall-clock seconds so far (cycles / clock rate).
+  double seconds() const { return static_cast<double>(cycles()) / clock_hz(); }
+
+  /// Table-1 statistic over everything simulated so far.
+  double utilization() const { return stats_.utilization(processors()); }
+
+  /// Queues a kernel coroutine for the next region. `f(ctx, args...)` must
+  /// return SimThread. Arguments are copied into the coroutine frame.
+  template <typename F, typename... Args>
+  void spawn(F&& f, Args&&... args) {
+    auto state = std::make_unique<ThreadState>();
+    state->id = static_cast<u32>(pending_.size());
+    Ctx ctx{state.get()};
+    SimThread thread =
+        std::invoke(std::forward<F>(f), ctx, std::forward<Args>(args)...);
+    state->handle = thread.bind(state.get());
+    pending_.push_back(std::move(state));
+  }
+
+  /// Simulates all spawned threads to completion; accumulates cycles and
+  /// statistics; rethrows the first kernel exception, if any.
+  void run_region();
+
+  /// One entry per completed region: phase-level breakdown of a multi-region
+  /// program (used by the utilization analyses and the examples).
+  struct RegionRecord {
+    Cycle cycles = 0;
+    i64 instructions = 0;
+    i64 threads = 0;
+  };
+  const std::vector<RegionRecord>& region_log() const { return region_log_; }
+
+  /// Resets accumulated time and statistics (memory contents are kept), so
+  /// one machine + input can be timed across repetitions.
+  void reset_stats() {
+    stats_ = MachineStats{};
+    region_log_.clear();
+  }
+
+ protected:
+  Machine() = default;
+
+  /// Machine-specific simulation of one region. `threads` are freshly bound
+  /// coroutines suspended before their first operation. Must return the
+  /// region's span in cycles and leave every thread Finished.
+  virtual Cycle simulate(std::vector<std::unique_ptr<ThreadState>>& threads) = 0;
+
+  SimMemory memory_;
+  MachineStats stats_;
+
+ private:
+  std::vector<std::unique_ptr<ThreadState>> pending_;
+  std::vector<RegionRecord> region_log_;
+};
+
+}  // namespace archgraph::sim

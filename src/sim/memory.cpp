@@ -1,0 +1,25 @@
+#include "sim/memory.hpp"
+
+#include "common/prng.hpp"
+
+namespace archgraph::sim {
+
+Addr SimMemory::alloc(i64 words) {
+  AG_CHECK(words >= 0, "negative allocation");
+  const Addr base = words_.size();
+  // Deterministic inter-allocation skew. Without it, a sequence of
+  // equal-sized power-of-two arrays lands at offsets that are multiples of
+  // the SMP caches' way size, so corresponding elements of different arrays
+  // alias to the same direct-mapped L1 set and evict each other on every
+  // access — a pathology real allocators' non-aligned placement avoids. A
+  // few hundred words of pad (not a multiple of any cache's set stride)
+  // de-correlates the arrays; the MTA model hashes addresses and is
+  // indifferent.
+  u64 pad_state = base ^ 0x9e3779b97f4a7c15ULL;
+  const u64 pad = 24 + splitmix64(pad_state) % 408;
+  words_.resize(words_.size() + static_cast<usize>(words) + pad, 0);
+  full_.resize(words_.size(), 1);  // words start full (normal-store state)
+  return base;
+}
+
+}  // namespace archgraph::sim

@@ -1,0 +1,99 @@
+// Simulated shared memory.
+//
+// One flat word-addressed array of 64-bit values, each carrying a full/empty
+// tag bit exactly as on the Cray MTA ("each memory word is 68 bits: 64 data
+// bits and 4 tag bits; one tag bit — the full-and-empty bit — is used to
+// implement synchronous load/store operations"). Words start full, matching
+// the machine's normal-store convention; kernels that use producer/consumer
+// synchronization first purge words to empty.
+//
+// Reads/writes through this class move data only; *timing* lives entirely in
+// the machine models. Host-side setup and verification use the same accessors
+// at zero simulated cost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/types.hpp"
+
+namespace archgraph::sim {
+
+class SimMemory {
+ public:
+  SimMemory() = default;
+
+  /// Bump-allocates `words` consecutive words, zero-filled and full.
+  Addr alloc(i64 words);
+
+  i64 size_words() const { return static_cast<i64>(words_.size()); }
+
+  i64 read(Addr a) const {
+    bounds_check(a);
+    return words_[a];
+  }
+  void write(Addr a, i64 v) {
+    bounds_check(a);
+    words_[a] = v;
+  }
+
+  bool full(Addr a) const {
+    bounds_check(a);
+    return full_[a] != 0;
+  }
+  void set_full(Addr a, bool full) {
+    bounds_check(a);
+    full_[a] = full ? 1 : 0;
+  }
+
+ private:
+  void bounds_check(Addr a) const {
+    AG_DCHECK(a < words_.size(), "simulated address out of range");
+    (void)a;
+  }
+
+  std::vector<i64> words_;
+  std::vector<u8> full_;
+};
+
+/// Typed view of a simulated array. T must be losslessly convertible through
+/// i64 (the simulated word type); in practice kernels use i64 and NodeId.
+template <typename T = i64>
+class SimArray {
+ public:
+  SimArray() = default;
+
+  SimArray(SimMemory& mem, i64 size)
+      : mem_(&mem), base_(mem.alloc(size)), size_(size) {}
+
+  i64 size() const { return size_; }
+  Addr addr(i64 i) const {
+    AG_DCHECK(i >= 0 && i < size_, "SimArray index out of range");
+    return base_ + static_cast<Addr>(i);
+  }
+
+  /// Host-side (zero simulated cost) accessors: experiment setup + checking.
+  T get(i64 i) const { return static_cast<T>(mem_->read(addr(i))); }
+  void set(i64 i, T v) { mem_->write(addr(i), static_cast<i64>(v)); }
+
+  void fill(T v) {
+    for (i64 i = 0; i < size_; ++i) set(i, v);
+  }
+  void assign(std::span<const T> values) {
+    AG_CHECK(static_cast<i64>(values.size()) == size_, "size mismatch");
+    for (i64 i = 0; i < size_; ++i) set(i, values[static_cast<usize>(i)]);
+  }
+  std::vector<T> to_vector() const {
+    std::vector<T> out(static_cast<usize>(size_));
+    for (i64 i = 0; i < size_; ++i) out[static_cast<usize>(i)] = get(i);
+    return out;
+  }
+
+ private:
+  SimMemory* mem_ = nullptr;
+  Addr base_ = 0;
+  i64 size_ = 0;
+};
+
+}  // namespace archgraph::sim

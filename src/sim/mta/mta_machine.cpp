@@ -1,0 +1,317 @@
+#include "sim/mta/mta_machine.hpp"
+
+#include <algorithm>
+
+#include "common/prng.hpp"
+
+namespace archgraph::sim {
+
+MtaMachine::MtaMachine(MtaConfig config) : config_(config) {
+  AG_CHECK(config_.processors >= 1, "need at least one processor");
+  AG_CHECK(config_.streams_per_processor >= 1, "need at least one stream");
+  AG_CHECK(config_.memory_latency >= 2, "latency must cover the round trip");
+  AG_CHECK(config_.banks_per_processor >= 1, "need at least one bank");
+  net_half_ = config_.memory_latency / 2;
+}
+
+usize MtaMachine::bank_of(Addr addr) const {
+  const usize banks = bank_free_.size();
+  if (config_.hash_addresses) {
+    return static_cast<usize>(hash64(addr) % banks);
+  }
+  // Unhashed ablation: interleave words round-robin over banks, the classic
+  // layout in which power-of-two strides collide.
+  return static_cast<usize>(addr % banks);
+}
+
+Cycle MtaMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
+  // --- reset region state -------------------------------------------------
+  threads_.clear();
+  threads_.reserve(threads.size());
+  for (auto& t : threads) {
+    threads_.push_back(t.get());
+  }
+  procs_.assign(config_.processors, Processor{});
+  bank_free_.assign(
+      static_cast<usize>(config_.banks_per_processor) * config_.processors, 0);
+  sync_waiters_.clear();
+  barrier_waiting_.clear();
+  barrier_max_arrival_ = 0;
+  live_ = static_cast<i64>(threads_.size());
+  region_end_ = 0;
+  AG_CHECK(events_.empty(), "stale events from a previous region");
+
+  // --- admission: map threads to processors round-robin; threams beyond the
+  // stream count per processor wait for a slot (the MTA runtime maps threads
+  // to streams as they free up).
+  for (u32 tid = 0; tid < threads_.size(); ++tid) {
+    ThreadState* ts = threads_[tid];
+    ts->processor = tid % config_.processors;
+    Processor& proc = procs_[ts->processor];
+    if (proc.streams_in_use < config_.streams_per_processor) {
+      ++proc.streams_in_use;
+      ts->advance();
+      post_advance(tid, config_.region_fork_cycles);
+    } else {
+      proc.admission_queue.push_back(tid);
+    }
+  }
+
+  // --- main event loop ----------------------------------------------------
+  while (!events_.empty()) {
+    const Event e = events_.pop();
+    switch (static_cast<EventKind>(e.kind)) {
+      case kReady:
+        on_ready(static_cast<u32>(e.payload), e.time);
+        break;
+      case kIssue:
+        handle_issue(static_cast<u32>(e.payload), e.time);
+        break;
+      case kComplete: {
+        const auto tid = static_cast<u32>(e.payload);
+        threads_[tid]->advance();
+        post_advance(tid, e.time);
+        break;
+      }
+      case kRetry:
+        attempt_sync(static_cast<u32>(e.payload), e.time);
+        break;
+    }
+  }
+
+  AG_CHECK(live_ == 0,
+           "MTA simulation deadlocked: threads wait on full/empty tags or a "
+           "barrier that can never be satisfied");
+  return region_end_;
+}
+
+void MtaMachine::post_advance(u32 tid, Cycle now) {
+  ThreadState* ts = threads_[tid];
+  if (ts->pending.kind == OpKind::kDone) {
+    on_finish(tid, now);
+  } else {
+    ts->status = ThreadState::Status::kRunnable;
+    events_.push(now, kReady, tid);
+  }
+}
+
+void MtaMachine::on_ready(u32 tid, Cycle now) {
+  ThreadState* ts = threads_[tid];
+  Processor& proc = procs_[ts->processor];
+  proc.ready_fifo.push_back(tid);
+  if (!proc.issue_scheduled) {
+    proc.issue_scheduled = true;
+    events_.push(std::max(now, proc.clock), kIssue, ts->processor);
+  }
+}
+
+void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
+  Processor& proc = procs_[proc_id];
+  if (proc.ready_fifo.empty()) {
+    proc.issue_scheduled = false;
+    return;
+  }
+  const u32 tid = proc.ready_fifo.front();
+  proc.ready_fifo.pop_front();
+  ThreadState* ts = threads_[tid];
+  Operation& op = ts->pending;
+
+  switch (op.kind) {
+    case OpKind::kCompute: {
+      const i64 slots = std::max<i64>(op.value, 1);
+      proc.clock = now + slots;
+      stats_.instructions += slots;
+      ts->instructions += slots;
+      ts->status = ThreadState::Status::kWaitMemory;  // occupied until t+slots
+      events_.push(proc.clock, kComplete, tid);
+      break;
+    }
+    case OpKind::kLoad:
+    case OpKind::kStore:
+    case OpKind::kFetchAdd: {
+      proc.clock = now + 1;
+      stats_.instructions += 1;
+      stats_.memory_ops += 1;
+      ts->instructions += 1;
+      ts->memory_ops += 1;
+      if (op.kind == OpKind::kLoad) ++stats_.loads;
+      if (op.kind == OpKind::kStore) ++stats_.stores;
+      if (op.kind == OpKind::kFetchAdd) ++stats_.fetch_adds;
+      ts->status = ThreadState::Status::kWaitMemory;
+      events_.push(service_memory(op, now, ts->processor), kComplete, tid);
+      break;
+    }
+    case OpKind::kReadFF:
+    case OpKind::kReadFE:
+    case OpKind::kWriteEF: {
+      proc.clock = now + 1;
+      stats_.instructions += 1;
+      stats_.memory_ops += 1;
+      stats_.sync_ops += 1;
+      ts->instructions += 1;
+      ts->memory_ops += 1;
+      ts->status = ThreadState::Status::kWaitMemory;
+      attempt_sync(tid, now + 1 + net_half_);
+      break;
+    }
+    case OpKind::kBarrier: {
+      proc.clock = now + 1;
+      stats_.instructions += 1;
+      ts->instructions += 1;
+      barrier_arrive(tid, now);
+      break;
+    }
+    case OpKind::kNone:
+    case OpKind::kDone:
+      AG_CHECK(false, "invalid operation reached the issue stage");
+  }
+
+  if (!proc.ready_fifo.empty()) {
+    events_.push(proc.clock, kIssue, proc_id);
+  } else {
+    proc.issue_scheduled = false;
+  }
+}
+
+Cycle MtaMachine::numa_penalty(usize bank, u32 proc) const {
+  if (config_.nonuniform_extra == 0) {
+    return 0;
+  }
+  const u32 owner =
+      static_cast<u32>(bank / config_.banks_per_processor);
+  return owner == proc ? 0 : config_.nonuniform_extra / 2;  // per direction
+}
+
+Cycle MtaMachine::service_memory(Operation& op, Cycle issue_time, u32 proc) {
+  const usize bank = bank_of(op.addr);
+  const Cycle extra = numa_penalty(bank, proc);
+  const Cycle arrival = issue_time + 1 + net_half_ + extra;
+  const Cycle start = std::max(arrival, bank_free_[bank]);
+  bank_free_[bank] = start + 1;
+  // Data effect applied at service (event order == issue order, so
+  // fetch-add sequences are deterministic).
+  switch (op.kind) {
+    case OpKind::kLoad:
+      op.result = memory_.read(op.addr);
+      break;
+    case OpKind::kStore:
+      memory_.write(op.addr, op.value);
+      memory_.set_full(op.addr, true);
+      break;
+    case OpKind::kFetchAdd: {
+      const i64 old = memory_.read(op.addr);
+      memory_.write(op.addr, old + op.value);
+      op.result = old;
+      break;
+    }
+    default:
+      AG_CHECK(false, "service_memory() on a non-memory op");
+  }
+  return start + 1 + net_half_ + extra;
+}
+
+void MtaMachine::attempt_sync(u32 tid, Cycle arrival) {
+  ThreadState* ts = threads_[tid];
+  Operation& op = ts->pending;
+  const usize bank = bank_of(op.addr);
+  const Cycle extra = numa_penalty(bank, ts->processor);
+  const Cycle start = std::max(arrival + extra, bank_free_[bank]);
+  bank_free_[bank] = start + 1;
+
+  const bool full = memory_.full(op.addr);
+  bool satisfied = false;
+  switch (op.kind) {
+    case OpKind::kReadFF:
+      if (full) {
+        op.result = memory_.read(op.addr);
+        satisfied = true;
+      }
+      break;
+    case OpKind::kReadFE:
+      if (full) {
+        op.result = memory_.read(op.addr);
+        memory_.set_full(op.addr, false);
+        satisfied = true;
+      }
+      break;
+    case OpKind::kWriteEF:
+      if (!full) {
+        memory_.write(op.addr, op.value);
+        memory_.set_full(op.addr, true);
+        satisfied = true;
+      }
+      break;
+    default:
+      AG_CHECK(false, "attempt_sync() on a non-sync op");
+  }
+
+  if (satisfied) {
+    // A tag flip may unblock waiters of the opposite polarity.
+    if (op.kind != OpKind::kReadFF) {
+      wake_waiters(op.addr, start + 1);
+    }
+    ts->status = ThreadState::Status::kWaitMemory;
+    events_.push(start + 1 + net_half_ + extra, kComplete, tid);
+  } else {
+    ts->status = ThreadState::Status::kWaitSync;
+    sync_waiters_[op.addr].push_back(tid);
+  }
+}
+
+void MtaMachine::wake_waiters(Addr addr, Cycle now) {
+  const auto it = sync_waiters_.find(addr);
+  if (it == sync_waiters_.end() || it->second.empty()) {
+    return;
+  }
+  // Re-arbitrate every waiter in FIFO order; each recheck consumes a bank
+  // cycle in attempt_sync — the retry traffic that makes hotspots hurt.
+  std::deque<u32> woken = std::move(it->second);
+  sync_waiters_.erase(it);
+  for (const u32 tid : woken) {
+    stats_.sync_retries += 1;
+    events_.push(now, kRetry, tid);
+  }
+}
+
+void MtaMachine::barrier_arrive(u32 tid, Cycle now) {
+  ThreadState* ts = threads_[tid];
+  ts->status = ThreadState::Status::kWaitBarrier;
+  barrier_waiting_.push_back(tid);
+  barrier_max_arrival_ = std::max(barrier_max_arrival_, now);
+  maybe_release_barrier();
+}
+
+void MtaMachine::maybe_release_barrier() {
+  if (static_cast<i64>(barrier_waiting_.size()) != live_ || live_ == 0) {
+    return;
+  }
+  const Cycle release = barrier_max_arrival_ + config_.barrier_overhead;
+  for (const u32 tid : barrier_waiting_) {
+    threads_[tid]->pending.result = 0;
+    threads_[tid]->status = ThreadState::Status::kWaitMemory;
+    events_.push(release, kComplete, tid);
+  }
+  barrier_waiting_.clear();
+  barrier_max_arrival_ = 0;
+  stats_.barriers += 1;
+}
+
+void MtaMachine::on_finish(u32 tid, Cycle now) {
+  ThreadState* ts = threads_[tid];
+  ts->status = ThreadState::Status::kFinished;
+  --live_;
+  region_end_ = std::max(region_end_, now);
+  Processor& proc = procs_[ts->processor];
+  if (!proc.admission_queue.empty()) {
+    const u32 next = proc.admission_queue.front();
+    proc.admission_queue.pop_front();
+    threads_[next]->advance();
+    post_advance(next, now);
+  } else {
+    --proc.streams_in_use;
+  }
+  // A finished thread no longer participates in barriers.
+  maybe_release_barrier();
+}
+
+}  // namespace archgraph::sim

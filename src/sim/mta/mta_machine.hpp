@@ -1,0 +1,124 @@
+// Cycle-approximate model of the Cray MTA-2 (paper §2.2).
+//
+// What is modelled, and the paper sentence it comes from:
+//   * p processors, 128 hardware streams each; "a processor switches among
+//     its streams every cycle, executing instructions from non-blocked
+//     streams" — one issue slot per processor per cycle, granted to ready
+//     streams; threads beyond the stream count wait for a free stream.
+//   * "no local memory and no data caches ... parallelism, not caches, is
+//     used to tolerate memory latency" — every memory operation costs one
+//     issue slot and completes after the network+memory round trip
+//     (~memory_latency cycles, default 100); the issuing thread blocks, the
+//     processor does not.
+//   * "logical memory addresses are hashed across physical memory to avoid
+//     stride-induced hotspots" — banks are selected by an avalanche hash of
+//     the address (a config switch disables hashing for the ablation bench);
+//     each bank retires one operation per cycle, so concentrated access to
+//     one word serializes — the paper's "hotspot".
+//   * "one tag bit (the full-and-empty bit) is used to implement synchronous
+//     load/store operations; a synchronous load/store retries until it
+//     succeeds" — readff/readfe/writeef check the tag at the bank; an
+//     unsatisfied access parks on a per-word wait list and re-arbitrates
+//     (consuming bank slots) whenever the tag flips.
+//   * "a machine instruction, int_fetch_add ... takes one cycle" — one issue
+//     slot, atomic read-modify-write during its bank cycle.
+//
+// Not modelled (documented in DESIGN.md §6): the 3-wide LIW instruction
+// format and 8-deep per-stream lookahead. Each costed operation is a
+// single-issue instruction; kernels therefore need slightly more concurrency
+// than real MTA code for full utilization, which only strengthens the
+// paper's "performance is a function of parallelism" point.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "sim/event_queue.hpp"
+#include "sim/machine.hpp"
+
+namespace archgraph::sim {
+
+struct MtaConfig {
+  u32 processors = 1;
+  u32 streams_per_processor = 128;
+  /// Round-trip memory latency in cycles, excluding bank queuing ("about 100
+  /// cycles", §2.2).
+  Cycle memory_latency = 100;
+  /// Hashed memory banks per processor; each retires 1 op/cycle. Deep enough
+  /// that hashed traffic does not convoy even when all 128 streams issue in
+  /// lockstep — the MTA-2's stated memory constraint is the network's one
+  /// word per processor per cycle (enforced by the issue model), not bank
+  /// count. A single hot word still serializes: one word lives in one bank.
+  u32 banks_per_processor = 512;
+  /// Cost of entering a parallel region (runtime creates/maps the threads).
+  Cycle region_fork_cycles = 256;
+  /// Extra cycles between the last barrier arrival and the release.
+  Cycle barrier_overhead = 64;
+  /// Disable to reproduce stride-induced hotspots (ablation).
+  bool hash_addresses = true;
+  /// Extra round-trip latency when a memory operation's bank belongs to a
+  /// different processor's memory. 0 = the MTA-2's flat memory ("all memory
+  /// is equidistant from all processors"). A positive value models the §6
+  /// outlook — "in 2005 Cray will build a third-generation multithreaded
+  /// architecture [from] commodity parts; the memory system will not be as
+  /// flat" (the Eldorado/XMT direction) — which bench/ablation_xmt studies.
+  Cycle nonuniform_extra = 0;
+  double clock_hz = 220e6;  // the MTA-2's 220 MHz
+};
+
+class MtaMachine final : public Machine {
+ public:
+  explicit MtaMachine(MtaConfig config = {});
+
+  u32 processors() const override { return config_.processors; }
+  double clock_hz() const override { return config_.clock_hz; }
+  i64 concurrency() const override {
+    return static_cast<i64>(config_.processors) *
+           config_.streams_per_processor;
+  }
+  const MtaConfig& config() const { return config_; }
+
+ protected:
+  Cycle simulate(std::vector<std::unique_ptr<ThreadState>>& threads) override;
+
+ private:
+  enum EventKind : u32 { kReady, kIssue, kComplete, kRetry };
+
+  struct Processor {
+    std::deque<u32> ready_fifo;
+    std::deque<u32> admission_queue;  // threads waiting for a stream slot
+    u32 streams_in_use = 0;
+    bool issue_scheduled = false;
+    Cycle clock = 0;  // next cycle this processor may issue
+  };
+
+  // Per-region simulation helpers (operate on region_ state).
+  void on_ready(u32 tid, Cycle now);
+  void handle_issue(u32 proc, Cycle now);
+  void post_advance(u32 tid, Cycle now);
+  void on_finish(u32 tid, Cycle now);
+  Cycle service_memory(Operation& op, Cycle issue_time, u32 proc);
+  void attempt_sync(u32 tid, Cycle arrival);
+  /// One-way extra network cycles if `bank` is not local to `proc`.
+  Cycle numa_penalty(usize bank, u32 proc) const;
+  void wake_waiters(Addr addr, Cycle now);
+  void barrier_arrive(u32 tid, Cycle now);
+  void maybe_release_barrier();
+  usize bank_of(Addr addr) const;
+
+  MtaConfig config_;
+  Cycle net_half_;  // one-way network latency
+
+  // Region-scoped state (reset by simulate()).
+  std::vector<ThreadState*> threads_;
+  std::vector<Processor> procs_;
+  std::vector<Cycle> bank_free_;
+  std::unordered_map<Addr, std::deque<u32>> sync_waiters_;
+  std::vector<u32> barrier_waiting_;
+  Cycle barrier_max_arrival_ = 0;
+  i64 live_ = 0;
+  Cycle region_end_ = 0;
+  EventQueue events_;
+};
+
+}  // namespace archgraph::sim

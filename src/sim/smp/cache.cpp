@@ -1,0 +1,68 @@
+#include "sim/smp/cache.hpp"
+
+#include "common/check.hpp"
+
+namespace archgraph::sim {
+
+Cache::Cache(u64 size_bytes, u64 line_bytes, u32 ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  AG_CHECK(line_bytes >= kWordBytes && (line_bytes & (line_bytes - 1)) == 0,
+           "line size must be a power of two >= one word");
+  AG_CHECK(ways >= 1, "need at least one way");
+  AG_CHECK(size_bytes % (line_bytes * ways) == 0,
+           "cache size must divide into sets");
+  sets_ = size_bytes / (line_bytes * ways);
+  AG_CHECK(sets_ >= 1, "cache too small for its associativity");
+  slots_.assign(static_cast<usize>(sets_) * ways_, Way{});
+}
+
+Cache::AccessResult Cache::access(u64 line, bool write) {
+  const usize base = set_base(line);
+  ++tick_;
+  usize victim = base;
+  for (usize w = base; w < base + ways_; ++w) {
+    if (slots_[w].line == line) {
+      slots_[w].lru = tick_;
+      slots_[w].dirty = slots_[w].dirty || write;
+      return AccessResult{.hit = true};
+    }
+    if (slots_[victim].line != kInvalid &&
+        (slots_[w].line == kInvalid || slots_[w].lru < slots_[victim].lru)) {
+      victim = w;
+    }
+  }
+  AccessResult result;
+  if (slots_[victim].line != kInvalid) {
+    result.evicted = true;
+    result.evicted_line = slots_[victim].line;
+    result.evicted_dirty = slots_[victim].dirty;
+  }
+  slots_[victim] = Way{.line = line, .lru = tick_, .dirty = write};
+  return result;
+}
+
+bool Cache::contains(u64 line) const {
+  const usize base = set_base(line);
+  for (usize w = base; w < base + ways_; ++w) {
+    if (slots_[w].line == line) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::invalidate(u64 line) {
+  const usize base = set_base(line);
+  for (usize w = base; w < base + ways_; ++w) {
+    if (slots_[w].line == line) {
+      const bool dirty = slots_[w].dirty;
+      slots_[w] = Way{};
+      return dirty;
+    }
+  }
+  return false;
+}
+
+void Cache::clear() { slots_.assign(slots_.size(), Way{}); }
+
+}  // namespace archgraph::sim

@@ -1,0 +1,67 @@
+// Set-associative cache model (timing only — data lives in SimMemory).
+//
+// Tracks tags, dirty bits and LRU order so the SMP machine can classify each
+// access as L1 hit / L2 hit / memory fill and charge the right latency. A
+// direct-mapped cache is ways == 1 (the E4500's 16 KB L1 is direct-mapped).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/types.hpp"
+
+namespace archgraph::sim {
+
+class Cache {
+ public:
+  /// size_bytes must be a multiple of line_bytes * ways; line_bytes a power
+  /// of two.
+  Cache(u64 size_bytes, u64 line_bytes, u32 ways);
+
+  u64 line_bytes() const { return line_bytes_; }
+  u64 num_sets() const { return sets_; }
+
+  /// Line index of a simulated word address.
+  u64 line_of(Addr word_addr) const {
+    return word_addr * kWordBytes / line_bytes_;
+  }
+
+  struct AccessResult {
+    bool hit = false;
+    bool evicted = false;
+    u64 evicted_line = 0;
+    bool evicted_dirty = false;
+  };
+
+  /// Looks up `line`; on a miss, installs it (evicting the LRU way).
+  /// `write` marks the line dirty.
+  AccessResult access(u64 line, bool write);
+
+  bool contains(u64 line) const;
+
+  /// Removes `line` if present; returns true iff it was present and dirty.
+  bool invalidate(u64 line);
+
+  /// Drops every line (region boundaries do not flush; tests use this).
+  void clear();
+
+ private:
+  struct Way {
+    u64 line = kInvalid;
+    u64 lru = 0;
+    bool dirty = false;
+  };
+  static constexpr u64 kInvalid = ~u64{0};
+
+  usize set_base(u64 line) const {
+    return static_cast<usize>(line % sets_) * ways_;
+  }
+
+  u64 line_bytes_;
+  u64 sets_;
+  u32 ways_;
+  u64 tick_ = 0;  // global LRU clock
+  std::vector<Way> slots_;  // sets_ * ways_, set-major
+};
+
+}  // namespace archgraph::sim

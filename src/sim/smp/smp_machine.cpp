@@ -1,0 +1,402 @@
+#include "sim/smp/smp_machine.hpp"
+
+#include <algorithm>
+
+namespace archgraph::sim {
+
+SmpMachine::SmpMachine(SmpConfig config) : config_(config) {
+  AG_CHECK(config_.processors >= 1 && config_.processors <= 32,
+           "the sharer bitmask supports up to 32 processors");
+  // One line size keeps coherence single-granularity (DESIGN.md §6).
+  procs_.reserve(config_.processors);
+  for (u32 i = 0; i < config_.processors; ++i) {
+    procs_.emplace_back(
+        Cache(config_.l1_bytes, config_.line_bytes, config_.l1_ways),
+        Cache(config_.l2_bytes, config_.line_bytes, config_.l2_ways));
+  }
+}
+
+Cycle SmpMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
+  threads_.clear();
+  threads_.reserve(threads.size());
+  for (auto& t : threads) {
+    threads_.push_back(t.get());
+  }
+  // Caches and the directory stay warm across regions (phases of one
+  // algorithm see each other's cached data); per-region clocks restart.
+  for (auto& proc : procs_) {
+    proc.ready_fifo.clear();
+    proc.running = kNone;
+    proc.last_ran = kNone;
+    proc.dispatch_scheduled = false;
+    proc.oversubscribed = false;
+    proc.clock = 0;
+    proc.quantum_used = 0;
+  }
+  sync_waiters_.clear();
+  barrier_waiting_.clear();
+  barrier_max_arrival_ = 0;
+  bus_free_ = 0;
+  live_ = static_cast<i64>(threads_.size());
+  region_end_ = 0;
+  AG_CHECK(events_.empty(), "stale events from a previous region");
+
+  std::vector<u32> assigned(config_.processors, 0);
+  for (u32 tid = 0; tid < threads_.size(); ++tid) {
+    ThreadState* ts = threads_[tid];
+    ts->processor = tid % config_.processors;
+    ++assigned[ts->processor];
+    ts->advance();
+    if (ts->pending.kind == OpKind::kDone) {
+      on_finish(tid, config_.region_fork_cycles);
+    } else {
+      enqueue_ready(tid, config_.region_fork_cycles);
+    }
+  }
+  for (u32 i = 0; i < config_.processors; ++i) {
+    procs_[i].oversubscribed = assigned[i] > 1;
+  }
+
+  while (!events_.empty()) {
+    const Event e = events_.pop();
+    switch (static_cast<EventKind>(e.kind)) {
+      case kDispatch:
+        handle_dispatch(static_cast<u32>(e.payload), e.time);
+        break;
+      case kWake:
+        enqueue_ready(static_cast<u32>(e.payload), e.time);
+        break;
+    }
+  }
+
+  AG_CHECK(live_ == 0,
+           "SMP simulation deadlocked: threads wait on full/empty tags or a "
+           "barrier that can never be satisfied");
+  return region_end_;
+}
+
+void SmpMachine::enqueue_ready(u32 tid, Cycle now) {
+  ThreadState* ts = threads_[tid];
+  ts->status = ThreadState::Status::kRunnable;
+  Processor& proc = procs_[ts->processor];
+  proc.ready_fifo.push_back(tid);
+  if (!proc.dispatch_scheduled) {
+    proc.dispatch_scheduled = true;
+    events_.push(std::max(now, proc.clock), kDispatch, ts->processor);
+  }
+}
+
+void SmpMachine::handle_dispatch(u32 proc_id, Cycle now) {
+  Processor& proc = procs_[proc_id];
+  if (proc.running == kNone) {
+    if (proc.ready_fifo.empty()) {
+      proc.dispatch_scheduled = false;
+      return;
+    }
+    proc.running = proc.ready_fifo.front();
+    proc.ready_fifo.pop_front();
+    if (proc.oversubscribed && proc.last_ran != kNone &&
+        proc.last_ran != proc.running) {
+      proc.clock = std::max(proc.clock, now) + config_.context_switch;
+      ++stats_.context_switches;
+    }
+    proc.last_ran = proc.running;
+    proc.quantum_used = 0;
+  }
+
+  const u32 tid = proc.running;
+  ThreadState* ts = threads_[tid];
+  const Cycle start = std::max(now, proc.clock);
+  const Cycle completion = execute_op(tid, start);
+
+  if (completion < 0) {
+    // Thread blocked (sync wait or barrier). execute_op advanced proc.clock
+    // past the failed probe; the processor moves on.
+    proc.running = kNone;
+    if (!proc.ready_fifo.empty()) {
+      events_.push(proc.clock, kDispatch, proc_id);
+    } else {
+      proc.dispatch_scheduled = false;
+    }
+    return;
+  }
+
+  proc.clock = completion;
+  proc.quantum_used += completion - start;
+  ts->advance();
+
+  if (ts->pending.kind == OpKind::kDone) {
+    on_finish(tid, completion);
+    proc.running = kNone;
+    if (!proc.ready_fifo.empty()) {
+      events_.push(completion, kDispatch, proc_id);
+    } else {
+      proc.dispatch_scheduled = false;
+    }
+    return;
+  }
+
+  if (proc.quantum_used >= config_.quantum && !proc.ready_fifo.empty()) {
+    proc.ready_fifo.push_back(tid);
+    proc.running = kNone;
+  }
+  events_.push(completion, kDispatch, proc_id);
+}
+
+Cycle SmpMachine::bus_transaction(Cycle request, Cycle occupancy) {
+  const Cycle start = std::max(request, bus_free_);
+  bus_free_ = start + occupancy;
+  stats_.bus_busy += occupancy;
+  return start;
+}
+
+void SmpMachine::invalidate_remote(u64 line, u32 writer) {
+  const auto it = directory_.find(line);
+  if (it == directory_.end()) {
+    return;
+  }
+  const u32 mask = it->second;
+  for (u32 j = 0; j < config_.processors; ++j) {
+    if (j == writer || (mask & (u32{1} << j)) == 0) {
+      continue;
+    }
+    bool dirty = procs_[j].l1.invalidate(line);
+    dirty = procs_[j].l2.invalidate(line) || dirty;
+    ++stats_.invalidations;
+    if (dirty) {
+      ++stats_.interventions;
+    }
+  }
+  it->second = u32{1} << writer;
+}
+
+Cycle SmpMachine::data_access_cost(Processor& proc, u32 proc_id,
+                                   const Operation& op, Cycle start) {
+  const u64 line = proc.l1.line_of(op.addr);
+  const bool write = op.kind == OpKind::kStore;
+  const u32 my_bit = u32{1} << proc_id;
+
+  auto coherence = [&]() -> Cycle {
+    const auto it = directory_.find(line);
+    if (write && it != directory_.end() && (it->second & ~my_bit) != 0) {
+      invalidate_remote(line, proc_id);
+      return config_.coherence_penalty;
+    }
+    return 0;
+  };
+
+  const Cache::AccessResult l1 = proc.l1.access(line, write);
+  if (l1.hit) {
+    ++stats_.l1_hits;
+    return config_.l1_latency + coherence();
+  }
+  // L1 victim writes back into L2 (on-module, no bus).
+  if (l1.evicted && l1.evicted_dirty) {
+    const Cache::AccessResult spill = proc.l2.access(l1.evicted_line, true);
+    if (spill.evicted && spill.evicted_dirty) {
+      bus_transaction(start, config_.bus_occupancy);
+      ++stats_.writebacks;
+    }
+  }
+
+  const Cache::AccessResult l2 = proc.l2.access(line, write);
+  if (l2.hit) {
+    ++stats_.l2_hits;
+    return config_.l2_latency + coherence();
+  }
+  if (l2.evicted && l2.evicted_dirty) {
+    bus_transaction(start + config_.l2_latency, config_.bus_occupancy);
+    ++stats_.writebacks;
+  }
+
+  // Fill from main memory over the shared bus.
+  ++stats_.mem_fills;
+  const Cycle bus_start =
+      bus_transaction(start + config_.l2_latency, config_.bus_occupancy);
+  directory_[line] |= my_bit;
+  if (write) {
+    // Store-buffer semantics: the CPU retires the store without waiting for
+    // the line; bandwidth and coherence were charged above/below.
+    return config_.store_miss_cost + coherence();
+  }
+  return (bus_start - start) + config_.memory_latency + coherence();
+}
+
+void SmpMachine::apply_data_effect(Operation& op) {
+  switch (op.kind) {
+    case OpKind::kLoad:
+      op.result = memory_.read(op.addr);
+      break;
+    case OpKind::kStore:
+      memory_.write(op.addr, op.value);
+      memory_.set_full(op.addr, true);
+      break;
+    case OpKind::kFetchAdd: {
+      const i64 old = memory_.read(op.addr);
+      memory_.write(op.addr, old + op.value);
+      op.result = old;
+      break;
+    }
+    default:
+      AG_CHECK(false, "apply_data_effect() on a non-data op");
+  }
+}
+
+Cycle SmpMachine::execute_op(u32 tid, Cycle start) {
+  ThreadState* ts = threads_[tid];
+  Processor& proc = procs_[ts->processor];
+  Operation& op = ts->pending;
+
+  switch (op.kind) {
+    case OpKind::kCompute: {
+      const i64 slots = std::max<i64>(op.value, 1);
+      stats_.instructions += slots;
+      ts->instructions += slots;
+      return start + slots;
+    }
+    case OpKind::kLoad:
+    case OpKind::kStore: {
+      stats_.instructions += 1;
+      stats_.memory_ops += 1;
+      ts->instructions += 1;
+      ts->memory_ops += 1;
+      if (op.kind == OpKind::kLoad) ++stats_.loads;
+      if (op.kind == OpKind::kStore) ++stats_.stores;
+      const Cycle cost = data_access_cost(proc, ts->processor, op, start);
+      apply_data_effect(op);
+      return start + cost;
+    }
+    case OpKind::kFetchAdd: {
+      stats_.instructions += 1;
+      stats_.memory_ops += 1;
+      stats_.fetch_adds += 1;
+      ts->instructions += 1;
+      ts->memory_ops += 1;
+      // Locked bus RMW bypassing the caches; every cached copy is stale.
+      const u64 line = proc.l1.line_of(op.addr);
+      for (u32 j = 0; j < config_.processors; ++j) {
+        procs_[j].l1.invalidate(line);
+        procs_[j].l2.invalidate(line);
+      }
+      directory_.erase(line);
+      const Cycle bus_start = bus_transaction(start, config_.bus_occupancy);
+      apply_data_effect(op);
+      return bus_start + config_.rmw_cost;
+    }
+    case OpKind::kReadFF:
+    case OpKind::kReadFE:
+    case OpKind::kWriteEF: {
+      // Emulated with a locked probe of the tag word (the paper's point:
+      // SMPs have no hardware full/empty support, so this is expensive).
+      stats_.instructions += 1;
+      stats_.memory_ops += 1;
+      stats_.sync_ops += 1;
+      ts->instructions += 1;
+      ts->memory_ops += 1;
+      const Cycle bus_start = bus_transaction(start, config_.bus_occupancy);
+      const Cycle probe_end = bus_start + config_.rmw_cost;
+      const bool full = memory_.full(op.addr);
+      bool satisfied = false;
+      switch (op.kind) {
+        case OpKind::kReadFF:
+          if (full) {
+            op.result = memory_.read(op.addr);
+            satisfied = true;
+          }
+          break;
+        case OpKind::kReadFE:
+          if (full) {
+            op.result = memory_.read(op.addr);
+            memory_.set_full(op.addr, false);
+            satisfied = true;
+          }
+          break;
+        case OpKind::kWriteEF:
+          if (!full) {
+            memory_.write(op.addr, op.value);
+            memory_.set_full(op.addr, true);
+            satisfied = true;
+          }
+          break;
+        default:
+          break;
+      }
+      if (satisfied) {
+        if (op.kind != OpKind::kReadFF) {
+          wake_sync_waiters(op.addr, probe_end);
+        }
+        return probe_end;
+      }
+      ts->status = ThreadState::Status::kWaitSync;
+      sync_waiters_[op.addr].push_back(tid);
+      proc.clock = probe_end;  // the failed probe still held the processor
+      return -1;
+    }
+    case OpKind::kBarrier: {
+      stats_.instructions += 1;
+      ts->instructions += 1;
+      // Arrival = one ticket RMW on the barrier counter.
+      const Cycle bus_start = bus_transaction(start, config_.bus_occupancy);
+      const Cycle arrival = bus_start + config_.rmw_cost;
+      proc.clock = arrival;
+      barrier_arrive(tid, arrival);
+      return -1;
+    }
+    case OpKind::kNone:
+    case OpKind::kDone:
+      AG_CHECK(false, "invalid operation reached execute_op()");
+  }
+  return -1;  // unreachable
+}
+
+void SmpMachine::wake_sync_waiters(Addr addr, Cycle now) {
+  const auto it = sync_waiters_.find(addr);
+  if (it == sync_waiters_.end() || it->second.empty()) {
+    return;
+  }
+  std::deque<u32> woken = std::move(it->second);
+  sync_waiters_.erase(it);
+  for (const u32 tid : woken) {
+    stats_.sync_retries += 1;
+    events_.push(now, kWake, tid);
+  }
+}
+
+void SmpMachine::barrier_arrive(u32 tid, Cycle arrival) {
+  threads_[tid]->status = ThreadState::Status::kWaitBarrier;
+  barrier_waiting_.push_back(tid);
+  barrier_max_arrival_ = std::max(barrier_max_arrival_, arrival);
+  maybe_release_barrier();
+}
+
+void SmpMachine::maybe_release_barrier() {
+  if (static_cast<i64>(barrier_waiting_.size()) != live_ || live_ == 0) {
+    return;
+  }
+  const Cycle release = barrier_max_arrival_ + config_.barrier_base +
+                        config_.barrier_per_proc * config_.processors;
+  // Detach the wait list first: on_finish() below re-enters this function.
+  std::vector<u32> released = std::move(barrier_waiting_);
+  barrier_waiting_.clear();
+  barrier_max_arrival_ = 0;
+  stats_.barriers += 1;
+  for (const u32 tid : released) {
+    ThreadState* ts = threads_[tid];
+    ts->pending.result = 0;
+    ts->advance();  // step past the barrier; next op runs when dispatched
+    if (ts->pending.kind == OpKind::kDone) {
+      on_finish(tid, release);
+    } else {
+      events_.push(release, kWake, tid);
+    }
+  }
+}
+
+void SmpMachine::on_finish(u32 tid, Cycle now) {
+  threads_[tid]->status = ThreadState::Status::kFinished;
+  --live_;
+  region_end_ = std::max(region_end_, now);
+  maybe_release_barrier();
+}
+
+}  // namespace archgraph::sim

@@ -1,0 +1,137 @@
+// Cycle-approximate model of a bus-based symmetric multiprocessor
+// (paper §2.1; calibrated to the Sun E4500 / 400 MHz UltraSPARC II testbed).
+//
+// The architectural contrast with the MTA model is a single line of code
+// deep: on the SMP a memory operation occupies its *processor* for the full
+// access latency (in-order cache microprocessor, no latency hiding), whereas
+// on the MTA it occupies one issue slot and only blocks the issuing stream.
+// Everything the paper says about the two machines' behaviour on irregular
+// kernels follows from that difference plus the cache hierarchy:
+//   * L1: small, direct-mapped, on-chip ("16 Kbytes direct-mapped", 1-2
+//     cycle latency);
+//   * L2: "4 Mbytes external cache", tens of cycles;
+//   * main memory behind a shared bus: "bandwidth falls off to 1-2 GB/s and
+//     latency increases to hundreds of cycles"; transfers occupy the bus, so
+//     concurrent misses queue;
+//   * coherence: write-invalidate at line granularity (a write to a line
+//     another processor caches invalidates the remote copies — making the
+//     D[D[v]] pointer chases of Shiloach–Vishkin ping-pong);
+//   * "no hardware support for synchronization": barriers are software, cost
+//     grows with p; full/empty emulation spins on locked bus RMWs.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "sim/event_queue.hpp"
+#include "sim/machine.hpp"
+#include "sim/smp/cache.hpp"
+
+namespace archgraph::sim {
+
+struct SmpConfig {
+  u32 processors = 1;
+
+  u64 l1_bytes = 16 * 1024;
+  u32 l1_ways = 1;  // direct-mapped
+  Cycle l1_latency = 2;
+
+  u64 l2_bytes = 4 * 1024 * 1024;
+  u32 l2_ways = 4;
+  Cycle l2_latency = 22;
+
+  /// Both caches use one line size so coherence has a single granularity.
+  /// 64 B = the UltraSPARC-II E-cache block size.
+  u64 line_bytes = 64;
+
+  /// Memory latency beyond L2, unloaded (the "hundreds of cycles" regime:
+  /// ~425 ns at 400 MHz).
+  Cycle memory_latency = 170;
+  /// Bus cycles one 64 B line transfer occupies: 12 cycles at 400 MHz is
+  /// ~2 GB/s, the paper's "1 to 2 GB per second" main-memory bandwidth.
+  Cycle bus_occupancy = 12;
+  /// Processor-visible cost of a store that misses cache: the store buffer
+  /// absorbs it and the fill happens in the background (bus + coherence are
+  /// still charged to the system), so the CPU does not stall for the line.
+  Cycle store_miss_cost = 6;
+  /// Locked read-modify-write (atomic fetch-add, barrier arrival ticket).
+  Cycle rmw_cost = 90;
+  /// Extra cycles charged to a write that must invalidate remote copies.
+  Cycle coherence_penalty = 25;
+
+  /// Software barrier: release = max arrival + base + per_proc * p.
+  Cycle barrier_base = 300;
+  Cycle barrier_per_proc = 120;
+
+  /// Oversubscription (more threads than processors): OS-like round-robin.
+  Cycle context_switch = 3000;
+  Cycle quantum = 50000;
+
+  /// Thread-pool region launch (pthread wakeup, not thread creation).
+  Cycle region_fork_cycles = 3000;
+
+  double clock_hz = 400e6;  // 400 MHz UltraSPARC II
+};
+
+class SmpMachine final : public Machine {
+ public:
+  explicit SmpMachine(SmpConfig config = {});
+
+  u32 processors() const override { return config_.processors; }
+  double clock_hz() const override { return config_.clock_hz; }
+  i64 concurrency() const override { return config_.processors; }
+  const SmpConfig& config() const { return config_; }
+
+ protected:
+  Cycle simulate(std::vector<std::unique_ptr<ThreadState>>& threads) override;
+
+ private:
+  enum EventKind : u32 { kDispatch, kWake };
+  static constexpr u32 kNone = ~u32{0};
+
+  struct Processor {
+    Processor(Cache l1_cache, Cache l2_cache)
+        : l1(std::move(l1_cache)), l2(std::move(l2_cache)) {}
+
+    Cache l1;
+    Cache l2;
+    std::deque<u32> ready_fifo;
+    u32 running = kNone;
+    u32 last_ran = kNone;
+    bool dispatch_scheduled = false;
+    bool oversubscribed = false;
+    Cycle clock = 0;
+    Cycle quantum_used = 0;
+  };
+
+  void handle_dispatch(u32 proc_id, Cycle now);
+  void enqueue_ready(u32 tid, Cycle now);
+  /// Executes the thread's pending op starting at `start`; returns its
+  /// completion time, or -1 if the thread blocked (sync wait / barrier).
+  Cycle execute_op(u32 tid, Cycle start);
+  Cycle data_access_cost(Processor& proc, u32 proc_id, const Operation& op,
+                         Cycle start);
+  Cycle bus_transaction(Cycle request, Cycle occupancy);
+  void invalidate_remote(u64 line, u32 writer);
+  void apply_data_effect(Operation& op);
+  void barrier_arrive(u32 tid, Cycle arrival);
+  void maybe_release_barrier();
+  void wake_sync_waiters(Addr addr, Cycle now);
+  void on_finish(u32 tid, Cycle now);
+
+  SmpConfig config_;
+
+  // Region-scoped state.
+  std::vector<ThreadState*> threads_;
+  std::vector<Processor> procs_;
+  std::unordered_map<u64, u32> directory_;  // line -> sharer bitmask
+  std::unordered_map<Addr, std::deque<u32>> sync_waiters_;
+  std::vector<u32> barrier_waiting_;
+  Cycle barrier_max_arrival_ = 0;
+  Cycle bus_free_ = 0;
+  i64 live_ = 0;
+  Cycle region_end_ = 0;
+  EventQueue events_;
+};
+
+}  // namespace archgraph::sim

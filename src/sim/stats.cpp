@@ -1,0 +1,35 @@
+#include "sim/stats.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace archgraph::sim {
+
+std::string MachineStats::summary(u32 processors) const {
+  std::ostringstream os;
+  os << "cycles:            " << cycles << '\n'
+     << "instructions:      " << instructions << '\n'
+     << "utilization:       " << std::fixed << std::setprecision(1)
+     << 100.0 * utilization(processors) << "%\n"
+     << "memory ops:        " << memory_ops << " (" << loads << " ld, "
+     << stores << " st, " << fetch_adds << " fa, " << sync_ops << " sync)\n"
+     << "sync retries:      " << sync_retries << '\n'
+     << "barriers:          " << barriers << '\n'
+     << "regions/threads:   " << regions << " / " << threads << '\n';
+  if (l1_hits + l2_hits + mem_fills > 0) {
+    const double total =
+        static_cast<double>(l1_hits + l2_hits + mem_fills);
+    os << "L1 hits:           " << l1_hits << " ("
+       << 100.0 * static_cast<double>(l1_hits) / total << "%)\n"
+       << "L2 hits:           " << l2_hits << '\n'
+       << "memory fills:      " << mem_fills << '\n'
+       << "writebacks:        " << writebacks << '\n'
+       << "invalidations:     " << invalidations << '\n'
+       << "interventions:     " << interventions << '\n'
+       << "bus busy cycles:   " << bus_busy << '\n'
+       << "context switches:  " << context_switches << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace archgraph::sim

@@ -1,0 +1,45 @@
+// Statistics collected by the machine models.
+#pragma once
+
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace archgraph::sim {
+
+struct MachineStats {
+  // Issue-side counters (both machines).
+  i64 instructions = 0;  // issue slots consumed (ALU + memory issues)
+  i64 memory_ops = 0;    // loads + stores + fetch-adds + sync ops
+  i64 loads = 0;
+  i64 stores = 0;
+  i64 fetch_adds = 0;
+  i64 sync_ops = 0;      // readff/readfe/writeef issued
+  i64 sync_retries = 0;  // tag re-checks after a wake (MTA) / RMW spins (SMP)
+  i64 barriers = 0;      // barrier episodes completed
+  i64 regions = 0;       // parallel regions simulated
+  i64 threads = 0;       // threads simulated (across regions)
+  Cycle cycles = 0;      // simulated cycles, summed across regions
+
+  // SMP cache hierarchy counters (zero on the MTA — it has no caches).
+  i64 l1_hits = 0;
+  i64 l2_hits = 0;
+  i64 mem_fills = 0;       // line fills from main memory
+  i64 writebacks = 0;      // dirty evictions to main memory
+  i64 invalidations = 0;   // coherence invalidations sent
+  i64 interventions = 0;   // dirty-remote supplies
+  i64 context_switches = 0;
+  Cycle bus_busy = 0;      // cycles the shared bus was occupied
+
+  /// Table 1's statistic: issued instructions / (processors x cycles).
+  double utilization(u32 processors) const {
+    if (cycles <= 0 || processors == 0) return 0.0;
+    return static_cast<double>(instructions) /
+           (static_cast<double>(cycles) * processors);
+  }
+
+  /// Multi-line human-readable dump (used by examples and --verbose benches).
+  std::string summary(u32 processors) const;
+};
+
+}  // namespace archgraph::sim

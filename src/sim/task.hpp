@@ -1,0 +1,154 @@
+// The simulated-thread coroutine type and its operation awaitables.
+//
+// A kernel is an ordinary C++20 coroutine:
+//
+//   SimThread worker(Ctx ctx, Args...) {
+//     i64 v = co_await ctx.load(a);     // 1 issue slot + memory latency
+//     co_await ctx.compute(3);          // 3 ALU instructions
+//     co_await ctx.store(b, v + 1);     // 1 issue slot + memory latency
+//   }
+//
+// Between co_awaits the coroutine runs host-native at zero simulated cost, so
+// by convention every kernel charges its ALU work explicitly with compute().
+// The same kernel runs unchanged on the MTA and SMP machine models — only the
+// per-operation timing differs. This is the machine-neutral program
+// representation the whole reproduction rests on.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+
+#include "common/types.hpp"
+#include "sim/types.hpp"
+
+namespace archgraph::sim {
+
+/// Per-thread bookkeeping owned by the machine. The coroutine communicates
+/// with its machine exclusively through `pending`.
+struct ThreadState {
+  enum class Status : u8 {
+    kRunnable,    // has a pending op awaiting issue
+    kWaitMemory,  // op in flight
+    kWaitSync,    // blocked on a full/empty tag
+    kWaitBarrier,
+    kFinished,
+  };
+
+  std::coroutine_handle<> handle;
+  Operation pending;
+  Status status = Status::kRunnable;
+  std::exception_ptr error;
+
+  u32 id = 0;         // dense thread index within the region
+  u32 processor = 0;  // assigned by the machine at admission
+
+  // Per-thread statistics (aggregated into machine stats at region end).
+  i64 instructions = 0;
+  i64 memory_ops = 0;
+
+  /// Resumes the coroutine until its next operation (or completion).
+  /// Afterwards `pending.kind` is the new op, or kDone.
+  void advance();
+};
+
+/// Coroutine return object. The machine takes ownership of the handle at
+/// spawn; a SimThread that is never adopted destroys its frame on destruction.
+class SimThread {
+ public:
+  struct promise_type {
+    ThreadState* state = nullptr;
+
+    SimThread get_return_object() {
+      return SimThread{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept {
+      if (state != nullptr) {
+        state->pending = Operation{.kind = OpKind::kDone};
+      }
+      return {};
+    }
+    void return_void() {}
+    void unhandled_exception() {
+      if (state != nullptr) {
+        state->error = std::current_exception();
+        state->pending = Operation{.kind = OpKind::kDone};
+      } else {
+        throw;  // no machine attached: propagate immediately
+      }
+    }
+  };
+
+  SimThread() = default;
+  explicit SimThread(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  SimThread(SimThread&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = nullptr;
+  }
+  SimThread& operator=(SimThread&& other) noexcept;
+  SimThread(const SimThread&) = delete;
+  SimThread& operator=(const SimThread&) = delete;
+  ~SimThread();
+
+  /// Transfers the frame to `state` (machine adoption): the promise learns
+  /// its ThreadState and this object releases ownership.
+  std::coroutine_handle<> bind(ThreadState* state);
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// Awaitable returned by every Ctx operation.
+struct OpAwaiter {
+  ThreadState* ts;
+  Operation op;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<>) noexcept { ts->pending = op; }
+  i64 await_resume() const noexcept { return ts->pending.result; }
+};
+
+/// Thread-side handle used inside kernels to issue operations.
+class Ctx {
+ public:
+  Ctx() = default;
+  explicit Ctx(ThreadState* ts) : ts_(ts) {}
+
+  /// Dense id of this thread within its region (0-based spawn order).
+  u32 thread_id() const { return ts_->id; }
+
+  OpAwaiter load(Addr a) const {
+    return {ts_, {.kind = OpKind::kLoad, .addr = a}};
+  }
+  OpAwaiter store(Addr a, i64 v) const {
+    return {ts_, {.kind = OpKind::kStore, .addr = a, .value = v}};
+  }
+  /// MTA readff: wait for full, read, leave full.
+  OpAwaiter read_ff(Addr a) const {
+    return {ts_, {.kind = OpKind::kReadFF, .addr = a}};
+  }
+  /// MTA readfe: wait for full, read, set empty (consumes the value).
+  OpAwaiter read_fe(Addr a) const {
+    return {ts_, {.kind = OpKind::kReadFE, .addr = a}};
+  }
+  /// MTA writeef: wait for empty, write, set full.
+  OpAwaiter write_ef(Addr a, i64 v) const {
+    return {ts_, {.kind = OpKind::kWriteEF, .addr = a, .value = v}};
+  }
+  /// int_fetch_add: atomic add at the bank; returns the old value.
+  OpAwaiter fetch_add(Addr a, i64 delta) const {
+    return {ts_, {.kind = OpKind::kFetchAdd, .addr = a, .value = delta}};
+  }
+  /// `slots` ALU instructions (each one issue slot / cycle).
+  OpAwaiter compute(i64 slots = 1) const {
+    return {ts_, {.kind = OpKind::kCompute, .value = slots}};
+  }
+  /// Region-wide barrier over all still-live threads.
+  OpAwaiter barrier() const { return {ts_, {.kind = OpKind::kBarrier}}; }
+
+ private:
+  ThreadState* ts_ = nullptr;
+};
+
+}  // namespace archgraph::sim

@@ -1,0 +1,41 @@
+// Basic types shared by the architecture simulators.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace archgraph::sim {
+
+/// Simulated word address. Simulated memory is word-addressed (one word =
+/// 64 data bits + tag bits, as on the MTA); byte granularity only matters to
+/// the SMP cache model, which converts via kWordBytes.
+using Addr = u64;
+
+inline constexpr u64 kWordBytes = 8;
+
+/// Simulated clock cycle.
+using Cycle = i64;
+
+/// Operations a simulated thread can issue. Every operation consumes issue
+/// slots on its processor and possibly memory/bus time; the machine models
+/// decide the costs.
+enum class OpKind : u8 {
+  kNone,
+  kLoad,      // ordinary load, ignores tag bits
+  kStore,     // ordinary store, sets the word full
+  kReadFF,    // MTA readff: wait until full, read, leave full
+  kReadFE,    // MTA readfe: wait until full, read, set empty
+  kWriteEF,   // MTA writeef: wait until empty, write, set full
+  kFetchAdd,  // int_fetch_add: atomic add at the memory bank, returns old
+  kCompute,   // `value` ALU instructions (1 issue slot each)
+  kBarrier,   // wait for all live threads of the region
+  kDone,      // internal: coroutine finished
+};
+
+struct Operation {
+  OpKind kind = OpKind::kNone;
+  Addr addr = 0;
+  i64 value = 0;   // store value / fetch-add delta / compute slot count
+  i64 result = 0;  // load result / fetch-add old value
+};
+
+}  // namespace archgraph::sim

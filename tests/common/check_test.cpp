@@ -1,0 +1,38 @@
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace archgraph {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(AG_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsLogicError) {
+  EXPECT_THROW(AG_CHECK(false, "custom message"), std::logic_error);
+}
+
+TEST(Check, MessageContainsExpressionAndText) {
+  try {
+    AG_CHECK(2 < 1, "two is not less than one");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsOptional) {
+  try {
+    AG_CHECK(false);
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("false"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace archgraph

@@ -1,0 +1,127 @@
+#include "common/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+namespace archgraph {
+namespace {
+
+TEST(Prng, DeterministicForSeed) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Prng rng(7);
+  for (u64 bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Prng, BelowOneIsAlwaysZero) {
+  Prng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(Prng, BelowRejectsZeroBound) {
+  Prng rng(3);
+  EXPECT_THROW(rng.below(0), std::logic_error);
+}
+
+TEST(Prng, RangeInclusive) {
+  Prng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const i64 v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Prng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Prng, BelowIsRoughlyUniform) {
+  Prng rng(17);
+  constexpr u64 kBuckets = 8;
+  i64 counts[kBuckets] = {};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.below(kBuckets)];
+  }
+  for (i64 c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 8.0, kDraws * 0.01);
+  }
+}
+
+TEST(Prng, PermutationIsPermutation) {
+  Prng rng(23);
+  const auto perm = rng.permutation(257);
+  std::set<NodeId> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 257u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 256);
+}
+
+TEST(Prng, PermutationEmptyAndSingleton) {
+  Prng rng(29);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto one = rng.permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0);
+}
+
+TEST(Prng, ShuffleKeepsMultiset) {
+  Prng rng(31);
+  std::vector<int> data{1, 2, 2, 3, 5, 8, 13};
+  auto sorted = data;
+  rng.shuffle(std::span<int>{data});
+  std::sort(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(data, sorted);
+}
+
+TEST(Hash64, AvalanchesAndIsDeterministic) {
+  EXPECT_EQ(hash64(12345), hash64(12345));
+  EXPECT_NE(hash64(1), hash64(2));
+  // Consecutive inputs should differ in many bits (weak avalanche check).
+  int total_flips = 0;
+  for (u64 x = 0; x < 64; ++x) {
+    total_flips += std::popcount(hash64(x) ^ hash64(x + 1));
+  }
+  EXPECT_GT(total_flips / 64, 20);
+}
+
+}  // namespace
+}  // namespace archgraph

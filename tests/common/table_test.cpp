@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace archgraph {
+namespace {
+
+TEST(Table, RendersAlignedText) {
+  Table t({"name", "n", "secs"}, 2);
+  t.row().add("ordered").add(i64{1024}).add(0.125);
+  t.row().add("random").add(i64{2048}).add(1.5);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("ordered"), std::string::npos);
+  EXPECT_NE(text.find("0.12"), std::string::npos);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripsSimpleCells) {
+  Table t({"a", "b"});
+  t.row().add(i64{1}).add("x");
+  EXPECT_EQ(t.to_csv(), "a,b\n1,x\n");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t({"a"});
+  t.row().add("hello, \"world\"");
+  EXPECT_EQ(t.to_csv(), "a\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().add(i64{1});
+  EXPECT_THROW(t.add(i64{2}), std::logic_error);
+}
+
+TEST(Table, RejectsIncompleteRow) {
+  Table t({"a", "b"});
+  t.row().add(i64{1});
+  EXPECT_THROW(t.row(), std::logic_error);
+}
+
+TEST(Table, RejectsAddWithoutRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.add(i64{1}), std::logic_error);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().add(i64{1});
+  t.row().add(i64{2});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace archgraph

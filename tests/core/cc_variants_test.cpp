@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/concomp/concomp.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+
+namespace archgraph::core {
+namespace {
+
+using graph::EdgeList;
+
+EdgeList family(int id, u64 seed) {
+  switch (id) {
+    case 0: return graph::path_graph(128);
+    case 1: return graph::cycle_graph(129);
+    case 2: return graph::star_graph(128);
+    case 3: return graph::binary_tree(127);
+    case 4: return graph::mesh2d(11, 13);
+    case 5: return graph::complete_graph(20);
+    case 6: return graph::random_graph(400, 1600, seed);
+    case 7: return graph::random_graph(400, 220, seed);  // disconnected
+    case 8: return graph::disjoint_random_graphs(50, 110, 5, seed);
+    case 9: return graph::rmat_graph(256, 1024, 0.6, 0.15, 0.15, seed);
+    case 10: return EdgeList(12);  // isolated vertices only
+    case 11: return EdgeList(1);
+    default: throw std::logic_error("bad family");
+  }
+}
+
+class CcVariantFamilies
+    : public ::testing::TestWithParam<std::tuple<int, u64>> {};
+
+TEST_P(CcVariantFamilies, AwerbuchShiloachMatchesUnionFind) {
+  const auto [fam, seed] = GetParam();
+  const EdgeList g = family(fam, seed);
+  rt::ThreadPool pool(4);
+  SvStats stats;
+  const auto labels = cc_awerbuch_shiloach(pool, g, &stats);
+  EXPECT_EQ(labels, cc_union_find(g));
+  EXPECT_GE(stats.iterations, 1);
+  EXPECT_TRUE(graph::validate::is_components_labeling(g, labels));
+}
+
+TEST_P(CcVariantFamilies, RandomMatingMatchesUnionFind) {
+  const auto [fam, seed] = GetParam();
+  const EdgeList g = family(fam, seed);
+  rt::ThreadPool pool(4);
+  SvStats stats;
+  const auto labels = cc_random_mating(pool, g, /*seed=*/seed * 31 + 7, &stats);
+  EXPECT_EQ(labels, cc_union_find(g));
+  EXPECT_GE(stats.iterations, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, CcVariantFamilies,
+                         ::testing::Combine(::testing::Range(0, 12),
+                                            ::testing::Values<u64>(1, 2)));
+
+TEST(CcVariants, AllFourAlgorithmsAgree) {
+  rt::ThreadPool pool(4);
+  for (u64 seed = 0; seed < 5; ++seed) {
+    const EdgeList g = graph::random_graph(300, 400, seed);
+    const auto truth = cc_union_find(g);
+    EXPECT_EQ(cc_shiloach_vishkin(pool, g), truth) << seed;
+    EXPECT_EQ(cc_awerbuch_shiloach(pool, g), truth) << seed;
+    EXPECT_EQ(cc_random_mating(pool, g, seed), truth) << seed;
+  }
+}
+
+TEST(CcRandomMating, DifferentSeedsSameAnswer) {
+  rt::ThreadPool pool(2);
+  const EdgeList g = graph::random_graph(200, 500, 3);
+  const auto truth = cc_union_find(g);
+  for (u64 seed = 10; seed < 16; ++seed) {
+    EXPECT_EQ(cc_random_mating(pool, g, seed), truth);
+  }
+}
+
+TEST(CcRandomMating, ConvergesOnAdversarialPath) {
+  // A long path is the slowest structure for mating-style algorithms: each
+  // round merges only coin-flip-adjacent pairs.
+  rt::ThreadPool pool(4);
+  SvStats stats;
+  const auto labels =
+      cc_random_mating(pool, graph::path_graph(2048), 5, &stats);
+  EXPECT_EQ(labels, cc_union_find(graph::path_graph(2048)));
+  EXPECT_LE(stats.iterations, 80);  // ~log_{4/3}(n) expected, generous cap
+}
+
+TEST(CcAwerbuchShiloach, IterationCountIsLogarithmic) {
+  rt::ThreadPool pool(4);
+  SvStats small_stats, large_stats;
+  cc_awerbuch_shiloach(pool, graph::path_graph(256), &small_stats);
+  cc_awerbuch_shiloach(pool, graph::path_graph(4096), &large_stats);
+  // 16x the size should cost only a few more iterations.
+  EXPECT_LE(large_stats.iterations, small_stats.iterations + 12);
+}
+
+}  // namespace
+}  // namespace archgraph::core

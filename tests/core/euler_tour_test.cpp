@@ -1,0 +1,162 @@
+#include "core/euler/euler_tour.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <tuple>
+
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+
+namespace archgraph::core {
+namespace {
+
+using graph::EdgeList;
+
+void expect_tree_functions_consistent(const TreeFunctions& f,
+                                      const EdgeList& tree, NodeId root) {
+  const auto n = tree.num_vertices();
+  ASSERT_EQ(static_cast<NodeId>(f.parent.size()), n);
+  EXPECT_EQ(f.parent[static_cast<usize>(root)], kNilNode);
+  EXPECT_EQ(f.depth[static_cast<usize>(root)], 0);
+  EXPECT_EQ(f.preorder[static_cast<usize>(root)], 0);
+  EXPECT_EQ(f.subtree_size[static_cast<usize>(root)], n);
+
+  i64 size_sum = 0;
+  std::vector<bool> preorder_seen(static_cast<usize>(n), false);
+  for (NodeId v = 0; v < n; ++v) {
+    size_sum += f.subtree_size[static_cast<usize>(v)];
+    ASSERT_GE(f.preorder[static_cast<usize>(v)], 0);
+    ASSERT_LT(f.preorder[static_cast<usize>(v)], n);
+    EXPECT_FALSE(preorder_seen[static_cast<usize>(
+        f.preorder[static_cast<usize>(v)])])
+        << "duplicate preorder";
+    preorder_seen[static_cast<usize>(f.preorder[static_cast<usize>(v)])] =
+        true;
+    if (v != root) {
+      const NodeId p = f.parent[static_cast<usize>(v)];
+      ASSERT_NE(p, kNilNode);
+      EXPECT_EQ(f.depth[static_cast<usize>(v)],
+                f.depth[static_cast<usize>(p)] + 1);
+      EXPECT_GT(f.preorder[static_cast<usize>(v)],
+                f.preorder[static_cast<usize>(p)]);
+      EXPECT_LT(f.subtree_size[static_cast<usize>(v)],
+                f.subtree_size[static_cast<usize>(p)]);
+    }
+  }
+  // Sum of subtree sizes = sum over v of (depth(v)+1).
+  i64 depth_sum = 0;
+  for (NodeId v = 0; v < n; ++v) depth_sum += f.depth[static_cast<usize>(v)] + 1;
+  EXPECT_EQ(size_sum, depth_sum);
+}
+
+TEST(BuildEulerTour, PathTour) {
+  const EdgeList tree = graph::path_graph(4);
+  const EulerTour tour = build_euler_tour(tree, 0);
+  EXPECT_EQ(tour.arcs.size(), 6);
+  EXPECT_TRUE(graph::validate::is_valid_list(tour.arcs));
+  // First arc leaves the root.
+  EXPECT_EQ(tour.arc_source[static_cast<usize>(tour.arcs.head)], 0);
+}
+
+TEST(BuildEulerTour, RejectsNonTrees) {
+  EXPECT_THROW(build_euler_tour(graph::cycle_graph(4), 0), std::logic_error);
+  // Right edge count but disconnected (two components).
+  EdgeList g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // duplicate edge, vertex 2-3 isolated
+  g.add_edge(2, 3);
+  EXPECT_THROW(build_euler_tour(g, 0), std::logic_error);
+}
+
+TEST(BuildEulerTour, RejectsSingleVertex) {
+  EXPECT_THROW(build_euler_tour(EdgeList(1), 0), std::logic_error);
+}
+
+class EulerFamilies
+    : public ::testing::TestWithParam<std::tuple<int, NodeId>> {
+ protected:
+  EdgeList make_tree() const {
+    switch (std::get<0>(GetParam())) {
+      case 0: return graph::path_graph(50);
+      case 1: return graph::star_graph(50);
+      case 2: return graph::binary_tree(63);
+      case 3: return graph::random_tree(200, 5);
+      case 4: return graph::random_tree(199, 6);
+      case 5: return graph::caterpillar(10, 4);
+      case 6: return graph::path_graph(2);
+      default: throw std::logic_error("bad family");
+    }
+  }
+};
+
+TEST_P(EulerFamilies, ParallelMatchesSequentialWalk) {
+  const EdgeList tree = make_tree();
+  const NodeId root = std::get<1>(GetParam()) % tree.num_vertices();
+  rt::ThreadPool pool(4);
+  const TreeFunctions par = tree_functions_euler(pool, tree, root);
+  const TreeFunctions seq = tree_functions_sequential(tree, root);
+  EXPECT_EQ(par.parent, seq.parent);
+  EXPECT_EQ(par.depth, seq.depth);
+  EXPECT_EQ(par.preorder, seq.preorder);
+  EXPECT_EQ(par.subtree_size, seq.subtree_size);
+  expect_tree_functions_consistent(par, tree, root);
+}
+
+INSTANTIATE_TEST_SUITE_P(Trees, EulerFamilies,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Values<NodeId>(0, 1,
+                                                                      17)));
+
+TEST(TreeFunctions, SingleVertexTree) {
+  rt::ThreadPool pool(2);
+  const TreeFunctions f = tree_functions_euler(pool, EdgeList(1), 0);
+  EXPECT_EQ(f.parent, (std::vector<NodeId>{kNilNode}));
+  EXPECT_EQ(f.subtree_size, (std::vector<i64>{1}));
+}
+
+TEST(TreeFunctions, KnownBinaryTreeValues) {
+  //      0
+  //    1   2
+  //   3 4 5 6
+  rt::ThreadPool pool(2);
+  const TreeFunctions f =
+      tree_functions_euler(pool, graph::binary_tree(7), 0);
+  EXPECT_EQ(f.parent, (std::vector<NodeId>{kNilNode, 0, 0, 1, 1, 2, 2}));
+  EXPECT_EQ(f.depth, (std::vector<i64>{0, 1, 1, 2, 2, 2, 2}));
+  EXPECT_EQ(f.subtree_size, (std::vector<i64>{7, 3, 3, 1, 1, 1, 1}));
+}
+
+TEST(TreeFunctions, DeepPathDoesNotOverflowAnything) {
+  rt::ThreadPool pool(4);
+  const NodeId n = 20000;
+  const TreeFunctions f = tree_functions_euler(pool, graph::path_graph(n), 0);
+  EXPECT_EQ(f.depth[static_cast<usize>(n - 1)], n - 1);
+  EXPECT_EQ(f.subtree_size[0], n);
+  EXPECT_EQ(f.preorder[static_cast<usize>(n - 1)], n - 1);
+}
+
+TEST(TreeFunctions, RootChoiceChangesOrientation) {
+  rt::ThreadPool pool(2);
+  const EdgeList path = graph::path_graph(5);
+  const TreeFunctions from_left = tree_functions_euler(pool, path, 0);
+  const TreeFunctions from_right = tree_functions_euler(pool, path, 4);
+  EXPECT_EQ(from_left.depth[4], 4);
+  EXPECT_EQ(from_right.depth[0], 4);
+  EXPECT_EQ(from_left.parent[4], 3);
+  EXPECT_EQ(from_right.parent[3], 4);
+}
+
+TEST(TreeFunctions, RandomTreesAgainstManySeeds) {
+  rt::ThreadPool pool(4);
+  for (u64 seed = 0; seed < 6; ++seed) {
+    const EdgeList tree = graph::random_tree(500, seed);
+    const TreeFunctions par = tree_functions_euler(pool, tree, 0);
+    const TreeFunctions seq = tree_functions_sequential(tree, 0);
+    ASSERT_EQ(par.parent, seq.parent) << "seed " << seed;
+    ASSERT_EQ(par.subtree_size, seq.subtree_size) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace archgraph::core

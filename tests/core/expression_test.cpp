@@ -1,0 +1,113 @@
+#include "core/exprtree/expression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace archgraph::core {
+namespace {
+
+using Op = ExpressionTree::Op;
+
+/// (3 + 4) * 5 built by hand.
+ExpressionTree hand_tree() {
+  ExpressionTree t;
+  t.op = {Op::kMul, Op::kAdd, Op::kLeaf, Op::kLeaf, Op::kLeaf};
+  t.left = {1, 2, kNilNode, kNilNode, kNilNode};
+  t.right = {4, 3, kNilNode, kNilNode, kNilNode};
+  t.value = {0, 0, 3, 4, 5};
+  t.root = 0;
+  return t;
+}
+
+TEST(EvaluateSequential, HandTree) {
+  EXPECT_EQ(evaluate_sequential(hand_tree()), 35);
+}
+
+TEST(EvaluateByContraction, HandTree) {
+  rt::ThreadPool pool(2);
+  EXPECT_EQ(evaluate_by_contraction(pool, hand_tree()), 35);
+}
+
+TEST(EvaluateBoth, SingleLeaf) {
+  ExpressionTree t;
+  t.op = {Op::kLeaf};
+  t.left = {kNilNode};
+  t.right = {kNilNode};
+  t.value = {42};
+  t.root = 0;
+  rt::ThreadPool pool(2);
+  EXPECT_EQ(evaluate_sequential(t), 42);
+  EXPECT_EQ(evaluate_by_contraction(pool, t), 42);
+}
+
+TEST(EvaluateBoth, TwoLeaves) {
+  ExpressionTree t;
+  t.op = {Op::kAdd, Op::kLeaf, Op::kLeaf};
+  t.left = {1, kNilNode, kNilNode};
+  t.right = {2, kNilNode, kNilNode};
+  t.value = {0, 30, 12};
+  t.root = 0;
+  rt::ThreadPool pool(2);
+  EXPECT_EQ(evaluate_sequential(t), 42);
+  EXPECT_EQ(evaluate_by_contraction(pool, t), 42);
+}
+
+TEST(RandomExpression, BuildsFullBinaryTree) {
+  const ExpressionTree t = random_expression(100, 3);
+  EXPECT_EQ(t.size(), 199);
+  i64 leaves = 0;
+  for (NodeId v = 0; v < t.size(); ++v) {
+    if (t.is_leaf(v)) {
+      ++leaves;
+      EXPECT_EQ(t.left[static_cast<usize>(v)], kNilNode);
+    } else {
+      EXPECT_NE(t.left[static_cast<usize>(v)], kNilNode);
+      EXPECT_NE(t.right[static_cast<usize>(v)], kNilNode);
+    }
+  }
+  EXPECT_EQ(leaves, 100);
+}
+
+TEST(RandomExpression, DeterministicInSeed) {
+  const ExpressionTree a = random_expression(50, 7);
+  const ExpressionTree b = random_expression(50, 7);
+  EXPECT_EQ(evaluate_sequential(a), evaluate_sequential(b));
+  EXPECT_EQ(a.value, b.value);
+}
+
+class ContractionSweep
+    : public ::testing::TestWithParam<std::tuple<i64, u64, double>> {};
+
+TEST_P(ContractionSweep, MatchesSequential) {
+  const auto [leaves, seed, skew] = GetParam();
+  const ExpressionTree t = random_expression(leaves, seed, skew);
+  rt::ThreadPool pool(4);
+  EXPECT_EQ(evaluate_by_contraction(pool, t), evaluate_sequential(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ContractionSweep,
+    ::testing::Combine(::testing::Values<i64>(1, 2, 3, 5, 17, 100, 2047,
+                                              5000),
+                       ::testing::Values<u64>(1, 2, 3),
+                       ::testing::Values(0.5, 0.05, 0.95)));
+
+TEST(Contraction, DeepSkewedTreeDoesNotRecurse) {
+  // 50k-leaf caterpillar: sequential recursion would overflow the stack;
+  // both our evaluators are iterative/parallel.
+  const ExpressionTree t = random_expression(50'000, 5, 0.98);
+  rt::ThreadPool pool(4);
+  EXPECT_EQ(evaluate_by_contraction(pool, t), evaluate_sequential(t));
+}
+
+TEST(Contraction, ValuesAreReducedModuloP) {
+  rt::ThreadPool pool(2);
+  const ExpressionTree t = random_expression(1000, 9);
+  const i64 v = evaluate_by_contraction(pool, t);
+  EXPECT_GE(v, 0);
+  EXPECT_LT(v, t.modulus);
+}
+
+}  // namespace
+}  // namespace archgraph::core

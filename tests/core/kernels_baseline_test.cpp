@@ -1,0 +1,119 @@
+// Correctness + architectural sanity of the simulated baseline programs
+// (sequential list ranking, Wyllie, sequential union-find).
+#include <gtest/gtest.h>
+
+#include "core/concomp/concomp.hpp"
+#include "core/experiment.hpp"
+#include "core/kernels/kernels.hpp"
+#include "core/listrank/listrank.hpp"
+#include "graph/generators.hpp"
+#include "graph/linked_list.hpp"
+
+namespace archgraph::core {
+namespace {
+
+class SeqRankSweep : public ::testing::TestWithParam<i64> {};
+
+TEST_P(SeqRankSweep, SequentialKernelCorrectOnBothMachines) {
+  const i64 n = GetParam();
+  const graph::LinkedList list = graph::random_list(n, static_cast<u64>(n));
+  const auto expected = rank_sequential(list);
+  sim::SmpMachine smp;
+  EXPECT_EQ(sim_rank_list_sequential(smp, list), expected);
+  sim::MtaMachine mta;
+  EXPECT_EQ(sim_rank_list_sequential(mta, list), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SeqRankSweep,
+                         ::testing::Values(1, 2, 100, 4096));
+
+class WyllieSweep : public ::testing::TestWithParam<i64> {};
+
+TEST_P(WyllieSweep, WyllieKernelCorrectOnBothMachines) {
+  const i64 n = GetParam();
+  const graph::LinkedList list =
+      graph::random_list(n, static_cast<u64>(n) + 3);
+  const auto expected = rank_sequential(list);
+  sim::MtaMachine mta;
+  EXPECT_EQ(sim_rank_list_wyllie(mta, list), expected);
+  sim::SmpMachine smp(paper_smp_config(4));
+  WyllieLrParams params;
+  params.workers = 4;
+  EXPECT_EQ(sim_rank_list_wyllie(smp, list, params), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WyllieSweep,
+                         ::testing::Values(1, 2, 3, 64, 1000, 4095));
+
+TEST(SeqUnionFindKernel, CorrectAcrossFamilies) {
+  for (int fam = 0; fam < 4; ++fam) {
+    graph::EdgeList g(0);
+    switch (fam) {
+      case 0: g = graph::random_graph(200, 600, 1); break;
+      case 1: g = graph::random_graph(200, 90, 2); break;
+      case 2: g = graph::path_graph(128); break;
+      case 3: g = graph::EdgeList(7); break;
+    }
+    sim::SmpMachine smp;
+    EXPECT_EQ(sim_cc_union_find_sequential(smp, g), cc_union_find(g));
+  }
+}
+
+TEST(BaselineArchitecture, SequentialChaseIsLatencyBoundEverywhere) {
+  // One thread cannot hide latency on either machine: per-node time is ~the
+  // memory round trip, and the MTA's utilization collapses.
+  const i64 n = 1 << 14;
+  const graph::LinkedList list = graph::random_list(n, 7);
+  sim::MtaMachine mta;
+  sim_rank_list_sequential(mta, list);
+  EXPECT_LT(mta.utilization(), 0.05);
+  EXPECT_GT(mta.cycles(), n * 100);  // >= one latency per node
+
+  sim::SmpMachine smp;
+  sim_rank_list_sequential(smp, list);
+  EXPECT_GT(smp.cycles(), n * 50);
+}
+
+TEST(BaselineArchitecture, WyllieDoesMoreWorkThanWalkRanking) {
+  // O(n log n) vs O(n): at n = 2^14 Wyllie should issue several times the
+  // instructions of the walk-based kernel.
+  const graph::LinkedList list = graph::random_list(1 << 14, 9);
+  sim::MtaMachine walk_m;
+  sim_rank_list_walk(walk_m, list);
+  sim::MtaMachine wyllie_m;
+  sim_rank_list_wyllie(wyllie_m, list);
+  EXPECT_GT(wyllie_m.stats().instructions,
+            4 * walk_m.stats().instructions);
+}
+
+TEST(BaselineArchitecture, ParallelBeatsSequentialOnMtaNotViceVersa) {
+  // The paper's framing: on the MTA the parallel program crushes the
+  // sequential chase even at p = 1 (parallelism tolerates latency).
+  const graph::LinkedList list = graph::random_list(1 << 15, 11);
+  sim::MtaMachine seq_m;
+  sim_rank_list_sequential(seq_m, list);
+  sim::MtaMachine par_m;
+  sim_rank_list_walk(par_m, list);
+  EXPECT_GT(static_cast<double>(seq_m.cycles()),
+            5.0 * static_cast<double>(par_m.cycles()));
+}
+
+TEST(RegionLog, RecordsPerRegionBreakdown) {
+  sim::MtaMachine m;
+  sim_rank_list_walk(m, graph::random_list(2048, 3));
+  const auto& log = m.region_log();
+  ASSERT_GT(log.size(), 3u);  // multi-phase program
+  sim::Cycle total = 0;
+  i64 instructions = 0;
+  for (const auto& r : log) {
+    EXPECT_GT(r.threads, 0);
+    EXPECT_GE(r.cycles, 0);
+    total += r.cycles;
+    instructions += r.instructions;
+  }
+  EXPECT_EQ(total, m.cycles());
+  EXPECT_EQ(instructions, m.stats().instructions);
+}
+
+}  // namespace
+}  // namespace archgraph::core

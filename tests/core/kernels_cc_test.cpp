@@ -1,0 +1,146 @@
+// Correctness of the simulated Shiloach–Vishkin kernels on both machines.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/concomp/concomp.hpp"
+#include "core/experiment.hpp"
+#include "core/kernels/kernels.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+
+namespace archgraph::core {
+namespace {
+
+using graph::EdgeList;
+
+EdgeList family(int id) {
+  switch (id) {
+    case 0: return graph::path_graph(64);
+    case 1: return graph::cycle_graph(65);
+    case 2: return graph::star_graph(64);
+    case 3: return graph::binary_tree(63);
+    case 4: return graph::mesh2d(8, 8);
+    case 5: return graph::complete_graph(16);
+    case 6: return graph::random_graph(256, 1024, 1);
+    case 7: return graph::random_graph(256, 100, 2);  // disconnected
+    case 8: return graph::disjoint_random_graphs(32, 64, 4, 3);
+    case 9: return EdgeList(8);  // only isolated vertices
+    default: throw std::logic_error("bad family id");
+  }
+}
+
+class MtaCcFamilies
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MtaCcFamilies, MatchesUnionFind) {
+  const auto [fam, procs] = GetParam();
+  const EdgeList g = family(fam);
+  sim::MtaMachine m(paper_mta_config(static_cast<u32>(procs)));
+  const SimCcResult result = sim_cc_sv_mta(m, g);
+  EXPECT_EQ(result.labels, cc_union_find(g));
+  EXPECT_GE(result.iterations, 1);
+  EXPECT_TRUE(graph::validate::is_components_labeling(g, result.labels));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MtaCcFamilies,
+                         ::testing::Combine(::testing::Range(0, 10),
+                                            ::testing::Values(1, 4)));
+
+class SmpCcFamilies
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SmpCcFamilies, MatchesUnionFind) {
+  const auto [fam, procs] = GetParam();
+  const EdgeList g = family(fam);
+  sim::SmpMachine m(paper_smp_config(static_cast<u32>(procs)));
+  const SimCcResult result = sim_cc_sv_smp(m, g);
+  EXPECT_EQ(result.labels, cc_union_find(g));
+  EXPECT_GE(result.iterations, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SmpCcFamilies,
+                         ::testing::Combine(::testing::Range(0, 10),
+                                            ::testing::Values(1, 4)));
+
+TEST(MtaCc, CrossMachine_RunsOnSmpModel) {
+  const EdgeList g = graph::random_graph(128, 512, 5);
+  sim::SmpMachine m;
+  MtaCcParams params;
+  params.workers = 4;
+  EXPECT_EQ(sim_cc_sv_mta(m, g, params).labels, cc_union_find(g));
+}
+
+TEST(SmpCc, CrossMachine_RunsOnMtaModel) {
+  const EdgeList g = graph::random_graph(128, 512, 6);
+  sim::MtaMachine m;
+  SmpCcParams params;
+  params.threads = 32;
+  EXPECT_EQ(sim_cc_sv_smp(m, g, params).labels, cc_union_find(g));
+}
+
+TEST(MtaCc, ChunkSizesDoNotChangeAnswer) {
+  const EdgeList g = graph::random_graph(300, 1200, 7);
+  const auto truth = cc_union_find(g);
+  for (i64 chunk : {1, 5, 64, 4096}) {
+    sim::MtaMachine m;
+    MtaCcParams params;
+    params.chunk = chunk;
+    EXPECT_EQ(sim_cc_sv_mta(m, g, params).labels, truth) << "chunk " << chunk;
+  }
+}
+
+TEST(MtaCc, ScalesWithProcessors) {
+  const EdgeList g = graph::random_graph(1 << 13, 1 << 15, 8);
+  auto cycles = [&](u32 p) {
+    sim::MtaMachine m(paper_mta_config(p));
+    sim_cc_sv_mta(m, g);
+    return m.cycles();
+  };
+  EXPECT_LT(static_cast<double>(cycles(4)),
+            0.5 * static_cast<double>(cycles(1)));
+}
+
+TEST(SmpCc, ScalesWithProcessors) {
+  const EdgeList g = graph::random_graph(1 << 13, 1 << 15, 9);
+  auto cycles = [&](u32 p) {
+    sim::SmpMachine m(paper_smp_config(p));
+    sim_cc_sv_smp(m, g);
+    return m.cycles();
+  };
+  EXPECT_LT(static_cast<double>(cycles(4)),
+            0.7 * static_cast<double>(cycles(1)));
+}
+
+TEST(SimCc, IterationCountsAgreeAcrossMachines) {
+  const EdgeList g = graph::random_graph(512, 2048, 10);
+  sim::MtaMachine mta;
+  sim::SmpMachine smp;
+  const auto a = sim_cc_sv_mta(mta, g);
+  const auto b = sim_cc_sv_smp(smp, g);
+  // Different schedules may shift convergence by an iteration or two, but
+  // both must be in the same small range.
+  EXPECT_LE(std::abs(a.iterations - b.iterations), 3);
+}
+
+TEST(SimCc, StarGraphConvergesInFewIterations) {
+  sim::MtaMachine m;
+  const auto result = sim_cc_sv_mta(m, graph::star_graph(512));
+  EXPECT_LE(result.iterations, 3);
+}
+
+TEST(SimCc, PathGraphConvergesInFewIterationsWithFullShortcut) {
+  sim::MtaMachine m;
+  const auto result = sim_cc_sv_mta(m, graph::path_graph(1024));
+  EXPECT_GE(result.iterations, 2);
+  EXPECT_LE(result.iterations, 14);
+}
+
+TEST(MtaCc, UtilizationHighOnBigSparseGraph) {
+  sim::MtaMachine m;
+  sim_cc_sv_mta(m, graph::random_graph(1 << 13, 1 << 16, 11));
+  EXPECT_GT(m.utilization(), 0.80);
+}
+
+}  // namespace
+}  // namespace archgraph::core

@@ -1,0 +1,146 @@
+#include "core/listrank/listrank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "graph/validate.hpp"
+
+namespace archgraph::core {
+namespace {
+
+using graph::LinkedList;
+using graph::list_from_order;
+using graph::ordered_list;
+using graph::random_list;
+
+TEST(RankSequential, OrderedIsIdentity) {
+  EXPECT_EQ(rank_sequential(ordered_list(8)),
+            (std::vector<i64>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(RankSequential, MatchesTraversalReference) {
+  const LinkedList list = random_list(999, 5);
+  EXPECT_EQ(rank_sequential(list), graph::ranks_by_traversal(list));
+}
+
+TEST(RankSequential, RejectsBrokenList) {
+  LinkedList bad;
+  bad.head = 0;
+  bad.next = {1, 0};
+  EXPECT_THROW(rank_sequential(bad), std::logic_error);
+}
+
+TEST(PrefixListSequential, SumsValuesAlongList) {
+  const LinkedList list = list_from_order({1, 0, 2});
+  const std::vector<i64> values{10, 100, 1};  // indexed by slot
+  const auto prefix = prefix_list_sequential(list, values,
+                                             [](i64 a, i64 b) { return a + b; });
+  // List order: slot1(100), slot0(10), slot2(1).
+  EXPECT_EQ(prefix[1], 100);
+  EXPECT_EQ(prefix[0], 110);
+  EXPECT_EQ(prefix[2], 111);
+}
+
+TEST(PrefixListSequential, MaxOperator) {
+  const LinkedList list = ordered_list(5);
+  const std::vector<i64> values{3, 1, 4, 1, 5};
+  const auto prefix = prefix_list_sequential(
+      list, values, [](i64 a, i64 b) { return std::max(a, b); });
+  EXPECT_EQ(prefix, (std::vector<i64>{3, 3, 4, 4, 5}));
+}
+
+struct Case {
+  i64 n;
+  bool random;
+  u64 seed;
+};
+
+class ParallelRankers
+    : public ::testing::TestWithParam<std::tuple<i64, bool, int>> {
+ protected:
+  LinkedList make_list() const {
+    const auto [n, random, seed] = GetParam();
+    return random ? random_list(n, static_cast<u64>(seed)) : ordered_list(n);
+  }
+};
+
+TEST_P(ParallelRankers, WyllieMatchesSequential) {
+  rt::ThreadPool pool(4);
+  const LinkedList list = make_list();
+  EXPECT_EQ(rank_wyllie(pool, list), rank_sequential(list));
+}
+
+TEST_P(ParallelRankers, HelmanJajaMatchesSequential) {
+  rt::ThreadPool pool(4);
+  const LinkedList list = make_list();
+  EXPECT_EQ(rank_helman_jaja(pool, list), rank_sequential(list));
+}
+
+TEST_P(ParallelRankers, CompactionMatchesSequential) {
+  rt::ThreadPool pool(4);
+  const LinkedList list = make_list();
+  CompactionParams params;
+  params.base_size = 64;  // force several recursion levels
+  params.compaction_ratio = 4;
+  EXPECT_EQ(rank_by_compaction(pool, list, params), rank_sequential(list));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndLayouts, ParallelRankers,
+    ::testing::Combine(::testing::Values<i64>(1, 2, 3, 17, 64, 1000, 8191),
+                       ::testing::Bool(), ::testing::Values(1, 2, 3)));
+
+TEST(HelmanJaja, SingleThreadPoolWorks) {
+  rt::ThreadPool pool(1);
+  const LinkedList list = random_list(500, 7);
+  EXPECT_EQ(rank_helman_jaja(pool, list), rank_sequential(list));
+}
+
+TEST(HelmanJaja, ManySublistsPerThread) {
+  rt::ThreadPool pool(2);
+  HelmanJajaParams params;
+  params.sublists_per_thread = 64;
+  const LinkedList list = random_list(2000, 9);
+  EXPECT_EQ(rank_helman_jaja(pool, list, params), rank_sequential(list));
+}
+
+TEST(HelmanJaja, MoreSublistsThanNodes) {
+  rt::ThreadPool pool(4);
+  HelmanJajaParams params;
+  params.sublists_per_thread = 100;  // 400 sublists for a 10-node list
+  const LinkedList list = random_list(10, 3);
+  EXPECT_EQ(rank_helman_jaja(pool, list, params), rank_sequential(list));
+}
+
+TEST(HelmanJaja, DifferentSeedsSameAnswer) {
+  rt::ThreadPool pool(4);
+  const LinkedList list = random_list(3000, 11);
+  const auto reference = rank_sequential(list);
+  for (u64 seed = 0; seed < 5; ++seed) {
+    HelmanJajaParams params;
+    params.seed = seed;
+    EXPECT_EQ(rank_helman_jaja(pool, list, params), reference);
+  }
+}
+
+TEST(Compaction, BaseCaseEqualsSequentialDirectly) {
+  rt::ThreadPool pool(2);
+  CompactionParams params;
+  params.base_size = 1 << 20;  // everything hits the base case
+  const LinkedList list = random_list(100, 13);
+  EXPECT_EQ(rank_by_compaction(pool, list, params), rank_sequential(list));
+}
+
+TEST(Compaction, RanksAreAlwaysPermutations) {
+  rt::ThreadPool pool(4);
+  for (u64 seed = 0; seed < 8; ++seed) {
+    const LinkedList list = random_list(777, seed);
+    const auto ranks = rank_by_compaction(pool, list);
+    EXPECT_TRUE(graph::validate::is_permutation(ranks));
+  }
+}
+
+}  // namespace
+}  // namespace archgraph::core

@@ -1,0 +1,131 @@
+#include "core/mst/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "graph/generators.hpp"
+
+namespace archgraph::core {
+namespace {
+
+using graph::EdgeList;
+
+TEST(UniqueRandomWeights, IsAPermutation) {
+  const auto w = unique_random_weights(100, 3);
+  auto sorted = w;
+  std::sort(sorted.begin(), sorted.end());
+  for (i64 i = 0; i < 100; ++i) {
+    EXPECT_EQ(sorted[static_cast<usize>(i)], i);
+  }
+}
+
+TEST(MsfKruskal, HandPickedTriangle) {
+  EdgeList g(3);
+  g.add_edge(0, 1);  // weight 5
+  g.add_edge(1, 2);  // weight 1
+  g.add_edge(0, 2);  // weight 3
+  const std::vector<i64> w{5, 1, 3};
+  const MsfResult r = msf_kruskal(g, w);
+  EXPECT_EQ(r.edge_ids, (std::vector<i64>{1, 2}));
+  EXPECT_EQ(r.total_weight, 4);
+}
+
+TEST(MsfKruskal, TreeInputKeepsEverything) {
+  const EdgeList tree = graph::random_tree(100, 1);
+  const auto w = unique_random_weights(tree.num_edges(), 2);
+  const MsfResult r = msf_kruskal(tree, w);
+  EXPECT_EQ(static_cast<i64>(r.edge_ids.size()), tree.num_edges());
+}
+
+TEST(MsfKruskal, EmptyAndEdgelessGraphs) {
+  EXPECT_TRUE(msf_kruskal(EdgeList(5), {}).edge_ids.empty());
+  EXPECT_EQ(msf_kruskal(EdgeList(5), {}).total_weight, 0);
+}
+
+class MsfFamilies : public ::testing::TestWithParam<std::tuple<int, u64>> {
+ protected:
+  EdgeList make_graph() const {
+    const u64 seed = std::get<1>(GetParam());
+    switch (std::get<0>(GetParam())) {
+      case 0: return graph::random_graph(200, 800, seed);
+      case 1: return graph::random_graph(200, 120, seed);  // disconnected
+      case 2: return graph::mesh2d(12, 12);
+      case 3: return graph::complete_graph(24);
+      case 4: return graph::cycle_graph(77);
+      case 5: return graph::random_tree(150, seed);
+      case 6: return graph::disjoint_random_graphs(40, 90, 3, seed);
+      case 7: return graph::rmat_graph(128, 512, 0.5, 0.2, 0.2, seed);
+      default: throw std::logic_error("bad family");
+    }
+  }
+};
+
+TEST_P(MsfFamilies, BoruvkaSequentialMatchesKruskal) {
+  const EdgeList g = make_graph();
+  const auto w = unique_random_weights(g.num_edges(), 99);
+  const MsfResult boruvka = msf_boruvka(g, w);
+  EXPECT_TRUE(is_minimum_spanning_forest(g, w, boruvka));
+}
+
+TEST_P(MsfFamilies, BoruvkaParallelMatchesKruskal) {
+  rt::ThreadPool pool(4);
+  const EdgeList g = make_graph();
+  const auto w = unique_random_weights(g.num_edges(), 99);
+  const MsfResult boruvka = msf_boruvka_parallel(pool, g, w);
+  EXPECT_TRUE(is_minimum_spanning_forest(g, w, boruvka));
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, MsfFamilies,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Values<u64>(1, 2)));
+
+TEST(MsfBoruvkaParallel, ManySeedsAndWeightings) {
+  rt::ThreadPool pool(4);
+  const EdgeList g = graph::random_graph(300, 900, 7);
+  for (u64 wseed = 0; wseed < 6; ++wseed) {
+    const auto w = unique_random_weights(g.num_edges(), wseed);
+    const MsfResult r = msf_boruvka_parallel(pool, g, w);
+    EXPECT_TRUE(is_minimum_spanning_forest(g, w, r)) << "wseed " << wseed;
+  }
+}
+
+TEST(IsMinimumSpanningForest, RejectsWrongAnswers) {
+  const EdgeList g = graph::complete_graph(5);
+  const auto w = unique_random_weights(g.num_edges(), 11);
+  MsfResult r = msf_kruskal(g, w);
+  EXPECT_TRUE(is_minimum_spanning_forest(g, w, r));
+
+  MsfResult cyclic = r;
+  for (i64 id = 0; id < g.num_edges(); ++id) {
+    if (std::find(cyclic.edge_ids.begin(), cyclic.edge_ids.end(), id) ==
+        cyclic.edge_ids.end()) {
+      cyclic.edge_ids.push_back(id);
+      cyclic.total_weight += w[static_cast<usize>(id)];
+      break;
+    }
+  }
+  std::sort(cyclic.edge_ids.begin(), cyclic.edge_ids.end());
+  EXPECT_FALSE(is_minimum_spanning_forest(g, w, cyclic));
+
+  MsfResult short_forest = r;
+  short_forest.total_weight -=
+      w[static_cast<usize>(short_forest.edge_ids.back())];
+  short_forest.edge_ids.pop_back();
+  EXPECT_FALSE(is_minimum_spanning_forest(g, w, short_forest));
+
+  MsfResult lying = r;
+  lying.total_weight += 1;
+  EXPECT_FALSE(is_minimum_spanning_forest(g, w, lying));
+}
+
+TEST(MsfWeights, SizeMismatchIsRejected) {
+  const EdgeList g = graph::path_graph(4);
+  const std::vector<i64> wrong{1, 2};  // needs 3
+  EXPECT_THROW(msf_kruskal(g, wrong), std::logic_error);
+  EXPECT_THROW(msf_boruvka(g, wrong), std::logic_error);
+}
+
+}  // namespace
+}  // namespace archgraph::core

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/prng.hpp"
+#include "core/listrank/listrank.hpp"
+#include "graph/linked_list.hpp"
+
+namespace archgraph::core {
+namespace {
+
+using graph::LinkedList;
+
+TEST(PrefixListHJ, RankingIsTheAllOnesSpecialCase) {
+  rt::ThreadPool pool(4);
+  const LinkedList list = graph::random_list(1000, 1);
+  const std::vector<i64> ones(1000, 1);
+  auto prefix = prefix_list_helman_jaja(pool, list, ones, i64{0},
+                                        [](i64 a, i64 b) { return a + b; });
+  // Inclusive prefix of ones = rank + 1.
+  const auto ranks = rank_sequential(list);
+  for (usize i = 0; i < prefix.size(); ++i) {
+    EXPECT_EQ(prefix[i], ranks[i] + 1);
+  }
+}
+
+class PrefixSweep : public ::testing::TestWithParam<std::tuple<i64, u64>> {};
+
+TEST_P(PrefixSweep, SumMatchesSequentialReference) {
+  const auto [n, seed] = GetParam();
+  rt::ThreadPool pool(4);
+  const LinkedList list = graph::random_list(n, seed);
+  Prng rng(seed * 7 + 1);
+  std::vector<i64> values(static_cast<usize>(n));
+  for (auto& v : values) v = rng.range(-100, 100);
+
+  const auto expected = prefix_list_sequential(
+      list, values, [](i64 a, i64 b) { return a + b; });
+  const auto actual = prefix_list_helman_jaja(
+      pool, list, values, i64{0}, [](i64 a, i64 b) { return a + b; });
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_P(PrefixSweep, MaxMatchesSequentialReference) {
+  const auto [n, seed] = GetParam();
+  rt::ThreadPool pool(4);
+  const LinkedList list = graph::random_list(n, seed);
+  Prng rng(seed * 13 + 5);
+  std::vector<i64> values(static_cast<usize>(n));
+  for (auto& v : values) v = rng.range(0, 1 << 20);
+
+  auto op = [](i64 a, i64 b) { return std::max(a, b); };
+  const auto expected = prefix_list_sequential(list, values, op);
+  const auto actual = prefix_list_helman_jaja(
+      pool, list, values, std::numeric_limits<i64>::min(), op);
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PrefixSweep,
+    ::testing::Combine(::testing::Values<i64>(1, 2, 3, 17, 500, 4096),
+                       ::testing::Values<u64>(1, 2, 3)));
+
+TEST(PrefixListHJ, NonCommutativeAssociativeOp) {
+  // 2x2 integer matrix multiply mod a prime: associative, not commutative.
+  struct Mat {
+    i64 a = 1, b = 0, c = 0, d = 1;  // identity
+    bool operator==(const Mat&) const = default;
+  };
+  constexpr i64 kMod = 1'000'000'007;
+  auto mul = [](const Mat& x, const Mat& y) {
+    return Mat{(x.a * y.a + x.b * y.c) % kMod, (x.a * y.b + x.b * y.d) % kMod,
+               (x.c * y.a + x.d * y.c) % kMod, (x.c * y.b + x.d * y.d) % kMod};
+  };
+
+  rt::ThreadPool pool(4);
+  const LinkedList list = graph::random_list(777, 9);
+  Prng rng(11);
+  std::vector<Mat> values(777);
+  for (auto& m : values) {
+    m = Mat{rng.range(0, 9), rng.range(0, 9), rng.range(0, 9),
+            rng.range(0, 9)};
+  }
+  const auto expected = prefix_list_sequential(list, values, mul);
+  const auto actual =
+      prefix_list_helman_jaja(pool, list, values, Mat{}, mul);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(PrefixListHJ, RejectsSizeMismatch) {
+  rt::ThreadPool pool(2);
+  const LinkedList list = graph::ordered_list(10);
+  const std::vector<i64> wrong(9, 1);
+  EXPECT_THROW(prefix_list_helman_jaja(pool, list, wrong, i64{0},
+                                       [](i64 a, i64 b) { return a + b; }),
+               std::logic_error);
+}
+
+TEST(PrefixListHJ, OrderedListStringLikeConcat) {
+  // Min op with identity: prefix minima along an ordered list.
+  rt::ThreadPool pool(2);
+  const LinkedList list = graph::ordered_list(6);
+  const std::vector<i64> values{5, 3, 4, 1, 2, 6};
+  auto op = [](i64 a, i64 b) { return std::min(a, b); };
+  const auto out = prefix_list_helman_jaja(
+      pool, list, values, std::numeric_limits<i64>::max(), op);
+  EXPECT_EQ(out, (std::vector<i64>{5, 3, 3, 1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace archgraph::core

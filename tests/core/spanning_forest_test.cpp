@@ -1,0 +1,112 @@
+#include "core/concomp/spanning_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/concomp/concomp.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+
+namespace archgraph::core {
+namespace {
+
+using graph::EdgeList;
+
+TEST(SpanningForestSequential, TreeKeepsAllEdges) {
+  const EdgeList tree = graph::binary_tree(63);
+  const SpanningForest f = spanning_forest_sequential(tree);
+  EXPECT_EQ(f.edges.size(), 62u);
+  EXPECT_TRUE(is_spanning_forest(tree, f));
+}
+
+TEST(SpanningForestSequential, CycleDropsOneEdge) {
+  const EdgeList cycle = graph::cycle_graph(10);
+  const SpanningForest f = spanning_forest_sequential(cycle);
+  EXPECT_EQ(f.edges.size(), 9u);
+  EXPECT_TRUE(is_spanning_forest(cycle, f));
+}
+
+TEST(SpanningForestSequential, DisconnectedGraph) {
+  const EdgeList g = graph::disjoint_random_graphs(20, 30, 5, 7);
+  const SpanningForest f = spanning_forest_sequential(g);
+  EXPECT_TRUE(is_spanning_forest(g, f));
+  const i64 components =
+      graph::validate::count_distinct_labels(cc_union_find(g));
+  EXPECT_EQ(static_cast<i64>(f.edges.size()), 100 - components);
+}
+
+TEST(SpanningForestSequential, NoEdges) {
+  const SpanningForest f = spanning_forest_sequential(EdgeList(5));
+  EXPECT_TRUE(f.edges.empty());
+  EXPECT_TRUE(is_spanning_forest(EdgeList(5), f));
+}
+
+class SvForestFamilies : public ::testing::TestWithParam<int> {};
+
+TEST_P(SvForestFamilies, ParallelForestIsValid) {
+  rt::ThreadPool pool(4);
+  EdgeList g(0);
+  switch (GetParam()) {
+    case 0: g = graph::path_graph(200); break;
+    case 1: g = graph::cycle_graph(99); break;
+    case 2: g = graph::star_graph(100); break;
+    case 3: g = graph::mesh2d(10, 10); break;
+    case 4: g = graph::complete_graph(20); break;
+    case 5: g = graph::random_graph(400, 1600, 5); break;
+    case 6: g = graph::random_graph(400, 200, 6); break;
+    case 7: g = graph::disjoint_random_graphs(40, 80, 4, 8); break;
+    default: FAIL();
+  }
+  const SpanningForest f = spanning_forest_sv(pool, g);
+  EXPECT_TRUE(is_spanning_forest(g, f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SvForestFamilies, ::testing::Range(0, 8));
+
+TEST(SpanningForestSv, RepeatedRunsStayValid) {
+  rt::ThreadPool pool(4);
+  const EdgeList g = graph::random_graph(300, 900, 21);
+  for (int run = 0; run < 5; ++run) {
+    EXPECT_TRUE(is_spanning_forest(g, spanning_forest_sv(pool, g)));
+  }
+}
+
+TEST(SpanningForestSv, LabelsMatchSequentialPartition) {
+  rt::ThreadPool pool(4);
+  const EdgeList g = graph::random_graph(500, 600, 23);
+  const SpanningForest par = spanning_forest_sv(pool, g);
+  const SpanningForest seq = spanning_forest_sequential(g);
+  EXPECT_EQ(par.labels, seq.labels);  // both min-normalized
+  EXPECT_EQ(par.edges.size(), seq.edges.size());
+}
+
+TEST(IsSpanningForest, RejectsBogusForests) {
+  const EdgeList g = graph::cycle_graph(4);
+  SpanningForest f = spanning_forest_sequential(g);
+  // Add a cycle-closing edge: no longer a forest.
+  SpanningForest cyclic = f;
+  for (const graph::Edge& e : g.edges()) {
+    bool used = false;
+    for (const graph::Edge& fe : cyclic.edges) {
+      used |= (fe == e);
+    }
+    if (!used) {
+      cyclic.edges.push_back(e);
+      break;
+    }
+  }
+  EXPECT_FALSE(is_spanning_forest(g, cyclic));
+
+  // Drop an edge: no longer spanning.
+  SpanningForest sparse = f;
+  sparse.edges.pop_back();
+  EXPECT_FALSE(is_spanning_forest(g, sparse));
+
+  // Break the labels: partition mismatch.
+  SpanningForest mislabeled = f;
+  mislabeled.labels[0] = 999 % g.num_vertices();
+  mislabeled.labels[0] = 1;  // 4-cycle is one component labeled 0
+  EXPECT_FALSE(is_spanning_forest(g, mislabeled));
+}
+
+}  // namespace
+}  // namespace archgraph::core

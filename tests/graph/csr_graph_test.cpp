@@ -1,0 +1,66 @@
+#include "graph/csr_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+
+namespace archgraph::graph {
+namespace {
+
+TEST(CsrGraph, BuildsSymmetricAdjacency) {
+  EdgeList g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  const CsrGraph csr = CsrGraph::from_edges(g);
+  EXPECT_EQ(csr.num_vertices(), 4);
+  EXPECT_EQ(csr.num_arcs(), 6);
+  EXPECT_EQ(csr.degree(0), 1);
+  EXPECT_EQ(csr.degree(1), 3);
+  EXPECT_EQ(csr.degree(2), 1);
+  auto n1 = csr.neighbors(1);
+  std::vector<NodeId> sorted(n1.begin(), n1.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(CsrGraph, SelfLoopAppearsOnce) {
+  EdgeList g(2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  const CsrGraph csr = CsrGraph::from_edges(g);
+  EXPECT_EQ(csr.degree(0), 2);  // loop once + neighbor
+  EXPECT_EQ(csr.degree(1), 1);
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph csr = CsrGraph::from_edges(EdgeList(0));
+  EXPECT_EQ(csr.num_vertices(), 0);
+  EXPECT_EQ(csr.num_arcs(), 0);
+}
+
+TEST(CsrGraph, IsolatedVerticesHaveZeroDegree) {
+  EdgeList g(5);
+  g.add_edge(1, 3);
+  const CsrGraph csr = CsrGraph::from_edges(g);
+  EXPECT_EQ(csr.degree(0), 0);
+  EXPECT_EQ(csr.degree(2), 0);
+  EXPECT_EQ(csr.degree(4), 0);
+  EXPECT_TRUE(csr.neighbors(0).empty());
+}
+
+TEST(CsrGraph, DegreeSumMatchesArcCount) {
+  const EdgeList g = random_graph(200, 800, 99);
+  const CsrGraph csr = CsrGraph::from_edges(g);
+  i64 total = 0;
+  for (NodeId v = 0; v < csr.num_vertices(); ++v) {
+    total += csr.degree(v);
+  }
+  EXPECT_EQ(total, csr.num_arcs());
+  EXPECT_EQ(total, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace archgraph::graph

@@ -1,0 +1,77 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+namespace archgraph::graph {
+namespace {
+
+TEST(EdgeList, StartsEmpty) {
+  EdgeList g(5);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(EdgeList, AddsAndReadsEdges) {
+  EdgeList g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  ASSERT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(g.edge(1), (Edge{2, 3}));
+}
+
+TEST(EdgeList, RejectsOutOfRangeEndpoints) {
+  EdgeList g(3);
+  EXPECT_THROW(g.add_edge(0, 3), std::logic_error);
+  EXPECT_THROW(g.add_edge(-1, 0), std::logic_error);
+}
+
+TEST(EdgeList, ConstructorValidatesEdges) {
+  EXPECT_THROW(EdgeList(2, {Edge{0, 5}}), std::logic_error);
+  EXPECT_NO_THROW(EdgeList(2, {Edge{0, 1}}));
+}
+
+TEST(EdgeList, SimplifyRemovesDuplicatesAndLoops) {
+  EdgeList g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // duplicate after canonicalization
+  g.add_edge(2, 2);  // self-loop
+  g.add_edge(2, 3);
+  g.add_edge(2, 3);  // duplicate
+  const i64 removed = g.simplify();
+  EXPECT_EQ(removed, 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LE(e.u, e.v);
+    EXPECT_NE(e.u, e.v);
+  }
+}
+
+TEST(EdgeList, SimplifyOnSimpleGraphIsNoop) {
+  EdgeList g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.simplify(), 0);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(EdgeList, AppendShiftedOffsetsVertices) {
+  EdgeList piece(2);
+  piece.add_edge(0, 1);
+  EdgeList g(6);
+  g.append_shifted(piece, 0);
+  g.append_shifted(piece, 2);
+  g.append_shifted(piece, 4);
+  ASSERT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.edge(1), (Edge{2, 3}));
+  EXPECT_EQ(g.edge(2), (Edge{4, 5}));
+}
+
+TEST(EdgeList, AppendShiftedValidatesRange) {
+  EdgeList piece(3);
+  EdgeList g(4);
+  EXPECT_THROW(g.append_shifted(piece, 2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace archgraph::graph

@@ -1,0 +1,71 @@
+#include "graph/linked_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/validate.hpp"
+
+namespace archgraph::graph {
+namespace {
+
+TEST(OrderedList, Structure) {
+  const LinkedList list = ordered_list(5);
+  EXPECT_EQ(list.head, 0);
+  EXPECT_EQ(list.next, (std::vector<NodeId>{1, 2, 3, 4, kNilNode}));
+  EXPECT_TRUE(validate::is_valid_list(list));
+}
+
+TEST(OrderedList, SingleNode) {
+  const LinkedList list = ordered_list(1);
+  EXPECT_EQ(list.head, 0);
+  EXPECT_EQ(list.next[0], kNilNode);
+  EXPECT_TRUE(validate::is_valid_list(list));
+}
+
+TEST(RandomList, IsValidAndDeterministic) {
+  const LinkedList a = random_list(1000, 3);
+  EXPECT_TRUE(validate::is_valid_list(a));
+  const LinkedList b = random_list(1000, 3);
+  EXPECT_EQ(a.head, b.head);
+  EXPECT_EQ(a.next, b.next);
+  const LinkedList c = random_list(1000, 4);
+  EXPECT_NE(a.next, c.next);
+}
+
+TEST(ListFromOrder, BuildsGivenTraversalOrder) {
+  const LinkedList list = list_from_order({2, 0, 1});
+  EXPECT_EQ(list.head, 2);
+  EXPECT_EQ(list.next[2], 0);
+  EXPECT_EQ(list.next[0], 1);
+  EXPECT_EQ(list.next[1], kNilNode);
+}
+
+TEST(FindHeadBySum, MatchesKnownHead) {
+  for (u64 seed = 0; seed < 10; ++seed) {
+    const LinkedList list = random_list(257, seed);
+    EXPECT_EQ(find_head_by_sum(list), list.head);
+  }
+  EXPECT_EQ(find_head_by_sum(ordered_list(64)), 0);
+  EXPECT_EQ(find_head_by_sum(ordered_list(1)), 0);
+}
+
+TEST(RanksByTraversal, OrderedListIsIdentity) {
+  const auto ranks = ranks_by_traversal(ordered_list(6));
+  EXPECT_EQ(ranks, (std::vector<i64>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(RanksByTraversal, RandomListIsPermutation) {
+  const LinkedList list = random_list(500, 21);
+  const auto ranks = ranks_by_traversal(list);
+  EXPECT_TRUE(validate::is_permutation(ranks));
+  EXPECT_EQ(ranks[static_cast<usize>(list.head)], 0);
+}
+
+TEST(RanksByTraversal, DetectsCycle) {
+  LinkedList bad;
+  bad.head = 0;
+  bad.next = {1, 0};  // 2-cycle
+  EXPECT_THROW(ranks_by_traversal(bad), std::logic_error);
+}
+
+}  // namespace
+}  // namespace archgraph::graph

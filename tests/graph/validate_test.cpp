@@ -1,0 +1,93 @@
+#include "graph/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace archgraph::graph::validate {
+namespace {
+
+TEST(IsValidList, AcceptsGeneratedLists) {
+  EXPECT_TRUE(is_valid_list(ordered_list(10)));
+  EXPECT_TRUE(is_valid_list(random_list(10, 1)));
+}
+
+TEST(IsValidList, RejectsCycleAndShortChain) {
+  LinkedList cycle;
+  cycle.head = 0;
+  cycle.next = {1, 0};
+  EXPECT_FALSE(is_valid_list(cycle));
+
+  LinkedList short_chain;
+  short_chain.head = 0;
+  short_chain.next = {kNilNode, kNilNode};  // node 1 unreachable
+  EXPECT_FALSE(is_valid_list(short_chain));
+}
+
+TEST(IsValidList, RejectsBadHead) {
+  LinkedList bad;
+  bad.head = 5;
+  bad.next = {kNilNode};
+  EXPECT_FALSE(is_valid_list(bad));
+}
+
+TEST(IsPermutation, Basics) {
+  EXPECT_TRUE(is_permutation(std::vector<i64>{2, 0, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<i64>{0, 0, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<i64>{0, 3, 1}));
+  EXPECT_TRUE(is_permutation(std::vector<i64>{}));
+}
+
+TEST(IsSimple, DetectsLoopsAndDuplicates) {
+  EdgeList g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(is_simple(g));
+  g.add_edge(1, 0);
+  EXPECT_FALSE(is_simple(g));
+
+  EdgeList loops(2);
+  loops.add_edge(1, 1);
+  EXPECT_FALSE(is_simple(loops));
+}
+
+TEST(SamePartition, LabelNamesDoNotMatter) {
+  const std::vector<NodeId> a{0, 0, 2, 2};
+  const std::vector<NodeId> b{7, 7, 3, 3};
+  EXPECT_TRUE(same_partition(a, b));
+}
+
+TEST(SamePartition, DetectsSplitAndMerge) {
+  const std::vector<NodeId> a{0, 0, 2, 2};
+  EXPECT_FALSE(same_partition(a, std::vector<NodeId>{0, 0, 0, 0}));
+  EXPECT_FALSE(same_partition(a, std::vector<NodeId>{0, 1, 2, 2}));
+  EXPECT_FALSE(same_partition(a, std::vector<NodeId>{0, 0, 2}));
+}
+
+TEST(IsComponentsLabeling, AcceptsTruth) {
+  EdgeList g(5);
+  g.add_edge(0, 1);
+  g.add_edge(3, 4);
+  const std::vector<NodeId> labels{0, 0, 2, 3, 3};
+  EXPECT_TRUE(is_components_labeling(g, labels));
+}
+
+TEST(IsComponentsLabeling, RejectsCrossEdgeMismatch) {
+  EdgeList g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(is_components_labeling(g, std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(IsComponentsLabeling, RejectsMergedLabels) {
+  EdgeList g(4);
+  g.add_edge(0, 1);
+  // Vertices 2,3 are isolated but share a label with component {0,1}: wrong.
+  EXPECT_FALSE(is_components_labeling(g, std::vector<NodeId>{0, 0, 0, 0}));
+}
+
+TEST(CountDistinctLabels, Counts) {
+  EXPECT_EQ(count_distinct_labels(std::vector<NodeId>{1, 1, 2, 3}), 3);
+  EXPECT_EQ(count_distinct_labels(std::vector<NodeId>{}), 0);
+}
+
+}  // namespace
+}  // namespace archgraph::graph::validate

@@ -1,0 +1,129 @@
+#include "perf/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/kernels/kernels.hpp"
+#include "graph/linked_list.hpp"
+
+namespace archgraph::perf {
+namespace {
+
+TEST(MtaUtilization, MatchesThePaperThreadCountClaim) {
+  // "40 to 80 threads per processor are usually sufficient" with ~100-cycle
+  // latency and 2-3 instructions between waits: at 2.5 slots/op, 41 threads
+  // already reach full issue; 20 threads reach only half.
+  EXPECT_NEAR(mta_utilization(41, 2.5, 100), 1.0, 1e-9);
+  EXPECT_LT(mta_utilization(20, 2.5, 100), 0.55);
+  EXPECT_GT(mta_utilization(128, 1.0, 100), 0.99);
+}
+
+TEST(MtaUtilization, SingleThreadIsLatencyBound) {
+  const double u = mta_utilization(1, 1.0, 100);
+  EXPECT_NEAR(u, 1.0 / 101.0, 1e-9);
+}
+
+TEST(MtaUtilization, CapsAtOne) {
+  EXPECT_DOUBLE_EQ(mta_utilization(100000, 1.0, 100), 1.0);
+}
+
+TEST(MtaPredictedCycles, ScalesInverselyWithProcessors) {
+  MtaCostParams params;
+  const double c1 = mta_predicted_cycles(1e7, 1, 128, 1.0, params);
+  const double c8 = mta_predicted_cycles(1e7, 8, 128, 1.0, params);
+  EXPECT_NEAR(c1 / c8, 8.0, 1e-6);
+}
+
+TEST(SmpPredictedCycles, TripletTermsAreAdditive) {
+  SmpCostParams params;
+  Triplet t;
+  t.t_m = 10;
+  t.t_contig = 100;
+  t.barriers = 2;
+  const double base = smp_predicted_cycles(t, params);
+  t.t_m += 1;
+  EXPECT_NEAR(smp_predicted_cycles(t, params) - base,
+              params.noncontiguous_cycles, 1e-9);
+}
+
+TEST(LrHjTriplet, RandomLayoutMovesWorkToNoncontiguous) {
+  const Triplet rnd = lr_hj_triplet(1 << 20, 4, true);
+  const Triplet ord = lr_hj_triplet(1 << 20, 4, false);
+  EXPECT_GT(rnd.t_m, 0);
+  EXPECT_EQ(ord.t_m, 0);
+  EXPECT_EQ(rnd.barriers, 4);
+  // Total accesses equal; only their class changes.
+  EXPECT_NEAR(rnd.t_m + rnd.t_contig, ord.t_m + ord.t_contig, 1e-6);
+}
+
+TEST(LrHjTriplet, PerProcessorScaling) {
+  const Triplet p1 = lr_hj_triplet(1 << 16, 1, true);
+  const Triplet p4 = lr_hj_triplet(1 << 16, 4, true);
+  EXPECT_NEAR(p1.t_m / p4.t_m, 4.0, 1e-9);
+}
+
+TEST(ModelVsSimulator, LrOrderedVsRandomRatioAgrees) {
+  // The analytic model and the cache simulator must agree on the paper's
+  // headline ratio (3-4x) within a loose band.
+  const i64 n = 1 << 16;
+  // Shrunk L2 puts the working set out of cache at this n, matching the
+  // model's assumption that non-contiguous accesses reach main memory.
+  sim::SmpConfig cfg = archgraph::core::paper_smp_config(1);
+  cfg.l2_bytes = 256 * 1024;
+  sim::SmpMachine ordered_m(cfg);
+  archgraph::core::sim_rank_list_hj(ordered_m, graph::ordered_list(n));
+  sim::SmpMachine random_m(cfg);
+  archgraph::core::sim_rank_list_hj(random_m, graph::random_list(n, 3));
+  const double sim_ratio = static_cast<double>(random_m.cycles()) /
+                           static_cast<double>(ordered_m.cycles());
+
+  SmpCostParams params;
+  const double model_ratio =
+      smp_predicted_cycles(lr_hj_triplet(n, 1, true), params) /
+      smp_predicted_cycles(lr_hj_triplet(n, 1, false), params);
+
+  EXPECT_NEAR(sim_ratio, model_ratio, 0.5 * model_ratio);
+}
+
+TEST(ModelVsSimulator, MtaInstructionCountTracksSimulator) {
+  const i64 n = 1 << 14;
+  sim::MtaMachine m;
+  archgraph::core::WalkLrParams params;
+  params.num_walks = 512;
+  archgraph::core::sim_rank_list_walk(m, graph::random_list(n, 5), params);
+  const double predicted = lr_walk_instructions(n, 512);
+  const double actual = static_cast<double>(m.stats().instructions);
+  EXPECT_NEAR(actual, predicted, 0.35 * predicted);
+}
+
+TEST(ModelVsSimulator, MtaUtilizationTracksSimulator) {
+  sim::MtaMachine m;  // 128 streams, 1 processor
+  archgraph::core::sim_rank_list_walk(m, graph::random_list(1 << 16, 6));
+  // Walk kernel issues ~1.5 slots per memory wait; 128 threads.
+  const double predicted = mta_utilization(128, 1.5, 100);
+  EXPECT_NEAR(m.utilization(), predicted, 0.25);
+}
+
+TEST(CcSvTriplet, IterationScaling) {
+  const Triplet i2 = cc_sv_triplet(1000, 5000, 2, 2, true);
+  const Triplet i4 = cc_sv_triplet(1000, 5000, 2, 4, true);
+  EXPECT_NEAR(i4.t_m_l2 / i2.t_m_l2, 2.0, 1e-9);
+  EXPECT_NEAR(i4.barriers / i2.barriers, 2.0, 1e-9);
+}
+
+TEST(CcSvMtaInstructions, GrowsLinearlyInEdges) {
+  const double a = cc_sv_mta_instructions(1000, 10000, 4);
+  const double b = cc_sv_mta_instructions(1000, 20000, 4);
+  EXPECT_GT(b, 1.8 * a);
+  EXPECT_LT(b, 2.2 * a);
+}
+
+TEST(CostModel, RejectsBadParameters) {
+  EXPECT_THROW(lr_hj_triplet(0, 1, true), std::logic_error);
+  EXPECT_THROW(cc_sv_triplet(1, 1, 0, 1, true), std::logic_error);
+  EXPECT_THROW(mta_utilization(0, 1, 100), std::logic_error);
+  EXPECT_THROW(lr_walk_instructions(1, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace archgraph::perf

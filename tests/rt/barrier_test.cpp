@@ -1,0 +1,61 @@
+#include "rt/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "rt/thread_pool.hpp"
+
+namespace archgraph::rt {
+namespace {
+
+template <typename Barrier>
+void phase_ordering_holds() {
+  constexpr usize kThreads = 4;
+  constexpr int kPhases = 50;
+  Barrier barrier(kThreads);
+  std::atomic<int> phase_counter[kPhases];
+  for (auto& c : phase_counter) c.store(0);
+
+  ThreadPool pool(kThreads);
+  pool.run([&](usize) {
+    for (int ph = 0; ph < kPhases; ++ph) {
+      phase_counter[ph].fetch_add(1);
+      barrier.arrive_and_wait();
+      // After the barrier, every participant must have bumped this phase.
+      EXPECT_EQ(phase_counter[ph].load(), static_cast<int>(kThreads));
+    }
+  });
+}
+
+TEST(SpinBarrier, PhaseOrderingHolds) { phase_ordering_holds<SpinBarrier>(); }
+
+TEST(BlockingBarrier, PhaseOrderingHolds) {
+  phase_ordering_holds<BlockingBarrier>();
+}
+
+TEST(SpinBarrier, SingleParticipantNeverBlocks) {
+  SpinBarrier b(1);
+  for (int i = 0; i < 100; ++i) {
+    b.arrive_and_wait();
+  }
+  SUCCEED();
+}
+
+TEST(BlockingBarrier, SingleParticipantNeverBlocks) {
+  BlockingBarrier b(1);
+  for (int i = 0; i < 100; ++i) {
+    b.arrive_and_wait();
+  }
+  SUCCEED();
+}
+
+TEST(SpinBarrier, RejectsZeroParticipants) {
+  EXPECT_THROW(SpinBarrier(0), std::logic_error);
+  EXPECT_THROW(BlockingBarrier(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace archgraph::rt

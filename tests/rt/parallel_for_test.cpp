@@ -1,0 +1,114 @@
+#include "rt/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace archgraph::rt {
+namespace {
+
+class ParallelForSchedules : public ::testing::TestWithParam<Schedule> {};
+
+TEST_P(ParallelForSchedules, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000, GetParam(), 7,
+               [&](i64 i) { hits[static_cast<usize>(i)].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST_P(ParallelForSchedules, EmptyRangeIsNoop) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  parallel_for(pool, 5, 5, GetParam(), 1, [&](i64) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_P(ParallelForSchedules, BlocksAreDisjointAndCover) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for_blocks(pool, 0, 500, GetParam(), 13,
+                      [&](usize, i64 lo, i64 hi) {
+                        EXPECT_LT(lo, hi);
+                        for (i64 i = lo; i < hi; ++i) {
+                          hits[static_cast<usize>(i)].fetch_add(1);
+                        }
+                      });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedules, ParallelForSchedules,
+                         ::testing::Values(Schedule::Static, Schedule::Dynamic,
+                                           Schedule::Guided));
+
+TEST(ParallelForStatic, EachWorkerGetsAtMostOneBlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> blocks_per_worker(4);
+  parallel_for_blocks(pool, 0, 100, Schedule::Static, 1,
+                      [&](usize worker, i64, i64) {
+                        blocks_per_worker[worker].fetch_add(1);
+                      });
+  for (const auto& b : blocks_per_worker) {
+    EXPECT_LE(b.load(), 1);
+  }
+}
+
+TEST(ParallelForStatic, RangeSmallerThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(pool, 0, 3, Schedule::Static, 1,
+               [&](i64 i) { hits[static_cast<usize>(i)].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForDynamic, RespectsChunkBounds) {
+  ThreadPool pool(4);
+  parallel_for_blocks(pool, 10, 107, Schedule::Dynamic, 10,
+                      [&](usize, i64 lo, i64 hi) {
+                        EXPECT_LE(hi - lo, 10);
+                        EXPECT_GE(lo, 10);
+                        EXPECT_LE(hi, 107);
+                      });
+}
+
+TEST(ParallelFor, RejectsInvertedRangeAndBadChunk) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 5, 4, Schedule::Static, 1, [](i64) {}),
+      std::logic_error);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 4, Schedule::Dynamic, 0, [](i64) {}),
+      std::logic_error);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  ThreadPool pool(4);
+  const i64 n = 12345;
+  const i64 total =
+      parallel_reduce(pool, 0, n, i64{0}, [](i64 i) { return i; });
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, InitIsIncluded) {
+  ThreadPool pool(2);
+  const i64 total =
+      parallel_reduce(pool, 0, 10, i64{1000}, [](i64) { return i64{1}; });
+  EXPECT_EQ(total, 1010);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  EXPECT_EQ(parallel_reduce(pool, 3, 3, i64{7}, [](i64) { return i64{1}; }),
+            7);
+}
+
+}  // namespace
+}  // namespace archgraph::rt

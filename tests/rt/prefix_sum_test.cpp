@@ -1,0 +1,82 @@
+#include "rt/prefix_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/prng.hpp"
+
+namespace archgraph::rt {
+namespace {
+
+TEST(SequentialScans, InclusiveBasic) {
+  std::vector<i64> v{1, 2, 3, 4};
+  inclusive_scan_seq(std::span<i64>{v}, [](i64 a, i64 b) { return a + b; });
+  EXPECT_EQ(v, (std::vector<i64>{1, 3, 6, 10}));
+}
+
+TEST(SequentialScans, ExclusiveBasic) {
+  std::vector<i64> v{1, 2, 3, 4};
+  exclusive_scan_seq(std::span<i64>{v}, i64{0},
+                     [](i64 a, i64 b) { return a + b; });
+  EXPECT_EQ(v, (std::vector<i64>{0, 1, 3, 6}));
+}
+
+TEST(SequentialScans, NonCommutativeOpRespectsOrder) {
+  // op(a,b) = a*10 + b is associative? It is not — use string-like max/concat
+  // substitute: op(a,b) = a*31 + b is not associative either. Use matrix-like
+  // associative op: op(a,b) = min(a,b) with distinct elements checks order
+  // insensitivity; instead verify inclusive scan against a reference fold.
+  std::vector<i64> v{5, 3, 8, 1, 9};
+  auto op = [](i64 a, i64 b) { return std::min(a, b); };
+  auto expected = v;
+  for (usize i = 1; i < expected.size(); ++i) {
+    expected[i] = op(expected[i - 1], expected[i]);
+  }
+  inclusive_scan_seq(std::span<i64>{v}, op);
+  EXPECT_EQ(v, expected);
+}
+
+class ParallelScanSizes : public ::testing::TestWithParam<i64> {};
+
+TEST_P(ParallelScanSizes, MatchesSequential) {
+  const i64 n = GetParam();
+  Prng rng(static_cast<u64>(n) * 977 + 5);
+  std::vector<i64> data(static_cast<usize>(n));
+  for (auto& x : data) x = rng.range(-50, 50);
+  auto expected = data;
+  inclusive_scan_seq(std::span<i64>{expected},
+                     [](i64 a, i64 b) { return a + b; });
+
+  ThreadPool pool(4);
+  prefix_sums(pool, std::span<i64>{data});
+  EXPECT_EQ(data, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelScanSizes,
+                         ::testing::Values(1, 2, 3, 7, 8, 63, 64, 65, 1000,
+                                           4096, 100001));
+
+TEST(ParallelScan, WorksWithSingleWorkerPool) {
+  ThreadPool pool(1);
+  std::vector<i64> v{4, 4, 4, 4};
+  prefix_sums(pool, std::span<i64>{v});
+  EXPECT_EQ(v, (std::vector<i64>{4, 8, 12, 16}));
+}
+
+TEST(ParallelScan, MaxOperatorWithIdentity) {
+  ThreadPool pool(3);
+  std::vector<i64> v{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3};
+  auto expected = v;
+  auto op = [](i64 a, i64 b) { return std::max(a, b); };
+  inclusive_scan_seq(std::span<i64>{expected}, op);
+  inclusive_scan_parallel(pool, std::span<i64>{v},
+                          std::numeric_limits<i64>::min(), op);
+  EXPECT_EQ(v, expected);
+}
+
+}  // namespace
+}  // namespace archgraph::rt

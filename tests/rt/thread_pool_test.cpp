@@ -1,0 +1,78 @@
+#include "rt/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+
+namespace archgraph::rt {
+namespace {
+
+TEST(ThreadPool, RunsBodyOncePerWorker) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  std::mutex mu;
+  std::set<usize> ids;
+  pool.run([&](usize id) {
+    calls.fetch_add(1);
+    std::lock_guard lock(mu);
+    ids.insert(id);
+  });
+  EXPECT_EQ(calls.load(), 4);
+  EXPECT_EQ(ids, (std::set<usize>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, ReusableAcrossRegions) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int r = 0; r < 10; ++r) {
+    pool.run([&](usize) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 30);
+}
+
+TEST(ThreadPool, SingleWorkerWorks) {
+  ThreadPool pool(1);
+  int value = 0;
+  pool.run([&](usize id) {
+    EXPECT_EQ(id, 0u);
+    value = 42;
+  });
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), std::logic_error);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run([](usize id) {
+                 if (id == 1) throw std::runtime_error("boom");
+               }),
+               std::runtime_error);
+  // Pool stays usable afterwards.
+  std::atomic<int> ok{0};
+  pool.run([&](usize) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 2);
+}
+
+TEST(ThreadPool, WorkersRunConcurrentlyEnoughToMeet) {
+  // All workers must be inside the region simultaneously for this to finish:
+  // a cooperative meeting point (not timing-based).
+  constexpr usize kWorkers = 4;
+  ThreadPool pool(kWorkers);
+  std::atomic<usize> arrived{0};
+  pool.run([&](usize) {
+    arrived.fetch_add(1);
+    while (arrived.load() < kWorkers) {
+      std::this_thread::yield();
+    }
+  });
+  EXPECT_EQ(arrived.load(), kWorkers);
+}
+
+}  // namespace
+}  // namespace archgraph::rt

@@ -1,0 +1,117 @@
+#include "sim/smp/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace archgraph::sim {
+namespace {
+
+TEST(Cache, MissThenHit) {
+  Cache c(1024, 64, 1);
+  EXPECT_FALSE(c.access(5, false).hit);
+  EXPECT_TRUE(c.access(5, false).hit);
+  EXPECT_TRUE(c.contains(5));
+  EXPECT_FALSE(c.contains(6));
+}
+
+TEST(Cache, LineOfUsesBytes) {
+  Cache c(1024, 64, 1);
+  // 64-byte lines hold 8 words.
+  EXPECT_EQ(c.line_of(0), 0u);
+  EXPECT_EQ(c.line_of(7), 0u);
+  EXPECT_EQ(c.line_of(8), 1u);
+}
+
+TEST(Cache, DirectMappedConflictEvicts) {
+  Cache c(1024, 64, 1);  // 16 sets
+  c.access(0, false);
+  const auto r = c.access(16, false);  // same set (16 % 16 == 0)
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.evicted_line, 0u);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(16));
+}
+
+TEST(Cache, AssociativityAvoidsConflict) {
+  Cache c(1024, 64, 2);  // 8 sets, 2 ways
+  c.access(0, false);
+  c.access(8, false);  // same set, second way
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(8));
+  const auto r = c.access(16, false);  // evicts LRU (line 0)
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.evicted_line, 0u);
+  EXPECT_TRUE(c.contains(8));
+}
+
+TEST(Cache, LruIsUpdatedByHits) {
+  Cache c(1024, 64, 2);  // 8 sets
+  c.access(0, false);
+  c.access(8, false);
+  c.access(0, false);  // touch 0: now 8 is LRU
+  const auto r = c.access(16, false);
+  EXPECT_EQ(r.evicted_line, 8u);
+  EXPECT_TRUE(c.contains(0));
+}
+
+TEST(Cache, DirtyTrackingThroughEviction) {
+  Cache c(1024, 64, 1);
+  c.access(3, true);  // dirty fill
+  const auto r = c.access(3 + 16, false);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_TRUE(r.evicted_dirty);
+  const auto r2 = c.access(3 + 32, false);  // evicts the clean line
+  EXPECT_TRUE(r2.evicted);
+  EXPECT_FALSE(r2.evicted_dirty);
+}
+
+TEST(Cache, WriteHitMarksDirty) {
+  Cache c(1024, 64, 1);
+  c.access(4, false);           // clean fill
+  c.access(4, true);            // write hit: now dirty
+  const auto r = c.access(20, false);
+  EXPECT_TRUE(r.evicted_dirty);
+}
+
+TEST(Cache, InvalidateReportsDirtiness) {
+  Cache c(1024, 64, 1);
+  c.access(2, true);
+  EXPECT_TRUE(c.invalidate(2));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_FALSE(c.invalidate(2));  // already gone
+  c.access(2, false);
+  EXPECT_FALSE(c.invalidate(2));  // present but clean
+}
+
+TEST(Cache, ClearDropsEverything) {
+  Cache c(1024, 64, 4);
+  for (u64 line = 0; line < 16; ++line) {
+    c.access(line, true);
+  }
+  c.clear();
+  for (u64 line = 0; line < 16; ++line) {
+    EXPECT_FALSE(c.contains(line));
+  }
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(1000, 48, 1), std::logic_error);   // non-power-of-two line
+  EXPECT_THROW(Cache(100, 64, 1), std::logic_error);    // size not divisible
+  EXPECT_THROW(Cache(1024, 64, 0), std::logic_error);   // zero ways
+  EXPECT_THROW(Cache(1024, 4, 1), std::logic_error);    // line < word
+}
+
+TEST(Cache, FullyAssociativeSingleSet) {
+  Cache c(256, 64, 4);  // exactly one set of 4 ways
+  c.access(100, false);
+  c.access(200, false);
+  c.access(300, false);
+  c.access(400, false);
+  EXPECT_TRUE(c.contains(100));
+  const auto r = c.access(500, false);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.evicted_line, 100u);  // LRU
+}
+
+}  // namespace
+}  // namespace archgraph::sim

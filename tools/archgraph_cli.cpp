@@ -1,0 +1,254 @@
+// archgraph_cli — run the library's kernels on generated or DIMACS inputs
+// from the command line, natively or on the simulated machines.
+//
+// Usage:
+//   archgraph_cli cc     [--input FILE | --random n,m,seed]
+//                        [--algorithm uf|bfs|dfs|sv|as|mate]
+//                        [--machine native|mta|smp] [--procs P]
+//   archgraph_cli rank   [--n N] [--layout ordered|random] [--seed S]
+//                        [--algorithm seq|wyllie|hj|compaction|walk]
+//                        [--machine native|mta|smp] [--procs P]
+//   archgraph_cli msf    [--input FILE | --random n,m,seed]
+//                        [--algorithm kruskal|boruvka|boruvka-par]
+//   archgraph_cli gen    --random n,m,seed --output FILE     (DIMACS writer)
+//
+// Simulated runs print cycles, simulated seconds and utilization; native
+// runs print wall time. Every run self-checks against a reference.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "core/concomp/concomp.hpp"
+#include "core/experiment.hpp"
+#include "core/kernels/kernels.hpp"
+#include "core/listrank/listrank.hpp"
+#include "core/mst/mst.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/linked_list.hpp"
+#include "graph/validate.hpp"
+#include "rt/thread_pool.hpp"
+
+namespace {
+
+using namespace archgraph;
+
+struct Options {
+  std::string command;
+  std::map<std::string, std::string> named;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = named.find(key);
+    return it == named.end() ? fallback : it->second;
+  }
+  i64 get_int(const std::string& key, i64 fallback) const {
+    const auto it = named.find(key);
+    return it == named.end() ? fallback : std::stoll(it->second);
+  }
+};
+
+Options parse(int argc, char** argv) {
+  AG_CHECK(argc >= 2, "usage: archgraph_cli <cc|rank|msf|gen> [--flag value]");
+  Options opts;
+  opts.command = argv[1];
+  for (int i = 2; i < argc; i += 2) {
+    const std::string flag = argv[i];
+    AG_CHECK(flag.rfind("--", 0) == 0 && i + 1 < argc,
+             "flags look like '--name value'");
+    opts.named[flag.substr(2)] = argv[i + 1];
+  }
+  return opts;
+}
+
+graph::EdgeList load_graph(const Options& opts,
+                           std::optional<std::vector<i64>>* weights) {
+  if (opts.named.contains("input")) {
+    graph::DimacsGraph g = graph::read_dimacs_file(opts.get("input", ""));
+    if (weights != nullptr) {
+      *weights = std::move(g.weights);
+    }
+    return std::move(g.edges);
+  }
+  const std::string spec = opts.get("random", "10000,40000,1");
+  i64 n = 0, m = 0;
+  u64 seed = 0;
+  AG_CHECK(std::sscanf(spec.c_str(), "%ld,%ld,%lu", &n, &m, &seed) == 3,
+           "--random wants n,m,seed");
+  if (weights != nullptr) {
+    *weights = std::nullopt;
+  }
+  return graph::random_graph(n, m, seed);
+}
+
+template <typename MachineT>
+void report_simulated(const MachineT& machine) {
+  std::cout << "cycles:        " << machine.cycles() << '\n'
+            << "simulated:     " << machine.seconds() * 1e3 << " ms @ "
+            << machine.clock_hz() / 1e6 << " MHz\n"
+            << "utilization:   " << 100.0 * machine.utilization() << "%\n"
+            << "instructions:  " << machine.stats().instructions << '\n';
+}
+
+int run_cc(const Options& opts) {
+  const graph::EdgeList g = load_graph(opts, nullptr);
+  const std::string algorithm = opts.get("algorithm", "sv");
+  const std::string machine = opts.get("machine", "native");
+  const auto procs = static_cast<u32>(opts.get_int("procs", 4));
+  std::cout << "connected components: n=" << g.num_vertices()
+            << " m=" << g.num_edges() << " algorithm=" << algorithm
+            << " machine=" << machine << " p=" << procs << '\n';
+
+  std::vector<NodeId> labels;
+  if (machine == "mta") {
+    sim::MtaMachine m(core::paper_mta_config(procs));
+    labels = core::sim_cc_sv_mta(m, g).labels;
+    report_simulated(m);
+  } else if (machine == "smp") {
+    sim::SmpMachine m(core::paper_smp_config(procs));
+    labels = core::sim_cc_sv_smp(m, g).labels;
+    report_simulated(m);
+  } else {
+    rt::ThreadPool pool(static_cast<usize>(procs));
+    Timer timer;
+    if (algorithm == "uf") {
+      labels = core::cc_union_find(g);
+    } else if (algorithm == "bfs") {
+      labels = core::cc_bfs(graph::CsrGraph::from_edges(g));
+    } else if (algorithm == "dfs") {
+      labels = core::cc_dfs(graph::CsrGraph::from_edges(g));
+    } else if (algorithm == "sv") {
+      labels = core::cc_shiloach_vishkin(pool, g);
+    } else if (algorithm == "as") {
+      labels = core::cc_awerbuch_shiloach(pool, g);
+    } else if (algorithm == "mate") {
+      labels = core::cc_random_mating(pool, g);
+    } else {
+      AG_CHECK(false, "unknown --algorithm " + algorithm);
+    }
+    std::cout << "wall time:     " << timer.seconds() * 1e3 << " ms\n";
+  }
+  AG_CHECK(labels == core::cc_union_find(g), "self-check failed");
+  std::cout << "components:    "
+            << graph::validate::count_distinct_labels(labels)
+            << " (verified against union-find)\n";
+  return 0;
+}
+
+int run_rank(const Options& opts) {
+  const i64 n = opts.get_int("n", 1 << 20);
+  const std::string layout = opts.get("layout", "random");
+  const graph::LinkedList list =
+      layout == "ordered"
+          ? graph::ordered_list(n)
+          : graph::random_list(n, static_cast<u64>(opts.get_int("seed", 1)));
+  const std::string algorithm = opts.get("algorithm", "hj");
+  const std::string machine = opts.get("machine", "native");
+  const auto procs = static_cast<u32>(opts.get_int("procs", 4));
+  std::cout << "list ranking: n=" << n << " layout=" << layout
+            << " algorithm=" << algorithm << " machine=" << machine
+            << " p=" << procs << '\n';
+
+  std::vector<i64> ranks;
+  if (machine == "mta" || machine == "smp") {
+    auto run_on = [&](sim::Machine& m) {
+      if (algorithm == "walk") return core::sim_rank_list_walk(m, list);
+      if (algorithm == "hj") return core::sim_rank_list_hj(m, list);
+      if (algorithm == "wyllie") return core::sim_rank_list_wyllie(m, list);
+      if (algorithm == "seq") return core::sim_rank_list_sequential(m, list);
+      AG_CHECK(false, "unknown simulated --algorithm " + algorithm);
+      return std::vector<i64>{};
+    };
+    if (machine == "mta") {
+      sim::MtaMachine m(core::paper_mta_config(procs));
+      ranks = run_on(m);
+      report_simulated(m);
+    } else {
+      sim::SmpMachine m(core::paper_smp_config(procs));
+      ranks = run_on(m);
+      report_simulated(m);
+    }
+  } else {
+    rt::ThreadPool pool(static_cast<usize>(procs));
+    Timer timer;
+    if (algorithm == "seq") {
+      ranks = core::rank_sequential(list);
+    } else if (algorithm == "wyllie") {
+      ranks = core::rank_wyllie(pool, list);
+    } else if (algorithm == "hj") {
+      ranks = core::rank_helman_jaja(pool, list);
+    } else if (algorithm == "compaction") {
+      ranks = core::rank_by_compaction(pool, list);
+    } else {
+      AG_CHECK(false, "unknown --algorithm " + algorithm);
+    }
+    std::cout << "wall time:     " << timer.seconds() * 1e3 << " ms\n";
+  }
+  AG_CHECK(ranks == core::rank_sequential(list), "self-check failed");
+  std::cout << "verified against the sequential ranking\n";
+  return 0;
+}
+
+int run_msf(const Options& opts) {
+  std::optional<std::vector<i64>> file_weights;
+  const graph::EdgeList g = load_graph(opts, &file_weights);
+  const std::vector<i64> weights =
+      file_weights.has_value()
+          ? *file_weights
+          : core::unique_random_weights(g.num_edges(),
+                                        static_cast<u64>(
+                                            opts.get_int("seed", 1)));
+  const std::string algorithm = opts.get("algorithm", "boruvka-par");
+  std::cout << "minimum spanning forest: n=" << g.num_vertices()
+            << " m=" << g.num_edges() << " algorithm=" << algorithm << '\n';
+
+  rt::ThreadPool pool(static_cast<usize>(opts.get_int("procs", 4)));
+  Timer timer;
+  core::MsfResult result;
+  if (algorithm == "kruskal") {
+    result = core::msf_kruskal(g, weights);
+  } else if (algorithm == "boruvka") {
+    result = core::msf_boruvka(g, weights);
+  } else if (algorithm == "boruvka-par") {
+    result = core::msf_boruvka_parallel(pool, g, weights);
+  } else {
+    AG_CHECK(false, "unknown --algorithm " + algorithm);
+  }
+  std::cout << "wall time:     " << timer.seconds() * 1e3 << " ms\n";
+  AG_CHECK(core::is_minimum_spanning_forest(g, weights, result),
+           "self-check failed");
+  std::cout << "forest edges:  " << result.edge_ids.size()
+            << ", total weight " << result.total_weight
+            << " (verified against Kruskal)\n";
+  return 0;
+}
+
+int run_gen(const Options& opts) {
+  const graph::EdgeList g = load_graph(opts, nullptr);
+  const std::string output = opts.get("output", "");
+  AG_CHECK(!output.empty(), "gen needs --output FILE");
+  graph::write_dimacs_file(output, g, nullptr, "generated by archgraph_cli");
+  std::cout << "wrote " << output << " (n=" << g.num_vertices()
+            << ", m=" << g.num_edges() << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opts = parse(argc, argv);
+    if (opts.command == "cc") return run_cc(opts);
+    if (opts.command == "rank") return run_rank(opts);
+    if (opts.command == "msf") return run_msf(opts);
+    if (opts.command == "gen") return run_gen(opts);
+    AG_CHECK(false, "unknown command '" + opts.command + "'");
+  } catch (const std::exception& e) {
+    std::cerr << "archgraph_cli: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
