@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smp_cache.dir/ablation_smp_cache.cpp.o"
+  "CMakeFiles/ablation_smp_cache.dir/ablation_smp_cache.cpp.o.d"
+  "ablation_smp_cache"
+  "ablation_smp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

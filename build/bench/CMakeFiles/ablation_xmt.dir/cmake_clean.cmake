@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_xmt.dir/ablation_xmt.cpp.o"
+  "CMakeFiles/ablation_xmt.dir/ablation_xmt.cpp.o.d"
+  "ablation_xmt"
+  "ablation_xmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_xmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_list_ranking.dir/fig1_list_ranking.cpp.o"
+  "CMakeFiles/fig1_list_ranking.dir/fig1_list_ranking.cpp.o.d"
+  "fig1_list_ranking"
+  "fig1_list_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_list_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_connected_components.dir/fig2_connected_components.cpp.o"
+  "CMakeFiles/fig2_connected_components.dir/fig2_connected_components.cpp.o.d"
+  "fig2_connected_components"
+  "fig2_connected_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_connected_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_native.dir/micro_native.cpp.o"
+  "CMakeFiles/micro_native.dir/micro_native.cpp.o.d"
+  "micro_native"
+  "micro_native.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_native.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_vs_sequential.dir/speedup_vs_sequential.cpp.o"
+  "CMakeFiles/speedup_vs_sequential.dir/speedup_vs_sequential.cpp.o.d"
+  "speedup_vs_sequential"
+  "speedup_vs_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_vs_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

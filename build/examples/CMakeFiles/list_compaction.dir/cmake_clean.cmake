@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_compaction.dir/list_compaction.cpp.o"
+  "CMakeFiles/list_compaction.dir/list_compaction.cpp.o.d"
+  "list_compaction"
+  "list_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

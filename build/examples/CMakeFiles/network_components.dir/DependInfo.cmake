@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/network_components.cpp" "examples/CMakeFiles/network_components.dir/network_components.cpp.o" "gcc" "examples/CMakeFiles/network_components.dir/network_components.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_components.dir/network_components.cpp.o"
+  "CMakeFiles/network_components.dir/network_components.cpp.o.d"
+  "network_components"
+  "network_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

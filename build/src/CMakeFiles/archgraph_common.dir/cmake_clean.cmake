@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archgraph_common.dir/common/check.cpp.o"
+  "CMakeFiles/archgraph_common.dir/common/check.cpp.o.d"
+  "CMakeFiles/archgraph_common.dir/common/prng.cpp.o"
+  "CMakeFiles/archgraph_common.dir/common/prng.cpp.o.d"
+  "CMakeFiles/archgraph_common.dir/common/table.cpp.o"
+  "CMakeFiles/archgraph_common.dir/common/table.cpp.o.d"
+  "libarchgraph_common.a"
+  "libarchgraph_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archgraph_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/concomp/cc_variants.cpp" "src/CMakeFiles/archgraph_core.dir/core/concomp/cc_variants.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/concomp/cc_variants.cpp.o.d"
+  "/root/repo/src/core/concomp/sequential.cpp" "src/CMakeFiles/archgraph_core.dir/core/concomp/sequential.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/concomp/sequential.cpp.o.d"
+  "/root/repo/src/core/concomp/shiloach_vishkin.cpp" "src/CMakeFiles/archgraph_core.dir/core/concomp/shiloach_vishkin.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/concomp/shiloach_vishkin.cpp.o.d"
+  "/root/repo/src/core/concomp/spanning_forest.cpp" "src/CMakeFiles/archgraph_core.dir/core/concomp/spanning_forest.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/concomp/spanning_forest.cpp.o.d"
+  "/root/repo/src/core/euler/euler_tour.cpp" "src/CMakeFiles/archgraph_core.dir/core/euler/euler_tour.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/euler/euler_tour.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/archgraph_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/exprtree/expression.cpp" "src/CMakeFiles/archgraph_core.dir/core/exprtree/expression.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/exprtree/expression.cpp.o.d"
+  "/root/repo/src/core/kernels/baseline_sims.cpp" "src/CMakeFiles/archgraph_core.dir/core/kernels/baseline_sims.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/kernels/baseline_sims.cpp.o.d"
+  "/root/repo/src/core/kernels/cc_sv_mta_sim.cpp" "src/CMakeFiles/archgraph_core.dir/core/kernels/cc_sv_mta_sim.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/kernels/cc_sv_mta_sim.cpp.o.d"
+  "/root/repo/src/core/kernels/cc_sv_smp_sim.cpp" "src/CMakeFiles/archgraph_core.dir/core/kernels/cc_sv_smp_sim.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/kernels/cc_sv_smp_sim.cpp.o.d"
+  "/root/repo/src/core/kernels/lr_hj_sim.cpp" "src/CMakeFiles/archgraph_core.dir/core/kernels/lr_hj_sim.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/kernels/lr_hj_sim.cpp.o.d"
+  "/root/repo/src/core/kernels/lr_walk_sim.cpp" "src/CMakeFiles/archgraph_core.dir/core/kernels/lr_walk_sim.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/kernels/lr_walk_sim.cpp.o.d"
+  "/root/repo/src/core/kernels/sim_par.cpp" "src/CMakeFiles/archgraph_core.dir/core/kernels/sim_par.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/kernels/sim_par.cpp.o.d"
+  "/root/repo/src/core/listrank/compaction.cpp" "src/CMakeFiles/archgraph_core.dir/core/listrank/compaction.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/listrank/compaction.cpp.o.d"
+  "/root/repo/src/core/listrank/helman_jaja.cpp" "src/CMakeFiles/archgraph_core.dir/core/listrank/helman_jaja.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/listrank/helman_jaja.cpp.o.d"
+  "/root/repo/src/core/listrank/sequential.cpp" "src/CMakeFiles/archgraph_core.dir/core/listrank/sequential.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/listrank/sequential.cpp.o.d"
+  "/root/repo/src/core/listrank/wyllie.cpp" "src/CMakeFiles/archgraph_core.dir/core/listrank/wyllie.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/listrank/wyllie.cpp.o.d"
+  "/root/repo/src/core/mst/mst.cpp" "src/CMakeFiles/archgraph_core.dir/core/mst/mst.cpp.o" "gcc" "src/CMakeFiles/archgraph_core.dir/core/mst/mst.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archgraph_graph.dir/graph/csr_graph.cpp.o"
+  "CMakeFiles/archgraph_graph.dir/graph/csr_graph.cpp.o.d"
+  "CMakeFiles/archgraph_graph.dir/graph/edge_list.cpp.o"
+  "CMakeFiles/archgraph_graph.dir/graph/edge_list.cpp.o.d"
+  "CMakeFiles/archgraph_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/archgraph_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/archgraph_graph.dir/graph/io.cpp.o"
+  "CMakeFiles/archgraph_graph.dir/graph/io.cpp.o.d"
+  "CMakeFiles/archgraph_graph.dir/graph/linked_list.cpp.o"
+  "CMakeFiles/archgraph_graph.dir/graph/linked_list.cpp.o.d"
+  "CMakeFiles/archgraph_graph.dir/graph/validate.cpp.o"
+  "CMakeFiles/archgraph_graph.dir/graph/validate.cpp.o.d"
+  "libarchgraph_graph.a"
+  "libarchgraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archgraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

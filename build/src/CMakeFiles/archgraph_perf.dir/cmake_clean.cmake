@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archgraph_perf.dir/perf/cost_model.cpp.o"
+  "CMakeFiles/archgraph_perf.dir/perf/cost_model.cpp.o.d"
+  "libarchgraph_perf.a"
+  "libarchgraph_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archgraph_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/barrier.cpp" "src/CMakeFiles/archgraph_rt.dir/rt/barrier.cpp.o" "gcc" "src/CMakeFiles/archgraph_rt.dir/rt/barrier.cpp.o.d"
+  "/root/repo/src/rt/parallel_for.cpp" "src/CMakeFiles/archgraph_rt.dir/rt/parallel_for.cpp.o" "gcc" "src/CMakeFiles/archgraph_rt.dir/rt/parallel_for.cpp.o.d"
+  "/root/repo/src/rt/prefix_sum.cpp" "src/CMakeFiles/archgraph_rt.dir/rt/prefix_sum.cpp.o" "gcc" "src/CMakeFiles/archgraph_rt.dir/rt/prefix_sum.cpp.o.d"
+  "/root/repo/src/rt/thread_pool.cpp" "src/CMakeFiles/archgraph_rt.dir/rt/thread_pool.cpp.o" "gcc" "src/CMakeFiles/archgraph_rt.dir/rt/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archgraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archgraph_rt.dir/rt/barrier.cpp.o"
+  "CMakeFiles/archgraph_rt.dir/rt/barrier.cpp.o.d"
+  "CMakeFiles/archgraph_rt.dir/rt/parallel_for.cpp.o"
+  "CMakeFiles/archgraph_rt.dir/rt/parallel_for.cpp.o.d"
+  "CMakeFiles/archgraph_rt.dir/rt/prefix_sum.cpp.o"
+  "CMakeFiles/archgraph_rt.dir/rt/prefix_sum.cpp.o.d"
+  "CMakeFiles/archgraph_rt.dir/rt/thread_pool.cpp.o"
+  "CMakeFiles/archgraph_rt.dir/rt/thread_pool.cpp.o.d"
+  "libarchgraph_rt.a"
+  "libarchgraph_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archgraph_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarchgraph_rt.a"
+)

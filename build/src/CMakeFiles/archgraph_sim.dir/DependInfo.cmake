@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/archgraph_sim.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/archgraph_sim.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/archgraph_sim.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/archgraph_sim.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/sim/mta/mta_machine.cpp" "src/CMakeFiles/archgraph_sim.dir/sim/mta/mta_machine.cpp.o" "gcc" "src/CMakeFiles/archgraph_sim.dir/sim/mta/mta_machine.cpp.o.d"
+  "/root/repo/src/sim/smp/cache.cpp" "src/CMakeFiles/archgraph_sim.dir/sim/smp/cache.cpp.o" "gcc" "src/CMakeFiles/archgraph_sim.dir/sim/smp/cache.cpp.o.d"
+  "/root/repo/src/sim/smp/smp_machine.cpp" "src/CMakeFiles/archgraph_sim.dir/sim/smp/smp_machine.cpp.o" "gcc" "src/CMakeFiles/archgraph_sim.dir/sim/smp/smp_machine.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/archgraph_sim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/archgraph_sim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/task.cpp" "src/CMakeFiles/archgraph_sim.dir/sim/task.cpp.o" "gcc" "src/CMakeFiles/archgraph_sim.dir/sim/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archgraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archgraph_sim.dir/sim/machine.cpp.o"
+  "CMakeFiles/archgraph_sim.dir/sim/machine.cpp.o.d"
+  "CMakeFiles/archgraph_sim.dir/sim/memory.cpp.o"
+  "CMakeFiles/archgraph_sim.dir/sim/memory.cpp.o.d"
+  "CMakeFiles/archgraph_sim.dir/sim/mta/mta_machine.cpp.o"
+  "CMakeFiles/archgraph_sim.dir/sim/mta/mta_machine.cpp.o.d"
+  "CMakeFiles/archgraph_sim.dir/sim/smp/cache.cpp.o"
+  "CMakeFiles/archgraph_sim.dir/sim/smp/cache.cpp.o.d"
+  "CMakeFiles/archgraph_sim.dir/sim/smp/smp_machine.cpp.o"
+  "CMakeFiles/archgraph_sim.dir/sim/smp/smp_machine.cpp.o.d"
+  "CMakeFiles/archgraph_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/archgraph_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/archgraph_sim.dir/sim/task.cpp.o"
+  "CMakeFiles/archgraph_sim.dir/sim/task.cpp.o.d"
+  "libarchgraph_sim.a"
+  "libarchgraph_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archgraph_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

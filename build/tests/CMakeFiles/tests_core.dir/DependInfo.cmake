@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cc_variants_test.cpp" "tests/CMakeFiles/tests_core.dir/core/cc_variants_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/cc_variants_test.cpp.o.d"
+  "/root/repo/tests/core/concomp_test.cpp" "tests/CMakeFiles/tests_core.dir/core/concomp_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/concomp_test.cpp.o.d"
+  "/root/repo/tests/core/differential_test.cpp" "tests/CMakeFiles/tests_core.dir/core/differential_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/differential_test.cpp.o.d"
+  "/root/repo/tests/core/euler_tour_test.cpp" "tests/CMakeFiles/tests_core.dir/core/euler_tour_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/euler_tour_test.cpp.o.d"
+  "/root/repo/tests/core/experiment_test.cpp" "tests/CMakeFiles/tests_core.dir/core/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/experiment_test.cpp.o.d"
+  "/root/repo/tests/core/expression_test.cpp" "tests/CMakeFiles/tests_core.dir/core/expression_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/expression_test.cpp.o.d"
+  "/root/repo/tests/core/kernels_baseline_test.cpp" "tests/CMakeFiles/tests_core.dir/core/kernels_baseline_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/kernels_baseline_test.cpp.o.d"
+  "/root/repo/tests/core/kernels_cc_test.cpp" "tests/CMakeFiles/tests_core.dir/core/kernels_cc_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/kernels_cc_test.cpp.o.d"
+  "/root/repo/tests/core/kernels_lr_test.cpp" "tests/CMakeFiles/tests_core.dir/core/kernels_lr_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/kernels_lr_test.cpp.o.d"
+  "/root/repo/tests/core/listrank_test.cpp" "tests/CMakeFiles/tests_core.dir/core/listrank_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/listrank_test.cpp.o.d"
+  "/root/repo/tests/core/mst_test.cpp" "tests/CMakeFiles/tests_core.dir/core/mst_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/mst_test.cpp.o.d"
+  "/root/repo/tests/core/prefix_list_test.cpp" "tests/CMakeFiles/tests_core.dir/core/prefix_list_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/prefix_list_test.cpp.o.d"
+  "/root/repo/tests/core/spanning_forest_test.cpp" "tests/CMakeFiles/tests_core.dir/core/spanning_forest_test.cpp.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/spanning_forest_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

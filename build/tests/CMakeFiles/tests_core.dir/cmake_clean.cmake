@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/cc_variants_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/cc_variants_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/concomp_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/concomp_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/differential_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/differential_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/euler_tour_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/euler_tour_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/experiment_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/experiment_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/expression_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/expression_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/kernels_baseline_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/kernels_baseline_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/kernels_cc_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/kernels_cc_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/kernels_lr_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/kernels_lr_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/listrank_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/listrank_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/mst_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/mst_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/prefix_list_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/prefix_list_test.cpp.o.d"
+  "CMakeFiles/tests_core.dir/core/spanning_forest_test.cpp.o"
+  "CMakeFiles/tests_core.dir/core/spanning_forest_test.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

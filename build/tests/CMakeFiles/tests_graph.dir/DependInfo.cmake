@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/csr_graph_test.cpp" "tests/CMakeFiles/tests_graph.dir/graph/csr_graph_test.cpp.o" "gcc" "tests/CMakeFiles/tests_graph.dir/graph/csr_graph_test.cpp.o.d"
+  "/root/repo/tests/graph/edge_list_test.cpp" "tests/CMakeFiles/tests_graph.dir/graph/edge_list_test.cpp.o" "gcc" "tests/CMakeFiles/tests_graph.dir/graph/edge_list_test.cpp.o.d"
+  "/root/repo/tests/graph/generators_test.cpp" "tests/CMakeFiles/tests_graph.dir/graph/generators_test.cpp.o" "gcc" "tests/CMakeFiles/tests_graph.dir/graph/generators_test.cpp.o.d"
+  "/root/repo/tests/graph/io_test.cpp" "tests/CMakeFiles/tests_graph.dir/graph/io_test.cpp.o" "gcc" "tests/CMakeFiles/tests_graph.dir/graph/io_test.cpp.o.d"
+  "/root/repo/tests/graph/linked_list_test.cpp" "tests/CMakeFiles/tests_graph.dir/graph/linked_list_test.cpp.o" "gcc" "tests/CMakeFiles/tests_graph.dir/graph/linked_list_test.cpp.o.d"
+  "/root/repo/tests/graph/validate_test.cpp" "tests/CMakeFiles/tests_graph.dir/graph/validate_test.cpp.o" "gcc" "tests/CMakeFiles/tests_graph.dir/graph/validate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_graph.dir/graph/csr_graph_test.cpp.o"
+  "CMakeFiles/tests_graph.dir/graph/csr_graph_test.cpp.o.d"
+  "CMakeFiles/tests_graph.dir/graph/edge_list_test.cpp.o"
+  "CMakeFiles/tests_graph.dir/graph/edge_list_test.cpp.o.d"
+  "CMakeFiles/tests_graph.dir/graph/generators_test.cpp.o"
+  "CMakeFiles/tests_graph.dir/graph/generators_test.cpp.o.d"
+  "CMakeFiles/tests_graph.dir/graph/io_test.cpp.o"
+  "CMakeFiles/tests_graph.dir/graph/io_test.cpp.o.d"
+  "CMakeFiles/tests_graph.dir/graph/linked_list_test.cpp.o"
+  "CMakeFiles/tests_graph.dir/graph/linked_list_test.cpp.o.d"
+  "CMakeFiles/tests_graph.dir/graph/validate_test.cpp.o"
+  "CMakeFiles/tests_graph.dir/graph/validate_test.cpp.o.d"
+  "tests_graph"
+  "tests_graph.pdb"
+  "tests_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_perf.dir/perf/cost_model_test.cpp.o"
+  "CMakeFiles/tests_perf.dir/perf/cost_model_test.cpp.o.d"
+  "tests_perf"
+  "tests_perf.pdb"
+  "tests_perf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_rt.dir/rt/barrier_test.cpp.o"
+  "CMakeFiles/tests_rt.dir/rt/barrier_test.cpp.o.d"
+  "CMakeFiles/tests_rt.dir/rt/parallel_for_test.cpp.o"
+  "CMakeFiles/tests_rt.dir/rt/parallel_for_test.cpp.o.d"
+  "CMakeFiles/tests_rt.dir/rt/prefix_sum_test.cpp.o"
+  "CMakeFiles/tests_rt.dir/rt/prefix_sum_test.cpp.o.d"
+  "CMakeFiles/tests_rt.dir/rt/thread_pool_test.cpp.o"
+  "CMakeFiles/tests_rt.dir/rt/thread_pool_test.cpp.o.d"
+  "tests_rt"
+  "tests_rt.pdb"
+  "tests_rt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cache_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim/cache_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/cache_test.cpp.o.d"
+  "/root/repo/tests/sim/cross_machine_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim/cross_machine_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/cross_machine_test.cpp.o.d"
+  "/root/repo/tests/sim/memory_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim/memory_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/memory_test.cpp.o.d"
+  "/root/repo/tests/sim/model_properties_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim/model_properties_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/model_properties_test.cpp.o.d"
+  "/root/repo/tests/sim/mta_machine_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim/mta_machine_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/mta_machine_test.cpp.o.d"
+  "/root/repo/tests/sim/smp_machine_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim/smp_machine_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/smp_machine_test.cpp.o.d"
+  "/root/repo/tests/sim/task_test.cpp" "tests/CMakeFiles/tests_sim.dir/sim/task_test.cpp.o" "gcc" "tests/CMakeFiles/tests_sim.dir/sim/task_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/archgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/archgraph_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sim.dir/sim/cache_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/cache_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/cross_machine_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/cross_machine_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/memory_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/memory_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/model_properties_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/model_properties_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/mta_machine_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/mta_machine_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/smp_machine_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/smp_machine_test.cpp.o.d"
+  "CMakeFiles/tests_sim.dir/sim/task_test.cpp.o"
+  "CMakeFiles/tests_sim.dir/sim/task_test.cpp.o.d"
+  "tests_sim"
+  "tests_sim.pdb"
+  "tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archgraph_cli.dir/archgraph_cli.cpp.o"
+  "CMakeFiles/archgraph_cli.dir/archgraph_cli.cpp.o.d"
+  "archgraph_cli"
+  "archgraph_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archgraph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
