@@ -1,14 +1,19 @@
 // Shared helpers for the paper-reproduction bench binaries.
 #pragma once
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hpp"
 #include "common/types.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 
 namespace archgraph::bench {
 
@@ -26,19 +31,118 @@ inline Scale scale_from_env() {
 }
 
 /// If ARCHGRAPH_BENCH_CSV=<dir> is set, writes `table` to <dir>/<name>.csv
-/// (for plotting the figures); otherwise does nothing.
-inline void maybe_write_csv(const archgraph::Table& table,
+/// (for plotting the figures); otherwise does nothing. Returns false (with
+/// the errno reason on stderr) when the file cannot be written.
+inline bool maybe_write_csv(const archgraph::Table& table,
                             const std::string& name) {
   const char* dir = std::getenv("ARCHGRAPH_BENCH_CSV");
-  if (dir == nullptr) return;
+  if (dir == nullptr) return true;
   const std::string path = std::string{dir} + "/" + name + ".csv";
   std::ofstream out(path);
   if (!out) {
-    std::cerr << "warning: cannot write " << path << '\n';
-    return;
+    std::cerr << "warning: cannot write " << path << ": "
+              << std::strerror(errno) << '\n';
+    return false;
   }
   out << table.to_csv();
+  out.flush();
+  if (!out) {
+    std::cerr << "warning: short write to " << path << ": "
+              << std::strerror(errno) << '\n';
+    return false;
+  }
   std::cout << "(csv written to " << path << ")\n";
+  return true;
+}
+
+/// Machine-readable twin of a bench's printed tables. If
+/// ARCHGRAPH_BENCH_JSON=<dir> is set, collects one flat JSON object per
+/// measurement and writes `{"bench": <name>, "records": [...]}` to
+/// <dir>/BENCH_<name>.json on write() (the destructor writes as a backstop);
+/// with the variable unset every call is a no-op.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    const char* dir = std::getenv("ARCHGRAPH_BENCH_JSON");
+    if (dir != nullptr) dir_ = dir;
+  }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() { write(); }
+
+  bool active() const { return !dir_.empty(); }
+  usize num_records() const { return records_.size(); }
+
+  /// Appends one record; `fill` receives a writer with the record's object
+  /// already open (add fields only — the object is closed here).
+  template <typename F>
+  void record(F&& fill) {
+    if (!active()) return;
+    obs::JsonWriter w;
+    w.begin_object();
+    fill(w);
+    w.end_object();
+    records_.push_back(w.take());
+  }
+
+  /// Writes the document once; false (with the errno reason on stderr) on
+  /// open/write failure or when inactive.
+  bool write() {
+    if (!active()) return false;
+    if (written_) return wrote_ok_;
+    written_ = true;
+    obs::JsonWriter doc;
+    doc.begin_object().field("bench", name_);
+    doc.key("records").begin_array();
+    for (const std::string& r : records_) {
+      doc.raw(r);
+    }
+    doc.end_array().end_object();
+
+    const std::string path = dir_ + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << ": "
+                << std::strerror(errno) << '\n';
+      return wrote_ok_ = false;
+    }
+    out << doc.str() << '\n';
+    out.flush();
+    if (!out) {
+      std::cerr << "warning: short write to " << path << ": "
+                << std::strerror(errno) << '\n';
+      return wrote_ok_ = false;
+    }
+    std::cout << "(json written to " << path << ")\n";
+    return wrote_ok_ = true;
+  }
+
+ private:
+  std::string name_;
+  std::string dir_;
+  std::vector<std::string> records_;
+  bool written_ = false;
+  bool wrote_ok_ = false;
+};
+
+/// Appends "phases": [...] to an open record object — the per-phase
+/// breakdown (region and barrier-phase spans) captured by `session`.
+inline void add_phase_breakdown(obs::JsonWriter& w,
+                                const obs::TraceSession& session) {
+  w.key("phases").begin_array();
+  for (const obs::SpanRecord& s : session.spans()) {
+    if (s.kind != "region" && s.kind != "phase") continue;
+    w.begin_object()
+        .field("name", s.name)
+        .field("kind", s.kind)
+        .field("depth", s.depth)
+        .field("cycles", s.delta.cycles)
+        .field("instructions", s.delta.instructions)
+        .field("utilization", s.utilization())
+        .field("seconds", s.seconds())
+        .end_object();
+  }
+  w.end_array();
 }
 
 inline void print_header(const std::string& title, const std::string& what) {

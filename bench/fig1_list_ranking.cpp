@@ -17,18 +17,40 @@ namespace {
 
 using namespace archgraph;
 
-struct Result {
-  double seconds = 0;
-};
+void record_run(bench::BenchJson* bj, const sim::Machine& machine,
+                const obs::TraceSession& session, const char* machine_name,
+                const char* layout, i64 n, u32 procs) {
+  if (bj == nullptr) return;
+  bj->record([&](obs::JsonWriter& w) {
+    w.field("workload", "list_ranking")
+        .field("machine", machine_name)
+        .field("layout", layout)
+        .field("n", n)
+        .field("procs", static_cast<i64>(procs))
+        .field("seconds", machine.seconds())
+        .field("cycles", machine.stats().cycles)
+        .field("instructions", machine.stats().instructions)
+        .field("utilization", machine.utilization());
+    bench::add_phase_breakdown(w, session);
+  });
+}
 
-double run_mta(u32 procs, const graph::LinkedList& list) {
+double run_mta(u32 procs, const graph::LinkedList& list,
+               const char* layout = "Ordered",
+               bench::BenchJson* bj = nullptr) {
   sim::MtaMachine machine(core::paper_mta_config(procs));
+  obs::TraceSession session("fig1/mta");
+  obs::TraceSession::Install install(session);
+  session.attach(machine, "mta");
   const auto ranks = core::sim_rank_list_walk(machine, list);
   AG_CHECK(ranks == core::rank_sequential(list), "MTA kernel self-check");
+  record_run(bj, machine, session, "mta", layout, list.size(), procs);
   return machine.seconds();
 }
 
-double run_smp(u32 procs, const graph::LinkedList& list) {
+double run_smp(u32 procs, const graph::LinkedList& list,
+               const char* layout = "Ordered",
+               bench::BenchJson* bj = nullptr) {
   sim::SmpConfig cfg = core::paper_smp_config(procs);
   // Scaled-machine methodology: the paper ranks lists of 1M-80M nodes
   // (8 MB-640 MB per array) against a 4 MB L2, i.e. the working set never
@@ -37,8 +59,12 @@ double run_smp(u32 procs, const graph::LinkedList& list) {
   // working-set : cache ratio (EXPERIMENTS.md, FIG1 notes).
   cfg.l2_bytes = 512 * 1024;
   sim::SmpMachine machine(cfg);
+  obs::TraceSession session("fig1/smp");
+  obs::TraceSession::Install install(session);
+  session.attach(machine, "smp");
   const auto ranks = core::sim_rank_list_hj(machine, list);
   AG_CHECK(ranks == core::rank_sequential(list), "SMP kernel self-check");
+  record_run(bj, machine, session, "smp", layout, list.size(), procs);
   return machine.seconds();
 }
 
@@ -68,6 +94,11 @@ int main() {
       "scaled down\nand times come from the architecture simulators "
       "(shape/ratio comparison, not absolute)");
 
+  // Machine-readable twin of the tables (one record per table cell) when
+  // ARCHGRAPH_BENCH_JSON=<dir> is set; the ratio re-runs below are derived
+  // quantities and are not recorded.
+  bench::BenchJson bj("fig1_list_ranking");
+
   for (const bool random : {false, true}) {
     const char* layout = random ? "Random" : "Ordered";
 
@@ -84,8 +115,8 @@ int main() {
       mta_table.row().add(n);
       smp_table.row().add(n);
       for (const u32 p : procs) {
-        mta_table.add(run_mta(p, list));
-        smp_table.add(run_smp(p, list));
+        mta_table.add(run_mta(p, list, layout, &bj));
+        smp_table.add(run_smp(p, list, layout, &bj));
       }
     }
     std::cout << "--- Cray MTA (" << layout << " list) ---\n"
@@ -121,5 +152,6 @@ int main() {
             mta_rnd_8 / mta_ord_8);
   std::cout << "--- §5 headline ratios (n = " << n << ") ---\n" << ratios;
   bench::maybe_write_csv(ratios, "fig1_ratios");
+  bj.write();
   return 0;
 }

@@ -16,19 +16,48 @@ namespace {
 
 using namespace archgraph;
 
+void record_run(bench::BenchJson* bj, const sim::Machine& machine,
+                const obs::TraceSession& session, const char* machine_name,
+                const graph::EdgeList& g, u32 procs, i64 iterations) {
+  if (bj == nullptr) return;
+  bj->record([&](obs::JsonWriter& w) {
+    w.field("workload", "connected_components")
+        .field("machine", machine_name)
+        .field("n", static_cast<i64>(g.num_vertices()))
+        .field("m", g.num_edges())
+        .field("procs", static_cast<i64>(procs))
+        .field("iterations", iterations)
+        .field("seconds", machine.seconds())
+        .field("cycles", machine.stats().cycles)
+        .field("instructions", machine.stats().instructions)
+        .field("utilization", machine.utilization());
+    bench::add_phase_breakdown(w, session);
+  });
+}
+
 double run_mta(u32 procs, const graph::EdgeList& g,
-               const std::vector<NodeId>& truth) {
+               const std::vector<NodeId>& truth,
+               bench::BenchJson* bj = nullptr) {
   sim::MtaMachine machine(core::paper_mta_config(procs));
+  obs::TraceSession session("fig2/mta");
+  obs::TraceSession::Install install(session);
+  session.attach(machine, "mta");
   const auto result = core::sim_cc_sv_mta(machine, g);
   AG_CHECK(result.labels == truth, "MTA CC self-check");
+  record_run(bj, machine, session, "mta", g, procs, result.iterations);
   return machine.seconds();
 }
 
 double run_smp(u32 procs, const graph::EdgeList& g,
-               const std::vector<NodeId>& truth) {
+               const std::vector<NodeId>& truth,
+               bench::BenchJson* bj = nullptr) {
   sim::SmpMachine machine(core::paper_smp_config(procs));
+  obs::TraceSession session("fig2/smp");
+  obs::TraceSession::Install install(session);
+  session.attach(machine, "smp");
   const auto result = core::sim_cc_sv_smp(machine, g);
   AG_CHECK(result.labels == truth, "SMP CC self-check");
+  record_run(bj, machine, session, "smp", g, procs, result.iterations);
   return machine.seconds();
 }
 
@@ -63,6 +92,10 @@ int main() {
   Table smp_table({"m", "m/n", "p=1", "p=2", "p=4", "p=8"}, 6);
   Table ratio_table({"m/n", "SMP/MTA p=1", "SMP/MTA p=8", "paper"}, 2);
 
+  // Machine-readable twin of the tables (one record per cell) when
+  // ARCHGRAPH_BENCH_JSON=<dir> is set.
+  bench::BenchJson bj("fig2_connected_components");
+
   for (const i64 f : edge_factors) {
     const i64 m = f * n;
     const graph::EdgeList g =
@@ -73,8 +106,8 @@ int main() {
     smp_table.row().add(m).add(f);
     double mta1 = 0, mta8 = 0, smp1 = 0, smp8 = 0;
     for (const u32 p : procs) {
-      const double tm = run_mta(p, g, truth);
-      const double ts = run_smp(p, g, truth);
+      const double tm = run_mta(p, g, truth, &bj);
+      const double ts = run_smp(p, g, truth, &bj);
       mta_table.add(tm);
       smp_table.add(ts);
       if (p == 1) {
@@ -95,5 +128,6 @@ int main() {
   bench::maybe_write_csv(mta_table, "fig2_mta");
   bench::maybe_write_csv(smp_table, "fig2_smp");
   bench::maybe_write_csv(ratio_table, "fig2_ratios");
+  bj.write();
   return 0;
 }

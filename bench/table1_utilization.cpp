@@ -29,6 +29,32 @@ std::string percent(double fraction) {
   return os.str();
 }
 
+// Runs one traced MTA workload and, when ARCHGRAPH_BENCH_JSON is set,
+// records a JSON twin of the table cell (plus the per-phase breakdown the
+// printed table has no room for). Returns the utilization the table prints.
+double run_cell(bench::BenchJson& bj, const std::string& workload, u32 procs,
+                i64 n, i64 m,
+                const std::function<void(sim::MtaMachine&)>& kernel) {
+  sim::MtaMachine machine(core::paper_mta_config(procs));
+  obs::TraceSession session("table1/mta");
+  obs::TraceSession::Install install(session);
+  session.attach(machine, "mta");
+  kernel(machine);
+  bj.record([&](obs::JsonWriter& w) {
+    w.field("workload", workload)
+        .field("machine", "mta")
+        .field("n", n)
+        .field("m", m)
+        .field("procs", static_cast<i64>(procs))
+        .field("seconds", machine.seconds())
+        .field("cycles", machine.stats().cycles)
+        .field("instructions", machine.stats().instructions)
+        .field("utilization", machine.utilization());
+    bench::add_phase_breakdown(w, session);
+  });
+  return machine.utilization();
+}
+
 }  // namespace
 
 int main() {
@@ -59,47 +85,37 @@ int main() {
           " m=" + std::to_string(cc_m) + " graph (scaled)");
 
   Table table({"workload", "p=1", "p=4", "p=8", "paper (p=1/4/8)"});
+  bench::BenchJson bj("table1_utilization");
 
-  auto row = [&](const std::string& name,
-                 const std::function<double(u32)>& util,
+  auto row = [&](const std::string& name, i64 n, i64 m,
+                 const std::function<void(sim::MtaMachine&)>& kernel,
                  const std::string& paper) {
     table.row().add(name);
     for (const u32 p : {1u, 4u, 8u}) {
-      table.add(percent(util(p)));
+      table.add(percent(run_cell(bj, name, p, n, m, kernel)));
     }
     table.add(paper);
   };
 
   const graph::LinkedList random_l =
       graph::random_list(list_n, 0xf1a9u);
-  row("list ranking, Random list",
-      [&](u32 p) {
-        sim::MtaMachine m(core::paper_mta_config(p));
-        core::sim_rank_list_walk(m, random_l);
-        return m.utilization();
-      },
+  row("list ranking, Random list", list_n, 0,
+      [&](sim::MtaMachine& m) { core::sim_rank_list_walk(m, random_l); },
       "98% / 90% / 82%");
 
   const graph::LinkedList ordered_l = graph::ordered_list(list_n);
-  row("list ranking, Ordered list",
-      [&](u32 p) {
-        sim::MtaMachine m(core::paper_mta_config(p));
-        core::sim_rank_list_walk(m, ordered_l);
-        return m.utilization();
-      },
+  row("list ranking, Ordered list", list_n, 0,
+      [&](sim::MtaMachine& m) { core::sim_rank_list_walk(m, ordered_l); },
       "97% / 85% / 80%");
 
   const graph::EdgeList g =
       graph::random_graph(cc_n, cc_m, 0xcc5eedu);
-  row("connected components",
-      [&](u32 p) {
-        sim::MtaMachine m(core::paper_mta_config(p));
-        core::sim_cc_sv_mta(m, g);
-        return m.utilization();
-      },
+  row("connected components", cc_n, cc_m,
+      [&](sim::MtaMachine& m) { core::sim_cc_sv_mta(m, g); },
       "99% / 93% / 91%");
 
   std::cout << table;
   bench::maybe_write_csv(table, "table1_utilization");
+  bj.write();
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "core/concomp/concomp.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/kernels/sim_par.hpp"
+#include "obs/trace.hpp"
 
 namespace archgraph::core {
 
@@ -131,6 +132,7 @@ std::vector<i64> sim_rank_list_sequential(sim::Machine& machine,
   SimArray<i64> lst(mem, n);
   lst.assign(list.next);
   SimArray<i64> rank(mem, n);
+  obs::label_next_region("lr.seq-chase");
   machine.spawn(seq_rank_kernel, i64{0}, i64{1}, lst, rank,
                 static_cast<i64>(list.head));
   machine.run_region();
@@ -152,6 +154,7 @@ std::vector<i64> sim_rank_list_wyllie(sim::Machine& machine,
   SimArray<i64> next_b(mem, n);
 
   const i64 workers = simk::auto_workers(machine, n, params.workers);
+  obs::label_next_region("wyllie.init");
   simk::spawn_workers(machine, workers, wyllie_init_kernel, lst, dist_a,
                       next_a);
   machine.run_region();
@@ -161,6 +164,7 @@ std::vector<i64> sim_rank_list_wyllie(sim::Machine& machine,
   const int rounds =
       std::bit_width(static_cast<u64>(std::max<i64>(n - 1, 1)));
   for (int r = 0; r < rounds; ++r) {
+    obs::label_next_region("wyllie.round#" + std::to_string(r + 1));
     simk::spawn_workers(machine, workers, wyllie_round_kernel, dist, next,
                         dist_other, next_other);
     machine.run_region();
@@ -168,6 +172,7 @@ std::vector<i64> sim_rank_list_wyllie(sim::Machine& machine,
     std::swap(next, next_other);
   }
 
+  obs::label_next_region("wyllie.final");
   simk::spawn_workers(machine, workers, wyllie_final_kernel, dist, rank);
   machine.run_region();
   return rank.to_vector();
@@ -186,6 +191,7 @@ std::vector<NodeId> sim_cc_union_find_sequential(
     ev.set(i, graph.edge(i).v);
   }
   SimArray<i64> parent(mem, n);
+  obs::label_next_region("cc.seq-union-find");
   machine.spawn(seq_uf_kernel, i64{0}, i64{1}, eu, ev, parent, m);
   machine.run_region();
 

@@ -18,6 +18,7 @@
 #include "core/concomp/concomp.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/kernels/sim_par.hpp"
+#include "obs/trace.hpp"
 
 namespace archgraph::core {
 
@@ -111,6 +112,7 @@ SimCcResult sim_cc_sv_mta(sim::Machine& machine, const graph::EdgeList& graph,
   SimArray<i64> counter(mem, 1);
   SimArray<i64> graft(mem, 1);
 
+  obs::label_next_region("cc.init");
   simk::spawn_workers(machine, simk::auto_workers(machine, n, params.workers),
                       iota_kernel, d);
   machine.run_region();
@@ -127,6 +129,8 @@ SimCcResult sim_cc_sv_mta(sim::Machine& machine, const graph::EdgeList& graph,
     graft.set(0, 0);
     if (slots > 0) {
       counter.set(0, 0);
+      obs::label_next_region("cc.graft#" +
+                             std::to_string(result.iterations + 1));
       simk::spawn_workers(machine, edge_workers, graft_kernel, eu, ev, d,
                           counter.addr(0), graft.addr(0), params.chunk);
       machine.run_region();
@@ -136,12 +140,14 @@ SimCcResult sim_cc_sv_mta(sim::Machine& machine, const graph::EdgeList& graph,
       break;  // D was already a fixed point after the previous shortcut
     }
     counter.set(0, 0);
+    obs::label_next_region("cc.shortcut#" + std::to_string(result.iterations));
     simk::spawn_workers(machine, vertex_workers, shortcut_kernel, d,
                         counter.addr(0), params.chunk);
     machine.run_region();
     AG_CHECK(result.iterations <= max_iters,
              "simulated Shiloach-Vishkin failed to converge");
   }
+  obs::counter_add("cc.iterations", result.iterations);
 
   result.labels.resize(static_cast<usize>(n));
   for (NodeId v = 0; v < n; ++v) {

@@ -17,6 +17,7 @@
 #include "core/concomp/concomp.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/kernels/sim_par.hpp"
+#include "obs/trace.hpp"
 
 namespace archgraph::core {
 
@@ -137,12 +138,17 @@ SimCcResult sim_cc_sv_smp(sim::Machine& machine, const graph::EdgeList& graph,
 
   const i64 max_iters =
       2 * static_cast<i64>(std::bit_width(static_cast<u64>(n))) + 8;
+  // One region; barrier releases separate the init pass from the repeating
+  // graft / combine / shortcut phases of each iteration.
+  obs::label_next_region("cc.sv");
+  obs::label_phases({"cc.init"}, {"cc.graft", "cc.combine", "cc.shortcut"});
   simk::spawn_workers(machine, threads, sv_smp_kernel, eu, ev, d, flags, cont,
                       iters, max_iters);
   machine.run_region();
 
   SimCcResult result;
   result.iterations = iters.get(0);
+  obs::counter_add("cc.iterations", result.iterations);
   result.labels.resize(static_cast<usize>(n));
   for (NodeId v = 0; v < n; ++v) {
     result.labels[static_cast<usize>(v)] = d.get(v);

@@ -23,6 +23,7 @@
 #include "common/prng.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/kernels/sim_par.hpp"
+#include "obs/trace.hpp"
 
 namespace archgraph::core {
 
@@ -174,6 +175,12 @@ std::vector<i64> sim_rank_list_hj(sim::Machine& machine,
   SimArray<i64> offsets(mem, s);
   SimArray<i64> partial(mem, threads);
 
+  // One region, four barriers: the span between consecutive barrier releases
+  // is exactly one of the paper's five steps.
+  obs::label_next_region("hj.rank");
+  obs::label_phases({"hj.successor-sum", "hj.sublist-selection",
+                     "hj.local-walk", "hj.sublist-rank", "hj.final-rank"});
+  obs::counter_add("hj.sublists", s);
   simk::spawn_workers(machine, threads, hj_kernel, lst, sub_of, local, rank,
                       heads, lens, succs, offsets, partial, params.seed);
   machine.run_region();

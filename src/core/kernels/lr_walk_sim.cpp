@@ -29,6 +29,7 @@
 #include "common/check.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/kernels/sim_par.hpp"
+#include "obs/trace.hpp"
 
 namespace archgraph::core {
 
@@ -184,6 +185,7 @@ std::vector<i64> sim_rank_list_walk(sim::Machine& machine,
   acc.set(0, 0);
 
   // Phase A: find the head the paper's way (parallel index sum).
+  obs::label_next_region("lr.head-sum");
   simk::spawn_workers(machine, simk::auto_workers(machine, n, params.workers),
                       sum_next_kernel, lst, acc.addr(0));
   machine.run_region();
@@ -234,6 +236,7 @@ std::vector<i64> sim_rank_list_walk(sim::Machine& machine,
   SimArray<i64> counter(mem, 1);
 
   // Phase B: rank[i] = -1 (marker value).
+  obs::label_next_region("lr.rank-init");
   simk::spawn_workers(machine, simk::auto_workers(machine, n, params.workers),
                       fill_kernel, rank, i64{-1});
   machine.run_region();
@@ -242,6 +245,7 @@ std::vector<i64> sim_rank_list_walk(sim::Machine& machine,
   {
     const i64 w_workers =
         simk::auto_workers(machine, w_count, params.workers);
+    obs::label_next_region("lr.mark-heads");
     simk::spawn_workers(machine, w_workers, mark_heads_kernel, heads, rank);
     machine.run_region();
   }
@@ -249,6 +253,8 @@ std::vector<i64> sim_rank_list_walk(sim::Machine& machine,
   // Phase D: the walks (dynamically scheduled unless the ablation asks for
   // block scheduling). len[w] seeds dist buffer 0 directly.
   counter.set(0, 0);
+  obs::label_next_region("lr.walks");
+  obs::counter_add("lr.num_walks", w_count);
   simk::spawn_workers(machine,
                       simk::auto_workers(machine, w_count, params.workers),
                       walk_kernel, lst, rank, heads, len, succ_a, tail,
@@ -267,6 +273,7 @@ std::vector<i64> sim_rank_list_walk(sim::Machine& machine,
     SimArray<i64> dist_other = dist_b;
     SimArray<i64> succ_other = succ_b;
     for (int r = 0; r < rounds; ++r) {
+      obs::label_next_region("lr.jump#" + std::to_string(r + 1));
       simk::spawn_workers(machine, w_workers, jump_round_kernel, dist, succ,
                           dist_other, succ_other);
       machine.run_region();
@@ -277,6 +284,7 @@ std::vector<i64> sim_rank_list_walk(sim::Machine& machine,
 
   // Phase F: final ranks.
   counter.set(0, 0);
+  obs::label_next_region("lr.final-ranks");
   simk::spawn_workers(machine,
                       simk::auto_workers(machine, w_count, params.workers),
                       final_rank_kernel, lst, rank, heads, dist, tail,

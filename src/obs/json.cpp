@@ -1,0 +1,331 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace archgraph::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_for_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // the key already placed its comma and colon
+  }
+  AG_CHECK(stack_.empty() || stack_.back() == Frame::kArray,
+           "JsonWriter: object member needs key() before its value");
+  if (need_comma_) out_ += ',';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_for_value();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  AG_CHECK(!stack_.empty() && stack_.back() == Frame::kObject && !after_key_,
+           "JsonWriter: unbalanced end_object()");
+  out_ += '}';
+  stack_.pop_back();
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_for_value();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  AG_CHECK(!stack_.empty() && stack_.back() == Frame::kArray && !after_key_,
+           "JsonWriter: unbalanced end_array()");
+  out_ += ']';
+  stack_.pop_back();
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  AG_CHECK(!stack_.empty() && stack_.back() == Frame::kObject && !after_key_,
+           "JsonWriter: key() outside an object");
+  if (need_comma_) out_ += ',';
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma_for_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(i64 v) {
+  comma_for_value();
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out_.append(buf, ptr);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  comma_for_value();
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out_.append(buf, ptr);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_for_value();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma_for_value();
+  out_ += "null";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  comma_for_value();
+  out_ += json;
+  need_comma_ = true;
+  return *this;
+}
+
+// ------------------------------------------------------------- validation
+
+namespace {
+
+/// Recursive-descent JSON validator. Tracks position for error reporting.
+class Validator {
+ public:
+  Validator(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool run() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const char* what) {
+    if (error_ != nullptr) {
+      *error_ = "offset " + std::to_string(pos_) + ": " + what;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value() {
+    if (depth_ > 256) return fail("nesting too deep");
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    ++depth_;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key");
+      if (!string()) return false;
+      skip_ws();
+      if (at_end() || peek() != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    ++depth_;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // opening quote
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (at_end()) return fail("unterminated escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (at_end() || !std::isxdigit(static_cast<unsigned char>(
+                                text_[pos_]))) {
+              return fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+  }
+
+  bool digits() {
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("expected digit");
+    }
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  bool number() {
+    if (peek() == '-') ++pos_;
+    if (at_end()) return fail("bad number");
+    if (peek() == '0') {
+      ++pos_;  // no leading zeros
+    } else if (!digits()) {
+      return false;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  usize pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool json_is_valid(std::string_view text, std::string* error) {
+  return Validator(text, error).run();
+}
+
+}  // namespace archgraph::obs

@@ -1,0 +1,76 @@
+// Dependency-free JSON emission for the observability layer.
+//
+// JsonWriter is a streaming writer: callers open/close containers and append
+// keys/values in order, so field order in the output is exactly the call
+// order — which keeps the trace and bench schemas stable for golden tests
+// and downstream tooling. No DOM is built; the writer appends to one string.
+//
+// json_is_valid() is a strict RFC-8259 validator (objects, arrays, strings
+// with escapes, numbers, literals) used by the tests and the CLI to assert
+// that everything we emit actually parses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace archgraph::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included): ", \, control characters as \u00XX or the short forms.
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container open.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view{v}); }
+  JsonWriter& value(i64 v);
+  JsonWriter& value(u64 v) { return value(static_cast<i64>(v)); }
+  JsonWriter& value(int v) { return value(static_cast<i64>(v)); }
+  JsonWriter& value(u32 v) { return value(static_cast<i64>(v)); }
+  /// Doubles print via std::to_chars (shortest round-trip form); NaN and
+  /// infinities — not representable in JSON — are emitted as null.
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Splices a pre-serialized JSON value (must itself be valid JSON).
+  JsonWriter& raw(std::string_view json);
+
+  /// key(name) + value(v) in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T v) {
+    key(name);
+    return value(v);
+  }
+
+  /// True once every opened container has been closed.
+  bool complete() const { return stack_.empty() && !out_.empty(); }
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma_for_value();
+
+  enum class Frame : u8 { kObject, kArray };
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+/// Strict validation of one complete JSON document. On failure returns false
+/// and, if `error` is non-null, stores a byte offset + reason message.
+bool json_is_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace archgraph::obs

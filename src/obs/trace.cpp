@@ -1,0 +1,355 @@
+#include "obs/trace.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace archgraph::obs {
+
+namespace {
+
+TraceSession* g_current = nullptr;
+
+/// Shared span serialization so the JSONL events and the summary document
+/// carry identical field names (schema stability is test-enforced).
+void span_fields(JsonWriter& w, const SpanRecord& s) {
+  const sim::MachineStats& d = s.delta;
+  w.field("id", s.id)
+      .field("parent", s.parent)
+      .field("depth", s.depth)
+      .field("kind", s.kind)
+      .field("name", s.name)
+      .field("begin_cycle", s.begin_cycle)
+      .field("end_cycle", s.end_cycle)
+      .field("cycles", d.cycles)
+      .field("instructions", d.instructions)
+      .field("memory_ops", d.memory_ops)
+      .field("loads", d.loads)
+      .field("stores", d.stores)
+      .field("fetch_adds", d.fetch_adds)
+      .field("sync_ops", d.sync_ops)
+      .field("sync_retries", d.sync_retries)
+      .field("barriers", d.barriers)
+      .field("regions", d.regions)
+      .field("threads", d.threads)
+      .field("l1_hits", d.l1_hits)
+      .field("l2_hits", d.l2_hits)
+      .field("mem_fills", d.mem_fills)
+      .field("writebacks", d.writebacks)
+      .field("invalidations", d.invalidations)
+      .field("interventions", d.interventions)
+      .field("context_switches", d.context_switches)
+      .field("bus_busy", d.bus_busy)
+      .field("processors", s.processors)
+      .field("utilization", s.utilization())
+      .field("seconds", s.seconds());
+}
+
+void totals_fields(JsonWriter& w, const sim::MachineStats& t, u32 processors,
+                   double clock_hz) {
+  w.field("cycles", t.cycles)
+      .field("instructions", t.instructions)
+      .field("memory_ops", t.memory_ops)
+      .field("loads", t.loads)
+      .field("stores", t.stores)
+      .field("fetch_adds", t.fetch_adds)
+      .field("sync_ops", t.sync_ops)
+      .field("sync_retries", t.sync_retries)
+      .field("barriers", t.barriers)
+      .field("regions", t.regions)
+      .field("threads", t.threads)
+      .field("l1_hits", t.l1_hits)
+      .field("l2_hits", t.l2_hits)
+      .field("mem_fills", t.mem_fills)
+      .field("writebacks", t.writebacks)
+      .field("invalidations", t.invalidations)
+      .field("interventions", t.interventions)
+      .field("context_switches", t.context_switches)
+      .field("bus_busy", t.bus_busy)
+      .field("utilization", t.utilization(processors))
+      .field("seconds",
+             clock_hz > 0 ? static_cast<double>(t.cycles) / clock_hz : 0.0);
+}
+
+bool write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "obs: cannot open " << path << " for " << what << ": "
+              << std::strerror(errno) << '\n';
+    return false;
+  }
+  out << text;
+  out.flush();
+  if (!out) {
+    std::cerr << "obs: short write to " << path << ": "
+              << std::strerror(errno) << '\n';
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TraceSession::TraceSession(std::string run_name)
+    : run_name_(std::move(run_name)) {}
+
+TraceSession::~TraceSession() { detach(); }
+
+void TraceSession::attach(sim::Machine& machine, std::string machine_name) {
+  detach();
+  machine_ = &machine;
+  machine_name_ = std::move(machine_name);
+  machine.set_region_observer(this);
+}
+
+void TraceSession::detach() {
+  if (machine_ != nullptr) {
+    if (machine_->region_observer() == this) {
+      machine_->set_region_observer(nullptr);
+    }
+    machine_ = nullptr;
+  }
+}
+
+sim::MachineStats TraceSession::snapshot() const {
+  return machine_ != nullptr ? machine_->stats() : sim::MachineStats{};
+}
+
+sim::Cycle TraceSession::absolute_cycle() const {
+  return machine_ != nullptr ? machine_->stats().cycles : 0;
+}
+
+i64 TraceSession::open_at(std::string name, std::string kind, sim::Cycle at,
+                          const sim::MachineStats& begin_stats) {
+  SpanRecord rec;
+  rec.id = static_cast<i64>(spans_.size());
+  rec.parent = open_stack_.empty()
+                   ? -1
+                   : spans_[static_cast<usize>(open_stack_.back().span_index)]
+                         .id;
+  rec.depth = static_cast<int>(open_stack_.size());
+  rec.name = std::move(name);
+  rec.kind = std::move(kind);
+  rec.begin_cycle = at;
+  rec.processors = machine_ != nullptr ? machine_->processors() : 0;
+  rec.clock_hz = machine_ != nullptr ? machine_->clock_hz() : 0.0;
+  rec.open = true;
+  spans_.push_back(std::move(rec));
+  open_stack_.push_back(OpenSpan{static_cast<i64>(spans_.size()) - 1,
+                                 begin_stats});
+  return spans_.back().id;
+}
+
+void TraceSession::close_at(i64 id, sim::Cycle at,
+                            const sim::MachineStats& end_stats) {
+  AG_CHECK(!open_stack_.empty() &&
+               spans_[static_cast<usize>(open_stack_.back().span_index)].id ==
+                   id,
+           "TraceSession: spans must close in LIFO order");
+  const OpenSpan top = open_stack_.back();
+  open_stack_.pop_back();
+  SpanRecord& rec = spans_[static_cast<usize>(top.span_index)];
+  rec.delta = end_stats - top.begin_stats;
+  // Intra-region phase spans see stale stats().cycles (advanced only at
+  // region end); the cycle positions are authoritative for every span kind.
+  rec.end_cycle = at;
+  rec.delta.cycles = at - rec.begin_cycle;
+  rec.open = false;
+}
+
+i64 TraceSession::begin_span(std::string name) {
+  AG_CHECK(!in_region_,
+           "TraceSession: host spans cannot open inside a simulated region");
+  return open_at(std::move(name), "span", absolute_cycle(), snapshot());
+}
+
+void TraceSession::end_span(i64 id) {
+  close_at(id, absolute_cycle(), snapshot());
+}
+
+void TraceSession::counter_add(const std::string& name, i64 delta) {
+  for (auto& [key, value] : counters_) {
+    if (key == name) {
+      value += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(name, delta);
+}
+
+void TraceSession::label_next_region(std::string name) {
+  next_region_label_ = std::move(name);
+}
+
+void TraceSession::label_phases(std::vector<std::string> prefix,
+                                std::vector<std::string> cycle) {
+  phase_prefix_ = std::move(prefix);
+  phase_cycle_ = std::move(cycle);
+  phases_pending_ = true;
+}
+
+std::string TraceSession::next_phase_label() {
+  const usize idx = phase_index_++;
+  if (idx < phase_prefix_.size()) {
+    return phase_prefix_[idx];
+  }
+  const usize k = idx - phase_prefix_.size();
+  if (!phase_cycle_.empty()) {
+    const usize iteration = k / phase_cycle_.size() + 1;
+    return phase_cycle_[k % phase_cycle_.size()] + "#" +
+           std::to_string(iteration);
+  }
+  return "phase#" + std::to_string(idx + 1);
+}
+
+void TraceSession::on_region_begin(const sim::Machine& machine) {
+  if (in_region_) {
+    // The previous region's simulate() threw before on_region_end; close its
+    // spans best-effort so the trace stays well-formed.
+    on_region_end(machine);
+  }
+  const sim::MachineStats before = machine.stats();
+  region_base_cycles_ = before.cycles;
+  std::string name = next_region_label_.empty()
+                         ? "region#" + std::to_string(before.regions + 1)
+                         : std::move(next_region_label_);
+  next_region_label_.clear();
+  region_span_ = open_at(std::move(name), "region", before.cycles, before);
+  in_region_ = true;
+  phase_index_ = 0;
+  if (phases_pending_) {
+    phase_span_ = open_at(next_phase_label(), "phase", before.cycles, before);
+  }
+}
+
+void TraceSession::on_barrier_release(const sim::Machine& machine,
+                                      sim::Cycle region_cycle) {
+  if (!in_region_ || !phases_pending_) {
+    return;
+  }
+  const sim::Cycle at = region_base_cycles_ + region_cycle;
+  const sim::MachineStats now = machine.stats();
+  close_at(phase_span_, at, now);
+  phase_span_ = open_at(next_phase_label(), "phase", at, now);
+}
+
+void TraceSession::on_region_end(const sim::Machine& machine) {
+  const sim::MachineStats after = machine.stats();
+  if (phases_pending_ && phase_span_ >= 0) {
+    close_at(phase_span_, after.cycles, after);
+    phase_span_ = -1;
+  }
+  close_at(region_span_, after.cycles, after);
+  region_span_ = -1;
+  in_region_ = false;
+  phases_pending_ = false;
+  phase_prefix_.clear();
+  phase_cycle_.clear();
+}
+
+std::string TraceSession::to_jsonl() const {
+  std::string out;
+  {
+    JsonWriter w;
+    w.begin_object()
+        .field("event", "run")
+        .field("name", run_name_)
+        .field("machine", machine_name_);
+    if (machine_ != nullptr) {
+      w.field("processors", machine_->processors())
+          .field("clock_hz", machine_->clock_hz())
+          .field("concurrency", machine_->concurrency());
+    }
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  for (const SpanRecord& s : spans_) {
+    if (s.open) continue;  // a kernel exception left it unclosed
+    JsonWriter w;
+    w.begin_object().field("event", "span");
+    span_fields(w, s);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  for (const auto& [name, value] : counters_) {
+    JsonWriter w;
+    w.begin_object()
+        .field("event", "counter")
+        .field("name", name)
+        .field("value", value);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TraceSession::summary_json() const {
+  JsonWriter w;
+  w.begin_object().field("run", run_name_);
+  w.key("machine").begin_object().field("name", machine_name_);
+  if (machine_ != nullptr) {
+    w.field("processors", machine_->processors())
+        .field("clock_hz", machine_->clock_hz())
+        .field("concurrency", machine_->concurrency());
+  }
+  w.end_object();
+  if (machine_ != nullptr) {
+    w.key("totals").begin_object();
+    totals_fields(w, machine_->stats(), machine_->processors(),
+                  machine_->clock_hz());
+    w.end_object();
+  }
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters_) {
+    w.field(name, value);
+  }
+  w.end_object();
+  w.key("spans").begin_array();
+  for (const SpanRecord& s : spans_) {
+    if (s.open) continue;
+    w.begin_object();
+    span_fields(w, s);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool TraceSession::write_jsonl(const std::string& path) const {
+  return write_text_file(path, to_jsonl(), "the JSONL trace");
+}
+
+bool TraceSession::write_summary(const std::string& path) const {
+  return write_text_file(path, summary_json(), "the run summary");
+}
+
+TraceSession* TraceSession::current() { return g_current; }
+
+TraceSession::Install::Install(TraceSession& session) : prev_(g_current) {
+  g_current = &session;
+}
+
+TraceSession::Install::~Install() { g_current = prev_; }
+
+Span::Span(const char* name) : session_(TraceSession::current()) {
+  if (session_ != nullptr) {
+    id_ = session_->begin_span(name);
+  }
+}
+
+Span::~Span() {
+  if (session_ != nullptr) {
+    session_->end_span(id_);
+  }
+}
+
+}  // namespace archgraph::obs

@@ -1,0 +1,199 @@
+// Phase-scoped tracing for the architecture simulators.
+//
+// A TraceSession records a tree of named spans, each carrying the
+// MachineStats delta (cycles, instructions, loads/stores, cache hits,
+// bus_busy, sync_retries, barriers, ...) accumulated between its begin and
+// end, plus process-wide named counters. Three span sources compose:
+//
+//   * host spans      — explicit begin_span()/end_span() (or the RAII Span)
+//                       around any host-side stretch, e.g. a whole algorithm;
+//   * region spans    — auto-opened for every simulated parallel region via
+//                       the sim::RegionObserver hooks (one span per
+//                       machine.run_region(), carrying that region's
+//                       utilization — Table 1's statistic over time);
+//   * phase spans     — slices of a single region at barrier releases, for
+//                       the paper's barrier-separated SMP programs
+//                       (Helman–JáJá's five steps, Shiloach–Vishkin's
+//                       graft/combine/shortcut iterations).
+//
+// Kernel drivers name the spans ahead of time with label_next_region() /
+// label_phases(); with no session installed these are a single global load,
+// so untraced runs pay nothing.
+//
+// Emission: to_jsonl() streams one JSON object per line ("run", "span",
+// "counter" events); summary_json() produces one document with machine info,
+// totals, counters and the full span tree. Both are dependency-free
+// (obs/json.hpp) and covered by golden-file tests.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/machine.hpp"
+#include "sim/stats.hpp"
+
+namespace archgraph::obs {
+
+struct SpanRecord {
+  i64 id = 0;
+  i64 parent = -1;  // -1 = top level
+  int depth = 0;
+  std::string name;
+  std::string kind;  // "span" (host), "region", or "phase"
+  sim::Cycle begin_cycle = 0;  // absolute simulated cycles at open/close
+  sim::Cycle end_cycle = 0;
+  sim::MachineStats delta;  // counters accumulated inside the span
+  u32 processors = 0;
+  double clock_hz = 0.0;
+  bool open = false;  // still unclosed (only while the session is live)
+
+  double utilization() const { return delta.utilization(processors); }
+  double seconds() const {
+    return clock_hz > 0 ? static_cast<double>(delta.cycles) / clock_hz : 0.0;
+  }
+};
+
+class TraceSession final : public sim::RegionObserver {
+ public:
+  explicit TraceSession(std::string run_name = "run");
+  ~TraceSession() override;
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Binds the session to `machine`: installs the region observer and makes
+  /// the machine the snapshot source for host spans. `machine_name` tags the
+  /// emitted events ("mta", "smp", ...).
+  void attach(sim::Machine& machine, std::string machine_name);
+  void detach();
+
+  /// Opens a named host span nested under the innermost open span; returns
+  /// its id. Spans must close in stack (LIFO) order.
+  i64 begin_span(std::string name);
+  void end_span(i64 id);
+
+  /// Accumulates into a process-wide named counter (insertion-ordered).
+  void counter_add(const std::string& name, i64 delta);
+
+  /// Names the next simulated region's auto-span (one-shot).
+  void label_next_region(std::string name);
+
+  /// Slices the next region at barrier releases into phase spans named from
+  /// `prefix` first, then cycling through `cycle` with an #iteration suffix
+  /// ("graft#2"); exhausted labels fall back to "phase#K". One-shot.
+  void label_phases(std::vector<std::string> prefix,
+                    std::vector<std::string> cycle = {});
+
+  // sim::RegionObserver
+  void on_region_begin(const sim::Machine& machine) override;
+  void on_barrier_release(const sim::Machine& machine,
+                          sim::Cycle region_cycle) override;
+  void on_region_end(const sim::Machine& machine) override;
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  const std::vector<std::pair<std::string, i64>>& counters() const {
+    return counters_;
+  }
+  const std::string& run_name() const { return run_name_; }
+
+  /// JSONL event trace: a "run" header line, one "span" line per closed span
+  /// (pre-order by open time), one "counter" line per counter.
+  std::string to_jsonl() const;
+  /// One JSON document: run/machine info, stats totals, counters, span tree.
+  std::string summary_json() const;
+
+  /// Writes to_jsonl()/summary_json() to `path`; false (with a stderr
+  /// message naming errno) on failure.
+  bool write_jsonl(const std::string& path) const;
+  bool write_summary(const std::string& path) const;
+
+  /// The process-wide installed session, or nullptr (see Install).
+  static TraceSession* current();
+
+  /// Scoped installation as the current session (saves/restores the
+  /// previous one, so sessions nest).
+  class Install {
+   public:
+    explicit Install(TraceSession& session);
+    ~Install();
+    Install(const Install&) = delete;
+    Install& operator=(const Install&) = delete;
+
+   private:
+    TraceSession* prev_;
+  };
+
+ private:
+  struct OpenSpan {
+    i64 span_index = 0;
+    sim::MachineStats begin_stats;
+  };
+
+  sim::MachineStats snapshot() const;
+  sim::Cycle absolute_cycle() const;
+  i64 open_at(std::string name, std::string kind, sim::Cycle at,
+              const sim::MachineStats& begin_stats);
+  void close_at(i64 id, sim::Cycle at, const sim::MachineStats& end_stats);
+  std::string next_phase_label();
+
+  std::string run_name_;
+  sim::Machine* machine_ = nullptr;
+  std::string machine_name_ = "none";
+
+  std::vector<SpanRecord> spans_;
+  std::vector<OpenSpan> open_stack_;
+  std::vector<std::pair<std::string, i64>> counters_;
+
+  // Pending one-shot labels.
+  std::string next_region_label_;
+  std::vector<std::string> phase_prefix_;
+  std::vector<std::string> phase_cycle_;
+  bool phases_pending_ = false;
+
+  // Region slicing state.
+  bool in_region_ = false;
+  sim::Cycle region_base_cycles_ = 0;  // stats().cycles when the region began
+  i64 region_span_ = -1;
+  i64 phase_span_ = -1;
+  usize phase_index_ = 0;
+};
+
+// ------------------------------------------------------- ambient helpers
+// All no-ops costing one global load when no session is installed, so
+// instrumented kernels are free in untraced runs.
+
+/// RAII host span against the current session.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceSession* session_;
+  i64 id_ = -1;
+};
+
+inline void label_next_region(const char* name) {
+  if (TraceSession* s = TraceSession::current()) s->label_next_region(name);
+}
+
+inline void label_next_region(const std::string& name) {
+  if (TraceSession* s = TraceSession::current()) s->label_next_region(name);
+}
+
+inline void label_phases(std::vector<std::string> prefix,
+                         std::vector<std::string> cycle = {}) {
+  if (TraceSession* s = TraceSession::current()) {
+    s->label_phases(std::move(prefix), std::move(cycle));
+  }
+}
+
+inline void counter_add(const char* name, i64 delta) {
+  if (TraceSession* s = TraceSession::current()) s->counter_add(name, delta);
+}
+
+}  // namespace archgraph::obs

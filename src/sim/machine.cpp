@@ -34,6 +34,9 @@ void Machine::run_region() {
   pending_.clear();
   FrameGuard guard{&threads};
 
+  if (observer_ != nullptr) {
+    observer_->on_region_begin(*this);
+  }
   const i64 instructions_before = stats_.instructions;
   const Cycle span = simulate(threads);
 
@@ -45,6 +48,9 @@ void Machine::run_region() {
       .instructions = stats_.instructions - instructions_before,
       .threads = static_cast<i64>(threads.size()),
   });
+  if (observer_ != nullptr) {
+    observer_->on_region_end(*this);
+  }
   for (const auto& t : threads) {
     AG_CHECK(t->status == ThreadState::Status::kFinished,
              "simulate() left a thread unfinished");

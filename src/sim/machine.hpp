@@ -26,6 +26,34 @@
 
 namespace archgraph::sim {
 
+class Machine;
+
+/// Observation hooks on a machine's simulation lifecycle. An installed
+/// observer (obs::TraceSession is the canonical one) sees every simulated
+/// parallel region and every barrier episode inside it, which is enough to
+/// attribute cycle/instruction/memory-counter deltas to algorithm phases:
+/// multi-region programs are sliced at run_region() boundaries, and
+/// single-region barrier-separated programs at barrier releases.
+class RegionObserver {
+ public:
+  virtual ~RegionObserver() = default;
+
+  /// Called by run_region() before simulation starts; machine.stats() still
+  /// reflects everything accumulated before this region.
+  virtual void on_region_begin(const Machine& machine) = 0;
+
+  /// A barrier episode released all live threads inside the running region.
+  /// `region_cycle` is the release time relative to the region's start;
+  /// machine.stats() reflects every operation ordered before the release
+  /// (all threads are quiesced at a barrier) except stats().cycles, which is
+  /// only advanced when the region completes.
+  virtual void on_barrier_release(const Machine& machine,
+                                  Cycle region_cycle) = 0;
+
+  /// Called by run_region() after statistics and the region log are updated.
+  virtual void on_region_end(const Machine& machine) = 0;
+};
+
 class Machine {
  public:
   virtual ~Machine();
@@ -85,8 +113,22 @@ class Machine {
     region_log_.clear();
   }
 
+  /// Installs (or clears, with nullptr) the observer notified of region and
+  /// barrier events. The observer is not owned and must outlive its
+  /// installation.
+  void set_region_observer(RegionObserver* observer) { observer_ = observer; }
+  RegionObserver* region_observer() const { return observer_; }
+
  protected:
   Machine() = default;
+
+  /// Machine models call this when a barrier episode releases (from their
+  /// maybe_release_barrier), after stats_.barriers is bumped.
+  void notify_barrier_release(Cycle region_cycle) {
+    if (observer_ != nullptr) {
+      observer_->on_barrier_release(*this, region_cycle);
+    }
+  }
 
   /// Machine-specific simulation of one region. `threads` are freshly bound
   /// coroutines suspended before their first operation. Must return the
@@ -99,6 +141,7 @@ class Machine {
  private:
   std::vector<std::unique_ptr<ThreadState>> pending_;
   std::vector<RegionRecord> region_log_;
+  RegionObserver* observer_ = nullptr;
 };
 
 }  // namespace archgraph::sim

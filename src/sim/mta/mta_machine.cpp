@@ -294,6 +294,7 @@ void MtaMachine::maybe_release_barrier() {
   barrier_waiting_.clear();
   barrier_max_arrival_ = 0;
   stats_.barriers += 1;
+  notify_barrier_release(release);
 }
 
 void MtaMachine::on_finish(u32 tid, Cycle now) {

@@ -380,6 +380,7 @@ void SmpMachine::maybe_release_barrier() {
   barrier_waiting_.clear();
   barrier_max_arrival_ = 0;
   stats_.barriers += 1;
+  notify_barrier_release(release);
   for (const u32 tid : released) {
     ThreadState* ts = threads_[tid];
     ts->pending.result = 0;

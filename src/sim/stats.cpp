@@ -32,4 +32,28 @@ std::string MachineStats::summary(u32 processors) const {
   return os.str();
 }
 
+MachineStats operator-(const MachineStats& after, const MachineStats& before) {
+  MachineStats d;
+  d.instructions = after.instructions - before.instructions;
+  d.memory_ops = after.memory_ops - before.memory_ops;
+  d.loads = after.loads - before.loads;
+  d.stores = after.stores - before.stores;
+  d.fetch_adds = after.fetch_adds - before.fetch_adds;
+  d.sync_ops = after.sync_ops - before.sync_ops;
+  d.sync_retries = after.sync_retries - before.sync_retries;
+  d.barriers = after.barriers - before.barriers;
+  d.regions = after.regions - before.regions;
+  d.threads = after.threads - before.threads;
+  d.cycles = after.cycles - before.cycles;
+  d.l1_hits = after.l1_hits - before.l1_hits;
+  d.l2_hits = after.l2_hits - before.l2_hits;
+  d.mem_fills = after.mem_fills - before.mem_fills;
+  d.writebacks = after.writebacks - before.writebacks;
+  d.invalidations = after.invalidations - before.invalidations;
+  d.interventions = after.interventions - before.interventions;
+  d.context_switches = after.context_switches - before.context_switches;
+  d.bus_busy = after.bus_busy - before.bus_busy;
+  return d;
+}
+
 }  // namespace archgraph::sim

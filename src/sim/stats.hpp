@@ -42,4 +42,8 @@ struct MachineStats {
   std::string summary(u32 processors) const;
 };
 
+/// Field-wise difference — the delta a phase/region span accumulated between
+/// two snapshots (used by obs::TraceSession).
+MachineStats operator-(const MachineStats& after, const MachineStats& before);
+
 }  // namespace archgraph::sim

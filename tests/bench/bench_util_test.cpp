@@ -1,0 +1,133 @@
+#include "bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/table.hpp"
+#include "obs/json.hpp"
+
+namespace archgraph::bench {
+namespace {
+
+/// Sets an environment variable for one test, restoring the old value after.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+Table sample_table() {
+  Table t({"x", "y"});
+  t.row().add(1).add(2);
+  return t;
+}
+
+TEST(ScaleFromEnv, ParsesTheThreeScales) {
+  {
+    ScopedEnv env("ARCHGRAPH_BENCH_SCALE", nullptr);
+    EXPECT_EQ(scale_from_env(), Scale::kDefault);
+  }
+  {
+    ScopedEnv env("ARCHGRAPH_BENCH_SCALE", "quick");
+    EXPECT_EQ(scale_from_env(), Scale::kQuick);
+  }
+  {
+    ScopedEnv env("ARCHGRAPH_BENCH_SCALE", "full");
+    EXPECT_EQ(scale_from_env(), Scale::kFull);
+  }
+}
+
+TEST(MaybeWriteCsv, NoOpWhenEnvUnset) {
+  ScopedEnv env("ARCHGRAPH_BENCH_CSV", nullptr);
+  EXPECT_TRUE(maybe_write_csv(sample_table(), "unset_case"));
+}
+
+TEST(MaybeWriteCsv, WritesTheTable) {
+  const std::string dir = testing::TempDir();
+  ScopedEnv env("ARCHGRAPH_BENCH_CSV", dir.c_str());
+  ASSERT_TRUE(maybe_write_csv(sample_table(), "bench_util_test"));
+  const std::string content = slurp(dir + "/bench_util_test.csv");
+  EXPECT_NE(content.find("x"), std::string::npos);
+  EXPECT_NE(content.find("1"), std::string::npos);
+}
+
+TEST(MaybeWriteCsv, ReportsFailureForUnwritableDirectory) {
+  ScopedEnv env("ARCHGRAPH_BENCH_CSV", "/nonexistent-dir/sub");
+  EXPECT_FALSE(maybe_write_csv(sample_table(), "doomed"));
+}
+
+TEST(BenchJson, InactiveWithoutEnv) {
+  ScopedEnv env("ARCHGRAPH_BENCH_JSON", nullptr);
+  BenchJson bj("inactive_case");
+  EXPECT_FALSE(bj.active());
+  bj.record([](obs::JsonWriter& w) { w.field("n", i64{1}); });
+  EXPECT_EQ(bj.num_records(), 0u);
+  EXPECT_FALSE(bj.write());
+}
+
+TEST(BenchJson, WritesValidDocumentWithRecords) {
+  const std::string dir = testing::TempDir();
+  ScopedEnv env("ARCHGRAPH_BENCH_JSON", dir.c_str());
+  BenchJson bj("bench_util_test");
+  ASSERT_TRUE(bj.active());
+  bj.record([](obs::JsonWriter& w) {
+    w.field("n", i64{64}).field("machine", "mta");
+  });
+  bj.record([](obs::JsonWriter& w) {
+    w.field("n", i64{128}).field("machine", "smp");
+  });
+  EXPECT_EQ(bj.num_records(), 2u);
+  ASSERT_TRUE(bj.write());
+  EXPECT_TRUE(bj.write());  // idempotent
+
+  const std::string content = slurp(dir + "/BENCH_bench_util_test.json");
+  std::string error;
+  EXPECT_TRUE(obs::json_is_valid(content, &error)) << error;
+  EXPECT_EQ(content.find(R"({"bench":"bench_util_test","records":[)"), 0u);
+  EXPECT_NE(content.find(R"("machine":"smp")"), std::string::npos);
+}
+
+TEST(BenchJson, ReportsFailureForUnwritableDirectory) {
+  ScopedEnv env("ARCHGRAPH_BENCH_JSON", "/nonexistent-dir/sub");
+  BenchJson bj("doomed");
+  EXPECT_TRUE(bj.active());
+  bj.record([](obs::JsonWriter& w) { w.field("n", i64{1}); });
+  EXPECT_FALSE(bj.write());
+  EXPECT_FALSE(bj.write());  // failure is sticky, not retried
+}
+
+}  // namespace
+}  // namespace archgraph::bench

@@ -1,0 +1,161 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace archgraph::obs {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string{"a\x01z"}), "a\\u0001z");
+}
+
+// Field order is exactly the call order — the schema contract the golden
+// tests and downstream tooling rely on.
+TEST(JsonWriter, EmitsObjectFieldsInCallOrder) {
+  JsonWriter w;
+  w.begin_object()
+      .field("b", i64{2})
+      .field("a", "one")
+      .field("flag", true)
+      .end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(w.str(), R"({"b":2,"a":"one","flag":true})");
+  EXPECT_TRUE(json_is_valid(w.str()));
+}
+
+TEST(JsonWriter, NestsContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("xs").begin_array().value(1).value(2).end_array();
+  w.key("inner").begin_object().field("n", i64{0}).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2],"inner":{"n":0}})");
+  EXPECT_TRUE(json_is_valid(w.str()));
+}
+
+TEST(JsonWriter, EscapesKeysAndStringValues) {
+  JsonWriter w;
+  w.begin_object().field("we\"ird", "line\nbreak").end_object();
+  EXPECT_EQ(w.str(), "{\"we\\\"ird\":\"line\\nbreak\"}");
+  EXPECT_TRUE(json_is_valid(w.str()));
+}
+
+TEST(JsonWriter, PrintsDoublesRoundTrip) {
+  JsonWriter w;
+  w.begin_array().value(0.5).value(-3.0).value(1e300).end_array();
+  EXPECT_EQ(w.str(), "[0.5,-3,1e+300]");
+  EXPECT_TRUE(json_is_valid(w.str()));
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .value(std::numeric_limits<double>::infinity())
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+  EXPECT_TRUE(json_is_valid(w.str()));
+}
+
+TEST(JsonWriter, SplicesRawJson) {
+  JsonWriter w;
+  w.begin_object().key("records").begin_array();
+  w.raw(R"({"n":1})");
+  w.raw(R"({"n":2})");
+  w.end_array().end_object();
+  EXPECT_EQ(w.str(), R"({"records":[{"n":1},{"n":2}]})");
+  EXPECT_TRUE(json_is_valid(w.str()));
+}
+
+TEST(JsonWriter, CompleteIsFalseWhileContainersAreOpen) {
+  JsonWriter w;
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_ANY_THROW(w.value(1));  // object member without key()
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_ANY_THROW(w.end_object());  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_ANY_THROW(w.key("k"));  // key outside an object
+  }
+}
+
+TEST(JsonIsValid, AcceptsWellFormedDocuments) {
+  for (const char* doc : {
+           "{}",
+           "[]",
+           "true",
+           "null",
+           "-0.25",
+           "1e9",
+           "-1.5E-3",
+           "\"\"",
+           R"("esc \" \\ \/ \b \f \n \r \t \u00ff")",
+           R"({"a":[1,{"b":null}],"c":"x"})",
+           "  [ 1 , 2 ]  ",
+       }) {
+    std::string error;
+    EXPECT_TRUE(json_is_valid(doc, &error)) << doc << ": " << error;
+  }
+}
+
+TEST(JsonIsValid, RejectsMalformedDocuments) {
+  for (const char* doc : {
+           "",
+           "{",
+           "[1,]",
+           "{\"a\":}",
+           "{a:1}",
+           "\"unterminated",
+           "\"bad \\x escape\"",
+           "\"bad \\u00g0\"",
+           "01",
+           "1.",
+           "+1",
+           "nul",
+           "{} {}",
+           "[1] 2",
+           "\"raw \x01 control\"",
+       }) {
+    EXPECT_FALSE(json_is_valid(doc)) << doc;
+  }
+}
+
+TEST(JsonIsValid, ReportsOffsetAndReason) {
+  std::string error;
+  EXPECT_FALSE(json_is_valid("[1,]", &error));
+  EXPECT_NE(error.find("offset"), std::string::npos);
+}
+
+TEST(JsonIsValid, RejectsPathologicalNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(json_is_valid(deep));
+}
+
+}  // namespace
+}  // namespace archgraph::obs

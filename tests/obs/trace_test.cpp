@@ -1,0 +1,193 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/kernels/kernels.hpp"
+#include "core/listrank/listrank.hpp"
+#include "graph/linked_list.hpp"
+#include "obs/json.hpp"
+#include "sim/mta/mta_machine.hpp"
+#include "sim/smp/smp_machine.hpp"
+
+namespace archgraph::obs {
+namespace {
+
+std::vector<std::string> span_names(const TraceSession& session,
+                                    const std::string& kind = "") {
+  std::vector<std::string> names;
+  for (const SpanRecord& s : session.spans()) {
+    if (kind.empty() || s.kind == kind) names.push_back(s.name);
+  }
+  return names;
+}
+
+const SpanRecord* find_span(const TraceSession& session,
+                            const std::string& name) {
+  for (const SpanRecord& s : session.spans()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+// One barrier-separated SMP region: the Helman–JáJá driver labels the region
+// "hj.rank" and its five barrier-delimited steps; the observer must slice
+// the region at barrier releases into exactly those phases.
+TEST(TraceSession, SlicesBarrierSeparatedRegionIntoNamedPhases) {
+  sim::SmpMachine machine(core::paper_smp_config(2));
+  TraceSession session("trace-test");
+  TraceSession::Install install(session);
+  session.attach(machine, "smp");
+
+  const graph::LinkedList list = graph::random_list(512, 99);
+  const auto ranks = core::sim_rank_list_hj(machine, list);
+  ASSERT_EQ(ranks, core::rank_sequential(list));
+
+  EXPECT_EQ(span_names(session, "region"),
+            std::vector<std::string>{"hj.rank"});
+  EXPECT_EQ(span_names(session, "phase"),
+            (std::vector<std::string>{"hj.successor-sum",
+                                      "hj.sublist-selection", "hj.local-walk",
+                                      "hj.sublist-rank", "hj.final-rank"}));
+
+  const SpanRecord* region = find_span(session, "hj.rank");
+  ASSERT_NE(region, nullptr);
+  EXPECT_FALSE(region->open);
+  EXPECT_EQ(region->processors, machine.processors());
+  EXPECT_EQ(region->clock_hz, machine.clock_hz());
+  EXPECT_GT(region->delta.cycles, 0);
+  EXPECT_EQ(region->delta.barriers, 4);
+
+  // The phases partition the region: cycles and instructions must add up
+  // exactly, and each phase nests directly under the region span.
+  i64 phase_cycles = 0;
+  i64 phase_instructions = 0;
+  for (const SpanRecord& s : session.spans()) {
+    if (s.kind != "phase") continue;
+    EXPECT_EQ(s.parent, region->id);
+    EXPECT_EQ(s.depth, region->depth + 1);
+    EXPECT_GE(s.delta.cycles, 0);
+    phase_cycles += s.delta.cycles;
+    phase_instructions += s.delta.instructions;
+  }
+  EXPECT_EQ(phase_cycles, region->delta.cycles);
+  EXPECT_EQ(phase_instructions, region->delta.instructions);
+}
+
+// Multi-region MTA workload: every run_region() gets its own labeled span
+// carrying that region's utilization.
+TEST(TraceSession, LabelsEachMtaRegion) {
+  sim::MtaMachine machine(core::paper_mta_config(1));
+  TraceSession session("trace-test");
+  TraceSession::Install install(session);
+  session.attach(machine, "mta");
+
+  const graph::LinkedList list = graph::ordered_list(256);
+  core::sim_rank_list_walk(machine, list);
+
+  const auto regions = span_names(session, "region");
+  ASSERT_GE(regions.size(), 4u);
+  EXPECT_EQ(regions[0], "lr.head-sum");
+  EXPECT_EQ(regions[1], "lr.rank-init");
+  EXPECT_EQ(regions[2], "lr.mark-heads");
+  EXPECT_EQ(regions[3], "lr.walks");
+
+  for (const SpanRecord& s : session.spans()) {
+    EXPECT_GT(s.delta.instructions, 0) << s.name;
+    EXPECT_GT(s.utilization(), 0.0) << s.name;
+    EXPECT_LE(s.utilization(), 1.0) << s.name;
+  }
+}
+
+sim::SimThread store_seven(sim::Ctx ctx, sim::Addr a) {
+  co_await ctx.store(a, 7);
+}
+
+TEST(TraceSession, UnlabeledRegionsGetGeneratedNames) {
+  sim::MtaMachine machine;
+  TraceSession session("trace-test");
+  session.attach(machine, "mta");
+  sim::SimArray<i64> cell(machine.memory(), 1);
+  machine.spawn(store_seven, cell.addr(0));
+  machine.run_region();
+  EXPECT_EQ(span_names(session, "region"),
+            std::vector<std::string>{"region#1"});
+}
+
+TEST(TraceSession, HostSpansNestAndCountersAccumulate) {
+  TraceSession session("trace-test");
+  TraceSession::Install install(session);
+  {
+    Span outer("outer");
+    Span inner("inner");
+    counter_add("widgets", 2);
+    counter_add("widgets", 3);
+  }
+  ASSERT_EQ(session.spans().size(), 2u);
+  EXPECT_EQ(session.spans()[0].name, "outer");
+  EXPECT_EQ(session.spans()[0].kind, "span");
+  EXPECT_EQ(session.spans()[1].name, "inner");
+  EXPECT_EQ(session.spans()[1].parent, session.spans()[0].id);
+  ASSERT_EQ(session.counters().size(), 1u);
+  EXPECT_EQ(session.counters()[0].first, "widgets");
+  EXPECT_EQ(session.counters()[0].second, 5);
+}
+
+TEST(TraceSession, AmbientHelpersAreNoOpsWithoutInstall) {
+  // No session installed: labeling and counting must be safe no-ops.
+  label_next_region("nobody-listening");
+  label_phases({"a"}, {"b"});
+  counter_add("nobody", 1);
+  EXPECT_EQ(TraceSession::current(), nullptr);
+}
+
+// Every JSONL line and the summary document must parse; the event stream
+// has a "run" header, one "span" line per closed span, "counter" lines last.
+TEST(TraceSession, EmitsValidJsonlAndSummary) {
+  sim::SmpMachine machine(core::paper_smp_config(2));
+  TraceSession session("emit-test");
+  TraceSession::Install install(session);
+  session.attach(machine, "smp");
+  const graph::LinkedList list = graph::random_list(256, 7);
+  core::sim_rank_list_hj(machine, list);
+  session.counter_add("extra", 42);
+
+  const std::string jsonl = session.to_jsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  usize count = 0;
+  while (std::getline(lines, line)) {
+    std::string error;
+    EXPECT_TRUE(json_is_valid(line, &error)) << line << ": " << error;
+    ++count;
+  }
+  // run header + 6 spans (region + 5 phases) + 2 counters (hj.sublists,
+  // extra).
+  EXPECT_EQ(count, 1 + 6 + 2);
+  EXPECT_EQ(jsonl.find(R"({"event":"run")"), 0u);
+  EXPECT_NE(jsonl.find(R"("event":"span")"), std::string::npos);
+  EXPECT_NE(jsonl.find(R"("event":"counter")"), std::string::npos);
+  EXPECT_NE(jsonl.find("hj.local-walk"), std::string::npos);
+
+  std::string error;
+  const std::string summary = session.summary_json();
+  EXPECT_TRUE(json_is_valid(summary, &error)) << error;
+  for (const char* key :
+       {"\"run\"", "\"machine\"", "\"totals\"", "\"counters\"", "\"spans\"",
+        "\"utilization\""}) {
+    EXPECT_NE(summary.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(TraceSession, WriteJsonlReportsFailureForBadPath) {
+  TraceSession session("io-test");
+  EXPECT_FALSE(session.write_jsonl("/nonexistent-dir/trace.jsonl"));
+  EXPECT_FALSE(session.write_summary("/nonexistent-dir/summary.json"));
+}
+
+}  // namespace
+}  // namespace archgraph::obs

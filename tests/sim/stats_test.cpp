@@ -1,0 +1,77 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace archgraph::sim {
+namespace {
+
+TEST(MachineStats, UtilizationIsZeroWithoutCyclesOrProcessors) {
+  MachineStats s;
+  s.instructions = 100;
+  EXPECT_EQ(s.utilization(4), 0.0);  // cycles == 0
+  s.cycles = 200;
+  EXPECT_EQ(s.utilization(0), 0.0);  // no processors
+  s.cycles = -1;
+  EXPECT_EQ(s.utilization(4), 0.0);  // defensive: negative snapshot delta
+}
+
+TEST(MachineStats, UtilizationDividesByProcessorCycles) {
+  MachineStats s;
+  s.instructions = 100;
+  s.cycles = 200;
+  EXPECT_DOUBLE_EQ(s.utilization(1), 0.5);
+  EXPECT_DOUBLE_EQ(s.utilization(4), 0.125);
+}
+
+TEST(MachineStats, SummaryOmitsCacheSectionWithoutCacheTraffic) {
+  MachineStats mta;
+  mta.cycles = 100;
+  mta.instructions = 80;
+  const std::string text = mta.summary(2);
+  EXPECT_NE(text.find("cycles:"), std::string::npos);
+  EXPECT_NE(text.find("utilization:"), std::string::npos);
+  EXPECT_EQ(text.find("L1 hits:"), std::string::npos);
+}
+
+TEST(MachineStats, SummaryIncludesCacheSectionForSmpCounters) {
+  MachineStats smp;
+  smp.cycles = 100;
+  smp.instructions = 80;
+  smp.l1_hits = 10;
+  smp.mem_fills = 5;
+  const std::string text = smp.summary(2);
+  EXPECT_NE(text.find("L1 hits:"), std::string::npos);
+  EXPECT_NE(text.find("bus busy cycles:"), std::string::npos);
+}
+
+TEST(MachineStats, DifferenceIsFieldWise) {
+  MachineStats before;
+  before.instructions = 10;
+  before.loads = 3;
+  before.cycles = 100;
+  before.l1_hits = 7;
+  before.bus_busy = 20;
+
+  MachineStats after = before;
+  after.instructions += 5;
+  after.loads += 2;
+  after.cycles += 50;
+  after.l1_hits += 1;
+  after.bus_busy += 4;
+  after.barriers += 2;
+
+  const MachineStats d = after - before;
+  EXPECT_EQ(d.instructions, 5);
+  EXPECT_EQ(d.loads, 2);
+  EXPECT_EQ(d.cycles, 50);
+  EXPECT_EQ(d.l1_hits, 1);
+  EXPECT_EQ(d.bus_busy, 4);
+  EXPECT_EQ(d.barriers, 2);
+  EXPECT_EQ(d.stores, 0);
+  EXPECT_EQ(d.sync_retries, 0);
+}
+
+}  // namespace
+}  // namespace archgraph::sim

@@ -12,11 +12,18 @@
 //                        [--algorithm kruskal|boruvka|boruvka-par]
 //   archgraph_cli gen    --random n,m,seed --output FILE     (DIMACS writer)
 //
+// Observability (simulated machines only):
+//   --trace FILE   write the phase/region JSONL event trace to FILE
+//   --json         print the run-summary JSON document on stdout instead of
+//                  the human-readable report
+//
 // Simulated runs print cycles, simulated seconds and utilization; native
 // runs print wall time. Every run self-checks against a reference.
+#include <charconv>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -31,23 +38,36 @@
 #include "graph/io.hpp"
 #include "graph/linked_list.hpp"
 #include "graph/validate.hpp"
+#include "obs/trace.hpp"
 #include "rt/thread_pool.hpp"
 
 namespace {
 
 using namespace archgraph;
 
+/// Flags that take no value.
+bool is_bool_flag(const std::string& name) { return name == "json"; }
+
 struct Options {
   std::string command;
   std::map<std::string, std::string> named;
 
+  bool has(const std::string& key) const { return named.contains(key); }
   std::string get(const std::string& key, const std::string& fallback) const {
     const auto it = named.find(key);
     return it == named.end() ? fallback : it->second;
   }
   i64 get_int(const std::string& key, i64 fallback) const {
     const auto it = named.find(key);
-    return it == named.end() ? fallback : std::stoll(it->second);
+    if (it == named.end()) return fallback;
+    const std::string& text = it->second;
+    i64 value = 0;
+    const char* first = text.data();
+    const char* last = first + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    AG_CHECK(ec == std::errc{} && ptr == last,
+             "--" + key + " wants an integer, got '" + text + "'");
+    return value;
   }
 };
 
@@ -55,11 +75,16 @@ Options parse(int argc, char** argv) {
   AG_CHECK(argc >= 2, "usage: archgraph_cli <cc|rank|msf|gen> [--flag value]");
   Options opts;
   opts.command = argv[1];
-  for (int i = 2; i < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
-    AG_CHECK(flag.rfind("--", 0) == 0 && i + 1 < argc,
-             "flags look like '--name value'");
-    opts.named[flag.substr(2)] = argv[i + 1];
+    AG_CHECK(flag.rfind("--", 0) == 0, "flags look like '--name value'");
+    const std::string name = flag.substr(2);
+    if (is_bool_flag(name)) {
+      opts.named[name] = "1";
+      continue;
+    }
+    AG_CHECK(i + 1 < argc, "flag --" + name + " needs a value");
+    opts.named[name] = argv[++i];
   }
   return opts;
 }
@@ -84,8 +109,7 @@ graph::EdgeList load_graph(const Options& opts,
   return graph::random_graph(n, m, seed);
 }
 
-template <typename MachineT>
-void report_simulated(const MachineT& machine) {
+void report_simulated(const sim::Machine& machine) {
   std::cout << "cycles:        " << machine.cycles() << '\n'
             << "simulated:     " << machine.seconds() * 1e3 << " ms @ "
             << machine.clock_hz() / 1e6 << " MHz\n"
@@ -93,24 +117,68 @@ void report_simulated(const MachineT& machine) {
             << "instructions:  " << machine.stats().instructions << '\n';
 }
 
+std::unique_ptr<sim::Machine> make_machine(const std::string& name, u32 procs) {
+  if (name == "mta") {
+    return std::make_unique<sim::MtaMachine>(core::paper_mta_config(procs));
+  }
+  AG_CHECK(name == "smp", "unknown --machine " + name);
+  return std::make_unique<sim::SmpMachine>(core::paper_smp_config(procs));
+}
+
+/// Shared tail of a traced simulated run: the JSONL trace to --trace FILE,
+/// then either the summary JSON document (--json) or the human report.
+void finish_simulated(const obs::TraceSession& session,
+                      const sim::Machine& machine, const Options& opts) {
+  const std::string trace_path = opts.get("trace", "");
+  if (!trace_path.empty()) {
+    AG_CHECK(session.write_jsonl(trace_path),
+             "cannot write --trace file " + trace_path);
+    if (!opts.has("json")) {
+      std::cout << "(trace written to " << trace_path << ")\n";
+    }
+  }
+  if (opts.has("json")) {
+    std::cout << session.summary_json() << '\n';
+  } else {
+    report_simulated(machine);
+  }
+}
+
+/// --trace/--json snapshot machine counters, which native runs don't have.
+void check_observability_flags(const Options& opts,
+                               const std::string& machine) {
+  AG_CHECK(machine == "mta" || machine == "smp" ||
+               (!opts.has("json") && !opts.has("trace")),
+           "--trace/--json require --machine mta|smp");
+}
+
 int run_cc(const Options& opts) {
   const graph::EdgeList g = load_graph(opts, nullptr);
   const std::string algorithm = opts.get("algorithm", "sv");
   const std::string machine = opts.get("machine", "native");
   const auto procs = static_cast<u32>(opts.get_int("procs", 4));
-  std::cout << "connected components: n=" << g.num_vertices()
-            << " m=" << g.num_edges() << " algorithm=" << algorithm
-            << " machine=" << machine << " p=" << procs << '\n';
+  check_observability_flags(opts, machine);
+  const bool json = opts.has("json");
+  if (!json) {
+    std::cout << "connected components: n=" << g.num_vertices()
+              << " m=" << g.num_edges() << " algorithm=" << algorithm
+              << " machine=" << machine << " p=" << procs << '\n';
+  }
 
   std::vector<NodeId> labels;
-  if (machine == "mta") {
-    sim::MtaMachine m(core::paper_mta_config(procs));
-    labels = core::sim_cc_sv_mta(m, g).labels;
-    report_simulated(m);
-  } else if (machine == "smp") {
-    sim::SmpMachine m(core::paper_smp_config(procs));
-    labels = core::sim_cc_sv_smp(m, g).labels;
-    report_simulated(m);
+  if (machine == "mta" || machine == "smp") {
+    obs::TraceSession session("cc/" + algorithm + "/" + machine);
+    obs::TraceSession::Install install(session);
+    std::unique_ptr<sim::Machine> m = make_machine(machine, procs);
+    session.attach(*m, machine);
+    const core::SimCcResult result = machine == "mta"
+                                         ? core::sim_cc_sv_mta(*m, g)
+                                         : core::sim_cc_sv_smp(*m, g);
+    labels = result.labels;
+    AG_CHECK(labels == core::cc_union_find(g), "self-check failed");
+    session.counter_add("cc.components",
+                        graph::validate::count_distinct_labels(labels));
+    finish_simulated(session, *m, opts);
   } else {
     rt::ThreadPool pool(static_cast<usize>(procs));
     Timer timer;
@@ -130,11 +198,13 @@ int run_cc(const Options& opts) {
       AG_CHECK(false, "unknown --algorithm " + algorithm);
     }
     std::cout << "wall time:     " << timer.seconds() * 1e3 << " ms\n";
+    AG_CHECK(labels == core::cc_union_find(g), "self-check failed");
   }
-  AG_CHECK(labels == core::cc_union_find(g), "self-check failed");
-  std::cout << "components:    "
-            << graph::validate::count_distinct_labels(labels)
-            << " (verified against union-find)\n";
+  if (!json) {
+    std::cout << "components:    "
+              << graph::validate::count_distinct_labels(labels)
+              << " (verified against union-find)\n";
+  }
   return 0;
 }
 
@@ -148,9 +218,13 @@ int run_rank(const Options& opts) {
   const std::string algorithm = opts.get("algorithm", "hj");
   const std::string machine = opts.get("machine", "native");
   const auto procs = static_cast<u32>(opts.get_int("procs", 4));
-  std::cout << "list ranking: n=" << n << " layout=" << layout
-            << " algorithm=" << algorithm << " machine=" << machine
-            << " p=" << procs << '\n';
+  check_observability_flags(opts, machine);
+  const bool json = opts.has("json");
+  if (!json) {
+    std::cout << "list ranking: n=" << n << " layout=" << layout
+              << " algorithm=" << algorithm << " machine=" << machine
+              << " p=" << procs << '\n';
+  }
 
   std::vector<i64> ranks;
   if (machine == "mta" || machine == "smp") {
@@ -162,15 +236,13 @@ int run_rank(const Options& opts) {
       AG_CHECK(false, "unknown simulated --algorithm " + algorithm);
       return std::vector<i64>{};
     };
-    if (machine == "mta") {
-      sim::MtaMachine m(core::paper_mta_config(procs));
-      ranks = run_on(m);
-      report_simulated(m);
-    } else {
-      sim::SmpMachine m(core::paper_smp_config(procs));
-      ranks = run_on(m);
-      report_simulated(m);
-    }
+    obs::TraceSession session("rank/" + algorithm + "/" + machine);
+    obs::TraceSession::Install install(session);
+    std::unique_ptr<sim::Machine> m = make_machine(machine, procs);
+    session.attach(*m, machine);
+    ranks = run_on(*m);
+    AG_CHECK(ranks == core::rank_sequential(list), "self-check failed");
+    finish_simulated(session, *m, opts);
   } else {
     rt::ThreadPool pool(static_cast<usize>(procs));
     Timer timer;
@@ -186,9 +258,11 @@ int run_rank(const Options& opts) {
       AG_CHECK(false, "unknown --algorithm " + algorithm);
     }
     std::cout << "wall time:     " << timer.seconds() * 1e3 << " ms\n";
+    AG_CHECK(ranks == core::rank_sequential(list), "self-check failed");
   }
-  AG_CHECK(ranks == core::rank_sequential(list), "self-check failed");
-  std::cout << "verified against the sequential ranking\n";
+  if (!json) {
+    std::cout << "verified against the sequential ranking\n";
+  }
   return 0;
 }
 
@@ -202,6 +276,7 @@ int run_msf(const Options& opts) {
                                         static_cast<u64>(
                                             opts.get_int("seed", 1)));
   const std::string algorithm = opts.get("algorithm", "boruvka-par");
+  check_observability_flags(opts, "native");
   std::cout << "minimum spanning forest: n=" << g.num_vertices()
             << " m=" << g.num_edges() << " algorithm=" << algorithm << '\n';
 
@@ -227,6 +302,7 @@ int run_msf(const Options& opts) {
 }
 
 int run_gen(const Options& opts) {
+  check_observability_flags(opts, "native");
   const graph::EdgeList g = load_graph(opts, nullptr);
   const std::string output = opts.get("output", "");
   AG_CHECK(!output.empty(), "gen needs --output FILE");

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# End-to-end smoke: configure, build, run the test suite, run one bench at
+# quick scale with JSON emission, and validate the emitted document.
+# Usage: tools/ci_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== bench (quick scale, JSON) =="
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+ARCHGRAPH_BENCH_SCALE=quick ARCHGRAPH_BENCH_JSON="$OUT_DIR" \
+    "$BUILD_DIR"/bench/table1_utilization
+
+echo "== validate JSON =="
+python3 - "$OUT_DIR/BENCH_table1_utilization.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["bench"] == "table1_utilization", doc.get("bench")
+records = doc["records"]
+assert len(records) == 9, f"expected 9 records (3 workloads x 3 p), got {len(records)}"
+for r in records:
+    for key in ("workload", "machine", "n", "m", "procs", "seconds",
+                "cycles", "instructions", "utilization", "phases"):
+        assert key in r, f"record missing {key}: {r.keys()}"
+    assert r["machine"] == "mta"
+    assert r["cycles"] > 0 and r["seconds"] > 0
+    assert 0.0 < r["utilization"] <= 1.0
+    assert r["phases"], "empty per-phase breakdown"
+    for p in r["phases"]:
+        assert p["cycles"] >= 0 and p["name"], p
+
+print(f"ok: {len(records)} records, all fields present")
+EOF
+
+echo "== smoke passed =="
