@@ -32,17 +32,17 @@ int main() {
   Table t({"algorithm", "MTA ms", "SMP ms", "MTA instr/node", "SMP/MTA"}, 3);
 
   auto row = [&](const std::string& name, auto&& run) {
-    sim::MtaMachine mta(core::paper_mta_config(procs));
-    AG_CHECK(run(mta) == reference, "kernel self-check failed");
-    sim::SmpMachine smp(core::paper_smp_config(procs));
-    AG_CHECK(run(smp) == reference, "kernel self-check failed");
+    const auto mta = sim::make_machine(bench::paper_mta_spec(procs));
+    AG_CHECK(run(*mta) == reference, "kernel self-check failed");
+    const auto smp = sim::make_machine(bench::paper_smp_spec(procs));
+    AG_CHECK(run(*smp) == reference, "kernel self-check failed");
     t.row()
         .add(name)
-        .add(mta.seconds() * 1e3)
-        .add(smp.seconds() * 1e3)
-        .add(static_cast<double>(mta.stats().instructions) /
+        .add(mta->seconds() * 1e3)
+        .add(smp->seconds() * 1e3)
+        .add(static_cast<double>(mta->stats().instructions) /
              static_cast<double>(n))
-        .add(smp.seconds() / mta.seconds());
+        .add(smp->seconds() / mta->seconds());
   };
 
   row("sequential chase", [&](sim::Machine& m) {

@@ -38,29 +38,27 @@ SimThread counter_incrementer(Ctx ctx, Addr counter, i64 times) {
 }
 
 sim::Cycle strided_run(bool hashed, i64 stride) {
-  sim::MtaConfig cfg = core::paper_mta_config(8);
-  cfg.hash_addresses = hashed;
-  sim::MtaMachine m(cfg);
-  SimArray<i64> data(m.memory(), 1 << 18);
+  const auto m = sim::make_machine(bench::paper_mta_spec(8) +
+                                   (hashed ? "" : ",hash=0"));
+  SimArray<i64> data(m->memory(), 1 << 18);
   // Every thread walks the SAME stride-aligned address sequence (offset by
   // whole strides), as a strided matrix sweep would: unhashed, all of the
   // traffic lands on the few banks the stride selects.
   for (i64 t = 0; t < 1024; ++t) {
-    m.spawn(strided_reader, data, t * stride, stride, i64{256});
+    m->spawn(strided_reader, data, t * stride, stride, i64{256});
   }
-  m.run_region();
-  return m.cycles();
+  m->run_region();
+  return m->cycles();
 }
 
 sim::Cycle counter_run(bool shared) {
-  sim::MtaConfig cfg = core::paper_mta_config(8);
-  sim::MtaMachine m(cfg);
-  SimArray<i64> counters(m.memory(), 1024);
+  const auto m = sim::make_machine(bench::paper_mta_spec(8));
+  SimArray<i64> counters(m->memory(), 1024);
   for (i64 t = 0; t < 1024; ++t) {
-    m.spawn(counter_incrementer, counters.addr(shared ? 0 : t), i64{64});
+    m->spawn(counter_incrementer, counters.addr(shared ? 0 : t), i64{64});
   }
-  m.run_region();
-  return m.cycles();
+  m->run_region();
+  return m->cycles();
 }
 
 }  // namespace

@@ -38,12 +38,12 @@ int main() {
   // assignment concentrates bad luck on one stream.
   for (const i64 walks : {128, 512, 2048, 8192, 32768}) {
     auto cycles = [&](bool block) {
-      sim::MtaMachine m(core::paper_mta_config(1));
+      const auto m = sim::make_machine(bench::paper_mta_spec(1));
       core::WalkLrParams params;
       params.num_walks = walks;
       params.block_schedule = block;
-      core::sim_rank_list_walk(m, list, params);
-      return m.cycles();
+      core::sim_rank_list_walk(*m, list, params);
+      return m->cycles();
     };
     const auto block_c = cycles(true);
     const auto dyn_c = cycles(false);

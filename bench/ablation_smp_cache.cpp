@@ -24,21 +24,22 @@ int main() {
   const graph::LinkedList ordered = graph::ordered_list(n);
   const graph::LinkedList random_l = graph::random_list(n, 0xcafeu);
 
-  auto run = [&](const sim::SmpConfig& cfg, const graph::LinkedList& list) {
-    sim::SmpMachine m(cfg);
-    core::sim_rank_list_hj(m, list);
-    return m.cycles();
+  // Each sweep point is one machine-spec override on top of the paper SMP;
+  // the sweeps below compose them as strings (later keys win).
+  auto run = [&](const std::string& spec, const graph::LinkedList& list) {
+    const auto m = sim::make_machine(spec);
+    core::sim_rank_list_hj(*m, list);
+    return m->cycles();
   };
 
   {
     Table t({"L2 bytes", "ordered cycles", "random cycles", "random/ordered"},
             2);
-    for (const u64 l2 : {256u * 1024, 1024u * 1024, 4096u * 1024}) {
-      sim::SmpConfig cfg = core::paper_smp_config(1);
-      cfg.l2_bytes = l2;
-      const auto o = run(cfg, ordered);
-      const auto r = run(cfg, random_l);
-      t.row().add(static_cast<i64>(l2)).add(o).add(r).add(
+    for (const u64 l2_kb : {256u, 1024u, 4096u}) {
+      const std::string spec = bench::scaled_smp_spec(1, l2_kb);
+      const auto o = run(spec, ordered);
+      const auto r = run(spec, random_l);
+      t.row().add(static_cast<i64>(l2_kb * 1024)).add(o).add(r).add(
           static_cast<double>(r) / static_cast<double>(o));
     }
     std::cout << "--- L2 capacity sweep ---\n" << t << '\n';
@@ -49,11 +50,11 @@ int main() {
              "random/ordered"},
             2);
     for (const u64 line : {32u, 64u, 128u}) {
-      sim::SmpConfig cfg = core::paper_smp_config(1);
-      cfg.l2_bytes = 512 * 1024;  // out-of-cache regime (see EXPERIMENTS.md)
-      cfg.line_bytes = line;
-      const auto o = run(cfg, ordered);
-      const auto r = run(cfg, random_l);
+      // scaled_smp_spec: out-of-cache regime (see EXPERIMENTS.md)
+      const std::string spec =
+          bench::scaled_smp_spec(1) + ",line=" + std::to_string(line);
+      const auto o = run(spec, ordered);
+      const auto r = run(spec, random_l);
       t.row().add(static_cast<i64>(line)).add(o).add(r).add(
           static_cast<double>(r) / static_cast<double>(o));
     }
@@ -66,11 +67,11 @@ int main() {
              "random/ordered"},
             2);
     for (const sim::Cycle lat : {60, 130, 260}) {
-      sim::SmpConfig cfg = core::paper_smp_config(1);
-      cfg.l2_bytes = 512 * 1024;  // out-of-cache regime (see EXPERIMENTS.md)
-      cfg.memory_latency = lat;
-      const auto o = run(cfg, ordered);
-      const auto r = run(cfg, random_l);
+      // scaled_smp_spec: out-of-cache regime (see EXPERIMENTS.md)
+      const std::string spec =
+          bench::scaled_smp_spec(1) + ",latency=" + std::to_string(lat);
+      const auto o = run(spec, ordered);
+      const auto r = run(spec, random_l);
       t.row().add(lat).add(o).add(r).add(static_cast<double>(r) /
                                          static_cast<double>(o));
     }

@@ -29,15 +29,15 @@ int main() {
 
   for (const i64 walks : {i64{16}, i64{64}, i64{128}, i64{256}, i64{1024},
                           i64{4096}, i64{16384}, n / 10}) {
-    sim::MtaMachine m(core::paper_mta_config(1));
+    const auto m = sim::make_machine(bench::paper_mta_spec(1));
     core::WalkLrParams params;
     params.num_walks = walks;
-    core::sim_rank_list_walk(m, list, params);
+    core::sim_rank_list_walk(*m, list, params);
     table.row()
         .add(walks)
         .add(static_cast<double>(n) / static_cast<double>(walks))
-        .add(m.utilization())
-        .add(m.cycles());
+        .add(m->utilization())
+        .add(m->cycles());
   }
   std::cout << table
             << "\nExpected shape: utilization rises toward ~1 once walks >> "

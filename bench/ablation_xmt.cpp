@@ -35,27 +35,27 @@ int main() {
   Table t({"workload", "p", "remote extra", "cycles", "utilization"}, 3);
   for (const u32 p : {4u, 8u}) {
     for (const sim::Cycle extra : {0, 100, 300}) {
-      sim::MtaConfig cfg = core::paper_mta_config(p);
-      cfg.nonuniform_extra = extra;
+      const std::string spec =
+          bench::paper_mta_spec(p) + ",numa=" + std::to_string(extra);
       {
-        sim::MtaMachine m(cfg);
-        core::sim_rank_list_walk(m, list);
+        const auto m = sim::make_machine(spec);
+        core::sim_rank_list_walk(*m, list);
         t.row()
             .add("list ranking")
             .add(static_cast<i64>(p))
             .add(extra)
-            .add(m.cycles())
-            .add(m.utilization());
+            .add(m->cycles())
+            .add(m->utilization());
       }
       {
-        sim::MtaMachine m(cfg);
-        core::sim_cc_sv_mta(m, g);
+        const auto m = sim::make_machine(spec);
+        core::sim_cc_sv_mta(*m, g);
         t.row()
             .add("connected components")
             .add(static_cast<i64>(p))
             .add(extra)
-            .add(m.cycles())
-            .add(m.utilization());
+            .add(m->cycles())
+            .add(m->utilization());
       }
     }
   }

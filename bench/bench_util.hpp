@@ -14,8 +14,28 @@
 #include "common/types.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
+#include "sim/machine_spec.hpp"
 
 namespace archgraph::bench {
+
+/// The canonical paper machines, as spec strings every bench shares (the
+/// single source of truth for "what the paper ran on"). Compose overrides by
+/// appending — later keys win — e.g. paper_mta_spec(4) + ",streams=64" or
+/// paper_smp_spec(8) + ",l2_kb=512".
+inline std::string paper_mta_spec(u32 procs) {
+  return "mta:procs=" + std::to_string(procs);
+}
+inline std::string paper_smp_spec(u32 procs) {
+  return "smp:procs=" + std::to_string(procs);
+}
+
+/// The scaled-L2 SMP methodology (EXPERIMENTS.md): benches run inputs scaled
+/// down from the paper's 1M+-element problems, so the stock 4 MB L2 is shrunk
+/// proportionally to keep working sets out of cache — the regime the paper's
+/// SMP measurements live in.
+inline std::string scaled_smp_spec(u32 procs, u64 l2_kb = 512) {
+  return paper_smp_spec(procs) + ",l2_kb=" + std::to_string(l2_kb);
+}
 
 /// Problem-size scale: benches honor ARCHGRAPH_BENCH_SCALE=quick|default|full
 /// so CI smoke runs stay fast while full reproductions use bigger inputs.

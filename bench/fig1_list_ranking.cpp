@@ -38,34 +38,32 @@ void record_run(bench::BenchJson* bj, const sim::Machine& machine,
 double run_mta(u32 procs, const graph::LinkedList& list,
                const char* layout = "Ordered",
                bench::BenchJson* bj = nullptr) {
-  sim::MtaMachine machine(core::paper_mta_config(procs));
+  const auto machine = sim::make_machine(bench::paper_mta_spec(procs));
   obs::TraceSession session("fig1/mta");
   obs::TraceSession::Install install(session);
-  session.attach(machine, "mta");
-  const auto ranks = core::sim_rank_list_walk(machine, list);
+  session.attach(*machine, "mta");
+  const auto ranks = core::sim_rank_list_walk(*machine, list);
   AG_CHECK(ranks == core::rank_sequential(list), "MTA kernel self-check");
-  record_run(bj, machine, session, "mta", layout, list.size(), procs);
-  return machine.seconds();
+  record_run(bj, *machine, session, "mta", layout, list.size(), procs);
+  return machine->seconds();
 }
 
 double run_smp(u32 procs, const graph::LinkedList& list,
                const char* layout = "Ordered",
                bench::BenchJson* bj = nullptr) {
-  sim::SmpConfig cfg = core::paper_smp_config(procs);
   // Scaled-machine methodology: the paper ranks lists of 1M-80M nodes
   // (8 MB-640 MB per array) against a 4 MB L2, i.e. the working set never
   // fits any processor's cache — let alone p caches. Our scaled-down lists
   // would fit, so the L2 is scaled down with the input to preserve the
   // working-set : cache ratio (EXPERIMENTS.md, FIG1 notes).
-  cfg.l2_bytes = 512 * 1024;
-  sim::SmpMachine machine(cfg);
+  const auto machine = sim::make_machine(bench::scaled_smp_spec(procs));
   obs::TraceSession session("fig1/smp");
   obs::TraceSession::Install install(session);
-  session.attach(machine, "smp");
-  const auto ranks = core::sim_rank_list_hj(machine, list);
+  session.attach(*machine, "smp");
+  const auto ranks = core::sim_rank_list_hj(*machine, list);
   AG_CHECK(ranks == core::rank_sequential(list), "SMP kernel self-check");
-  record_run(bj, machine, session, "smp", layout, list.size(), procs);
-  return machine.seconds();
+  record_run(bj, *machine, session, "smp", layout, list.size(), procs);
+  return machine->seconds();
 }
 
 }  // namespace

@@ -38,27 +38,27 @@ void record_run(bench::BenchJson* bj, const sim::Machine& machine,
 double run_mta(u32 procs, const graph::EdgeList& g,
                const std::vector<NodeId>& truth,
                bench::BenchJson* bj = nullptr) {
-  sim::MtaMachine machine(core::paper_mta_config(procs));
+  const auto machine = sim::make_machine(bench::paper_mta_spec(procs));
   obs::TraceSession session("fig2/mta");
   obs::TraceSession::Install install(session);
-  session.attach(machine, "mta");
-  const auto result = core::sim_cc_sv_mta(machine, g);
+  session.attach(*machine, "mta");
+  const auto result = core::sim_cc_sv_mta(*machine, g);
   AG_CHECK(result.labels == truth, "MTA CC self-check");
-  record_run(bj, machine, session, "mta", g, procs, result.iterations);
-  return machine.seconds();
+  record_run(bj, *machine, session, "mta", g, procs, result.iterations);
+  return machine->seconds();
 }
 
 double run_smp(u32 procs, const graph::EdgeList& g,
                const std::vector<NodeId>& truth,
                bench::BenchJson* bj = nullptr) {
-  sim::SmpMachine machine(core::paper_smp_config(procs));
+  const auto machine = sim::make_machine(bench::paper_smp_spec(procs));
   obs::TraceSession session("fig2/smp");
   obs::TraceSession::Install install(session);
-  session.attach(machine, "smp");
-  const auto result = core::sim_cc_sv_smp(machine, g);
+  session.attach(*machine, "smp");
+  const auto result = core::sim_cc_sv_smp(*machine, g);
   AG_CHECK(result.labels == truth, "SMP CC self-check");
-  record_run(bj, machine, session, "smp", g, procs, result.iterations);
-  return machine.seconds();
+  record_run(bj, *machine, session, "smp", g, procs, result.iterations);
+  return machine->seconds();
 }
 
 }  // namespace

@@ -26,14 +26,6 @@ int main() {
   const i64 cc_n = scale == Scale::kQuick ? (1 << 11) : (1 << 13);
   const i64 cc_m = 8 * cc_n;
 
-  // Paper regime for the list workload: working set beyond the caches at
-  // every p (same scaled-L2 methodology as bench/fig1, see EXPERIMENTS.md).
-  auto smp_cfg = [](u32 p) {
-    sim::SmpConfig cfg = core::paper_smp_config(p);
-    cfg.l2_bytes = 512 * 1024;
-    return cfg;
-  };
-
   bench::print_header(
       "SPEEDUP — parallel kernels vs. best sequential, same machine",
       "paper §1/§5: SMP parallel graph codes struggle to beat sequential; "
@@ -43,27 +35,29 @@ int main() {
   const graph::LinkedList list = graph::random_list(list_n, 0x5eedu);
   {
     Table t({"machine", "sequential s", "parallel s", "speedup"}, 4);
+    // Paper regime for the list workload: working set beyond the caches at
+    // every p (same scaled-L2 methodology as bench/fig1, see EXPERIMENTS.md).
     for (const u32 p : {1u, 2u, 4u, 8u}) {
-      sim::SmpMachine seq_m(smp_cfg(p));
-      core::sim_rank_list_sequential(seq_m, list);
-      sim::SmpMachine par_m(smp_cfg(p));
-      core::sim_rank_list_hj(par_m, list);
+      const auto seq_m = sim::make_machine(bench::scaled_smp_spec(p));
+      core::sim_rank_list_sequential(*seq_m, list);
+      const auto par_m = sim::make_machine(bench::scaled_smp_spec(p));
+      core::sim_rank_list_hj(*par_m, list);
       t.row()
           .add("SMP p=" + std::to_string(p))
-          .add(seq_m.seconds())
-          .add(par_m.seconds())
-          .add(seq_m.seconds() / par_m.seconds());
+          .add(seq_m->seconds())
+          .add(par_m->seconds())
+          .add(seq_m->seconds() / par_m->seconds());
     }
     for (const u32 p : {1u, 8u}) {
-      sim::MtaMachine seq_m(core::paper_mta_config(p));
-      core::sim_rank_list_sequential(seq_m, list);
-      sim::MtaMachine par_m(core::paper_mta_config(p));
-      core::sim_rank_list_walk(par_m, list);
+      const auto seq_m = sim::make_machine(bench::paper_mta_spec(p));
+      core::sim_rank_list_sequential(*seq_m, list);
+      const auto par_m = sim::make_machine(bench::paper_mta_spec(p));
+      core::sim_rank_list_walk(*par_m, list);
       t.row()
           .add("MTA p=" + std::to_string(p))
-          .add(seq_m.seconds())
-          .add(par_m.seconds())
-          .add(seq_m.seconds() / par_m.seconds());
+          .add(seq_m->seconds())
+          .add(par_m->seconds())
+          .add(seq_m->seconds() / par_m->seconds());
     }
     std::cout << "--- List ranking (random " << list_n << "-node list) ---\n"
               << t
@@ -78,26 +72,26 @@ int main() {
   {
     Table t({"machine", "sequential s", "parallel s", "speedup"}, 4);
     for (const u32 p : {1u, 2u, 4u, 8u}) {
-      sim::SmpMachine seq_m(core::paper_smp_config(p));
-      core::sim_cc_union_find_sequential(seq_m, g);
-      sim::SmpMachine par_m(core::paper_smp_config(p));
-      core::sim_cc_sv_smp(par_m, g);
+      const auto seq_m = sim::make_machine(bench::paper_smp_spec(p));
+      core::sim_cc_union_find_sequential(*seq_m, g);
+      const auto par_m = sim::make_machine(bench::paper_smp_spec(p));
+      core::sim_cc_sv_smp(*par_m, g);
       t.row()
           .add("SMP p=" + std::to_string(p))
-          .add(seq_m.seconds())
-          .add(par_m.seconds())
-          .add(seq_m.seconds() / par_m.seconds());
+          .add(seq_m->seconds())
+          .add(par_m->seconds())
+          .add(seq_m->seconds() / par_m->seconds());
     }
     for (const u32 p : {1u, 8u}) {
-      sim::MtaMachine seq_m(core::paper_mta_config(p));
-      core::sim_cc_union_find_sequential(seq_m, g);
-      sim::MtaMachine par_m(core::paper_mta_config(p));
-      core::sim_cc_sv_mta(par_m, g);
+      const auto seq_m = sim::make_machine(bench::paper_mta_spec(p));
+      core::sim_cc_union_find_sequential(*seq_m, g);
+      const auto par_m = sim::make_machine(bench::paper_mta_spec(p));
+      core::sim_cc_sv_mta(*par_m, g);
       t.row()
           .add("MTA p=" + std::to_string(p))
-          .add(seq_m.seconds())
-          .add(par_m.seconds())
-          .add(seq_m.seconds() / par_m.seconds());
+          .add(seq_m->seconds())
+          .add(par_m->seconds())
+          .add(seq_m->seconds() / par_m->seconds());
     }
     std::cout << "--- Connected components (G(" << cc_n << ", " << cc_m
               << ")) ---\n"

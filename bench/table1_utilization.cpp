@@ -34,25 +34,25 @@ std::string percent(double fraction) {
 // printed table has no room for). Returns the utilization the table prints.
 double run_cell(bench::BenchJson& bj, const std::string& workload, u32 procs,
                 i64 n, i64 m,
-                const std::function<void(sim::MtaMachine&)>& kernel) {
-  sim::MtaMachine machine(core::paper_mta_config(procs));
+                const std::function<void(sim::Machine&)>& kernel) {
+  const auto machine = sim::make_machine(bench::paper_mta_spec(procs));
   obs::TraceSession session("table1/mta");
   obs::TraceSession::Install install(session);
-  session.attach(machine, "mta");
-  kernel(machine);
+  session.attach(*machine, "mta");
+  kernel(*machine);
   bj.record([&](obs::JsonWriter& w) {
     w.field("workload", workload)
         .field("machine", "mta")
         .field("n", n)
         .field("m", m)
         .field("procs", static_cast<i64>(procs))
-        .field("seconds", machine.seconds())
-        .field("cycles", machine.stats().cycles)
-        .field("instructions", machine.stats().instructions)
-        .field("utilization", machine.utilization());
+        .field("seconds", machine->seconds())
+        .field("cycles", machine->stats().cycles)
+        .field("instructions", machine->stats().instructions)
+        .field("utilization", machine->utilization());
     bench::add_phase_breakdown(w, session);
   });
-  return machine.utilization();
+  return machine->utilization();
 }
 
 }  // namespace
@@ -88,7 +88,7 @@ int main() {
   bench::BenchJson bj("table1_utilization");
 
   auto row = [&](const std::string& name, i64 n, i64 m,
-                 const std::function<void(sim::MtaMachine&)>& kernel,
+                 const std::function<void(sim::Machine&)>& kernel,
                  const std::string& paper) {
     table.row().add(name);
     for (const u32 p : {1u, 4u, 8u}) {
@@ -100,18 +100,18 @@ int main() {
   const graph::LinkedList random_l =
       graph::random_list(list_n, 0xf1a9u);
   row("list ranking, Random list", list_n, 0,
-      [&](sim::MtaMachine& m) { core::sim_rank_list_walk(m, random_l); },
+      [&](sim::Machine& m) { core::sim_rank_list_walk(m, random_l); },
       "98% / 90% / 82%");
 
   const graph::LinkedList ordered_l = graph::ordered_list(list_n);
   row("list ranking, Ordered list", list_n, 0,
-      [&](sim::MtaMachine& m) { core::sim_rank_list_walk(m, ordered_l); },
+      [&](sim::Machine& m) { core::sim_rank_list_walk(m, ordered_l); },
       "97% / 85% / 80%");
 
   const graph::EdgeList g =
       graph::random_graph(cc_n, cc_m, 0xcc5eedu);
   row("connected components", cc_n, cc_m,
-      [&](sim::MtaMachine& m) { core::sim_cc_sv_mta(m, g); },
+      [&](sim::Machine& m) { core::sim_cc_sv_mta(m, g); },
       "99% / 93% / 91%");
 
   std::cout << table;

@@ -14,6 +14,7 @@
 #include "core/experiment.hpp"
 #include "core/kernels/kernels.hpp"
 #include "graph/linked_list.hpp"
+#include "sim/machine_spec.hpp"
 
 int main(int argc, char** argv) {
   using namespace archgraph;
@@ -26,16 +27,19 @@ int main(int argc, char** argv) {
   std::cout << "workload: list ranking, n = " << n
             << " (Random and Ordered layouts)\n\n";
 
+  // Each grid point below is one machine-spec string — the same
+  // "<preset>:key=value,..." syntax archgraph_cli's --machine flag takes, so
+  // any row here can be re-run from the command line.
+
   // --- MTA: how many streams does latency tolerance need? -----------------
   {
     Table t({"streams/proc", "cycles", "utilization"}, 3);
     for (const u32 streams : {1u, 8u, 32u, 64u, 128u}) {
-      sim::MtaConfig cfg = core::paper_mta_config(1);
-      cfg.streams_per_processor = streams;
-      sim::MtaMachine m(cfg);
-      core::sim_rank_list_walk(m, random_l);
-      t.row().add(static_cast<i64>(streams)).add(m.cycles()).add(
-          m.utilization());
+      const auto m = sim::make_machine("mta:procs=1,streams=" +
+                                       std::to_string(streams));
+      core::sim_rank_list_walk(*m, random_l);
+      t.row().add(static_cast<i64>(streams)).add(m->cycles()).add(
+          m->utilization());
     }
     std::cout << "--- MTA: streams per processor (latency tolerance is "
                  "parallelism) ---\n"
@@ -47,12 +51,11 @@ int main(int argc, char** argv) {
     Table t({"mem latency", "cycles (128 streams)", "cycles (4 streams)"}, 3);
     for (const sim::Cycle lat : {50, 100, 200, 400}) {
       auto run = [&](u32 streams) {
-        sim::MtaConfig cfg = core::paper_mta_config(1);
-        cfg.memory_latency = lat;
-        cfg.streams_per_processor = streams;
-        sim::MtaMachine m(cfg);
-        core::sim_rank_list_walk(m, random_l);
-        return m.cycles();
+        const auto m = sim::make_machine(
+            "mta:procs=1,latency=" + std::to_string(lat) +
+            ",streams=" + std::to_string(streams));
+        core::sim_rank_list_walk(*m, random_l);
+        return m->cycles();
       };
       t.row().add(lat).add(run(128)).add(run(4));
     }
@@ -65,26 +68,28 @@ int main(int argc, char** argv) {
   {
     Table t({"machine", "ordered ms", "random ms", "random/ordered"}, 3);
     for (const u32 p : {1u, 4u, 8u}) {
-      sim::SmpMachine mo(core::paper_smp_config(p));
-      core::sim_rank_list_hj(mo, ordered_l);
-      sim::SmpMachine mr(core::paper_smp_config(p));
-      core::sim_rank_list_hj(mr, random_l);
+      const std::string spec = "smp:procs=" + std::to_string(p);
+      const auto mo = sim::make_machine(spec);
+      core::sim_rank_list_hj(*mo, ordered_l);
+      const auto mr = sim::make_machine(spec);
+      core::sim_rank_list_hj(*mr, random_l);
       t.row()
           .add("SMP p=" + std::to_string(p))
-          .add(mo.seconds() * 1e3)
-          .add(mr.seconds() * 1e3)
-          .add(mr.seconds() / mo.seconds());
+          .add(mo->seconds() * 1e3)
+          .add(mr->seconds() * 1e3)
+          .add(mr->seconds() / mo->seconds());
     }
     for (const u32 p : {1u, 8u}) {
-      sim::MtaMachine mo(core::paper_mta_config(p));
-      core::sim_rank_list_walk(mo, ordered_l);
-      sim::MtaMachine mr(core::paper_mta_config(p));
-      core::sim_rank_list_walk(mr, random_l);
+      const std::string spec = "mta:procs=" + std::to_string(p);
+      const auto mo = sim::make_machine(spec);
+      core::sim_rank_list_walk(*mo, ordered_l);
+      const auto mr = sim::make_machine(spec);
+      core::sim_rank_list_walk(*mr, random_l);
       t.row()
           .add("MTA p=" + std::to_string(p))
-          .add(mo.seconds() * 1e3)
-          .add(mr.seconds() * 1e3)
-          .add(mr.seconds() / mo.seconds());
+          .add(mo->seconds() * 1e3)
+          .add(mr->seconds() * 1e3)
+          .add(mr->seconds() / mo->seconds());
     }
     std::cout << "--- Layout sensitivity: SMP pays for randomness, MTA does "
                  "not ---\n"
@@ -95,28 +100,28 @@ int main(int argc, char** argv) {
   {
     Table t({"program", "on MTA (ms)", "on SMP (ms)"}, 3);
     {
-      sim::MtaMachine a(core::paper_mta_config(8));
-      core::sim_rank_list_walk(a, random_l);
-      sim::SmpMachine b(core::paper_smp_config(8));
+      const auto a = sim::make_machine("mta:procs=8");
+      core::sim_rank_list_walk(*a, random_l);
+      const auto b = sim::make_machine("smp:procs=8");
       core::WalkLrParams params;
       params.workers = 8;  // the SMP has no streams to absorb 1024 threads
-      core::sim_rank_list_walk(b, random_l, params);
+      core::sim_rank_list_walk(*b, random_l, params);
       t.row()
           .add("walk-based (MTA style)")
-          .add(a.seconds() * 1e3)
-          .add(b.seconds() * 1e3);
+          .add(a->seconds() * 1e3)
+          .add(b->seconds() * 1e3);
     }
     {
-      sim::MtaMachine a(core::paper_mta_config(8));
+      const auto a = sim::make_machine("mta:procs=8");
       core::HjLrParams params;
       params.threads = 1024;  // give the MTA enough threads to hide latency
-      core::sim_rank_list_hj(a, random_l, params);
-      sim::SmpMachine b(core::paper_smp_config(8));
-      core::sim_rank_list_hj(b, random_l);
+      core::sim_rank_list_hj(*a, random_l, params);
+      const auto b = sim::make_machine("smp:procs=8");
+      core::sim_rank_list_hj(*b, random_l);
       t.row()
           .add("Helman-JaJa (SMP style)")
-          .add(a.seconds() * 1e3)
-          .add(b.seconds() * 1e3);
+          .add(a->seconds() * 1e3)
+          .add(b->seconds() * 1e3);
     }
     std::cout << "--- Algorithms must match their architecture (paper §4's "
                  "point) ---\n"

@@ -17,6 +17,7 @@
 #include "core/kernels/kernels.hpp"
 #include "graph/generators.hpp"
 #include "rt/thread_pool.hpp"
+#include "sim/machine_spec.hpp"
 
 int main() {
   using namespace archgraph;
@@ -30,14 +31,14 @@ int main() {
   rt::ThreadPool pool(4);
   const auto seq_labels = core::cc_union_find(g);
   const auto par_labels = core::cc_shiloach_vishkin(pool, g);
-  sim::MtaMachine mta(core::paper_mta_config(8));
-  const auto sim_result = core::sim_cc_sv_mta(mta, g);
+  const auto mta = sim::make_machine("mta:procs=8");
+  const auto sim_result = core::sim_cc_sv_mta(*mta, g);
 
   AG_CHECK(seq_labels == par_labels, "parallel SV disagrees with union-find");
   AG_CHECK(seq_labels == sim_result.labels, "simulated SV disagrees");
   std::cout << "all three implementations agree; simulated MTA (p=8) took "
-            << mta.seconds() * 1e3 << " ms over " << sim_result.iterations
-            << " SV iterations at " << 100.0 * mta.utilization()
+            << mta->seconds() * 1e3 << " ms over " << sim_result.iterations
+            << " SV iterations at " << 100.0 * mta->utilization()
             << "% utilization\n\n";
 
   // --- component-size distribution ----------------------------------------

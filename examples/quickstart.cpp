@@ -13,6 +13,7 @@
 #include "graph/linked_list.hpp"
 #include "graph/validate.hpp"
 #include "rt/thread_pool.hpp"
+#include "sim/machine_spec.hpp"
 
 int main() {
   using namespace archgraph;
@@ -38,17 +39,19 @@ int main() {
   // --- 3. the paper's comparison, simulated -------------------------------
   const graph::LinkedList small = graph::random_list(1 << 16, /*seed=*/3);
 
-  sim::MtaMachine mta(core::paper_mta_config(/*processors=*/8));
-  core::sim_rank_list_walk(mta, small);
+  // Machines come from specs: "<preset>[:key=value,...]" — see
+  // sim/machine_spec.hpp for the full key tables.
+  const auto mta = sim::make_machine("mta:procs=8");
+  core::sim_rank_list_walk(*mta, small);
 
-  sim::SmpMachine smp(core::paper_smp_config(/*processors=*/8));
-  core::sim_rank_list_hj(smp, small);
+  const auto smp = sim::make_machine("smp:procs=8");
+  core::sim_rank_list_hj(*smp, small);
 
   std::cout << "simulated list ranking of a random " << (1 << 16)
             << "-node list, p=8:\n"
-            << "  Cray MTA-2: " << mta.seconds() * 1e3 << " ms  (utilization "
-            << 100.0 * mta.utilization() << "%)\n"
-            << "  Sun SMP:    " << smp.seconds() * 1e3 << " ms\n"
-            << "  MTA advantage: " << smp.seconds() / mta.seconds() << "x\n";
+            << "  Cray MTA-2: " << mta->seconds() * 1e3 << " ms  (utilization "
+            << 100.0 * mta->utilization() << "%)\n"
+            << "  Sun SMP:    " << smp->seconds() * 1e3 << " ms\n"
+            << "  MTA advantage: " << smp->seconds() / mta->seconds() << "x\n";
   return 0;
 }

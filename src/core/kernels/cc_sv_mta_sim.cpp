@@ -30,61 +30,60 @@ using sim::SimArray;
 using sim::SimThread;
 
 SimThread iota_kernel(Ctx ctx, i64 worker, i64 workers, SimArray<i64> arr) {
-  const auto [lo, hi] = simk::static_block(arr.size(), worker, workers);
-  for (i64 i = lo; i < hi; ++i) {
-    co_await ctx.store(arr.addr(i), i);
-    co_await ctx.compute(1);
-  }
+  co_await simk::for_static(ctx, worker, workers, arr.size(),
+                            [&](i64 lo, i64 hi) -> sim::SimTask {
+                              for (i64 i = lo; i < hi; ++i) {
+                                co_await ctx.store(arr.addr(i), i);
+                                co_await ctx.compute(1);
+                              }
+                              co_return 0;
+                            });
 }
 
 SimThread graft_kernel(Ctx ctx, i64 /*worker*/, i64 /*workers*/,
                        SimArray<i64> eu, SimArray<i64> ev, SimArray<i64> d,
                        Addr counter, Addr graft_flag, i64 chunk) {
-  const i64 slots = eu.size();
-  while (true) {
-    const i64 base = co_await ctx.fetch_add(counter, chunk);
-    if (base >= slots) break;
-    const i64 end = std::min(base + chunk, slots);
-    for (i64 i = base; i < end; ++i) {
-      const i64 u = co_await ctx.load(eu.addr(i));
-      const i64 v = co_await ctx.load(ev.addr(i));
-      const i64 du = co_await ctx.load(d.addr(u));
-      const i64 dv = co_await ctx.load(d.addr(v));
-      co_await ctx.compute(2);  // compare chain + loop bookkeeping
-      if (du < dv) {
-        const i64 ddv = co_await ctx.load(d.addr(dv));
-        if (ddv == dv) {
-          co_await ctx.store(d.addr(dv), du);
-          co_await ctx.store(graft_flag, 1);
+  co_await simk::for_dynamic(
+      ctx, counter, eu.size(), chunk, [&](i64 lo, i64 hi) -> sim::SimTask {
+        for (i64 i = lo; i < hi; ++i) {
+          const i64 u = co_await ctx.load(eu.addr(i));
+          const i64 v = co_await ctx.load(ev.addr(i));
+          const i64 du = co_await ctx.load(d.addr(u));
+          const i64 dv = co_await ctx.load(d.addr(v));
+          co_await ctx.compute(2);  // compare chain + loop bookkeeping
+          if (du < dv) {
+            const i64 ddv = co_await ctx.load(d.addr(dv));
+            if (ddv == dv) {
+              co_await ctx.store(d.addr(dv), du);
+              co_await ctx.store(graft_flag, 1);
+            }
+          }
         }
-      }
-    }
-  }
+        co_return 0;
+      });
 }
 
 SimThread shortcut_kernel(Ctx ctx, i64 /*worker*/, i64 /*workers*/,
                           SimArray<i64> d, Addr counter, i64 chunk) {
-  const i64 n = d.size();
-  while (true) {
-    const i64 base = co_await ctx.fetch_add(counter, chunk);
-    if (base >= n) break;
-    const i64 end = std::min(base + chunk, n);
-    for (i64 i = base; i < end; ++i) {
-      i64 cur = co_await ctx.load(d.addr(i));
-      co_await ctx.compute(1);
-      bool moved = false;
-      while (true) {
-        const i64 up = co_await ctx.load(d.addr(cur));
-        co_await ctx.compute(1);
-        if (up == cur) break;
-        cur = up;
-        moved = true;
-      }
-      if (moved) {
-        co_await ctx.store(d.addr(i), cur);
-      }
-    }
-  }
+  co_await simk::for_dynamic(
+      ctx, counter, d.size(), chunk, [&](i64 lo, i64 hi) -> sim::SimTask {
+        for (i64 i = lo; i < hi; ++i) {
+          i64 cur = co_await ctx.load(d.addr(i));
+          co_await ctx.compute(1);
+          bool moved = false;
+          while (true) {
+            const i64 up = co_await ctx.load(d.addr(cur));
+            co_await ctx.compute(1);
+            if (up == cur) break;
+            cur = up;
+            moved = true;
+          }
+          if (moved) {
+            co_await ctx.store(d.addr(i), cur);
+          }
+        }
+        co_return 0;
+      });
 }
 
 }  // namespace

@@ -33,34 +33,41 @@ SimThread sv_smp_kernel(Ctx ctx, i64 worker, i64 workers, SimArray<i64> eu,
                         SimArray<i64> iters, i64 max_iters) {
   const i64 slots = eu.size();
   const i64 n = d.size();
-  const auto edges = simk::static_block(slots, worker, workers);
-  const auto verts = simk::static_block(n, worker, workers);
 
-  // Init: D[i] = i over my vertex block.
-  for (i64 i = verts.lo; i < verts.hi; ++i) {
-    co_await ctx.store(d.addr(i), i);
-    co_await ctx.compute(1);
-  }
-  co_await ctx.barrier();
+  // Init: D[i] = i over my vertex block, then the phase barrier.
+  co_await simk::for_static(
+      ctx, worker, workers, n,
+      [&](i64 lo, i64 hi) -> sim::SimTask {
+        for (i64 i = lo; i < hi; ++i) {
+          co_await ctx.store(d.addr(i), i);
+          co_await ctx.compute(1);
+        }
+        co_return 0;
+      },
+      /*barrier_after=*/true);
 
   i64 iteration = 0;
   while (true) {
     // Graft phase over my edge slots.
     i64 grafted = 0;
-    for (i64 i = edges.lo; i < edges.hi; ++i) {
-      const i64 u = co_await ctx.load(eu.addr(i));
-      const i64 v = co_await ctx.load(ev.addr(i));
-      const i64 du = co_await ctx.load(d.addr(u));
-      const i64 dv = co_await ctx.load(d.addr(v));
-      co_await ctx.compute(2);
-      if (du < dv) {
-        const i64 ddv = co_await ctx.load(d.addr(dv));
-        if (ddv == dv) {
-          co_await ctx.store(d.addr(dv), du);
-          grafted = 1;
-        }
-      }
-    }
+    co_await simk::for_static(
+        ctx, worker, workers, slots, [&](i64 lo, i64 hi) -> sim::SimTask {
+          for (i64 i = lo; i < hi; ++i) {
+            const i64 u = co_await ctx.load(eu.addr(i));
+            const i64 v = co_await ctx.load(ev.addr(i));
+            const i64 du = co_await ctx.load(d.addr(u));
+            const i64 dv = co_await ctx.load(d.addr(v));
+            co_await ctx.compute(2);
+            if (du < dv) {
+              const i64 ddv = co_await ctx.load(d.addr(dv));
+              if (ddv == dv) {
+                co_await ctx.store(d.addr(dv), du);
+                grafted = 1;
+              }
+            }
+          }
+          co_return 0;
+        });
     co_await ctx.store(flags.addr(worker), grafted);
     co_await ctx.barrier();
 
@@ -83,23 +90,28 @@ SimThread sv_smp_kernel(Ctx ctx, i64 worker, i64 workers, SimArray<i64> eu,
     AG_CHECK(iteration <= max_iters,
              "simulated Shiloach-Vishkin failed to converge");
 
-    // Shortcut phase over my vertex block.
-    for (i64 i = verts.lo; i < verts.hi; ++i) {
-      i64 cur = co_await ctx.load(d.addr(i));
-      co_await ctx.compute(1);
-      bool moved = false;
-      while (true) {
-        const i64 up = co_await ctx.load(d.addr(cur));
-        co_await ctx.compute(1);
-        if (up == cur) break;
-        cur = up;
-        moved = true;
-      }
-      if (moved) {
-        co_await ctx.store(d.addr(i), cur);
-      }
-    }
-    co_await ctx.barrier();
+    // Shortcut phase over my vertex block, then the phase barrier.
+    co_await simk::for_static(
+        ctx, worker, workers, n,
+        [&](i64 lo, i64 hi) -> sim::SimTask {
+          for (i64 i = lo; i < hi; ++i) {
+            i64 cur = co_await ctx.load(d.addr(i));
+            co_await ctx.compute(1);
+            bool moved = false;
+            while (true) {
+              const i64 up = co_await ctx.load(d.addr(cur));
+              co_await ctx.compute(1);
+              if (up == cur) break;
+              cur = up;
+              moved = true;
+            }
+            if (moved) {
+              co_await ctx.store(d.addr(i), cur);
+            }
+          }
+          co_return 0;
+        },
+        /*barrier_after=*/true);
   }
 }
 

@@ -45,70 +45,63 @@ using sim::SimThread;
 // ONE instruction: these streaming kernels charge only the memory op.
 SimThread sum_next_kernel(Ctx ctx, i64 worker, i64 workers,
                           SimArray<i64> next, Addr acc) {
-  const auto [lo, hi] = simk::static_block(next.size(), worker, workers);
-  i64 local = 0;
-  for (i64 i = lo; i < hi; ++i) {
-    local += co_await ctx.load(next.addr(i));
-  }
-  co_await ctx.fetch_add(acc, local);
+  co_await simk::reduce_sum(ctx, worker, workers, next, acc);
 }
 
 SimThread fill_kernel(Ctx ctx, i64 worker, i64 workers, SimArray<i64> arr,
                       i64 value) {
-  const auto [lo, hi] = simk::static_block(arr.size(), worker, workers);
-  for (i64 i = lo; i < hi; ++i) {
-    co_await ctx.store(arr.addr(i), value);
-  }
+  co_await simk::for_static(ctx, worker, workers, arr.size(),
+                            [&](i64 lo, i64 hi) -> sim::SimTask {
+                              for (i64 i = lo; i < hi; ++i) {
+                                co_await ctx.store(arr.addr(i), value);
+                              }
+                              co_return 0;
+                            });
 }
 
 SimThread mark_heads_kernel(Ctx ctx, i64 worker, i64 workers,
                             SimArray<i64> heads, SimArray<i64> rank) {
-  const auto [lo, hi] = simk::static_block(heads.size(), worker, workers);
-  for (i64 w = lo; w < hi; ++w) {
-    const i64 h = co_await ctx.load(heads.addr(w));
-    co_await ctx.store(rank.addr(h), w);
-    co_await ctx.compute(1);
-  }
+  co_await simk::for_static(ctx, worker, workers, heads.size(),
+                            [&](i64 lo, i64 hi) -> sim::SimTask {
+                              for (i64 w = lo; w < hi; ++w) {
+                                const i64 h = co_await ctx.load(heads.addr(w));
+                                co_await ctx.store(rank.addr(h), w);
+                                co_await ctx.compute(1);
+                              }
+                              co_return 0;
+                            });
 }
 
 SimThread walk_kernel(Ctx ctx, i64 worker, i64 workers, SimArray<i64> lst,
                       SimArray<i64> rank, SimArray<i64> heads,
                       SimArray<i64> len, SimArray<i64> succ,
-                      SimArray<i64> tail, Addr counter, bool block_schedule) {
-  const i64 num_walks = heads.size();
-  const auto block = simk::static_block(num_walks, worker, workers);
-  i64 block_next = block.lo;
-  while (true) {
-    i64 w;
-    if (block_schedule) {
-      if (block_next >= block.hi) break;
-      w = block_next++;
-      co_await ctx.compute(1);  // local increment + bound check
-    } else {
-      w = co_await ctx.fetch_add(counter, 1);  // the int_fetch_add idiom
-      if (w >= num_walks) break;
-    }
-    i64 j = co_await ctx.load(heads.addr(w));
-    i64 count = 1;  // the head node itself
-    while (true) {
-      const i64 jn = co_await ctx.load(lst.addr(j));
-      co_await ctx.compute(1);  // successor test + count increment
-      if (jn < 0) {  // list tail: this walk ends the list
-        co_await ctx.store(succ.addr(w), -1);
-        co_await ctx.store(tail.addr(w), -1);
-        break;
-      }
-      const i64 mark = co_await ctx.load(rank.addr(jn));
-      if (mark >= 0) {  // jn is the head of walk `mark`
-        co_await ctx.store(succ.addr(w), mark);
-        co_await ctx.store(tail.addr(w), jn);
-        break;
-      }
-      j = jn;
-      ++count;
-    }
-    co_await ctx.store(len.addr(w), count);
-  }
+                      SimArray<i64> tail, Addr counter,
+                      simk::Schedule schedule) {
+  co_await simk::for_each(
+      ctx, schedule, counter, worker, workers, heads.size(),
+      [&](i64 w, i64 /*end*/) -> sim::SimTask {
+        i64 j = co_await ctx.load(heads.addr(w));
+        i64 count = 1;  // the head node itself
+        while (true) {
+          const i64 jn = co_await ctx.load(lst.addr(j));
+          co_await ctx.compute(1);  // successor test + count increment
+          if (jn < 0) {  // list tail: this walk ends the list
+            co_await ctx.store(succ.addr(w), -1);
+            co_await ctx.store(tail.addr(w), -1);
+            break;
+          }
+          const i64 mark = co_await ctx.load(rank.addr(jn));
+          if (mark >= 0) {  // jn is the head of walk `mark`
+            co_await ctx.store(succ.addr(w), mark);
+            co_await ctx.store(tail.addr(w), jn);
+            break;
+          }
+          j = jn;
+          ++count;
+        }
+        co_await ctx.store(len.addr(w), count);
+        co_return 0;
+      });
 }
 
 /// One pointer-doubling round over the walk records (double-buffered):
@@ -119,54 +112,49 @@ SimThread walk_kernel(Ctx ctx, i64 worker, i64 workers, SimArray<i64> lst,
 SimThread jump_round_kernel(Ctx ctx, i64 worker, i64 workers,
                             SimArray<i64> dist_old, SimArray<i64> succ_old,
                             SimArray<i64> dist_new, SimArray<i64> succ_new) {
-  const auto [lo, hi] = simk::static_block(dist_old.size(), worker, workers);
-  for (i64 w = lo; w < hi; ++w) {
-    const i64 s = co_await ctx.load(succ_old.addr(w));
-    co_await ctx.compute(1);
-    const i64 d = co_await ctx.load(dist_old.addr(w));
-    if (s >= 0) {
-      const i64 ds = co_await ctx.load(dist_old.addr(s));
-      co_await ctx.store(dist_new.addr(w), d + ds);
-      const i64 s2 = co_await ctx.load(succ_old.addr(s));
-      co_await ctx.store(succ_new.addr(w), s2);
-    } else {
-      co_await ctx.store(dist_new.addr(w), d);
-      co_await ctx.store(succ_new.addr(w), -1);
-    }
-  }
+  co_await simk::for_static(
+      ctx, worker, workers, dist_old.size(),
+      [&](i64 lo, i64 hi) -> sim::SimTask {
+        for (i64 w = lo; w < hi; ++w) {
+          const i64 s = co_await ctx.load(succ_old.addr(w));
+          co_await ctx.compute(1);
+          const i64 d = co_await ctx.load(dist_old.addr(w));
+          if (s >= 0) {
+            const i64 ds = co_await ctx.load(dist_old.addr(s));
+            co_await ctx.store(dist_new.addr(w), d + ds);
+            const i64 s2 = co_await ctx.load(succ_old.addr(s));
+            co_await ctx.store(succ_new.addr(w), s2);
+          } else {
+            co_await ctx.store(dist_new.addr(w), d);
+            co_await ctx.store(succ_new.addr(w), -1);
+          }
+        }
+        co_return 0;
+      });
 }
 
 SimThread final_rank_kernel(Ctx ctx, i64 worker, i64 workers,
                             SimArray<i64> lst, SimArray<i64> rank,
                             SimArray<i64> heads, SimArray<i64> dist,
                             SimArray<i64> tail, Addr counter,
-                            bool block_schedule) {
-  const i64 num_walks = heads.size();
+                            simk::Schedule schedule) {
   const i64 n = lst.size();
-  const auto block = simk::static_block(num_walks, worker, workers);
-  i64 block_next = block.lo;
-  while (true) {
-    i64 w;
-    if (block_schedule) {
-      if (block_next >= block.hi) break;
-      w = block_next++;
-      co_await ctx.compute(1);
-    } else {
-      w = co_await ctx.fetch_add(counter, 1);
-      if (w >= num_walks) break;
-    }
-    i64 j = co_await ctx.load(heads.addr(w));
-    // Alg. 1: count = NLIST - lnth[i]; dist[w] counts w's head through the
-    // list's end, so w's first node ranks n - dist[w].
-    i64 count = n - co_await ctx.load(dist.addr(w));
-    const i64 stop = co_await ctx.load(tail.addr(w));
-    while (j != stop) {
-      co_await ctx.store(rank.addr(j), count);
-      ++count;
-      j = co_await ctx.load(lst.addr(j));
-      co_await ctx.compute(1);  // compare + increment
-    }
-  }
+  co_await simk::for_each(
+      ctx, schedule, counter, worker, workers, heads.size(),
+      [&](i64 w, i64 /*end*/) -> sim::SimTask {
+        i64 j = co_await ctx.load(heads.addr(w));
+        // Alg. 1: count = NLIST - lnth[i]; dist[w] counts w's head through
+        // the list's end, so w's first node ranks n - dist[w].
+        i64 count = n - co_await ctx.load(dist.addr(w));
+        const i64 stop = co_await ctx.load(tail.addr(w));
+        while (j != stop) {
+          co_await ctx.store(rank.addr(j), count);
+          ++count;
+          j = co_await ctx.load(lst.addr(j));
+          co_await ctx.compute(1);  // compare + increment
+        }
+        co_return 0;
+      });
 }
 
 }  // namespace
@@ -252,13 +240,16 @@ std::vector<i64> sim_rank_list_walk(sim::Machine& machine,
 
   // Phase D: the walks (dynamically scheduled unless the ablation asks for
   // block scheduling). len[w] seeds dist buffer 0 directly.
+  const simk::Schedule schedule = params.block_schedule
+                                      ? simk::Schedule::kStatic
+                                      : simk::Schedule::kDynamic;
   counter.set(0, 0);
   obs::label_next_region("lr.walks");
   obs::counter_add("lr.num_walks", w_count);
   simk::spawn_workers(machine,
                       simk::auto_workers(machine, w_count, params.workers),
                       walk_kernel, lst, rank, heads, len, succ_a, tail,
-                      counter.addr(0), params.block_schedule);
+                      counter.addr(0), schedule);
   machine.run_region();
 
   // Phase E: pointer doubling over the walk records (double-buffered; the
@@ -288,7 +279,7 @@ std::vector<i64> sim_rank_list_walk(sim::Machine& machine,
   simk::spawn_workers(machine,
                       simk::auto_workers(machine, w_count, params.workers),
                       final_rank_kernel, lst, rank, heads, dist, tail,
-                      counter.addr(0), params.block_schedule);
+                      counter.addr(0), schedule);
   machine.run_region();
 
   return rank.to_vector();

@@ -1,4 +1,37 @@
-// Shared helpers for simulator kernels.
+// Shared parallel-ops substrate for simulator kernels.
+//
+// Every simulated algorithm in core/kernels is built from three loop shapes,
+// factored here as SimTask sub-coroutines so scheduling policy is a uniform
+// knob instead of five hand-rolled variants:
+//
+//   * for_dynamic  — the MTA int_fetch_add idiom: workers claim chunks of the
+//                    iteration space from a shared counter. Cost: exactly one
+//                    fetch_add per claim; the claimed range is processed by
+//                    the body at its own charged cost.
+//   * for_static   — block partition: worker w processes static_block(n, w,
+//                    workers) with no claiming cost (the bounds are
+//                    registers), optionally followed by a region barrier —
+//                    the SMP's barrier-separated phase shape.
+//   * for_each     — the scheduling ablation knob: per-item loop that runs
+//                    either dynamically (one fetch_add per item) or
+//                    statically (one compute slot per item for the local
+//                    increment + bound check), so a kernel can expose its
+//                    schedule as data rather than as two code paths.
+//   * reduce_sum   — static scan + one fetch_add combine into a shared
+//                    accumulator, the paper's parallel-sum idiom.
+//
+// Bodies are coroutine lambdas returning sim::SimTask, e.g.:
+//
+//   co_await simk::for_dynamic(ctx, counter, n, chunk,
+//       [&](i64 lo, i64 hi) -> sim::SimTask {
+//         for (i64 i = lo; i < hi; ++i) co_await ctx.store(a.addr(i), 0);
+//         co_return 0;
+//       });
+//
+// Lifetime rule (see sim/task.hpp): the body lambda is a named parameter of
+// the helper — it lives in the helper's frame — and each SimTask it produces
+// is awaited immediately. Do not store a SimTask past the statement that
+// created it.
 #pragma once
 
 #include <algorithm>
@@ -22,6 +55,77 @@ inline Range static_block(i64 n, i64 worker, i64 workers) {
   return Range{lo, lo + base + (worker < extra ? 1 : 0)};
 }
 
+/// How a claimed loop hands out iterations (the scheduling ablation knob).
+enum class Schedule : u8 {
+  kDynamic,  // shared-counter fetch_add claiming (MTA load balancing)
+  kStatic,   // precomputed blocks; each claim costs one local ALU slot
+};
+
+inline const char* schedule_name(Schedule s) {
+  return s == Schedule::kDynamic ? "dynamic" : "static";
+}
+
+/// Dynamic chunk claiming: repeatedly claims [lo, min(lo+chunk, n)) via
+/// fetch_add on `counter` (which must start at 0) and awaits
+/// `body(lo, hi)`. Simulated cost: one fetch_add per claim, including the
+/// final failed claim that observes lo >= n — exactly the hand-rolled idiom.
+template <typename Body>
+sim::SimTask for_dynamic(sim::Ctx ctx, sim::Addr counter, i64 n, i64 chunk,
+                         Body body) {
+  while (true) {
+    const i64 lo = co_await ctx.fetch_add(counter, chunk);
+    if (lo >= n) break;
+    co_await body(lo, std::min(n, lo + chunk));
+  }
+  co_return 0;
+}
+
+/// Static block phase: awaits `body(lo, hi)` on this worker's block (empty
+/// blocks still run the body with lo == hi), then optionally a region-wide
+/// barrier — the shape of every barrier-separated SMP step. The partition
+/// itself costs nothing: the bounds live in registers.
+template <typename Body>
+sim::SimTask for_static(sim::Ctx ctx, i64 worker, i64 workers, i64 n,
+                        Body body, bool barrier_after = false) {
+  const Range r = static_block(n, worker, workers);
+  co_await body(r.lo, r.hi);
+  if (barrier_after) {
+    co_await ctx.barrier();
+  }
+  co_return 0;
+}
+
+/// Per-item loop with a runtime-selected schedule: dynamic claims one item
+/// per fetch_add; static walks this worker's block charging one ALU slot per
+/// item for the local claim (increment + bound check). Bodies see one index
+/// at a time (`body(i, i + 1)`), so the two schedules issue identical
+/// per-item work and differ only in the claiming cost — which is the whole
+/// point of the scheduling ablation.
+template <typename Body>
+sim::SimTask for_each(sim::Ctx ctx, Schedule schedule, sim::Addr counter,
+                      i64 worker, i64 workers, i64 n, Body body) {
+  if (schedule == Schedule::kStatic) {
+    const Range r = static_block(n, worker, workers);
+    for (i64 i = r.lo; i < r.hi; ++i) {
+      co_await ctx.compute(1);  // local claim: increment + bound check
+      co_await body(i, i + 1);
+    }
+  } else {
+    while (true) {
+      const i64 i = co_await ctx.fetch_add(counter, 1);
+      if (i >= n) break;
+      co_await body(i, i + 1);
+    }
+  }
+  co_return 0;
+}
+
+/// Parallel sum: static scan of `arr` (one load per element; the 3-wide LIW
+/// folds the accumulate and loop control into the memory op) plus one
+/// fetch_add of the worker's partial into `acc`. Returns the partial.
+sim::SimTask reduce_sum(sim::Ctx ctx, i64 worker, i64 workers,
+                        sim::SimArray<i64> arr, sim::Addr acc);
+
 /// Spawns `workers` copies of `kernel(ctx, worker, workers, args...)`.
 /// The caller still calls machine.run_region().
 template <typename F, typename... Args>
@@ -32,11 +136,12 @@ void spawn_workers(sim::Machine& machine, i64 workers, F kernel,
   }
 }
 
-/// Default worker count for a phase with `items` units of work.
-inline i64 auto_workers(const sim::Machine& machine, i64 items,
-                        i64 requested) {
-  const i64 hw = requested > 0 ? requested : machine.concurrency();
-  return std::max<i64>(1, std::min(hw, items));
-}
+/// Worker count for a phase with `items` units of work. The result is always
+/// in [1, min(machine.concurrency(), items)]: `requested <= 0` asks for one
+/// worker per hardware thread slot, and an explicit `requested > 0` is still
+/// clamped to the slot count — oversubscribing the simulated machine adds
+/// admission queueing (MTA) or context switches (SMP) without modelling
+/// anything the paper measured, so the cap is enforced rather than advisory.
+i64 auto_workers(const sim::Machine& machine, i64 items, i64 requested);
 
 }  // namespace archgraph::core::simk

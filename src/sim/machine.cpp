@@ -4,15 +4,18 @@ namespace archgraph::sim {
 
 namespace {
 
-/// Destroys all coroutine frames even if simulate() threw.
+/// Destroys all coroutine frames even if simulate() threw. Only the root
+/// (kernel) frame is destroyed explicitly: suspended SimTask helpers live in
+/// SimTask members of their parent frames and are torn down by the cascade.
 struct FrameGuard {
   std::vector<std::unique_ptr<ThreadState>>* threads;
   ~FrameGuard() {
     for (auto& t : *threads) {
-      if (t->handle) {
-        t->handle.destroy();
-        t->handle = nullptr;
+      if (t->root) {
+        t->root.destroy();
+        t->root = nullptr;
       }
+      t->handle = nullptr;
     }
     threads->clear();
   }
@@ -22,8 +25,8 @@ struct FrameGuard {
 
 Machine::~Machine() {
   for (auto& t : pending_) {
-    if (t->handle) {
-      t->handle.destroy();
+    if (t->root) {
+      t->root.destroy();
     }
   }
 }

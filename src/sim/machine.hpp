@@ -90,6 +90,7 @@ class Machine {
     SimThread thread =
         std::invoke(std::forward<F>(f), ctx, std::forward<Args>(args)...);
     state->handle = thread.bind(state.get());
+    state->root = state->handle;
     pending_.push_back(std::move(state));
   }
 

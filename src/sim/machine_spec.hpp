@@ -1,0 +1,73 @@
+// Parsed machine descriptions: one string names an architecture preset and
+// overrides any subset of its model parameters, so benches, examples, tests,
+// and the CLI can sweep machine shape without touching config structs.
+//
+//   spec      := preset [ ":" override ("," override)* ]
+//   preset    := "mta" | "smp"            (paper-default configurations)
+//   override  := key "=" value
+//
+// Examples:
+//   mta                         the paper's Cray MTA-2 (1 processor)
+//   mta:procs=40,streams=64     40 processors, 64 streams each
+//   smp:procs=14,l2_kb=4096     a 14-way E4500 with the stock 4 MB L2
+//
+// MTA keys:  procs, streams, latency, banks, fork, barrier, hash (0/1),
+//            numa, clock_mhz
+// SMP keys:  procs, l1_kb, l1_ways, l1_lat, l2_kb, l2_ways, l2_lat, line,
+//            latency, bus, store_miss, rmw, coherence, barrier_base,
+//            barrier_per_proc, context_switch, quantum, fork, clock_mhz
+//
+// Later overrides win (duplicate keys apply in order), which lets callers
+// compose a base spec with user-supplied overrides by concatenation. Parsing
+// validates the resulting configuration (see validate() in the machine
+// headers) and throws std::logic_error naming the bad key or field.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sim/mta/mta_machine.hpp"
+#include "sim/smp/smp_machine.hpp"
+
+namespace archgraph::sim {
+
+enum class MachineArch : u8 { kMta, kSmp };
+
+/// "mta" or "smp".
+const char* arch_name(MachineArch arch);
+
+/// An architecture choice plus the full configuration for it. Only the
+/// config matching `arch` is meaningful; the other keeps its default so
+/// value comparison stays well-defined.
+struct MachineSpec {
+  MachineArch arch = MachineArch::kMta;
+  MtaConfig mta;
+  SmpConfig smp;
+
+  u32 processors() const {
+    return arch == MachineArch::kMta ? mta.processors : smp.processors;
+  }
+
+  /// Canonical spec string: the preset name plus every override whose value
+  /// differs from the preset default, in the documented key order. Parsing
+  /// the result reproduces this spec exactly (round-trip identity).
+  std::string to_string() const;
+
+  bool operator==(const MachineSpec&) const = default;
+};
+
+/// Parses and validates a spec string. Throws std::logic_error with a
+/// message naming the unknown preset, unknown key, malformed value, or
+/// out-of-range field.
+MachineSpec parse_machine_spec(std::string_view text);
+
+/// The factory: every machine construction outside sim/ goes through one of
+/// these. The spec/string forms are the normal path; the config forms exist
+/// for programmatic sweeps that mutate a parsed spec's fields directly.
+std::unique_ptr<Machine> make_machine(const MachineSpec& spec);
+std::unique_ptr<Machine> make_machine(std::string_view spec_text);
+std::unique_ptr<Machine> make_machine(const MtaConfig& config);
+std::unique_ptr<Machine> make_machine(const SmpConfig& config);
+
+}  // namespace archgraph::sim

@@ -6,11 +6,33 @@
 
 namespace archgraph::sim {
 
+void validate(const MtaConfig& c) {
+  AG_CHECK(c.processors >= 1, "MtaConfig.processors must be >= 1 (got " +
+                                  std::to_string(c.processors) + ")");
+  AG_CHECK(c.streams_per_processor >= 1,
+           "MtaConfig.streams_per_processor must be >= 1 (got " +
+               std::to_string(c.streams_per_processor) + ")");
+  AG_CHECK(c.memory_latency >= 2,
+           "MtaConfig.memory_latency must cover the round trip (>= 2, got " +
+               std::to_string(c.memory_latency) + ")");
+  AG_CHECK(c.banks_per_processor >= 1,
+           "MtaConfig.banks_per_processor must be >= 1 (got " +
+               std::to_string(c.banks_per_processor) + ")");
+  AG_CHECK(c.region_fork_cycles >= 0,
+           "MtaConfig.region_fork_cycles must be >= 0 (got " +
+               std::to_string(c.region_fork_cycles) + ")");
+  AG_CHECK(c.barrier_overhead >= 0,
+           "MtaConfig.barrier_overhead must be >= 0 (got " +
+               std::to_string(c.barrier_overhead) + ")");
+  AG_CHECK(c.nonuniform_extra >= 0,
+           "MtaConfig.nonuniform_extra must be >= 0 (got " +
+               std::to_string(c.nonuniform_extra) + ")");
+  AG_CHECK(c.clock_hz > 0, "MtaConfig.clock_hz must be positive (got " +
+                               std::to_string(c.clock_hz) + ")");
+}
+
 MtaMachine::MtaMachine(MtaConfig config) : config_(config) {
-  AG_CHECK(config_.processors >= 1, "need at least one processor");
-  AG_CHECK(config_.streams_per_processor >= 1, "need at least one stream");
-  AG_CHECK(config_.memory_latency >= 2, "latency must cover the round trip");
-  AG_CHECK(config_.banks_per_processor >= 1, "need at least one bank");
+  validate(config_);
   net_half_ = config_.memory_latency / 2;
 }
 

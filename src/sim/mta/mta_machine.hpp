@@ -64,7 +64,15 @@ struct MtaConfig {
   /// flat" (the Eldorado/XMT direction) — which bench/ablation_xmt studies.
   Cycle nonuniform_extra = 0;
   double clock_hz = 220e6;  // the MTA-2's 220 MHz
+
+  bool operator==(const MtaConfig&) const = default;
 };
+
+/// Rejects configurations the model cannot simulate (zero/negative
+/// processors, streams, banks, latencies, clock); throws std::logic_error
+/// with a message naming the offending MtaConfig field. Called by the
+/// MtaMachine constructor and by the machine-spec factory before it.
+void validate(const MtaConfig& config);
 
 class MtaMachine final : public Machine {
  public:

@@ -4,9 +4,65 @@
 
 namespace archgraph::sim {
 
+void validate(const SmpConfig& c) {
+  AG_CHECK(c.processors >= 1, "SmpConfig.processors must be >= 1 (got " +
+                                  std::to_string(c.processors) + ")");
+  AG_CHECK(c.processors <= 32,
+           "SmpConfig.processors must be <= 32 (sharer bitmask; got " +
+               std::to_string(c.processors) + ")");
+  AG_CHECK(c.line_bytes >= kWordBytes &&
+               (c.line_bytes & (c.line_bytes - 1)) == 0,
+           "SmpConfig.line_bytes must be a power of two >= " +
+               std::to_string(kWordBytes) + " (got " +
+               std::to_string(c.line_bytes) + ")");
+  AG_CHECK(c.l1_ways >= 1, "SmpConfig.l1_ways must be >= 1 (got " +
+                               std::to_string(c.l1_ways) + ")");
+  AG_CHECK(c.l2_ways >= 1, "SmpConfig.l2_ways must be >= 1 (got " +
+                               std::to_string(c.l2_ways) + ")");
+  AG_CHECK(c.l1_bytes > 0 && c.l1_bytes % (c.line_bytes * c.l1_ways) == 0,
+           "SmpConfig.l1_bytes must be a positive multiple of line_bytes * "
+           "l1_ways (got " +
+               std::to_string(c.l1_bytes) + ")");
+  AG_CHECK(c.l2_bytes > 0 && c.l2_bytes % (c.line_bytes * c.l2_ways) == 0,
+           "SmpConfig.l2_bytes must be a positive multiple of line_bytes * "
+           "l2_ways (got " +
+               std::to_string(c.l2_bytes) + ")");
+  AG_CHECK(c.l1_latency >= 1, "SmpConfig.l1_latency must be >= 1 (got " +
+                                  std::to_string(c.l1_latency) + ")");
+  AG_CHECK(c.l2_latency >= 1, "SmpConfig.l2_latency must be >= 1 (got " +
+                                  std::to_string(c.l2_latency) + ")");
+  AG_CHECK(c.memory_latency >= 1, "SmpConfig.memory_latency must be >= 1 "
+                                  "(got " +
+                                      std::to_string(c.memory_latency) + ")");
+  AG_CHECK(c.bus_occupancy >= 0, "SmpConfig.bus_occupancy must be >= 0 (got " +
+                                     std::to_string(c.bus_occupancy) + ")");
+  AG_CHECK(c.store_miss_cost >= 0,
+           "SmpConfig.store_miss_cost must be >= 0 (got " +
+               std::to_string(c.store_miss_cost) + ")");
+  AG_CHECK(c.rmw_cost >= 0, "SmpConfig.rmw_cost must be >= 0 (got " +
+                                std::to_string(c.rmw_cost) + ")");
+  AG_CHECK(c.coherence_penalty >= 0,
+           "SmpConfig.coherence_penalty must be >= 0 (got " +
+               std::to_string(c.coherence_penalty) + ")");
+  AG_CHECK(c.barrier_base >= 0, "SmpConfig.barrier_base must be >= 0 (got " +
+                                    std::to_string(c.barrier_base) + ")");
+  AG_CHECK(c.barrier_per_proc >= 0,
+           "SmpConfig.barrier_per_proc must be >= 0 (got " +
+               std::to_string(c.barrier_per_proc) + ")");
+  AG_CHECK(c.context_switch >= 0,
+           "SmpConfig.context_switch must be >= 0 (got " +
+               std::to_string(c.context_switch) + ")");
+  AG_CHECK(c.quantum >= 1, "SmpConfig.quantum must be >= 1 (got " +
+                               std::to_string(c.quantum) + ")");
+  AG_CHECK(c.region_fork_cycles >= 0,
+           "SmpConfig.region_fork_cycles must be >= 0 (got " +
+               std::to_string(c.region_fork_cycles) + ")");
+  AG_CHECK(c.clock_hz > 0, "SmpConfig.clock_hz must be positive (got " +
+                               std::to_string(c.clock_hz) + ")");
+}
+
 SmpMachine::SmpMachine(SmpConfig config) : config_(config) {
-  AG_CHECK(config_.processors >= 1 && config_.processors <= 32,
-           "the sharer bitmask supports up to 32 processors");
+  validate(config_);
   // One line size keeps coherence single-granularity (DESIGN.md §6).
   procs_.reserve(config_.processors);
   for (u32 i = 0; i < config_.processors; ++i) {

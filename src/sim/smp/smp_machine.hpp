@@ -71,7 +71,16 @@ struct SmpConfig {
   Cycle region_fork_cycles = 3000;
 
   double clock_hz = 400e6;  // 400 MHz UltraSPARC II
+
+  bool operator==(const SmpConfig&) const = default;
 };
+
+/// Rejects configurations the model cannot simulate (zero/negative
+/// processors, cache sizes, ways, latencies, malformed line geometry);
+/// throws std::logic_error with a message naming the offending SmpConfig
+/// field. Called by the SmpMachine constructor and by the machine-spec
+/// factory before it.
+void validate(const SmpConfig& config);
 
 class SmpMachine final : public Machine {
  public:

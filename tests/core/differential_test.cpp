@@ -11,6 +11,7 @@
 #include "core/mst/mst.hpp"
 #include "graph/generators.hpp"
 #include "graph/linked_list.hpp"
+#include "sim/machine_spec.hpp"
 
 namespace archgraph::core {
 namespace {
@@ -38,15 +39,15 @@ TEST(Differential, AllSimulatedRankersAgreeOnRandomInstances) {
     const i64 n = 1 + static_cast<i64>(rng.below(1500));
     const graph::LinkedList list = graph::random_list(n, rng());
     const auto expected = rank_sequential(list);
-    sim::MtaMachine mta(paper_mta_config(2));
-    ASSERT_EQ(sim_rank_list_walk(mta, list), expected) << "trial " << trial;
-    sim::SmpMachine smp(paper_smp_config(2));
-    ASSERT_EQ(sim_rank_list_hj(smp, list), expected) << "trial " << trial;
-    sim::MtaMachine mta2;
-    ASSERT_EQ(sim_rank_list_wyllie(mta2, list), expected)
+    const auto mta = sim::make_machine("mta:procs=2");
+    ASSERT_EQ(sim_rank_list_walk(*mta, list), expected) << "trial " << trial;
+    const auto smp = sim::make_machine("smp:procs=2");
+    ASSERT_EQ(sim_rank_list_hj(*smp, list), expected) << "trial " << trial;
+    const auto mta2 = sim::make_machine("mta");
+    ASSERT_EQ(sim_rank_list_wyllie(*mta2, list), expected)
         << "trial " << trial;
-    sim::SmpMachine smp2;
-    ASSERT_EQ(sim_rank_list_sequential(smp2, list), expected)
+    const auto smp2 = sim::make_machine("smp");
+    ASSERT_EQ(sim_rank_list_sequential(*smp2, list), expected)
         << "trial " << trial;
   }
 }
@@ -78,12 +79,12 @@ TEST(Differential, SimulatedCcAgreesOnRandomInstances) {
         static_cast<u64>(std::min<i64>(max_edges, 2 * n)) + 1));
     const graph::EdgeList g = graph::random_graph(n, m, rng());
     const auto truth = cc_union_find(g);
-    sim::MtaMachine mta(paper_mta_config(2));
-    ASSERT_EQ(sim_cc_sv_mta(mta, g).labels, truth) << trial;
-    sim::SmpMachine smp(paper_smp_config(2));
-    ASSERT_EQ(sim_cc_sv_smp(smp, g).labels, truth) << trial;
-    sim::SmpMachine smp_seq;
-    ASSERT_EQ(sim_cc_union_find_sequential(smp_seq, g), truth) << trial;
+    const auto mta = sim::make_machine("mta:procs=2");
+    ASSERT_EQ(sim_cc_sv_mta(*mta, g).labels, truth) << trial;
+    const auto smp = sim::make_machine("smp:procs=2");
+    ASSERT_EQ(sim_cc_sv_smp(*smp, g).labels, truth) << trial;
+    const auto smp_seq = sim::make_machine("smp");
+    ASSERT_EQ(sim_cc_union_find_sequential(*smp_seq, g), truth) << trial;
   }
 }
 

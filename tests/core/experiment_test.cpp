@@ -4,6 +4,7 @@
 
 #include "core/kernels/kernels.hpp"
 #include "graph/linked_list.hpp"
+#include "sim/machine_spec.hpp"
 
 namespace archgraph::core {
 namespace {
@@ -26,7 +27,8 @@ TEST(ExperimentConfigs, MatchPaperMachineDescriptions) {
 }
 
 TEST(Snapshot, CapturesMachineState) {
-  sim::MtaMachine m(paper_mta_config(2));
+  const auto mp = sim::make_machine("mta:procs=2");
+  sim::Machine& m = *mp;
   sim_rank_list_walk(m, graph::random_list(2048, 1));
   const Measurement meas = snapshot(m);
   EXPECT_EQ(meas.cycles, m.cycles());
@@ -39,12 +41,12 @@ TEST(Snapshot, CapturesMachineState) {
 }
 
 TEST(Snapshot, ResetStatsClearsAccumulation) {
-  sim::MtaMachine m;
-  sim_rank_list_walk(m, graph::random_list(512, 2));
-  EXPECT_GT(m.cycles(), 0);
-  m.reset_stats();
-  EXPECT_EQ(m.cycles(), 0);
-  EXPECT_EQ(m.stats().instructions, 0);
+  const auto m = sim::make_machine("mta");
+  sim_rank_list_walk(*m, graph::random_list(512, 2));
+  EXPECT_GT(m->cycles(), 0);
+  m->reset_stats();
+  EXPECT_EQ(m->cycles(), 0);
+  EXPECT_EQ(m->stats().instructions, 0);
 }
 
 }  // namespace

@@ -1,13 +1,14 @@
 // Correctness + architectural sanity of the simulated baseline programs
-// (sequential list ranking, Wyllie, sequential union-find).
+// (sequential list ranking, Wyllie, sequential union-find). Machines come
+// from sim::make_machine spec strings (the factory path).
 #include <gtest/gtest.h>
 
 #include "core/concomp/concomp.hpp"
-#include "core/experiment.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/listrank/listrank.hpp"
 #include "graph/generators.hpp"
 #include "graph/linked_list.hpp"
+#include "sim/machine_spec.hpp"
 
 namespace archgraph::core {
 namespace {
@@ -18,10 +19,10 @@ TEST_P(SeqRankSweep, SequentialKernelCorrectOnBothMachines) {
   const i64 n = GetParam();
   const graph::LinkedList list = graph::random_list(n, static_cast<u64>(n));
   const auto expected = rank_sequential(list);
-  sim::SmpMachine smp;
-  EXPECT_EQ(sim_rank_list_sequential(smp, list), expected);
-  sim::MtaMachine mta;
-  EXPECT_EQ(sim_rank_list_sequential(mta, list), expected);
+  const auto smp = sim::make_machine("smp");
+  EXPECT_EQ(sim_rank_list_sequential(*smp, list), expected);
+  const auto mta = sim::make_machine("mta");
+  EXPECT_EQ(sim_rank_list_sequential(*mta, list), expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SeqRankSweep,
@@ -34,12 +35,12 @@ TEST_P(WyllieSweep, WyllieKernelCorrectOnBothMachines) {
   const graph::LinkedList list =
       graph::random_list(n, static_cast<u64>(n) + 3);
   const auto expected = rank_sequential(list);
-  sim::MtaMachine mta;
-  EXPECT_EQ(sim_rank_list_wyllie(mta, list), expected);
-  sim::SmpMachine smp(paper_smp_config(4));
+  const auto mta = sim::make_machine("mta");
+  EXPECT_EQ(sim_rank_list_wyllie(*mta, list), expected);
+  const auto smp = sim::make_machine("smp:procs=4");
   WyllieLrParams params;
   params.workers = 4;
-  EXPECT_EQ(sim_rank_list_wyllie(smp, list, params), expected);
+  EXPECT_EQ(sim_rank_list_wyllie(*smp, list, params), expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, WyllieSweep,
@@ -54,8 +55,8 @@ TEST(SeqUnionFindKernel, CorrectAcrossFamilies) {
       case 2: g = graph::path_graph(128); break;
       case 3: g = graph::EdgeList(7); break;
     }
-    sim::SmpMachine smp;
-    EXPECT_EQ(sim_cc_union_find_sequential(smp, g), cc_union_find(g));
+    const auto smp = sim::make_machine("smp");
+    EXPECT_EQ(sim_cc_union_find_sequential(*smp, g), cc_union_find(g));
   }
 }
 
@@ -64,44 +65,44 @@ TEST(BaselineArchitecture, SequentialChaseIsLatencyBoundEverywhere) {
   // memory round trip, and the MTA's utilization collapses.
   const i64 n = 1 << 14;
   const graph::LinkedList list = graph::random_list(n, 7);
-  sim::MtaMachine mta;
-  sim_rank_list_sequential(mta, list);
-  EXPECT_LT(mta.utilization(), 0.05);
-  EXPECT_GT(mta.cycles(), n * 100);  // >= one latency per node
+  const auto mta = sim::make_machine("mta");
+  sim_rank_list_sequential(*mta, list);
+  EXPECT_LT(mta->utilization(), 0.05);
+  EXPECT_GT(mta->cycles(), n * 100);  // >= one latency per node
 
-  sim::SmpMachine smp;
-  sim_rank_list_sequential(smp, list);
-  EXPECT_GT(smp.cycles(), n * 50);
+  const auto smp = sim::make_machine("smp");
+  sim_rank_list_sequential(*smp, list);
+  EXPECT_GT(smp->cycles(), n * 50);
 }
 
 TEST(BaselineArchitecture, WyllieDoesMoreWorkThanWalkRanking) {
   // O(n log n) vs O(n): at n = 2^14 Wyllie should issue several times the
   // instructions of the walk-based kernel.
   const graph::LinkedList list = graph::random_list(1 << 14, 9);
-  sim::MtaMachine walk_m;
-  sim_rank_list_walk(walk_m, list);
-  sim::MtaMachine wyllie_m;
-  sim_rank_list_wyllie(wyllie_m, list);
-  EXPECT_GT(wyllie_m.stats().instructions,
-            4 * walk_m.stats().instructions);
+  const auto walk_m = sim::make_machine("mta");
+  sim_rank_list_walk(*walk_m, list);
+  const auto wyllie_m = sim::make_machine("mta");
+  sim_rank_list_wyllie(*wyllie_m, list);
+  EXPECT_GT(wyllie_m->stats().instructions,
+            4 * walk_m->stats().instructions);
 }
 
 TEST(BaselineArchitecture, ParallelBeatsSequentialOnMtaNotViceVersa) {
   // The paper's framing: on the MTA the parallel program crushes the
   // sequential chase even at p = 1 (parallelism tolerates latency).
   const graph::LinkedList list = graph::random_list(1 << 15, 11);
-  sim::MtaMachine seq_m;
-  sim_rank_list_sequential(seq_m, list);
-  sim::MtaMachine par_m;
-  sim_rank_list_walk(par_m, list);
-  EXPECT_GT(static_cast<double>(seq_m.cycles()),
-            5.0 * static_cast<double>(par_m.cycles()));
+  const auto seq_m = sim::make_machine("mta");
+  sim_rank_list_sequential(*seq_m, list);
+  const auto par_m = sim::make_machine("mta");
+  sim_rank_list_walk(*par_m, list);
+  EXPECT_GT(static_cast<double>(seq_m->cycles()),
+            5.0 * static_cast<double>(par_m->cycles()));
 }
 
 TEST(RegionLog, RecordsPerRegionBreakdown) {
-  sim::MtaMachine m;
-  sim_rank_list_walk(m, graph::random_list(2048, 3));
-  const auto& log = m.region_log();
+  const auto m = sim::make_machine("mta");
+  sim_rank_list_walk(*m, graph::random_list(2048, 3));
+  const auto& log = m->region_log();
   ASSERT_GT(log.size(), 3u);  // multi-phase program
   sim::Cycle total = 0;
   i64 instructions = 0;
@@ -111,8 +112,8 @@ TEST(RegionLog, RecordsPerRegionBreakdown) {
     total += r.cycles;
     instructions += r.instructions;
   }
-  EXPECT_EQ(total, m.cycles());
-  EXPECT_EQ(instructions, m.stats().instructions);
+  EXPECT_EQ(total, m->cycles());
+  EXPECT_EQ(instructions, m->stats().instructions);
 }
 
 }  // namespace

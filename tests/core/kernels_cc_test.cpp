@@ -1,13 +1,15 @@
 // Correctness of the simulated Shiloach–Vishkin kernels on both machines.
+// Machines come from sim::make_machine spec strings (the factory path).
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
 #include "core/concomp/concomp.hpp"
-#include "core/experiment.hpp"
 #include "core/kernels/kernels.hpp"
 #include "graph/generators.hpp"
 #include "graph/validate.hpp"
+#include "sim/machine_spec.hpp"
 
 namespace archgraph::core {
 namespace {
@@ -30,14 +32,21 @@ EdgeList family(int id) {
   }
 }
 
+std::string mta_spec(int procs) {
+  return "mta:procs=" + std::to_string(procs);
+}
+std::string smp_spec(int procs) {
+  return "smp:procs=" + std::to_string(procs);
+}
+
 class MtaCcFamilies
     : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(MtaCcFamilies, MatchesUnionFind) {
   const auto [fam, procs] = GetParam();
   const EdgeList g = family(fam);
-  sim::MtaMachine m(paper_mta_config(static_cast<u32>(procs)));
-  const SimCcResult result = sim_cc_sv_mta(m, g);
+  const auto m = sim::make_machine(mta_spec(procs));
+  const SimCcResult result = sim_cc_sv_mta(*m, g);
   EXPECT_EQ(result.labels, cc_union_find(g));
   EXPECT_GE(result.iterations, 1);
   EXPECT_TRUE(graph::validate::is_components_labeling(g, result.labels));
@@ -53,8 +62,8 @@ class SmpCcFamilies
 TEST_P(SmpCcFamilies, MatchesUnionFind) {
   const auto [fam, procs] = GetParam();
   const EdgeList g = family(fam);
-  sim::SmpMachine m(paper_smp_config(static_cast<u32>(procs)));
-  const SimCcResult result = sim_cc_sv_smp(m, g);
+  const auto m = sim::make_machine(smp_spec(procs));
+  const SimCcResult result = sim_cc_sv_smp(*m, g);
   EXPECT_EQ(result.labels, cc_union_find(g));
   EXPECT_GE(result.iterations, 1);
 }
@@ -65,37 +74,37 @@ INSTANTIATE_TEST_SUITE_P(Families, SmpCcFamilies,
 
 TEST(MtaCc, CrossMachine_RunsOnSmpModel) {
   const EdgeList g = graph::random_graph(128, 512, 5);
-  sim::SmpMachine m;
+  const auto m = sim::make_machine("smp");
   MtaCcParams params;
   params.workers = 4;
-  EXPECT_EQ(sim_cc_sv_mta(m, g, params).labels, cc_union_find(g));
+  EXPECT_EQ(sim_cc_sv_mta(*m, g, params).labels, cc_union_find(g));
 }
 
 TEST(SmpCc, CrossMachine_RunsOnMtaModel) {
   const EdgeList g = graph::random_graph(128, 512, 6);
-  sim::MtaMachine m;
+  const auto m = sim::make_machine("mta");
   SmpCcParams params;
   params.threads = 32;
-  EXPECT_EQ(sim_cc_sv_smp(m, g, params).labels, cc_union_find(g));
+  EXPECT_EQ(sim_cc_sv_smp(*m, g, params).labels, cc_union_find(g));
 }
 
 TEST(MtaCc, ChunkSizesDoNotChangeAnswer) {
   const EdgeList g = graph::random_graph(300, 1200, 7);
   const auto truth = cc_union_find(g);
   for (i64 chunk : {1, 5, 64, 4096}) {
-    sim::MtaMachine m;
+    const auto m = sim::make_machine("mta");
     MtaCcParams params;
     params.chunk = chunk;
-    EXPECT_EQ(sim_cc_sv_mta(m, g, params).labels, truth) << "chunk " << chunk;
+    EXPECT_EQ(sim_cc_sv_mta(*m, g, params).labels, truth) << "chunk " << chunk;
   }
 }
 
 TEST(MtaCc, ScalesWithProcessors) {
   const EdgeList g = graph::random_graph(1 << 13, 1 << 15, 8);
-  auto cycles = [&](u32 p) {
-    sim::MtaMachine m(paper_mta_config(p));
-    sim_cc_sv_mta(m, g);
-    return m.cycles();
+  auto cycles = [&](int p) {
+    const auto m = sim::make_machine(mta_spec(p));
+    sim_cc_sv_mta(*m, g);
+    return m->cycles();
   };
   EXPECT_LT(static_cast<double>(cycles(4)),
             0.5 * static_cast<double>(cycles(1)));
@@ -103,10 +112,10 @@ TEST(MtaCc, ScalesWithProcessors) {
 
 TEST(SmpCc, ScalesWithProcessors) {
   const EdgeList g = graph::random_graph(1 << 13, 1 << 15, 9);
-  auto cycles = [&](u32 p) {
-    sim::SmpMachine m(paper_smp_config(p));
-    sim_cc_sv_smp(m, g);
-    return m.cycles();
+  auto cycles = [&](int p) {
+    const auto m = sim::make_machine(smp_spec(p));
+    sim_cc_sv_smp(*m, g);
+    return m->cycles();
   };
   EXPECT_LT(static_cast<double>(cycles(4)),
             0.7 * static_cast<double>(cycles(1)));
@@ -114,32 +123,32 @@ TEST(SmpCc, ScalesWithProcessors) {
 
 TEST(SimCc, IterationCountsAgreeAcrossMachines) {
   const EdgeList g = graph::random_graph(512, 2048, 10);
-  sim::MtaMachine mta;
-  sim::SmpMachine smp;
-  const auto a = sim_cc_sv_mta(mta, g);
-  const auto b = sim_cc_sv_smp(smp, g);
+  const auto mta = sim::make_machine("mta");
+  const auto smp = sim::make_machine("smp");
+  const auto a = sim_cc_sv_mta(*mta, g);
+  const auto b = sim_cc_sv_smp(*smp, g);
   // Different schedules may shift convergence by an iteration or two, but
   // both must be in the same small range.
   EXPECT_LE(std::abs(a.iterations - b.iterations), 3);
 }
 
 TEST(SimCc, StarGraphConvergesInFewIterations) {
-  sim::MtaMachine m;
-  const auto result = sim_cc_sv_mta(m, graph::star_graph(512));
+  const auto m = sim::make_machine("mta");
+  const auto result = sim_cc_sv_mta(*m, graph::star_graph(512));
   EXPECT_LE(result.iterations, 3);
 }
 
 TEST(SimCc, PathGraphConvergesInFewIterationsWithFullShortcut) {
-  sim::MtaMachine m;
-  const auto result = sim_cc_sv_mta(m, graph::path_graph(1024));
+  const auto m = sim::make_machine("mta");
+  const auto result = sim_cc_sv_mta(*m, graph::path_graph(1024));
   EXPECT_GE(result.iterations, 2);
   EXPECT_LE(result.iterations, 14);
 }
 
 TEST(MtaCc, UtilizationHighOnBigSparseGraph) {
-  sim::MtaMachine m;
-  sim_cc_sv_mta(m, graph::random_graph(1 << 13, 1 << 16, 11));
-  EXPECT_GT(m.utilization(), 0.80);
+  const auto m = sim::make_machine("mta");
+  sim_cc_sv_mta(*m, graph::random_graph(1 << 13, 1 << 16, 11));
+  EXPECT_GT(m->utilization(), 0.80);
 }
 
 }  // namespace

@@ -1,14 +1,16 @@
 // Correctness of the simulated list-ranking kernels: every kernel must
 // produce the exact sequential ranks on both machine models, across layouts,
-// sizes, processor counts, and scheduling variants.
+// sizes, processor counts, and scheduling variants. Machines are built from
+// spec strings via sim::make_machine — the same path the CLI and benches use.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
 
-#include "core/experiment.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/listrank/listrank.hpp"
 #include "graph/linked_list.hpp"
+#include "sim/machine_spec.hpp"
 
 namespace archgraph::core {
 namespace {
@@ -17,6 +19,13 @@ using graph::LinkedList;
 using graph::ordered_list;
 using graph::random_list;
 
+std::string mta_spec(int procs) {
+  return "mta:procs=" + std::to_string(procs);
+}
+std::string smp_spec(int procs) {
+  return "smp:procs=" + std::to_string(procs);
+}
+
 class WalkKernel
     : public ::testing::TestWithParam<std::tuple<i64, bool, int>> {};
 
@@ -24,9 +33,9 @@ TEST_P(WalkKernel, MatchesSequentialOnMta) {
   const auto [n, random, procs] = GetParam();
   const LinkedList list =
       random ? random_list(n, static_cast<u64>(n)) : ordered_list(n);
-  sim::MtaMachine m(paper_mta_config(static_cast<u32>(procs)));
-  EXPECT_EQ(sim_rank_list_walk(m, list), rank_sequential(list));
-  EXPECT_GT(m.cycles(), 0);
+  const auto m = sim::make_machine(mta_spec(procs));
+  EXPECT_EQ(sim_rank_list_walk(*m, list), rank_sequential(list));
+  EXPECT_GT(m->cycles(), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -41,9 +50,9 @@ TEST_P(HjKernel, MatchesSequentialOnSmp) {
   const auto [n, random, procs] = GetParam();
   const LinkedList list =
       random ? random_list(n, static_cast<u64>(n) + 7) : ordered_list(n);
-  sim::SmpMachine m(paper_smp_config(static_cast<u32>(procs)));
-  EXPECT_EQ(sim_rank_list_hj(m, list), rank_sequential(list));
-  EXPECT_GT(m.cycles(), 0);
+  const auto m = sim::make_machine(smp_spec(procs));
+  EXPECT_EQ(sim_rank_list_hj(*m, list), rank_sequential(list));
+  EXPECT_GT(m->cycles(), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -53,20 +62,20 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(WalkKernel, BlockScheduleIsAlsoCorrect) {
   const LinkedList list = random_list(3000, 5);
-  sim::MtaMachine m;
+  const auto m = sim::make_machine("mta");
   WalkLrParams params;
   params.block_schedule = true;
-  EXPECT_EQ(sim_rank_list_walk(m, list, params), rank_sequential(list));
+  EXPECT_EQ(sim_rank_list_walk(*m, list, params), rank_sequential(list));
 }
 
 TEST(WalkKernel, ExplicitWalkCounts) {
   const LinkedList list = random_list(2000, 6);
   const auto expected = rank_sequential(list);
   for (i64 walks : {1, 2, 7, 64, 500, 2000}) {
-    sim::MtaMachine m;
+    const auto m = sim::make_machine("mta");
     WalkLrParams params;
     params.num_walks = walks;
-    EXPECT_EQ(sim_rank_list_walk(m, list, params), expected)
+    EXPECT_EQ(sim_rank_list_walk(*m, list, params), expected)
         << "walks=" << walks;
   }
 }
@@ -74,29 +83,29 @@ TEST(WalkKernel, ExplicitWalkCounts) {
 TEST(WalkKernel, RunsOnSmpMachineToo) {
   // Machine-neutrality: the MTA program runs (slowly) on the SMP model.
   const LinkedList list = random_list(500, 8);
-  sim::SmpMachine m;
+  const auto m = sim::make_machine("smp");
   WalkLrParams params;
   params.num_walks = 16;
   params.workers = 4;
-  EXPECT_EQ(sim_rank_list_walk(m, list, params), rank_sequential(list));
+  EXPECT_EQ(sim_rank_list_walk(*m, list, params), rank_sequential(list));
 }
 
 TEST(HjKernel, RunsOnMtaMachineToo) {
   const LinkedList list = random_list(500, 9);
-  sim::MtaMachine m;
+  const auto m = sim::make_machine("mta");
   HjLrParams params;
   params.threads = 64;  // give the MTA something to interleave
-  EXPECT_EQ(sim_rank_list_hj(m, list, params), rank_sequential(list));
+  EXPECT_EQ(sim_rank_list_hj(*m, list, params), rank_sequential(list));
 }
 
 TEST(WalkKernel, MtaTimeIsLayoutInsensitive) {
   const i64 n = 1 << 15;
-  sim::MtaMachine ordered_m;
-  sim_rank_list_walk(ordered_m, ordered_list(n));
-  sim::MtaMachine random_m;
-  sim_rank_list_walk(random_m, random_list(n, 3));
-  const double ratio = static_cast<double>(random_m.cycles()) /
-                       static_cast<double>(ordered_m.cycles());
+  const auto ordered_m = sim::make_machine("mta");
+  sim_rank_list_walk(*ordered_m, ordered_list(n));
+  const auto random_m = sim::make_machine("mta");
+  sim_rank_list_walk(*random_m, random_list(n, 3));
+  const double ratio = static_cast<double>(random_m->cycles()) /
+                       static_cast<double>(ordered_m->cycles());
   EXPECT_GT(ratio, 0.85);
   EXPECT_LT(ratio, 1.18);
 }
@@ -105,22 +114,20 @@ TEST(HjKernel, SmpTimeIsLayoutSensitive) {
   // Shrink the L2 so the working set exceeds it at a test-friendly n — the
   // regime the paper's 1M-to-80M-node experiments live in.
   const i64 n = 1 << 16;
-  sim::SmpConfig cfg = paper_smp_config(1);
-  cfg.l2_bytes = 256 * 1024;
-  sim::SmpMachine ordered_m(cfg);
-  sim_rank_list_hj(ordered_m, ordered_list(n));
-  sim::SmpMachine random_m(cfg);
-  sim_rank_list_hj(random_m, random_list(n, 3));
-  EXPECT_GT(static_cast<double>(random_m.cycles()),
-            1.8 * static_cast<double>(ordered_m.cycles()));
+  const auto ordered_m = sim::make_machine("smp:procs=1,l2_kb=256");
+  sim_rank_list_hj(*ordered_m, ordered_list(n));
+  const auto random_m = sim::make_machine("smp:procs=1,l2_kb=256");
+  sim_rank_list_hj(*random_m, random_list(n, 3));
+  EXPECT_GT(static_cast<double>(random_m->cycles()),
+            1.8 * static_cast<double>(ordered_m->cycles()));
 }
 
 TEST(WalkKernel, ScalesWithProcessors) {
   const LinkedList list = random_list(1 << 15, 4);
-  auto cycles = [&](u32 p) {
-    sim::MtaMachine m(paper_mta_config(p));
-    sim_rank_list_walk(m, list);
-    return m.cycles();
+  auto cycles = [&](int p) {
+    const auto m = sim::make_machine(mta_spec(p));
+    sim_rank_list_walk(*m, list);
+    return m->cycles();
   };
   const auto c1 = cycles(1);
   const auto c4 = cycles(4);
@@ -133,12 +140,10 @@ TEST(HjKernel, ScalesWithProcessors) {
   // cache hits that p > 1 must turn into coherence transfers, which is not
   // the scaling question the paper's 1M+-node experiments ask.
   const LinkedList list = random_list(1 << 16, 4);
-  auto cycles = [&](u32 p) {
-    sim::SmpConfig cfg = paper_smp_config(p);
-    cfg.l2_bytes = 128 * 1024;
-    sim::SmpMachine m(cfg);
-    sim_rank_list_hj(m, list);
-    return m.cycles();
+  auto cycles = [&](int p) {
+    const auto m = sim::make_machine(smp_spec(p) + ",l2_kb=128");
+    sim_rank_list_hj(*m, list);
+    return m->cycles();
   };
   const auto c1 = cycles(1);
   const auto c4 = cycles(4);
@@ -146,17 +151,17 @@ TEST(HjKernel, ScalesWithProcessors) {
 }
 
 TEST(WalkKernel, UtilizationIsHighWithAmpleParallelism) {
-  sim::MtaMachine m;  // 1 processor, 128 streams
-  sim_rank_list_walk(m, random_list(1 << 16, 5));
-  EXPECT_GT(m.utilization(), 0.80);
+  const auto m = sim::make_machine("mta");  // 1 processor, 128 streams
+  sim_rank_list_walk(*m, random_list(1 << 16, 5));
+  EXPECT_GT(m->utilization(), 0.80);
 }
 
 TEST(WalkKernel, DeterministicCycleCounts) {
   const LinkedList list = random_list(4096, 11);
   auto cycles = [&] {
-    sim::MtaMachine m;
-    sim_rank_list_walk(m, list);
-    return m.cycles();
+    const auto m = sim::make_machine("mta");
+    sim_rank_list_walk(*m, list);
+    return m->cycles();
   };
   EXPECT_EQ(cycles(), cycles());
 }

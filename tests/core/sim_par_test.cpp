@@ -1,0 +1,186 @@
+// The parallel-ops substrate: static_block partitioning edge cases,
+// auto_workers clamping, and the loop helpers executing real simulated work.
+#include "core/kernels/sim_par.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/machine_spec.hpp"
+#include "sim/memory.hpp"
+
+namespace archgraph::core {
+namespace {
+
+using sim::Ctx;
+using sim::SimArray;
+using sim::SimThread;
+
+TEST(StaticBlock, WorkersPartitionTheRangeExactly) {
+  for (const i64 n : {0, 1, 5, 7, 64, 1000}) {
+    for (const i64 workers : {1, 2, 3, 8, 64}) {
+      i64 expected_lo = 0;
+      for (i64 w = 0; w < workers; ++w) {
+        const simk::Range r = simk::static_block(n, w, workers);
+        EXPECT_EQ(r.lo, expected_lo) << "n=" << n << " w=" << w;
+        EXPECT_LE(r.lo, r.hi);
+        // Block sizes differ by at most one, larger blocks first.
+        const i64 size = r.hi - r.lo;
+        EXPECT_GE(size, n / workers);
+        EXPECT_LE(size, n / workers + 1);
+        expected_lo = r.hi;
+      }
+      EXPECT_EQ(expected_lo, n) << "n=" << n << " workers=" << workers;
+    }
+  }
+}
+
+TEST(StaticBlock, EmptyRangeGivesEveryWorkerAnEmptyBlock) {
+  for (i64 w = 0; w < 4; ++w) {
+    const simk::Range r = simk::static_block(0, w, 4);
+    EXPECT_EQ(r.lo, r.hi);
+  }
+}
+
+TEST(StaticBlock, FewerItemsThanWorkers) {
+  // n = 3, workers = 5: the first three workers get one element each, the
+  // rest run empty blocks (lo == hi) — no worker may be skipped or doubled.
+  std::vector<i64> covered;
+  for (i64 w = 0; w < 5; ++w) {
+    const simk::Range r = simk::static_block(3, w, 5);
+    for (i64 i = r.lo; i < r.hi; ++i) covered.push_back(i);
+    EXPECT_LE(r.hi - r.lo, 1);
+  }
+  EXPECT_EQ(covered, (std::vector<i64>{0, 1, 2}));
+}
+
+TEST(StaticBlock, SingleWorkerOwnsEverything) {
+  const simk::Range r = simk::static_block(1234, 0, 1);
+  EXPECT_EQ(r.lo, 0);
+  EXPECT_EQ(r.hi, 1234);
+}
+
+TEST(AutoWorkers, DefaultsToHardwareConcurrencyCappedByItems) {
+  const auto m = sim::make_machine("mta:procs=1,streams=8");  // concurrency 8
+  EXPECT_EQ(simk::auto_workers(*m, 1000, 0), 8);
+  EXPECT_EQ(simk::auto_workers(*m, 3, 0), 3);   // fewer items than slots
+  EXPECT_EQ(simk::auto_workers(*m, 0, 0), 1);   // never zero workers
+  EXPECT_EQ(simk::auto_workers(*m, 1000, -1), 8);
+}
+
+TEST(AutoWorkers, ClampsExplicitRequestsToTheMachine) {
+  const auto m = sim::make_machine("mta:procs=1,streams=8");
+  EXPECT_EQ(simk::auto_workers(*m, 1000, 4), 4);    // honored when it fits
+  EXPECT_EQ(simk::auto_workers(*m, 1000, 500), 8);  // clamped to concurrency
+  EXPECT_EQ(simk::auto_workers(*m, 2, 500), 2);     // and to the item count
+}
+
+TEST(ScheduleName, NamesBothSchedules) {
+  EXPECT_STREQ(simk::schedule_name(simk::Schedule::kDynamic), "dynamic");
+  EXPECT_STREQ(simk::schedule_name(simk::Schedule::kStatic), "static");
+}
+
+SimThread fill_dynamic_kernel(Ctx ctx, i64 /*worker*/, i64 /*workers*/,
+                              SimArray<i64> counter, SimArray<i64> out,
+                              i64 chunk) {
+  co_await simk::for_dynamic(ctx, counter.addr(0), out.size(), chunk,
+                             [&](i64 lo, i64 hi) -> sim::SimTask {
+                               for (i64 i = lo; i < hi; ++i) {
+                                 co_await ctx.store(out.addr(i), 2 * i + 1);
+                               }
+                               co_return 0;
+                             });
+}
+
+TEST(ForDynamic, ChunkClaimingCoversEveryIndexOnce) {
+  for (const i64 chunk : {1, 3, 64, 1000}) {
+    const auto m = sim::make_machine("mta");
+    SimArray<i64> counter(m->memory(), 1);
+    SimArray<i64> out(m->memory(), 100);
+    simk::spawn_workers(*m, 4, fill_dynamic_kernel, counter, out, chunk);
+    m->run_region();
+    for (i64 i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out.get(i), 2 * i + 1) << "chunk=" << chunk << " i=" << i;
+    }
+  }
+}
+
+SimThread phase_kernel(Ctx ctx, i64 worker, i64 workers, SimArray<i64> a,
+                       SimArray<i64> b) {
+  // Phase 1: a[i] = i, all workers; barrier; phase 2: b[i] = a[n-1-i].
+  const i64 n = a.size();
+  co_await simk::for_static(
+      ctx, worker, workers, n,
+      [&](i64 lo, i64 hi) -> sim::SimTask {
+        for (i64 i = lo; i < hi; ++i) co_await ctx.store(a.addr(i), i);
+        co_return 0;
+      },
+      /*barrier_after=*/true);
+  co_await simk::for_static(ctx, worker, workers, n,
+                            [&](i64 lo, i64 hi) -> sim::SimTask {
+                              for (i64 i = lo; i < hi; ++i) {
+                                const i64 v =
+                                    co_await ctx.load(a.addr(n - 1 - i));
+                                co_await ctx.store(b.addr(i), v);
+                              }
+                              co_return 0;
+                            });
+}
+
+TEST(ForStatic, BarrierSeparatedPhasesSeeEachOthersWrites) {
+  // Works with empty blocks too: 7 elements across 4 workers.
+  const auto m = sim::make_machine("smp:procs=4");
+  SimArray<i64> a(m->memory(), 7);
+  SimArray<i64> b(m->memory(), 7);
+  simk::spawn_workers(*m, 4, phase_kernel, a, b);
+  m->run_region();
+  for (i64 i = 0; i < 7; ++i) {
+    EXPECT_EQ(b.get(i), 7 - 1 - i);
+  }
+}
+
+SimThread for_each_kernel(Ctx ctx, i64 worker, i64 workers,
+                          simk::Schedule schedule, SimArray<i64> counter,
+                          SimArray<i64> out) {
+  co_await simk::for_each(ctx, schedule, counter.addr(0), worker, workers,
+                          out.size(), [&](i64 i, i64 /*end*/) -> sim::SimTask {
+                            co_await ctx.store(out.addr(i), i * i);
+                            co_return 0;
+                          });
+}
+
+TEST(ForEach, BothSchedulesComputeTheSameResult) {
+  for (const simk::Schedule schedule :
+       {simk::Schedule::kDynamic, simk::Schedule::kStatic}) {
+    const auto m = sim::make_machine("mta");
+    SimArray<i64> counter(m->memory(), 1);
+    SimArray<i64> out(m->memory(), 33);
+    simk::spawn_workers(*m, 8, for_each_kernel, schedule, counter, out);
+    m->run_region();
+    for (i64 i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out.get(i), i * i) << simk::schedule_name(schedule);
+    }
+  }
+}
+
+SimThread reduce_kernel(Ctx ctx, i64 worker, i64 workers, SimArray<i64> arr,
+                        SimArray<i64> acc) {
+  co_await simk::reduce_sum(ctx, worker, workers, arr, acc.addr(0));
+}
+
+TEST(ReduceSum, PartialsCombineIntoTheSharedAccumulator) {
+  const auto m = sim::make_machine("mta");
+  SimArray<i64> arr(m->memory(), 101);
+  std::vector<i64> values(101);
+  std::iota(values.begin(), values.end(), -50);  // sums to 0 + 50 = 50
+  arr.assign(values);
+  SimArray<i64> acc(m->memory(), 1);
+  acc.set(0, 0);
+  simk::spawn_workers(*m, 4, reduce_kernel, arr, acc);
+  m->run_region();
+  EXPECT_EQ(acc.get(0), std::accumulate(values.begin(), values.end(), i64{0}));
+}
+
+}  // namespace
+}  // namespace archgraph::core

@@ -6,13 +6,11 @@
 #include <string>
 #include <vector>
 
-#include "core/experiment.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/listrank/listrank.hpp"
 #include "graph/linked_list.hpp"
 #include "obs/json.hpp"
-#include "sim/mta/mta_machine.hpp"
-#include "sim/smp/smp_machine.hpp"
+#include "sim/machine_spec.hpp"
 
 namespace archgraph::obs {
 namespace {
@@ -38,7 +36,8 @@ const SpanRecord* find_span(const TraceSession& session,
 // "hj.rank" and its five barrier-delimited steps; the observer must slice
 // the region at barrier releases into exactly those phases.
 TEST(TraceSession, SlicesBarrierSeparatedRegionIntoNamedPhases) {
-  sim::SmpMachine machine(core::paper_smp_config(2));
+  const auto machine_p = sim::make_machine("smp:procs=2");
+  sim::Machine& machine = *machine_p;
   TraceSession session("trace-test");
   TraceSession::Install install(session);
   session.attach(machine, "smp");
@@ -81,7 +80,8 @@ TEST(TraceSession, SlicesBarrierSeparatedRegionIntoNamedPhases) {
 // Multi-region MTA workload: every run_region() gets its own labeled span
 // carrying that region's utilization.
 TEST(TraceSession, LabelsEachMtaRegion) {
-  sim::MtaMachine machine(core::paper_mta_config(1));
+  const auto machine_p = sim::make_machine("mta:procs=1");
+  sim::Machine& machine = *machine_p;
   TraceSession session("trace-test");
   TraceSession::Install install(session);
   session.attach(machine, "mta");
@@ -108,7 +108,8 @@ sim::SimThread store_seven(sim::Ctx ctx, sim::Addr a) {
 }
 
 TEST(TraceSession, UnlabeledRegionsGetGeneratedNames) {
-  sim::MtaMachine machine;
+  const auto machine_p = sim::make_machine("mta");
+  sim::Machine& machine = *machine_p;
   TraceSession session("trace-test");
   session.attach(machine, "mta");
   sim::SimArray<i64> cell(machine.memory(), 1);
@@ -148,7 +149,8 @@ TEST(TraceSession, AmbientHelpersAreNoOpsWithoutInstall) {
 // Every JSONL line and the summary document must parse; the event stream
 // has a "run" header, one "span" line per closed span, "counter" lines last.
 TEST(TraceSession, EmitsValidJsonlAndSummary) {
-  sim::SmpMachine machine(core::paper_smp_config(2));
+  const auto machine_p = sim::make_machine("smp:procs=2");
+  sim::Machine& machine = *machine_p;
   TraceSession session("emit-test");
   TraceSession::Install install(session);
   session.attach(machine, "smp");

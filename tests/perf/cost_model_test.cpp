@@ -2,9 +2,9 @@
 
 #include <gtest/gtest.h>
 
-#include "core/experiment.hpp"
 #include "core/kernels/kernels.hpp"
 #include "graph/linked_list.hpp"
+#include "sim/machine_spec.hpp"
 
 namespace archgraph::perf {
 namespace {
@@ -68,14 +68,12 @@ TEST(ModelVsSimulator, LrOrderedVsRandomRatioAgrees) {
   const i64 n = 1 << 16;
   // Shrunk L2 puts the working set out of cache at this n, matching the
   // model's assumption that non-contiguous accesses reach main memory.
-  sim::SmpConfig cfg = archgraph::core::paper_smp_config(1);
-  cfg.l2_bytes = 256 * 1024;
-  sim::SmpMachine ordered_m(cfg);
-  archgraph::core::sim_rank_list_hj(ordered_m, graph::ordered_list(n));
-  sim::SmpMachine random_m(cfg);
-  archgraph::core::sim_rank_list_hj(random_m, graph::random_list(n, 3));
-  const double sim_ratio = static_cast<double>(random_m.cycles()) /
-                           static_cast<double>(ordered_m.cycles());
+  const auto ordered_m = sim::make_machine("smp:procs=1,l2_kb=256");
+  archgraph::core::sim_rank_list_hj(*ordered_m, graph::ordered_list(n));
+  const auto random_m = sim::make_machine("smp:procs=1,l2_kb=256");
+  archgraph::core::sim_rank_list_hj(*random_m, graph::random_list(n, 3));
+  const double sim_ratio = static_cast<double>(random_m->cycles()) /
+                           static_cast<double>(ordered_m->cycles());
 
   SmpCostParams params;
   const double model_ratio =
@@ -87,21 +85,21 @@ TEST(ModelVsSimulator, LrOrderedVsRandomRatioAgrees) {
 
 TEST(ModelVsSimulator, MtaInstructionCountTracksSimulator) {
   const i64 n = 1 << 14;
-  sim::MtaMachine m;
+  const auto m = sim::make_machine("mta");
   archgraph::core::WalkLrParams params;
   params.num_walks = 512;
-  archgraph::core::sim_rank_list_walk(m, graph::random_list(n, 5), params);
+  archgraph::core::sim_rank_list_walk(*m, graph::random_list(n, 5), params);
   const double predicted = lr_walk_instructions(n, 512);
-  const double actual = static_cast<double>(m.stats().instructions);
+  const double actual = static_cast<double>(m->stats().instructions);
   EXPECT_NEAR(actual, predicted, 0.35 * predicted);
 }
 
 TEST(ModelVsSimulator, MtaUtilizationTracksSimulator) {
-  sim::MtaMachine m;  // 128 streams, 1 processor
-  archgraph::core::sim_rank_list_walk(m, graph::random_list(1 << 16, 6));
+  const auto m = sim::make_machine("mta");  // 128 streams, 1 processor
+  archgraph::core::sim_rank_list_walk(*m, graph::random_list(1 << 16, 6));
   // Walk kernel issues ~1.5 slots per memory wait; 128 threads.
   const double predicted = mta_utilization(128, 1.5, 100);
-  EXPECT_NEAR(m.utilization(), predicted, 0.25);
+  EXPECT_NEAR(m->utilization(), predicted, 0.25);
 }
 
 TEST(CcSvTriplet, IterationScaling) {

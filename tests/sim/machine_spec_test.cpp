@@ -1,0 +1,168 @@
+// Machine-spec grammar: parse round-trips, override composition, rejection
+// diagnostics, and the make_machine factory.
+#include "sim/machine_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace archgraph::sim {
+namespace {
+
+// EXPECT_THROW plus a check that the diagnostic names what went wrong.
+template <typename F>
+std::string message_of(F&& f) {
+  try {
+    f();
+  } catch (const std::logic_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected std::logic_error";
+  return {};
+}
+
+TEST(MachineSpec, PresetsAreThePaperDefaults) {
+  const MachineSpec mta = parse_machine_spec("mta");
+  EXPECT_EQ(mta.arch, MachineArch::kMta);
+  EXPECT_EQ(mta.mta, MtaConfig{});
+  EXPECT_EQ(mta.processors(), 1u);
+
+  const MachineSpec smp = parse_machine_spec("smp");
+  EXPECT_EQ(smp.arch, MachineArch::kSmp);
+  EXPECT_EQ(smp.smp, SmpConfig{});
+  EXPECT_DOUBLE_EQ(smp.smp.clock_hz, 400e6);
+}
+
+TEST(MachineSpec, OverridesApplyToNamedFields) {
+  const MachineSpec s = parse_machine_spec("mta:procs=40,streams=64,hash=off");
+  EXPECT_EQ(s.mta.processors, 40u);
+  EXPECT_EQ(s.mta.streams_per_processor, 64u);
+  EXPECT_FALSE(s.mta.hash_addresses);
+  // Untouched fields keep the preset defaults.
+  EXPECT_EQ(s.mta.memory_latency, MtaConfig{}.memory_latency);
+
+  const MachineSpec t = parse_machine_spec(
+      "smp:procs=14,l2_kb=4096,line=128,latency=260");
+  EXPECT_EQ(t.smp.processors, 14u);
+  EXPECT_EQ(t.smp.l2_bytes, 4096u * 1024);
+  EXPECT_EQ(t.smp.line_bytes, 128u);
+  EXPECT_EQ(t.smp.memory_latency, 260);
+}
+
+TEST(MachineSpec, FractionalKbAndClockMhzScale) {
+  const MachineSpec s = parse_machine_spec("smp:l1_kb=0.0625,clock_mhz=450");
+  EXPECT_EQ(s.smp.l1_bytes, 64u);  // 0.0625 KB = 64 B
+  EXPECT_DOUBLE_EQ(s.smp.clock_hz, 450e6);
+}
+
+TEST(MachineSpec, LaterDuplicateKeysWin) {
+  // The CLI composes "--procs" defaults with user overrides by appending, so
+  // duplicates must apply in order.
+  const MachineSpec s = parse_machine_spec("mta:procs=4,procs=8");
+  EXPECT_EQ(s.mta.processors, 8u);
+}
+
+TEST(MachineSpec, ToStringRoundTripsThroughParse) {
+  for (const char* text : {
+           "mta",
+           "smp",
+           "mta:procs=40,streams=64",
+           "mta:latency=200,hash=0,numa=300",
+           "smp:procs=14,l2_kb=4096",
+           "smp:procs=2,l1_kb=0.0625,line=32,quantum=100",
+       }) {
+    const MachineSpec spec = parse_machine_spec(text);
+    const std::string canon = spec.to_string();
+    EXPECT_EQ(parse_machine_spec(canon), spec) << text << " -> " << canon;
+    // Canonical form is a fixed point.
+    EXPECT_EQ(parse_machine_spec(canon).to_string(), canon) << text;
+  }
+}
+
+TEST(MachineSpec, ToStringOmitsDefaults) {
+  EXPECT_EQ(parse_machine_spec("mta").to_string(), "mta");
+  EXPECT_EQ(parse_machine_spec("mta:procs=1").to_string(), "mta");
+  EXPECT_EQ(parse_machine_spec("mta:procs=8").to_string(), "mta:procs=8");
+  EXPECT_EQ(parse_machine_spec("smp:l2_kb=4096").to_string(), "smp");
+}
+
+TEST(MachineSpec, RejectsEmptyAndUnknownPreset) {
+  EXPECT_NE(message_of([] { parse_machine_spec(""); }).find("empty"),
+            std::string::npos);
+  const std::string msg = message_of([] { parse_machine_spec("cray:procs=1"); });
+  EXPECT_NE(msg.find("unknown machine preset 'cray'"), std::string::npos);
+}
+
+TEST(MachineSpec, RejectionsNameTheBadKey) {
+  const std::string unknown =
+      message_of([] { parse_machine_spec("mta:bogus=1"); });
+  EXPECT_NE(unknown.find("unknown mta machine spec key 'bogus'"),
+            std::string::npos);
+  EXPECT_NE(unknown.find("procs"), std::string::npos);  // lists valid keys
+
+  const std::string not_int =
+      message_of([] { parse_machine_spec("mta:procs=many"); });
+  EXPECT_NE(not_int.find("'procs'"), std::string::npos);
+  EXPECT_NE(not_int.find("'many'"), std::string::npos);
+
+  const std::string no_value =
+      message_of([] { parse_machine_spec("mta:procs="); });
+  EXPECT_NE(no_value.find("missing a value"), std::string::npos);
+
+  const std::string no_eq = message_of([] { parse_machine_spec("mta:procs"); });
+  EXPECT_NE(no_eq.find("key=value"), std::string::npos);
+
+  const std::string bad_flag =
+      message_of([] { parse_machine_spec("mta:hash=maybe"); });
+  EXPECT_NE(bad_flag.find("'hash'"), std::string::npos);
+}
+
+TEST(MachineSpec, RejectionsNameTheBadField) {
+  // Validation runs on the composed config, so out-of-range values are
+  // reported with the config field name.
+  const std::string procs =
+      message_of([] { parse_machine_spec("mta:procs=0"); });
+  EXPECT_NE(procs.find("MtaConfig.processors"), std::string::npos);
+
+  const std::string lat =
+      message_of([] { parse_machine_spec("mta:latency=1"); });
+  EXPECT_NE(lat.find("MtaConfig.memory_latency"), std::string::npos);
+
+  const std::string smp_procs =
+      message_of([] { parse_machine_spec("smp:procs=64"); });
+  EXPECT_NE(smp_procs.find("SmpConfig.processors"), std::string::npos);
+
+  const std::string line =
+      message_of([] { parse_machine_spec("smp:line=48"); });
+  EXPECT_NE(line.find("SmpConfig.line_bytes"), std::string::npos);
+}
+
+TEST(MakeMachine, BuildsTheRequestedArchitecture) {
+  const auto mta = make_machine("mta:procs=40");
+  EXPECT_EQ(mta->processors(), 40u);
+  EXPECT_EQ(mta->concurrency(), 40u * 128u);
+  EXPECT_DOUBLE_EQ(mta->clock_hz(), 220e6);
+
+  const auto smp = make_machine("smp:procs=8");
+  EXPECT_EQ(smp->processors(), 8u);
+  EXPECT_EQ(smp->concurrency(), 8u);
+  EXPECT_DOUBLE_EQ(smp->clock_hz(), 400e6);
+}
+
+TEST(MakeMachine, ConfigOverloadsMatchSpecOverloads) {
+  MtaConfig cfg;
+  cfg.processors = 4;
+  const auto from_config = make_machine(cfg);
+  const auto from_spec = make_machine("mta:procs=4");
+  EXPECT_EQ(from_config->processors(), from_spec->processors());
+  EXPECT_EQ(from_config->concurrency(), from_spec->concurrency());
+}
+
+TEST(MakeMachine, ThrowsOnInvalidSpec) {
+  EXPECT_THROW(make_machine("mta:streams=0"), std::logic_error);
+  EXPECT_THROW(make_machine("vliw"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace archgraph::sim

@@ -4,13 +4,20 @@
 // Usage:
 //   archgraph_cli cc     [--input FILE | --random n,m,seed]
 //                        [--algorithm uf|bfs|dfs|sv|as|mate]
-//                        [--machine native|mta|smp] [--procs P]
+//                        [--machine native|SPEC] [--procs P]
 //   archgraph_cli rank   [--n N] [--layout ordered|random] [--seed S]
 //                        [--algorithm seq|wyllie|hj|compaction|walk]
-//                        [--machine native|mta|smp] [--procs P]
+//                        [--machine native|SPEC] [--procs P]
 //   archgraph_cli msf    [--input FILE | --random n,m,seed]
 //                        [--algorithm kruskal|boruvka|boruvka-par]
 //   archgraph_cli gen    --random n,m,seed --output FILE     (DIMACS writer)
+//
+// SPEC is a simulated-machine description parsed by sim::parse_machine_spec:
+// a preset ("mta" or "smp", the paper's default configurations) optionally
+// followed by ":key=value,..." overrides, e.g. --machine mta:procs=40 or
+// --machine smp:procs=8,l2_kb=512 (see src/sim/machine_spec.hpp for the key
+// tables). --procs P is shorthand for a procs=P override; an explicit
+// procs= inside SPEC wins over it.
 //
 // Observability (simulated machines only):
 //   --trace FILE   write the phase/region JSONL event trace to FILE
@@ -40,6 +47,7 @@
 #include "graph/validate.hpp"
 #include "obs/trace.hpp"
 #include "rt/thread_pool.hpp"
+#include "sim/machine_spec.hpp"
 
 namespace {
 
@@ -117,12 +125,19 @@ void report_simulated(const sim::Machine& machine) {
             << "instructions:  " << machine.stats().instructions << '\n';
 }
 
-std::unique_ptr<sim::Machine> make_machine(const std::string& name, u32 procs) {
-  if (name == "mta") {
-    return std::make_unique<sim::MtaMachine>(core::paper_mta_config(procs));
+/// Composes --machine SPEC with --procs P: P is inserted as the first
+/// override, so an explicit procs= inside SPEC still wins (later spec keys
+/// override earlier ones).
+sim::MachineSpec parse_machine_opt(const std::string& text, u32 procs) {
+  const auto colon = text.find(':');
+  const std::string preset =
+      colon == std::string::npos ? text : text.substr(0, colon);
+  std::string composed = preset + ":procs=" + std::to_string(procs);
+  if (colon != std::string::npos && colon + 1 < text.size()) {
+    composed += ',';
+    composed += text.substr(colon + 1);
   }
-  AG_CHECK(name == "smp", "unknown --machine " + name);
-  return std::make_unique<sim::SmpMachine>(core::paper_smp_config(procs));
+  return sim::parse_machine_spec(composed);
 }
 
 /// Shared tail of a traced simulated run: the JSONL trace to --trace FILE,
@@ -145,11 +160,9 @@ void finish_simulated(const obs::TraceSession& session,
 }
 
 /// --trace/--json snapshot machine counters, which native runs don't have.
-void check_observability_flags(const Options& opts,
-                               const std::string& machine) {
-  AG_CHECK(machine == "mta" || machine == "smp" ||
-               (!opts.has("json") && !opts.has("trace")),
-           "--trace/--json require --machine mta|smp");
+void check_observability_flags(const Options& opts, bool simulated) {
+  AG_CHECK(simulated || (!opts.has("json") && !opts.has("trace")),
+           "--trace/--json require a simulated --machine (mta/smp spec)");
 }
 
 int run_cc(const Options& opts) {
@@ -157,7 +170,8 @@ int run_cc(const Options& opts) {
   const std::string algorithm = opts.get("algorithm", "sv");
   const std::string machine = opts.get("machine", "native");
   const auto procs = static_cast<u32>(opts.get_int("procs", 4));
-  check_observability_flags(opts, machine);
+  const bool simulated = machine != "native";
+  check_observability_flags(opts, simulated);
   const bool json = opts.has("json");
   if (!json) {
     std::cout << "connected components: n=" << g.num_vertices()
@@ -166,12 +180,14 @@ int run_cc(const Options& opts) {
   }
 
   std::vector<NodeId> labels;
-  if (machine == "mta" || machine == "smp") {
-    obs::TraceSession session("cc/" + algorithm + "/" + machine);
+  if (simulated) {
+    const sim::MachineSpec spec = parse_machine_opt(machine, procs);
+    const std::string arch = sim::arch_name(spec.arch);
+    obs::TraceSession session("cc/" + algorithm + "/" + arch);
     obs::TraceSession::Install install(session);
-    std::unique_ptr<sim::Machine> m = make_machine(machine, procs);
-    session.attach(*m, machine);
-    const core::SimCcResult result = machine == "mta"
+    std::unique_ptr<sim::Machine> m = sim::make_machine(spec);
+    session.attach(*m, arch);
+    const core::SimCcResult result = spec.arch == sim::MachineArch::kMta
                                          ? core::sim_cc_sv_mta(*m, g)
                                          : core::sim_cc_sv_smp(*m, g);
     labels = result.labels;
@@ -218,7 +234,8 @@ int run_rank(const Options& opts) {
   const std::string algorithm = opts.get("algorithm", "hj");
   const std::string machine = opts.get("machine", "native");
   const auto procs = static_cast<u32>(opts.get_int("procs", 4));
-  check_observability_flags(opts, machine);
+  const bool simulated = machine != "native";
+  check_observability_flags(opts, simulated);
   const bool json = opts.has("json");
   if (!json) {
     std::cout << "list ranking: n=" << n << " layout=" << layout
@@ -227,7 +244,7 @@ int run_rank(const Options& opts) {
   }
 
   std::vector<i64> ranks;
-  if (machine == "mta" || machine == "smp") {
+  if (simulated) {
     auto run_on = [&](sim::Machine& m) {
       if (algorithm == "walk") return core::sim_rank_list_walk(m, list);
       if (algorithm == "hj") return core::sim_rank_list_hj(m, list);
@@ -236,10 +253,12 @@ int run_rank(const Options& opts) {
       AG_CHECK(false, "unknown simulated --algorithm " + algorithm);
       return std::vector<i64>{};
     };
-    obs::TraceSession session("rank/" + algorithm + "/" + machine);
+    const sim::MachineSpec spec = parse_machine_opt(machine, procs);
+    const std::string arch = sim::arch_name(spec.arch);
+    obs::TraceSession session("rank/" + algorithm + "/" + arch);
     obs::TraceSession::Install install(session);
-    std::unique_ptr<sim::Machine> m = make_machine(machine, procs);
-    session.attach(*m, machine);
+    std::unique_ptr<sim::Machine> m = sim::make_machine(spec);
+    session.attach(*m, arch);
     ranks = run_on(*m);
     AG_CHECK(ranks == core::rank_sequential(list), "self-check failed");
     finish_simulated(session, *m, opts);
@@ -276,7 +295,7 @@ int run_msf(const Options& opts) {
                                         static_cast<u64>(
                                             opts.get_int("seed", 1)));
   const std::string algorithm = opts.get("algorithm", "boruvka-par");
-  check_observability_flags(opts, "native");
+  check_observability_flags(opts, /*simulated=*/false);
   std::cout << "minimum spanning forest: n=" << g.num_vertices()
             << " m=" << g.num_edges() << " algorithm=" << algorithm << '\n';
 
@@ -302,7 +321,7 @@ int run_msf(const Options& opts) {
 }
 
 int run_gen(const Options& opts) {
-  check_observability_flags(opts, "native");
+  check_observability_flags(opts, /*simulated=*/false);
   const graph::EdgeList g = load_graph(opts, nullptr);
   const std::string output = opts.get("output", "");
   AG_CHECK(!output.empty(), "gen needs --output FILE");

@@ -47,4 +47,33 @@ for r in records:
 print(f"ok: {len(records)} records, all fields present")
 EOF
 
+echo "== cli --machine (one override per architecture) =="
+"$BUILD_DIR"/tools/archgraph_cli rank --machine mta:procs=2,streams=32 \
+    --n 4096 --algorithm walk --json \
+    | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["machine"]["name"] == "mta", doc["machine"]
+assert doc["machine"]["processors"] == 2, doc["machine"]
+assert doc["machine"]["concurrency"] == 64, doc["machine"]
+print("ok: mta override applied")
+'
+"$BUILD_DIR"/tools/archgraph_cli cc --machine smp:procs=2,l2_kb=512 \
+    --n 2048 --json \
+    | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["machine"]["name"] == "smp", doc["machine"]
+assert doc["machine"]["processors"] == 2, doc["machine"]
+print("ok: smp override applied")
+'
+
+echo "== cli --machine (malformed spec must fail) =="
+if "$BUILD_DIR"/tools/archgraph_cli rank --machine mta:bogus=1 \
+    --n 1024 --algorithm walk >/dev/null 2>&1; then
+  echo "error: malformed machine spec did not fail" >&2
+  exit 1
+fi
+echo "ok: malformed spec rejected"
+
 echo "== smoke passed =="
