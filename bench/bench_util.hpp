@@ -50,6 +50,133 @@ inline Scale scale_from_env() {
   return Scale::kDefault;
 }
 
+// ------------------------------------------------------ canned sweep specs
+// The paper's experiment grids as sweep-spec strings (src/sweep/spec.hpp
+// grammar). These are the single definition of each grid: the fig/table
+// benches expand and run them through sweep::run_plan, and archgraph_sweep
+// resolves them by name ("fig1", "fig2", "table1", "ci"), so a bench and a
+// `archgraph_sweep run fig1` produce identical cells — cycle for cycle.
+
+/// "{a,b,c}" for several values, "a" for one.
+inline std::string brace_list(const std::vector<i64>& values) {
+  std::string out;
+  if (values.size() > 1) out += '{';
+  for (usize i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  if (values.size() > 1) out += '}';
+  return out;
+}
+
+/// Figure 1 (list ranking): MTA walk code and SMP Helman-JaJa, p = 1,2,4,8,
+/// Ordered and Random layouts, across problem sizes. The SMP half carries
+/// the scaled-L2 override (see scaled_smp_spec above).
+inline std::vector<std::string> fig1_sweep_specs(Scale scale) {
+  std::vector<i64> sizes;
+  switch (scale) {
+    case Scale::kQuick:
+      sizes = {1 << 14, 1 << 16};
+      break;
+    case Scale::kDefault:
+      sizes = {1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20};
+      break;
+    case Scale::kFull:
+      sizes = {1 << 16, 1 << 18, 1 << 20, 1 << 21, 1 << 22};
+      break;
+  }
+  const std::string ns = brace_list(sizes);
+  return {
+      "kernel=lr_walk machine=mta:procs={1,2,4,8} layout={ordered,random} n=" +
+          ns,
+      "kernel=lr_hj machine=smp:procs={1,2,4,8},l2_kb=512 "
+      "layout={ordered,random} n=" +
+          ns,
+  };
+}
+
+/// Figure 2 (connected components): Shiloach-Vishkin on both machines,
+/// p = 1,2,4,8, random graphs with m swept from 4n to 20n.
+inline std::vector<std::string> fig2_sweep_specs(Scale scale) {
+  i64 n = 0;
+  std::vector<i64> edge_factors{4, 8, 12, 16, 20};
+  switch (scale) {
+    case Scale::kQuick:
+      n = 1 << 13;
+      edge_factors = {4, 12, 20};
+      break;
+    case Scale::kDefault:
+      n = 1 << 15;
+      break;
+    case Scale::kFull:
+      n = 1 << 17;
+      break;
+  }
+  std::vector<i64> ms;
+  ms.reserve(edge_factors.size());
+  for (const i64 f : edge_factors) ms.push_back(f * n);
+  const std::string grid =
+      " n=" + std::to_string(n) + " m=" + brace_list(ms);
+  return {
+      "kernel=cc_sv_mta machine=mta:procs={1,2,4,8}" + grid,
+      "kernel=cc_sv_smp machine=smp:procs={1,2,4,8}" + grid,
+  };
+}
+
+/// Table 1 (MTA utilization): list ranking on Random and Ordered lists and
+/// connected components, p = 1,4,8. Seeds are the benches' historical fixed
+/// ones (0xf1a9 for the random list, 0xcc5eed for the graph).
+inline std::vector<std::string> table1_sweep_specs(Scale scale) {
+  i64 list_n = 0, cc_n = 0;
+  switch (scale) {
+    case Scale::kQuick:
+      list_n = 1 << 16;
+      cc_n = 1 << 12;
+      break;
+    case Scale::kDefault:
+      list_n = 1 << 20;
+      cc_n = 1 << 14;
+      break;
+    case Scale::kFull:
+      list_n = 1 << 22;
+      cc_n = 1 << 16;
+      break;
+  }
+  const i64 cc_m = cc_n * 17;  // ~ n log n, as in the paper's Table 1 input
+  return {
+      "kernel=lr_walk machine=mta:procs={1,4,8} layout=random n=" +
+          std::to_string(list_n) + " seed=61865",
+      "kernel=lr_walk machine=mta:procs={1,4,8} layout=ordered n=" +
+          std::to_string(list_n),
+      "kernel=cc_sv_mta machine=mta:procs={1,4,8} n=" + std::to_string(cc_n) +
+          " m=" + std::to_string(cc_m) + " seed=13393645",
+  };
+}
+
+/// The CI gate: two cells (one per architecture and workload family) small
+/// enough to run on every commit. baselines/ci_quick.jsonl is the committed
+/// golden for exactly this sweep.
+inline std::vector<std::string> ci_sweep_specs() {
+  return {
+      "kernel=lr_walk machine=mta:procs=2 layout=random n=4096",
+      "kernel=cc_sv_smp machine=smp:procs=2,l2_kb=64 n=1024 m=4096",
+  };
+}
+
+inline std::vector<std::string> canned_sweep_names() {
+  return {"fig1", "fig2", "table1", "ci"};
+}
+
+/// Resolves a canned grid by name; empty for unknown names.
+inline std::vector<std::string> canned_sweep(const std::string& name,
+                                             Scale scale) {
+  if (name == "fig1") return fig1_sweep_specs(scale);
+  if (name == "fig2") return fig2_sweep_specs(scale);
+  if (name == "table1") return table1_sweep_specs(scale);
+  if (name == "ci") return ci_sweep_specs();
+  return {};
+}
+
 /// If ARCHGRAPH_BENCH_CSV=<dir> is set, writes `table` to <dir>/<name>.csv
 /// (for plotting the figures); otherwise does nothing. Returns false (with
 /// the errno reason on stderr) when the file cannot be written.
@@ -75,11 +202,16 @@ inline bool maybe_write_csv(const archgraph::Table& table,
   return true;
 }
 
+/// Version of the BENCH_*.json document schema; consumers (the sweep
+/// regression gate among them) refuse files with a different version rather
+/// than mis-reading them.
+inline constexpr i64 kBenchJsonSchemaVersion = 1;
+
 /// Machine-readable twin of a bench's printed tables. If
 /// ARCHGRAPH_BENCH_JSON=<dir> is set, collects one flat JSON object per
-/// measurement and writes `{"bench": <name>, "records": [...]}` to
-/// <dir>/BENCH_<name>.json on write() (the destructor writes as a backstop);
-/// with the variable unset every call is a no-op.
+/// measurement and writes `{"bench": <name>, "schema_version": 1,
+/// "records": [...]}` to <dir>/BENCH_<name>.json on write() (the destructor
+/// writes as a backstop); with the variable unset every call is a no-op.
 class BenchJson {
  public:
   explicit BenchJson(std::string name) : name_(std::move(name)) {
@@ -112,7 +244,9 @@ class BenchJson {
     if (written_) return wrote_ok_;
     written_ = true;
     obs::JsonWriter doc;
-    doc.begin_object().field("bench", name_);
+    doc.begin_object()
+        .field("bench", name_)
+        .field("schema_version", kBenchJsonSchemaVersion);
     doc.key("records").begin_array();
     for (const std::string& r : records_) {
       doc.raw(r);
@@ -146,11 +280,12 @@ class BenchJson {
 };
 
 /// Appends "phases": [...] to an open record object — the per-phase
-/// breakdown (region and barrier-phase spans) captured by `session`.
+/// breakdown (region and barrier-phase spans) captured by a trace session
+/// (or carried on a sweep::CellResult).
 inline void add_phase_breakdown(obs::JsonWriter& w,
-                                const obs::TraceSession& session) {
+                                const std::vector<obs::SpanRecord>& spans) {
   w.key("phases").begin_array();
-  for (const obs::SpanRecord& s : session.spans()) {
+  for (const obs::SpanRecord& s : spans) {
     if (s.kind != "region" && s.kind != "phase") continue;
     w.begin_object()
         .field("name", s.name)
@@ -163,6 +298,11 @@ inline void add_phase_breakdown(obs::JsonWriter& w,
         .end_object();
   }
   w.end_array();
+}
+
+inline void add_phase_breakdown(obs::JsonWriter& w,
+                                const obs::TraceSession& session) {
+  add_phase_breakdown(w, session.spans());
 }
 
 inline void print_header(const std::string& title, const std::string& what) {

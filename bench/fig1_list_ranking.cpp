@@ -4,66 +4,37 @@
 //   * SMP ordered vs. random  (paper: 3-4x)
 //   * MTA vs. SMP on ordered  (paper: ~10x)
 //   * MTA vs. SMP on random   (paper: ~35x)
+//
+// The grid is the canned fig1 sweep spec (bench_util.hpp) executed through
+// sweep::run_plan, so `archgraph_sweep run fig1` reproduces these exact
+// cells — this binary only arranges them into the paper's tables.
 #include <iostream>
+#include <map>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
-#include "core/experiment.hpp"
-#include "core/kernels/kernels.hpp"
-#include "core/listrank/listrank.hpp"
-#include "graph/linked_list.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
 
 namespace {
 
 using namespace archgraph;
 
-void record_run(bench::BenchJson* bj, const sim::Machine& machine,
-                const obs::TraceSession& session, const char* machine_name,
-                const char* layout, i64 n, u32 procs) {
+void record_run(bench::BenchJson* bj, const sweep::CellResult& r,
+                const char* machine_name, const char* layout) {
   if (bj == nullptr) return;
   bj->record([&](obs::JsonWriter& w) {
     w.field("workload", "list_ranking")
         .field("machine", machine_name)
         .field("layout", layout)
-        .field("n", n)
-        .field("procs", static_cast<i64>(procs))
-        .field("seconds", machine.seconds())
-        .field("cycles", machine.stats().cycles)
-        .field("instructions", machine.stats().instructions)
-        .field("utilization", machine.utilization());
-    bench::add_phase_breakdown(w, session);
+        .field("n", r.cell.n)
+        .field("procs", static_cast<i64>(r.meas.processors))
+        .field("seconds", r.meas.seconds)
+        .field("cycles", r.meas.cycles)
+        .field("instructions", r.meas.stats.instructions)
+        .field("utilization", r.meas.utilization);
+    bench::add_phase_breakdown(w, r.spans);
   });
-}
-
-double run_mta(u32 procs, const graph::LinkedList& list,
-               const char* layout = "Ordered",
-               bench::BenchJson* bj = nullptr) {
-  const auto machine = sim::make_machine(bench::paper_mta_spec(procs));
-  obs::TraceSession session("fig1/mta");
-  obs::TraceSession::Install install(session);
-  session.attach(*machine, "mta");
-  const auto ranks = core::sim_rank_list_walk(*machine, list);
-  AG_CHECK(ranks == core::rank_sequential(list), "MTA kernel self-check");
-  record_run(bj, *machine, session, "mta", layout, list.size(), procs);
-  return machine->seconds();
-}
-
-double run_smp(u32 procs, const graph::LinkedList& list,
-               const char* layout = "Ordered",
-               bench::BenchJson* bj = nullptr) {
-  // Scaled-machine methodology: the paper ranks lists of 1M-80M nodes
-  // (8 MB-640 MB per array) against a 4 MB L2, i.e. the working set never
-  // fits any processor's cache — let alone p caches. Our scaled-down lists
-  // would fit, so the L2 is scaled down with the input to preserve the
-  // working-set : cache ratio (EXPERIMENTS.md, FIG1 notes).
-  const auto machine = sim::make_machine(bench::scaled_smp_spec(procs));
-  obs::TraceSession session("fig1/smp");
-  obs::TraceSession::Install install(session);
-  session.attach(*machine, "smp");
-  const auto ranks = core::sim_rank_list_hj(*machine, list);
-  AG_CHECK(ranks == core::rank_sequential(list), "SMP kernel self-check");
-  record_run(bj, *machine, session, "smp", layout, list.size(), procs);
-  return machine->seconds();
 }
 
 }  // namespace
@@ -72,19 +43,12 @@ int main() {
   using bench::Scale;
   const Scale scale = bench::scale_from_env();
 
-  std::vector<i64> sizes;
-  switch (scale) {
-    case Scale::kQuick:
-      sizes = {1 << 14, 1 << 16};
-      break;
-    case Scale::kDefault:
-      sizes = {1 << 16, 1 << 17, 1 << 18, 1 << 19, 1 << 20};
-      break;
-    case Scale::kFull:
-      sizes = {1 << 16, 1 << 18, 1 << 20, 1 << 21, 1 << 22};
-      break;
-  }
-  const std::vector<u32> procs{1, 2, 4, 8};
+  // One definition of the grid: the canned sweep specs. specs[0] is the MTA
+  // half (lr_walk), specs[1] the SMP half (lr_hj with the scaled L2).
+  const std::vector<std::string> specs = bench::fig1_sweep_specs(scale);
+  const sweep::SweepSpec mta_spec = sweep::parse_sweep_spec(specs[0]);
+  const sweep::SweepSpec smp_spec = sweep::parse_sweep_spec(specs[1]);
+  const std::vector<i64>& sizes = mta_spec.ns;
 
   bench::print_header(
       "FIG 1 — List ranking running times (seconds, simulated)",
@@ -92,54 +56,83 @@ int main() {
       "scaled down\nand times come from the architecture simulators "
       "(shape/ratio comparison, not absolute)");
 
+  const sweep::RunOptions options{.trace = true, .verify = true};
+  std::map<std::string, const sweep::CellResult*> by_id;
+  const std::vector<sweep::CellResult> results =
+      sweep::run_plan(sweep::expand_all(specs), options);
+  for (const sweep::CellResult& r : results) {
+    by_id[r.cell.run_id()] = &r;
+  }
+
+  // Looks up the cell (machine_idx indexes the spec's processor-count axis).
+  const auto cell_at = [&](const sweep::SweepSpec& spec, usize machine_idx,
+                           sweep::Layout layout,
+                           i64 n) -> const sweep::CellResult& {
+    sweep::SweepCell cell;
+    cell.kernel = spec.kernels[0];
+    cell.machine = spec.machines[machine_idx];
+    cell.layout = layout;
+    cell.n = n;
+    cell.seed = spec.seeds[0];
+    return *by_id.at(cell.run_id());
+  };
+
   // Machine-readable twin of the tables (one record per table cell) when
-  // ARCHGRAPH_BENCH_JSON=<dir> is set; the ratio re-runs below are derived
+  // ARCHGRAPH_BENCH_JSON=<dir> is set; the ratio rows below are derived
   // quantities and are not recorded.
   bench::BenchJson bj("fig1_list_ranking");
 
-  for (const bool random : {false, true}) {
-    const char* layout = random ? "Random" : "Ordered";
-
-    Table mta_table({std::string("n (") + layout + ")", "p=1", "p=2", "p=4",
+  for (const sweep::Layout layout :
+       {sweep::Layout::kOrdered, sweep::Layout::kRandom}) {
+    const char* name = layout == sweep::Layout::kOrdered ? "Ordered"
+                                                         : "Random";
+    Table mta_table({std::string("n (") + name + ")", "p=1", "p=2", "p=4",
                      "p=8"},
                     6);
-    Table smp_table({std::string("n (") + layout + ")", "p=1", "p=2", "p=4",
+    Table smp_table({std::string("n (") + name + ")", "p=1", "p=2", "p=4",
                      "p=8"},
                     6);
     for (const i64 n : sizes) {
-      const graph::LinkedList list =
-          random ? graph::random_list(n, static_cast<u64>(n) * 7919)
-                 : graph::ordered_list(n);
       mta_table.row().add(n);
       smp_table.row().add(n);
-      for (const u32 p : procs) {
-        mta_table.add(run_mta(p, list, layout, &bj));
-        smp_table.add(run_smp(p, list, layout, &bj));
+      for (usize p = 0; p < mta_spec.machines.size(); ++p) {
+        const sweep::CellResult& mta = cell_at(mta_spec, p, layout, n);
+        const sweep::CellResult& smp = cell_at(smp_spec, p, layout, n);
+        mta_table.add(mta.meas.seconds);
+        smp_table.add(smp.meas.seconds);
+        record_run(&bj, mta, "mta", name);
+        record_run(&bj, smp, "smp", name);
       }
     }
-    std::cout << "--- Cray MTA (" << layout << " list) ---\n"
+    std::cout << "--- Cray MTA (" << name << " list) ---\n"
               << mta_table << '\n'
-              << "--- Sun SMP (" << layout << " list) ---\n"
+              << "--- Sun SMP (" << name << " list) ---\n"
               << smp_table << '\n';
-    bench::maybe_write_csv(mta_table, std::string{"fig1_mta_"} + layout);
-    bench::maybe_write_csv(smp_table, std::string{"fig1_smp_"} + layout);
+    bench::maybe_write_csv(mta_table, std::string{"fig1_mta_"} + name);
+    bench::maybe_write_csv(smp_table, std::string{"fig1_smp_"} + name);
   }
 
-  // Headline ratios at the largest size, p = 1 and p = 8.
+  // Headline ratios at the largest size, p = 1 and p = 8 (machine axis
+  // indices 0 and 3) — straight lookups into the already-run grid.
   const i64 n = sizes.back();
-  const graph::LinkedList ordered = graph::ordered_list(n);
-  const graph::LinkedList random_l =
-      graph::random_list(n, static_cast<u64>(n) * 7919);
-
+  const auto seconds = [&](const sweep::SweepSpec& spec, usize machine_idx,
+                           sweep::Layout layout) {
+    return cell_at(spec, machine_idx, layout, n).meas.seconds;
+  };
+  using sweep::Layout;
   Table ratios({"quantity", "paper", "measured(p=1)", "measured(p=8)"}, 2);
   auto ratio_row = [&](const std::string& name, const std::string& paper,
                        double r1, double r8) {
     ratios.row().add(name).add(paper).add(r1).add(r8);
   };
-  const double smp_ord_1 = run_smp(1, ordered), smp_ord_8 = run_smp(8, ordered);
-  const double smp_rnd_1 = run_smp(1, random_l), smp_rnd_8 = run_smp(8, random_l);
-  const double mta_ord_1 = run_mta(1, ordered), mta_ord_8 = run_mta(8, ordered);
-  const double mta_rnd_1 = run_mta(1, random_l), mta_rnd_8 = run_mta(8, random_l);
+  const double smp_ord_1 = seconds(smp_spec, 0, Layout::kOrdered);
+  const double smp_ord_8 = seconds(smp_spec, 3, Layout::kOrdered);
+  const double smp_rnd_1 = seconds(smp_spec, 0, Layout::kRandom);
+  const double smp_rnd_8 = seconds(smp_spec, 3, Layout::kRandom);
+  const double mta_ord_1 = seconds(mta_spec, 0, Layout::kOrdered);
+  const double mta_ord_8 = seconds(mta_spec, 3, Layout::kOrdered);
+  const double mta_rnd_1 = seconds(mta_spec, 0, Layout::kRandom);
+  const double mta_rnd_8 = seconds(mta_spec, 3, Layout::kRandom);
   ratio_row("SMP random / SMP ordered", "3-4x", smp_rnd_1 / smp_ord_1,
             smp_rnd_8 / smp_ord_8);
   ratio_row("SMP ordered / MTA ordered", "~10x", smp_ord_1 / mta_ord_1,

@@ -3,62 +3,38 @@
 // on random graphs G(n, m) with m swept from 4n to 20n — the paper used
 // n = 1M vertices; sizes here are scaled (documented in EXPERIMENTS.md).
 // Also prints the §5 headline: MTA 5-6x faster than the SMP.
+//
+// The grid is the canned fig2 sweep spec (bench_util.hpp) executed through
+// sweep::run_plan, so `archgraph_sweep run fig2` reproduces these exact
+// cells — this binary only arranges them into the paper's tables.
 #include <iostream>
+#include <map>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
-#include "core/concomp/concomp.hpp"
-#include "core/experiment.hpp"
-#include "core/kernels/kernels.hpp"
-#include "graph/generators.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
 
 namespace {
 
 using namespace archgraph;
 
-void record_run(bench::BenchJson* bj, const sim::Machine& machine,
-                const obs::TraceSession& session, const char* machine_name,
-                const graph::EdgeList& g, u32 procs, i64 iterations) {
+void record_run(bench::BenchJson* bj, const sweep::CellResult& r,
+                const char* machine_name) {
   if (bj == nullptr) return;
   bj->record([&](obs::JsonWriter& w) {
     w.field("workload", "connected_components")
         .field("machine", machine_name)
-        .field("n", static_cast<i64>(g.num_vertices()))
-        .field("m", g.num_edges())
-        .field("procs", static_cast<i64>(procs))
-        .field("iterations", iterations)
-        .field("seconds", machine.seconds())
-        .field("cycles", machine.stats().cycles)
-        .field("instructions", machine.stats().instructions)
-        .field("utilization", machine.utilization());
-    bench::add_phase_breakdown(w, session);
+        .field("n", r.cell.n)
+        .field("m", r.cell.m)
+        .field("procs", static_cast<i64>(r.meas.processors))
+        .field("iterations", r.iterations)
+        .field("seconds", r.meas.seconds)
+        .field("cycles", r.meas.cycles)
+        .field("instructions", r.meas.stats.instructions)
+        .field("utilization", r.meas.utilization);
+    bench::add_phase_breakdown(w, r.spans);
   });
-}
-
-double run_mta(u32 procs, const graph::EdgeList& g,
-               const std::vector<NodeId>& truth,
-               bench::BenchJson* bj = nullptr) {
-  const auto machine = sim::make_machine(bench::paper_mta_spec(procs));
-  obs::TraceSession session("fig2/mta");
-  obs::TraceSession::Install install(session);
-  session.attach(*machine, "mta");
-  const auto result = core::sim_cc_sv_mta(*machine, g);
-  AG_CHECK(result.labels == truth, "MTA CC self-check");
-  record_run(bj, *machine, session, "mta", g, procs, result.iterations);
-  return machine->seconds();
-}
-
-double run_smp(u32 procs, const graph::EdgeList& g,
-               const std::vector<NodeId>& truth,
-               bench::BenchJson* bj = nullptr) {
-  const auto machine = sim::make_machine(bench::paper_smp_spec(procs));
-  obs::TraceSession session("fig2/smp");
-  obs::TraceSession::Install install(session);
-  session.attach(*machine, "smp");
-  const auto result = core::sim_cc_sv_smp(*machine, g);
-  AG_CHECK(result.labels == truth, "SMP CC self-check");
-  record_run(bj, *machine, session, "smp", g, procs, result.iterations);
-  return machine->seconds();
 }
 
 }  // namespace
@@ -67,26 +43,37 @@ int main() {
   using bench::Scale;
   const Scale scale = bench::scale_from_env();
 
-  i64 n = 0;
-  std::vector<i64> edge_factors{4, 8, 12, 16, 20};
-  switch (scale) {
-    case Scale::kQuick:
-      n = 1 << 13;
-      edge_factors = {4, 12, 20};
-      break;
-    case Scale::kDefault:
-      n = 1 << 15;
-      break;
-    case Scale::kFull:
-      n = 1 << 17;
-      break;
-  }
-  const std::vector<u32> procs{1, 2, 4, 8};
+  // One definition of the grid: the canned sweep specs. specs[0] is the MTA
+  // half (cc_sv_mta), specs[1] the SMP half (cc_sv_smp).
+  const std::vector<std::string> specs = bench::fig2_sweep_specs(scale);
+  const sweep::SweepSpec mta_spec = sweep::parse_sweep_spec(specs[0]);
+  const sweep::SweepSpec smp_spec = sweep::parse_sweep_spec(specs[1]);
+  const i64 n = mta_spec.ns[0];
 
   bench::print_header(
       "FIG 2 — Connected components running times (seconds, simulated)",
       "paper: Fig. 2, random graph n = 1M vertices, m = 4M..20M edges; here "
       "n = " + std::to_string(n) + " (scaled), m = 4n..20n");
+
+  const sweep::RunOptions options{.trace = true, .verify = true};
+  std::map<std::string, const sweep::CellResult*> by_id;
+  const std::vector<sweep::CellResult> results =
+      sweep::run_plan(sweep::expand_all(specs), options);
+  for (const sweep::CellResult& r : results) {
+    by_id[r.cell.run_id()] = &r;
+  }
+
+  const auto cell_at = [&](const sweep::SweepSpec& spec, usize machine_idx,
+                           i64 m) -> const sweep::CellResult& {
+    sweep::SweepCell cell;
+    cell.kernel = spec.kernels[0];
+    cell.machine = spec.machines[machine_idx];
+    cell.layout = spec.layouts[0];
+    cell.n = n;
+    cell.m = m;
+    cell.seed = spec.seeds[0];
+    return *by_id.at(cell.run_id());
+  };
 
   Table mta_table({"m", "m/n", "p=1", "p=2", "p=4", "p=8"}, 6);
   Table smp_table({"m", "m/n", "p=1", "p=2", "p=4", "p=8"}, 6);
@@ -96,30 +83,27 @@ int main() {
   // ARCHGRAPH_BENCH_JSON=<dir> is set.
   bench::BenchJson bj("fig2_connected_components");
 
-  for (const i64 f : edge_factors) {
-    const i64 m = f * n;
-    const graph::EdgeList g =
-        graph::random_graph(n, m, static_cast<u64>(m) * 31 + 17);
-    const auto truth = core::cc_union_find(g);
-
-    mta_table.row().add(m).add(f);
-    smp_table.row().add(m).add(f);
+  for (const i64 m : mta_spec.ms) {
+    mta_table.row().add(m).add(m / n);
+    smp_table.row().add(m).add(m / n);
     double mta1 = 0, mta8 = 0, smp1 = 0, smp8 = 0;
-    for (const u32 p : procs) {
-      const double tm = run_mta(p, g, truth, &bj);
-      const double ts = run_smp(p, g, truth, &bj);
-      mta_table.add(tm);
-      smp_table.add(ts);
-      if (p == 1) {
-        mta1 = tm;
-        smp1 = ts;
+    for (usize p = 0; p < mta_spec.machines.size(); ++p) {
+      const sweep::CellResult& mta = cell_at(mta_spec, p, m);
+      const sweep::CellResult& smp = cell_at(smp_spec, p, m);
+      mta_table.add(mta.meas.seconds);
+      smp_table.add(smp.meas.seconds);
+      record_run(&bj, mta, "mta");
+      record_run(&bj, smp, "smp");
+      if (p == 0) {
+        mta1 = mta.meas.seconds;
+        smp1 = smp.meas.seconds;
       }
-      if (p == 8) {
-        mta8 = tm;
-        smp8 = ts;
+      if (p + 1 == mta_spec.machines.size()) {
+        mta8 = mta.meas.seconds;
+        smp8 = smp.meas.seconds;
       }
     }
-    ratio_table.row().add(f).add(smp1 / mta1).add(smp8 / mta8).add("5-6x");
+    ratio_table.row().add(m / n).add(smp1 / mta1).add(smp8 / mta8).add("5-6x");
   }
 
   std::cout << "--- Cray MTA ---\n" << mta_table << '\n'

@@ -7,17 +7,18 @@
 // The paper's inputs were a 20M-node list and a graph with n = 1M,
 // m = 20M (~ n log n) edges; ours are scaled down, which mainly lowers the
 // p = 8 entries (fixed region-fork overheads amortize less).
-#include <functional>
+//
+// The grid is the canned table1 sweep spec (bench_util.hpp) executed through
+// sweep::run_plan, so `archgraph_sweep run table1` reproduces these exact
+// cells — this binary only arranges them into the paper's table.
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
-#include "core/experiment.hpp"
-#include "core/kernels/kernels.hpp"
-#include "graph/generators.hpp"
-#include "graph/linked_list.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
 
 namespace {
 
@@ -29,54 +30,20 @@ std::string percent(double fraction) {
   return os.str();
 }
 
-// Runs one traced MTA workload and, when ARCHGRAPH_BENCH_JSON is set,
-// records a JSON twin of the table cell (plus the per-phase breakdown the
-// printed table has no room for). Returns the utilization the table prints.
-double run_cell(bench::BenchJson& bj, const std::string& workload, u32 procs,
-                i64 n, i64 m,
-                const std::function<void(sim::Machine&)>& kernel) {
-  const auto machine = sim::make_machine(bench::paper_mta_spec(procs));
-  obs::TraceSession session("table1/mta");
-  obs::TraceSession::Install install(session);
-  session.attach(*machine, "mta");
-  kernel(*machine);
-  bj.record([&](obs::JsonWriter& w) {
-    w.field("workload", workload)
-        .field("machine", "mta")
-        .field("n", n)
-        .field("m", m)
-        .field("procs", static_cast<i64>(procs))
-        .field("seconds", machine->seconds())
-        .field("cycles", machine->stats().cycles)
-        .field("instructions", machine->stats().instructions)
-        .field("utilization", machine->utilization());
-    bench::add_phase_breakdown(w, session);
-  });
-  return machine->utilization();
-}
-
 }  // namespace
 
 int main() {
   using bench::Scale;
   const Scale scale = bench::scale_from_env();
 
-  i64 list_n = 0, cc_n = 0;
-  switch (scale) {
-    case Scale::kQuick:
-      list_n = 1 << 16;
-      cc_n = 1 << 12;
-      break;
-    case Scale::kDefault:
-      list_n = 1 << 20;
-      cc_n = 1 << 14;
-      break;
-    case Scale::kFull:
-      list_n = 1 << 22;
-      cc_n = 1 << 16;
-      break;
-  }
-  const i64 cc_m = cc_n * 17;  // ~ n log n, as in the paper's Table 1 input
+  // One definition of the grid: the canned sweep specs, one per table row
+  // (random list, ordered list, connected components).
+  const std::vector<std::string> specs = bench::table1_sweep_specs(scale);
+  const sweep::SweepSpec random_spec = sweep::parse_sweep_spec(specs[0]);
+  const sweep::SweepSpec cc_spec = sweep::parse_sweep_spec(specs[2]);
+  const i64 list_n = random_spec.ns[0];
+  const i64 cc_n = cc_spec.ns[0];
+  const i64 cc_m = cc_spec.ms[0];
 
   bench::print_header(
       "TABLE 1 — MTA processor utilization",
@@ -87,32 +54,37 @@ int main() {
   Table table({"workload", "p=1", "p=4", "p=8", "paper (p=1/4/8)"});
   bench::BenchJson bj("table1_utilization");
 
-  auto row = [&](const std::string& name, i64 n, i64 m,
-                 const std::function<void(sim::Machine&)>& kernel,
-                 const std::string& paper) {
+  const sweep::RunOptions options{.trace = true, .verify = true};
+
+  // One table row per canned spec, one cell per processor count. JSON
+  // records carry the workload's printed name plus the per-phase breakdown
+  // the printed table has no room for.
+  auto row = [&](const std::string& spec_text, const std::string& name,
+                 i64 n, i64 m, const std::string& paper) {
+    const std::vector<sweep::CellResult> results =
+        sweep::run_plan(sweep::expand(spec_text), options);
     table.row().add(name);
-    for (const u32 p : {1u, 4u, 8u}) {
-      table.add(percent(run_cell(bj, name, p, n, m, kernel)));
+    for (const sweep::CellResult& r : results) {
+      bj.record([&](obs::JsonWriter& w) {
+        w.field("workload", name)
+            .field("machine", "mta")
+            .field("n", n)
+            .field("m", m)
+            .field("procs", static_cast<i64>(r.meas.processors))
+            .field("seconds", r.meas.seconds)
+            .field("cycles", r.meas.cycles)
+            .field("instructions", r.meas.stats.instructions)
+            .field("utilization", r.meas.utilization);
+        bench::add_phase_breakdown(w, r.spans);
+      });
+      table.add(percent(r.meas.utilization));
     }
     table.add(paper);
   };
 
-  const graph::LinkedList random_l =
-      graph::random_list(list_n, 0xf1a9u);
-  row("list ranking, Random list", list_n, 0,
-      [&](sim::Machine& m) { core::sim_rank_list_walk(m, random_l); },
-      "98% / 90% / 82%");
-
-  const graph::LinkedList ordered_l = graph::ordered_list(list_n);
-  row("list ranking, Ordered list", list_n, 0,
-      [&](sim::Machine& m) { core::sim_rank_list_walk(m, ordered_l); },
-      "97% / 85% / 80%");
-
-  const graph::EdgeList g =
-      graph::random_graph(cc_n, cc_m, 0xcc5eedu);
-  row("connected components", cc_n, cc_m,
-      [&](sim::Machine& m) { core::sim_cc_sv_mta(m, g); },
-      "99% / 93% / 91%");
+  row(specs[0], "list ranking, Random list", list_n, 0, "98% / 90% / 82%");
+  row(specs[1], "list ranking, Ordered list", list_n, 0, "97% / 85% / 80%");
+  row(specs[2], "connected components", cc_n, cc_m, "99% / 93% / 91%");
 
   std::cout << table;
   bench::maybe_write_csv(table, "table1_utilization");

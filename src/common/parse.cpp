@@ -1,0 +1,40 @@
+#include "common/parse.hpp"
+
+#include <charconv>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace archgraph {
+
+i64 parse_i64(std::string_view what, std::string_view text) {
+  i64 value = 0;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  AG_CHECK(ec == std::errc{} && ptr == last,
+           std::string(what) + " wants an integer, got '" + std::string(text) +
+               "'");
+  return value;
+}
+
+u64 parse_u64(std::string_view what, std::string_view text) {
+  u64 value = 0;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  AG_CHECK(ec == std::errc{} && ptr == last && (text.empty() || text[0] != '-'),
+           std::string(what) + " wants a non-negative integer, got '" +
+               std::string(text) + "'");
+  return value;
+}
+
+double parse_f64(std::string_view what, std::string_view text) {
+  double value = 0;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  AG_CHECK(ec == std::errc{} && ptr == last,
+           std::string(what) + " wants a number, got '" + std::string(text) +
+               "'");
+  return value;
+}
+
+}  // namespace archgraph

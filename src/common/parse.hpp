@@ -1,0 +1,26 @@
+// Strict whole-string number parsing with caller-supplied context in the
+// error message. Every user-facing surface that accepts numbers (CLI flags,
+// sweep axes) routes through these, so "--n wants an integer, got 'x'" and
+// "sweep axis 'n' wants an integer, got 'x'" come from one implementation
+// instead of per-tool std::from_chars boilerplate.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace archgraph {
+
+/// Parses all of `text` as a signed integer. On failure throws
+/// std::logic_error: "<what> wants an integer, got '<text>'".
+i64 parse_i64(std::string_view what, std::string_view text);
+
+/// Parses all of `text` as a non-negative integer. Failure message as above,
+/// with "a non-negative integer".
+u64 parse_u64(std::string_view what, std::string_view text);
+
+/// Parses all of `text` as a floating-point number. On failure throws
+/// std::logic_error: "<what> wants a number, got '<text>'".
+double parse_f64(std::string_view what, std::string_view text);
+
+}  // namespace archgraph

@@ -328,4 +328,398 @@ bool json_is_valid(std::string_view text, std::string* error) {
   return Validator(text, error).run();
 }
 
+// --------------------------------------------------------------- JsonValue
+
+bool JsonValue::as_bool() const {
+  AG_CHECK(kind_ == Kind::kBool, "JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_f64() const {
+  AG_CHECK(kind_ == Kind::kNumber, "JsonValue: not a number");
+  return num_;
+}
+
+i64 JsonValue::as_i64() const {
+  AG_CHECK(kind_ == Kind::kNumber && integral_,
+           "JsonValue: not an integral number");
+  return int_;
+}
+
+const std::string& JsonValue::as_string() const {
+  AG_CHECK(kind_ == Kind::kString, "JsonValue: not a string");
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  AG_CHECK(kind_ == Kind::kArray, "JsonValue: not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  AG_CHECK(kind_ == Kind::kObject, "JsonValue: not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::make_bool(bool v) {
+  JsonValue out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_number(double v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.num_ = v;
+  return out;
+}
+
+JsonValue JsonValue::make_integer(i64 v) {
+  JsonValue out;
+  out.kind_ = Kind::kNumber;
+  out.num_ = static_cast<double>(v);
+  out.int_ = v;
+  out.integral_ = true;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string v) {
+  JsonValue out;
+  out.kind_ = Kind::kString;
+  out.str_ = std::move(v);
+  return out;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue out;
+  out.kind_ = Kind::kArray;
+  out.items_ = std::move(items);
+  return out;
+}
+
+JsonValue JsonValue::make_object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue out;
+  out.kind_ = Kind::kObject;
+  out.members_ = std::move(members);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser with the Validator's strictness, building a
+/// JsonValue tree. Kept separate from Validator so validation stays
+/// allocation-free.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool run(JsonValue* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const char* what) {
+    if (error_ != nullptr) {
+      *error_ = "offset " + std::to_string(pos_) + ": " + what;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue* out) {
+    if (depth_ > 256) return fail("nesting too deep");
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': {
+        std::string s;
+        if (!string(&s)) return false;
+        *out = JsonValue::make_string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        *out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        *out = JsonValue::make_bool(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        *out = JsonValue::make_null();
+        return true;
+      default: return number(out);
+    }
+  }
+
+  bool object(JsonValue* out) {
+    ++pos_;  // '{'
+    ++depth_;
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      --depth_;
+      *out = JsonValue::make_object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key");
+      std::string key;
+      if (!string(&key)) return false;
+      skip_ws();
+      if (at_end() || peek() != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      JsonValue member;
+      if (!value(&member)) return false;
+      members.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        --depth_;
+        *out = JsonValue::make_object(std::move(members));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(JsonValue* out) {
+    ++pos_;  // '['
+    ++depth_;
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      --depth_;
+      *out = JsonValue::make_array(std::move(items));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue item;
+      if (!value(&item)) return false;
+      items.push_back(std::move(item));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        --depth_;
+        *out = JsonValue::make_array(std::move(items));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  void append_utf8(std::string* out, u32 cp) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xc0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xe0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      *out += static_cast<char>(0x80 | (cp & 0x3f));
+    } else {
+      *out += static_cast<char>(0xf0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+      *out += static_cast<char>(0x80 | (cp & 0x3f));
+    }
+  }
+
+  bool hex4(u32* out) {
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i) {
+      ++pos_;
+      if (at_end() ||
+          !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("bad \\u escape");
+      }
+      const char c = text_[pos_];
+      const u32 digit = c <= '9'   ? static_cast<u32>(c - '0')
+                        : c <= 'F' ? static_cast<u32>(c - 'A' + 10)
+                                   : static_cast<u32>(c - 'a' + 10);
+      v = v * 16 + digit;
+    }
+    *out = v;
+    return true;
+  }
+
+  bool string(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (true) {
+      if (at_end()) return fail("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (at_end()) return fail("unterminated escape");
+        const char e = text_[pos_];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            u32 cp = 0;
+            if (!hex4(&cp)) return false;
+            // Combine a surrogate pair when one follows; a lone surrogate
+            // decodes to U+FFFD rather than failing the document.
+            if (cp >= 0xd800 && cp <= 0xdbff &&
+                text_.substr(pos_ + 1, 2) == "\\u") {
+              const usize save = pos_;
+              pos_ += 2;
+              u32 low = 0;
+              if (!hex4(&low)) return false;
+              if (low >= 0xdc00 && low <= 0xdfff) {
+                cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+              } else {
+                pos_ = save;
+                cp = 0xfffd;
+              }
+            } else if (cp >= 0xd800 && cp <= 0xdfff) {
+              cp = 0xfffd;
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default: return fail("bad escape character");
+        }
+        ++pos_;
+        continue;
+      }
+      *out += static_cast<char>(c);
+      ++pos_;
+    }
+  }
+
+  bool number(JsonValue* out) {
+    const usize start = pos_;
+    if (peek() == '-') ++pos_;
+    if (at_end()) return fail("bad number");
+    bool integral = true;
+    if (peek() == '0') {
+      ++pos_;  // no leading zeros
+    } else if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("expected digit");
+    } else {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!at_end() && peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected digit");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      integral = false;
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected digit");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double d = 0;
+    const auto [dptr, dec] =
+        std::from_chars(token.data(), token.data() + token.size(), d);
+    if (dec != std::errc{} || dptr != token.data() + token.size()) {
+      pos_ = start;
+      return fail("bad number");
+    }
+    if (integral) {
+      i64 v = 0;
+      const auto [iptr, iec] =
+          std::from_chars(token.data(), token.data() + token.size(), v);
+      if (iec == std::errc{} && iptr == token.data() + token.size()) {
+        *out = JsonValue::make_integer(v);
+        return true;
+      }
+    }
+    *out = JsonValue::make_number(d);
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  usize pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool json_parse(std::string_view text, JsonValue* out, std::string* error) {
+  AG_CHECK(out != nullptr, "json_parse: out must be non-null");
+  JsonValue parsed;
+  if (!Parser(text, error).run(&parsed)) return false;
+  *out = std::move(parsed);
+  return true;
+}
+
 }  // namespace archgraph::obs

@@ -8,10 +8,17 @@
 // json_is_valid() is a strict RFC-8259 validator (objects, arrays, strings
 // with escapes, numbers, literals) used by the tests and the CLI to assert
 // that everything we emit actually parses.
+//
+// JsonValue + json_parse() read a document back into a small DOM — enough
+// for the sweep result store to load its own JSONL records (and for tests to
+// inspect emitted documents) without an external JSON dependency. Numbers
+// keep an exact i64 twin when the source text is integral, so cycle counts
+// round-trip without double truncation.
 #pragma once
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -72,5 +79,64 @@ class JsonWriter {
 /// Strict validation of one complete JSON document. On failure returns false
 /// and, if `error` is non-null, stores a byte offset + reason message.
 bool json_is_valid(std::string_view text, std::string* error = nullptr);
+
+/// A parsed JSON value. Object members preserve source order (the writers
+/// emit in schema order, so loaded documents diff cleanly against emitted
+/// ones). Accessors AG_CHECK the kind, naming it in the failure message.
+class JsonValue {
+ public:
+  enum class Kind : u8 { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const;
+  double as_f64() const;
+  /// The number as an integer; requires the source text to have been
+  /// integral and in i64 range (no silent double rounding).
+  i64 as_i64() const;
+  /// True when as_i64() is allowed on this number.
+  bool is_integer() const { return kind_ == Kind::kNumber && integral_; }
+  const std::string& as_string() const;
+
+  const std::vector<JsonValue>& items() const;            // array
+  const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;                                              // object
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  static JsonValue make_null() { return JsonValue{}; }
+  static JsonValue make_bool(bool v);
+  static JsonValue make_number(double v);
+  static JsonValue make_integer(i64 v);
+  static JsonValue make_string(std::string v);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  i64 int_ = 0;
+  bool integral_ = false;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one complete JSON document (same strictness as json_is_valid).
+/// Returns false on failure with a byte offset + reason in `error`; `out` is
+/// untouched on failure.
+bool json_parse(std::string_view text, JsonValue* out,
+                std::string* error = nullptr);
 
 }  // namespace archgraph::obs

@@ -1,0 +1,170 @@
+#include "sweep/registry.hpp"
+
+#include "common/check.hpp"
+#include "core/concomp/concomp.hpp"
+#include "core/kernels/kernels.hpp"
+#include "core/listrank/listrank.hpp"
+#include "graph/generators.hpp"
+
+namespace archgraph::sweep {
+
+namespace {
+
+/// Wraps a list-ranking kernel: run, then (optionally) check against the
+/// native sequential ranking.
+template <typename F>
+KernelInfo list_kernel(std::string name, std::string description, F&& fn) {
+  KernelInfo info;
+  info.name = std::move(name);
+  info.description = std::move(description);
+  info.input = InputKind::kList;
+  info.run = [fn](sim::Machine& machine, const KernelInput& input,
+                  bool verify) {
+    const std::vector<i64> ranks = fn(machine, input.list);
+    KernelRun run;
+    if (verify) {
+      AG_CHECK(ranks == core::rank_sequential(input.list),
+               "sweep kernel self-check failed (list ranking)");
+      run.verified = true;
+    }
+    return run;
+  };
+  return info;
+}
+
+/// Wraps a connected-components kernel returning SimCcResult.
+template <typename F>
+KernelInfo cc_kernel(std::string name, std::string description, F&& fn) {
+  KernelInfo info;
+  info.name = std::move(name);
+  info.description = std::move(description);
+  info.input = InputKind::kGraph;
+  info.run = [fn](sim::Machine& machine, const KernelInput& input,
+                  bool verify) {
+    const core::SimCcResult result = fn(machine, input.graph);
+    KernelRun run;
+    run.iterations = result.iterations;
+    if (verify) {
+      AG_CHECK(result.labels == core::cc_union_find(input.graph),
+               "sweep kernel self-check failed (connected components)");
+      run.verified = true;
+    }
+    return run;
+  };
+  return info;
+}
+
+std::vector<KernelInfo> build_registry() {
+  std::vector<KernelInfo> kernels;
+  kernels.push_back(list_kernel(
+      "lr_walk", "list ranking, the paper's Alg. 1 walk code (MTA style)",
+      [](sim::Machine& m, const graph::LinkedList& l) {
+        return core::sim_rank_list_walk(m, l);
+      }));
+  kernels.push_back(list_kernel(
+      "lr_hj", "list ranking, Helman-JaJa (SMP style)",
+      [](sim::Machine& m, const graph::LinkedList& l) {
+        return core::sim_rank_list_hj(m, l);
+      }));
+  kernels.push_back(list_kernel(
+      "lr_wyllie", "list ranking, Wyllie pointer jumping (PRAM baseline)",
+      [](sim::Machine& m, const graph::LinkedList& l) {
+        return core::sim_rank_list_wyllie(m, l);
+      }));
+  kernels.push_back(list_kernel(
+      "lr_seq", "list ranking, best-sequential pointer chase (baseline)",
+      [](sim::Machine& m, const graph::LinkedList& l) {
+        return core::sim_rank_list_sequential(m, l);
+      }));
+  kernels.push_back(cc_kernel(
+      "cc_sv_mta",
+      "connected components, Shiloach-Vishkin as a PRAM translation "
+      "(MTA style)",
+      [](sim::Machine& m, const graph::EdgeList& g) {
+        return core::sim_cc_sv_mta(m, g);
+      }));
+  kernels.push_back(cc_kernel(
+      "cc_sv_smp",
+      "connected components, barrier-separated Shiloach-Vishkin (SMP style)",
+      [](sim::Machine& m, const graph::EdgeList& g) {
+        return core::sim_cc_sv_smp(m, g);
+      }));
+  {
+    KernelInfo info;
+    info.name = "cc_uf_seq";
+    info.description =
+        "connected components, best-sequential union-find (baseline)";
+    info.input = InputKind::kGraph;
+    info.run = [](sim::Machine& machine, const KernelInput& input,
+                  bool verify) {
+      const std::vector<NodeId> labels =
+          core::sim_cc_union_find_sequential(machine, input.graph);
+      KernelRun run;
+      if (verify) {
+        AG_CHECK(labels == core::cc_union_find(input.graph),
+                 "sweep kernel self-check failed (union-find)");
+        run.verified = true;
+      }
+      return run;
+    };
+    kernels.push_back(std::move(info));
+  }
+  return kernels;
+}
+
+}  // namespace
+
+const std::vector<KernelInfo>& kernel_registry() {
+  static const std::vector<KernelInfo> kernels = build_registry();
+  return kernels;
+}
+
+std::vector<std::string> kernel_names() {
+  std::vector<std::string> names;
+  for (const KernelInfo& k : kernel_registry()) {
+    names.push_back(k.name);
+  }
+  return names;
+}
+
+const KernelInfo& find_kernel(std::string_view name) {
+  for (const KernelInfo& k : kernel_registry()) {
+    if (k.name == name) return k;
+  }
+  std::string valid;
+  for (const KernelInfo& k : kernel_registry()) {
+    if (!valid.empty()) valid += ", ";
+    valid += k.name;
+  }
+  AG_CHECK(false, "unknown sweep kernel '" + std::string(name) +
+                      "' (valid: " + valid + ")");
+  return kernel_registry().front();  // unreachable
+}
+
+u64 resolved_seed(const KernelInfo& kernel, const SweepCell& cell) {
+  if (cell.seed != 0) return cell.seed;
+  if (kernel.input == InputKind::kList) {
+    return static_cast<u64>(cell.n) * 7919;
+  }
+  return static_cast<u64>(resolved_m(kernel, cell)) * 31 + 17;
+}
+
+i64 resolved_m(const KernelInfo& kernel, const SweepCell& cell) {
+  if (kernel.input == InputKind::kList) return 0;
+  return cell.m != 0 ? cell.m : 4 * cell.n;
+}
+
+KernelInput make_input(const KernelInfo& kernel, const SweepCell& cell) {
+  KernelInput input;
+  const u64 seed = resolved_seed(kernel, cell);
+  if (kernel.input == InputKind::kList) {
+    input.list = cell.layout == Layout::kOrdered
+                     ? graph::ordered_list(cell.n)
+                     : graph::random_list(cell.n, seed);
+  } else {
+    input.graph = graph::random_graph(cell.n, resolved_m(kernel, cell), seed);
+  }
+  return input;
+}
+
+}  // namespace archgraph::sweep

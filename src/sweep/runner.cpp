@@ -1,0 +1,81 @@
+#include "sweep/runner.hpp"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "sim/machine_spec.hpp"
+
+namespace archgraph::sweep {
+
+namespace {
+
+/// What the generated input depends on — cells agreeing on this key can
+/// share one KernelInput.
+std::string input_key(const KernelInfo& kernel, const SweepCell& cell) {
+  std::string key = kernel.input == InputKind::kList ? "list" : "graph";
+  key += '/';
+  key += layout_name(cell.layout);
+  key += "/n=" + std::to_string(cell.n);
+  key += "/m=" + std::to_string(resolved_m(kernel, cell));
+  key += "/seed=" + std::to_string(resolved_seed(kernel, cell));
+  return key;
+}
+
+CellResult run_cell_with_input(const SweepCell& cell, const KernelInfo& kernel,
+                               const KernelInput& input,
+                               const RunOptions& options) {
+  const std::unique_ptr<sim::Machine> machine = sim::make_machine(cell.machine);
+  CellResult result;
+  result.cell = cell;
+  if (options.trace) {
+    obs::TraceSession session("sweep/" + cell.kernel);
+    obs::TraceSession::Install install(session);
+    session.attach(*machine, std::string(sim::arch_name(
+                                 sim::parse_machine_spec(cell.machine).arch)));
+    const KernelRun run = kernel.run(*machine, input, options.verify);
+    result.iterations = run.iterations;
+    result.verified = run.verified;
+    session.detach();
+    result.spans = session.spans();
+  } else {
+    const KernelRun run = kernel.run(*machine, input, options.verify);
+    result.iterations = run.iterations;
+    result.verified = run.verified;
+  }
+  result.meas = core::snapshot(*machine);
+  return result;
+}
+
+}  // namespace
+
+CellResult run_cell(const SweepCell& cell, const RunOptions& options) {
+  const KernelInfo& kernel = find_kernel(cell.kernel);
+  const KernelInput input = make_input(kernel, cell);
+  return run_cell_with_input(cell, kernel, input, options);
+}
+
+std::vector<CellResult> run_plan(
+    const SweepPlan& plan, const RunOptions& options,
+    const std::function<void(const CellResult&, usize index, usize total)>&
+        on_cell) {
+  std::vector<CellResult> results;
+  results.reserve(plan.cells.size());
+  std::string cached_key;
+  KernelInput cached_input;
+  for (usize i = 0; i < plan.cells.size(); ++i) {
+    const SweepCell& cell = plan.cells[i];
+    const KernelInfo& kernel = find_kernel(cell.kernel);
+    const std::string key = input_key(kernel, cell);
+    if (key != cached_key) {
+      cached_input = make_input(kernel, cell);
+      cached_key = key;
+    }
+    results.push_back(
+        run_cell_with_input(cell, kernel, cached_input, options));
+    if (on_cell) on_cell(results.back(), i, plan.cells.size());
+  }
+  return results;
+}
+
+}  // namespace archgraph::sweep

@@ -1,0 +1,51 @@
+// The sweep executor: runs each cell of a plan on a fresh simulated machine,
+// capturing the measurement (core::Measurement, i.e. cycles/seconds/
+// utilization plus the full sim::MachineStats) and, optionally, the
+// obs::TraceSession region/phase spans. The fig/table benches and the
+// archgraph_sweep CLI both run cells through here, so "what the paper's
+// experiment grid measures" has exactly one implementation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "obs/trace.hpp"
+#include "sweep/registry.hpp"
+#include "sweep/spec.hpp"
+
+namespace archgraph::sweep {
+
+struct RunOptions {
+  /// Attach an obs::TraceSession and keep its region/phase spans on the
+  /// result (benches use them for per-phase breakdowns).
+  bool trace = false;
+  /// Self-check every kernel answer against the native reference. Cheap
+  /// relative to simulation; disable only for timing the harness itself.
+  bool verify = true;
+};
+
+struct CellResult {
+  SweepCell cell;
+  core::Measurement meas;
+  i64 iterations = -1;  // Shiloach-Vishkin rounds, -1 elsewhere
+  bool verified = false;
+  std::vector<obs::SpanRecord> spans;  // populated when RunOptions::trace
+};
+
+/// Runs one cell: fresh sim::make_machine(cell.machine), generated input,
+/// registry kernel, snapshot. Throws on unknown kernel, bad machine spec, or
+/// failed self-check.
+CellResult run_cell(const SweepCell& cell, const RunOptions& options = {});
+
+/// Runs every cell of the plan in order. `on_cell`, when given, observes
+/// each finished cell (index is 0-based; total = plan.cells.size()) — the
+/// CLI streams JSONL and progress from it. Consecutive cells that share an
+/// input (the expander keeps the machine axis innermost) reuse one generated
+/// input instead of regenerating it.
+std::vector<CellResult> run_plan(
+    const SweepPlan& plan, const RunOptions& options = {},
+    const std::function<void(const CellResult&, usize index, usize total)>&
+        on_cell = {});
+
+}  // namespace archgraph::sweep

@@ -1,0 +1,281 @@
+#include "sweep/spec.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/parse.hpp"
+#include "sim/machine_spec.hpp"
+#include "sweep/registry.hpp"
+
+namespace archgraph::sweep {
+
+namespace {
+
+constexpr const char* kValidAxes =
+    "kernel, machine, layout, n, m, seed, trials";
+
+/// Splits on runs of whitespace.
+std::vector<std::string_view> split_clauses(std::string_view text) {
+  std::vector<std::string_view> out;
+  usize i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t' ||
+                               text[i] == '\n' || text[i] == '\r')) {
+      ++i;
+    }
+    const usize start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t' &&
+           text[i] != '\n' && text[i] != '\r') {
+      ++i;
+    }
+    if (i > start) out.push_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string axis_ctx(std::string_view axis) {
+  return "sweep axis '" + std::string(axis) + "'";
+}
+
+}  // namespace
+
+const char* layout_name(Layout layout) {
+  return layout == Layout::kOrdered ? "ordered" : "random";
+}
+
+Layout parse_layout(std::string_view text) {
+  if (text == "ordered") return Layout::kOrdered;
+  if (text == "random") return Layout::kRandom;
+  AG_CHECK(false, "unknown layout '" + std::string(text) +
+                      "' (valid: ordered, random)");
+  return Layout::kRandom;  // unreachable
+}
+
+std::vector<std::string> expand_braces(std::string_view value) {
+  std::vector<std::string> out{""};
+  usize i = 0;
+  while (i < value.size()) {
+    const char c = value[i];
+    AG_CHECK(c != '}', "unbalanced '}' in sweep value '" + std::string(value) +
+                           "'");
+    if (c != '{') {
+      for (std::string& s : out) s += c;
+      ++i;
+      continue;
+    }
+    const usize close = value.find_first_of("{}", i + 1);
+    AG_CHECK(close != std::string_view::npos && value[close] == '}',
+             close == std::string_view::npos
+                 ? "unbalanced '{' in sweep value '" + std::string(value) + "'"
+                 : "nested '{' in sweep value '" + std::string(value) + "'");
+    const std::string_view inner = value.substr(i + 1, close - i - 1);
+    AG_CHECK(!inner.empty(), "empty brace list '{}' in sweep value '" +
+                                 std::string(value) + "'");
+    // Split the group on commas — or on semicolons when any are present, so
+    // items that themselves contain commas (canonical machine specs like
+    // "smp:procs=2,l2_kb=512") can still be listed: "{a,x;b,y}" -> a,x b,y.
+    const char sep =
+        inner.find(';') == std::string_view::npos ? ',' : ';';
+    std::vector<std::string_view> alts;
+    usize start = 0;
+    while (true) {
+      const usize next_sep = inner.find(sep, start);
+      const std::string_view alt = inner.substr(
+          start,
+          next_sep == std::string_view::npos ? next_sep : next_sep - start);
+      AG_CHECK(!alt.empty(), "empty item in brace list '{" +
+                                 std::string(inner) + "}'");
+      alts.push_back(alt);
+      if (next_sep == std::string_view::npos) break;
+      start = next_sep + 1;
+    }
+    std::vector<std::string> next;
+    next.reserve(out.size() * alts.size());
+    for (const std::string& prefix : out) {
+      for (const std::string_view alt : alts) {
+        next.push_back(prefix + std::string(alt));
+      }
+    }
+    out = std::move(next);
+    i = close + 1;
+  }
+  return out;
+}
+
+std::string SweepCell::run_id() const {
+  std::string id = kernel;
+  id += '/';
+  id += machine;
+  id += '/';
+  id += layout_name(layout);
+  id += "/n=" + std::to_string(n);
+  id += "/m=" + std::to_string(m);
+  id += "/seed=" + std::to_string(seed);
+  id += "/t=" + std::to_string(trial);
+  return id;
+}
+
+std::string SweepSpec::to_string() const {
+  const auto join = [](const auto& values, auto&& fmt, char sep = ',') {
+    std::string out;
+    if (values.size() > 1) out += '{';
+    for (usize i = 0; i < values.size(); ++i) {
+      if (i > 0) out += sep;
+      out += fmt(values[i]);
+    }
+    if (values.size() > 1) out += '}';
+    return out;
+  };
+  const auto fmt_int = [](auto v) { return std::to_string(v); };
+  const auto identity = [](const std::string& s) { return s; };
+
+  // Canonical machine strings may contain commas (override lists), which
+  // would re-split as brace items — use the ';' separator for those.
+  bool machine_has_comma = false;
+  for (const std::string& m : machines) {
+    machine_has_comma = machine_has_comma || m.find(',') != std::string::npos;
+  }
+
+  std::string out = "kernel=" + join(kernels, identity);
+  out += " machine=" + join(machines, identity,
+                            machine_has_comma ? ';' : ',');
+  out += " layout=" + join(layouts, [](Layout l) {
+    return std::string(layout_name(l));
+  });
+  out += " n=" + join(ns, fmt_int);
+  out += " m=" + join(ms, fmt_int);
+  out += " seed=" + join(seeds, fmt_int);
+  out += " trials=" + std::to_string(trials);
+  return out;
+}
+
+SweepSpec parse_sweep_spec(std::string_view text) {
+  const std::vector<std::string_view> clauses = split_clauses(text);
+  AG_CHECK(!clauses.empty(),
+           "sweep spec is empty (expected 'axis=value' clauses; valid axes: " +
+               std::string(kValidAxes) + ")");
+
+  SweepSpec spec;
+  std::set<std::string, std::less<>> seen;
+  for (const std::string_view clause : clauses) {
+    const usize eq = clause.find('=');
+    AG_CHECK(eq != std::string_view::npos && eq > 0,
+             "sweep clause '" + std::string(clause) +
+                 "' must have the form axis=value");
+    const std::string_view axis = clause.substr(0, eq);
+    const std::string_view value = clause.substr(eq + 1);
+    AG_CHECK(!value.empty(),
+             axis_ctx(axis) + " is missing a value");
+    AG_CHECK(seen.insert(std::string(axis)).second,
+             "duplicate sweep axis '" + std::string(axis) + "'");
+
+    const std::vector<std::string> values = expand_braces(value);
+    if (axis == "kernel") {
+      for (const std::string& v : values) {
+        find_kernel(v);  // throws naming the valid kernels
+      }
+      spec.kernels = values;
+    } else if (axis == "machine") {
+      spec.machines.clear();
+      for (const std::string& v : values) {
+        // Parse (validating, with machine_spec's own errors) and store the
+        // canonical form so run IDs are independent of override spelling.
+        spec.machines.push_back(sim::parse_machine_spec(v).to_string());
+      }
+    } else if (axis == "layout") {
+      spec.layouts.clear();
+      for (const std::string& v : values) {
+        spec.layouts.push_back(parse_layout(v));
+      }
+    } else if (axis == "n") {
+      spec.ns.clear();
+      for (const std::string& v : values) {
+        const i64 n = parse_i64(axis_ctx(axis), v);
+        AG_CHECK(n > 0, axis_ctx(axis) + " must be > 0, got '" + v + "'");
+        spec.ns.push_back(n);
+      }
+    } else if (axis == "m") {
+      spec.ms.clear();
+      for (const std::string& v : values) {
+        const i64 m = parse_i64(axis_ctx(axis), v);
+        AG_CHECK(m >= 0, axis_ctx(axis) + " must be >= 0, got '" + v + "'");
+        spec.ms.push_back(m);
+      }
+    } else if (axis == "seed") {
+      spec.seeds.clear();
+      for (const std::string& v : values) {
+        spec.seeds.push_back(parse_u64(axis_ctx(axis), v));
+      }
+    } else if (axis == "trials") {
+      AG_CHECK(values.size() == 1,
+               "sweep axis 'trials' takes a single integer, not a list");
+      spec.trials = parse_i64(axis_ctx(axis), values[0]);
+      AG_CHECK(spec.trials >= 1, "sweep axis 'trials' must be >= 1, got '" +
+                                     values[0] + "'");
+    } else {
+      AG_CHECK(false, "unknown sweep axis '" + std::string(axis) +
+                          "' (valid: " + kValidAxes + ")");
+    }
+  }
+
+  AG_CHECK(!spec.kernels.empty(),
+           "sweep spec is missing required axis 'kernel'");
+  AG_CHECK(!spec.machines.empty(),
+           "sweep spec is missing required axis 'machine'");
+  AG_CHECK(!spec.ns.empty(), "sweep spec is missing required axis 'n'");
+  return spec;
+}
+
+std::string SweepPlan::to_string() const {
+  std::string out;
+  for (const SweepCell& cell : cells) {
+    out += cell.run_id();
+    out += '\n';
+  }
+  return out;
+}
+
+SweepPlan expand(const SweepSpec& spec) {
+  SweepPlan plan;
+  plan.cells.reserve(spec.kernels.size() * spec.layouts.size() *
+                     spec.ns.size() * spec.ms.size() * spec.seeds.size() *
+                     spec.machines.size() * static_cast<usize>(spec.trials));
+  for (const std::string& kernel : spec.kernels) {
+    for (const Layout layout : spec.layouts) {
+      for (const i64 n : spec.ns) {
+        for (const i64 m : spec.ms) {
+          for (const u64 seed : spec.seeds) {
+            for (const std::string& machine : spec.machines) {
+              for (i64 trial = 0; trial < spec.trials; ++trial) {
+                plan.cells.push_back(
+                    SweepCell{kernel, machine, layout, n, m, seed, trial});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+SweepPlan expand(std::string_view spec_text) {
+  return expand(parse_sweep_spec(spec_text));
+}
+
+SweepPlan expand_all(const std::vector<std::string>& spec_texts) {
+  SweepPlan plan;
+  std::set<std::string> ids;
+  for (const std::string& text : spec_texts) {
+    SweepPlan part = expand(text);
+    for (SweepCell& cell : part.cells) {
+      AG_CHECK(ids.insert(cell.run_id()).second,
+               "duplicate run id across sweep specs: " + cell.run_id());
+      plan.cells.push_back(std::move(cell));
+    }
+  }
+  return plan;
+}
+
+}  // namespace archgraph::sweep

@@ -1,0 +1,115 @@
+// Declarative experiment campaigns: a sweep spec names a grid of runs over
+// the paper's evaluation axes, the expander turns it into the cross-product
+// run matrix with deterministic per-cell run IDs.
+//
+//   spec    := clause (whitespace clause)*
+//   clause  := axis "=" value
+//   value   := scalar | scalar-with-braces          ("{v1,v2,...}" expands)
+//
+// Brace items are comma-separated; a group containing any ';' splits on
+// semicolons instead, so items that themselves contain commas stay whole
+// (machine={mta:procs=2;smp:procs=2,l2_kb=64} is two machines).
+//
+// Axes (kernel, machine and n are required):
+//   kernel   registry name(s): lr_walk, lr_hj, lr_wyllie, lr_seq,
+//            cc_sv_mta, cc_sv_smp, cc_uf_seq        (see sweep/registry.hpp)
+//   machine  machine spec string(s) in sim::parse_machine_spec's
+//            "preset[:key=value,...]" grammar; braces expand anywhere inside,
+//            e.g. machine=smp:procs={1,2,4,8} or machine={mta,smp}
+//   layout   ordered | random  (list kernels' input layout; default random)
+//   n        problem size (list nodes / graph vertices), > 0
+//   m        graph edges; 0 (the default) = 4n for graph kernels
+//   seed     input PRNG seed; 0 (the default) derives the bench convention:
+//            n*7919 for lists, m*31+17 for graphs
+//   trials   repetitions per cell (single integer, >= 1; default 1)
+//
+// Example — Figure 1's SMP half at quick scale:
+//   kernel=lr_hj machine=smp:procs={1,2,4,8},l2_kb=512
+//       layout={ordered,random} n={16384,65536}
+//
+// Parsing follows the machine_spec error discipline: unknown axes name the
+// valid ones, malformed values name the axis, empty or nested braces are
+// rejected, duplicate axes are rejected. All errors are std::logic_error.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace archgraph::sweep {
+
+enum class Layout : u8 { kOrdered, kRandom };
+
+/// "ordered" or "random".
+const char* layout_name(Layout layout);
+
+/// Parses a layout name; throws naming the valid values.
+Layout parse_layout(std::string_view text);
+
+/// One point of the run matrix. `machine` is the canonical spec string
+/// (sim::parse_machine_spec(machine).to_string() == machine), so equal
+/// configurations always produce equal run IDs.
+struct SweepCell {
+  std::string kernel;
+  std::string machine;
+  Layout layout = Layout::kRandom;
+  i64 n = 0;
+  i64 m = 0;
+  u64 seed = 0;
+  i64 trial = 0;
+
+  /// Deterministic cell identity — the key the regression gate matches on:
+  /// "kernel/machine/layout/n=../m=../seed=../t=..".
+  std::string run_id() const;
+
+  bool operator==(const SweepCell&) const = default;
+};
+
+/// A parsed spec: every axis as its expanded value list, in spec-file order.
+struct SweepSpec {
+  std::vector<std::string> kernels;
+  std::vector<std::string> machines;  // canonical spec strings
+  std::vector<Layout> layouts{Layout::kRandom};
+  std::vector<i64> ns;
+  std::vector<i64> ms{0};
+  std::vector<u64> seeds{0};
+  i64 trials = 1;
+
+  /// Canonical single-line spec: every axis (defaults included) in the
+  /// documented order, braced when multi-valued. parse_sweep_spec() of the
+  /// result reproduces this spec exactly (round-trip identity).
+  std::string to_string() const;
+
+  bool operator==(const SweepSpec&) const = default;
+};
+
+/// Parses and validates one spec string (see the grammar above).
+SweepSpec parse_sweep_spec(std::string_view text);
+
+/// The expanded run matrix. Cell order is the deterministic nested loop
+/// kernel > layout > n > m > seed > machine > trial — machines innermost so
+/// executors can reuse one generated input across the processor-count axis.
+struct SweepPlan {
+  std::vector<SweepCell> cells;
+
+  /// One run ID per line, in cell order (the `run --dry-run` listing).
+  std::string to_string() const;
+
+  bool operator==(const SweepPlan&) const = default;
+};
+
+SweepPlan expand(const SweepSpec& spec);
+SweepPlan expand(std::string_view spec_text);
+
+/// Expands several specs into one concatenated plan; duplicate run IDs
+/// across specs are rejected (they would collide in the result store).
+SweepPlan expand_all(const std::vector<std::string>& spec_texts);
+
+/// Brace expansion used for every axis value (exposed for tests):
+/// "a{1,2}b{x,y}" -> a1bx a1by a2bx a2by, in left-to-right order. Empty
+/// groups/items and nested or unbalanced braces throw.
+std::vector<std::string> expand_braces(std::string_view value);
+
+}  // namespace archgraph::sweep

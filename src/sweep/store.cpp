@@ -1,0 +1,300 @@
+#include "sweep/store.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+#include "sim/machine_spec.hpp"
+
+namespace archgraph::sweep {
+
+ResultRecord to_record(const CellResult& result) {
+  ResultRecord r;
+  r.run_id = result.cell.run_id();
+  r.kernel = result.cell.kernel;
+  r.machine = result.cell.machine;
+  r.arch = sim::arch_name(sim::parse_machine_spec(result.cell.machine).arch);
+  r.layout = layout_name(result.cell.layout);
+  r.n = result.cell.n;
+  r.m = result.cell.m;
+  r.seed = result.cell.seed;
+  r.trial = result.cell.trial;
+  r.procs = result.meas.processors;
+  r.iterations = result.iterations;
+  r.verified = result.verified;
+
+  r.seconds = result.meas.seconds;
+  r.utilization = result.meas.utilization;
+  r.cycles = result.meas.cycles;
+  const sim::MachineStats& s = result.meas.stats;
+  r.instructions = s.instructions;
+  r.memory_ops = s.memory_ops;
+  r.sync_retries = s.sync_retries;
+  r.barriers = s.barriers;
+  r.l1_hits = s.l1_hits;
+  r.l2_hits = s.l2_hits;
+  r.mem_fills = s.mem_fills;
+  r.writebacks = s.writebacks;
+  r.context_switches = s.context_switches;
+  return r;
+}
+
+std::string record_json(const ResultRecord& record) {
+  obs::JsonWriter w;
+  w.begin_object()
+      .field("schema_version", record.schema_version)
+      .field("run_id", record.run_id)
+      .field("kernel", record.kernel)
+      .field("machine", record.machine)
+      .field("arch", record.arch)
+      .field("layout", record.layout)
+      .field("n", record.n)
+      .field("m", record.m)
+      .field("seed", record.seed)
+      .field("trial", record.trial)
+      .field("procs", record.procs)
+      .field("iterations", record.iterations)
+      .field("verified", record.verified)
+      .field("seconds", record.seconds)
+      .field("utilization", record.utilization)
+      .field("cycles", record.cycles)
+      .field("instructions", record.instructions)
+      .field("memory_ops", record.memory_ops)
+      .field("sync_retries", record.sync_retries)
+      .field("barriers", record.barriers)
+      .field("l1_hits", record.l1_hits)
+      .field("l2_hits", record.l2_hits)
+      .field("mem_fills", record.mem_fills)
+      .field("writebacks", record.writebacks)
+      .field("context_switches", record.context_switches)
+      .end_object();
+  return w.take();
+}
+
+void write_results(std::ostream& out,
+                   const std::vector<ResultRecord>& records) {
+  for (const ResultRecord& r : records) {
+    out << record_json(r) << '\n';
+  }
+}
+
+namespace {
+
+std::string line_ctx(std::string_view source, usize line) {
+  return std::string(source) + ":" + std::to_string(line);
+}
+
+i64 get_i64(const obs::JsonValue& obj, std::string_view key, i64 fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_integer() ? v->as_i64() : fallback;
+}
+
+double get_f64(const obs::JsonValue& obj, std::string_view key,
+               double fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_f64() : fallback;
+}
+
+std::string get_string(const obs::JsonValue& obj, std::string_view key) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string{};
+}
+
+bool get_bool(const obs::JsonValue& obj, std::string_view key,
+              bool fallback) {
+  const obs::JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+}  // namespace
+
+std::vector<ResultRecord> load_results(std::istream& in,
+                                       std::string_view source) {
+  std::vector<ResultRecord> records;
+  std::string line;
+  usize line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Skip blank lines (a concatenation artifact, not data).
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    obs::JsonValue value;
+    std::string error;
+    AG_CHECK(obs::json_parse(line, &value, &error),
+             "sweep results " + line_ctx(source, line_no) +
+                 ": malformed JSON (" + error + ")");
+    AG_CHECK(value.is_object(), "sweep results " + line_ctx(source, line_no) +
+                                    ": expected one JSON object per line");
+
+    const obs::JsonValue* version = value.find("schema_version");
+    AG_CHECK(version != nullptr && version->is_integer(),
+             "sweep results " + line_ctx(source, line_no) +
+                 ": missing schema_version (not a sweep result file, or one "
+                 "written before versioning)");
+    AG_CHECK(version->as_i64() == kResultSchemaVersion,
+             "sweep results " + line_ctx(source, line_no) +
+                 ": schema_version " + std::to_string(version->as_i64()) +
+                 " is incompatible with this build's version " +
+                 std::to_string(kResultSchemaVersion) +
+                 " — regenerate the file with archgraph_sweep run");
+
+    ResultRecord r;
+    r.schema_version = version->as_i64();
+    r.run_id = get_string(value, "run_id");
+    AG_CHECK(!r.run_id.empty(), "sweep results " + line_ctx(source, line_no) +
+                                    ": missing run_id");
+    r.kernel = get_string(value, "kernel");
+    r.machine = get_string(value, "machine");
+    r.arch = get_string(value, "arch");
+    r.layout = get_string(value, "layout");
+    r.n = get_i64(value, "n", 0);
+    r.m = get_i64(value, "m", 0);
+    r.seed = static_cast<u64>(get_i64(value, "seed", 0));
+    r.trial = get_i64(value, "trial", 0);
+    r.procs = static_cast<u32>(get_i64(value, "procs", 0));
+    r.iterations = get_i64(value, "iterations", -1);
+    r.verified = get_bool(value, "verified", false);
+    r.seconds = get_f64(value, "seconds", 0.0);
+    r.utilization = get_f64(value, "utilization", 0.0);
+    r.cycles = get_i64(value, "cycles", 0);
+    r.instructions = get_i64(value, "instructions", 0);
+    r.memory_ops = get_i64(value, "memory_ops", 0);
+    r.sync_retries = get_i64(value, "sync_retries", 0);
+    r.barriers = get_i64(value, "barriers", 0);
+    r.l1_hits = get_i64(value, "l1_hits", 0);
+    r.l2_hits = get_i64(value, "l2_hits", 0);
+    r.mem_fills = get_i64(value, "mem_fills", 0);
+    r.writebacks = get_i64(value, "writebacks", 0);
+    r.context_switches = get_i64(value, "context_switches", 0);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+std::vector<ResultRecord> load_results_file(const std::string& path) {
+  std::ifstream in(path);
+  AG_CHECK(static_cast<bool>(in), "cannot open sweep results file " + path);
+  return load_results(in, path);
+}
+
+namespace {
+
+MetricDelta check_metric(const char* name, double current, double baseline,
+                         double tol) {
+  MetricDelta d;
+  d.metric = name;
+  d.current = current;
+  d.baseline = baseline;
+  if (baseline == 0.0 && current == 0.0) {
+    d.ratio = 1.0;
+    d.ok = true;
+  } else if (baseline == 0.0) {
+    d.ratio = std::numeric_limits<double>::infinity();
+    d.ok = false;
+  } else {
+    d.ratio = current / baseline;
+    d.ok = std::abs(d.ratio - 1.0) <= tol;
+  }
+  return d;
+}
+
+CellComparison compare_cell(const ResultRecord& current,
+                            const ResultRecord& baseline, double tol) {
+  CellComparison c;
+  c.run_id = current.run_id;
+  c.metrics.push_back(check_metric("cycles",
+                                   static_cast<double>(current.cycles),
+                                   static_cast<double>(baseline.cycles), tol));
+  c.metrics.push_back(
+      check_metric("instructions", static_cast<double>(current.instructions),
+                   static_cast<double>(baseline.instructions), tol));
+  c.metrics.push_back(check_metric("utilization", current.utilization,
+                                   baseline.utilization, tol));
+  if (current.arch == "smp" || baseline.arch == "smp") {
+    c.metrics.push_back(check_metric(
+        "mem_fills", static_cast<double>(current.mem_fills),
+        static_cast<double>(baseline.mem_fills), tol));
+  }
+  for (const MetricDelta& d : c.metrics) {
+    if (!d.ok) {
+      c.status = CellComparison::Status::kRegressed;
+      break;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+CompareReport compare(const std::vector<ResultRecord>& current,
+                      const std::vector<ResultRecord>& baseline,
+                      const CompareOptions& options) {
+  std::map<std::string, const ResultRecord*> by_id;
+  for (const ResultRecord& r : baseline) {
+    by_id[r.run_id] = &r;
+  }
+
+  CompareReport report;
+  report.tol = options.tol;
+  for (const ResultRecord& r : current) {
+    const auto it = by_id.find(r.run_id);
+    if (it == by_id.end()) {
+      CellComparison c;
+      c.run_id = r.run_id;
+      c.status = CellComparison::Status::kMissingBaseline;
+      report.cells.push_back(std::move(c));
+      ++report.missing;
+      continue;
+    }
+    CellComparison c = compare_cell(r, *it->second, options.tol);
+    by_id.erase(it);
+    ++report.compared;
+    if (c.status == CellComparison::Status::kRegressed) ++report.regressed;
+    report.cells.push_back(std::move(c));
+  }
+  for (const auto& [run_id, record] : by_id) {
+    CellComparison c;
+    c.run_id = run_id;
+    c.status = CellComparison::Status::kMissingCurrent;
+    report.cells.push_back(std::move(c));
+    ++report.missing;
+  }
+  return report;
+}
+
+std::string CompareReport::to_string() const {
+  std::ostringstream os;
+  for (const CellComparison& c : cells) {
+    switch (c.status) {
+      case CellComparison::Status::kOk:
+        os << "PASS " << c.run_id << '\n';
+        break;
+      case CellComparison::Status::kRegressed:
+        os << "FAIL " << c.run_id << '\n';
+        for (const MetricDelta& d : c.metrics) {
+          if (d.ok) continue;
+          os << "     " << d.metric << ": current " << d.current
+             << " vs baseline " << d.baseline << " (ratio " << d.ratio
+             << ", tolerance " << tol << ")\n";
+        }
+        break;
+      case CellComparison::Status::kMissingBaseline:
+        os << "FAIL " << c.run_id << "\n     not in baseline (new cell? "
+           << "regenerate the baseline to accept it)\n";
+        break;
+      case CellComparison::Status::kMissingCurrent:
+        os << "FAIL " << c.run_id << "\n     in baseline but not run\n";
+        break;
+    }
+  }
+  os << compared << " compared, " << regressed << " regressed, " << missing
+     << " missing (tolerance " << tol << ")\n";
+  return os.str();
+}
+
+}  // namespace archgraph::sweep

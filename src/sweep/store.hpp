@@ -1,0 +1,124 @@
+// Result store + regression gate. Sweep results are JSONL: one flat JSON
+// object per cell, each carrying schema_version so the gate can refuse to
+// compare files written by an incompatible schema. load_results/compare
+// match cells by run ID and check per-metric ratios (cycles, issue slots,
+// utilization, SMP misses) against a tolerance band — the CI gate for the
+// paper's headline numbers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sweep/runner.hpp"
+
+namespace archgraph::sweep {
+
+/// Bump when the result-line schema changes incompatibly; load_results
+/// refuses other versions with a message naming both.
+inline constexpr i64 kResultSchemaVersion = 1;
+
+/// One result line: the cell's identity axes plus every gated metric. The
+/// full MachineStats is flattened so future gates can add metrics without a
+/// schema bump (readers ignore unknown fields).
+struct ResultRecord {
+  i64 schema_version = kResultSchemaVersion;
+  std::string run_id;
+  std::string kernel;
+  std::string machine;  // canonical machine spec string
+  std::string arch;     // "mta" or "smp"
+  std::string layout;
+  i64 n = 0;
+  i64 m = 0;
+  u64 seed = 0;
+  i64 trial = 0;
+  u32 procs = 0;
+  i64 iterations = -1;
+  bool verified = false;
+
+  double seconds = 0.0;
+  double utilization = 0.0;
+  i64 cycles = 0;
+  i64 instructions = 0;  // issue slots (the MTA utilization numerator)
+  i64 memory_ops = 0;
+  i64 sync_retries = 0;
+  i64 barriers = 0;
+  i64 l1_hits = 0;
+  i64 l2_hits = 0;
+  i64 mem_fills = 0;  // SMP cache misses filled from memory
+  i64 writebacks = 0;
+  i64 context_switches = 0;
+};
+
+/// Flattens an executor result into a record.
+ResultRecord to_record(const CellResult& result);
+
+/// One JSON object (no trailing newline) for a record, in schema order.
+std::string record_json(const ResultRecord& record);
+
+/// Writes records as JSONL (one record_json line each).
+void write_results(std::ostream& out, const std::vector<ResultRecord>& records);
+
+/// Parses JSONL results. Throws std::logic_error naming `source` and the
+/// line number on malformed JSON, a missing/incompatible schema_version, or
+/// a missing run_id. Blank lines are skipped.
+std::vector<ResultRecord> load_results(std::istream& in,
+                                       std::string_view source = "<stream>");
+
+/// load_results on a file; throws when the file cannot be opened.
+std::vector<ResultRecord> load_results_file(const std::string& path);
+
+// -------------------------------------------------------- regression gate
+
+struct CompareOptions {
+  /// Relative tolerance band per metric: pass iff |current/baseline - 1| <=
+  /// tol (both-zero passes; zero baseline with nonzero current fails).
+  double tol = 0.05;
+};
+
+struct MetricDelta {
+  std::string metric;
+  double current = 0.0;
+  double baseline = 0.0;
+  double ratio = 1.0;
+  bool ok = true;
+};
+
+struct CellComparison {
+  enum class Status : u8 {
+    kOk,
+    kRegressed,         // at least one metric outside the band
+    kMissingBaseline,   // cell ran now but is absent from the baseline
+    kMissingCurrent,    // baseline cell that was not run
+  };
+  std::string run_id;
+  Status status = Status::kOk;
+  std::vector<MetricDelta> metrics;  // empty for the missing statuses
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+struct CompareReport {
+  std::vector<CellComparison> cells;  // current order, then missing-current
+  i64 compared = 0;
+  i64 regressed = 0;
+  i64 missing = 0;
+  double tol = 0.0;
+
+  bool ok() const { return regressed == 0 && missing == 0; }
+  /// Per-cell human-readable report; failing metrics show
+  /// current/baseline/ratio.
+  std::string to_string() const;
+};
+
+/// Matches cells by run ID and gates cycles, instructions, utilization and
+/// (for SMP cells) mem_fills against the tolerance band. Records with
+/// different schema_version values never reach here — load_results refuses
+/// the file first.
+CompareReport compare(const std::vector<ResultRecord>& current,
+                      const std::vector<ResultRecord>& baseline,
+                      const CompareOptions& options = {});
+
+}  // namespace archgraph::sweep

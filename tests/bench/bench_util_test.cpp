@@ -9,6 +9,7 @@
 
 #include "common/table.hpp"
 #include "obs/json.hpp"
+#include "sweep/spec.hpp"
 
 namespace archgraph::bench {
 namespace {
@@ -116,7 +117,10 @@ TEST(BenchJson, WritesValidDocumentWithRecords) {
   const std::string content = slurp(dir + "/BENCH_bench_util_test.json");
   std::string error;
   EXPECT_TRUE(obs::json_is_valid(content, &error)) << error;
-  EXPECT_EQ(content.find(R"({"bench":"bench_util_test","records":[)"), 0u);
+  EXPECT_EQ(
+      content.find(
+          R"({"bench":"bench_util_test","schema_version":1,"records":[)"),
+      0u);
   EXPECT_NE(content.find(R"("machine":"smp")"), std::string::npos);
 }
 
@@ -127,6 +131,44 @@ TEST(BenchJson, ReportsFailureForUnwritableDirectory) {
   bj.record([](obs::JsonWriter& w) { w.field("n", i64{1}); });
   EXPECT_FALSE(bj.write());
   EXPECT_FALSE(bj.write());  // failure is sticky, not retried
+}
+
+TEST(BraceList, SingleValueHasNoBraces) {
+  EXPECT_EQ(brace_list({42}), "42");
+  EXPECT_EQ(brace_list({1, 2, 8}), "{1,2,8}");
+}
+
+TEST(CannedSweeps, EveryNameResolvesAndParses) {
+  for (const std::string& name : canned_sweep_names()) {
+    const std::vector<std::string> specs = canned_sweep(name, Scale::kQuick);
+    ASSERT_FALSE(specs.empty()) << name;
+    for (const std::string& text : specs) {
+      EXPECT_NO_THROW(sweep::parse_sweep_spec(text)) << name << ": " << text;
+    }
+  }
+  EXPECT_TRUE(canned_sweep("nope", Scale::kQuick).empty());
+}
+
+TEST(CannedSweeps, QuickGridCellCounts) {
+  // fig1: 2 kernels x 4 procs x 2 layouts x 2 sizes.
+  EXPECT_EQ(sweep::expand_all(fig1_sweep_specs(Scale::kQuick)).cells.size(),
+            32u);
+  // fig2: 2 kernels x 4 procs x 3 edge counts.
+  EXPECT_EQ(sweep::expand_all(fig2_sweep_specs(Scale::kQuick)).cells.size(),
+            24u);
+  // table1: 3 workloads x 3 procs.
+  EXPECT_EQ(sweep::expand_all(table1_sweep_specs(Scale::kQuick)).cells.size(),
+            9u);
+  EXPECT_EQ(sweep::expand_all(ci_sweep_specs()).cells.size(), 2u);
+}
+
+TEST(CannedSweeps, Fig1CarriesTheScaledL2AndBothLayouts) {
+  const std::vector<std::string> specs = fig1_sweep_specs(Scale::kQuick);
+  const sweep::SweepSpec smp = sweep::parse_sweep_spec(specs[1]);
+  ASSERT_EQ(smp.machines.size(), 4u);
+  EXPECT_EQ(smp.machines[0], "smp:l2_kb=512");  // canonical: procs=1 omitted
+  EXPECT_EQ(smp.machines[3], "smp:procs=8,l2_kb=512");
+  EXPECT_EQ(smp.layouts.size(), 2u);
 }
 
 }  // namespace

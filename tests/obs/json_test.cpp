@@ -157,5 +157,73 @@ TEST(JsonIsValid, RejectsPathologicalNesting) {
   EXPECT_FALSE(json_is_valid(deep));
 }
 
+TEST(JsonParse, ParsesScalars) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse("null", &v));
+  EXPECT_EQ(v.kind(), JsonValue::Kind::kNull);
+  ASSERT_TRUE(json_parse("true", &v));
+  EXPECT_TRUE(v.as_bool());
+  ASSERT_TRUE(json_parse("\"hi\\n\"", &v));
+  EXPECT_EQ(v.as_string(), "hi\n");
+  ASSERT_TRUE(json_parse("-2.5e1", &v));
+  EXPECT_DOUBLE_EQ(v.as_f64(), -25.0);
+  EXPECT_FALSE(v.is_integer());
+}
+
+TEST(JsonParse, LargeIntegersKeepExactValue) {
+  // Cycle counters exceed 2^53; the i64 twin must survive the round trip.
+  JsonValue v;
+  ASSERT_TRUE(json_parse("9007199254740993", &v));
+  ASSERT_TRUE(v.is_integer());
+  EXPECT_EQ(v.as_i64(), 9007199254740993);
+}
+
+TEST(JsonParse, ParsesContainersAndFind) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(R"({"a":[1,2],"b":{"c":"x"}})", &v));
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 2u);
+  EXPECT_EQ(a->items()[1].as_i64(), 2);
+  const JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->find("c")->as_string(), "x");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, DecodesUnicodeEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse("\"A\\u00e9\"", &v));
+  EXPECT_EQ(v.as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600.
+  ASSERT_TRUE(json_parse("\"\\ud83d\\ude00\"", &v));
+  EXPECT_EQ(v.as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInputWithError) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(json_parse("{\"a\":}", &v, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(json_parse("[1,2", &v));
+  EXPECT_FALSE(json_parse("", &v));
+  EXPECT_FALSE(json_parse("1 2", &v));  // trailing tokens
+}
+
+TEST(JsonParse, RoundTripsAWriterDocument) {
+  JsonWriter w;
+  w.begin_object()
+      .field("run_id", "a/b")
+      .field("cycles", i64{123456789012345})
+      .field("utilization", 0.875)
+      .end_object();
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(json_parse(w.str(), &v, &error)) << error;
+  EXPECT_EQ(v.find("run_id")->as_string(), "a/b");
+  EXPECT_EQ(v.find("cycles")->as_i64(), 123456789012345);
+  EXPECT_DOUBLE_EQ(v.find("utilization")->as_f64(), 0.875);
+}
+
 }  // namespace
 }  // namespace archgraph::obs

@@ -1,0 +1,70 @@
+#include "sweep/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "sweep/spec.hpp"
+
+namespace archgraph::sweep {
+namespace {
+
+TEST(KernelRegistry, ListsEveryPaperKernel) {
+  const std::vector<std::string> names = kernel_names();
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"lr_walk", "lr_hj", "lr_wyllie",
+                                      "lr_seq", "cc_sv_mta", "cc_sv_smp",
+                                      "cc_uf_seq"}));
+  for (const KernelInfo& k : kernel_registry()) {
+    EXPECT_FALSE(k.description.empty()) << k.name;
+    EXPECT_TRUE(k.run != nullptr) << k.name;
+  }
+}
+
+TEST(KernelRegistry, FindUnknownNamesTheValidKernels) {
+  try {
+    find_kernel("lr_bogus");
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown sweep kernel 'lr_bogus'"),
+              std::string::npos)
+        << message;
+    EXPECT_NE(message.find("lr_walk"), std::string::npos) << message;
+    EXPECT_NE(message.find("cc_uf_seq"), std::string::npos) << message;
+  }
+}
+
+TEST(KernelRegistry, SeedAndEdgeConventionsMatchTheBenches) {
+  SweepCell cell;
+  cell.n = 1024;
+
+  // Explicit seed wins; seed 0 derives the bench convention.
+  const KernelInfo& list_kernel = find_kernel("lr_walk");
+  cell.seed = 5;
+  EXPECT_EQ(resolved_seed(list_kernel, cell), 5u);
+  cell.seed = 0;
+  EXPECT_EQ(resolved_seed(list_kernel, cell), 1024u * 7919u);
+  EXPECT_EQ(resolved_m(list_kernel, cell), 0);  // lists have no edges
+
+  const KernelInfo& graph_kernel = find_kernel("cc_sv_mta");
+  EXPECT_EQ(resolved_m(graph_kernel, cell), 4 * 1024);  // m=0 -> 4n
+  cell.m = 3000;
+  EXPECT_EQ(resolved_m(graph_kernel, cell), 3000);
+  EXPECT_EQ(resolved_seed(graph_kernel, cell), 3000u * 31u + 17u);
+}
+
+TEST(KernelRegistry, MakeInputIsDeterministicInTheCell) {
+  SweepCell cell;
+  cell.n = 256;
+  cell.layout = Layout::kRandom;
+  const KernelInfo& kernel = find_kernel("lr_walk");
+  const KernelInput a = make_input(kernel, cell);
+  const KernelInput b = make_input(kernel, cell);
+  EXPECT_EQ(a.list.next, b.list.next);
+  EXPECT_EQ(a.list.head, b.list.head);
+}
+
+}  // namespace
+}  // namespace archgraph::sweep

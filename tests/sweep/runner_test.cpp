@@ -1,0 +1,86 @@
+#include "sweep/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sweep/spec.hpp"
+
+namespace archgraph::sweep {
+namespace {
+
+SweepCell small_list_cell() {
+  SweepCell cell;
+  cell.kernel = "lr_walk";
+  cell.machine = "mta:procs=2";
+  cell.layout = Layout::kRandom;
+  cell.n = 512;
+  return cell;
+}
+
+TEST(RunCell, ProducesAVerifiedMeasurement) {
+  const CellResult r = run_cell(small_list_cell());
+  EXPECT_GT(r.meas.cycles, 0);
+  EXPECT_GT(r.meas.seconds, 0.0);
+  EXPECT_GT(r.meas.utilization, 0.0);
+  EXPECT_LE(r.meas.utilization, 1.0);
+  EXPECT_EQ(r.meas.processors, 2u);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.iterations, -1);   // not an iterative kernel
+  EXPECT_TRUE(r.spans.empty());  // trace off by default
+}
+
+TEST(RunCell, IsDeterministic) {
+  const CellResult a = run_cell(small_list_cell());
+  const CellResult b = run_cell(small_list_cell());
+  EXPECT_EQ(a.meas.cycles, b.meas.cycles);
+  EXPECT_EQ(a.meas.stats.instructions, b.meas.stats.instructions);
+}
+
+TEST(RunCell, TraceCapturesRegionSpans) {
+  RunOptions options;
+  options.trace = true;
+  const CellResult r = run_cell(small_list_cell(), options);
+  EXPECT_FALSE(r.spans.empty());
+}
+
+TEST(RunCell, IterativeKernelReportsIterations) {
+  SweepCell cell;
+  cell.kernel = "cc_sv_mta";
+  cell.machine = "mta";
+  cell.n = 128;
+  cell.m = 512;
+  const CellResult r = run_cell(cell);
+  EXPECT_GE(r.iterations, 1);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(RunCell, BadMachineSpecPropagates) {
+  SweepCell cell = small_list_cell();
+  cell.machine = "vax";
+  EXPECT_THROW(run_cell(cell), std::logic_error);
+}
+
+TEST(RunPlan, RunsEveryCellInOrderAndStreams) {
+  const SweepPlan plan =
+      expand("kernel=lr_walk machine=mta:procs={1,2} layout=ordered n=256");
+  std::vector<std::string> seen;
+  usize last_total = 0;
+  const std::vector<CellResult> results = run_plan(
+      plan, {}, [&](const CellResult& r, usize index, usize total) {
+        EXPECT_EQ(index, seen.size());
+        seen.push_back(r.cell.run_id());
+        last_total = total;
+      });
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(last_total, 2u);
+  EXPECT_EQ(seen, std::vector<std::string>({plan.cells[0].run_id(),
+                                            plan.cells[1].run_id()}));
+  // The shared input (machine axis innermost) must not change the answer:
+  // both cells rank the same 256-node list on 1 and 2 processors.
+  EXPECT_GT(results[0].meas.cycles, results[1].meas.cycles);
+}
+
+}  // namespace
+}  // namespace archgraph::sweep

@@ -1,0 +1,180 @@
+#include "sweep/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace archgraph::sweep {
+namespace {
+
+/// EXPECT_THROW plus a substring check on the message.
+template <typename F>
+void expect_error(F&& f, const std::string& needle) {
+  try {
+    f();
+    FAIL() << "expected std::logic_error containing '" << needle << "'";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(ExpandBraces, PlainValuePassesThrough) {
+  EXPECT_EQ(expand_braces("mta"), std::vector<std::string>{"mta"});
+}
+
+TEST(ExpandBraces, SingleGroupExpandsInOrder) {
+  EXPECT_EQ(expand_braces("{1,2,8}"),
+            (std::vector<std::string>{"1", "2", "8"}));
+}
+
+TEST(ExpandBraces, GroupInsideMachineOverrides) {
+  EXPECT_EQ(expand_braces("smp:procs={1,2},l2_kb=512"),
+            (std::vector<std::string>{"smp:procs=1,l2_kb=512",
+                                      "smp:procs=2,l2_kb=512"}));
+}
+
+TEST(ExpandBraces, SemicolonGroupKeepsCommaItemsWhole) {
+  EXPECT_EQ(expand_braces("{mta:procs=2;smp:procs=2,l2_kb=64}"),
+            (std::vector<std::string>{"mta:procs=2", "smp:procs=2,l2_kb=64"}));
+}
+
+TEST(ExpandBraces, TwoGroupsAreACartesianProduct) {
+  EXPECT_EQ(expand_braces("a{1,2}b{x,y}"),
+            (std::vector<std::string>{"a1bx", "a1by", "a2bx", "a2by"}));
+}
+
+TEST(ExpandBraces, EmptyGroupRejected) {
+  expect_error([] { expand_braces("n={}"); }, "empty brace list");
+}
+
+TEST(ExpandBraces, EmptyItemRejected) {
+  expect_error([] { expand_braces("{1,,2}"); }, "empty item");
+}
+
+TEST(ExpandBraces, NestedAndUnbalancedBracesRejected) {
+  expect_error([] { expand_braces("{1,{2}}"); }, "nested '{'");
+  expect_error([] { expand_braces("{1,2"); }, "unbalanced '{'");
+  expect_error([] { expand_braces("1,2}"); }, "unbalanced '}'");
+}
+
+TEST(ParseSweepSpec, MinimalSpecGetsDefaults) {
+  const SweepSpec spec = parse_sweep_spec("kernel=lr_walk machine=mta n=64");
+  EXPECT_EQ(spec.kernels, std::vector<std::string>{"lr_walk"});
+  EXPECT_EQ(spec.machines, std::vector<std::string>{"mta"});
+  EXPECT_EQ(spec.layouts, std::vector<Layout>{Layout::kRandom});
+  EXPECT_EQ(spec.ns, std::vector<i64>{64});
+  EXPECT_EQ(spec.ms, std::vector<i64>{0});
+  EXPECT_EQ(spec.seeds, std::vector<u64>{0});
+  EXPECT_EQ(spec.trials, 1);
+}
+
+TEST(ParseSweepSpec, MachineSpecsAreCanonicalized) {
+  // procs=1 is the preset default, so the canonical string omits it; the
+  // run IDs of equal configurations spelled differently must collide.
+  const SweepSpec spec =
+      parse_sweep_spec("kernel=lr_walk machine=mta:procs=1 n=64");
+  EXPECT_EQ(spec.machines, std::vector<std::string>{"mta"});
+}
+
+TEST(ParseSweepSpec, BracesExpandInsideMachineOverrides) {
+  const SweepSpec spec = parse_sweep_spec(
+      "kernel=lr_hj machine=smp:procs={1,8},l2_kb=512 n=64");
+  EXPECT_EQ(spec.machines,
+            (std::vector<std::string>{"smp:l2_kb=512",
+                                      "smp:procs=8,l2_kb=512"}));
+}
+
+TEST(ParseSweepSpec, UnknownAxisNamesTheValidOnes) {
+  expect_error(
+      [] { parse_sweep_spec("kernel=lr_walk machine=mta n=64 bogus=1"); },
+      "unknown sweep axis 'bogus' (valid: kernel, machine, layout, n, m, "
+      "seed, trials");
+}
+
+TEST(ParseSweepSpec, UnknownKernelNamesTheValidOnes) {
+  expect_error([] { parse_sweep_spec("kernel=nope machine=mta n=64"); },
+               "unknown sweep kernel 'nope'");
+}
+
+TEST(ParseSweepSpec, DuplicateAxisRejected) {
+  expect_error([] { parse_sweep_spec("kernel=lr_walk kernel=lr_hj "
+                                     "machine=mta n=64"); },
+               "duplicate sweep axis 'kernel'");
+}
+
+TEST(ParseSweepSpec, MissingRequiredAxesNamed) {
+  expect_error([] { parse_sweep_spec("machine=mta n=64"); },
+               "missing required axis 'kernel'");
+  expect_error([] { parse_sweep_spec("kernel=lr_walk n=64"); },
+               "missing required axis 'machine'");
+  expect_error([] { parse_sweep_spec("kernel=lr_walk machine=mta"); },
+               "missing required axis 'n'");
+}
+
+TEST(ParseSweepSpec, MalformedValuesNameTheAxis) {
+  expect_error([] { parse_sweep_spec("kernel=lr_walk machine=mta n=x"); },
+               "sweep axis 'n'");
+  expect_error([] { parse_sweep_spec("kernel=lr_walk machine=mta n=0"); },
+               "must be > 0");
+  expect_error(
+      [] { parse_sweep_spec("kernel=lr_walk machine=mta n=64 trials=0"); },
+      "must be >= 1");
+  expect_error(
+      [] { parse_sweep_spec("kernel=lr_walk machine=mta n=64 layout=zig"); },
+      "unknown layout 'zig' (valid: ordered, random)");
+}
+
+TEST(ParseSweepSpec, EmptySpecRejected) {
+  expect_error([] { parse_sweep_spec("   "); }, "sweep spec is empty");
+}
+
+TEST(ParseSweepSpec, ToStringRoundTrips) {
+  const SweepSpec spec = parse_sweep_spec(
+      "kernel={lr_walk,lr_hj} machine=smp:procs={1,2},l2_kb=512 "
+      "layout={ordered,random} n={64,128} seed=7 trials=2");
+  const SweepSpec again = parse_sweep_spec(spec.to_string());
+  EXPECT_EQ(again, spec);
+  EXPECT_EQ(again.to_string(), spec.to_string());
+}
+
+TEST(Expand, CrossProductWithMachineInnermost) {
+  const SweepPlan plan = expand(
+      "kernel=lr_walk machine=mta:procs={1,2} layout=ordered n={64,128}");
+  ASSERT_EQ(plan.cells.size(), 4u);
+  // n varies slower than machine, so consecutive cells share an input.
+  EXPECT_EQ(plan.cells[0].run_id(),
+            "lr_walk/mta/ordered/n=64/m=0/seed=0/t=0");
+  EXPECT_EQ(plan.cells[1].run_id(),
+            "lr_walk/mta:procs=2/ordered/n=64/m=0/seed=0/t=0");
+  EXPECT_EQ(plan.cells[2].n, 128);
+  EXPECT_EQ(plan.cells[3].machine, "mta:procs=2");
+}
+
+TEST(Expand, PlanToStringListsOneRunIdPerLine) {
+  const SweepPlan plan =
+      expand("kernel=lr_walk machine=mta layout=ordered n={64,128}");
+  EXPECT_EQ(plan.to_string(),
+            "lr_walk/mta/ordered/n=64/m=0/seed=0/t=0\n"
+            "lr_walk/mta/ordered/n=128/m=0/seed=0/t=0\n");
+}
+
+TEST(Expand, TrialsBecomeDistinctCells) {
+  const SweepPlan plan =
+      expand("kernel=lr_walk machine=mta n=64 trials=2");
+  ASSERT_EQ(plan.cells.size(), 2u);
+  EXPECT_EQ(plan.cells[0].trial, 0);
+  EXPECT_EQ(plan.cells[1].trial, 1);
+  EXPECT_NE(plan.cells[0].run_id(), plan.cells[1].run_id());
+}
+
+TEST(ExpandAll, DuplicateRunIdsAcrossSpecsRejected) {
+  const std::string spec = "kernel=lr_walk machine=mta n=64";
+  expect_error([&] { expand_all({spec, spec}); },
+               "duplicate run id across sweep specs");
+}
+
+}  // namespace
+}  // namespace archgraph::sweep

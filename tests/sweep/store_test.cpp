@@ -1,0 +1,178 @@
+#include "sweep/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+
+namespace archgraph::sweep {
+namespace {
+
+/// EXPECT_THROW plus a substring check on the message.
+template <typename F>
+void expect_error(F&& f, const std::string& needle) {
+  try {
+    f();
+    FAIL() << "expected std::logic_error containing '" << needle << "'";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+ResultRecord sample_record(const std::string& run_id = "k/mta/x",
+                           i64 cycles = 1000) {
+  ResultRecord r;
+  r.run_id = run_id;
+  r.kernel = "lr_walk";
+  r.machine = "mta";
+  r.arch = "mta";
+  r.layout = "random";
+  r.n = 64;
+  r.procs = 1;
+  r.verified = true;
+  r.seconds = 1e-3;
+  r.utilization = 0.9;
+  r.cycles = cycles;
+  r.instructions = cycles - 100;
+  return r;
+}
+
+TEST(ResultStore, RecordJsonIsValidFlatJson) {
+  const std::string json = record_json(sample_record());
+  std::string error;
+  EXPECT_TRUE(obs::json_is_valid(json, &error)) << error;
+  EXPECT_EQ(json.find(R"({"schema_version":1,"run_id":"k/mta/x")"), 0u);
+}
+
+TEST(ResultStore, WriteThenLoadRoundTrips) {
+  const CellResult run = run_cell(expand(
+      "kernel=lr_walk machine=mta:procs=2 n=256").cells[0]);
+  const ResultRecord original = to_record(run);
+  EXPECT_EQ(original.run_id, run.cell.run_id());
+  EXPECT_EQ(original.arch, "mta");
+  EXPECT_EQ(original.procs, 2u);
+  EXPECT_TRUE(original.verified);
+
+  std::stringstream io;
+  write_results(io, {original, sample_record("other")});
+  const std::vector<ResultRecord> loaded = load_results(io, "test");
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].run_id, original.run_id);
+  EXPECT_EQ(loaded[0].cycles, original.cycles);
+  EXPECT_EQ(loaded[0].instructions, original.instructions);
+  EXPECT_EQ(loaded[0].utilization, original.utilization);
+  EXPECT_EQ(loaded[0].machine, original.machine);
+  EXPECT_EQ(loaded[1].run_id, "other");
+}
+
+TEST(ResultStore, LoadSkipsBlankLinesAndNamesBadOnes) {
+  std::stringstream ok(record_json(sample_record()) + "\n\n");
+  EXPECT_EQ(load_results(ok, "f").size(), 1u);
+
+  std::stringstream bad("not json\n");
+  expect_error([&] { load_results(bad, "results.jsonl"); },
+               "results.jsonl:1");
+}
+
+TEST(ResultStore, RefusesMissingSchemaVersion) {
+  std::stringstream in(R"({"run_id":"x","cycles":1})"
+                       "\n");
+  expect_error([&] { load_results(in, "old.jsonl"); },
+               "missing schema_version");
+}
+
+TEST(ResultStore, RefusesIncompatibleSchemaVersion) {
+  std::stringstream in(R"({"schema_version":999,"run_id":"x"})"
+                       "\n");
+  expect_error([&] { load_results(in, "future.jsonl"); },
+               "schema_version 999");
+}
+
+TEST(Compare, IdenticalResultsPass) {
+  const std::vector<ResultRecord> records{sample_record("a"),
+                                          sample_record("b")};
+  const CompareReport report = compare(records, records);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.compared, 2);
+  EXPECT_EQ(report.regressed, 0);
+  EXPECT_EQ(report.missing, 0);
+  EXPECT_NE(report.to_string().find("PASS a"), std::string::npos);
+}
+
+TEST(Compare, PerturbedBaselineFailsWithPerCellReport) {
+  const std::vector<ResultRecord> current{sample_record("a", 1000),
+                                          sample_record("b", 1000)};
+  std::vector<ResultRecord> baseline = current;
+  baseline[0].cycles = 1200;  // 1000/1200 is outside the 5% band
+
+  const CompareReport report = compare(current, baseline);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.regressed, 1);
+  ASSERT_EQ(report.cells.size(), 2u);
+  EXPECT_EQ(report.cells[0].status, CellComparison::Status::kRegressed);
+  EXPECT_TRUE(report.cells[1].ok());
+
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("FAIL a"), std::string::npos) << text;
+  EXPECT_NE(text.find("cycles"), std::string::npos) << text;
+  EXPECT_NE(text.find("PASS b"), std::string::npos) << text;
+}
+
+TEST(Compare, WideToleranceAcceptsThePerturbation) {
+  const std::vector<ResultRecord> current{sample_record("a", 1000)};
+  std::vector<ResultRecord> baseline = current;
+  baseline[0].cycles = 1200;
+  EXPECT_TRUE(compare(current, baseline, {.tol = 0.25}).ok());
+}
+
+TEST(Compare, MissingCellsOnEitherSideFail) {
+  const std::vector<ResultRecord> current{sample_record("a"),
+                                          sample_record("new")};
+  const std::vector<ResultRecord> baseline{sample_record("a"),
+                                           sample_record("gone")};
+  const CompareReport report = compare(current, baseline);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.compared, 1);
+  EXPECT_EQ(report.missing, 2);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("new"), std::string::npos) << text;
+  EXPECT_NE(text.find("gone"), std::string::npos) << text;
+}
+
+TEST(Compare, SmpCellsAlsoGateMemFills) {
+  ResultRecord smp = sample_record("s");
+  smp.arch = "smp";
+  smp.mem_fills = 1000;
+  ResultRecord baseline = smp;
+  baseline.mem_fills = 2000;
+  const CompareReport report = compare({smp}, {baseline});
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("mem_fills"), std::string::npos);
+
+  // The same delta on an MTA cell is not gated (no caches to miss).
+  ResultRecord mta = sample_record("m");
+  mta.mem_fills = 1000;
+  ResultRecord mta_base = mta;
+  mta_base.mem_fills = 2000;
+  EXPECT_TRUE(compare({mta}, {mta_base}).ok());
+}
+
+TEST(Compare, ZeroBaselineWithNonzeroCurrentFails) {
+  ResultRecord current = sample_record("z");
+  ResultRecord baseline = current;
+  baseline.instructions = 0;
+  EXPECT_FALSE(compare({current}, {baseline}).ok());
+  // Both zero passes.
+  current.instructions = 0;
+  EXPECT_TRUE(compare({current}, {baseline}).ok());
+}
+
+}  // namespace
+}  // namespace archgraph::sweep

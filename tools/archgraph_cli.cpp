@@ -11,6 +11,7 @@
 //   archgraph_cli msf    [--input FILE | --random n,m,seed]
 //                        [--algorithm kruskal|boruvka|boruvka-par]
 //   archgraph_cli gen    --random n,m,seed --output FILE     (DIMACS writer)
+//   archgraph_cli --list                       (kernels and machine presets)
 //
 // SPEC is a simulated-machine description parsed by sim::parse_machine_spec:
 // a preset ("mta" or "smp", the paper's default configurations) optionally
@@ -26,7 +27,6 @@
 //
 // Simulated runs print cycles, simulated seconds and utilization; native
 // runs print wall time. Every run self-checks against a reference.
-#include <charconv>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -35,6 +35,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/parse.hpp"
 #include "common/timer.hpp"
 #include "core/concomp/concomp.hpp"
 #include "core/experiment.hpp"
@@ -48,6 +49,7 @@
 #include "obs/trace.hpp"
 #include "rt/thread_pool.hpp"
 #include "sim/machine_spec.hpp"
+#include "sweep/registry.hpp"
 
 namespace {
 
@@ -68,14 +70,7 @@ struct Options {
   i64 get_int(const std::string& key, i64 fallback) const {
     const auto it = named.find(key);
     if (it == named.end()) return fallback;
-    const std::string& text = it->second;
-    i64 value = 0;
-    const char* first = text.data();
-    const char* last = first + text.size();
-    const auto [ptr, ec] = std::from_chars(first, last, value);
-    AG_CHECK(ec == std::errc{} && ptr == last,
-             "--" + key + " wants an integer, got '" + text + "'");
-    return value;
+    return parse_i64("--" + key, it->second);
   }
 };
 
@@ -320,6 +315,26 @@ int run_msf(const Options& opts) {
   return 0;
 }
 
+/// `--list`: the simulator kernels (from the sweep registry, so this listing
+/// and archgraph_sweep's can never drift apart) and the machine presets.
+int run_list() {
+  std::cout << "simulated kernels (sweep registry):\n";
+  for (const sweep::KernelInfo& k : sweep::kernel_registry()) {
+    std::cout << "  " << k.name
+              << std::string(k.name.size() < 12 ? 12 - k.name.size() : 1, ' ')
+              << (k.input == sweep::InputKind::kList ? "[list]  "
+                                                     : "[graph] ")
+              << k.description << '\n';
+  }
+  std::cout << "\nmachine presets (compose overrides as "
+               "preset:key=value,...):\n"
+            << "  mta         Cray MTA-2, 220 MHz, 128 streams/processor, "
+               "hashed flat memory\n"
+            << "  smp         Sun E4500-class SMP, 400 MHz, L1/L2 caches, "
+               "shared bus\n";
+  return 0;
+}
+
 int run_gen(const Options& opts) {
   check_observability_flags(opts, /*simulated=*/false);
   const graph::EdgeList g = load_graph(opts, nullptr);
@@ -340,6 +355,7 @@ int main(int argc, char** argv) {
     if (opts.command == "rank") return run_rank(opts);
     if (opts.command == "msf") return run_msf(opts);
     if (opts.command == "gen") return run_gen(opts);
+    if (opts.command == "--list" || opts.command == "list") return run_list();
     AG_CHECK(false, "unknown command '" + opts.command + "'");
   } catch (const std::exception& e) {
     std::cerr << "archgraph_cli: " << e.what() << '\n';

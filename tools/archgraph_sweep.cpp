@@ -1,0 +1,189 @@
+// archgraph_sweep — declarative experiment campaigns over the simulated
+// machines: expand a sweep spec into its run matrix, execute every cell, and
+// gate the results against a committed baseline.
+//
+// Usage:
+//   archgraph_sweep run SPEC... [--out FILE] [--dry-run] [--no-verify]
+//   archgraph_sweep check RESULTS --against BASELINE [--tol T]
+//   archgraph_sweep --list
+//
+// SPEC is either a spec string in the src/sweep/spec.hpp grammar, e.g.
+//   "kernel=lr_walk machine=mta:procs={1,2,4,8} layout=random n=65536"
+// or the name of a canned grid (fig1, fig2, table1, ci) — the same grids the
+// bench binaries run, honoring ARCHGRAPH_BENCH_SCALE=quick|default|full.
+// Several SPECs concatenate into one plan (duplicate cells are rejected).
+//
+// `run` writes one JSON object per cell (JSONL, schema_version-stamped) to
+// --out, or stdout with the progress report on stderr. `check` re-loads two
+// such files, matches cells by run ID, and fails (exit 1) when any gated
+// metric leaves the ±tol band or a cell is missing on either side — the
+// regression gate ci_smoke.sh runs on every commit.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/check.hpp"
+#include "common/parse.hpp"
+#include "sim/machine_spec.hpp"
+#include "sweep/registry.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+#include "sweep/store.hpp"
+
+namespace {
+
+using namespace archgraph;
+
+int run_list() {
+  std::cout << "canned sweeps (ARCHGRAPH_BENCH_SCALE=quick|default|full):\n";
+  const bench::Scale scale = bench::scale_from_env();
+  for (const std::string& name : bench::canned_sweep_names()) {
+    const std::vector<std::string> specs = bench::canned_sweep(name, scale);
+    usize cells = 0;
+    for (const std::string& s : specs) {
+      cells += sweep::expand(s).cells.size();
+    }
+    std::cout << "  " << name << std::string(8 - name.size(), ' ') << cells
+              << " cells\n";
+    for (const std::string& s : specs) {
+      std::cout << "      " << s << '\n';
+    }
+  }
+  std::cout << "\nkernels:\n";
+  for (const sweep::KernelInfo& k : sweep::kernel_registry()) {
+    std::cout << "  " << k.name
+              << std::string(k.name.size() < 12 ? 12 - k.name.size() : 1, ' ')
+              << (k.input == sweep::InputKind::kList ? "[list]  "
+                                                     : "[graph] ")
+              << k.description << '\n';
+  }
+  std::cout << "\nmachine presets: mta, smp "
+               "(overrides: preset:key=value,..., braces expand)\n";
+  return 0;
+}
+
+/// A SPEC argument is a canned-grid name or a literal spec string.
+std::vector<std::string> resolve_spec(const std::string& arg) {
+  const std::vector<std::string> canned =
+      bench::canned_sweep(arg, bench::scale_from_env());
+  if (!canned.empty()) return canned;
+  AG_CHECK(arg.find('=') != std::string::npos,
+           "'" + arg + "' is neither a canned sweep (fig1, fig2, table1, ci) "
+           "nor a spec string (axis=value ...)");
+  return {arg};
+}
+
+int run_run(const std::vector<std::string>& args) {
+  std::vector<std::string> spec_texts;
+  std::string out_path;
+  bool dry_run = false;
+  sweep::RunOptions options;
+  for (usize i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out") {
+      AG_CHECK(i + 1 < args.size(), "--out needs a file path");
+      out_path = args[++i];
+    } else if (args[i] == "--dry-run") {
+      dry_run = true;
+    } else if (args[i] == "--no-verify") {
+      options.verify = false;
+    } else {
+      AG_CHECK(args[i].rfind("--", 0) != 0,
+               "unknown run flag '" + args[i] +
+                   "' (valid: --out FILE, --dry-run, --no-verify)");
+      const std::vector<std::string> resolved = resolve_spec(args[i]);
+      spec_texts.insert(spec_texts.end(), resolved.begin(), resolved.end());
+    }
+  }
+  AG_CHECK(!spec_texts.empty(),
+           "run needs at least one SPEC (a spec string or a canned name — "
+           "see --list)");
+
+  const sweep::SweepPlan plan = sweep::expand_all(spec_texts);
+  if (dry_run) {
+    std::cout << plan.to_string();
+    std::cerr << plan.cells.size() << " cells\n";
+    return 0;
+  }
+
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    AG_CHECK(file.good(), "cannot write --out file " + out_path);
+  }
+  std::ostream& out = out_path.empty() ? std::cout : file;
+
+  // Stream each cell's record as it finishes — a killed sweep still leaves
+  // the completed prefix on disk.
+  sweep::run_plan(plan, options,
+                  [&](const sweep::CellResult& r, usize index, usize total) {
+                    out << sweep::record_json(sweep::to_record(r)) << '\n';
+                    std::cerr << "[" << index + 1 << "/" << total << "] "
+                              << r.cell.run_id() << "  cycles="
+                              << r.meas.cycles << " util="
+                              << r.meas.utilization << '\n';
+                  });
+  out.flush();
+  AG_CHECK(out.good(), "short write" +
+                           (out_path.empty() ? std::string{}
+                                             : " to " + out_path));
+  if (!out_path.empty()) {
+    std::cerr << plan.cells.size() << " cells -> " << out_path << '\n';
+  }
+  return 0;
+}
+
+int run_check(const std::vector<std::string>& args) {
+  std::string current_path, baseline_path;
+  sweep::CompareOptions options;
+  for (usize i = 0; i < args.size(); ++i) {
+    if (args[i] == "--against") {
+      AG_CHECK(i + 1 < args.size(), "--against needs a baseline file");
+      baseline_path = args[++i];
+    } else if (args[i] == "--tol") {
+      AG_CHECK(i + 1 < args.size(), "--tol needs a number");
+      options.tol = parse_f64("--tol", args[++i]);
+      AG_CHECK(options.tol >= 0.0, "--tol wants a non-negative tolerance");
+    } else {
+      AG_CHECK(args[i].rfind("--", 0) != 0,
+               "unknown check flag '" + args[i] +
+                   "' (valid: --against FILE, --tol T)");
+      AG_CHECK(current_path.empty(),
+               "check takes one RESULTS file, got '" + current_path +
+                   "' and '" + args[i] + "'");
+      current_path = args[i];
+    }
+  }
+  AG_CHECK(!current_path.empty(), "check needs a RESULTS file");
+  AG_CHECK(!baseline_path.empty(), "check needs --against BASELINE");
+
+  const std::vector<sweep::ResultRecord> current =
+      sweep::load_results_file(current_path);
+  const std::vector<sweep::ResultRecord> baseline =
+      sweep::load_results_file(baseline_path);
+  const sweep::CompareReport report =
+      sweep::compare(current, baseline, options);
+  std::cout << report.to_string();
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    AG_CHECK(argc >= 2,
+             "usage: archgraph_sweep <run|check|--list> ... (see --list)");
+    const std::string command = argv[1];
+    const std::vector<std::string> args(argv + 2, argv + argc);
+    if (command == "run") return run_run(args);
+    if (command == "check") return run_check(args);
+    if (command == "--list" || command == "list") return run_list();
+    AG_CHECK(false, "unknown command '" + command +
+                        "' (valid: run, check, --list)");
+  } catch (const std::exception& e) {
+    std::cerr << "archgraph_sweep: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

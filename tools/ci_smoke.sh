@@ -76,4 +76,40 @@ if "$BUILD_DIR"/tools/archgraph_cli rank --machine mta:bogus=1 \
 fi
 echo "ok: malformed spec rejected"
 
+echo "== sweep regression gate (ci grid vs committed baseline) =="
+"$BUILD_DIR"/tools/archgraph_sweep --list >/dev/null
+"$BUILD_DIR"/tools/archgraph_sweep run ci --out "$OUT_DIR/ci.jsonl" \
+    2>/dev/null
+"$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/ci.jsonl" \
+    --against baselines/ci_quick.jsonl
+echo "ok: ci sweep matches baselines/ci_quick.jsonl"
+
+echo "== sweep gate (corrupted baseline must fail) =="
+python3 - "$OUT_DIR/ci.jsonl" "$OUT_DIR/ci_corrupt.jsonl" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    records = [json.loads(line) for line in f if line.strip()]
+records[0]["cycles"] = int(records[0]["cycles"] * 1.5)
+with open(sys.argv[2], "w") as f:
+    for r in records:
+        f.write(json.dumps(r) + "\n")
+EOF
+if "$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/ci.jsonl" \
+    --against "$OUT_DIR/ci_corrupt.jsonl" >/dev/null; then
+  echo "error: corrupted baseline did not fail the gate" >&2
+  exit 1
+fi
+echo "ok: corrupted baseline rejected"
+
+echo "== sweep gate (wrong schema_version must be refused) =="
+echo '{"schema_version":999,"run_id":"x"}' > "$OUT_DIR/ci_future.jsonl"
+if "$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/ci.jsonl" \
+    --against "$OUT_DIR/ci_future.jsonl" >/dev/null 2>&1; then
+  echo "error: incompatible schema_version was not refused" >&2
+  exit 1
+fi
+echo "ok: incompatible schema_version refused"
+
 echo "== smoke passed =="
