@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "common/table.hpp"
 #include "common/types.hpp"
 #include "obs/json.hpp"
@@ -48,6 +49,16 @@ inline Scale scale_from_env() {
   if (s == "quick") return Scale::kQuick;
   if (s == "full") return Scale::kFull;
   return Scale::kDefault;
+}
+
+/// Host worker threads the benches hand to sweep::run_plan
+/// (RunOptions::jobs): ARCHGRAPH_BENCH_JOBS=N, default 0 = one per hardware
+/// thread. Simulated cycles are identical for every value — jobs only
+/// changes how fast the grid executes on the host.
+inline usize jobs_from_env() {
+  const char* env = std::getenv("ARCHGRAPH_BENCH_JOBS");
+  if (env == nullptr) return 0;
+  return static_cast<usize>(parse_positive_i64("ARCHGRAPH_BENCH_JOBS", env));
 }
 
 // ------------------------------------------------------ canned sweep specs
@@ -237,6 +248,19 @@ class BenchJson {
     records_.push_back(w.take());
   }
 
+  /// Records the host-side execution summary of the sweep(s) this bench ran
+  /// (jobs fanned out, wall-clock, throughput, input-cache effectiveness);
+  /// written as a "host" object in the document. Accumulates across calls so
+  /// multi-plan benches report one total.
+  void add_host_summary(usize jobs, usize cells, double host_seconds,
+                        u64 inputs_generated) {
+    host_jobs_ = static_cast<i64>(jobs);
+    host_cells_ += static_cast<i64>(cells);
+    host_seconds_ += host_seconds;
+    host_inputs_ += static_cast<i64>(inputs_generated);
+    has_host_summary_ = true;
+  }
+
   /// Writes the document once; false (with the errno reason on stderr) on
   /// open/write failure or when inactive.
   bool write() {
@@ -247,6 +271,17 @@ class BenchJson {
     doc.begin_object()
         .field("bench", name_)
         .field("schema_version", kBenchJsonSchemaVersion);
+    if (has_host_summary_) {
+      doc.key("host")
+          .begin_object()
+          .field("jobs", host_jobs_)
+          .field("cells", host_cells_)
+          .field("seconds", host_seconds_)
+          .field("cells_per_sec",
+                 host_seconds_ > 0.0 ? host_cells_ / host_seconds_ : 0.0)
+          .field("inputs_generated", host_inputs_)
+          .end_object();
+    }
     doc.key("records").begin_array();
     for (const std::string& r : records_) {
       doc.raw(r);
@@ -275,6 +310,11 @@ class BenchJson {
   std::string name_;
   std::string dir_;
   std::vector<std::string> records_;
+  i64 host_jobs_ = 0;
+  i64 host_cells_ = 0;
+  double host_seconds_ = 0.0;
+  i64 host_inputs_ = 0;
+  bool has_host_summary_ = false;
   bool written_ = false;
   bool wrote_ok_ = false;
 };

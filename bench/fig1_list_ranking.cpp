@@ -56,11 +56,11 @@ int main() {
       "scaled down\nand times come from the architecture simulators "
       "(shape/ratio comparison, not absolute)");
 
-  const sweep::RunOptions options{.trace = true, .verify = true};
+  const sweep::RunOptions options{
+      .trace = true, .verify = true, .jobs = bench::jobs_from_env()};
   std::map<std::string, const sweep::CellResult*> by_id;
-  const std::vector<sweep::CellResult> results =
-      sweep::run_plan(sweep::expand_all(specs), options);
-  for (const sweep::CellResult& r : results) {
+  const sweep::PlanRun run = sweep::run_plan(sweep::expand_all(specs), options);
+  for (const sweep::CellResult& r : run.cells) {
     by_id[r.cell.run_id()] = &r;
   }
 
@@ -79,8 +79,11 @@ int main() {
 
   // Machine-readable twin of the tables (one record per table cell) when
   // ARCHGRAPH_BENCH_JSON=<dir> is set; the ratio rows below are derived
-  // quantities and are not recorded.
+  // quantities and are not recorded. The "host" object carries the
+  // wall-clock cost of running the grid (ARCHGRAPH_BENCH_JOBS workers).
   bench::BenchJson bj("fig1_list_ranking");
+  bj.add_host_summary(run.jobs, run.cells.size(), run.host_seconds,
+                      run.inputs_generated);
 
   for (const sweep::Layout layout :
        {sweep::Layout::kOrdered, sweep::Layout::kRandom}) {

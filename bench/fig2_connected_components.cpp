@@ -55,11 +55,11 @@ int main() {
       "paper: Fig. 2, random graph n = 1M vertices, m = 4M..20M edges; here "
       "n = " + std::to_string(n) + " (scaled), m = 4n..20n");
 
-  const sweep::RunOptions options{.trace = true, .verify = true};
+  const sweep::RunOptions options{
+      .trace = true, .verify = true, .jobs = bench::jobs_from_env()};
   std::map<std::string, const sweep::CellResult*> by_id;
-  const std::vector<sweep::CellResult> results =
-      sweep::run_plan(sweep::expand_all(specs), options);
-  for (const sweep::CellResult& r : results) {
+  const sweep::PlanRun run = sweep::run_plan(sweep::expand_all(specs), options);
+  for (const sweep::CellResult& r : run.cells) {
     by_id[r.cell.run_id()] = &r;
   }
 
@@ -80,8 +80,11 @@ int main() {
   Table ratio_table({"m/n", "SMP/MTA p=1", "SMP/MTA p=8", "paper"}, 2);
 
   // Machine-readable twin of the tables (one record per cell) when
-  // ARCHGRAPH_BENCH_JSON=<dir> is set.
+  // ARCHGRAPH_BENCH_JSON=<dir> is set. The "host" object carries the
+  // wall-clock cost of running the grid (ARCHGRAPH_BENCH_JOBS workers).
   bench::BenchJson bj("fig2_connected_components");
+  bj.add_host_summary(run.jobs, run.cells.size(), run.host_seconds,
+                      run.inputs_generated);
 
   for (const i64 m : mta_spec.ms) {
     mta_table.row().add(m).add(m / n);

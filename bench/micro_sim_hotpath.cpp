@@ -1,0 +1,185 @@
+// Host-native microbenchmarks of the simulator hot paths: EventQueue
+// push/pop (same-cycle fast path and heap regime) and SimMemory read/write
+// throughput. These measure this machine, not the simulated hardware — they
+// exist so the "make the simulator faster" optimizations are quantified and
+// gated, not asserted. With ARCHGRAPH_BENCH_JSON=<dir> set the results land
+// in <dir>/BENCH_host_sim.json (one record per benchmark, ops_per_sec is the
+// headline number).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/prng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/memory.hpp"
+
+namespace {
+
+using namespace archgraph;
+
+// Accumulated into by every benchmark and printed at the end, so the
+// optimizer cannot delete the measured loops.
+u64 g_sink = 0;
+
+struct Result {
+  std::string name;
+  u64 ops = 0;
+  double seconds = 0.0;
+  double ops_per_sec() const { return seconds > 0.0 ? ops / seconds : 0.0; }
+};
+
+/// Same-cycle regime: ready/issue/complete chains push at the time of the
+/// event being handled, so pushes bypass the heap entirely. A backlog of
+/// far-future events (memory completions of blocked streams) sits in the
+/// queue the whole time, as during a real simulation — a structure without
+/// the fast path pays O(log backlog) for every same-cycle push.
+Result bench_event_queue_same_cycle(u64 ops) {
+  sim::EventQueue q;
+  for (u64 i = 0; i < 4096; ++i) {
+    q.push(1'000'000'000 + static_cast<sim::Cycle>(i), 9, i);
+  }
+  Timer timer;
+  u64 done = 0;
+  q.push(0, 1, 0);
+  while (done < ops) {
+    const sim::Event e = q.pop();
+    g_sink += e.payload;
+    ++done;
+    // Each handled event schedules one successor at the same cycle, with an
+    // occasional step to the next cycle so now_ advances like a real run.
+    const sim::Cycle next = done % 64 == 0 ? e.time + 1 : e.time;
+    q.push(next, 1, done);
+  }
+  return {"event_queue/same_cycle", ops, timer.seconds()};
+}
+
+/// Heap regime: every push lands at a distinct future time (memory-latency
+/// completions), so the binary heap does all the work.
+Result bench_event_queue_heap(u64 ops) {
+  sim::EventQueue q;
+  Prng rng(0x5eed);
+  // Steady state: keep ~256 events in flight, each at a pseudo-random
+  // future time (like outstanding memory operations with varied latencies).
+  sim::Cycle now = 0;
+  for (u64 i = 0; i < 256; ++i) {
+    q.push(now + 1 + static_cast<sim::Cycle>(rng.below(200)), 2, i);
+  }
+  Timer timer;
+  for (u64 done = 0; done < ops; ++done) {
+    const sim::Event e = q.pop();
+    g_sink += e.payload;
+    q.push(e.time + 1 + static_cast<sim::Cycle>(rng.below(200)), 2, done);
+  }
+  return {"event_queue/heap", ops, timer.seconds()};
+}
+
+Result bench_memory_sequential(u64 words, u64 passes) {
+  sim::SimMemory mem;
+  const sim::Addr base = mem.alloc(static_cast<i64>(words));
+  Timer timer;
+  for (u64 p = 0; p < passes; ++p) {
+    for (u64 i = 0; i < words; ++i) {
+      mem.write(base + i, static_cast<i64>(i + p));
+    }
+    i64 sum = 0;
+    for (u64 i = 0; i < words; ++i) {
+      sum += mem.read(base + i);
+    }
+    g_sink += static_cast<u64>(sum);
+  }
+  return {"sim_memory/sequential_rw", 2 * words * passes, timer.seconds()};
+}
+
+Result bench_memory_random(u64 words, u64 passes) {
+  sim::SimMemory mem;
+  const sim::Addr base = mem.alloc(static_cast<i64>(words));
+  // A fixed random permutation of the addresses — the paper's "Random"
+  // layout effect, applied to the simulator's own accessor overhead.
+  Prng rng(0xfeed);
+  std::vector<sim::Addr> order(words);
+  for (u64 i = 0; i < words; ++i) order[i] = base + i;
+  rng.shuffle(std::span<sim::Addr>(order));
+  Timer timer;
+  for (u64 p = 0; p < passes; ++p) {
+    for (const sim::Addr a : order) {
+      mem.write(a, static_cast<i64>(a + p));
+    }
+    i64 sum = 0;
+    for (const sim::Addr a : order) {
+      sum += mem.read(a);
+    }
+    g_sink += static_cast<u64>(sum);
+  }
+  return {"sim_memory/random_rw", 2 * words * passes, timer.seconds()};
+}
+
+Result bench_memory_tag_bits(u64 words, u64 passes) {
+  sim::SimMemory mem;
+  const sim::Addr base = mem.alloc(static_cast<i64>(words));
+  Timer timer;
+  for (u64 p = 0; p < passes; ++p) {
+    for (u64 i = 0; i < words; ++i) {
+      mem.set_full(base + i, (i + p) % 2 == 0);
+    }
+    u64 full = 0;
+    for (u64 i = 0; i < words; ++i) {
+      full += mem.full(base + i) ? 1 : 0;
+    }
+    g_sink += full;
+  }
+  return {"sim_memory/tag_bits_rw", 2 * words * passes, timer.seconds()};
+}
+
+}  // namespace
+
+int main() {
+  const bench::Scale scale = bench::scale_from_env();
+  u64 queue_ops = 1u << 22;
+  u64 words = 1u << 18;
+  u64 passes = 16;
+  if (scale == bench::Scale::kQuick) {
+    queue_ops = 1u << 18;
+    words = 1u << 14;
+    passes = 4;
+  } else if (scale == bench::Scale::kFull) {
+    queue_ops = 1u << 24;
+    words = 1u << 20;
+    passes = 32;
+  }
+
+  bench::print_header(
+      "HOST — simulator hot-path microbenchmarks",
+      "host wall-clock throughput of EventQueue and SimMemory (the structures "
+      "every\nsimulated cycle passes through) — not a property of the modeled "
+      "machines");
+
+  std::vector<Result> results;
+  results.push_back(bench_event_queue_same_cycle(queue_ops));
+  results.push_back(bench_event_queue_heap(queue_ops));
+  results.push_back(bench_memory_sequential(words, passes));
+  results.push_back(bench_memory_random(words, passes));
+  results.push_back(bench_memory_tag_bits(words, passes));
+
+  Table table({"benchmark", "ops", "seconds", "Mops/sec"}, 3);
+  bench::BenchJson bj("host_sim");
+  for (const Result& r : results) {
+    table.row()
+        .add(r.name)
+        .add(static_cast<i64>(r.ops))
+        .add(r.seconds)
+        .add(r.ops_per_sec() / 1e6);
+    bj.record([&](obs::JsonWriter& w) {
+      w.field("benchmark", r.name)
+          .field("ops", static_cast<i64>(r.ops))
+          .field("seconds", r.seconds)
+          .field("ops_per_sec", r.ops_per_sec());
+    });
+  }
+  std::cout << table;
+  bench::maybe_write_csv(table, "host_sim");
+  bj.write();
+  return g_sink == 0xdeadbeef ? 1 : 0;  // keep g_sink observable
+}

@@ -54,17 +54,21 @@ int main() {
   Table table({"workload", "p=1", "p=4", "p=8", "paper (p=1/4/8)"});
   bench::BenchJson bj("table1_utilization");
 
-  const sweep::RunOptions options{.trace = true, .verify = true};
+  const sweep::RunOptions options{
+      .trace = true, .verify = true, .jobs = bench::jobs_from_env()};
 
   // One table row per canned spec, one cell per processor count. JSON
   // records carry the workload's printed name plus the per-phase breakdown
-  // the printed table has no room for.
+  // the printed table has no room for; the "host" object aggregates the
+  // wall-clock cost across all three row sweeps.
   auto row = [&](const std::string& spec_text, const std::string& name,
                  i64 n, i64 m, const std::string& paper) {
-    const std::vector<sweep::CellResult> results =
+    const sweep::PlanRun run =
         sweep::run_plan(sweep::expand(spec_text), options);
+    bj.add_host_summary(run.jobs, run.cells.size(), run.host_seconds,
+                        run.inputs_generated);
     table.row().add(name);
-    for (const sweep::CellResult& r : results) {
+    for (const sweep::CellResult& r : run.cells) {
       bj.record([&](obs::JsonWriter& w) {
         w.field("workload", name)
             .field("machine", "mta")

@@ -28,3 +28,26 @@ namespace archgraph::detail {
 #else
 #define AG_DCHECK(expr, ...) AG_CHECK(expr, ##__VA_ARGS__)
 #endif
+
+// AG_ASSUME promises `expr` to the optimizer: release builds hand the
+// condition to the compiler as an optimization fact (no test is required to
+// hold at runtime); debug builds verify it like AG_CHECK. The expression must
+// be side-effect free. Measure before reaching for this — on GCC the
+// assumption is spelled `if (!expr) __builtin_unreachable()`, whose retained
+// comparison can block loop vectorization and cost more than it saves
+// (bench/micro_sim_hotpath showed exactly that for SimMemory's bounds check,
+// which is why the accessors use AG_DCHECK instead).
+#ifdef NDEBUG
+#if defined(__clang__)
+#define AG_ASSUME(expr) __builtin_assume(expr)
+#else
+#define AG_ASSUME(expr)        \
+  do {                         \
+    if (!(expr)) {             \
+      __builtin_unreachable(); \
+    }                          \
+  } while (false)
+#endif
+#else
+#define AG_ASSUME(expr) AG_CHECK((expr), "assumed: " #expr)
+#endif

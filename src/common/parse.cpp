@@ -27,6 +27,16 @@ u64 parse_u64(std::string_view what, std::string_view text) {
   return value;
 }
 
+i64 parse_positive_i64(std::string_view what, std::string_view text) {
+  i64 value = 0;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, value);
+  AG_CHECK(ec == std::errc{} && ptr == last && value > 0,
+           std::string(what) + " wants a positive integer, got '" +
+               std::string(text) + "'");
+  return value;
+}
+
 double parse_f64(std::string_view what, std::string_view text) {
   double value = 0;
   const char* last = text.data() + text.size();

@@ -19,6 +19,11 @@ i64 parse_i64(std::string_view what, std::string_view text);
 /// with "a non-negative integer".
 u64 parse_u64(std::string_view what, std::string_view text);
 
+/// Parses all of `text` as a strictly positive integer — the shared
+/// validation for count-like flags (--procs, --jobs, trials). On failure
+/// throws std::logic_error: "<what> wants a positive integer, got '<text>'".
+i64 parse_positive_i64(std::string_view what, std::string_view text);
+
 /// Parses all of `text` as a floating-point number. On failure throws
 /// std::logic_error: "<what> wants a number, got '<text>'".
 double parse_f64(std::string_view what, std::string_view text);

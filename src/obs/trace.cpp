@@ -12,7 +12,10 @@ namespace archgraph::obs {
 
 namespace {
 
-TraceSession* g_current = nullptr;
+// Thread-local: the parallel sweep executor runs one traced cell per worker
+// thread, each with its own installed session; a per-process pointer would
+// cross-wire their spans.
+thread_local TraceSession* g_current = nullptr;
 
 /// Shared span serialization so the JSONL events and the summary document
 /// carry identical field names (schema stability is test-enforced).

@@ -1,5 +1,7 @@
 #include "rt/thread_pool.hpp"
 
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace archgraph::rt {
@@ -37,20 +39,42 @@ void ThreadPool::run(const std::function<void(usize)>& body) {
   }
 }
 
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    AG_CHECK(!shutdown_, "submit() on a shut-down pool");
+    tasks_.push_back(std::move(packaged));
+  }
+  start_cv_.notify_one();
+  return future;
+}
+
 void ThreadPool::worker_main(usize id) {
   u64 seen_generation = 0;
   while (true) {
     const std::function<void(usize)>* body = nullptr;
+    std::packaged_task<void()> task;
     {
       std::unique_lock lock(mutex_);
       start_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
+        return shutdown_ || !tasks_.empty() || generation_ != seen_generation;
       });
-      if (shutdown_) {
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (shutdown_) {
         return;
+      } else {
+        seen_generation = generation_;
+        body = body_;
       }
-      seen_generation = generation_;
-      body = body_;
+    }
+    if (task.valid()) {
+      // packaged_task routes the task's exception into its future.
+      task();
+      continue;
     }
     std::exception_ptr error;
     try {

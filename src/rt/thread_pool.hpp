@@ -7,7 +7,9 @@
 #pragma once
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -33,6 +35,14 @@ class ThreadPool {
   /// rethrown (the first one) in the caller.
   void run(const std::function<void(usize)>& body);
 
+  /// Enqueues one task for any idle worker and returns immediately. The
+  /// future carries the task's completion; an exception thrown by the task is
+  /// captured and rethrown from future.get() in the caller — it never
+  /// terminates the worker. Queued tasks are drained before the pool shuts
+  /// down, and submit() composes with run(): workers prefer queued tasks,
+  /// then join the next region.
+  std::future<void> submit(std::function<void()> task);
+
  private:
   void worker_main(usize id);
 
@@ -41,6 +51,7 @@ class ThreadPool {
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
   const std::function<void(usize)>* body_ = nullptr;
+  std::deque<std::packaged_task<void()>> tasks_;
   u64 generation_ = 0;
   usize remaining_ = 0;
   bool shutdown_ = false;

@@ -48,6 +48,11 @@ class SimMemory {
   }
 
  private:
+  // Every simulated memory operation lands here, so release builds compile
+  // the accessors branch-free (no bounds test at all — measured: even an
+  // optimizer-assumption form of the check inhibits vectorization of the
+  // word-at-a-time kernels in bench/micro_sim_hotpath); debug builds still
+  // throw on an out-of-range simulated address.
   void bounds_check(Addr a) const {
     AG_DCHECK(a < words_.size(), "simulated address out of range");
     (void)a;

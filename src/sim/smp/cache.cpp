@@ -1,5 +1,7 @@
 #include "sim/smp/cache.hpp"
 
+#include <bit>
+
 #include "common/check.hpp"
 
 namespace archgraph::sim {
@@ -11,40 +13,71 @@ Cache::Cache(u64 size_bytes, u64 line_bytes, u32 ways)
   AG_CHECK(ways >= 1, "need at least one way");
   AG_CHECK(size_bytes % (line_bytes * ways) == 0,
            "cache size must divide into sets");
+  line_shift_ = static_cast<u32>(std::countr_zero(line_bytes));
   sets_ = size_bytes / (line_bytes * ways);
   AG_CHECK(sets_ >= 1, "cache too small for its associativity");
+  set_mask_ = (sets_ & (sets_ - 1)) == 0 ? sets_ - 1 : 0;
   slots_.assign(static_cast<usize>(sets_) * ways_, Way{});
 }
 
 Cache::AccessResult Cache::access(u64 line, bool write) {
-  const usize base = set_base(line);
+  Way* const set = &slots_[set_base(line)];
   ++tick_;
-  usize victim = base;
-  for (usize w = base; w < base + ways_; ++w) {
-    if (slots_[w].line == line) {
-      slots_[w].lru = tick_;
-      slots_[w].dirty = slots_[w].dirty || write;
+
+  // Direct-mapped fast path (the E4500's 16 KB L1): one tag compare, no
+  // victim scan.
+  if (ways_ == 1) {
+    Way& w = *set;
+    if (w.line == line) {
+      w.lru = tick_;
+      w.dirty = w.dirty || write;
       return AccessResult{.hit = true};
     }
-    if (slots_[victim].line != kInvalid &&
-        (slots_[w].line == kInvalid || slots_[w].lru < slots_[victim].lru)) {
-      victim = w;
+    AccessResult result;
+    if (w.line != kInvalid) {
+      result.evicted = true;
+      result.evicted_line = w.line;
+      result.evicted_dirty = w.dirty;
+    }
+    w = Way{.line = line, .lru = tick_, .dirty = write};
+    return result;
+  }
+
+  // Hit scan first — the common case pays no victim bookkeeping.
+  for (u32 i = 0; i < ways_; ++i) {
+    if (set[i].line == line) {
+      set[i].lru = tick_;
+      set[i].dirty = set[i].dirty || write;
+      return AccessResult{.hit = true};
+    }
+  }
+
+  // Miss: victim is the first invalid way, else the LRU-oldest (ties resolve
+  // to the lowest index, matching the original single-pass selection).
+  u32 victim = 0;
+  for (u32 i = 0; i < ways_; ++i) {
+    if (set[i].line == kInvalid) {
+      victim = i;
+      break;
+    }
+    if (set[i].lru < set[victim].lru) {
+      victim = i;
     }
   }
   AccessResult result;
-  if (slots_[victim].line != kInvalid) {
+  if (set[victim].line != kInvalid) {
     result.evicted = true;
-    result.evicted_line = slots_[victim].line;
-    result.evicted_dirty = slots_[victim].dirty;
+    result.evicted_line = set[victim].line;
+    result.evicted_dirty = set[victim].dirty;
   }
-  slots_[victim] = Way{.line = line, .lru = tick_, .dirty = write};
+  set[victim] = Way{.line = line, .lru = tick_, .dirty = write};
   return result;
 }
 
 bool Cache::contains(u64 line) const {
-  const usize base = set_base(line);
-  for (usize w = base; w < base + ways_; ++w) {
-    if (slots_[w].line == line) {
+  const Way* const set = &slots_[set_base(line)];
+  for (u32 i = 0; i < ways_; ++i) {
+    if (set[i].line == line) {
       return true;
     }
   }
@@ -52,11 +85,11 @@ bool Cache::contains(u64 line) const {
 }
 
 bool Cache::invalidate(u64 line) {
-  const usize base = set_base(line);
-  for (usize w = base; w < base + ways_; ++w) {
-    if (slots_[w].line == line) {
-      const bool dirty = slots_[w].dirty;
-      slots_[w] = Way{};
+  Way* const set = &slots_[set_base(line)];
+  for (u32 i = 0; i < ways_; ++i) {
+    if (set[i].line == line) {
+      const bool dirty = set[i].dirty;
+      set[i] = Way{};
       return dirty;
     }
   }

@@ -21,9 +21,10 @@ class Cache {
   u64 line_bytes() const { return line_bytes_; }
   u64 num_sets() const { return sets_; }
 
-  /// Line index of a simulated word address.
+  /// Line index of a simulated word address. Line sizes are validated powers
+  /// of two, so this is a shift, not a multiply/divide.
   u64 line_of(Addr word_addr) const {
-    return word_addr * kWordBytes / line_bytes_;
+    return (word_addr * kWordBytes) >> line_shift_;
   }
 
   struct AccessResult {
@@ -53,12 +54,18 @@ class Cache {
   };
   static constexpr u64 kInvalid = ~u64{0};
 
+  /// Set selection avoids the modulo in the common case: cache geometries
+  /// are nearly always power-of-two set counts, where `line & mask` is exact.
   usize set_base(u64 line) const {
-    return static_cast<usize>(line % sets_) * ways_;
+    const u64 set = set_mask_ != 0 || sets_ == 1 ? line & set_mask_
+                                                 : line % sets_;
+    return static_cast<usize>(set) * ways_;
   }
 
   u64 line_bytes_;
+  u32 line_shift_;   // log2(line_bytes_)
   u64 sets_;
+  u64 set_mask_;     // sets_ - 1 when sets_ is a power of two, else 0
   u32 ways_;
   u64 tick_ = 0;  // global LRU clock
   std::vector<Way> slots_;  // sets_ * ways_, set-major

@@ -232,9 +232,12 @@ Cycle SmpMachine::data_access_cost(Processor& proc, u32 proc_id,
   const bool write = op.kind == OpKind::kStore;
   const u32 my_bit = u32{1} << proc_id;
 
+  // Reads never pay the directory lookup — only a write can need remote
+  // invalidation, and loads dominate the kernels' access mix.
   auto coherence = [&]() -> Cycle {
+    if (!write) return 0;
     const auto it = directory_.find(line);
-    if (write && it != directory_.end() && (it->second & ~my_bit) != 0) {
+    if (it != directory_.end() && (it->second & ~my_bit) != 0) {
       invalidate_remote(line, proc_id);
       return config_.coherence_penalty;
     }

@@ -1,9 +1,17 @@
 #include "sweep/runner.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
+#include "common/timer.hpp"
+#include "rt/thread_pool.hpp"
 #include "sim/machine_spec.hpp"
 
 namespace archgraph::sweep {
@@ -21,6 +29,66 @@ std::string input_key(const KernelInfo& kernel, const SweepCell& cell) {
   key += "/seed=" + std::to_string(resolved_seed(kernel, cell));
   return key;
 }
+
+/// Shared immutable input store for one run_plan() call. Each distinct key is
+/// generated exactly once — the first cell to ask builds it while concurrent
+/// askers wait on the entry's future — and freed when its last cell releases
+/// it, so peak memory is bounded by the inputs in flight, not the plan size.
+class InputCache {
+ public:
+  /// `uses[key]` = number of cells in the plan that will acquire `key`.
+  explicit InputCache(std::unordered_map<std::string, usize> uses)
+      : uses_(std::move(uses)) {}
+
+  u64 generated() const { return generated_.load(); }
+
+  std::shared_ptr<const KernelInput> acquire(const std::string& key,
+                                             const KernelInfo& kernel,
+                                             const SweepCell& cell) {
+    std::shared_future<std::shared_ptr<const KernelInput>> ready;
+    std::promise<std::shared_ptr<const KernelInput>> mine;
+    bool owner = false;
+    {
+      std::lock_guard lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ready = it->second;
+      } else {
+        owner = true;
+        ready = mine.get_future().share();
+        entries_.emplace(key, ready);
+      }
+    }
+    if (!owner) {
+      return ready.get();  // blocks until the owner finishes (or throws)
+    }
+    try {
+      auto input = std::make_shared<const KernelInput>(make_input(kernel, cell));
+      generated_.fetch_add(1);
+      mine.set_value(input);
+      return input;
+    } catch (...) {
+      mine.set_exception(std::current_exception());
+      throw;
+    }
+  }
+
+  void release(const std::string& key) {
+    std::lock_guard lock(mutex_);
+    const auto use = uses_.find(key);
+    if (use == uses_.end() || --use->second > 0) return;
+    uses_.erase(use);
+    entries_.erase(key);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const KernelInput>>>
+      entries_;
+  std::unordered_map<std::string, usize> uses_;
+  std::atomic<u64> generated_{0};
+};
 
 CellResult run_cell_with_input(const SweepCell& cell, const KernelInfo& kernel,
                                const KernelInput& input,
@@ -49,33 +117,90 @@ CellResult run_cell_with_input(const SweepCell& cell, const KernelInfo& kernel,
 
 }  // namespace
 
+usize auto_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<usize>(hw, 1, 64);
+}
+
 CellResult run_cell(const SweepCell& cell, const RunOptions& options) {
   const KernelInfo& kernel = find_kernel(cell.kernel);
   const KernelInput input = make_input(kernel, cell);
   return run_cell_with_input(cell, kernel, input, options);
 }
 
-std::vector<CellResult> run_plan(
+PlanRun run_plan(
     const SweepPlan& plan, const RunOptions& options,
     const std::function<void(const CellResult&, usize index, usize total)>&
         on_cell) {
-  std::vector<CellResult> results;
-  results.reserve(plan.cells.size());
-  std::string cached_key;
-  KernelInput cached_input;
-  for (usize i = 0; i < plan.cells.size(); ++i) {
-    const SweepCell& cell = plan.cells[i];
-    const KernelInfo& kernel = find_kernel(cell.kernel);
-    const std::string key = input_key(kernel, cell);
-    if (key != cached_key) {
-      cached_input = make_input(kernel, cell);
-      cached_key = key;
-    }
-    results.push_back(
-        run_cell_with_input(cell, kernel, cached_input, options));
-    if (on_cell) on_cell(results.back(), i, plan.cells.size());
+  const usize total = plan.cells.size();
+  PlanRun out;
+  out.cells.resize(total);
+
+  // Resolve kernels and input keys up front (also validates every kernel
+  // name before any simulation starts), and count uses per key so the cache
+  // can free an input the moment its last cell completes.
+  std::vector<const KernelInfo*> kernels(total);
+  std::vector<std::string> keys(total);
+  std::unordered_map<std::string, usize> uses;
+  for (usize i = 0; i < total; ++i) {
+    kernels[i] = &find_kernel(plan.cells[i].kernel);
+    keys[i] = input_key(*kernels[i], plan.cells[i]);
+    ++uses[keys[i]];
   }
-  return results;
+
+  usize jobs = options.jobs == 0 ? auto_jobs() : options.jobs;
+  jobs = std::clamp<usize>(jobs, 1, std::max<usize>(total, 1));
+  out.jobs = jobs;
+
+  InputCache cache(std::move(uses));
+
+  // Shared cursor + in-order emission. Workers claim cells from `next`;
+  // finished results park in out.cells until every earlier cell is done,
+  // then the emit lock drains the completed prefix through on_cell — so
+  // callbacks are serialized AND in plan order, making streamed output
+  // byte-identical to a serial run.
+  std::atomic<usize> next{0};
+  std::atomic<bool> abort{false};
+  std::mutex emit_mutex;
+  std::vector<u8> completed(total, 0);
+  usize next_emit = 0;
+
+  const auto worker = [&](usize) {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const usize i = next.fetch_add(1);
+      if (i >= total) return;
+      try {
+        const std::shared_ptr<const KernelInput> input =
+            cache.acquire(keys[i], *kernels[i], plan.cells[i]);
+        Timer timer;
+        CellResult result =
+            run_cell_with_input(plan.cells[i], *kernels[i], *input, options);
+        result.host_seconds = timer.seconds();
+        cache.release(keys[i]);
+        std::lock_guard lock(emit_mutex);
+        out.cells[i] = std::move(result);
+        completed[i] = 1;
+        while (next_emit < total && completed[next_emit] != 0) {
+          if (on_cell) on_cell(out.cells[next_emit], next_emit, total);
+          ++next_emit;
+        }
+      } catch (...) {
+        abort.store(true, std::memory_order_relaxed);
+        throw;
+      }
+    }
+  };
+
+  Timer total_timer;
+  if (jobs == 1) {
+    worker(0);
+  } else {
+    rt::ThreadPool pool(jobs);
+    pool.run(worker);
+  }
+  out.host_seconds = total_timer.seconds();
+  out.inputs_generated = cache.generated();
+  return out;
 }
 
 }  // namespace archgraph::sweep

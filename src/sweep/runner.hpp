@@ -4,6 +4,16 @@
 // obs::TraceSession region/phase spans. The fig/table benches and the
 // archgraph_sweep CLI both run cells through here, so "what the paper's
 // experiment grid measures" has exactly one implementation.
+//
+// Cells are independent deterministic simulations, so the executor fans them
+// out over host threads (RunOptions::jobs) with three guarantees:
+//   * determinism — results and on_cell callbacks are delivered in plan
+//     order, so jobs=N output is byte-identical to jobs=1;
+//   * one input per key — concurrent cells that agree on (kernel-input kind,
+//     layout, n, m, seed) share a single generated input, built exactly once
+//     and dropped as soon as its last cell completes;
+//   * simulated cycles are untouched — parallelism lives entirely on the
+//     host; every cell still simulates its own fresh machine.
 #pragma once
 
 #include <functional>
@@ -23,7 +33,15 @@ struct RunOptions {
   /// Self-check every kernel answer against the native reference. Cheap
   /// relative to simulation; disable only for timing the harness itself.
   bool verify = true;
+  /// Host worker threads executing cells concurrently. 1 = serial on the
+  /// calling thread; 0 = one per hardware thread (auto_jobs()). Simulated
+  /// results are identical for every value — only host wall-clock changes.
+  usize jobs = 1;
 };
+
+/// The jobs value `RunOptions::jobs == 0` resolves to: the host's hardware
+/// concurrency clamped into [1, 64] (hardware_concurrency() may report 0).
+usize auto_jobs();
 
 struct CellResult {
   SweepCell cell;
@@ -31,6 +49,30 @@ struct CellResult {
   i64 iterations = -1;  // Shiloach-Vishkin rounds, -1 elsewhere
   bool verified = false;
   std::vector<obs::SpanRecord> spans;  // populated when RunOptions::trace
+  /// Host wall-clock this cell took (simulation + verify, excluding input
+  /// generation shared with other cells). Non-deterministic by nature, so it
+  /// is never part of the persisted JSONL record.
+  double host_seconds = 0.0;
+};
+
+/// What run_plan() returns: every cell's result in plan order plus the host-
+/// side execution summary (the measurable side of the parallel executor).
+struct PlanRun {
+  std::vector<CellResult> cells;
+  /// Worker threads actually used (after resolving jobs=0 and clamping to
+  /// the plan size).
+  usize jobs = 1;
+  /// Host wall-clock for the whole plan.
+  double host_seconds = 0.0;
+  /// Distinct inputs generated — cache effectiveness; equals the number of
+  /// distinct input keys in the plan regardless of jobs.
+  u64 inputs_generated = 0;
+
+  double cells_per_sec() const {
+    return host_seconds > 0.0
+               ? static_cast<double>(cells.size()) / host_seconds
+               : 0.0;
+  }
 };
 
 /// Runs one cell: fresh sim::make_machine(cell.machine), generated input,
@@ -38,12 +80,15 @@ struct CellResult {
 /// failed self-check.
 CellResult run_cell(const SweepCell& cell, const RunOptions& options = {});
 
-/// Runs every cell of the plan in order. `on_cell`, when given, observes
-/// each finished cell (index is 0-based; total = plan.cells.size()) — the
-/// CLI streams JSONL and progress from it. Consecutive cells that share an
-/// input (the expander keeps the machine axis innermost) reuse one generated
-/// input instead of regenerating it.
-std::vector<CellResult> run_plan(
+/// Runs every cell of the plan, fanning out over options.jobs host threads.
+/// `on_cell`, when given, observes each finished cell (index is 0-based;
+/// total = plan.cells.size()) — the CLI streams JSONL and progress from it.
+/// Callbacks are serialized and arrive in plan order no matter which worker
+/// finished the cell, so streamed output is deterministic; a slow cell delays
+/// the callbacks of later (already finished) cells, never reorders them.
+/// Cells sharing an input key reuse one generated input (see above). An
+/// exception in any cell is rethrown here after in-flight cells drain.
+PlanRun run_plan(
     const SweepPlan& plan, const RunOptions& options = {},
     const std::function<void(const CellResult&, usize index, usize total)>&
         on_cell = {});

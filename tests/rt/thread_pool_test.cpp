@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
+#include <vector>
 
 namespace archgraph::rt {
 namespace {
@@ -57,6 +60,69 @@ TEST(ThreadPool, PropagatesWorkerException) {
   std::atomic<int> ok{0};
   pool.run([&](usize) { ok.fetch_add(1); });
   EXPECT_EQ(ok.load(), 2);
+}
+
+TEST(ThreadPool, SubmitRunsTaskAndFutureCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::future<void> f = pool.submit([&] { ran.fetch_add(1); });
+  f.get();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, SubmitManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { total.fetch_add(1); }));
+  }
+  for (std::future<void>& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, SubmittedTaskExceptionSurfacesToCaller) {
+  // A throwing task must not terminate the worker (or the process): the
+  // exception travels through the future to whoever calls get().
+  ThreadPool pool(2);
+  std::future<void> f =
+      pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool survives: both task and region APIs still work.
+  std::future<void> ok = pool.submit([] {});
+  ok.get();
+  std::atomic<int> calls{0};
+  pool.run([&](usize) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(ThreadPool, SubmitAndRunInterleave) {
+  ThreadPool pool(3);
+  std::atomic<int> task_runs{0};
+  std::atomic<int> region_runs{0};
+  std::vector<std::future<void>> futures;
+  for (int r = 0; r < 5; ++r) {
+    futures.push_back(pool.submit([&] { task_runs.fetch_add(1); }));
+    pool.run([&](usize) { region_runs.fetch_add(1); });
+  }
+  for (std::future<void>& f : futures) {
+    f.get();
+  }
+  EXPECT_EQ(task_runs.load(), 5);
+  EXPECT_EQ(region_runs.load(), 15);
+}
+
+TEST(ThreadPool, PendingTasksDrainBeforeShutdown) {
+  std::atomic<int> ran{0};
+  std::future<void> f;
+  {
+    ThreadPool pool(1);
+    f = pool.submit([&] { ran.fetch_add(1); });
+  }  // destructor joins after draining the queue
+  f.get();
+  EXPECT_EQ(ran.load(), 1);
 }
 
 TEST(ThreadPool, WorkersRunConcurrentlyEnoughToMeet) {

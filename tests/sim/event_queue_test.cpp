@@ -1,0 +1,138 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/prng.hpp"
+
+namespace archgraph::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(30, 1, 0);
+  q.push(10, 2, 0);
+  q.push(20, 3, 0);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().kind, 2u);
+  EXPECT_EQ(q.pop().kind, 3u);
+  EXPECT_EQ(q.pop().kind, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  q.push(5, 10, 0);
+  q.push(5, 11, 0);
+  q.push(5, 12, 0);
+  EXPECT_EQ(q.pop().kind, 10u);
+  // Pushes at the current time (5, just popped) interleave correctly with
+  // the remaining time-5 events: insertion order still wins.
+  q.push(5, 13, 0);
+  EXPECT_EQ(q.pop().kind, 11u);
+  EXPECT_EQ(q.pop().kind, 12u);
+  EXPECT_EQ(q.pop().kind, 13u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameCyclePushDuringDrain) {
+  // The ready/issue/complete chains push at the time of the event being
+  // handled — the fast-path case. Order must stay (time, insertion).
+  EventQueue q;
+  q.push(0, 1, 0);
+  q.push(0, 2, 0);
+  std::vector<u32> kinds;
+  while (!q.empty()) {
+    const Event e = q.pop();
+    kinds.push_back(e.kind);
+    if (e.kind < 3) q.push(e.time, e.kind + 10, 0);
+  }
+  EXPECT_EQ(kinds, (std::vector<u32>{1, 2, 11, 12}));
+}
+
+/// Reference model: a stable-sorted vector popped from the front. Stable
+/// sort on time alone == (time, insertion order), the documented contract.
+class ReferenceQueue {
+ public:
+  void push(Cycle time, u32 kind, u64 payload) {
+    events_.push_back(Event{time, seq_++, kind, payload});
+  }
+  bool empty() const { return events_.empty(); }
+  Event pop() {
+    auto it = std::min_element(events_.begin(), events_.end(),
+                               [](const Event& a, const Event& b) {
+                                 if (a.time != b.time) return a.time < b.time;
+                                 return a.seq < b.seq;
+                               });
+    const Event e = *it;
+    events_.erase(it);
+    return e;
+  }
+
+ private:
+  std::vector<Event> events_;
+  u64 seq_ = 0;
+};
+
+TEST(EventQueue, DifferentialAgainstReferenceModel) {
+  // Random mixed push/pop workload shaped like the simulators': most pushes
+  // land at or near the current time (exercising the same-cycle fast path
+  // and its interaction with same-time heap entries), a few far ahead.
+  Prng rng(0xec1122u);
+  EventQueue q;
+  ReferenceQueue ref;
+  Cycle now = 0;
+  u32 next_kind = 1;
+  for (int step = 0; step < 20000; ++step) {
+    if (!q.empty() && rng.below(100) < 55) {
+      const Event a = q.pop();
+      const Event b = ref.pop();
+      ASSERT_EQ(a.time, b.time) << "step " << step;
+      ASSERT_EQ(a.kind, b.kind) << "step " << step;
+      ASSERT_EQ(a.payload, b.payload) << "step " << step;
+      now = a.time;
+    } else {
+      const u64 roll = rng.below(100);
+      Cycle time = now;
+      if (roll >= 60) time = now + rng.below(5);          // near future
+      if (roll >= 90) time = now + 100 + rng.below(500);  // far future
+      if (roll < 3 && now > 0) time = now - 1;            // past (legal)
+      const u32 kind = next_kind++;
+      q.push(time, kind, kind * 3);
+      ref.push(time, kind, kind * 3);
+    }
+    ASSERT_EQ(q.empty(), ref.empty());
+  }
+  while (!q.empty()) {
+    const Event a = q.pop();
+    const Event b = ref.pop();
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.kind, b.kind);
+  }
+  EXPECT_TRUE(ref.empty());
+}
+
+TEST(EventQueue, SizeTracksFastPathAndHeap) {
+  EventQueue q;
+  q.push(0, 1, 0);  // fast path (now_ starts at 0)
+  q.push(7, 2, 0);  // heap
+  q.push(0, 3, 0);  // fast path
+  EXPECT_EQ(q.size(), 3u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().kind, 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace archgraph::sim

@@ -67,19 +67,25 @@ TEST(RunPlan, RunsEveryCellInOrderAndStreams) {
       expand("kernel=lr_walk machine=mta:procs={1,2} layout=ordered n=256");
   std::vector<std::string> seen;
   usize last_total = 0;
-  const std::vector<CellResult> results = run_plan(
+  const PlanRun run = run_plan(
       plan, {}, [&](const CellResult& r, usize index, usize total) {
         EXPECT_EQ(index, seen.size());
         seen.push_back(r.cell.run_id());
         last_total = total;
       });
-  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(run.cells.size(), 2u);
   EXPECT_EQ(last_total, 2u);
   EXPECT_EQ(seen, std::vector<std::string>({plan.cells[0].run_id(),
                                             plan.cells[1].run_id()}));
   // The shared input (machine axis innermost) must not change the answer:
   // both cells rank the same 256-node list on 1 and 2 processors.
-  EXPECT_GT(results[0].meas.cycles, results[1].meas.cycles);
+  EXPECT_GT(run.cells[0].meas.cycles, run.cells[1].meas.cycles);
+  // Both cells share one generated input, and the host-side accounting
+  // (never part of the persisted records) is populated.
+  EXPECT_EQ(run.inputs_generated, 1u);
+  EXPECT_EQ(run.jobs, 1u);
+  EXPECT_GT(run.host_seconds, 0.0);
+  EXPECT_GT(run.cells_per_sec(), 0.0);
 }
 
 }  // namespace

@@ -72,6 +72,13 @@ struct Options {
     if (it == named.end()) return fallback;
     return parse_i64("--" + key, it->second);
   }
+  /// For count-like flags (--procs): "--procs wants a positive integer,
+  /// got '0'" instead of a thread-pool error from deep inside the run.
+  i64 get_positive_int(const std::string& key, i64 fallback) const {
+    const auto it = named.find(key);
+    if (it == named.end()) return fallback;
+    return parse_positive_i64("--" + key, it->second);
+  }
 };
 
 Options parse(int argc, char** argv) {
@@ -164,7 +171,7 @@ int run_cc(const Options& opts) {
   const graph::EdgeList g = load_graph(opts, nullptr);
   const std::string algorithm = opts.get("algorithm", "sv");
   const std::string machine = opts.get("machine", "native");
-  const auto procs = static_cast<u32>(opts.get_int("procs", 4));
+  const auto procs = static_cast<u32>(opts.get_positive_int("procs", 4));
   const bool simulated = machine != "native";
   check_observability_flags(opts, simulated);
   const bool json = opts.has("json");
@@ -228,7 +235,7 @@ int run_rank(const Options& opts) {
           : graph::random_list(n, static_cast<u64>(opts.get_int("seed", 1)));
   const std::string algorithm = opts.get("algorithm", "hj");
   const std::string machine = opts.get("machine", "native");
-  const auto procs = static_cast<u32>(opts.get_int("procs", 4));
+  const auto procs = static_cast<u32>(opts.get_positive_int("procs", 4));
   const bool simulated = machine != "native";
   check_observability_flags(opts, simulated);
   const bool json = opts.has("json");
@@ -294,7 +301,7 @@ int run_msf(const Options& opts) {
   std::cout << "minimum spanning forest: n=" << g.num_vertices()
             << " m=" << g.num_edges() << " algorithm=" << algorithm << '\n';
 
-  rt::ThreadPool pool(static_cast<usize>(opts.get_int("procs", 4)));
+  rt::ThreadPool pool(static_cast<usize>(opts.get_positive_int("procs", 4)));
   Timer timer;
   core::MsfResult result;
   if (algorithm == "kruskal") {

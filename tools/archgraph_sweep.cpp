@@ -3,7 +3,8 @@
 // gate the results against a committed baseline.
 //
 // Usage:
-//   archgraph_sweep run SPEC... [--out FILE] [--dry-run] [--no-verify]
+//   archgraph_sweep run SPEC... [--out FILE] [--jobs N] [--dry-run]
+//                               [--no-verify]
 //   archgraph_sweep check RESULTS --against BASELINE [--tol T]
 //   archgraph_sweep --list
 //
@@ -14,10 +15,12 @@
 // Several SPECs concatenate into one plan (duplicate cells are rejected).
 //
 // `run` writes one JSON object per cell (JSONL, schema_version-stamped) to
-// --out, or stdout with the progress report on stderr. `check` re-loads two
-// such files, matches cells by run ID, and fails (exit 1) when any gated
-// metric leaves the ±tol band or a cell is missing on either side — the
-// regression gate ci_smoke.sh runs on every commit.
+// --out, or stdout with the progress report on stderr. Cells fan out over
+// --jobs N host threads (default: one per hardware thread); records are
+// always emitted in plan order, so the JSONL is byte-identical for every N.
+// `check` re-loads two such files, matches cells by run ID, and fails
+// (exit 1) when any gated metric leaves the ±tol band or a cell is missing
+// on either side — the regression gate ci_smoke.sh runs on every commit.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -61,6 +64,11 @@ int run_list() {
   }
   std::cout << "\nmachine presets: mta, smp "
                "(overrides: preset:key=value,..., braces expand)\n";
+  std::cout << "\nrun executes cells on --jobs N host threads (default here: "
+            << sweep::auto_jobs()
+            << " = hardware concurrency);\noutput is byte-identical for "
+               "every N — simulated cycles never depend on host "
+               "parallelism.\n";
   return 0;
 }
 
@@ -80,10 +88,15 @@ int run_run(const std::vector<std::string>& args) {
   std::string out_path;
   bool dry_run = false;
   sweep::RunOptions options;
+  options.jobs = 0;  // auto: one worker per hardware thread
   for (usize i = 0; i < args.size(); ++i) {
     if (args[i] == "--out") {
       AG_CHECK(i + 1 < args.size(), "--out needs a file path");
       out_path = args[++i];
+    } else if (args[i] == "--jobs") {
+      AG_CHECK(i + 1 < args.size(), "--jobs needs a worker count");
+      options.jobs =
+          static_cast<usize>(parse_positive_i64("--jobs", args[++i]));
     } else if (args[i] == "--dry-run") {
       dry_run = true;
     } else if (args[i] == "--no-verify") {
@@ -91,7 +104,7 @@ int run_run(const std::vector<std::string>& args) {
     } else {
       AG_CHECK(args[i].rfind("--", 0) != 0,
                "unknown run flag '" + args[i] +
-                   "' (valid: --out FILE, --dry-run, --no-verify)");
+                   "' (valid: --out FILE, --jobs N, --dry-run, --no-verify)");
       const std::vector<std::string> resolved = resolve_spec(args[i]);
       spec_texts.insert(spec_texts.end(), resolved.begin(), resolved.end());
     }
@@ -115,22 +128,28 @@ int run_run(const std::vector<std::string>& args) {
   std::ostream& out = out_path.empty() ? std::cout : file;
 
   // Stream each cell's record as it finishes — a killed sweep still leaves
-  // the completed prefix on disk.
-  sweep::run_plan(plan, options,
-                  [&](const sweep::CellResult& r, usize index, usize total) {
-                    out << sweep::record_json(sweep::to_record(r)) << '\n';
-                    std::cerr << "[" << index + 1 << "/" << total << "] "
-                              << r.cell.run_id() << "  cycles="
-                              << r.meas.cycles << " util="
-                              << r.meas.utilization << '\n';
-                  });
+  // the completed prefix on disk. Emission is in plan order even under
+  // --jobs N, so this output is byte-identical for every N.
+  const sweep::PlanRun run = sweep::run_plan(
+      plan, options,
+      [&](const sweep::CellResult& r, usize index, usize total) {
+        out << sweep::record_json(sweep::to_record(r)) << '\n';
+        std::cerr << "[" << index + 1 << "/" << total << "] "
+                  << r.cell.run_id() << "  cycles=" << r.meas.cycles
+                  << " util=" << r.meas.utilization << '\n';
+      });
   out.flush();
   AG_CHECK(out.good(), "short write" +
                            (out_path.empty() ? std::string{}
                                              : " to " + out_path));
+  std::cerr << run.cells.size() << " cells in " << run.host_seconds
+            << "s host (" << run.cells_per_sec() << " cells/sec, jobs="
+            << run.jobs << ", " << run.inputs_generated
+            << " inputs generated)";
   if (!out_path.empty()) {
-    std::cerr << plan.cells.size() << " cells -> " << out_path << '\n';
+    std::cerr << " -> " << out_path;
   }
+  std::cerr << '\n';
   return 0;
 }
 

@@ -76,10 +76,19 @@ if "$BUILD_DIR"/tools/archgraph_cli rank --machine mta:bogus=1 \
 fi
 echo "ok: malformed spec rejected"
 
-echo "== sweep regression gate (ci grid vs committed baseline) =="
+echo "== sweep determinism (--jobs must not change the output) =="
 "$BUILD_DIR"/tools/archgraph_sweep --list >/dev/null
-"$BUILD_DIR"/tools/archgraph_sweep run ci --out "$OUT_DIR/ci.jsonl" \
-    2>/dev/null
+"$BUILD_DIR"/tools/archgraph_sweep run ci --jobs 1 \
+    --out "$OUT_DIR/ci_serial.jsonl" 2>/dev/null
+"$BUILD_DIR"/tools/archgraph_sweep run ci --jobs 4 \
+    --out "$OUT_DIR/ci.jsonl" 2>/dev/null
+cmp "$OUT_DIR/ci_serial.jsonl" "$OUT_DIR/ci.jsonl" || {
+  echo "error: --jobs 4 output differs from --jobs 1" >&2
+  exit 1
+}
+echo "ok: ci sweep JSONL byte-identical for --jobs 1 and --jobs 4"
+
+echo "== sweep regression gate (parallel ci grid vs committed baseline) =="
 "$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/ci.jsonl" \
     --against baselines/ci_quick.jsonl
 echo "ok: ci sweep matches baselines/ci_quick.jsonl"
