@@ -61,6 +61,16 @@ inline usize jobs_from_env() {
   return static_cast<usize>(parse_positive_i64("ARCHGRAPH_BENCH_JOBS", env));
 }
 
+/// ARCHGRAPH_BENCH_PROFILE=1 attaches the interval profiler to every sweep
+/// cell a bench runs (RunOptions::profile); each bench record then carries a
+/// "profile" object with the counter-series summary and per-data-structure
+/// memory attribution. Off by default — profiling is read-only but the
+/// documents grow.
+inline bool profile_from_env() {
+  const char* env = std::getenv("ARCHGRAPH_BENCH_PROFILE");
+  return env != nullptr && *env != '\0' && std::string{env} != "0";
+}
+
 // ------------------------------------------------------ canned sweep specs
 // The paper's experiment grids as sweep-spec strings (src/sweep/spec.hpp
 // grammar). These are the single definition of each grid: the fig/table
@@ -343,6 +353,16 @@ inline void add_phase_breakdown(obs::JsonWriter& w,
 inline void add_phase_breakdown(obs::JsonWriter& w,
                                 const obs::TraceSession& session) {
   add_phase_breakdown(w, session.spans());
+}
+
+/// Appends "profile": {...} to an open record object when the cell carried a
+/// compact profile (sweep::CellResult::profile_json, non-empty only under
+/// RunOptions::profile). No-op otherwise, so records keep a stable schema
+/// with profiling off.
+inline void add_profile(obs::JsonWriter& w, const std::string& profile_json) {
+  if (!profile_json.empty()) {
+    w.key("profile").raw(profile_json);
+  }
 }
 
 inline void print_header(const std::string& title, const std::string& what) {

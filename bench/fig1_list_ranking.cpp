@@ -34,6 +34,7 @@ void record_run(bench::BenchJson* bj, const sweep::CellResult& r,
         .field("instructions", r.meas.stats.instructions)
         .field("utilization", r.meas.utilization);
     bench::add_phase_breakdown(w, r.spans);
+    bench::add_profile(w, r.profile_json);
   });
 }
 
@@ -56,8 +57,10 @@ int main() {
       "scaled down\nand times come from the architecture simulators "
       "(shape/ratio comparison, not absolute)");
 
-  const sweep::RunOptions options{
-      .trace = true, .verify = true, .jobs = bench::jobs_from_env()};
+  sweep::RunOptions options;
+  options.trace = true;
+  options.jobs = bench::jobs_from_env();
+  options.profile = bench::profile_from_env();
   std::map<std::string, const sweep::CellResult*> by_id;
   const sweep::PlanRun run = sweep::run_plan(sweep::expand_all(specs), options);
   for (const sweep::CellResult& r : run.cells) {

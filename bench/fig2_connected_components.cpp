@@ -34,6 +34,7 @@ void record_run(bench::BenchJson* bj, const sweep::CellResult& r,
         .field("instructions", r.meas.stats.instructions)
         .field("utilization", r.meas.utilization);
     bench::add_phase_breakdown(w, r.spans);
+    bench::add_profile(w, r.profile_json);
   });
 }
 
@@ -55,8 +56,10 @@ int main() {
       "paper: Fig. 2, random graph n = 1M vertices, m = 4M..20M edges; here "
       "n = " + std::to_string(n) + " (scaled), m = 4n..20n");
 
-  const sweep::RunOptions options{
-      .trace = true, .verify = true, .jobs = bench::jobs_from_env()};
+  sweep::RunOptions options;
+  options.trace = true;
+  options.jobs = bench::jobs_from_env();
+  options.profile = bench::profile_from_env();
   std::map<std::string, const sweep::CellResult*> by_id;
   const sweep::PlanRun run = sweep::run_plan(sweep::expand_all(specs), options);
   for (const sweep::CellResult& r : run.cells) {

@@ -54,8 +54,10 @@ int main() {
   Table table({"workload", "p=1", "p=4", "p=8", "paper (p=1/4/8)"});
   bench::BenchJson bj("table1_utilization");
 
-  const sweep::RunOptions options{
-      .trace = true, .verify = true, .jobs = bench::jobs_from_env()};
+  sweep::RunOptions options;
+  options.trace = true;
+  options.jobs = bench::jobs_from_env();
+  options.profile = bench::profile_from_env();
 
   // One table row per canned spec, one cell per processor count. JSON
   // records carry the workload's printed name plus the per-phase breakdown
@@ -80,6 +82,7 @@ int main() {
             .field("instructions", r.meas.stats.instructions)
             .field("utilization", r.meas.utilization);
         bench::add_phase_breakdown(w, r.spans);
+        bench::add_profile(w, r.profile_json);
       });
       table.add(percent(r.meas.utilization));
     }

@@ -12,6 +12,7 @@
 #include "core/concomp/concomp.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/kernels/sim_par.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace archgraph::core {
@@ -142,6 +143,8 @@ std::vector<i64> sim_rank_list_sequential(sim::Machine& machine,
   SimArray<i64> lst(mem, n);
   lst.assign(list.next);
   SimArray<i64> rank(mem, n);
+  obs::prof::label_range("succ", lst);
+  obs::prof::label_range("rank", rank);
   obs::label_next_region("lr.seq-chase");
   machine.spawn(seq_rank_kernel, i64{0}, i64{1}, lst, rank,
                 static_cast<i64>(list.head));
@@ -162,6 +165,12 @@ std::vector<i64> sim_rank_list_wyllie(sim::Machine& machine,
   SimArray<i64> next_a(mem, n);
   SimArray<i64> dist_b(mem, n);
   SimArray<i64> next_b(mem, n);
+  obs::prof::label_range("succ", lst);
+  obs::prof::label_range("rank", rank);
+  obs::prof::label_range("wyllie.dist_a", dist_a);
+  obs::prof::label_range("wyllie.next_a", next_a);
+  obs::prof::label_range("wyllie.dist_b", dist_b);
+  obs::prof::label_range("wyllie.next_b", next_b);
 
   const i64 workers = simk::auto_workers(machine, n, params.workers);
   obs::label_next_region("wyllie.init");
@@ -201,6 +210,9 @@ std::vector<NodeId> sim_cc_union_find_sequential(
     ev.set(i, graph.edge(i).v);
   }
   SimArray<i64> parent(mem, n);
+  obs::prof::label_range("edges.u", eu);
+  obs::prof::label_range("edges.v", ev);
+  obs::prof::label_range("parent", parent);
   obs::label_next_region("cc.seq-union-find");
   machine.spawn(seq_uf_kernel, i64{0}, i64{1}, eu, ev, parent, m);
   machine.run_region();

@@ -18,6 +18,7 @@
 #include "core/concomp/concomp.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/kernels/sim_par.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace archgraph::core {
@@ -110,6 +111,11 @@ SimCcResult sim_cc_sv_mta(sim::Machine& machine, const graph::EdgeList& graph,
   SimArray<i64> d(mem, n);
   SimArray<i64> counter(mem, 1);
   SimArray<i64> graft(mem, 1);
+  obs::prof::label_range("edges.u", eu);
+  obs::prof::label_range("edges.v", ev);
+  obs::prof::label_range("D", d);
+  obs::prof::label_range("counter", counter);
+  obs::prof::label_range("graft", graft);
 
   obs::label_next_region("cc.init");
   simk::spawn_workers(machine, simk::auto_workers(machine, n, params.workers),

@@ -17,6 +17,7 @@
 #include "core/concomp/concomp.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/kernels/sim_par.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace archgraph::core {
@@ -147,6 +148,12 @@ SimCcResult sim_cc_sv_smp(sim::Machine& machine, const graph::EdgeList& graph,
   SimArray<i64> cont(mem, 1);
   SimArray<i64> iters(mem, 1);
   iters.set(0, 0);
+  obs::prof::label_range("edges.u", eu);
+  obs::prof::label_range("edges.v", ev);
+  obs::prof::label_range("D", d);
+  obs::prof::label_range("flags", flags);
+  obs::prof::label_range("cont", cont);
+  obs::prof::label_range("iters", iters);
 
   const i64 max_iters =
       2 * static_cast<i64>(std::bit_width(static_cast<u64>(n))) + 8;

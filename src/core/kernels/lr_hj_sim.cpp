@@ -23,6 +23,7 @@
 #include "common/prng.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/kernels/sim_par.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace archgraph::core {
@@ -180,6 +181,18 @@ std::vector<i64> sim_rank_list_hj(sim::Machine& machine,
   SimArray<i64> succs(mem, s);
   SimArray<i64> offsets(mem, s);
   SimArray<i64> partial(mem, threads);
+
+  // Attribution labels: "succ" is the pointer-chased successor array whose
+  // miss rate separates ordered from random layouts (Fig. 1's gap).
+  obs::prof::label_range("succ", lst);
+  obs::prof::label_range("sub_of", sub_of);
+  obs::prof::label_range("local", local);
+  obs::prof::label_range("rank", rank);
+  obs::prof::label_range("sublist.heads", heads);
+  obs::prof::label_range("sublist.lens", lens);
+  obs::prof::label_range("sublist.succs", succs);
+  obs::prof::label_range("sublist.offsets", offsets);
+  obs::prof::label_range("partial", partial);
 
   // One region, four barriers: the span between consecutive barrier releases
   // is exactly one of the paper's five steps.

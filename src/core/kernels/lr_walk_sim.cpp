@@ -29,6 +29,7 @@
 #include "common/check.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/kernels/sim_par.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace archgraph::core {
@@ -171,6 +172,11 @@ std::vector<i64> sim_rank_list_walk(sim::Machine& machine,
   SimArray<i64> rank(mem, n);
   SimArray<i64> acc(mem, 1);
   acc.set(0, 0);
+  // "succ" = the pointer-chased successor array; "acc" is the fetch-add
+  // hotspot word (one bank — its heat column shows the serialization).
+  obs::prof::label_range("succ", lst);
+  obs::prof::label_range("rank", rank);
+  obs::prof::label_range("acc", acc);
 
   // Phase A: find the head the paper's way (parallel index sum).
   obs::label_next_region("lr.head-sum");
@@ -222,6 +228,13 @@ std::vector<i64> sim_rank_list_walk(sim::Machine& machine,
   SimArray<i64> dist_b(mem, w_count);
   SimArray<i64> succ_b(mem, w_count);
   SimArray<i64> counter(mem, 1);
+  obs::prof::label_range("walk.heads", heads);
+  obs::prof::label_range("walk.len", len);
+  obs::prof::label_range("walk.succ_a", succ_a);
+  obs::prof::label_range("walk.tail", tail);
+  obs::prof::label_range("walk.dist_b", dist_b);
+  obs::prof::label_range("walk.succ_b", succ_b);
+  obs::prof::label_range("walk.counter", counter);
 
   // Phase B: rank[i] = -1 (marker value).
   obs::label_next_region("lr.rank-init");

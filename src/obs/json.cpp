@@ -693,7 +693,9 @@ class Parser {
       pos_ = start;
       return fail("bad number");
     }
-    if (integral) {
+    // "-0" stays on the double path: only a negative-zero double prints
+    // that way, and the i64 twin would erase its sign bit.
+    if (integral && !(token == "-0")) {
       i64 v = 0;
       const auto [iptr, iec] =
           std::from_chars(token.data(), token.data() + token.size(), v);

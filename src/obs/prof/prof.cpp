@@ -1,0 +1,484 @@
+#include "obs/prof/prof.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace archgraph::obs::prof {
+
+namespace {
+
+// Thread-local for the same reason as TraceSession's: the parallel sweep
+// executor profiles one cell per worker thread.
+thread_local ProfSession* g_current = nullptr;
+
+/// The MachineStats counters sampled into the timeline, in series order.
+/// All cumulative; series that stay zero (e.g. cache counters on the MTA)
+/// are dropped at export.
+constexpr const char* kStatsSeries[] = {
+    "instructions", "memory_ops", "loads",      "stores",
+    "fetch_adds",   "sync_ops",   "sync_retries", "l1_hits",
+    "l2_hits",      "mem_fills",  "writebacks", "bus_busy",
+};
+constexpr usize kStatsSeriesCount = std::size(kStatsSeries);
+
+void read_stats_values(const sim::MachineStats& s, i64* out) {
+  usize i = 0;
+  out[i++] = s.instructions;
+  out[i++] = s.memory_ops;
+  out[i++] = s.loads;
+  out[i++] = s.stores;
+  out[i++] = s.fetch_adds;
+  out[i++] = s.sync_ops;
+  out[i++] = s.sync_retries;
+  out[i++] = s.l1_hits;
+  out[i++] = s.l2_hits;
+  out[i++] = s.mem_fills;
+  out[i++] = s.writebacks;
+  out[i] = s.bus_busy;
+}
+
+/// Per-interval deltas of a cumulative series, clamped at counter restarts
+/// (the MTA resets its per-processor gauges each region, so a drop means
+/// "restarted from zero", not "went negative"). deltas[0] is 0: the first
+/// sample has no predecessor.
+std::vector<i64> cumulative_deltas(const std::vector<i64>& values) {
+  std::vector<i64> deltas(values.size(), 0);
+  for (usize i = 1; i < values.size(); ++i) {
+    const i64 d = values[i] - values[i - 1];
+    deltas[i] = d >= 0 ? d : values[i];
+  }
+  return deltas;
+}
+
+bool all_zero(const std::vector<i64>& values) {
+  return std::all_of(values.begin(), values.end(),
+                     [](i64 v) { return v == 0; });
+}
+
+bool write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "prof: cannot open " << path << " for " << what << ": "
+              << std::strerror(errno) << '\n';
+    return false;
+  }
+  out << text;
+  out.flush();
+  if (!out) {
+    std::cerr << "prof: short write to " << path << ": "
+              << std::strerror(errno) << '\n';
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ProfSession::ProfSession(sim::Cycle interval, usize capacity)
+    : interval_(std::max<sim::Cycle>(interval, 1)),
+      capacity_(std::max<usize>(capacity, 16)) {
+  unlabeled_.name = "(unlabeled)";
+}
+
+ProfSession::~ProfSession() { detach(); }
+
+void ProfSession::attach(sim::Machine& machine, std::string machine_name) {
+  detach();
+  machine_ = &machine;
+  machine_name_ = std::move(machine_name);
+  processors_ = machine.processors();
+  clock_hz_ = machine.clock_hz();
+  machine.set_prof_hook(this);
+
+  series_.clear();
+  series_.reserve(kStatsSeriesCount);
+  for (const char* name : kStatsSeries) {
+    series_.push_back(SeriesProfile{name, /*cumulative=*/true, {}});
+  }
+  stats_series_ = kStatsSeriesCount;
+  for (const sim::ProfGaugeInfo& g : machine.prof_gauge_info()) {
+    series_.push_back(SeriesProfile{g.name, g.cumulative, {}});
+  }
+  gauge_buf_.assign(series_.size() - stats_series_, 0);
+  times_.clear();
+  next_sample_ = machine.cycles() + interval_;
+}
+
+void ProfSession::detach() {
+  if (machine_ != nullptr) {
+    if (machine_->prof_hook() == this) {
+      machine_->set_prof_hook(nullptr);
+    }
+    machine_ = nullptr;
+  }
+}
+
+void ProfSession::label_range(std::string name, sim::Addr base, i64 words) {
+  AG_CHECK(words >= 0, "prof::label_range with negative size");
+  const auto it = std::lower_bound(
+      ranges_.begin(), ranges_.end(), base,
+      [](const Range& r, sim::Addr b) { return r.base < b; });
+  if (it != ranges_.end() && it->base == base && it->words == words) {
+    // Relabel in place (an input builder run twice against one session).
+    it->name = name;
+    it->stats.name = std::move(name);
+    return;
+  }
+  Range range;
+  range.base = base;
+  range.words = words;
+  range.name = name;
+  range.stats.name = std::move(name);
+  range.stats.base = base;
+  range.stats.words = words;
+  range.stats.heat.assign(static_cast<usize>(kHeatBuckets), 0);
+  ranges_.insert(it, std::move(range));
+  last_range_ = 0;
+}
+
+ProfSession::Range* ProfSession::resolve(sim::Addr addr) {
+  // Kernels sweep arrays, so the previously hit range usually matches.
+  if (last_range_ < ranges_.size()) {
+    Range& r = ranges_[last_range_];
+    if (addr >= r.base && addr - r.base < static_cast<sim::Addr>(r.words)) {
+      return &r;
+    }
+  }
+  const auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), addr,
+      [](sim::Addr a, const Range& r) { return a < r.base; });
+  if (it == ranges_.begin()) {
+    return nullptr;
+  }
+  Range& r = *std::prev(it);
+  if (addr - r.base < static_cast<sim::Addr>(r.words)) {
+    last_range_ = static_cast<usize>(&r - ranges_.data());
+    return &r;
+  }
+  return nullptr;
+}
+
+void ProfSession::on_access(sim::Addr addr, sim::AccessClass cls, bool write) {
+  Range* range = resolve(addr);
+  RangeProfile& p = range != nullptr ? range->stats : unlabeled_;
+  if (write) {
+    ++p.writes;
+  } else {
+    ++p.reads;
+  }
+  switch (cls) {
+    case sim::AccessClass::kMemRef:
+      ++p.mem_refs;
+      break;
+    case sim::AccessClass::kRmw:
+      ++p.rmws;
+      break;
+    case sim::AccessClass::kL1Hit:
+      ++p.l1_hits;
+      break;
+    case sim::AccessClass::kL2Hit:
+      ++p.l2_hits;
+      break;
+    case sim::AccessClass::kMemFill:
+      ++p.mem_fills;
+      break;
+  }
+  if (range != nullptr && range->words > 0) {
+    const auto offset = static_cast<i64>(addr - range->base);
+    const usize bucket =
+        static_cast<usize>(offset * kHeatBuckets / range->words);
+    ++p.heat[bucket];
+  }
+}
+
+void ProfSession::take_sample(const sim::Machine& machine, sim::Cycle at) {
+  if (!times_.empty() && at <= times_.back()) {
+    return;  // keep the timeline strictly increasing
+  }
+  times_.push_back(at);
+  i64 stats_buf[kStatsSeriesCount];
+  read_stats_values(machine.stats(), stats_buf);
+  for (usize i = 0; i < stats_series_; ++i) {
+    series_[i].values.push_back(stats_buf[i]);
+  }
+  if (!gauge_buf_.empty()) {
+    machine.sample_prof_gauges(gauge_buf_.data());
+    for (usize i = 0; i < gauge_buf_.size(); ++i) {
+      series_[stats_series_ + i].values.push_back(gauge_buf_[i]);
+    }
+  }
+  if (times_.size() >= capacity_) {
+    compact();
+  }
+}
+
+void ProfSession::compact() {
+  // Keep every other sample and double the interval: raw cumulative values
+  // need no merging (dropping a point only widens the delta), instantaneous
+  // gauges just lose resolution.
+  const auto keep_evens = [](auto& v) {
+    usize out = 0;
+    for (usize i = 0; i < v.size(); i += 2) {
+      v[out++] = v[i];
+    }
+    v.resize(out);
+  };
+  keep_evens(times_);
+  for (SeriesProfile& s : series_) {
+    keep_evens(s.values);
+  }
+  interval_ *= 2;
+}
+
+void ProfSession::on_prof_region_begin(const sim::Machine& machine) {
+  region_base_ = machine.cycles();
+  in_region_ = true;
+  take_sample(machine, region_base_);
+}
+
+void ProfSession::on_advance(const sim::Machine& machine,
+                             sim::Cycle region_cycle) {
+  const sim::Cycle abs = region_base_ + region_cycle;
+  while (abs >= next_sample_) {
+    take_sample(machine, next_sample_);
+    next_sample_ += interval_;
+  }
+}
+
+void ProfSession::on_prof_region_end(const sim::Machine& machine) {
+  // stats().cycles now includes the region: anchor the timeline at its end.
+  take_sample(machine, machine.cycles());
+  in_region_ = false;
+  next_sample_ = std::max(next_sample_, machine.cycles() + interval_);
+}
+
+std::vector<RangeProfile> ProfSession::range_profiles() const {
+  std::vector<RangeProfile> out;
+  out.reserve(ranges_.size() + 1);
+  for (const Range& r : ranges_) {
+    out.push_back(r.stats);
+  }
+  if (unlabeled_.accesses() > 0) {
+    out.push_back(unlabeled_);
+  }
+  return out;
+}
+
+std::string ProfSession::profile_json() const {
+  JsonWriter w;
+  w.begin_object()
+      .field("interval", interval_)
+      .field("samples", static_cast<i64>(times_.size()))
+      .field("machine", machine_name_)
+      .field("processors", processors_)
+      .field("clock_hz", clock_hz_);
+  w.key("series").begin_array();
+  for (const SeriesProfile& s : series_) {
+    if (all_zero(s.values)) {
+      continue;
+    }
+    // Stats over what the counter track plots: per-interval deltas for
+    // cumulative series, raw levels for gauges.
+    const std::vector<i64> plotted =
+        s.cumulative ? cumulative_deltas(s.values) : s.values;
+    i64 lo = 0;
+    i64 hi = 0;
+    i64 sum = 0;
+    const usize first = s.cumulative ? 1 : 0;  // deltas[0] is synthetic
+    for (usize i = first; i < plotted.size(); ++i) {
+      const i64 v = plotted[i];
+      if (i == first || v < lo) lo = v;
+      if (i == first || v > hi) hi = v;
+      sum += v;
+    }
+    const usize count = plotted.size() > first ? plotted.size() - first : 0;
+    w.begin_object()
+        .field("name", s.name)
+        .field("cumulative", s.cumulative)
+        .field("min", lo)
+        .field("max", hi)
+        .field("mean",
+               count > 0 ? static_cast<double>(sum) / count : 0.0);
+    if (s.cumulative) {
+      w.field("total", sum);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("regions").begin_array();
+  for (const RangeProfile& r : range_profiles()) {
+    w.begin_object()
+        .field("name", r.name)
+        .field("base", static_cast<i64>(r.base))
+        .field("words", r.words)
+        .field("reads", r.reads)
+        .field("writes", r.writes)
+        .field("accesses", r.accesses())
+        .field("l1_hits", r.l1_hits)
+        .field("l2_hits", r.l2_hits)
+        .field("mem_fills", r.mem_fills)
+        .field("mem_refs", r.mem_refs)
+        .field("rmws", r.rmws);
+    const double miss = r.miss_rate();
+    if (miss >= 0.0) {
+      w.field("miss_rate", miss);
+    } else {
+      w.key("miss_rate").null();
+    }
+    w.key("heat").begin_array();
+    for (const i64 h : r.heat) {
+      w.value(h);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string ProfSession::chrome_trace_json(const TraceSession* trace) const {
+  const double us_per_cycle = clock_hz_ > 0 ? 1e6 / clock_hz_ : 0.0;
+  const auto us = [&](sim::Cycle c) {
+    return static_cast<double>(c) * us_per_cycle;
+  };
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  // Metadata: one process for the simulated machine, thread 0 for spans.
+  w.begin_object()
+      .field("name", "process_name")
+      .field("ph", "M")
+      .field("pid", 0)
+      .field("tid", 0);
+  w.key("args").begin_object();
+  w.field("name", "archgraph " + machine_name_);
+  w.end_object();
+  w.end_object();
+  w.begin_object()
+      .field("name", "thread_name")
+      .field("ph", "M")
+      .field("pid", 0)
+      .field("tid", 0);
+  w.key("args").begin_object();
+  w.field("name", "phases");
+  w.end_object();
+  w.end_object();
+
+  // Phase/region/host spans from the trace session as complete ("X") events.
+  if (trace != nullptr) {
+    for (const SpanRecord& s : trace->spans()) {
+      if (s.open) {
+        continue;
+      }
+      w.begin_object()
+          .field("name", s.name)
+          .field("cat", s.kind)
+          .field("ph", "X")
+          .field("pid", 0)
+          .field("tid", 0)
+          .field("ts", us(s.begin_cycle))
+          .field("dur", us(s.delta.cycles));
+      w.key("args").begin_object();
+      w.field("cycles", s.delta.cycles)
+          .field("instructions", s.delta.instructions)
+          .field("mem_fills", s.delta.mem_fills)
+          .field("utilization", s.utilization());
+      w.end_object();
+      w.end_object();
+    }
+  }
+
+  // Counter tracks. Cumulative series plot per-interval deltas (the rate
+  // shape), gauges plot levels; a derived utilization track plots issued
+  // slots per processor-cycle over each interval — Table 1's statistic as a
+  // time series.
+  const auto counter = [&](const std::string& name, sim::Cycle at, double v) {
+    w.begin_object()
+        .field("name", name)
+        .field("ph", "C")
+        .field("pid", 0)
+        .field("ts", us(at));
+    w.key("args").begin_object();
+    w.field("value", v);
+    w.end_object();
+    w.end_object();
+  };
+  for (const SeriesProfile& s : series_) {
+    if (all_zero(s.values)) {
+      continue;
+    }
+    const std::vector<i64> plotted =
+        s.cumulative ? cumulative_deltas(s.values) : s.values;
+    for (usize i = s.cumulative ? 1 : 0; i < plotted.size(); ++i) {
+      counter(s.name, times_[i], static_cast<double>(plotted[i]));
+    }
+  }
+  if (!series_.empty() && processors_ > 0) {
+    const std::vector<i64> instr = cumulative_deltas(series_[0].values);
+    for (usize i = 1; i < instr.size(); ++i) {
+      const sim::Cycle dt = times_[i] - times_[i - 1];
+      if (dt <= 0) {
+        continue;
+      }
+      counter("utilization", times_[i],
+              static_cast<double>(instr[i]) /
+                  (static_cast<double>(dt) * processors_));
+    }
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.key("archgraph_profile").raw(profile_json());
+  w.end_object();
+  return w.str();
+}
+
+bool ProfSession::write_chrome_trace(const std::string& path,
+                                     const TraceSession* trace) const {
+  return write_text_file(path, chrome_trace_json(trace), "the Chrome trace");
+}
+
+ProfSession* ProfSession::current() { return g_current; }
+
+ProfSession::Install::Install(ProfSession& session) : prev_(g_current) {
+  g_current = &session;
+}
+
+ProfSession::Install::~Install() { g_current = prev_; }
+
+std::string sparkline(const std::vector<double>& values) {
+  static constexpr const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                            "▅", "▆", "▇", "█"};
+  if (values.empty()) {
+    return {};
+  }
+  double lo = values[0];
+  double hi = values[0];
+  for (const double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  out.reserve(values.size() * 3);
+  for (const double v : values) {
+    usize idx = 0;
+    if (hi > lo) {
+      idx = static_cast<usize>((v - lo) / (hi - lo) * 7.0 + 0.5);
+      idx = std::min<usize>(idx, 7);
+    }
+    out += kBlocks[idx];
+  }
+  return out;
+}
+
+}  // namespace archgraph::obs::prof

@@ -1,0 +1,209 @@
+// Interval profiler for the architecture simulators.
+//
+// Where obs::TraceSession answers "how long did each phase take",
+// obs::prof::ProfSession answers "what was the machine doing *while* it ran"
+// and "which data structure did the memory system hit":
+//
+//   * Sampling timeline — attached to a machine as its sim::ProfHook, the
+//     session samples a set of counters every `interval` simulated cycles:
+//     MachineStats counters common to both models (instructions, memory ops,
+//     cache hits/misses/fills, bus occupancy, sync retries) plus the
+//     machine-specific gauges from Machine::prof_gauge_info() (MTA:
+//     per-processor issued slots, ready/blocked streams, outstanding memory
+//     references; SMP: per-worker barrier-wait cycles). The timeline is
+//     bounded: when it reaches capacity it compacts 2:1 (keeping every other
+//     sample) and doubles the interval, so memory stays O(capacity) for any
+//     run length.
+//
+//   * Memory-access attribution — kernels label their simulated allocations
+//     with prof::label_range("succ", array); every serviced access then
+//     resolves to a named range, accumulating per-range hit/miss/fill/RMW
+//     counters and a coarse address-bucket heatmap. This is what exposes the
+//     paper's ordered-vs-random locality gap per data structure.
+//
+//   * Export — chrome_trace_json() emits a Chrome trace-event document
+//     (counter tracks + the TraceSession's phase spans, loadable in
+//     chrome://tracing or Perfetto) with the compact profile summary spliced
+//     in as a top-level "archgraph_profile" key (trace viewers ignore unknown
+//     keys); profile_json() emits that summary alone for embedding in --json
+//     and BENCH documents.
+//
+// Every hook is read-only with respect to the simulation, so simulated cycle
+// counts are byte-identical with and without a session attached (enforced by
+// tests and the ci_smoke zero-drift gate). With no session installed the
+// ambient label_range() helpers are a single thread-local load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sim/memory.hpp"
+
+namespace archgraph::obs {
+class TraceSession;
+}
+
+namespace archgraph::obs::prof {
+
+/// Address-bucket resolution of each labeled range's heatmap.
+inline constexpr i64 kHeatBuckets = 64;
+
+/// One labeled simulated address range and everything attributed to it.
+/// `name == "(unlabeled)"` is the implicit catch-all for accesses outside
+/// every labeled range (it has no heatmap — there is no range to bucket).
+struct RangeProfile {
+  std::string name;
+  sim::Addr base = 0;
+  i64 words = 0;
+
+  i64 reads = 0;
+  i64 writes = 0;
+  i64 l1_hits = 0;   // SMP
+  i64 l2_hits = 0;   // SMP
+  i64 mem_fills = 0; // SMP: line fills from main memory
+  i64 mem_refs = 0;  // MTA: hashed-bank references
+  i64 rmws = 0;      // locked RMWs / full-empty probes (both machines)
+  std::vector<i64> heat;  // kHeatBuckets access counts across the range
+
+  i64 accesses() const { return reads + writes; }
+  /// Cache miss rate (SMP): fills / cache-serviced accesses. -1 when the
+  /// range saw no cache-classified traffic (e.g. on the MTA).
+  double miss_rate() const {
+    const i64 cached = l1_hits + l2_hits + mem_fills;
+    return cached > 0 ? static_cast<double>(mem_fills) / cached : -1.0;
+  }
+};
+
+/// One sampled counter series. `values` holds the raw sampled value at each
+/// timeline point; for cumulative series the per-interval deltas are the
+/// interesting signal and are computed at export (clamped at counter
+/// restarts — the MTA resets its per-processor gauges each region).
+struct SeriesProfile {
+  std::string name;
+  bool cumulative = true;
+  std::vector<i64> values;
+};
+
+class ProfSession final : public sim::ProfHook {
+ public:
+  /// `interval` = sampling period in simulated cycles; `capacity` = maximum
+  /// timeline points before 2:1 compaction doubles the interval.
+  explicit ProfSession(sim::Cycle interval = 1024, usize capacity = 4096);
+  ~ProfSession() override;
+
+  ProfSession(const ProfSession&) = delete;
+  ProfSession& operator=(const ProfSession&) = delete;
+
+  /// Binds the session to `machine`: installs the prof hook, snapshots the
+  /// gauge layout, and starts the timeline at the machine's current cycle.
+  void attach(sim::Machine& machine, std::string machine_name);
+  void detach();
+
+  /// Labels [base, base+words) as `name` for access attribution. Ranges come
+  /// from the bump allocator and are disjoint; relabeling the same base
+  /// replaces the name (an input builder re-run on a fresh machine reuses
+  /// addresses only across sessions, so this is a convenience, not a merge).
+  void label_range(std::string name, sim::Addr base, i64 words);
+
+  // sim::ProfHook — read-only observation of the simulation.
+  void on_prof_region_begin(const sim::Machine& machine) override;
+  void on_advance(const sim::Machine& machine,
+                  sim::Cycle region_cycle) override;
+  void on_access(sim::Addr addr, sim::AccessClass cls, bool write) override;
+  void on_prof_region_end(const sim::Machine& machine) override;
+
+  // Inspection (tests and the report tool).
+  sim::Cycle interval() const { return interval_; }
+  const std::vector<sim::Cycle>& sample_times() const { return times_; }
+  const std::vector<SeriesProfile>& series() const { return series_; }
+  /// Labeled ranges plus the trailing "(unlabeled)" catch-all, in address
+  /// order; the catch-all is last and only present once attributed.
+  std::vector<RangeProfile> range_profiles() const;
+
+  /// Chrome trace-event JSON: metadata + counter tracks (per-interval rates
+  /// for cumulative series, levels for gauges, derived utilization) +
+  /// `trace`'s closed spans as "X" events when non-null, plus the
+  /// profile_json() object under the top-level "archgraph_profile" key.
+  std::string chrome_trace_json(const TraceSession* trace = nullptr) const;
+  /// Compact profile summary object: sampling parameters, per-series
+  /// min/max/mean (over deltas for cumulative series), and per-range
+  /// attribution with heatmaps.
+  std::string profile_json() const;
+  /// Writes chrome_trace_json() to `path`; false (with a stderr message
+  /// naming errno) on failure.
+  bool write_chrome_trace(const std::string& path,
+                          const TraceSession* trace = nullptr) const;
+
+  /// The installed session for this thread, or nullptr (see Install).
+  static ProfSession* current();
+
+  /// Scoped installation as the current session (saves/restores the previous
+  /// one; thread-local, like TraceSession::Install, so the parallel sweep
+  /// executor can profile one cell per worker).
+  class Install {
+   public:
+    explicit Install(ProfSession& session);
+    ~Install();
+    Install(const Install&) = delete;
+    Install& operator=(const Install&) = delete;
+
+   private:
+    ProfSession* prev_;
+  };
+
+ private:
+  struct Range {
+    sim::Addr base = 0;
+    i64 words = 0;
+    std::string name;
+    RangeProfile stats;  // base/words/name duplicated for export convenience
+  };
+
+  void take_sample(const sim::Machine& machine, sim::Cycle at);
+  void compact();
+  Range* resolve(sim::Addr addr);
+
+  sim::Cycle interval_ = 1024;
+  usize capacity_ = 4096;
+
+  sim::Machine* machine_ = nullptr;
+  std::string machine_name_ = "none";
+  u32 processors_ = 0;
+  double clock_hz_ = 0.0;
+
+  // Timeline. times_ is strictly increasing absolute simulated cycles;
+  // series_ all have times_.size() values.
+  std::vector<sim::Cycle> times_;
+  std::vector<SeriesProfile> series_;
+  usize stats_series_ = 0;  // leading series sampled from MachineStats
+  std::vector<i64> gauge_buf_;
+  sim::Cycle next_sample_ = 0;
+  sim::Cycle region_base_ = 0;  // machine cycles when the region began
+  bool in_region_ = false;
+
+  // Attribution. Sorted by base, disjoint; unlabeled_ catches the rest.
+  std::vector<Range> ranges_;
+  usize last_range_ = 0;  // resolve() cache: kernels have strong locality
+  RangeProfile unlabeled_;
+};
+
+// ------------------------------------------------------- ambient helpers
+// No-ops costing one thread-local load when no session is installed.
+
+inline void label_range(const char* name, sim::Addr base, i64 words) {
+  if (ProfSession* s = ProfSession::current()) {
+    s->label_range(name, base, words);
+  }
+}
+
+template <typename T>
+inline void label_range(const char* name, const sim::SimArray<T>& array) {
+  label_range(name, array.base(), array.size());
+}
+
+/// Unicode block-element sparkline of `values` scaled to [min, max]; empty
+/// input yields an empty string. Shared by the report tool and the CLI.
+std::string sparkline(const std::vector<double>& values);
+
+}  // namespace archgraph::obs::prof

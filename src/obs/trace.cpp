@@ -175,6 +175,39 @@ void TraceSession::end_span(i64 id) {
   close_at(id, absolute_cycle(), snapshot());
 }
 
+void TraceSession::end_span_through(i64 id) {
+  bool found = false;
+  for (const OpenSpan& open : open_stack_) {
+    if (spans_[static_cast<usize>(open.span_index)].id == id) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return;
+  }
+  const sim::MachineStats now = snapshot();
+  const sim::Cycle at = absolute_cycle();
+  while (!open_stack_.empty()) {
+    const i64 top =
+        spans_[static_cast<usize>(open_stack_.back().span_index)].id;
+    if (top == phase_span_) {
+      phase_span_ = -1;
+    }
+    if (top == region_span_) {
+      region_span_ = -1;
+      in_region_ = false;
+      phases_pending_ = false;
+      phase_prefix_.clear();
+      phase_cycle_.clear();
+    }
+    close_at(top, at, now);
+    if (top == id) {
+      return;
+    }
+  }
+}
+
 void TraceSession::counter_add(const std::string& name, i64 delta) {
   for (auto& [key, value] : counters_) {
     if (key == name) {
@@ -352,6 +385,26 @@ Span::Span(const char* name) : session_(TraceSession::current()) {
 Span::~Span() {
   if (session_ != nullptr) {
     session_->end_span(id_);
+  }
+}
+
+RegionScope::RegionScope(const char* name)
+    : session_(TraceSession::current()) {
+  if (session_ != nullptr) {
+    id_ = session_->begin_span(name);
+  }
+}
+
+RegionScope::RegionScope(TraceSession* session, std::string name)
+    : session_(session) {
+  if (session_ != nullptr) {
+    id_ = session_->begin_span(std::move(name));
+  }
+}
+
+RegionScope::~RegionScope() {
+  if (session_ != nullptr) {
+    session_->end_span_through(id_);
   }
 }
 

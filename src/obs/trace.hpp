@@ -74,6 +74,13 @@ class TraceSession final : public sim::RegionObserver {
   i64 begin_span(std::string name);
   void end_span(i64 id);
 
+  /// Exception-unwind variant of end_span(): force-closes every open span
+  /// innermost-first up to and including `id`, resetting the region/phase
+  /// bookkeeping if auto-opened spans are among them (a kernel that threw
+  /// mid-cell leaves them dangling). No-op when `id` is not open, so it is
+  /// safe on the normal path after end_span() already ran.
+  void end_span_through(i64 id);
+
   /// Accumulates into a process-wide named counter (insertion-ordered).
   void counter_add(const std::string& name, i64 delta);
 
@@ -171,6 +178,23 @@ class Span {
   ~Span();
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
+
+ private:
+  TraceSession* session_;
+  i64 id_ = -1;
+};
+
+/// Exception-safe RAII host span: like Span, but the destructor closes via
+/// end_span_through(), so a kernel exception unwinding through it cannot
+/// leak open spans into the session (which would poison the next cell run
+/// on the same worker thread). The sweep executor wraps each cell in one.
+class RegionScope {
+ public:
+  explicit RegionScope(const char* name);
+  RegionScope(TraceSession* session, std::string name);
+  ~RegionScope();
+  RegionScope(const RegionScope&) = delete;
+  RegionScope& operator=(const RegionScope&) = delete;
 
  private:
   TraceSession* session_;

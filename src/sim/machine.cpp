@@ -40,6 +40,9 @@ void Machine::run_region() {
   if (observer_ != nullptr) {
     observer_->on_region_begin(*this);
   }
+  if (prof_hook_ != nullptr) {
+    prof_hook_->on_prof_region_begin(*this);
+  }
   const i64 instructions_before = stats_.instructions;
   const Cycle span = simulate(threads);
 
@@ -51,6 +54,9 @@ void Machine::run_region() {
       .instructions = stats_.instructions - instructions_before,
       .threads = static_cast<i64>(threads.size()),
   });
+  if (prof_hook_ != nullptr) {
+    prof_hook_->on_prof_region_end(*this);
+  }
   if (observer_ != nullptr) {
     observer_->on_region_end(*this);
   }

@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -27,6 +28,58 @@
 namespace archgraph::sim {
 
 class Machine;
+
+/// How a simulated memory access was serviced — the classification a profiler
+/// hook receives for attribution. The MTA reports kMemRef/kRmw (it has no
+/// caches); the SMP reports the cache level that satisfied the access plus
+/// kRmw for locked bus operations (fetch-add, full/empty probes).
+enum class AccessClass : u8 {
+  kMemRef,   // MTA: hashed-bank memory reference (load/store/fetch-add)
+  kRmw,      // locked RMW / full-empty probe (bank cycle on MTA, bus on SMP)
+  kL1Hit,    // SMP: satisfied by L1
+  kL2Hit,    // SMP: satisfied by L2
+  kMemFill,  // SMP: line fill from main memory over the bus
+};
+
+/// Descriptor for one machine-specific profiling gauge (see
+/// Machine::prof_gauge_info). `cumulative` gauges are monotone counters whose
+/// per-interval deltas are the interesting series (e.g. per-processor issued
+/// instructions); instantaneous gauges are levels sampled as-is (e.g. ready
+/// streams).
+struct ProfGaugeInfo {
+  std::string name;
+  bool cumulative = true;
+};
+
+/// Profiling hook on a machine's simulation inner loop. Unlike
+/// RegionObserver (region/barrier granularity), an installed ProfHook sees
+/// every event-queue pop and every serviced memory access, which is what
+/// interval sampling and per-data-structure attribution need. All methods are
+/// read-only with respect to the simulation: a hook must never mutate machine
+/// state, so simulated cycle counts are byte-identical with and without one
+/// installed. When no hook is attached the cost is a single null test.
+class ProfHook {
+ public:
+  virtual ~ProfHook() = default;
+
+  /// Called by run_region() before simulation starts (after any
+  /// RegionObserver::on_region_begin); machine.cycles() is the region's
+  /// absolute start time.
+  virtual void on_prof_region_begin(const Machine& machine) = 0;
+
+  /// Called once per event-queue pop with the event's region-relative time.
+  /// Times are nondecreasing within a region; the hook samples its counters
+  /// whenever `region_cycle` crosses an interval boundary.
+  virtual void on_advance(const Machine& machine, Cycle region_cycle) = 0;
+
+  /// Called for every serviced simulated memory access (data effect applied
+  /// or cache probed), with the accessed word address and how it resolved.
+  virtual void on_access(Addr addr, AccessClass cls, bool write) = 0;
+
+  /// Called by run_region() after statistics are updated (before any
+  /// RegionObserver::on_region_end).
+  virtual void on_prof_region_end(const Machine& machine) = 0;
+};
 
 /// Observation hooks on a machine's simulation lifecycle. An installed
 /// observer (obs::TraceSession is the canonical one) sees every simulated
@@ -120,6 +173,19 @@ class Machine {
   void set_region_observer(RegionObserver* observer) { observer_ = observer; }
   RegionObserver* region_observer() const { return observer_; }
 
+  /// Installs (or clears, with nullptr) the profiling hook that sees every
+  /// event pop and memory access (obs::prof::ProfSession is the canonical
+  /// one). Not owned; must outlive its installation.
+  void set_prof_hook(ProfHook* hook) { prof_hook_ = hook; }
+  ProfHook* prof_hook() const { return prof_hook_; }
+
+  /// Machine-specific profiling gauges beyond MachineStats: descriptors and a
+  /// matching sampler. `out` must hold prof_gauge_info().size() values; the
+  /// sampler is only called while a region is simulating (between the prof
+  /// hook's region_begin/region_end) and must not mutate machine state.
+  virtual std::vector<ProfGaugeInfo> prof_gauge_info() const { return {}; }
+  virtual void sample_prof_gauges(i64* out) const { (void)out; }
+
  protected:
   Machine() = default;
 
@@ -138,6 +204,10 @@ class Machine {
 
   SimMemory memory_;
   MachineStats stats_;
+  /// Read directly by the machine models' event loops and memory paths (the
+  /// per-event/per-access hot paths), so it lives here rather than behind a
+  /// notify helper: unprofiled runs pay exactly one null test per site.
+  ProfHook* prof_hook_ = nullptr;
 
  private:
   std::vector<std::unique_ptr<ThreadState>> pending_;

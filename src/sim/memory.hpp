@@ -73,6 +73,8 @@ class SimArray {
       : mem_(&mem), base_(mem.alloc(size)), size_(size) {}
 
   i64 size() const { return size_; }
+  /// First simulated word of the array (for profiler range labelling).
+  Addr base() const { return base_; }
   Addr addr(i64 i) const {
     AG_DCHECK(i >= 0 && i < size_, "SimArray index out of range");
     return base_ + static_cast<Addr>(i);

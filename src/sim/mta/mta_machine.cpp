@@ -82,6 +82,9 @@ Cycle MtaMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
   // --- main event loop ----------------------------------------------------
   while (!events_.empty()) {
     const Event e = events_.pop();
+    if (prof_hook_ != nullptr) {
+      prof_hook_->on_advance(*this, e.time);
+    }
     switch (static_cast<EventKind>(e.kind)) {
       case kReady:
         on_ready(static_cast<u32>(e.payload), e.time);
@@ -143,6 +146,7 @@ void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
       const i64 slots = std::max<i64>(op.value, 1);
       proc.clock = now + slots;
       stats_.instructions += slots;
+      proc.issued += slots;
       ts->instructions += slots;
       ts->status = ThreadState::Status::kWaitMemory;  // occupied until t+slots
       events_.push(proc.clock, kComplete, tid);
@@ -154,6 +158,7 @@ void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
       proc.clock = now + 1;
       stats_.instructions += 1;
       stats_.memory_ops += 1;
+      proc.issued += 1;
       ts->instructions += 1;
       ts->memory_ops += 1;
       if (op.kind == OpKind::kLoad) ++stats_.loads;
@@ -170,6 +175,7 @@ void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
       stats_.instructions += 1;
       stats_.memory_ops += 1;
       stats_.sync_ops += 1;
+      proc.issued += 1;
       ts->instructions += 1;
       ts->memory_ops += 1;
       ts->status = ThreadState::Status::kWaitMemory;
@@ -179,6 +185,7 @@ void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
     case OpKind::kBarrier: {
       proc.clock = now + 1;
       stats_.instructions += 1;
+      proc.issued += 1;
       ts->instructions += 1;
       barrier_arrive(tid, now);
       break;
@@ -205,6 +212,12 @@ Cycle MtaMachine::numa_penalty(usize bank, u32 proc) const {
 }
 
 Cycle MtaMachine::service_memory(Operation& op, Cycle issue_time, u32 proc) {
+  if (prof_hook_ != nullptr) {
+    prof_hook_->on_access(op.addr,
+                          op.kind == OpKind::kFetchAdd ? AccessClass::kRmw
+                                                       : AccessClass::kMemRef,
+                          op.kind != OpKind::kLoad);
+  }
   const usize bank = bank_of(op.addr);
   const Cycle extra = numa_penalty(bank, proc);
   const Cycle arrival = issue_time + 1 + net_half_ + extra;
@@ -235,6 +248,12 @@ Cycle MtaMachine::service_memory(Operation& op, Cycle issue_time, u32 proc) {
 void MtaMachine::attempt_sync(u32 tid, Cycle arrival) {
   ThreadState* ts = threads_[tid];
   Operation& op = ts->pending;
+  if (prof_hook_ != nullptr) {
+    // Every probe (first attempt and each retry) consumes a bank cycle, so
+    // each one counts as an access — retry traffic shows up in the heatmap.
+    prof_hook_->on_access(op.addr, AccessClass::kRmw,
+                          op.kind == OpKind::kWriteEF);
+  }
   const usize bank = bank_of(op.addr);
   const Cycle extra = numa_penalty(bank, ts->processor);
   const Cycle start = std::max(arrival + extra, bank_free_[bank]);
@@ -317,6 +336,49 @@ void MtaMachine::maybe_release_barrier() {
   barrier_max_arrival_ = 0;
   stats_.barriers += 1;
   notify_barrier_release(release);
+}
+
+std::vector<ProfGaugeInfo> MtaMachine::prof_gauge_info() const {
+  std::vector<ProfGaugeInfo> info;
+  info.reserve(config_.processors + 3);
+  for (u32 p = 0; p < config_.processors; ++p) {
+    info.push_back({"p" + std::to_string(p) + ".issued", /*cumulative=*/true});
+  }
+  info.push_back({"streams_ready", /*cumulative=*/false});
+  info.push_back({"streams_blocked", /*cumulative=*/false});
+  info.push_back({"mem_outstanding", /*cumulative=*/false});
+  return info;
+}
+
+void MtaMachine::sample_prof_gauges(i64* out) const {
+  i64 ready = 0;
+  i64 in_use = 0;
+  usize i = 0;
+  for (const Processor& proc : procs_) {
+    out[i++] = proc.issued;
+    ready += static_cast<i64>(proc.ready_fifo.size());
+    in_use += proc.streams_in_use;
+  }
+  i64 outstanding = 0;
+  for (const ThreadState* ts : threads_) {
+    if (ts->status == ThreadState::Status::kWaitMemory) {
+      switch (ts->pending.kind) {
+        case OpKind::kLoad:
+        case OpKind::kStore:
+        case OpKind::kFetchAdd:
+        case OpKind::kReadFF:
+        case OpKind::kReadFE:
+        case OpKind::kWriteEF:
+          ++outstanding;
+          break;
+        default:
+          break;  // compute occupancy / barrier release are not memory refs
+      }
+    }
+  }
+  out[i++] = ready;
+  out[i++] = in_use - ready;  // streams holding a slot but not issuable
+  out[i] = outstanding;
 }
 
 void MtaMachine::on_finish(u32 tid, Cycle now) {

@@ -86,6 +86,12 @@ class MtaMachine final : public Machine {
   }
   const MtaConfig& config() const { return config_; }
 
+  /// Gauges: per-processor issued slots (cumulative; reset each region, the
+  /// profiler clamps the restart), then aggregate ready streams, blocked
+  /// streams, and outstanding memory references (instantaneous).
+  std::vector<ProfGaugeInfo> prof_gauge_info() const override;
+  void sample_prof_gauges(i64* out) const override;
+
  protected:
   Cycle simulate(std::vector<std::unique_ptr<ThreadState>>& threads) override;
 
@@ -97,7 +103,8 @@ class MtaMachine final : public Machine {
     std::deque<u32> admission_queue;  // threads waiting for a stream slot
     u32 streams_in_use = 0;
     bool issue_scheduled = false;
-    Cycle clock = 0;  // next cycle this processor may issue
+    Cycle clock = 0;   // next cycle this processor may issue
+    i64 issued = 0;    // issue slots consumed (profiling gauge)
   };
 
   // Per-region simulation helpers (operate on region_ state).

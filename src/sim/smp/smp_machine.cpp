@@ -115,6 +115,9 @@ Cycle SmpMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
 
   while (!events_.empty()) {
     const Event e = events_.pop();
+    if (prof_hook_ != nullptr) {
+      prof_hook_->on_advance(*this, e.time);
+    }
     switch (static_cast<EventKind>(e.kind)) {
       case kDispatch:
         handle_dispatch(static_cast<u32>(e.payload), e.time);
@@ -247,6 +250,9 @@ Cycle SmpMachine::data_access_cost(Processor& proc, u32 proc_id,
   const Cache::AccessResult l1 = proc.l1.access(line, write);
   if (l1.hit) {
     ++stats_.l1_hits;
+    if (prof_hook_ != nullptr) {
+      prof_hook_->on_access(op.addr, AccessClass::kL1Hit, write);
+    }
     return config_.l1_latency + coherence();
   }
   // L1 victim writes back into L2 (on-module, no bus).
@@ -261,6 +267,9 @@ Cycle SmpMachine::data_access_cost(Processor& proc, u32 proc_id,
   const Cache::AccessResult l2 = proc.l2.access(line, write);
   if (l2.hit) {
     ++stats_.l2_hits;
+    if (prof_hook_ != nullptr) {
+      prof_hook_->on_access(op.addr, AccessClass::kL2Hit, write);
+    }
     return config_.l2_latency + coherence();
   }
   if (l2.evicted && l2.evicted_dirty) {
@@ -270,6 +279,9 @@ Cycle SmpMachine::data_access_cost(Processor& proc, u32 proc_id,
 
   // Fill from main memory over the shared bus.
   ++stats_.mem_fills;
+  if (prof_hook_ != nullptr) {
+    prof_hook_->on_access(op.addr, AccessClass::kMemFill, write);
+  }
   const Cycle bus_start =
       bus_transaction(start + config_.l2_latency, config_.bus_occupancy);
   directory_[line] |= my_bit;
@@ -331,6 +343,9 @@ Cycle SmpMachine::execute_op(u32 tid, Cycle start) {
       stats_.fetch_adds += 1;
       ts->instructions += 1;
       ts->memory_ops += 1;
+      if (prof_hook_ != nullptr) {
+        prof_hook_->on_access(op.addr, AccessClass::kRmw, true);
+      }
       // Locked bus RMW bypassing the caches; every cached copy is stale.
       const u64 line = proc.l1.line_of(op.addr);
       for (u32 j = 0; j < config_.processors; ++j) {
@@ -352,6 +367,10 @@ Cycle SmpMachine::execute_op(u32 tid, Cycle start) {
       stats_.sync_ops += 1;
       ts->instructions += 1;
       ts->memory_ops += 1;
+      if (prof_hook_ != nullptr) {
+        prof_hook_->on_access(op.addr, AccessClass::kRmw,
+                              op.kind == OpKind::kWriteEF);
+      }
       const Cycle bus_start = bus_transaction(start, config_.bus_occupancy);
       const Cycle probe_end = bus_start + config_.rmw_cost;
       const bool full = memory_.full(op.addr);
@@ -423,7 +442,7 @@ void SmpMachine::wake_sync_waiters(Addr addr, Cycle now) {
 
 void SmpMachine::barrier_arrive(u32 tid, Cycle arrival) {
   threads_[tid]->status = ThreadState::Status::kWaitBarrier;
-  barrier_waiting_.push_back(tid);
+  barrier_waiting_.emplace_back(tid, arrival);
   barrier_max_arrival_ = std::max(barrier_max_arrival_, arrival);
   maybe_release_barrier();
 }
@@ -435,12 +454,13 @@ void SmpMachine::maybe_release_barrier() {
   const Cycle release = barrier_max_arrival_ + config_.barrier_base +
                         config_.barrier_per_proc * config_.processors;
   // Detach the wait list first: on_finish() below re-enters this function.
-  std::vector<u32> released = std::move(barrier_waiting_);
+  std::vector<std::pair<u32, Cycle>> released = std::move(barrier_waiting_);
   barrier_waiting_.clear();
   barrier_max_arrival_ = 0;
   stats_.barriers += 1;
   notify_barrier_release(release);
-  for (const u32 tid : released) {
+  for (const auto& [tid, arrival] : released) {
+    procs_[threads_[tid]->processor].barrier_wait += release - arrival;
     ThreadState* ts = threads_[tid];
     ts->pending.result = 0;
     ts->advance();  // step past the barrier; next op runs when dispatched
@@ -450,6 +470,25 @@ void SmpMachine::maybe_release_barrier() {
       events_.push(release, kWake, tid);
     }
   }
+}
+
+std::vector<ProfGaugeInfo> SmpMachine::prof_gauge_info() const {
+  std::vector<ProfGaugeInfo> info;
+  info.reserve(config_.processors + 1);
+  for (u32 p = 0; p < config_.processors; ++p) {
+    info.push_back(
+        {"p" + std::to_string(p) + ".barrier_wait", /*cumulative=*/true});
+  }
+  info.push_back({"barrier_parked", /*cumulative=*/false});
+  return info;
+}
+
+void SmpMachine::sample_prof_gauges(i64* out) const {
+  usize i = 0;
+  for (const Processor& proc : procs_) {
+    out[i++] = proc.barrier_wait;
+  }
+  out[i] = static_cast<i64>(barrier_waiting_.size());
 }
 
 void SmpMachine::on_finish(u32 tid, Cycle now) {

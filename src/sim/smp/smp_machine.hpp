@@ -22,6 +22,7 @@
 
 #include <deque>
 #include <unordered_map>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/machine.hpp"
@@ -91,6 +92,12 @@ class SmpMachine final : public Machine {
   i64 concurrency() const override { return config_.processors; }
   const SmpConfig& config() const { return config_; }
 
+  /// Gauges: per-processor cycles spent waiting at barriers (cumulative;
+  /// accumulates across regions), then the instantaneous count of threads
+  /// parked at the current barrier episode.
+  std::vector<ProfGaugeInfo> prof_gauge_info() const override;
+  void sample_prof_gauges(i64* out) const override;
+
  protected:
   Cycle simulate(std::vector<std::unique_ptr<ThreadState>>& threads) override;
 
@@ -111,6 +118,7 @@ class SmpMachine final : public Machine {
     bool oversubscribed = false;
     Cycle clock = 0;
     Cycle quantum_used = 0;
+    Cycle barrier_wait = 0;  // cycles parked at barriers (profiling gauge)
   };
 
   void handle_dispatch(u32 proc_id, Cycle now);
@@ -135,7 +143,7 @@ class SmpMachine final : public Machine {
   std::vector<Processor> procs_;
   std::unordered_map<u64, u32> directory_;  // line -> sharer bitmask
   std::unordered_map<Addr, std::deque<u32>> sync_waiters_;
-  std::vector<u32> barrier_waiting_;
+  std::vector<std::pair<u32, Cycle>> barrier_waiting_;  // (tid, arrival)
   Cycle barrier_max_arrival_ = 0;
   Cycle bus_free_ = 0;
   i64 live_ = 0;

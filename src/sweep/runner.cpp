@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "common/check.hpp"
 #include "common/timer.hpp"
+#include "obs/prof/prof.hpp"
 #include "rt/thread_pool.hpp"
 #include "sim/machine_spec.hpp"
 
@@ -90,26 +94,68 @@ class InputCache {
   std::atomic<u64> generated_{0};
 };
 
+/// Run IDs contain '/' and ':' (kernel/machine-spec/axes); map everything
+/// outside [A-Za-z0-9._-] to '_' so one ID is one file under --profile-dir.
+std::string filename_safe(const std::string& id) {
+  std::string out = id;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
 CellResult run_cell_with_input(const SweepCell& cell, const KernelInfo& kernel,
                                const KernelInput& input,
                                const RunOptions& options) {
   const std::unique_ptr<sim::Machine> machine = sim::make_machine(cell.machine);
   CellResult result;
   result.cell = cell;
-  if (options.trace) {
-    obs::TraceSession session("sweep/" + cell.kernel);
-    obs::TraceSession::Install install(session);
-    session.attach(*machine, std::string(sim::arch_name(
-                                 sim::parse_machine_spec(cell.machine).arch)));
+  const bool profiling = options.profile || !options.profile_dir.empty();
+  const std::string arch(
+      sim::arch_name(sim::parse_machine_spec(cell.machine).arch));
+
+  std::optional<obs::TraceSession> session;
+  std::optional<obs::TraceSession::Install> install;
+  // A per-cell trace file needs region spans even when the caller did not
+  // ask for them in the CellResult, so --profile-dir implies a session.
+  if (options.trace || !options.profile_dir.empty()) {
+    session.emplace("sweep/" + cell.kernel);
+    install.emplace(*session);
+    session->attach(*machine, arch);
+  }
+  std::optional<obs::prof::ProfSession> prof;
+  std::optional<obs::prof::ProfSession::Install> prof_install;
+  if (profiling) {
+    prof.emplace(options.profile_interval > 0 ? options.profile_interval
+                                              : sim::Cycle{1024});
+    prof_install.emplace(*prof);
+    prof->attach(*machine, arch);
+  }
+  {
+    // RegionScope (not Span): if the kernel throws, the unwind force-closes
+    // any auto-opened region/phase spans so the session's thread_local slot
+    // is clean for the worker's next cell.
+    obs::RegionScope scope(session ? &*session : nullptr,
+                           "cell/" + cell.run_id());
     const KernelRun run = kernel.run(*machine, input, options.verify);
     result.iterations = run.iterations;
     result.verified = run.verified;
-    session.detach();
-    result.spans = session.spans();
-  } else {
-    const KernelRun run = kernel.run(*machine, input, options.verify);
-    result.iterations = run.iterations;
-    result.verified = run.verified;
+  }
+  if (prof) {
+    prof->detach();
+    result.profile_json = prof->profile_json();
+    if (!options.profile_dir.empty()) {
+      const std::string path = options.profile_dir + "/" +
+                               filename_safe(cell.run_id()) + ".trace.json";
+      AG_CHECK(prof->write_chrome_trace(path, session ? &*session : nullptr),
+               "cannot write profile trace " + path);
+    }
+  }
+  if (session) {
+    session->detach();
+    if (options.trace) result.spans = session->spans();
   }
   result.meas = core::snapshot(*machine);
   return result;
@@ -151,6 +197,10 @@ PlanRun run_plan(
   usize jobs = options.jobs == 0 ? auto_jobs() : options.jobs;
   jobs = std::clamp<usize>(jobs, 1, std::max<usize>(total, 1));
   out.jobs = jobs;
+
+  if (!options.profile_dir.empty()) {
+    std::filesystem::create_directories(options.profile_dir);
+  }
 
   InputCache cache(std::move(uses));
 

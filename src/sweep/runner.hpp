@@ -37,6 +37,17 @@ struct RunOptions {
   /// calling thread; 0 = one per hardware thread (auto_jobs()). Simulated
   /// results are identical for every value — only host wall-clock changes.
   usize jobs = 1;
+  /// Attach an obs::prof::ProfSession (interval profiler) to each cell and
+  /// keep its compact profile JSON on the result. Profiling never changes
+  /// simulated results and never enters the persisted JSONL records (the
+  /// ci_smoke zero-drift gate binary-diffs profiled vs unprofiled output).
+  bool profile = false;
+  /// Profiler sampling interval in simulated cycles (0 = profiler default).
+  sim::Cycle profile_interval = 0;
+  /// When non-empty: implies `profile` and writes one Chrome trace per cell
+  /// to <profile_dir>/<run_id>.trace.json (directory created if needed),
+  /// including the cell's phase spans when `trace` is also set.
+  std::string profile_dir;
 };
 
 /// The jobs value `RunOptions::jobs == 0` resolves to: the host's hardware
@@ -49,6 +60,10 @@ struct CellResult {
   i64 iterations = -1;  // Shiloach-Vishkin rounds, -1 elsewhere
   bool verified = false;
   std::vector<obs::SpanRecord> spans;  // populated when RunOptions::trace
+  /// Compact profile object (obs::prof::ProfSession::profile_json) when
+  /// RunOptions::profile/profile_dir; benches embed it in their JSON
+  /// documents. Never part of the persisted sweep JSONL record.
+  std::string profile_json;
   /// Host wall-clock this cell took (simulation + verify, excluding input
   /// generation shared with other cells). Non-deterministic by nature, so it
   /// is never part of the persisted JSONL record.

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <string>
+#include <vector>
 
 namespace archgraph::obs {
 namespace {
@@ -208,6 +210,35 @@ TEST(JsonParse, RejectsMalformedInputWithError) {
   EXPECT_FALSE(json_parse("[1,2", &v));
   EXPECT_FALSE(json_parse("", &v));
   EXPECT_FALSE(json_parse("1 2", &v));  // trailing tokens
+}
+
+// std::to_chars emits the shortest decimal form that parses back to the
+// exact same double — bit-for-bit, including awkward values (non-terminating
+// binary fractions, denormals, negative zero, the extremes of the range).
+TEST(JsonWriter, DoublesSurviveWriteParseRoundTripBitExactly) {
+  const std::vector<double> values = {
+      0.1,
+      1.0 / 3.0,
+      6.02214076e23,
+      3.14159265358979323846,
+      -0.0,
+      5e-324,  // smallest denormal
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+      1e-300,
+      123456789.123456789,
+  };
+  for (const double v : values) {
+    JsonWriter w;
+    w.begin_array().value(v).end_array();
+    JsonValue parsed;
+    std::string error;
+    ASSERT_TRUE(json_parse(w.str(), &parsed, &error)) << w.str() << error;
+    const double back = parsed.items()[0].as_f64();
+    EXPECT_EQ(std::bit_cast<u64>(back), std::bit_cast<u64>(v))
+        << "double " << v << " emitted as " << w.str()
+        << " parsed back as " << back;
+  }
 }
 
 TEST(JsonParse, RoundTripsAWriterDocument) {

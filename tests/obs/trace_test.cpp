@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -183,6 +184,74 @@ TEST(TraceSession, EmitsValidJsonlAndSummary) {
         "\"utilization\""}) {
     EXPECT_NE(summary.find(key), std::string::npos) << key;
   }
+}
+
+TEST(TraceSession, EndSpanThroughForceClosesInnermostFirst) {
+  TraceSession session("unwind-test");
+  const i64 outer = session.begin_span("outer");
+  const i64 mid = session.begin_span("mid");
+  session.begin_span("inner");
+  // Close through "mid": "inner" then "mid" close, "outer" stays open.
+  session.end_span_through(mid);
+  ASSERT_EQ(session.spans().size(), 3u);
+  EXPECT_TRUE(session.spans()[0].open);   // outer
+  EXPECT_FALSE(session.spans()[1].open);  // mid
+  EXPECT_FALSE(session.spans()[2].open);  // inner
+  // Unknown / already-closed ids are no-ops (the normal path runs end_span
+  // first, then the scope destructor).
+  session.end_span_through(mid);
+  session.end_span_through(12345);
+  EXPECT_TRUE(session.spans()[0].open);
+  session.end_span(outer);
+  EXPECT_FALSE(session.spans()[0].open);
+}
+
+TEST(TraceSession, RegionScopeClosesLeakedSpansOnThrow) {
+  TraceSession session("throw-test");
+  TraceSession::Install install(session);
+  try {
+    RegionScope cell("cell/x");
+    session.begin_span("kernel-internal");  // leaked by the throw below
+    throw std::runtime_error("kernel blew up");
+  } catch (const std::runtime_error&) {
+  }
+  // The unwind must have closed both spans, so the session is reusable by
+  // the next cell on this worker thread.
+  ASSERT_EQ(session.spans().size(), 2u);
+  for (const SpanRecord& s : session.spans()) {
+    EXPECT_FALSE(s.open) << s.name;
+  }
+  // A fresh top-level span nests under nothing — the stack really is empty.
+  const i64 next = session.begin_span("cell/y");
+  EXPECT_EQ(session.spans()[2].parent, -1);
+  session.end_span(next);
+}
+
+// A thrown cell must not poison the *simulated-region* bookkeeping either:
+// force-closing an auto-opened region span mid-flight resets the slicing
+// state so a later region on the same session traces normally.
+TEST(TraceSession, RegionScopeRecoversAfterMidRegionUnwind) {
+  const auto machine_p = sim::make_machine("smp:procs=2");
+  sim::Machine& machine = *machine_p;
+  TraceSession session("recover-test");
+  TraceSession::Install install(session);
+  session.attach(machine, "smp");
+  {
+    // Simulate the sweep executor's wrapper around a cell that throws while
+    // a region span is open (on_region_begin fired, on_region_end never
+    // will).
+    RegionScope cell(&session, "cell/a");
+    session.on_region_begin(machine);
+  }
+  const graph::LinkedList list = graph::random_list(128, 3);
+  const auto ranks = core::sim_rank_list_hj(machine, list);
+  ASSERT_EQ(ranks, core::rank_sequential(list));
+  for (const SpanRecord& s : session.spans()) {
+    EXPECT_FALSE(s.open) << s.name;
+  }
+  const std::vector<std::string> regions = span_names(session, "region");
+  ASSERT_EQ(regions.size(), 2u);  // the force-closed one + hj.rank
+  EXPECT_EQ(regions[1], "hj.rank");
 }
 
 TEST(TraceSession, WriteJsonlReportsFailureForBadPath) {

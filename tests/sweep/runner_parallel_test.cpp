@@ -25,10 +25,18 @@ SweepPlan mixed_plan() {
   });
 }
 
+/// RunOptions with only `jobs` set (field-by-field: designated aggregate
+/// initialization of a partial field list trips -Wmissing-field-initializers).
+RunOptions jobs_options(usize jobs) {
+  RunOptions options;
+  options.jobs = jobs;
+  return options;
+}
+
 TEST(RunPlanParallel, MatchesSerialResultsExactly) {
   const SweepPlan plan = mixed_plan();
-  const PlanRun serial = run_plan(plan, RunOptions{.jobs = 1});
-  const PlanRun parallel = run_plan(plan, RunOptions{.jobs = 4});
+  const PlanRun serial = run_plan(plan, jobs_options(1));
+  const PlanRun parallel = run_plan(plan, jobs_options(4));
   ASSERT_EQ(serial.cells.size(), plan.cells.size());
   ASSERT_EQ(parallel.cells.size(), serial.cells.size());
   EXPECT_EQ(parallel.jobs, 4u);
@@ -49,7 +57,7 @@ TEST(RunPlanParallel, CallbacksArriveSerializedAndInPlanOrder) {
   std::vector<std::string> seen;
   std::atomic<int> in_callback{0};
   const PlanRun run = run_plan(
-      plan, RunOptions{.jobs = 4},
+      plan, jobs_options(4),
       [&](const CellResult& r, usize index, usize total) {
         // on_cell must never run concurrently with itself.
         EXPECT_EQ(in_callback.fetch_add(1), 0);
@@ -73,16 +81,16 @@ TEST(RunPlanParallel, GeneratesEachDistinctInputOnce) {
       "kernel=lr_walk machine=mta:procs={1,2,4,8} layout={ordered,random} "
       "n=512");
   ASSERT_EQ(plan.cells.size(), 8u);
-  const PlanRun parallel = run_plan(plan, RunOptions{.jobs = 4});
+  const PlanRun parallel = run_plan(plan, jobs_options(4));
   EXPECT_EQ(parallel.inputs_generated, 2u);
-  const PlanRun serial = run_plan(plan, RunOptions{.jobs = 1});
+  const PlanRun serial = run_plan(plan, jobs_options(1));
   EXPECT_EQ(serial.inputs_generated, 2u);
 }
 
 TEST(RunPlanParallel, JobsZeroMeansAutoAndClampsToPlanSize) {
   const SweepPlan plan =
       expand("kernel=lr_walk machine=mta layout=ordered n=256");
-  const PlanRun run = run_plan(plan, RunOptions{.jobs = 0});
+  const PlanRun run = run_plan(plan, jobs_options(0));
   // One cell: however many workers the host has, only one is ever used.
   EXPECT_EQ(run.jobs, 1u);
   EXPECT_GE(auto_jobs(), 1u);
@@ -91,7 +99,7 @@ TEST(RunPlanParallel, JobsZeroMeansAutoAndClampsToPlanSize) {
 TEST(RunPlanParallel, CellFailurePropagatesToCaller) {
   SweepPlan plan = mixed_plan();
   plan.cells[5].machine = "vax";  // invalid spec fails inside a worker
-  EXPECT_THROW(run_plan(plan, RunOptions{.jobs = 4}), std::logic_error);
+  EXPECT_THROW(run_plan(plan, jobs_options(4)), std::logic_error);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sweep/spec.hpp"
+#include "sweep/store.hpp"
 
 namespace archgraph::sweep {
 namespace {
@@ -43,6 +44,20 @@ TEST(RunCell, TraceCapturesRegionSpans) {
   options.trace = true;
   const CellResult r = run_cell(small_list_cell(), options);
   EXPECT_FALSE(r.spans.empty());
+}
+
+TEST(RunCell, ProfilingCapturesProfileWithoutDriftingTheRecord) {
+  const CellResult plain = run_cell(small_list_cell());
+  RunOptions options;
+  options.profile = true;
+  const CellResult profiled = run_cell(small_list_cell(), options);
+  EXPECT_TRUE(plain.profile_json.empty());
+  EXPECT_FALSE(profiled.profile_json.empty());
+  // The profiler is read-only: the persisted record is byte-identical.
+  EXPECT_EQ(record_json(to_record(plain)), record_json(to_record(profiled)));
+  EXPECT_EQ(plain.meas.cycles, profiled.meas.cycles);
+  EXPECT_EQ(plain.meas.stats.instructions,
+            profiled.meas.stats.instructions);
 }
 
 TEST(RunCell, IterativeKernelReportsIterations) {

@@ -21,12 +21,20 @@
 // procs= inside SPEC wins over it.
 //
 // Observability (simulated machines only):
-//   --trace FILE   write the phase/region JSONL event trace to FILE
-//   --json         print the run-summary JSON document on stdout instead of
-//                  the human-readable report
+//   --trace FILE          write the phase/region JSONL event trace to FILE
+//   --json                print the run-summary JSON document on stdout
+//                         instead of the human-readable report
+//   --profile             attach the interval profiler: counter timelines +
+//                         per-data-structure memory attribution (summary in
+//                         --json under "profile", brief table otherwise)
+//   --profile-trace FILE  write a Chrome trace-event JSON (chrome://tracing,
+//                         Perfetto) with counter tracks and phase spans;
+//                         implies --profile
+//   --profile-interval K  sampling period in simulated cycles (default 1024)
 //
 // Simulated runs print cycles, simulated seconds and utilization; native
 // runs print wall time. Every run self-checks against a reference.
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -46,6 +54,7 @@
 #include "graph/io.hpp"
 #include "graph/linked_list.hpp"
 #include "graph/validate.hpp"
+#include "obs/prof/prof.hpp"
 #include "obs/trace.hpp"
 #include "rt/thread_pool.hpp"
 #include "sim/machine_spec.hpp"
@@ -56,7 +65,9 @@ namespace {
 using namespace archgraph;
 
 /// Flags that take no value.
-bool is_bool_flag(const std::string& name) { return name == "json"; }
+bool is_bool_flag(const std::string& name) {
+  return name == "json" || name == "profile";
+}
 
 struct Options {
   std::string command;
@@ -142,10 +153,64 @@ sim::MachineSpec parse_machine_opt(const std::string& text, u32 procs) {
   return sim::parse_machine_spec(composed);
 }
 
+/// --profile / --profile-trace FILE / --profile-interval K: the interval
+/// profiler, attached for the whole simulated run. Heap-held so the two
+/// optional pieces (session, thread-local installation) compose simply.
+struct Profiling {
+  std::unique_ptr<obs::prof::ProfSession> session;
+  std::unique_ptr<obs::prof::ProfSession::Install> install;
+  std::string trace_path;
+
+  bool enabled() const { return session != nullptr; }
+
+  static Profiling from_options(const Options& opts) {
+    Profiling p;
+    p.trace_path = opts.get("profile-trace", "");
+    if (opts.has("profile") || opts.has("profile-interval") ||
+        !p.trace_path.empty()) {
+      const i64 interval = opts.get_positive_int("profile-interval", 1024);
+      p.session = std::make_unique<obs::prof::ProfSession>(interval);
+      p.install =
+          std::make_unique<obs::prof::ProfSession::Install>(*p.session);
+    }
+    return p;
+  }
+
+  void attach(sim::Machine& machine, const std::string& arch) {
+    if (session != nullptr) session->attach(machine, arch);
+  }
+};
+
+/// Human-readable --profile tail: timeline shape plus the hottest labeled
+/// ranges (the full table lives in archgraph_prof_report).
+void report_profile(const obs::prof::ProfSession& prof) {
+  std::cout << "profile:       " << prof.sample_times().size()
+            << " samples @ " << prof.interval() << " cycles\n";
+  std::vector<obs::prof::RangeProfile> ranges = prof.range_profiles();
+  std::sort(ranges.begin(), ranges.end(),
+            [](const auto& a, const auto& b) {
+              return a.accesses() > b.accesses();
+            });
+  const usize top = std::min<usize>(ranges.size(), 5);
+  for (usize i = 0; i < top; ++i) {
+    const obs::prof::RangeProfile& r = ranges[i];
+    std::cout << "  " << r.name << ": " << r.accesses() << " accesses";
+    if (r.miss_rate() >= 0.0) {
+      std::cout << ", miss rate " << 100.0 * r.miss_rate() << "%";
+    }
+    std::cout << '\n';
+  }
+}
+
 /// Shared tail of a traced simulated run: the JSONL trace to --trace FILE,
-/// then either the summary JSON document (--json) or the human report.
-void finish_simulated(const obs::TraceSession& session,
-                      const sim::Machine& machine, const Options& opts) {
+/// the Chrome trace to --profile-trace FILE, then either the summary JSON
+/// document (--json, with the profile object spliced in) or the human
+/// report.
+void finish_simulated(obs::TraceSession& session, const sim::Machine& machine,
+                      Profiling& prof, const Options& opts) {
+  if (prof.enabled()) {
+    prof.session->detach();  // unhook; the exported summary is self-contained
+  }
   const std::string trace_path = opts.get("trace", "");
   if (!trace_path.empty()) {
     AG_CHECK(session.write_jsonl(trace_path),
@@ -154,17 +219,38 @@ void finish_simulated(const obs::TraceSession& session,
       std::cout << "(trace written to " << trace_path << ")\n";
     }
   }
+  if (!prof.trace_path.empty()) {
+    AG_CHECK(prof.session->write_chrome_trace(prof.trace_path, &session),
+             "cannot write --profile-trace file " + prof.trace_path);
+    if (!opts.has("json")) {
+      std::cout << "(profile trace written to " << prof.trace_path << ")\n";
+    }
+  }
   if (opts.has("json")) {
-    std::cout << session.summary_json() << '\n';
+    std::string summary = session.summary_json();
+    if (prof.enabled()) {
+      // summary_json() is one object; splice "profile" in before the brace.
+      summary.insert(summary.size() - 1,
+                     ",\"profile\":" + prof.session->profile_json());
+    }
+    std::cout << summary << '\n';
   } else {
     report_simulated(machine);
+    if (prof.enabled()) {
+      report_profile(*prof.session);
+    }
   }
 }
 
-/// --trace/--json snapshot machine counters, which native runs don't have.
+/// --trace/--json/--profile* snapshot machine counters, which native runs
+/// don't have.
 void check_observability_flags(const Options& opts, bool simulated) {
-  AG_CHECK(simulated || (!opts.has("json") && !opts.has("trace")),
-           "--trace/--json require a simulated --machine (mta/smp spec)");
+  AG_CHECK(simulated ||
+               (!opts.has("json") && !opts.has("trace") &&
+                !opts.has("profile") && !opts.has("profile-trace") &&
+                !opts.has("profile-interval")),
+           "--trace/--json/--profile flags require a simulated --machine "
+           "(mta/smp spec)");
 }
 
 int run_cc(const Options& opts) {
@@ -187,8 +273,10 @@ int run_cc(const Options& opts) {
     const std::string arch = sim::arch_name(spec.arch);
     obs::TraceSession session("cc/" + algorithm + "/" + arch);
     obs::TraceSession::Install install(session);
+    Profiling prof = Profiling::from_options(opts);
     std::unique_ptr<sim::Machine> m = sim::make_machine(spec);
     session.attach(*m, arch);
+    prof.attach(*m, arch);
     const core::SimCcResult result = spec.arch == sim::MachineArch::kMta
                                          ? core::sim_cc_sv_mta(*m, g)
                                          : core::sim_cc_sv_smp(*m, g);
@@ -196,7 +284,7 @@ int run_cc(const Options& opts) {
     AG_CHECK(labels == core::cc_union_find(g), "self-check failed");
     session.counter_add("cc.components",
                         graph::validate::count_distinct_labels(labels));
-    finish_simulated(session, *m, opts);
+    finish_simulated(session, *m, prof, opts);
   } else {
     rt::ThreadPool pool(static_cast<usize>(procs));
     Timer timer;
@@ -259,11 +347,13 @@ int run_rank(const Options& opts) {
     const std::string arch = sim::arch_name(spec.arch);
     obs::TraceSession session("rank/" + algorithm + "/" + arch);
     obs::TraceSession::Install install(session);
+    Profiling prof = Profiling::from_options(opts);
     std::unique_ptr<sim::Machine> m = sim::make_machine(spec);
     session.attach(*m, arch);
+    prof.attach(*m, arch);
     ranks = run_on(*m);
     AG_CHECK(ranks == core::rank_sequential(list), "self-check failed");
-    finish_simulated(session, *m, opts);
+    finish_simulated(session, *m, prof, opts);
   } else {
     rt::ThreadPool pool(static_cast<usize>(procs));
     Timer timer;

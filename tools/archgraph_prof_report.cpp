@@ -1,0 +1,257 @@
+// archgraph_prof_report — render an interval-profiler Chrome trace (written
+// by `archgraph_cli --profile-trace` or `archgraph_sweep run --profile-dir`)
+// as terminal tables: the top-N hottest labeled memory regions with their
+// address-bucket heatmaps, and a sparkline per counter track showing how the
+// machine behaved over simulated time.
+//
+// Usage:
+//   archgraph_prof_report TRACE.json [--top N] [--width W] [--all-series]
+//
+// TRACE.json is a Chrome trace-event document; the compact profile summary
+// is read from its top-level "archgraph_profile" key and the counter
+// timelines from its ph:"C" events. A bare profile object (the "profile"
+// member of `archgraph_cli --json` output) also works — the tool then has no
+// timelines and prints only the region table.
+//
+// Per-processor series (p0.issued, p1.barrier_wait, ...) are summarized as
+// one aggregate row unless --all-series is given — an MTA run has 40 of
+// them, which would drown the table.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/parse.hpp"
+#include "common/table.hpp"
+#include "obs/json.hpp"
+#include "obs/prof/prof.hpp"
+
+namespace {
+
+using namespace archgraph;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  AG_CHECK(in.good(), "cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+i64 int_member(const obs::JsonValue& object, std::string_view key,
+               i64 fallback = 0) {
+  const obs::JsonValue* v = object.find(key);
+  return v != nullptr && v->is_integer() ? v->as_i64() : fallback;
+}
+
+double num_member(const obs::JsonValue& object, std::string_view key,
+                  double fallback = 0.0) {
+  const obs::JsonValue* v = object.find(key);
+  return v != nullptr && v->is_number() ? v->as_f64() : fallback;
+}
+
+std::string str_member(const obs::JsonValue& object, std::string_view key,
+                       const std::string& fallback = "") {
+  const obs::JsonValue* v = object.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+/// Averages `values` down to at most `width` buckets for a terminal-width
+/// sparkline; short series pass through.
+std::vector<double> downsample(const std::vector<double>& values,
+                               usize width) {
+  if (values.size() <= width || width == 0) {
+    return values;
+  }
+  std::vector<double> out(width, 0.0);
+  std::vector<i64> counts(width, 0);
+  for (usize i = 0; i < values.size(); ++i) {
+    const usize b = i * width / values.size();
+    out[b] += values[i];
+    ++counts[b];
+  }
+  for (usize b = 0; b < width; ++b) {
+    if (counts[b] > 0) out[b] /= static_cast<double>(counts[b]);
+  }
+  return out;
+}
+
+/// One counter track reconstructed from the trace's ph:"C" events, in
+/// emission (= simulated-time) order.
+struct Track {
+  std::vector<double> values;
+  double min() const {
+    return values.empty() ? 0.0 : *std::min_element(values.begin(),
+                                                    values.end());
+  }
+  double max() const {
+    return values.empty() ? 0.0 : *std::max_element(values.begin(),
+                                                    values.end());
+  }
+  double mean() const {
+    if (values.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    return sum / static_cast<double>(values.size());
+  }
+};
+
+bool is_per_processor(const std::string& name) {
+  if (name.empty() || name[0] != 'p') return false;
+  const usize dot = name.find('.');
+  if (dot == std::string::npos || dot == 1) return false;
+  for (usize i = 1; i < dot; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+  }
+  return true;
+}
+
+int run(const std::string& path, i64 top, usize width, bool all_series) {
+  const std::string text = read_file(path);
+  obs::JsonValue doc;
+  std::string error;
+  AG_CHECK(obs::json_parse(text, &doc, &error),
+           path + " is not valid JSON: " + error);
+  AG_CHECK(doc.is_object(), path + " is not a JSON object");
+
+  // Chrome trace with the summary spliced in, or a bare profile object.
+  const obs::JsonValue* profile = doc.find("archgraph_profile");
+  if (profile == nullptr) {
+    profile = doc.find("regions") != nullptr ? &doc : nullptr;
+  }
+  AG_CHECK(profile != nullptr,
+           path + " has neither \"archgraph_profile\" nor a profile object");
+
+  std::cout << "machine:  " << str_member(*profile, "machine", "?") << "  ("
+            << int_member(*profile, "processors") << " processors, "
+            << num_member(*profile, "clock_hz") / 1e6 << " MHz)\n"
+            << "sampling: " << int_member(*profile, "samples")
+            << " samples, final interval "
+            << int_member(*profile, "interval") << " cycles\n\n";
+
+  // ---- top-N hottest labeled regions --------------------------------------
+  const obs::JsonValue* regions = profile->find("regions");
+  std::vector<const obs::JsonValue*> rows;
+  if (regions != nullptr && regions->is_array()) {
+    for (const obs::JsonValue& r : regions->items()) {
+      rows.push_back(&r);
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const obs::JsonValue* a, const obs::JsonValue* b) {
+              return int_member(*a, "accesses") > int_member(*b, "accesses");
+            });
+  if (rows.size() > static_cast<usize>(top)) {
+    rows.resize(static_cast<usize>(top));
+  }
+
+  Table region_table({"region", "words", "accesses", "reads", "writes",
+                      "rmws", "miss%", "heat"},
+                     /*double_precision=*/2);
+  for (const obs::JsonValue* r : rows) {
+    const obs::JsonValue* miss = r->find("miss_rate");
+    std::vector<double> heat;
+    if (const obs::JsonValue* h = r->find("heat");
+        h != nullptr && h->is_array()) {
+      for (const obs::JsonValue& v : h->items()) {
+        heat.push_back(v.as_f64());
+      }
+    }
+    region_table.row()
+        .add(str_member(*r, "name", "?"))
+        .add(int_member(*r, "words"))
+        .add(int_member(*r, "accesses"))
+        .add(int_member(*r, "reads"))
+        .add(int_member(*r, "writes"))
+        .add(int_member(*r, "rmws"));
+    if (miss != nullptr && miss->is_number()) {
+      region_table.add(100.0 * miss->as_f64());
+    } else {
+      region_table.add("-");
+    }
+    region_table.add(obs::prof::sparkline(downsample(heat, width)));
+  }
+  std::cout << "hottest regions (top " << rows.size() << " by accesses):\n"
+            << region_table.to_text() << '\n';
+
+  // ---- counter tracks over time -------------------------------------------
+  const obs::JsonValue* events = doc.find("traceEvents");
+  std::map<std::string, Track> tracks;  // sorted: stable row order
+  std::vector<std::string> order;
+  if (events != nullptr && events->is_array()) {
+    for (const obs::JsonValue& e : events->items()) {
+      if (!e.is_object() || str_member(e, "ph") != "C") continue;
+      const std::string name = str_member(e, "name", "?");
+      const obs::JsonValue* args = e.find("args");
+      if (args == nullptr) continue;
+      if (tracks.find(name) == tracks.end()) order.push_back(name);
+      tracks[name].values.push_back(num_member(*args, "value"));
+    }
+  }
+  if (tracks.empty()) {
+    std::cout << "(no counter tracks — bare profile object, no timeline)\n";
+    return 0;
+  }
+
+  Table track_table({"counter", "min", "mean", "max", "over time"},
+                    /*double_precision=*/2);
+  usize per_proc = 0;
+  for (const std::string& name : order) {
+    if (!all_series && is_per_processor(name)) {
+      ++per_proc;
+      continue;
+    }
+    const Track& t = tracks[name];
+    track_table.row()
+        .add(name)
+        .add(t.min())
+        .add(t.mean())
+        .add(t.max())
+        .add(obs::prof::sparkline(downsample(t.values, width)));
+  }
+  std::cout << "counter tracks over simulated time:\n"
+            << track_table.to_text();
+  if (per_proc > 0) {
+    std::cout << "(" << per_proc
+              << " per-processor tracks hidden; --all-series shows them)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string path;
+    i64 top = 10;
+    usize width = 48;
+    bool all_series = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--top") {
+        AG_CHECK(i + 1 < argc, "--top needs a count");
+        top = parse_positive_i64("--top", argv[++i]);
+      } else if (arg == "--width") {
+        AG_CHECK(i + 1 < argc, "--width needs a column count");
+        width = static_cast<usize>(parse_positive_i64("--width", argv[++i]));
+      } else if (arg == "--all-series") {
+        all_series = true;
+      } else {
+        AG_CHECK(arg.rfind("--", 0) != 0, "unknown flag '" + arg + "'");
+        AG_CHECK(path.empty(), "one TRACE.json at a time");
+        path = arg;
+      }
+    }
+    AG_CHECK(!path.empty(),
+             "usage: archgraph_prof_report TRACE.json [--top N] [--width W] "
+             "[--all-series]");
+    return run(path, top, width, all_series);
+  } catch (const std::exception& e) {
+    std::cerr << "archgraph_prof_report: " << e.what() << '\n';
+    return 1;
+  }
+}

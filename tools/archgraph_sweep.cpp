@@ -4,7 +4,8 @@
 //
 // Usage:
 //   archgraph_sweep run SPEC... [--out FILE] [--jobs N] [--dry-run]
-//                               [--no-verify]
+//                               [--no-verify] [--profile]
+//                               [--profile-dir DIR] [--profile-interval K]
 //   archgraph_sweep check RESULTS --against BASELINE [--tol T]
 //   archgraph_sweep --list
 //
@@ -18,6 +19,10 @@
 // --out, or stdout with the progress report on stderr. Cells fan out over
 // --jobs N host threads (default: one per hardware thread); records are
 // always emitted in plan order, so the JSONL is byte-identical for every N.
+// --profile attaches the interval profiler to every cell; --profile-dir DIR
+// (implies --profile) additionally writes one Chrome trace per cell to
+// DIR/<run_id>.trace.json. Profiling never changes the JSONL — simulated
+// counters are byte-identical with the profiler attached.
 // `check` re-loads two such files, matches cells by run ID, and fails
 // (exit 1) when any gated metric leaves the ±tol band or a cell is missing
 // on either side — the regression gate ci_smoke.sh runs on every commit.
@@ -101,10 +106,20 @@ int run_run(const std::vector<std::string>& args) {
       dry_run = true;
     } else if (args[i] == "--no-verify") {
       options.verify = false;
+    } else if (args[i] == "--profile") {
+      options.profile = true;
+    } else if (args[i] == "--profile-dir") {
+      AG_CHECK(i + 1 < args.size(), "--profile-dir needs a directory");
+      options.profile_dir = args[++i];
+    } else if (args[i] == "--profile-interval") {
+      AG_CHECK(i + 1 < args.size(), "--profile-interval needs a cycle count");
+      options.profile_interval =
+          parse_positive_i64("--profile-interval", args[++i]);
     } else {
       AG_CHECK(args[i].rfind("--", 0) != 0,
                "unknown run flag '" + args[i] +
-                   "' (valid: --out FILE, --jobs N, --dry-run, --no-verify)");
+                   "' (valid: --out FILE, --jobs N, --dry-run, --no-verify, "
+                   "--profile, --profile-dir DIR, --profile-interval K)");
       const std::vector<std::string> resolved = resolve_spec(args[i]);
       spec_texts.insert(spec_texts.end(), resolved.begin(), resolved.end());
     }
@@ -150,6 +165,9 @@ int run_run(const std::vector<std::string>& args) {
     std::cerr << " -> " << out_path;
   }
   std::cerr << '\n';
+  if (!options.profile_dir.empty()) {
+    std::cerr << "profile traces in " << options.profile_dir << "/\n";
+  }
   return 0;
 }
 

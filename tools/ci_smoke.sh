@@ -93,6 +93,56 @@ echo "== sweep regression gate (parallel ci grid vs committed baseline) =="
     --against baselines/ci_quick.jsonl
 echo "ok: ci sweep matches baselines/ci_quick.jsonl"
 
+echo "== profiler zero-drift (profiled sweep JSONL must be byte-identical) =="
+mkdir -p "$OUT_DIR/traces"
+"$BUILD_DIR"/tools/archgraph_sweep run ci --jobs 1 --profile \
+    --profile-dir "$OUT_DIR/traces" --out "$OUT_DIR/ci_profiled.jsonl" \
+    2>/dev/null
+cmp "$OUT_DIR/ci_serial.jsonl" "$OUT_DIR/ci_profiled.jsonl" || {
+  echo "error: --profile changed the sweep JSONL" >&2
+  exit 1
+}
+echo "ok: profiled ci sweep JSONL byte-identical to unprofiled"
+
+echo "== profiler gate (profiled runs vs both committed baselines, tol 0) =="
+"$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/ci_profiled.jsonl" \
+    --against baselines/ci_quick.jsonl --tol 0
+ARCHGRAPH_BENCH_SCALE=quick "$BUILD_DIR"/tools/archgraph_sweep run fig1 \
+    --profile --out "$OUT_DIR/fig1_profiled.jsonl" 2>/dev/null
+"$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/fig1_profiled.jsonl" \
+    --against baselines/fig1_quick.jsonl --tol 0
+echo "ok: profiled sweeps pass check --tol 0 against both baselines"
+
+echo "== profile trace (valid Chrome trace with counter tracks) =="
+TRACE_COUNT=$(ls "$OUT_DIR"/traces/*.trace.json | wc -l)
+[ "$TRACE_COUNT" -eq 2 ] || {
+  echo "error: expected 2 per-cell traces, got $TRACE_COUNT" >&2
+  exit 1
+}
+"$BUILD_DIR"/tools/archgraph_cli rank --machine smp:procs=2,l2_kb=64 \
+    --n 4096 --layout random --algorithm hj \
+    --profile-trace "$OUT_DIR/cli.trace.json" >/dev/null
+for trace in "$OUT_DIR"/traces/*.trace.json "$OUT_DIR/cli.trace.json"; do
+  python3 - "$trace" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+events = doc["traceEvents"]
+counters = {e["name"] for e in events if e.get("ph") == "C"}
+assert counters, "no counter tracks in trace"
+assert any(e.get("ph") == "X" for e in events), "no span events in trace"
+prof = doc["archgraph_profile"]
+assert prof["regions"], "no labeled regions in embedded profile"
+print(f"ok: {sys.argv[1].rsplit('/', 1)[-1]}: "
+      f"{len(counters)} counter tracks, {len(prof['regions'])} regions")
+EOF
+done
+"$BUILD_DIR"/tools/archgraph_prof_report "$OUT_DIR/cli.trace.json" >/dev/null
+echo "ok: archgraph_prof_report renders the trace"
+
 echo "== sweep gate (corrupted baseline must fail) =="
 python3 - "$OUT_DIR/ci.jsonl" "$OUT_DIR/ci_corrupt.jsonl" <<'EOF'
 import json
