@@ -126,10 +126,19 @@ void ProfSession::label_range(std::string name, sim::Addr base, i64 words) {
   const auto it = std::lower_bound(
       ranges_.begin(), ranges_.end(), base,
       [](const Range& r, sim::Addr b) { return r.base < b; });
-  if (it != ranges_.end() && it->base == base && it->words == words) {
-    // Relabel in place (an input builder run twice against one session).
+  if (it != ranges_.end() && it->base == base) {
+    // Relabel in place (an input builder run twice against one session). A
+    // changed length resizes the existing range instead of inserting a
+    // second, overlapping one — resolve() attributes each address to at most
+    // one range and relies on disjointness. The heatmap restarts on resize
+    // (its bucket->offset mapping is relative to the length).
     it->name = name;
     it->stats.name = std::move(name);
+    if (it->words != words) {
+      it->words = words;
+      it->stats.words = words;
+      it->stats.heat.assign(static_cast<usize>(kHeatBuckets), 0);
+    }
     return;
   }
   Range range;
@@ -236,6 +245,14 @@ void ProfSession::compact() {
     keep_evens(s.values);
   }
   interval_ *= 2;
+  // Re-anchor the schedule: retained samples are already interval_ apart
+  // (every other old point), so the next sample lands one new interval after
+  // the last retained point instead of continuing on the old phase — the
+  // exported timeline stays uniformly spaced at the final interval (region
+  // begin/end anchors excepted).
+  if (!times_.empty()) {
+    next_sample_ = times_.back() + interval_;
+  }
 }
 
 void ProfSession::on_prof_region_begin(const sim::Machine& machine) {
@@ -248,8 +265,11 @@ void ProfSession::on_advance(const sim::Machine& machine,
                              sim::Cycle region_cycle) {
   const sim::Cycle abs = region_base_ + region_cycle;
   while (abs >= next_sample_) {
-    take_sample(machine, next_sample_);
+    const sim::Cycle at = next_sample_;
+    // Advance before sampling: take_sample() may compact, which doubles
+    // interval_ and re-anchors next_sample_ itself.
     next_sample_ += interval_;
+    take_sample(machine, at);
   }
 }
 

@@ -102,8 +102,10 @@ class ProfSession final : public sim::ProfHook {
 
   /// Labels [base, base+words) as `name` for access attribution. Ranges come
   /// from the bump allocator and are disjoint; relabeling the same base
-  /// replaces the name (an input builder re-run on a fresh machine reuses
-  /// addresses only across sessions, so this is a convenience, not a merge).
+  /// replaces the name and, if the length changed, resizes the range in
+  /// place and restarts its heatmap — never inserting a second overlapping
+  /// range (an input builder re-run on a fresh machine reuses addresses only
+  /// across sessions, so this is a convenience, not a merge).
   void label_range(std::string name, sim::Addr base, i64 words);
 
   // sim::ProfHook — read-only observation of the simulation.
@@ -114,6 +116,10 @@ class ProfSession final : public sim::ProfHook {
   void on_prof_region_end(const sim::Machine& machine) override;
 
   // Inspection (tests and the report tool).
+  /// The current (final, after any compaction doublings) sampling period.
+  /// Each compaction re-anchors the schedule, so exported samples sit
+  /// interval() apart — except the region begin/end anchor points, which
+  /// sample off-grid and re-phase the grid that follows them.
   sim::Cycle interval() const { return interval_; }
   const std::vector<sim::Cycle>& sample_times() const { return times_; }
   const std::vector<SeriesProfile>& series() const { return series_; }
@@ -126,9 +132,9 @@ class ProfSession final : public sim::ProfHook {
   /// `trace`'s closed spans as "X" events when non-null, plus the
   /// profile_json() object under the top-level "archgraph_profile" key.
   std::string chrome_trace_json(const TraceSession* trace = nullptr) const;
-  /// Compact profile summary object: sampling parameters, per-series
-  /// min/max/mean (over deltas for cumulative series), and per-range
-  /// attribution with heatmaps.
+  /// Compact profile summary object: sampling parameters ("interval" is the
+  /// final sampling period — see interval()), per-series min/max/mean (over
+  /// deltas for cumulative series), and per-range attribution with heatmaps.
   std::string profile_json() const;
   /// Writes chrome_trace_json() to `path`; false (with a stderr message
   /// naming errno) on failure.

@@ -107,6 +107,12 @@ Cycle MtaMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
   AG_CHECK(live_ == 0,
            "MTA simulation deadlocked: threads wait on full/empty tags or a "
            "barrier that can never be satisfied");
+  // threads_ holds raw pointers into the caller's region-local vector, which
+  // dies when run_region() returns; drop them so hooks sampling between
+  // regions (the next region's on_prof_region_begin) never dereference freed
+  // ThreadStates. procs_ stays: on_prof_region_end still reads the issued
+  // gauges, and the next simulate() reassigns it.
+  threads_.clear();
   return region_end_;
 }
 
@@ -351,13 +357,22 @@ std::vector<ProfGaugeInfo> MtaMachine::prof_gauge_info() const {
 }
 
 void MtaMachine::sample_prof_gauges(i64* out) const {
+  // Gauge slots follow prof_gauge_info(): config_.processors issued counters,
+  // then ready/blocked/outstanding. Before the first region procs_ is still
+  // empty; pad the per-processor slots so the layout stays aligned (the
+  // machine is idle then, so zero is also the true value).
   i64 ready = 0;
   i64 in_use = 0;
   usize i = 0;
-  for (const Processor& proc : procs_) {
-    out[i++] = proc.issued;
-    ready += static_cast<i64>(proc.ready_fifo.size());
-    in_use += proc.streams_in_use;
+  for (u32 p = 0; p < config_.processors; ++p) {
+    if (p < procs_.size()) {
+      const Processor& proc = procs_[p];
+      out[i++] = proc.issued;
+      ready += static_cast<i64>(proc.ready_fifo.size());
+      in_use += proc.streams_in_use;
+    } else {
+      out[i++] = 0;
+    }
   }
   i64 outstanding = 0;
   for (const ThreadState* ts : threads_) {

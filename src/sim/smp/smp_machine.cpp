@@ -131,6 +131,9 @@ Cycle SmpMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
   AG_CHECK(live_ == 0,
            "SMP simulation deadlocked: threads wait on full/empty tags or a "
            "barrier that can never be satisfied");
+  // threads_ points into the caller's region-local vector; drop the raw
+  // pointers so nothing sampled between regions can dereference freed state.
+  threads_.clear();
   return region_end_;
 }
 

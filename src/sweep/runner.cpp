@@ -95,13 +95,24 @@ class InputCache {
 };
 
 /// Run IDs contain '/' and ':' (kernel/machine-spec/axes); map everything
-/// outside [A-Za-z0-9._-] to '_' so one ID is one file under --profile-dir.
+/// outside [A-Za-z0-9._-] to '_' and append an FNV-1a hash of the original
+/// ID so distinct IDs that sanitize alike (e.g. "a/b" vs "a:b") still get
+/// distinct files under --profile-dir.
 std::string filename_safe(const std::string& id) {
+  u64 h = 14695981039346656037ull;
+  for (const char c : id) {
+    h = (h ^ static_cast<u8>(c)) * 1099511628211ull;
+  }
   std::string out = id;
   for (char& c : out) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
     if (!ok) c = '_';
+  }
+  out += '-';
+  constexpr char kHex[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += kHex[(h >> shift) & 0xf];
   }
   return out;
 }

@@ -45,8 +45,9 @@ struct RunOptions {
   /// Profiler sampling interval in simulated cycles (0 = profiler default).
   sim::Cycle profile_interval = 0;
   /// When non-empty: implies `profile` and writes one Chrome trace per cell
-  /// to <profile_dir>/<run_id>.trace.json (directory created if needed),
-  /// including the cell's phase spans when `trace` is also set.
+  /// to <profile_dir>/<sanitized_run_id>-<hash>.trace.json (directory created
+  /// if needed; the hash of the raw run ID keeps filenames unique after
+  /// sanitizing), including the cell's phase spans when `trace` is also set.
   std::string profile_dir;
 };
 

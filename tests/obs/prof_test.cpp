@@ -112,6 +112,47 @@ TEST(ProfTimeline, CompactionBoundsMemoryAndDoublesInterval) {
   EXPECT_GT(machine->cycles(), 32 * 16);
 }
 
+TEST(ProfTimeline, CompactionReAnchorsTheSamplingGrid) {
+  const auto machine = sim::make_machine("mta:procs=1");
+  ProfSession session(/*interval=*/16, /*capacity=*/16);
+  session.attach(*machine, "mta");
+  // Drive the hook directly: one region-begin anchor, then enough simulated
+  // cycles to force several compactions.
+  session.on_prof_region_begin(*machine);
+  session.on_advance(*machine, 16 * 64);
+  const std::vector<sim::Cycle>& times = session.sample_times();
+  session.detach();
+  ASSERT_GE(times.size(), 3u);
+  EXPECT_GT(session.interval(), 16) << "the run must have compacted";
+  // Each compaction must re-anchor next_sample_ on the doubled grid, so the
+  // whole exported timeline stays uniformly spaced at the final interval.
+  for (usize i = 1; i < times.size(); ++i) {
+    EXPECT_EQ(times[i] - times[i - 1], session.interval())
+        << "sample spacing drifted off the final grid at i=" << i;
+  }
+}
+
+TEST(ProfTimeline, GaugeSamplingBetweenRegionsReadsNoFreedThreads) {
+  const auto machine = sim::make_machine("mta:procs=2");
+  // Small capacity forces compaction, the path that historically let a
+  // region-begin sample through while the thread table still held pointers
+  // into the previous region's freed thread vector.
+  ProfSession session(/*interval=*/64, /*capacity=*/16);
+  session.attach(*machine, "mta");
+  const graph::LinkedList list = graph::random_list(2048, 3);
+  core::sim_rank_list_walk(*machine, list);  // multi-region kernel
+  // Between regions (what region N+1's begin sample sees) the machine must
+  // report an idle state from cleared tables, not dereference freed threads.
+  const usize gauges = machine->prof_gauge_info().size();
+  std::vector<i64> buf(gauges, -1);
+  machine->sample_prof_gauges(buf.data());
+  session.detach();
+  ASSERT_GE(gauges, 3u);
+  EXPECT_EQ(buf[gauges - 3], 0);  // streams_ready
+  EXPECT_EQ(buf[gauges - 2], 0);  // streams_blocked
+  EXPECT_EQ(buf[gauges - 1], 0);  // mem_outstanding
+}
+
 TEST(ProfTimeline, MachineGaugesAreRegistered) {
   const auto mta = sim::make_machine("mta:procs=2");
   ProfSession mta_session;
@@ -167,6 +208,30 @@ TEST(ProfAttribution, ResolvesAccessesToLabeledRanges) {
   const RangeProfile* rank = find_range(ranges, "rank");
   ASSERT_NE(rank, nullptr);
   EXPECT_EQ(rank->writes, 4096);
+}
+
+TEST(ProfAttribution, RelabelSameBaseWithNewLengthResizesInPlace) {
+  const auto machine = sim::make_machine("mta:procs=1");
+  ProfSession session;
+  session.attach(*machine, "mta");
+  session.label_range("whole", sim::Addr{1000}, 64);
+  // Relabeling the same base with a different length must resize the range
+  // in place — not insert a second overlapping range that shadows it.
+  session.label_range("half", sim::Addr{1000}, 32);
+  session.label_range("tail", sim::Addr{1032}, 32);
+  session.on_access(sim::Addr{1010}, sim::AccessClass::kMemRef, false);
+  session.on_access(sim::Addr{1040}, sim::AccessClass::kMemRef, true);
+  session.detach();
+  const std::vector<RangeProfile> ranges = session.range_profiles();
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0].name, "half");
+  EXPECT_EQ(ranges[0].words, 32);
+  EXPECT_EQ(ranges[0].reads, 1);
+  i64 heat_total = 0;
+  for (const i64 h : ranges[0].heat) heat_total += h;
+  EXPECT_EQ(heat_total, 1) << "the resized range's heatmap restarts";
+  EXPECT_EQ(ranges[1].name, "tail");
+  EXPECT_EQ(ranges[1].writes, 1);
 }
 
 TEST(ProfAttribution, UnlabeledAccessesFallIntoCatchAll) {

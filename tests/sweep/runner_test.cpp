@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <filesystem>
 #include <stdexcept>
 #include <vector>
 
@@ -101,6 +103,35 @@ TEST(RunPlan, RunsEveryCellInOrderAndStreams) {
   EXPECT_EQ(run.jobs, 1u);
   EXPECT_GT(run.host_seconds, 0.0);
   EXPECT_GT(run.cells_per_sec(), 0.0);
+}
+
+TEST(RunPlan, ProfileDirWritesOneUniqueTracePerCell) {
+  const SweepPlan plan =
+      expand("kernel=lr_walk machine=mta:procs={1,2} layout=ordered n=256");
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "archgraph_profile_dir_test";
+  std::filesystem::remove_all(dir);
+  RunOptions options;
+  options.profile_dir = dir.string();
+  const PlanRun run = run_plan(plan, options);
+  ASSERT_EQ(run.cells.size(), 2u);
+  usize traces = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++traces;
+    // <sanitized_run_id>-<16 hex>.trace.json: the hash of the raw run ID
+    // keeps IDs that sanitize alike from overwriting each other's trace.
+    const std::string name = entry.path().filename().string();
+    ASSERT_GT(name.size(), 28u) << name;
+    const std::string suffix = name.substr(name.size() - 28);
+    EXPECT_EQ(suffix[0], '-') << name;
+    for (usize i = 1; i <= 16; ++i) {
+      EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(suffix[i])))
+          << name;
+    }
+    EXPECT_EQ(suffix.substr(17), ".trace.json") << name;
+  }
+  EXPECT_EQ(traces, 2u) << "one trace file per cell, no overwrites";
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

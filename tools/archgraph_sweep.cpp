@@ -21,8 +21,9 @@
 // always emitted in plan order, so the JSONL is byte-identical for every N.
 // --profile attaches the interval profiler to every cell; --profile-dir DIR
 // (implies --profile) additionally writes one Chrome trace per cell to
-// DIR/<run_id>.trace.json. Profiling never changes the JSONL — simulated
-// counters are byte-identical with the profiler attached.
+// DIR/<sanitized_run_id>-<hash>.trace.json (hashed so run IDs that sanitize
+// alike cannot overwrite each other). Profiling never changes the JSONL —
+// simulated counters are byte-identical with the profiler attached.
 // `check` re-loads two such files, matches cells by run ID, and fails
 // (exit 1) when any gated metric leaves the ±tol band or a cell is missing
 // on either side — the regression gate ci_smoke.sh runs on every commit.
