@@ -28,6 +28,10 @@ constexpr const char* kStatsSeries[] = {
 };
 constexpr usize kStatsSeriesCount = std::size(kStatsSeries);
 
+/// Cycle-accounting categories follow the named stats: one cumulative
+/// "acct.<category>" series per CycleCat slot.
+constexpr usize kSampledSeriesCount = kStatsSeriesCount + sim::kCycleCatCount;
+
 void read_stats_values(const sim::MachineStats& s, i64* out) {
   usize i = 0;
   out[i++] = s.instructions;
@@ -41,7 +45,10 @@ void read_stats_values(const sim::MachineStats& s, i64* out) {
   out[i++] = s.l2_hits;
   out[i++] = s.mem_fills;
   out[i++] = s.writebacks;
-  out[i] = s.bus_busy;
+  out[i++] = s.bus_busy;
+  for (usize c = 0; c < sim::kCycleCatCount; ++c) {
+    out[i++] = s.breakdown[static_cast<sim::CycleCat>(c)];
+  }
 }
 
 /// Per-interval deltas of a cumulative series, clamped at counter restarts
@@ -99,11 +106,16 @@ void ProfSession::attach(sim::Machine& machine, std::string machine_name) {
   machine.set_prof_hook(this);
 
   series_.clear();
-  series_.reserve(kStatsSeriesCount);
+  series_.reserve(kSampledSeriesCount);
   for (const char* name : kStatsSeries) {
     series_.push_back(SeriesProfile{name, /*cumulative=*/true, {}});
   }
-  stats_series_ = kStatsSeriesCount;
+  for (usize c = 0; c < sim::kCycleCatCount; ++c) {
+    const char* cat = sim::cycle_cat_name(static_cast<sim::CycleCat>(c));
+    series_.push_back(
+        SeriesProfile{std::string("acct.") + cat, /*cumulative=*/true, {}});
+  }
+  stats_series_ = kSampledSeriesCount;
   for (const sim::ProfGaugeInfo& g : machine.prof_gauge_info()) {
     series_.push_back(SeriesProfile{g.name, g.cumulative, {}});
   }
@@ -213,8 +225,9 @@ void ProfSession::take_sample(const sim::Machine& machine, sim::Cycle at) {
     return;  // keep the timeline strictly increasing
   }
   times_.push_back(at);
-  i64 stats_buf[kStatsSeriesCount];
-  read_stats_values(machine.stats(), stats_buf);
+  last_stats_ = machine.stats();
+  i64 stats_buf[kSampledSeriesCount];
+  read_stats_values(last_stats_, stats_buf);
   for (usize i = 0; i < stats_series_; ++i) {
     series_[i].values.push_back(stats_buf[i]);
   }
@@ -333,6 +346,28 @@ std::string ProfSession::profile_json() const {
     w.end_object();
   }
   w.end_array();
+  // Final cycle-accounting breakdown: where every processor-cycle slot of
+  // the profiled run went (sum(categories) == processors * cycles).
+  {
+    const sim::CycleBreakdown& b = last_stats_.breakdown;
+    w.key("cycle_accounting").begin_object();
+    w.field("processors", processors_)
+        .field("cycles", last_stats_.cycles)
+        .field("slots", b.total());
+    w.key("categories").begin_object();
+    for (usize i = 0; i < sim::kCycleCatCount; ++i) {
+      const auto cat = static_cast<sim::CycleCat>(i);
+      w.field(sim::cycle_cat_name(cat), b[cat]);
+    }
+    w.end_object();
+    w.key("shares").begin_object();
+    for (usize i = 0; i < sim::kCycleCatCount; ++i) {
+      const auto cat = static_cast<sim::CycleCat>(i);
+      w.field(sim::cycle_cat_name(cat), b.share(cat));
+    }
+    w.end_object();
+    w.end_object();
+  }
   w.key("regions").begin_array();
   for (const RangeProfile& r : range_profiles()) {
     w.begin_object()
@@ -435,13 +470,45 @@ std::string ProfSession::chrome_trace_json(const TraceSession* trace) const {
     w.end_object();
   };
   for (const SeriesProfile& s : series_) {
-    if (all_zero(s.values)) {
-      continue;
+    if (all_zero(s.values) || s.name.rfind("acct.", 0) == 0) {
+      continue;  // acct.* series merge into the stacked track below
     }
     const std::vector<i64> plotted =
         s.cumulative ? cumulative_deltas(s.values) : s.values;
     for (usize i = s.cumulative ? 1 : 0; i < plotted.size(); ++i) {
       counter(s.name, times_[i], static_cast<double>(plotted[i]));
+    }
+  }
+  // Stacked cycle-accounting track: one counter event per sample with one
+  // arg per live category — trace viewers render multi-arg "C" events as a
+  // stacked area, showing where every issue slot of each interval went.
+  {
+    std::vector<usize> live;       // series index of each nonzero category
+    std::vector<std::string> arg;  // its bare category name
+    std::vector<std::vector<i64>> deltas;
+    for (usize c = 0; c < sim::kCycleCatCount; ++c) {
+      const usize idx = kStatsSeriesCount + c;
+      if (idx >= series_.size() || all_zero(series_[idx].values)) {
+        continue;
+      }
+      live.push_back(idx);
+      arg.push_back(sim::cycle_cat_name(static_cast<sim::CycleCat>(c)));
+      deltas.push_back(cumulative_deltas(series_[idx].values));
+    }
+    if (!live.empty()) {
+      for (usize i = 1; i < times_.size(); ++i) {
+        w.begin_object()
+            .field("name", "cycle_accounting")
+            .field("ph", "C")
+            .field("pid", 0)
+            .field("ts", us(times_[i]));
+        w.key("args").begin_object();
+        for (usize k = 0; k < live.size(); ++k) {
+          w.field(arg[k], static_cast<double>(deltas[k][i]));
+        }
+        w.end_object();
+        w.end_object();
+      }
     }
   }
   if (!series_.empty() && processors_ > 0) {

@@ -7,8 +7,10 @@
 //   * Sampling timeline — attached to a machine as its sim::ProfHook, the
 //     session samples a set of counters every `interval` simulated cycles:
 //     MachineStats counters common to both models (instructions, memory ops,
-//     cache hits/misses/fills, bus occupancy, sync retries) plus the
-//     machine-specific gauges from Machine::prof_gauge_info() (MTA:
+//     cache hits/misses/fills, bus occupancy, sync retries), the twelve
+//     cycle-accounting categories as cumulative "acct.<category>" series
+//     (exported as one stacked "cycle_accounting" Chrome counter track), plus
+//     the machine-specific gauges from Machine::prof_gauge_info() (MTA:
 //     per-processor issued slots, ready/blocked streams, outstanding memory
 //     references; SMP: per-worker barrier-wait cycles). The timeline is
 //     bounded: when it reaches capacity it compacts 2:1 (keeping every other
@@ -187,6 +189,9 @@ class ProfSession final : public sim::ProfHook {
   sim::Cycle next_sample_ = 0;
   sim::Cycle region_base_ = 0;  // machine cycles when the region began
   bool in_region_ = false;
+  // Stats at the newest sample; carries the final cycle-accounting breakdown
+  // into profile_json() after detach().
+  sim::MachineStats last_stats_;
 
   // Attribution. Sorted by base, disjoint; unlabeled_ catches the rest.
   std::vector<Range> ranges_;

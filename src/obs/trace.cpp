@@ -17,6 +17,29 @@ namespace {
 // cross-wire their spans.
 thread_local TraceSession* g_current = nullptr;
 
+/// Nested "cycle_accounting" object: the attributed slot total, the
+/// per-category slot counts, and each category's share of the total. Shared
+/// by spans, totals, and (via summary_json) the CLI --json document. Zero
+/// categories are kept: a share dropping to zero is itself a signal, and the
+/// fixed key set keeps downstream parsers simple.
+void breakdown_fields(JsonWriter& w, const sim::CycleBreakdown& b) {
+  w.key("cycle_accounting").begin_object();
+  w.field("slots", b.total());
+  w.key("categories").begin_object();
+  for (usize i = 0; i < sim::kCycleCatCount; ++i) {
+    const auto cat = static_cast<sim::CycleCat>(i);
+    w.field(sim::cycle_cat_name(cat), b[cat]);
+  }
+  w.end_object();
+  w.key("shares").begin_object();
+  for (usize i = 0; i < sim::kCycleCatCount; ++i) {
+    const auto cat = static_cast<sim::CycleCat>(i);
+    w.field(sim::cycle_cat_name(cat), b.share(cat));
+  }
+  w.end_object();
+  w.end_object();
+}
+
 /// Shared span serialization so the JSONL events and the summary document
 /// carry identical field names (schema stability is test-enforced).
 void span_fields(JsonWriter& w, const SpanRecord& s) {
@@ -50,6 +73,7 @@ void span_fields(JsonWriter& w, const SpanRecord& s) {
       .field("processors", s.processors)
       .field("utilization", s.utilization())
       .field("seconds", s.seconds());
+  breakdown_fields(w, d.breakdown);
 }
 
 void totals_fields(JsonWriter& w, const sim::MachineStats& t, u32 processors,
@@ -76,6 +100,7 @@ void totals_fields(JsonWriter& w, const sim::MachineStats& t, u32 processors,
       .field("utilization", t.utilization(processors))
       .field("seconds",
              clock_hz > 0 ? static_cast<double>(t.cycles) / clock_hz : 0.0);
+  breakdown_fields(w, t.breakdown);
 }
 
 bool write_text_file(const std::string& path, const std::string& text,

@@ -44,7 +44,18 @@ void Machine::run_region() {
     prof_hook_->on_prof_region_begin(*this);
   }
   const i64 instructions_before = stats_.instructions;
+  const CycleBreakdown breakdown_before = stats_.breakdown;
   const Cycle span = simulate(threads);
+
+  // The cycle-accounting invariant: every processor-cycle slot of the region
+  // was attributed to exactly one category. Checked on every region — the
+  // sum is 12 adds, simulate() is millions of events.
+  const Cycle attributed = (stats_.breakdown - breakdown_before).total();
+  AG_CHECK(attributed ==
+               span * static_cast<Cycle>(processors()),
+           "cycle accounting broke: attributed " + std::to_string(attributed) +
+               " slots, expected processors x cycles = " +
+               std::to_string(processors()) + " x " + std::to_string(span));
 
   stats_.regions += 1;
   stats_.threads += static_cast<i64>(threads.size());

@@ -36,6 +36,56 @@ MtaMachine::MtaMachine(MtaConfig config) : config_(config) {
   net_half_ = config_.memory_latency / 2;
 }
 
+void MtaMachine::settle(Processor& proc, Cycle t) {
+  if (t <= proc.acct_until) {
+    return;  // already attributed (or a past-time event) — nothing to add
+  }
+  // Priority order mirrors the paper's latency-tolerance story: if any
+  // stream has a memory round trip in flight the processor is covering
+  // latency it failed to hide (no_ready_stream); otherwise parked sync
+  // waiters, then barrier waiters, explain the silence; with no stream
+  // holding work at all the slot is idle (fork ramp, admission, drain, or
+  // an unused processor).
+  CycleCat cat = CycleCat::kIdleNoThread;
+  if (proc.acct_mem > 0) {
+    cat = CycleCat::kNoReadyStream;
+  } else if (proc.acct_sync > 0) {
+    cat = CycleCat::kSyncBlocked;
+  } else if (proc.acct_barrier > 0) {
+    cat = CycleCat::kBarrier;
+  }
+  stats_.breakdown[cat] += t - proc.acct_until;
+  proc.acct_until = t;
+}
+
+void MtaMachine::acct_issue(Processor& proc) {
+  if (proc.clock > proc.acct_until) {
+    stats_.breakdown[CycleCat::kIssued] += proc.clock - proc.acct_until;
+    proc.acct_until = proc.clock;
+  }
+}
+
+void MtaMachine::acct_complete(u32 tid, Cycle now) {
+  ThreadState* ts = threads_[tid];
+  Processor& proc = procs_[ts->processor];
+  settle(proc, now);
+  switch (ts->pending.kind) {
+    case OpKind::kLoad:
+    case OpKind::kStore:
+    case OpKind::kFetchAdd:
+    case OpKind::kReadFF:
+    case OpKind::kReadFE:
+    case OpKind::kWriteEF:
+      --proc.acct_mem;  // the round trip (or satisfied sync flight) landed
+      break;
+    case OpKind::kBarrier:
+      --proc.acct_barrier;  // the release reached this stream
+      break;
+    default:
+      break;  // compute occupancy: the slots were attributed at issue
+  }
+}
+
 usize MtaMachine::bank_of(Addr addr) const {
   const usize banks = bank_free_.size();
   if (config_.hash_addresses) {
@@ -94,12 +144,14 @@ Cycle MtaMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
         break;
       case kComplete: {
         const auto tid = static_cast<u32>(e.payload);
+        acct_complete(tid, e.time);
         threads_[tid]->advance();
         post_advance(tid, e.time);
         break;
       }
       case kRetry:
-        attempt_sync(static_cast<u32>(e.payload), e.time);
+        attempt_sync(static_cast<u32>(e.payload), e.time,
+                     /*first_attempt=*/false);
         break;
     }
   }
@@ -107,6 +159,19 @@ Cycle MtaMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
   AG_CHECK(live_ == 0,
            "MTA simulation deadlocked: threads wait on full/empty tags or a "
            "barrier that can never be satisfied");
+  // Close the accounting: attribute every processor's tail gap up to the
+  // region end, so per-processor attribution totals exactly region_end_ and
+  // the region's breakdown delta sums to processors x cycles.
+  for (Processor& proc : procs_) {
+    if (proc.acct_until > region_end_) {
+      // Only reachable with barrier_overhead == 0: the last arrival's issue
+      // slot extends one cycle past the release that ended the region. Clip
+      // the overrun so attribution matches the region span exactly.
+      stats_.breakdown[CycleCat::kIssued] -= proc.acct_until - region_end_;
+      proc.acct_until = region_end_;
+    }
+    settle(proc, region_end_);
+  }
   // threads_ holds raw pointers into the caller's region-local vector, which
   // dies when run_region() returns; drop them so hooks sampling between
   // regions (the next region's on_prof_region_begin) never dereference freed
@@ -147,6 +212,10 @@ void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
   ThreadState* ts = threads_[tid];
   Operation& op = ts->pending;
 
+  // Cycle accounting: classify the silent gap up to this issue, then claim
+  // the issue slot(s) — [now, proc.clock) is attributed as issued below.
+  settle(proc, now);
+
   switch (op.kind) {
     case OpKind::kCompute: {
       const i64 slots = std::max<i64>(op.value, 1);
@@ -154,6 +223,7 @@ void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
       stats_.instructions += slots;
       proc.issued += slots;
       ts->instructions += slots;
+      acct_issue(proc);
       ts->status = ThreadState::Status::kWaitMemory;  // occupied until t+slots
       events_.push(proc.clock, kComplete, tid);
       break;
@@ -167,6 +237,8 @@ void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
       proc.issued += 1;
       ts->instructions += 1;
       ts->memory_ops += 1;
+      acct_issue(proc);
+      ++proc.acct_mem;  // round trip in flight until kComplete
       if (op.kind == OpKind::kLoad) ++stats_.loads;
       if (op.kind == OpKind::kStore) ++stats_.stores;
       if (op.kind == OpKind::kFetchAdd) ++stats_.fetch_adds;
@@ -184,8 +256,9 @@ void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
       proc.issued += 1;
       ts->instructions += 1;
       ts->memory_ops += 1;
+      acct_issue(proc);
       ts->status = ThreadState::Status::kWaitMemory;
-      attempt_sync(tid, now + 1 + net_half_);
+      attempt_sync(tid, now + 1 + net_half_, /*first_attempt=*/true);
       break;
     }
     case OpKind::kBarrier: {
@@ -193,6 +266,8 @@ void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
       stats_.instructions += 1;
       proc.issued += 1;
       ts->instructions += 1;
+      acct_issue(proc);
+      ++proc.acct_barrier;  // parked until the release kComplete
       barrier_arrive(tid, now);
       break;
     }
@@ -251,7 +326,7 @@ Cycle MtaMachine::service_memory(Operation& op, Cycle issue_time, u32 proc) {
   return start + 1 + net_half_ + extra;
 }
 
-void MtaMachine::attempt_sync(u32 tid, Cycle arrival) {
+void MtaMachine::attempt_sync(u32 tid, Cycle arrival, bool first_attempt) {
   ThreadState* ts = threads_[tid];
   Operation& op = ts->pending;
   if (prof_hook_ != nullptr) {
@@ -290,6 +365,24 @@ void MtaMachine::attempt_sync(u32 tid, Cycle arrival) {
       break;
     default:
       AG_CHECK(false, "attempt_sync() on a non-sync op");
+  }
+
+  // Cycle accounting. A sync op's flight (issue -> satisfied probe ->
+  // completion) counts as memory in flight; a parked op counts as a sync
+  // block. The first attempt's counters were not yet set (the issue path
+  // settled at issue time); a successful retry converts sync -> mem at the
+  // wake time, classifying the parked gap before it moves on.
+  Processor& proc = procs_[ts->processor];
+  if (first_attempt) {
+    if (satisfied) {
+      ++proc.acct_mem;
+    } else {
+      ++proc.acct_sync;
+    }
+  } else if (satisfied) {
+    settle(proc, arrival);
+    --proc.acct_sync;
+    ++proc.acct_mem;
   }
 
   if (satisfied) {
@@ -341,6 +434,13 @@ void MtaMachine::maybe_release_barrier() {
   barrier_waiting_.clear();
   barrier_max_arrival_ = 0;
   stats_.barriers += 1;
+  // Settle the accounting up to the release before observers snapshot
+  // stats(): every live stream is parked here (nothing is in flight), so the
+  // per-phase breakdown deltas slice exactly at barrier boundaries. The
+  // release kComplete events settle no-op and drop the barrier counters.
+  for (Processor& proc : procs_) {
+    settle(proc, release);
+  }
   notify_barrier_release(release);
 }
 

@@ -105,6 +105,13 @@ class MtaMachine final : public Machine {
     bool issue_scheduled = false;
     Cycle clock = 0;   // next cycle this processor may issue
     i64 issued = 0;    // issue slots consumed (profiling gauge)
+
+    // Cycle accounting: slots in [0, acct_until) are attributed; the wait
+    // counters classify the gap up to the next transition (settle()).
+    Cycle acct_until = 0;
+    i32 acct_mem = 0;      // streams with a memory/sync round trip in flight
+    i32 acct_sync = 0;     // streams parked on a full/empty tag
+    i32 acct_barrier = 0;  // streams waiting at the barrier
   };
 
   // Per-region simulation helpers (operate on region_ state).
@@ -113,7 +120,19 @@ class MtaMachine final : public Machine {
   void post_advance(u32 tid, Cycle now);
   void on_finish(u32 tid, Cycle now);
   Cycle service_memory(Operation& op, Cycle issue_time, u32 proc);
-  void attempt_sync(u32 tid, Cycle arrival);
+  void attempt_sync(u32 tid, Cycle arrival, bool first_attempt);
+  /// Cycle accounting: attributes the unaccounted slots [acct_until, t) of
+  /// `proc` to the stall category its wait counters imply, then advances
+  /// acct_until. A no-op when t <= acct_until (past-time events).
+  void settle(Processor& proc, Cycle t);
+  /// Settles the completing thread's processor at `now` and releases the
+  /// wait counter its pre-advance pending op held.
+  void acct_complete(u32 tid, Cycle now);
+  /// Claims the unaccounted slots up to proc.clock as issue occupancy.
+  /// Clamped: when a barrier released by a late finish replays resumed
+  /// streams at already-settled times, only the unclaimed tail is charged —
+  /// acct_until never moves backward, so no slot is attributed twice.
+  void acct_issue(Processor& proc);
   /// One-way extra network cycles if `bank` is not local to `proc`.
   Cycle numa_penalty(usize bank, u32 proc) const;
   void wake_waiters(Addr addr, Cycle now);

@@ -88,6 +88,9 @@ Cycle SmpMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
     proc.oversubscribed = false;
     proc.clock = 0;
     proc.quantum_used = 0;
+    proc.acct_until = 0;
+    proc.acct_sync = 0;
+    proc.acct_barrier = 0;
   }
   sync_waiters_.clear();
   barrier_waiting_.clear();
@@ -131,14 +134,46 @@ Cycle SmpMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
   AG_CHECK(live_ == 0,
            "SMP simulation deadlocked: threads wait on full/empty tags or a "
            "barrier that can never be satisfied");
+  // Attribute each processor's drain tail (after its last op, before the
+  // region's last finisher) — every thread is done, so the gap is idle.
+  for (auto& proc : procs_) {
+    settle(proc, region_end_);
+  }
   // threads_ points into the caller's region-local vector; drop the raw
   // pointers so nothing sampled between regions can dereference freed state.
   threads_.clear();
   return region_end_;
 }
 
+void SmpMachine::settle(Processor& proc, Cycle t) {
+  if (t <= proc.acct_until) {
+    return;
+  }
+  // Priority: a sync-parked thread means the processor is (logically)
+  // spinning on the emulated tag word; a barrier-parked thread means it is
+  // waiting out the software barrier; otherwise it simply has no work.
+  CycleCat cat = CycleCat::kIdle;
+  if (proc.acct_sync > 0) {
+    cat = CycleCat::kRmwSpin;
+  } else if (proc.acct_barrier > 0) {
+    cat = CycleCat::kBarrierWait;
+  }
+  stats_.breakdown[cat] += t - proc.acct_until;
+  proc.acct_until = t;
+}
+
 void SmpMachine::enqueue_ready(u32 tid, Cycle now) {
   ThreadState* ts = threads_[tid];
+  Processor& park_proc = procs_[ts->processor];
+  // A wake ends the thread's park episode: classify the gap up to `now`
+  // under the old counters, then release them.
+  if (ts->status == ThreadState::Status::kWaitSync) {
+    settle(park_proc, now);
+    --park_proc.acct_sync;
+  } else if (ts->status == ThreadState::Status::kWaitBarrier) {
+    settle(park_proc, now);
+    --park_proc.acct_barrier;
+  }
   ts->status = ThreadState::Status::kRunnable;
   Processor& proc = procs_[ts->processor];
   proc.ready_fifo.push_back(tid);
@@ -159,7 +194,15 @@ void SmpMachine::handle_dispatch(u32 proc_id, Cycle now) {
     proc.ready_fifo.pop_front();
     if (proc.oversubscribed && proc.last_ran != kNone &&
         proc.last_ran != proc.running) {
+      settle(proc, std::max(proc.clock, now));
       proc.clock = std::max(proc.clock, now) + config_.context_switch;
+      // Context-switch cycles are scheduler overhead, not kernel work: idle.
+      // Charge only the still-unaccounted part (a wake on this processor may
+      // already have settled past the switch window).
+      if (proc.clock > proc.acct_until) {
+        stats_.breakdown[CycleCat::kIdle] += proc.clock - proc.acct_until;
+        proc.acct_until = proc.clock;
+      }
       ++stats_.context_switches;
     }
     proc.last_ran = proc.running;
@@ -233,7 +276,8 @@ void SmpMachine::invalidate_remote(u64 line, u32 writer) {
 }
 
 Cycle SmpMachine::data_access_cost(Processor& proc, u32 proc_id,
-                                   const Operation& op, Cycle start) {
+                                   const Operation& op, Cycle start,
+                                   AccessSplit& split) {
   const u64 line = proc.l1.line_of(op.addr);
   const bool write = op.kind == OpKind::kStore;
   const u32 my_bit = u32{1} << proc_id;
@@ -256,7 +300,10 @@ Cycle SmpMachine::data_access_cost(Processor& proc, u32 proc_id,
     if (prof_hook_ != nullptr) {
       prof_hook_->on_access(op.addr, AccessClass::kL1Hit, write);
     }
-    return config_.l1_latency + coherence();
+    // An L1 hit is the pipeline's native access path: all issued, plus any
+    // coherence stall on the bus.
+    split.bus = coherence();
+    return config_.l1_latency + split.bus;
   }
   // L1 victim writes back into L2 (on-module, no bus).
   if (l1.evicted && l1.evicted_dirty) {
@@ -273,7 +320,11 @@ Cycle SmpMachine::data_access_cost(Processor& proc, u32 proc_id,
     if (prof_hook_ != nullptr) {
       prof_hook_->on_access(op.addr, AccessClass::kL2Hit, write);
     }
-    return config_.l2_latency + coherence();
+    // One issue slot; the rest of the external-cache latency is the L1-miss
+    // stall the paper's in-order core cannot hide.
+    split.l1_miss = config_.l2_latency - 1;
+    split.bus = coherence();
+    return config_.l2_latency + split.bus;
   }
   if (l2.evicted && l2.evicted_dirty) {
     bus_transaction(start + config_.l2_latency, config_.bus_occupancy);
@@ -290,10 +341,21 @@ Cycle SmpMachine::data_access_cost(Processor& proc, u32 proc_id,
   directory_[line] |= my_bit;
   if (write) {
     // Store-buffer semantics: the CPU retires the store without waiting for
-    // the line; bandwidth and coherence were charged above/below.
-    return config_.store_miss_cost + coherence();
+    // the line; bandwidth and coherence were charged above/below. At most
+    // one slot of the visible cost is an issue slot; the rest is the store
+    // buffer draining toward memory.
+    split.bus = coherence();
+    split.mem_fill =
+        config_.store_miss_cost - std::min<Cycle>(1, config_.store_miss_cost);
+    return config_.store_miss_cost + split.bus;
   }
-  return (bus_start - start) + config_.memory_latency + coherence();
+  // Load fill: one issue slot, the cache walk (L2 latency), any wait for the
+  // shared bus, then the full unloaded memory latency.
+  const Cycle coh = coherence();
+  split.l2_miss = config_.l2_latency - 1;
+  split.bus = (bus_start - (start + config_.l2_latency)) + coh;
+  split.mem_fill = config_.memory_latency;
+  return (bus_start - start) + config_.memory_latency + coh;
 }
 
 void SmpMachine::apply_data_effect(Operation& op) {
@@ -320,12 +382,18 @@ Cycle SmpMachine::execute_op(u32 tid, Cycle start) {
   ThreadState* ts = threads_[tid];
   Processor& proc = procs_[ts->processor];
   Operation& op = ts->pending;
+  // Classify any idle gap before this op begins; the op's own cycles are
+  // attributed below, case by case, so that each decomposition sums exactly
+  // to the op's cost (the run_region() invariant depends on it).
+  settle(proc, start);
 
   switch (op.kind) {
     case OpKind::kCompute: {
       const i64 slots = std::max<i64>(op.value, 1);
       stats_.instructions += slots;
       ts->instructions += slots;
+      stats_.breakdown[CycleCat::kIssued] += slots;
+      proc.acct_until = start + slots;
       return start + slots;
     }
     case OpKind::kLoad:
@@ -336,7 +404,16 @@ Cycle SmpMachine::execute_op(u32 tid, Cycle start) {
       ts->memory_ops += 1;
       if (op.kind == OpKind::kLoad) ++stats_.loads;
       if (op.kind == OpKind::kStore) ++stats_.stores;
-      const Cycle cost = data_access_cost(proc, ts->processor, op, start);
+      AccessSplit split;
+      const Cycle cost =
+          data_access_cost(proc, ts->processor, op, start, split);
+      stats_.breakdown[CycleCat::kL1MissWait] += split.l1_miss;
+      stats_.breakdown[CycleCat::kL2MissWait] += split.l2_miss;
+      stats_.breakdown[CycleCat::kMemFillWait] += split.mem_fill;
+      stats_.breakdown[CycleCat::kBusContention] += split.bus;
+      stats_.breakdown[CycleCat::kIssued] +=
+          cost - (split.l1_miss + split.l2_miss + split.mem_fill + split.bus);
+      proc.acct_until = start + cost;
       apply_data_effect(op);
       return start + cost;
     }
@@ -357,6 +434,13 @@ Cycle SmpMachine::execute_op(u32 tid, Cycle start) {
       }
       directory_.erase(line);
       const Cycle bus_start = bus_transaction(start, config_.bus_occupancy);
+      // Queueing for the locked bus is contention; the RMW itself is one
+      // issue slot plus the lock-held spin the core cannot overlap.
+      const Cycle issued = std::min<Cycle>(1, config_.rmw_cost);
+      stats_.breakdown[CycleCat::kBusContention] += bus_start - start;
+      stats_.breakdown[CycleCat::kIssued] += issued;
+      stats_.breakdown[CycleCat::kRmwSpin] += config_.rmw_cost - issued;
+      proc.acct_until = bus_start + config_.rmw_cost;
       apply_data_effect(op);
       return bus_start + config_.rmw_cost;
     }
@@ -376,6 +460,13 @@ Cycle SmpMachine::execute_op(u32 tid, Cycle start) {
       }
       const Cycle bus_start = bus_transaction(start, config_.bus_occupancy);
       const Cycle probe_end = bus_start + config_.rmw_cost;
+      // The probe costs the same whether it succeeds or parks: bus queueing,
+      // one issue slot, and the locked-RMW spin.
+      const Cycle probe_issued = std::min<Cycle>(1, config_.rmw_cost);
+      stats_.breakdown[CycleCat::kBusContention] += bus_start - start;
+      stats_.breakdown[CycleCat::kIssued] += probe_issued;
+      stats_.breakdown[CycleCat::kRmwSpin] += config_.rmw_cost - probe_issued;
+      proc.acct_until = probe_end;
       const bool full = memory_.full(op.addr);
       bool satisfied = false;
       switch (op.kind) {
@@ -409,6 +500,7 @@ Cycle SmpMachine::execute_op(u32 tid, Cycle start) {
         return probe_end;
       }
       ts->status = ThreadState::Status::kWaitSync;
+      ++proc.acct_sync;  // idle until the wake now reads as rmw_spin
       sync_waiters_[op.addr].push_back(tid);
       proc.clock = probe_end;  // the failed probe still held the processor
       return -1;
@@ -419,6 +511,12 @@ Cycle SmpMachine::execute_op(u32 tid, Cycle start) {
       // Arrival = one ticket RMW on the barrier counter.
       const Cycle bus_start = bus_transaction(start, config_.bus_occupancy);
       const Cycle arrival = bus_start + config_.rmw_cost;
+      const Cycle issued = std::min<Cycle>(1, config_.rmw_cost);
+      stats_.breakdown[CycleCat::kBusContention] += bus_start - start;
+      stats_.breakdown[CycleCat::kIssued] += issued;
+      stats_.breakdown[CycleCat::kBarrierWait] += config_.rmw_cost - issued;
+      proc.acct_until = arrival;
+      ++proc.acct_barrier;  // idle until release now reads as barrier_wait
       proc.clock = arrival;
       barrier_arrive(tid, arrival);
       return -1;
@@ -461,6 +559,13 @@ void SmpMachine::maybe_release_barrier() {
   barrier_waiting_.clear();
   barrier_max_arrival_ = 0;
   stats_.barriers += 1;
+  // Settle every processor to the release point before observers see the
+  // phase boundary, so a phase-scoped breakdown delta slices exactly at the
+  // barrier. Safe: every live thread is parked here, so the counters that
+  // classify each gap cannot change before `release`.
+  for (auto& proc : procs_) {
+    settle(proc, release);
+  }
   notify_barrier_release(release);
   for (const auto& [tid, arrival] : released) {
     procs_[threads_[tid]->processor].barrier_wait += release - arrival;
@@ -495,7 +600,16 @@ void SmpMachine::sample_prof_gauges(i64* out) const {
 }
 
 void SmpMachine::on_finish(u32 tid, Cycle now) {
-  threads_[tid]->status = ThreadState::Status::kFinished;
+  ThreadState* ts = threads_[tid];
+  // A thread whose coroutine ends right after a barrier finishes at the
+  // release without passing through enqueue_ready(); release its park
+  // counter here so the processor's later gaps read as plain idle.
+  if (ts->status == ThreadState::Status::kWaitBarrier) {
+    Processor& proc = procs_[ts->processor];
+    settle(proc, now);
+    --proc.acct_barrier;
+  }
+  ts->status = ThreadState::Status::kFinished;
   --live_;
   region_end_ = std::max(region_end_, now);
   maybe_release_barrier();

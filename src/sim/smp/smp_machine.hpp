@@ -119,6 +119,22 @@ class SmpMachine final : public Machine {
     Cycle clock = 0;
     Cycle quantum_used = 0;
     Cycle barrier_wait = 0;  // cycles parked at barriers (profiling gauge)
+
+    // Cycle accounting: slots in [0, acct_until) are attributed; the park
+    // counters classify the gap up to the next transition (settle()).
+    Cycle acct_until = 0;
+    i32 acct_sync = 0;     // threads parked on a full/empty tag
+    i32 acct_barrier = 0;  // threads parked at the barrier
+  };
+
+  /// Stall decomposition of one data access. data_access_cost() fills it so
+  /// the fields sum to at most the returned cost; the remainder (cost minus
+  /// the sum) is the access's pipeline-occupied ("issued") cycles.
+  struct AccessSplit {
+    Cycle l1_miss = 0;   // CycleCat::kL1MissWait
+    Cycle l2_miss = 0;   // CycleCat::kL2MissWait
+    Cycle mem_fill = 0;  // CycleCat::kMemFillWait
+    Cycle bus = 0;       // CycleCat::kBusContention
   };
 
   void handle_dispatch(u32 proc_id, Cycle now);
@@ -127,7 +143,11 @@ class SmpMachine final : public Machine {
   /// completion time, or -1 if the thread blocked (sync wait / barrier).
   Cycle execute_op(u32 tid, Cycle start);
   Cycle data_access_cost(Processor& proc, u32 proc_id, const Operation& op,
-                         Cycle start);
+                         Cycle start, AccessSplit& split);
+  /// Cycle accounting: attributes the unaccounted slots [acct_until, t) of
+  /// `proc` to the stall category its park counters imply, then advances
+  /// acct_until. A no-op when t <= acct_until (past-time events).
+  void settle(Processor& proc, Cycle t);
   Cycle bus_transaction(Cycle request, Cycle occupancy);
   void invalidate_remote(u64 line, u32 writer);
   void apply_data_effect(Operation& op);

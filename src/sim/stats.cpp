@@ -5,6 +5,61 @@
 
 namespace archgraph::sim {
 
+const char* cycle_cat_name(CycleCat cat) {
+  switch (cat) {
+    case CycleCat::kIssued:
+      return "issued";
+    case CycleCat::kNoReadyStream:
+      return "no_ready_stream";
+    case CycleCat::kSyncBlocked:
+      return "sync_blocked";
+    case CycleCat::kBarrier:
+      return "barrier";
+    case CycleCat::kIdleNoThread:
+      return "idle_no_thread";
+    case CycleCat::kL1MissWait:
+      return "l1_miss_wait";
+    case CycleCat::kL2MissWait:
+      return "l2_miss_wait";
+    case CycleCat::kMemFillWait:
+      return "mem_fill_wait";
+    case CycleCat::kBusContention:
+      return "bus_contention";
+    case CycleCat::kRmwSpin:
+      return "rmw_spin";
+    case CycleCat::kBarrierWait:
+      return "barrier_wait";
+    case CycleCat::kIdle:
+      return "idle";
+    case CycleCat::kCount:
+      break;
+  }
+  return "?";
+}
+
+Cycle CycleBreakdown::total() const {
+  Cycle sum = 0;
+  for (const Cycle v : slots) {
+    sum += v;
+  }
+  return sum;
+}
+
+double CycleBreakdown::share(CycleCat cat) const {
+  const Cycle sum = total();
+  if (sum <= 0) return 0.0;
+  return static_cast<double>((*this)[cat]) / static_cast<double>(sum);
+}
+
+CycleBreakdown operator-(const CycleBreakdown& after,
+                         const CycleBreakdown& before) {
+  CycleBreakdown d;
+  for (usize i = 0; i < kCycleCatCount; ++i) {
+    d.slots[i] = after.slots[i] - before.slots[i];
+  }
+  return d;
+}
+
 std::string MachineStats::summary(u32 processors) const {
   std::ostringstream os;
   os << "cycles:            " << cycles << '\n'
@@ -28,6 +83,19 @@ std::string MachineStats::summary(u32 processors) const {
        << "interventions:     " << interventions << '\n'
        << "bus busy cycles:   " << bus_busy << '\n'
        << "context switches:  " << context_switches << '\n';
+  }
+  if (breakdown.total() > 0) {
+    os << "cycle accounting:  ";
+    bool first = true;
+    for (usize i = 0; i < kCycleCatCount; ++i) {
+      const auto cat = static_cast<CycleCat>(i);
+      if (breakdown[cat] == 0) continue;
+      if (!first) os << ", ";
+      os << cycle_cat_name(cat) << " "
+         << 100.0 * breakdown.share(cat) << "%";
+      first = false;
+    }
+    os << '\n';
   }
   return os.str();
 }
@@ -53,6 +121,7 @@ MachineStats operator-(const MachineStats& after, const MachineStats& before) {
   d.interventions = after.interventions - before.interventions;
   d.context_switches = after.context_switches - before.context_switches;
   d.bus_busy = after.bus_busy - before.bus_busy;
+  d.breakdown = after.breakdown - before.breakdown;
   return d;
 }
 

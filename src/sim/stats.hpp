@@ -1,11 +1,76 @@
 // Statistics collected by the machine models.
 #pragma once
 
+#include <array>
 #include <string>
 
 #include "sim/types.hpp"
 
 namespace archgraph::sim {
+
+/// Where a processor-cycle slot went — the top-down stall taxonomy of the
+/// cycle-accounting engine. Every simulated cycle slot on every processor is
+/// attributed to exactly one category, so per region
+/// `sum(categories) == processors x cycles` holds exactly (enforced by
+/// Machine::run_region()). The first category is shared; the next four are
+/// MTA-only, the rest SMP-only — a machine leaves the other model's
+/// categories at zero.
+enum class CycleCat : u8 {
+  /// An instruction issued in this slot (ALU slot, memory issue, RMW grant,
+  /// cache-hit access latency on the SMP's in-order pipeline).
+  kIssued = 0,
+
+  // MTA (paper §2.2): the processor has streams but none can issue.
+  kNoReadyStream,  // every live stream awaits a memory/sync round trip
+  kSyncBlocked,    // streams parked on full/empty tags (no memory in flight)
+  kBarrier,        // streams waiting at a barrier episode
+  kIdleNoThread,   // no stream holds work: region fork ramp, admission
+                   // waits, post-finish drain, or an unused processor
+
+  // SMP (paper §2.1): the in-order processor is stalled or empty.
+  kL1MissWait,    // waiting on L2 after an L1 miss (L2-hit latency tail)
+  kL2MissWait,    // discovering an L2 miss (lookup before the bus request)
+  kMemFillWait,   // main-memory fill latency (and store-buffer drain)
+  kBusContention, // queued behind the shared bus + coherence penalties
+  kRmwSpin,       // locked RMW occupancy and full/empty probe spinning
+  kBarrierWait,   // software-barrier arrival tickets and the parked wait
+  kIdle,          // no runnable thread: fork ramp, drain, context-switch
+                  // overhead, or an unused processor
+
+  kCount,
+};
+
+inline constexpr usize kCycleCatCount = static_cast<usize>(CycleCat::kCount);
+
+/// Stable machine-readable name ("issued", "no_ready_stream", ...): the JSON
+/// field name in every surface the breakdown flows through (traces, sweep
+/// records, profiles).
+const char* cycle_cat_name(CycleCat cat);
+
+/// Per-category cycle-slot counts. One slot = one processor for one cycle;
+/// an idle 4-processor machine accumulates 4 slots per cycle.
+struct CycleBreakdown {
+  std::array<Cycle, kCycleCatCount> slots{};
+
+  Cycle& operator[](CycleCat cat) {
+    return slots[static_cast<usize>(cat)];
+  }
+  Cycle operator[](CycleCat cat) const {
+    return slots[static_cast<usize>(cat)];
+  }
+
+  /// Total slots attributed — processors x cycles when the invariant holds.
+  Cycle total() const;
+
+  /// This category's fraction of all attributed slots (0 when none).
+  double share(CycleCat cat) const;
+
+  bool operator==(const CycleBreakdown&) const = default;
+};
+
+/// Field-wise difference (the slots a span accumulated between snapshots).
+CycleBreakdown operator-(const CycleBreakdown& after,
+                         const CycleBreakdown& before);
 
 struct MachineStats {
   // Issue-side counters (both machines).
@@ -30,6 +95,11 @@ struct MachineStats {
   i64 interventions = 0;   // dirty-remote supplies
   i64 context_switches = 0;
   Cycle bus_busy = 0;      // cycles the shared bus was occupied
+
+  /// Cycle-accounting engine: every processor-cycle slot attributed to one
+  /// CycleCat. Summed across regions like every other counter; per region
+  /// the delta sums to processors x region cycles exactly.
+  CycleBreakdown breakdown;
 
   /// Table 1's statistic: issued instructions / (processors x cycles).
   double utilization(u32 processors) const {

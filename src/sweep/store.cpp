@@ -41,8 +41,18 @@ ResultRecord to_record(const CellResult& result) {
   r.mem_fills = s.mem_fills;
   r.writebacks = s.writebacks;
   r.context_switches = s.context_switches;
+  r.breakdown = s.breakdown;
   return r;
 }
+
+namespace {
+
+/// Flat serialized name of a cycle-accounting category: "acct_issued", ...
+std::string acct_field_name(sim::CycleCat cat) {
+  return std::string("acct_") + sim::cycle_cat_name(cat);
+}
+
+}  // namespace
 
 std::string record_json(const ResultRecord& record) {
   obs::JsonWriter w;
@@ -71,8 +81,12 @@ std::string record_json(const ResultRecord& record) {
       .field("l2_hits", record.l2_hits)
       .field("mem_fills", record.mem_fills)
       .field("writebacks", record.writebacks)
-      .field("context_switches", record.context_switches)
-      .end_object();
+      .field("context_switches", record.context_switches);
+  for (usize i = 0; i < sim::kCycleCatCount; ++i) {
+    const auto cat = static_cast<sim::CycleCat>(i);
+    w.field(acct_field_name(cat), record.breakdown[cat]);
+  }
+  w.end_object();
   return w.take();
 }
 
@@ -171,6 +185,10 @@ std::vector<ResultRecord> load_results(std::istream& in,
     r.mem_fills = get_i64(value, "mem_fills", 0);
     r.writebacks = get_i64(value, "writebacks", 0);
     r.context_switches = get_i64(value, "context_switches", 0);
+    for (usize i = 0; i < sim::kCycleCatCount; ++i) {
+      const auto cat = static_cast<sim::CycleCat>(i);
+      r.breakdown[cat] = get_i64(value, acct_field_name(cat), 0);
+    }
     records.push_back(std::move(r));
   }
   return records;
@@ -203,8 +221,26 @@ MetricDelta check_metric(const char* name, double current, double baseline,
   return d;
 }
 
+/// Absolute band on a cycle-accounting category share: gate on
+/// |current - baseline| <= tol (shares are already normalized, so a ratio
+/// band would blow up on near-zero categories).
+MetricDelta check_share(const std::string& name, double current,
+                        double baseline, double tol) {
+  MetricDelta d;
+  d.metric = name;
+  d.current = current;
+  d.baseline = baseline;
+  d.absolute = true;
+  d.delta = current - baseline;
+  d.ratio = baseline != 0.0 ? current / baseline : 1.0;
+  d.ok = std::abs(d.delta) <= tol;
+  return d;
+}
+
 CellComparison compare_cell(const ResultRecord& current,
-                            const ResultRecord& baseline, double tol) {
+                            const ResultRecord& baseline,
+                            const CompareOptions& options) {
+  const double tol = options.tol;
   CellComparison c;
   c.run_id = current.run_id;
   c.metrics.push_back(check_metric("cycles",
@@ -219,6 +255,21 @@ CellComparison compare_cell(const ResultRecord& current,
     c.metrics.push_back(check_metric(
         "mem_fills", static_cast<double>(current.mem_fills),
         static_cast<double>(baseline.mem_fills), tol));
+  }
+  // Cycle-accounting drift: each category's share of the attributed slots is
+  // gated on its own absolute band, so the gate fails when the *composition*
+  // of the cycles shifts even if their total stays inside the ratio band.
+  // Baselines predating schema v2 cannot load, so an all-zero breakdown on
+  // one side means the cell genuinely attributed nothing there.
+  const double share_tol = options.effective_breakdown_tol();
+  for (usize i = 0; i < sim::kCycleCatCount; ++i) {
+    const auto cat = static_cast<sim::CycleCat>(i);
+    if (current.breakdown[cat] == 0 && baseline.breakdown[cat] == 0) {
+      continue;  // category idle on both sides — skip the noise
+    }
+    c.metrics.push_back(
+        check_share(std::string("share.") + sim::cycle_cat_name(cat),
+                    current.share(cat), baseline.share(cat), share_tol));
   }
   for (const MetricDelta& d : c.metrics) {
     if (!d.ok) {
@@ -241,6 +292,7 @@ CompareReport compare(const std::vector<ResultRecord>& current,
 
   CompareReport report;
   report.tol = options.tol;
+  report.breakdown_tol = options.effective_breakdown_tol();
   for (const ResultRecord& r : current) {
     const auto it = by_id.find(r.run_id);
     if (it == by_id.end()) {
@@ -251,7 +303,7 @@ CompareReport compare(const std::vector<ResultRecord>& current,
       ++report.missing;
       continue;
     }
-    CellComparison c = compare_cell(r, *it->second, options.tol);
+    CellComparison c = compare_cell(r, *it->second, options);
     by_id.erase(it);
     ++report.compared;
     if (c.status == CellComparison::Status::kRegressed) ++report.regressed;
@@ -279,8 +331,13 @@ std::string CompareReport::to_string() const {
         for (const MetricDelta& d : c.metrics) {
           if (d.ok) continue;
           os << "     " << d.metric << ": current " << d.current
-             << " vs baseline " << d.baseline << " (ratio " << d.ratio
-             << ", tolerance " << tol << ")\n";
+             << " vs baseline " << d.baseline;
+          if (d.absolute) {
+            os << " (delta " << d.delta << ", share tolerance "
+               << breakdown_tol << ")\n";
+          } else {
+            os << " (ratio " << d.ratio << ", tolerance " << tol << ")\n";
+          }
         }
         break;
       case CellComparison::Status::kMissingBaseline:
@@ -293,7 +350,8 @@ std::string CompareReport::to_string() const {
     }
   }
   os << compared << " compared, " << regressed << " regressed, " << missing
-     << " missing (tolerance " << tol << ")\n";
+     << " missing (tolerance " << tol << ", share tolerance " << breakdown_tol
+     << ")\n";
   return os.str();
 }
 

@@ -12,13 +12,15 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "sim/stats.hpp"
 #include "sweep/runner.hpp"
 
 namespace archgraph::sweep {
 
 /// Bump when the result-line schema changes incompatibly; load_results
 /// refuses other versions with a message naming both.
-inline constexpr i64 kResultSchemaVersion = 1;
+/// v2: added the twelve flat acct_<category> cycle-accounting fields.
+inline constexpr i64 kResultSchemaVersion = 2;
 
 /// One result line: the cell's identity axes plus every gated metric. The
 /// full MachineStats is flattened so future gates can add metrics without a
@@ -50,6 +52,13 @@ struct ResultRecord {
   i64 mem_fills = 0;  // SMP cache misses filled from memory
   i64 writebacks = 0;
   i64 context_switches = 0;
+
+  /// Cycle accounting: attributed slots per category, serialized as flat
+  /// acct_<category> fields (sums to procs * cycles).
+  sim::CycleBreakdown breakdown;
+
+  /// A category's share of the record's attributed slots (0 when empty).
+  double share(sim::CycleCat cat) const { return breakdown.share(cat); }
 };
 
 /// Flattens an executor result into a record.
@@ -76,6 +85,16 @@ struct CompareOptions {
   /// Relative tolerance band per metric: pass iff |current/baseline - 1| <=
   /// tol (both-zero passes; zero baseline with nonzero current fails).
   double tol = 0.05;
+  /// Absolute tolerance band per cycle-accounting category share: pass iff
+  /// |share(current) - share(baseline)| <= breakdown_tol. Negative means
+  /// "use tol". Gated independently of the headline metrics, so a breakdown
+  /// shift (e.g. bus contention absorbing cycles that used to be issue
+  /// slots) fails the gate even when total cycles barely move.
+  double breakdown_tol = -1.0;
+
+  double effective_breakdown_tol() const {
+    return breakdown_tol < 0.0 ? tol : breakdown_tol;
+  }
 };
 
 struct MetricDelta {
@@ -83,6 +102,10 @@ struct MetricDelta {
   double current = 0.0;
   double baseline = 0.0;
   double ratio = 1.0;
+  /// Absolute-band metrics (share.*) gate on delta = current - baseline
+  /// instead of the ratio.
+  double delta = 0.0;
+  bool absolute = false;
   bool ok = true;
 };
 
@@ -106,6 +129,7 @@ struct CompareReport {
   i64 regressed = 0;
   i64 missing = 0;
   double tol = 0.0;
+  double breakdown_tol = 0.0;
 
   bool ok() const { return regressed == 0 && missing == 0; }
   /// Per-cell human-readable report; failing metrics show
@@ -114,9 +138,10 @@ struct CompareReport {
 };
 
 /// Matches cells by run ID and gates cycles, instructions, utilization and
-/// (for SMP cells) mem_fills against the tolerance band. Records with
-/// different schema_version values never reach here — load_results refuses
-/// the file first.
+/// (for SMP cells) mem_fills against the tolerance band, plus every
+/// cycle-accounting category share against the absolute breakdown band.
+/// Records with different schema_version values never reach here —
+/// load_results refuses the file first.
 CompareReport compare(const std::vector<ResultRecord>& current,
                       const std::vector<ResultRecord>& baseline,
                       const CompareOptions& options = {});

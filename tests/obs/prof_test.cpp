@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -364,6 +365,69 @@ TEST(ProfExport, ChromeTraceIsValidWithCounterTracksAndSpans) {
   EXPECT_TRUE(utilization_track);
   // The compact summary rides along for tooling.
   EXPECT_NE(doc.find("archgraph_profile"), nullptr);
+}
+
+TEST(ProfExport, ProfileJsonCarriesCycleAccounting) {
+  const auto machine = sim::make_machine("mta:procs=2");
+  ProfSession session;
+  ProfSession::Install install(session);
+  session.attach(*machine, "mta");
+  const graph::LinkedList list = graph::random_list(2048, 5);
+  core::sim_rank_list_walk(*machine, list);
+  session.detach();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(session.profile_json(), &doc, &error)) << error;
+  const JsonValue* acct = doc.find("cycle_accounting");
+  ASSERT_NE(acct, nullptr);
+  const i64 slots = acct->find("slots")->as_i64();
+  EXPECT_EQ(slots, acct->find("processors")->as_i64() *
+                       acct->find("cycles")->as_i64());
+  i64 category_sum = 0;
+  for (const auto& [name, v] : acct->find("categories")->members()) {
+    category_sum += v.as_i64();
+  }
+  EXPECT_EQ(category_sum, slots);
+  EXPECT_GT(acct->find("categories")->find("issued")->as_i64(), 0);
+}
+
+TEST(ProfExport, ChromeTraceStacksCycleAccountingDeltas) {
+  const auto machine = sim::make_machine("mta:procs=2");
+  ProfSession session;
+  ProfSession::Install install(session);
+  session.attach(*machine, "mta");
+  const graph::LinkedList list = graph::random_list(4096, 13);
+  core::sim_rank_list_walk(*machine, list);
+  session.detach();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(session.chrome_trace_json(), &doc, &error)) << error;
+  usize stacked = 0;
+  std::map<std::string, i64> delta_sums;
+  for (const JsonValue& e : doc.find("traceEvents")->items()) {
+    if (e.find("ph")->as_string() != "C") continue;
+    const std::string name = e.find("name")->as_string();
+    // The per-category series ride only in the stacked track — no flat
+    // "acct.issued" counter rows next to it.
+    EXPECT_NE(name.rfind("acct.", 0), 0u) << name;
+    if (name != "cycle_accounting") continue;
+    ++stacked;
+    for (const auto& [cat, v] : e.find("args")->members()) {
+      delta_sums[cat] += v.as_i64();
+    }
+  }
+  EXPECT_GT(stacked, 1u) << "stacked accounting track missing";
+  // Interval deltas accumulate back to the final breakdown of each live
+  // category (the profiler samples through the very end of the run).
+  const JsonValue* acct = doc.find("archgraph_profile")->find(
+      "cycle_accounting");
+  ASSERT_NE(acct, nullptr);
+  for (const auto& [cat, total] : acct->find("categories")->members()) {
+    if (total.as_i64() == 0) continue;
+    EXPECT_EQ(delta_sums[cat], total.as_i64()) << cat;
+  }
 }
 
 TEST(ProfAmbient, LabelRangeWithoutSessionIsANoOp) {

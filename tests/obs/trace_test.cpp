@@ -186,6 +186,49 @@ TEST(TraceSession, EmitsValidJsonlAndSummary) {
   }
 }
 
+// The summary document carries the cycle-accounting breakdown on the totals
+// and on every span, and the totals object closes against processors x
+// cycles.
+TEST(TraceSession, SummaryCarriesCycleAccounting) {
+  const auto machine_p = sim::make_machine("smp:procs=2");
+  sim::Machine& machine = *machine_p;
+  TraceSession session("acct-test");
+  TraceSession::Install install(session);
+  session.attach(machine, "smp");
+  const graph::LinkedList list = graph::random_list(256, 7);
+  core::sim_rank_list_hj(machine, list);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(session.summary_json(), &doc, &error)) << error;
+  const JsonValue* totals = doc.find("totals");
+  ASSERT_NE(totals, nullptr);
+  const JsonValue* acct = totals->find("cycle_accounting");
+  ASSERT_NE(acct, nullptr);
+  const i64 slots = acct->find("slots")->as_i64();
+  EXPECT_EQ(slots, 2 * totals->find("cycles")->as_i64());
+  i64 category_sum = 0;
+  double share_sum = 0.0;
+  const JsonValue* categories = acct->find("categories");
+  const JsonValue* shares = acct->find("shares");
+  ASSERT_NE(categories, nullptr);
+  ASSERT_NE(shares, nullptr);
+  EXPECT_EQ(categories->members().size(), sim::kCycleCatCount);
+  for (const auto& [name, v] : categories->members()) {
+    category_sum += v.as_i64();
+  }
+  for (const auto& [name, v] : shares->members()) {
+    share_sum += v.as_f64();
+  }
+  EXPECT_EQ(category_sum, slots);
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+
+  for (const JsonValue& s : doc.find("spans")->items()) {
+    EXPECT_NE(s.find("cycle_accounting"), nullptr)
+        << s.find("name")->as_string();
+  }
+}
+
 TEST(TraceSession, EndSpanThroughForceClosesInnermostFirst) {
   TraceSession session("unwind-test");
   const i64 outer = session.begin_span("outer");

@@ -1,0 +1,76 @@
+// The cycle breakdown is part of the deterministic contract: for every
+// registry kernel on both machines it must close against processors x cycles
+// and be bit-identical whether or not the interval profiler is attached and
+// for any host --jobs fan-out.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sweep/registry.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+#include "sweep/store.hpp"
+
+namespace archgraph::sweep {
+namespace {
+
+/// One small cell per registry kernel on each machine (7 kernels x 2).
+SweepPlan small_grid() {
+  std::vector<std::string> specs;
+  for (const KernelInfo& k : kernel_registry()) {
+    specs.push_back("kernel=" + k.name +
+                    " machine={mta:procs=2;smp:procs=2} n=512");
+  }
+  return expand_all(specs);
+}
+
+TEST(AccountingDeterminism, EveryKernelClosesOnBothMachines) {
+  const SweepPlan plan = small_grid();
+  ASSERT_EQ(plan.cells.size(), 2 * kernel_registry().size());
+  for (const SweepCell& cell : plan.cells) {
+    const ResultRecord r = to_record(run_cell(cell));
+    EXPECT_EQ(r.breakdown.total(),
+              r.cycles * static_cast<sim::Cycle>(r.procs))
+        << r.run_id;
+    // Shares are a probability distribution over the live categories.
+    double total_share = 0.0;
+    for (usize c = 0; c < sim::kCycleCatCount; ++c) {
+      total_share += r.share(static_cast<sim::CycleCat>(c));
+    }
+    EXPECT_NEAR(total_share, 1.0, 1e-9) << r.run_id;
+  }
+}
+
+TEST(AccountingDeterminism, ProfilerAttachmentNeverChangesTheBreakdown) {
+  RunOptions profiled;
+  profiled.profile = true;
+  for (const SweepCell& cell : small_grid().cells) {
+    const ResultRecord plain = to_record(run_cell(cell));
+    const ResultRecord prof = to_record(run_cell(cell, profiled));
+    EXPECT_EQ(plain.cycles, prof.cycles) << cell.run_id();
+    EXPECT_EQ(plain.breakdown, prof.breakdown) << cell.run_id();
+  }
+}
+
+TEST(AccountingDeterminism, HostJobsFanOutNeverChangesTheBreakdown) {
+  const SweepPlan plan = small_grid();
+  RunOptions serial;
+  serial.jobs = 1;
+  RunOptions parallel;
+  parallel.jobs = 4;
+  const PlanRun a = run_plan(plan, serial);
+  const PlanRun b = run_plan(plan, parallel);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (usize i = 0; i < a.cells.size(); ++i) {
+    const ResultRecord ra = to_record(a.cells[i]);
+    const ResultRecord rb = to_record(b.cells[i]);
+    EXPECT_EQ(ra.run_id, rb.run_id);
+    EXPECT_EQ(ra.breakdown, rb.breakdown) << ra.run_id;
+    EXPECT_EQ(record_json(ra), record_json(rb)) << ra.run_id;
+  }
+}
+
+}  // namespace
+}  // namespace archgraph::sweep

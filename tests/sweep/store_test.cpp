@@ -41,6 +41,10 @@ ResultRecord sample_record(const std::string& run_id = "k/mta/x",
   r.utilization = 0.9;
   r.cycles = cycles;
   r.instructions = cycles - 100;
+  // A closed breakdown: slots sum to procs x cycles.
+  r.breakdown[sim::CycleCat::kIssued] = (cycles * 6) / 10;
+  r.breakdown[sim::CycleCat::kNoReadyStream] =
+      cycles - r.breakdown[sim::CycleCat::kIssued];
   return r;
 }
 
@@ -48,7 +52,7 @@ TEST(ResultStore, RecordJsonIsValidFlatJson) {
   const std::string json = record_json(sample_record());
   std::string error;
   EXPECT_TRUE(obs::json_is_valid(json, &error)) << error;
-  EXPECT_EQ(json.find(R"({"schema_version":1,"run_id":"k/mta/x")"), 0u);
+  EXPECT_EQ(json.find(R"({"schema_version":2,"run_id":"k/mta/x")"), 0u);
 }
 
 TEST(ResultStore, WriteThenLoadRoundTrips) {
@@ -162,6 +166,77 @@ TEST(Compare, SmpCellsAlsoGateMemFills) {
   ResultRecord mta_base = mta;
   mta_base.mem_fills = 2000;
   EXPECT_TRUE(compare({mta}, {mta_base}).ok());
+}
+
+TEST(ResultStore, BreakdownFieldsRoundTrip) {
+  const ResultRecord original = sample_record();
+  const std::string json = record_json(original);
+  EXPECT_NE(json.find("\"acct_issued\":600"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"acct_no_ready_stream\":400"), std::string::npos)
+      << json;
+  std::stringstream io(json + "\n");
+  const std::vector<ResultRecord> loaded = load_results(io, "t");
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].breakdown, original.breakdown);
+}
+
+TEST(Compare, BreakdownDriftWithIdenticalCyclesFails) {
+  // Same total cycles, same every headline metric — but the stall mass moved
+  // between categories. The share gate must catch it on its own.
+  const ResultRecord current = sample_record("a");
+  ResultRecord baseline = current;
+  baseline.breakdown[sim::CycleCat::kIssued] = 400;
+  baseline.breakdown[sim::CycleCat::kNoReadyStream] = 600;
+
+  const CompareReport report = compare({current}, {baseline});
+  EXPECT_FALSE(report.ok());
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("share.issued"), std::string::npos) << text;
+  EXPECT_NE(text.find("share tolerance"), std::string::npos) << text;
+}
+
+TEST(Compare, BreakdownTolWaivesDriftWithoutLooseningCycles) {
+  const ResultRecord current = sample_record("a");
+  ResultRecord drifted = current;
+  drifted.breakdown[sim::CycleCat::kIssued] = 400;
+  drifted.breakdown[sim::CycleCat::kNoReadyStream] = 600;
+  EXPECT_TRUE(compare({current}, {drifted}, {.breakdown_tol = 1.0}).ok());
+
+  // The wide share band must not waive a cycles regression.
+  ResultRecord slower = current;
+  slower.cycles = 1300;
+  slower.breakdown[sim::CycleCat::kNoReadyStream] += 300;
+  EXPECT_FALSE(compare({slower}, {current}, {.breakdown_tol = 1.0}).ok());
+}
+
+TEST(Compare, SmallShareDriftStaysInsideTheDefaultBand) {
+  // Default tol is 5% absolute per share; a 2-point move passes.
+  const ResultRecord current = sample_record("a");
+  ResultRecord baseline = current;
+  baseline.breakdown[sim::CycleCat::kIssued] = 620;
+  baseline.breakdown[sim::CycleCat::kNoReadyStream] = 380;
+  EXPECT_TRUE(compare({current}, {baseline}).ok());
+}
+
+TEST(Compare, CategoriesZeroOnBothSidesAreNotGated) {
+  // Records with empty breakdowns (e.g. hand-written fixtures) only gate the
+  // headline metrics — no spurious share.* rows.
+  ResultRecord current = sample_record("a");
+  current.breakdown = {};
+  ResultRecord baseline = current;
+  const CompareReport report = compare({current}, {baseline});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.to_string().find("share."), std::string::npos);
+}
+
+TEST(Compare, ExactModeGatesSharesExactly) {
+  // --tol 0 means bit-identical: a one-slot category move must fail.
+  const ResultRecord current = sample_record("a");
+  ResultRecord baseline = current;
+  baseline.breakdown[sim::CycleCat::kIssued] -= 1;
+  baseline.breakdown[sim::CycleCat::kNoReadyStream] += 1;
+  EXPECT_FALSE(compare({current}, {baseline}, {.tol = 0.0}).ok());
+  EXPECT_TRUE(compare({current}, {current}, {.tol = 0.0}).ok());
 }
 
 TEST(Compare, ZeroBaselineWithNonzeroCurrentFails) {

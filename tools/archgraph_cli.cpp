@@ -36,8 +36,10 @@
 // runs print wall time. Every run self-checks against a reference.
 #include <algorithm>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -136,6 +138,20 @@ void report_simulated(const sim::Machine& machine) {
             << machine.clock_hz() / 1e6 << " MHz\n"
             << "utilization:   " << 100.0 * machine.utilization() << "%\n"
             << "instructions:  " << machine.stats().instructions << '\n';
+  const sim::CycleBreakdown& b = machine.stats().breakdown;
+  if (b.total() > 0) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1);
+    bool first = true;
+    for (usize i = 0; i < sim::kCycleCatCount; ++i) {
+      const auto cat = static_cast<sim::CycleCat>(i);
+      if (b[cat] == 0) continue;
+      if (!first) os << ", ";
+      os << sim::cycle_cat_name(cat) << " " << 100.0 * b.share(cat) << "%";
+      first = false;
+    }
+    std::cout << "cycle acct:    " << os.str() << '\n';
+  }
 }
 
 /// Composes --machine SPEC with --procs P: P is inserted as the first

@@ -6,12 +6,21 @@
 //
 // Usage:
 //   archgraph_prof_report TRACE.json [--top N] [--width W] [--all-series]
+//                                    [--csv FILE]
 //
 // TRACE.json is a Chrome trace-event document; the compact profile summary
 // is read from its top-level "archgraph_profile" key and the counter
-// timelines from its ph:"C" events. A bare profile object (the "profile"
-// member of `archgraph_cli --json` output) also works — the tool then has no
-// timelines and prints only the region table.
+// timelines from its ph:"C" events. Multi-argument counter events (the
+// stacked "cycle_accounting" track) expand to one sub-track per argument
+// ("cycle_accounting.issued", ...). The profile's "cycle_accounting" object
+// renders as a stacked composition bar plus a per-category table. A bare
+// profile object (the "profile" member of `archgraph_cli --json` output)
+// also works — the tool then has no timelines and prints only the region
+// and accounting tables.
+//
+// --csv FILE writes everything the report prints as long-format CSV
+// (section,name,key,value): one row per counter-track sample, per region
+// metric, and per cycle-accounting category (slots and share).
 //
 // Per-processor series (p0.issued, p1.barrier_wait, ...) are summarized as
 // one aggregate row unless --all-series is given — an MTA run has 40 of
@@ -83,6 +92,7 @@ std::vector<double> downsample(const std::vector<double>& values,
 /// One counter track reconstructed from the trace's ph:"C" events, in
 /// emission (= simulated-time) order.
 struct Track {
+  std::vector<double> ts;  // event timestamps (trace microseconds)
   std::vector<double> values;
   double min() const {
     return values.empty() ? 0.0 : *std::min_element(values.begin(),
@@ -100,6 +110,73 @@ struct Track {
   }
 };
 
+/// Distinct fill glyphs for the stacked composition bar, assigned to the
+/// nonzero categories in declaration order.
+constexpr const char* kBarGlyphs[] = {"█", "▓", "▒", "░", "▚", "▞",
+                                      "▤", "▥", "▦", "▧", "▨", "▩"};
+constexpr usize kBarGlyphCount = std::size(kBarGlyphs);
+
+/// CSV-quotes a cell when needed (names are controlled, but be safe).
+std::string csv_cell(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Long-format CSV export of everything the report prints: counter-track
+/// samples (key = trace timestamp), per-region numeric metrics, and the
+/// cycle-accounting categories (slots and share rows).
+void write_csv(const std::string& path,
+               const std::vector<std::string>& order,
+               const std::map<std::string, Track>& tracks,
+               const std::vector<const obs::JsonValue*>& regions,
+               const obs::JsonValue* acct) {
+  std::ofstream out(path);
+  AG_CHECK(out.good(), "cannot write --csv file " + path);
+  out << "section,name,key,value\n";
+  for (const std::string& name : order) {
+    const Track& t = tracks.at(name);
+    for (usize i = 0; i < t.values.size(); ++i) {
+      out << "track," << csv_cell(name) << ','
+          << (i < t.ts.size() ? t.ts[i] : 0.0) << ',' << t.values[i] << '\n';
+    }
+  }
+  for (const obs::JsonValue* r : regions) {
+    const std::string name = str_member(*r, "name", "?");
+    for (const auto& [key, v] : r->members()) {
+      if (!v.is_number()) continue;
+      out << "region," << csv_cell(name) << ',' << csv_cell(key) << ','
+          << v.as_f64() << '\n';
+    }
+  }
+  if (acct != nullptr && acct->is_object()) {
+    const obs::JsonValue* cats = acct->find("categories");
+    const obs::JsonValue* shares = acct->find("shares");
+    if (cats != nullptr && cats->is_object()) {
+      for (const auto& [name, v] : cats->members()) {
+        if (!v.is_number()) continue;
+        out << "cycle_accounting," << csv_cell(name) << ",slots,"
+            << v.as_f64() << '\n';
+      }
+    }
+    if (shares != nullptr && shares->is_object()) {
+      for (const auto& [name, v] : shares->members()) {
+        if (!v.is_number()) continue;
+        out << "cycle_accounting," << csv_cell(name) << ",share,"
+            << v.as_f64() << '\n';
+      }
+    }
+  }
+  out.flush();
+  AG_CHECK(out.good(), "short write to --csv file " + path);
+  std::cout << "csv -> " << path << '\n';
+}
+
 bool is_per_processor(const std::string& name) {
   if (name.empty() || name[0] != 'p') return false;
   const usize dot = name.find('.');
@@ -110,7 +187,8 @@ bool is_per_processor(const std::string& name) {
   return true;
 }
 
-int run(const std::string& path, i64 top, usize width, bool all_series) {
+int run(const std::string& path, i64 top, usize width, bool all_series,
+        const std::string& csv_path) {
   const std::string text = read_file(path);
   obs::JsonValue doc;
   std::string error;
@@ -145,6 +223,7 @@ int run(const std::string& path, i64 top, usize width, bool all_series) {
             [](const obs::JsonValue* a, const obs::JsonValue* b) {
               return int_member(*a, "accesses") > int_member(*b, "accesses");
             });
+  const std::vector<const obs::JsonValue*> all_rows = rows;  // for --csv
   if (rows.size() > static_cast<usize>(top)) {
     rows.resize(static_cast<usize>(top));
   }
@@ -178,22 +257,83 @@ int run(const std::string& path, i64 top, usize width, bool all_series) {
   std::cout << "hottest regions (top " << rows.size() << " by accesses):\n"
             << region_table.to_text() << '\n';
 
+  // ---- cycle accounting: where every processor-cycle slot went ------------
+  const obs::JsonValue* acct = profile->find("cycle_accounting");
+  if (acct != nullptr && acct->is_object()) {
+    std::cout << "cycle accounting: " << int_member(*acct, "slots")
+              << " slots = " << int_member(*acct, "processors")
+              << " processors x " << int_member(*acct, "cycles")
+              << " cycles\n";
+    const obs::JsonValue* shares = acct->find("shares");
+    const obs::JsonValue* cats = acct->find("categories");
+    if (shares != nullptr && shares->is_object() && cats != nullptr &&
+        cats->is_object()) {
+      // One 100%-stacked bar: each nonzero category fills its share of the
+      // width with a distinct glyph; cumulative rounding partitions the
+      // width exactly.
+      std::string bar;
+      Table acct_table({"", "category", "slots", "share%", ""},
+                       /*double_precision=*/2);
+      usize glyph = 0;
+      usize cells_done = 0;
+      double cum = 0.0;
+      for (const auto& [name, v] : shares->members()) {
+        const double share = v.is_number() ? v.as_f64() : 0.0;
+        if (share <= 0.0) continue;
+        const char* g = kBarGlyphs[glyph % kBarGlyphCount];
+        ++glyph;
+        cum += share;
+        const usize cells_cum = std::min(
+            width, static_cast<usize>(cum * static_cast<double>(width) + 0.5));
+        for (usize c = cells_done; c < cells_cum; ++c) bar += g;
+        cells_done = cells_cum;
+        std::string mini;
+        const usize mini_cells =
+            static_cast<usize>(share * static_cast<double>(width) + 0.5);
+        for (usize c = 0; c < mini_cells; ++c) mini += g;
+        acct_table.row()
+            .add(g)
+            .add(name)
+            .add(int_member(*cats, name))
+            .add(100.0 * share)
+            .add(mini);
+      }
+      std::cout << "  [" << bar << "]\n" << acct_table.to_text() << '\n';
+    }
+  }
+
   // ---- counter tracks over time -------------------------------------------
+  // Multi-argument counter events (the stacked cycle_accounting track)
+  // expand to one sub-track per argument: "<event name>.<arg name>".
   const obs::JsonValue* events = doc.find("traceEvents");
-  std::map<std::string, Track> tracks;  // sorted: stable row order
+  std::map<std::string, Track> tracks;
   std::vector<std::string> order;
   if (events != nullptr && events->is_array()) {
     for (const obs::JsonValue& e : events->items()) {
       if (!e.is_object() || str_member(e, "ph") != "C") continue;
       const std::string name = str_member(e, "name", "?");
       const obs::JsonValue* args = e.find("args");
-      if (args == nullptr) continue;
-      if (tracks.find(name) == tracks.end()) order.push_back(name);
-      tracks[name].values.push_back(num_member(*args, "value"));
+      if (args == nullptr || !args->is_object()) continue;
+      const double ts = num_member(e, "ts");
+      const bool single = args->members().size() == 1 &&
+                          args->find("value") != nullptr;
+      for (const auto& [key, v] : args->members()) {
+        if (!v.is_number()) continue;
+        const std::string track_name = single ? name : name + "." + key;
+        if (tracks.find(track_name) == tracks.end()) {
+          order.push_back(track_name);
+        }
+        Track& t = tracks[track_name];
+        t.ts.push_back(ts);
+        t.values.push_back(v.as_f64());
+      }
     }
   }
   if (tracks.empty()) {
     std::cout << "(no counter tracks — bare profile object, no timeline)\n";
+    if (!csv_path.empty()) {
+      write_csv(csv_path, order, tracks, all_rows, acct);
+    }
     return 0;
   }
 
@@ -219,6 +359,9 @@ int run(const std::string& path, i64 top, usize width, bool all_series) {
     std::cout << "(" << per_proc
               << " per-processor tracks hidden; --all-series shows them)\n";
   }
+  if (!csv_path.empty()) {
+    write_csv(csv_path, order, tracks, all_rows, acct);
+  }
   return 0;
 }
 
@@ -230,6 +373,7 @@ int main(int argc, char** argv) {
     i64 top = 10;
     usize width = 48;
     bool all_series = false;
+    std::string csv_path;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--top") {
@@ -240,6 +384,9 @@ int main(int argc, char** argv) {
         width = static_cast<usize>(parse_positive_i64("--width", argv[++i]));
       } else if (arg == "--all-series") {
         all_series = true;
+      } else if (arg == "--csv") {
+        AG_CHECK(i + 1 < argc, "--csv needs a file path");
+        csv_path = argv[++i];
       } else {
         AG_CHECK(arg.rfind("--", 0) != 0, "unknown flag '" + arg + "'");
         AG_CHECK(path.empty(), "one TRACE.json at a time");
@@ -248,8 +395,8 @@ int main(int argc, char** argv) {
     }
     AG_CHECK(!path.empty(),
              "usage: archgraph_prof_report TRACE.json [--top N] [--width W] "
-             "[--all-series]");
-    return run(path, top, width, all_series);
+             "[--all-series] [--csv FILE]");
+    return run(path, top, width, all_series, csv_path);
   } catch (const std::exception& e) {
     std::cerr << "archgraph_prof_report: " << e.what() << '\n';
     return 1;

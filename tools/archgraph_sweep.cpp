@@ -7,6 +7,7 @@
 //                               [--no-verify] [--profile]
 //                               [--profile-dir DIR] [--profile-interval K]
 //   archgraph_sweep check RESULTS --against BASELINE [--tol T]
+//                                 [--breakdown-tol T]
 //   archgraph_sweep --list
 //
 // SPEC is either a spec string in the src/sweep/spec.hpp grammar, e.g.
@@ -25,8 +26,10 @@
 // alike cannot overwrite each other). Profiling never changes the JSONL —
 // simulated counters are byte-identical with the profiler attached.
 // `check` re-loads two such files, matches cells by run ID, and fails
-// (exit 1) when any gated metric leaves the ±tol band or a cell is missing
-// on either side — the regression gate ci_smoke.sh runs on every commit.
+// (exit 1) when any gated metric leaves the ±tol band, any cycle-accounting
+// category share drifts more than --breakdown-tol (default: --tol) in
+// absolute terms, or a cell is missing on either side — the regression gate
+// ci_smoke.sh runs on every commit.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -183,10 +186,15 @@ int run_check(const std::vector<std::string>& args) {
       AG_CHECK(i + 1 < args.size(), "--tol needs a number");
       options.tol = parse_f64("--tol", args[++i]);
       AG_CHECK(options.tol >= 0.0, "--tol wants a non-negative tolerance");
+    } else if (args[i] == "--breakdown-tol") {
+      AG_CHECK(i + 1 < args.size(), "--breakdown-tol needs a number");
+      options.breakdown_tol = parse_f64("--breakdown-tol", args[++i]);
+      AG_CHECK(options.breakdown_tol >= 0.0,
+               "--breakdown-tol wants a non-negative share tolerance");
     } else {
       AG_CHECK(args[i].rfind("--", 0) != 0,
                "unknown check flag '" + args[i] +
-                   "' (valid: --against FILE, --tol T)");
+                   "' (valid: --against FILE, --tol T, --breakdown-tol T)");
       AG_CHECK(current_path.empty(),
                "check takes one RESULTS file, got '" + current_path +
                    "' and '" + args[i] + "'");

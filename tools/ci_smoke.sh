@@ -88,6 +88,28 @@ cmp "$OUT_DIR/ci_serial.jsonl" "$OUT_DIR/ci.jsonl" || {
 }
 echo "ok: ci sweep JSONL byte-identical for --jobs 1 and --jobs 4"
 
+echo "== cycle accounting invariant (sum of categories == procs x cycles) =="
+python3 - "$OUT_DIR/ci.jsonl" <<'EOF'
+import json
+import sys
+
+n = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        if not line.strip():
+            continue
+        r = json.loads(line)
+        acct = {k: v for k, v in r.items() if k.startswith("acct_")}
+        assert len(acct) == 12, \
+            f"{r['run_id']}: expected 12 acct_ fields, got {sorted(acct)}"
+        total = sum(acct.values())
+        expect = r["procs"] * r["cycles"]
+        assert total == expect, \
+            f"{r['run_id']}: sum(acct_*)={total} != procs*cycles={expect}"
+        n += 1
+print(f"ok: accounting closed on all {n} cells")
+EOF
+
 echo "== sweep regression gate (parallel ci grid vs committed baseline) =="
 "$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/ci.jsonl" \
     --against baselines/ci_quick.jsonl
@@ -136,12 +158,26 @@ assert counters, "no counter tracks in trace"
 assert any(e.get("ph") == "X" for e in events), "no span events in trace"
 prof = doc["archgraph_profile"]
 assert prof["regions"], "no labeled regions in embedded profile"
+acct = prof["cycle_accounting"]
+assert acct["slots"] == acct["processors"] * acct["cycles"], acct
+assert abs(sum(acct["shares"].values()) - 1.0) < 1e-6, acct["shares"]
+stacked = [e for e in events
+           if e.get("ph") == "C" and e["name"] == "cycle_accounting"]
+assert stacked, "no stacked cycle_accounting counter track"
+assert all(len(e["args"]) > 1 for e in stacked), \
+    "stacked track events should carry one arg per live category"
 print(f"ok: {sys.argv[1].rsplit('/', 1)[-1]}: "
-      f"{len(counters)} counter tracks, {len(prof['regions'])} regions")
+      f"{len(counters)} counter tracks, {len(prof['regions'])} regions, "
+      f"{len(stacked)} stacked accounting samples")
 EOF
 done
-"$BUILD_DIR"/tools/archgraph_prof_report "$OUT_DIR/cli.trace.json" >/dev/null
-echo "ok: archgraph_prof_report renders the trace"
+"$BUILD_DIR"/tools/archgraph_prof_report "$OUT_DIR/cli.trace.json" \
+    --csv "$OUT_DIR/cli.csv" >/dev/null
+grep -q '^cycle_accounting,' "$OUT_DIR/cli.csv" || {
+  echo "error: --csv export lacks cycle_accounting rows" >&2
+  exit 1
+}
+echo "ok: archgraph_prof_report renders the trace (+ --csv export)"
 
 echo "== sweep gate (corrupted baseline must fail) =="
 python3 - "$OUT_DIR/ci.jsonl" "$OUT_DIR/ci_corrupt.jsonl" <<'EOF'
@@ -162,6 +198,32 @@ if "$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/ci.jsonl" \
 fi
 echo "ok: corrupted baseline rejected"
 
+echo "== sweep gate (breakdown drift with identical cycles must fail) =="
+python3 - "$OUT_DIR/ci.jsonl" "$OUT_DIR/ci_drift.jsonl" <<'EOF'
+import json
+import sys
+
+records = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+r = records[0]
+keys = [k for k in r if k.startswith("acct_")]
+src = max(keys, key=lambda k: r[k])
+dst = next(k for k in keys if k != src)
+moved = r[src] // 2
+r[src] -= moved
+r[dst] += moved  # total slots unchanged, so cycles still match exactly
+with open(sys.argv[2], "w") as f:
+    for rec in records:
+        f.write(json.dumps(rec) + "\n")
+EOF
+if "$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/ci.jsonl" \
+    --against "$OUT_DIR/ci_drift.jsonl" >/dev/null; then
+  echo "error: breakdown drift with identical cycles did not fail" >&2
+  exit 1
+fi
+"$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/ci.jsonl" \
+    --against "$OUT_DIR/ci_drift.jsonl" --breakdown-tol 1.0 >/dev/null
+echo "ok: breakdown drift caught; --breakdown-tol 1.0 waives it"
+
 echo "== sweep gate (wrong schema_version must be refused) =="
 echo '{"schema_version":999,"run_id":"x"}' > "$OUT_DIR/ci_future.jsonl"
 if "$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/ci.jsonl" \
@@ -170,5 +232,18 @@ if "$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/ci.jsonl" \
   exit 1
 fi
 echo "ok: incompatible schema_version refused"
+
+if [ "${ARCHGRAPH_SMOKE_SANITIZE:-0}" != "0" ]; then
+  echo "== sanitizer pass (opt-in: ARCHGRAPH_SMOKE_SANITIZE=1) =="
+  SAN_DIR="${BUILD_DIR}-san"
+  cmake -B "$SAN_DIR" -S . -DARCHGRAPH_SANITIZE=address,undefined >/dev/null
+  cmake --build "$SAN_DIR" -j "$(nproc)"
+  ctest --test-dir "$SAN_DIR" --output-on-failure -j "$(nproc)"
+  "$SAN_DIR"/tools/archgraph_cli cc --random 1024,4096,1 --machine mta \
+      >/dev/null
+  "$SAN_DIR"/tools/archgraph_cli cc --random 1024,4096,1 --machine smp \
+      >/dev/null
+  echo "ok: ASan+UBSan build, tests, and both machines clean"
+fi
 
 echo "== smoke passed =="
