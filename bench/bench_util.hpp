@@ -174,6 +174,40 @@ inline std::vector<std::string> table1_sweep_specs(Scale scale) {
   };
 }
 
+/// Greedy coloring (the Çatalyürek/Feo/Gebremedhin experiment shape):
+/// speculative recolor rounds on both machines, branchy and branch-avoiding
+/// inner loops, p = 1,2,4,8, with density (and so the round count) swept
+/// from 4n to 20n. The coloring_rounds bench arranges these cells into the
+/// rounds-vs-cycles and stall-mix tables recorded in EXPERIMENTS.md.
+inline std::vector<std::string> coloring_sweep_specs(Scale scale) {
+  i64 n = 0;
+  std::vector<i64> edge_factors{4, 8, 12, 16, 20};
+  switch (scale) {
+    case Scale::kQuick:
+      n = 1 << 11;
+      edge_factors = {4, 12, 20};
+      break;
+    case Scale::kDefault:
+      n = 1 << 13;
+      break;
+    case Scale::kFull:
+      n = 1 << 15;
+      break;
+  }
+  std::vector<i64> ms;
+  ms.reserve(edge_factors.size());
+  for (const i64 f : edge_factors) ms.push_back(f * n);
+  const std::string grid = " n=" + std::to_string(n) + " m=" + brace_list(ms);
+  return {
+      "kernel={color_greedy_mta,color_greedy_mta_ba} "
+      "machine=mta:procs={1,2,4,8}" +
+          grid,
+      "kernel={color_greedy_smp,color_greedy_smp_ba} "
+      "machine=smp:procs={1,2,4,8}" +
+          grid,
+  };
+}
+
 /// The CI gate: two cells (one per architecture and workload family) small
 /// enough to run on every commit. baselines/ci_quick.jsonl is the committed
 /// golden for exactly this sweep.
@@ -184,8 +218,25 @@ inline std::vector<std::string> ci_sweep_specs() {
   };
 }
 
+/// The frontier-substrate CI gate: every kernel built on the frontier
+/// edge_map/vertex_map primitives at smoke scale on both machines, plus
+/// cc_sv_mta — the CC kernel ported onto the substrate must stay
+/// cycle-identical to its pre-port baseline forever, and this grid is where
+/// that is enforced. baselines/frontier_quick.jsonl is the committed golden
+/// for exactly this sweep (fixed scale: it never varies with
+/// ARCHGRAPH_BENCH_SCALE, a baseline must match one grid).
+inline std::vector<std::string> frontier_sweep_specs() {
+  return {
+      "kernel={color_greedy_mta,color_greedy_mta_ba,bfs_tree_mta} "
+      "machine=mta:procs=2 n=1024 m=4096",
+      "kernel={color_greedy_smp,color_greedy_smp_ba,bfs_tree_smp} "
+      "machine=smp:procs=2,l2_kb=64 n=1024 m=4096",
+      "kernel=cc_sv_mta machine=mta:procs=2 n=1024 m=4096",
+  };
+}
+
 inline std::vector<std::string> canned_sweep_names() {
-  return {"fig1", "fig2", "table1", "ci"};
+  return {"fig1", "fig2", "table1", "coloring", "ci", "frontier"};
 }
 
 /// Resolves a canned grid by name; empty for unknown names.
@@ -194,7 +245,9 @@ inline std::vector<std::string> canned_sweep(const std::string& name,
   if (name == "fig1") return fig1_sweep_specs(scale);
   if (name == "fig2") return fig2_sweep_specs(scale);
   if (name == "table1") return table1_sweep_specs(scale);
+  if (name == "coloring") return coloring_sweep_specs(scale);
   if (name == "ci") return ci_sweep_specs();
+  if (name == "frontier") return frontier_sweep_specs();
   return {};
 }
 

@@ -61,6 +61,26 @@ std::vector<NodeId> cc_awerbuch_shiloach(rt::ThreadPool& pool,
                                          const graph::EdgeList& graph,
                                          SvStats* stats = nullptr);
 
+/// First-fit greedy coloring in vertex-id order: color[v] is the smallest
+/// color unused by already-colored (lower-id) neighbors. O(n + m). This is
+/// the unique fixed point of the simulated speculative-coloring kernels
+/// (Jones–Plassmann with vertex-id priorities), so sim results are asserted
+/// equal to it, not merely proper.
+std::vector<i64> color_greedy_seq(const graph::CsrGraph& graph);
+
+/// A BFS spanning forest: parents, levels, and the component count.
+struct BfsForest {
+  std::vector<NodeId> parent;  // parent[root] == root
+  std::vector<i64> level;      // BFS distance from the component's root
+  i64 components = 0;
+};
+
+/// Sequential BFS spanning forest: roots are the smallest unvisited vertex,
+/// FIFO frontier, neighbors in CSR order. Levels are exact BFS distances —
+/// the schedule-independent part every simulated BFS must reproduce; parents
+/// are one valid tree among many. O(n + m).
+BfsForest bfs_tree_seq(const graph::CsrGraph& graph);
+
 /// "Random-mating" connected components in the style of Reif [33] and
 /// Phillips [30] (the third algorithm in Greiner's comparison): every root
 /// flips a coin; child roots hook onto adjacent parent roots, so no cycles

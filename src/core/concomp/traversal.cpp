@@ -1,0 +1,59 @@
+// Host-native sequential traversal baselines: first-fit greedy coloring and
+// a BFS spanning forest. These are the ground truth the simulated coloring
+// and BFS kernels are differentially tested against (the same role
+// cc_union_find plays for the Shiloach–Vishkin kernels).
+#include <deque>
+#include <vector>
+
+#include "core/concomp/concomp.hpp"
+
+namespace archgraph::core {
+
+std::vector<i64> color_greedy_seq(const graph::CsrGraph& graph) {
+  const NodeId n = graph.num_vertices();
+  std::vector<i64> color(static_cast<usize>(n), 0);
+  // mark[c] == v iff color c is used by a lower-id neighbor of v.
+  std::vector<NodeId> mark(static_cast<usize>(n) + 1, -1);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : graph.neighbors(v)) {
+      if (u < v) {
+        const i64 c = color[static_cast<usize>(u)];
+        if (c <= static_cast<i64>(n)) mark[static_cast<usize>(c)] = v;
+      }
+    }
+    i64 c = 0;
+    while (mark[static_cast<usize>(c)] == v) ++c;
+    color[static_cast<usize>(v)] = c;
+  }
+  return color;
+}
+
+BfsForest bfs_tree_seq(const graph::CsrGraph& graph) {
+  const NodeId n = graph.num_vertices();
+  BfsForest forest;
+  forest.parent.assign(static_cast<usize>(n), -1);
+  forest.level.assign(static_cast<usize>(n), -1);
+  std::deque<NodeId> queue;
+  for (NodeId r = 0; r < n; ++r) {
+    if (forest.level[static_cast<usize>(r)] >= 0) continue;
+    ++forest.components;
+    forest.parent[static_cast<usize>(r)] = r;
+    forest.level[static_cast<usize>(r)] = 0;
+    queue.push_back(r);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const NodeId w : graph.neighbors(u)) {
+        if (forest.level[static_cast<usize>(w)] < 0) {
+          forest.parent[static_cast<usize>(w)] = u;
+          forest.level[static_cast<usize>(w)] =
+              forest.level[static_cast<usize>(u)] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return forest;
+}
+
+}  // namespace archgraph::core

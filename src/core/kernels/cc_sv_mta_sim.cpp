@@ -8,6 +8,12 @@
 // repeated until an iteration grafts nothing. Workers claim edge chunks with
 // int_fetch_add (the #pragma mta assert parallel scheduling).
 //
+// The loops are expressed with the frontier substrate's edge_map/vertex_map
+// wrappers (frontier.hpp): edge_map_slots_dynamic charges the two endpoint
+// loads per slot and the per-chunk fetch_add claim; the per-edge body below
+// charges the rest — the issue-slot stream is exactly the hand-rolled
+// original's.
+//
 // Issue-slot count per edge: 2 loads (edge endpoints, contiguous) + 2 loads
 // (D[u], D[v], non-contiguous) + 2 ALU, plus a D[D[v]] load and up to two
 // stores on the grafting edges — ≈6.5 slots/edge/iteration.
@@ -16,6 +22,7 @@
 
 #include "common/check.hpp"
 #include "core/concomp/concomp.hpp"
+#include "core/kernels/frontier.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/kernels/sim_par.hpp"
 #include "obs/prof/prof.hpp"
@@ -31,33 +38,27 @@ using sim::SimArray;
 using sim::SimThread;
 
 SimThread iota_kernel(Ctx ctx, i64 worker, i64 workers, SimArray<i64> arr) {
-  co_await simk::for_static(ctx, worker, workers, arr.size(),
-                            [&](i64 lo, i64 hi) -> sim::SimTask {
-                              for (i64 i = lo; i < hi; ++i) {
-                                co_await ctx.store(arr.addr(i), i);
-                                co_await ctx.compute(1);
-                              }
-                              co_return 0;
-                            });
+  co_await frontier::vertex_map_all_static(ctx, worker, workers, arr.size(),
+                                           [&](i64 i) -> sim::SimTask {
+                                             co_await ctx.store(arr.addr(i), i);
+                                             co_await ctx.compute(1);
+                                             co_return 0;
+                                           });
 }
 
 SimThread graft_kernel(Ctx ctx, i64 /*worker*/, i64 /*workers*/,
-                       SimArray<i64> eu, SimArray<i64> ev, SimArray<i64> d,
-                       Addr counter, Addr graft_flag, i64 chunk) {
-  co_await simk::for_dynamic(
-      ctx, counter, eu.size(), chunk, [&](i64 lo, i64 hi) -> sim::SimTask {
-        for (i64 i = lo; i < hi; ++i) {
-          const i64 u = co_await ctx.load(eu.addr(i));
-          const i64 v = co_await ctx.load(ev.addr(i));
-          const i64 du = co_await ctx.load(d.addr(u));
-          const i64 dv = co_await ctx.load(d.addr(v));
-          co_await ctx.compute(2);  // compare chain + loop bookkeeping
-          if (du < dv) {
-            const i64 ddv = co_await ctx.load(d.addr(dv));
-            if (ddv == dv) {
-              co_await ctx.store(d.addr(dv), du);
-              co_await ctx.store(graft_flag, 1);
-            }
+                       frontier::EdgeSlots es, SimArray<i64> d, Addr counter,
+                       Addr graft_flag, i64 chunk) {
+  co_await frontier::edge_map_slots_dynamic(
+      ctx, es, counter, chunk, [&](i64 u, i64 v) -> sim::SimTask {
+        const i64 du = co_await ctx.load(d.addr(u));
+        const i64 dv = co_await ctx.load(d.addr(v));
+        co_await ctx.compute(2);  // compare chain + loop bookkeeping
+        if (du < dv) {
+          const i64 ddv = co_await ctx.load(d.addr(dv));
+          if (ddv == dv) {
+            co_await ctx.store(d.addr(dv), du);
+            co_await ctx.store(graft_flag, 1);
           }
         }
         co_return 0;
@@ -66,22 +67,20 @@ SimThread graft_kernel(Ctx ctx, i64 /*worker*/, i64 /*workers*/,
 
 SimThread shortcut_kernel(Ctx ctx, i64 /*worker*/, i64 /*workers*/,
                           SimArray<i64> d, Addr counter, i64 chunk) {
-  co_await simk::for_dynamic(
-      ctx, counter, d.size(), chunk, [&](i64 lo, i64 hi) -> sim::SimTask {
-        for (i64 i = lo; i < hi; ++i) {
-          i64 cur = co_await ctx.load(d.addr(i));
+  co_await frontier::vertex_map_all_dynamic(
+      ctx, counter, d.size(), chunk, [&](i64 i) -> sim::SimTask {
+        i64 cur = co_await ctx.load(d.addr(i));
+        co_await ctx.compute(1);
+        bool moved = false;
+        while (true) {
+          const i64 up = co_await ctx.load(d.addr(cur));
           co_await ctx.compute(1);
-          bool moved = false;
-          while (true) {
-            const i64 up = co_await ctx.load(d.addr(cur));
-            co_await ctx.compute(1);
-            if (up == cur) break;
-            cur = up;
-            moved = true;
-          }
-          if (moved) {
-            co_await ctx.store(d.addr(i), cur);
-          }
+          if (up == cur) break;
+          cur = up;
+          moved = true;
+        }
+        if (moved) {
+          co_await ctx.store(d.addr(i), cur);
         }
         co_return 0;
       });
@@ -99,20 +98,12 @@ SimCcResult sim_cc_sv_mta(sim::Machine& machine, const graph::EdgeList& graph,
 
   // Both orientations of every edge, as Alg. 3's loop over 2m slots.
   const i64 slots = 2 * m;
-  SimArray<i64> eu(mem, std::max<i64>(slots, 1));
-  SimArray<i64> ev(mem, std::max<i64>(slots, 1));
-  for (i64 i = 0; i < m; ++i) {
-    const graph::Edge& e = graph.edge(i);
-    eu.set(i, e.u);
-    ev.set(i, e.v);
-    eu.set(m + i, e.v);
-    ev.set(m + i, e.u);
-  }
+  frontier::EdgeSlots es(mem, graph);
   SimArray<i64> d(mem, n);
   SimArray<i64> counter(mem, 1);
   SimArray<i64> graft(mem, 1);
-  obs::prof::label_range("edges.u", eu);
-  obs::prof::label_range("edges.v", ev);
+  obs::prof::label_range("edges.u", es.eu);
+  obs::prof::label_range("edges.v", es.ev);
   obs::prof::label_range("D", d);
   obs::prof::label_range("counter", counter);
   obs::prof::label_range("graft", graft);
@@ -136,7 +127,7 @@ SimCcResult sim_cc_sv_mta(sim::Machine& machine, const graph::EdgeList& graph,
       counter.set(0, 0);
       obs::label_next_region("cc.graft#" +
                              std::to_string(result.iterations + 1));
-      simk::spawn_workers(machine, edge_workers, graft_kernel, eu, ev, d,
+      simk::spawn_workers(machine, edge_workers, graft_kernel, es, d,
                           counter.addr(0), graft.addr(0), params.chunk);
       machine.run_region();
     }

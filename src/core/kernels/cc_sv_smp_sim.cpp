@@ -6,6 +6,10 @@
 // flags that thread 0 combines (avoiding a hot shared flag word — one of the
 // Greiner/Krishnamurthy-style optimizations the paper cites).
 //
+// The loops are expressed with the frontier substrate's static edge_map /
+// vertex_map wrappers (frontier.hpp); the issue-slot stream is exactly the
+// hand-rolled original's.
+//
 // Cache behaviour this exposes on the SMP model: the edge scan is contiguous
 // (amortized by the line size), but D[u], D[v], D[D[v]] are non-contiguous —
 // the "two non-contiguous memory accesses per edge" of the paper's step-1
@@ -15,6 +19,7 @@
 
 #include "common/check.hpp"
 #include "core/concomp/concomp.hpp"
+#include "core/kernels/frontier.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/kernels/sim_par.hpp"
 #include "obs/prof/prof.hpp"
@@ -28,21 +33,18 @@ using sim::Ctx;
 using sim::SimArray;
 using sim::SimThread;
 
-SimThread sv_smp_kernel(Ctx ctx, i64 worker, i64 workers, SimArray<i64> eu,
-                        SimArray<i64> ev, SimArray<i64> d,
+SimThread sv_smp_kernel(Ctx ctx, i64 worker, i64 workers,
+                        frontier::EdgeSlots es, SimArray<i64> d,
                         SimArray<i64> flags, SimArray<i64> cont,
                         SimArray<i64> iters, i64 max_iters) {
-  const i64 slots = eu.size();
   const i64 n = d.size();
 
   // Init: D[i] = i over my vertex block, then the phase barrier.
-  co_await simk::for_static(
+  co_await frontier::vertex_map_all_static(
       ctx, worker, workers, n,
-      [&](i64 lo, i64 hi) -> sim::SimTask {
-        for (i64 i = lo; i < hi; ++i) {
-          co_await ctx.store(d.addr(i), i);
-          co_await ctx.compute(1);
-        }
+      [&](i64 i) -> sim::SimTask {
+        co_await ctx.store(d.addr(i), i);
+        co_await ctx.compute(1);
         co_return 0;
       },
       /*barrier_after=*/true);
@@ -51,20 +53,16 @@ SimThread sv_smp_kernel(Ctx ctx, i64 worker, i64 workers, SimArray<i64> eu,
   while (true) {
     // Graft phase over my edge slots.
     i64 grafted = 0;
-    co_await simk::for_static(
-        ctx, worker, workers, slots, [&](i64 lo, i64 hi) -> sim::SimTask {
-          for (i64 i = lo; i < hi; ++i) {
-            const i64 u = co_await ctx.load(eu.addr(i));
-            const i64 v = co_await ctx.load(ev.addr(i));
-            const i64 du = co_await ctx.load(d.addr(u));
-            const i64 dv = co_await ctx.load(d.addr(v));
-            co_await ctx.compute(2);
-            if (du < dv) {
-              const i64 ddv = co_await ctx.load(d.addr(dv));
-              if (ddv == dv) {
-                co_await ctx.store(d.addr(dv), du);
-                grafted = 1;
-              }
+    co_await frontier::edge_map_slots_static(
+        ctx, worker, workers, es, [&](i64 u, i64 v) -> sim::SimTask {
+          const i64 du = co_await ctx.load(d.addr(u));
+          const i64 dv = co_await ctx.load(d.addr(v));
+          co_await ctx.compute(2);
+          if (du < dv) {
+            const i64 ddv = co_await ctx.load(d.addr(dv));
+            if (ddv == dv) {
+              co_await ctx.store(d.addr(dv), du);
+              grafted = 1;
             }
           }
           co_return 0;
@@ -92,23 +90,21 @@ SimThread sv_smp_kernel(Ctx ctx, i64 worker, i64 workers, SimArray<i64> eu,
              "simulated Shiloach-Vishkin failed to converge");
 
     // Shortcut phase over my vertex block, then the phase barrier.
-    co_await simk::for_static(
+    co_await frontier::vertex_map_all_static(
         ctx, worker, workers, n,
-        [&](i64 lo, i64 hi) -> sim::SimTask {
-          for (i64 i = lo; i < hi; ++i) {
-            i64 cur = co_await ctx.load(d.addr(i));
+        [&](i64 i) -> sim::SimTask {
+          i64 cur = co_await ctx.load(d.addr(i));
+          co_await ctx.compute(1);
+          bool moved = false;
+          while (true) {
+            const i64 up = co_await ctx.load(d.addr(cur));
             co_await ctx.compute(1);
-            bool moved = false;
-            while (true) {
-              const i64 up = co_await ctx.load(d.addr(cur));
-              co_await ctx.compute(1);
-              if (up == cur) break;
-              cur = up;
-              moved = true;
-            }
-            if (moved) {
-              co_await ctx.store(d.addr(i), cur);
-            }
+            if (up == cur) break;
+            cur = up;
+            moved = true;
+          }
+          if (moved) {
+            co_await ctx.store(d.addr(i), cur);
           }
           co_return 0;
         },
@@ -121,35 +117,19 @@ SimThread sv_smp_kernel(Ctx ctx, i64 worker, i64 workers, SimArray<i64> eu,
 SimCcResult sim_cc_sv_smp(sim::Machine& machine, const graph::EdgeList& graph,
                           SmpCcParams params) {
   const NodeId n = graph.num_vertices();
-  const i64 m = graph.num_edges();
   AG_CHECK(n >= 1, "empty graph");
   const i64 threads =
       params.threads > 0 ? params.threads : machine.processors();
   sim::SimMemory& mem = machine.memory();
 
-  const i64 slots = 2 * m;
-  SimArray<i64> eu(mem, std::max<i64>(slots, 1));
-  SimArray<i64> ev(mem, std::max<i64>(slots, 1));
-  for (i64 i = 0; i < m; ++i) {
-    const graph::Edge& e = graph.edge(i);
-    eu.set(i, e.u);
-    ev.set(i, e.v);
-    eu.set(m + i, e.v);
-    ev.set(m + i, e.u);
-  }
-  if (m == 0) {
-    // The edge arrays have one dummy slot; neutralize it (u == v never
-    // grafts).
-    eu.set(0, 0);
-    ev.set(0, 0);
-  }
+  frontier::EdgeSlots es(mem, graph);
   SimArray<i64> d(mem, n);
   SimArray<i64> flags(mem, threads);
   SimArray<i64> cont(mem, 1);
   SimArray<i64> iters(mem, 1);
   iters.set(0, 0);
-  obs::prof::label_range("edges.u", eu);
-  obs::prof::label_range("edges.v", ev);
+  obs::prof::label_range("edges.u", es.eu);
+  obs::prof::label_range("edges.v", es.ev);
   obs::prof::label_range("D", d);
   obs::prof::label_range("flags", flags);
   obs::prof::label_range("cont", cont);
@@ -161,7 +141,7 @@ SimCcResult sim_cc_sv_smp(sim::Machine& machine, const graph::EdgeList& graph,
   // graft / combine / shortcut phases of each iteration.
   obs::label_next_region("cc.sv");
   obs::label_phases({"cc.init"}, {"cc.graft", "cc.combine", "cc.shortcut"});
-  simk::spawn_workers(machine, threads, sv_smp_kernel, eu, ev, d, flags, cont,
+  simk::spawn_workers(machine, threads, sv_smp_kernel, es, d, flags, cont,
                       iters, max_iters);
   machine.run_region();
 

@@ -1,0 +1,277 @@
+// Ligra/GBBS-style traversal substrate for simulator kernels.
+//
+// Graph kernels in core/kernels share three data shapes — a flat array of
+// directed edge slots (the Shiloach–Vishkin scan), a CSR adjacency resident
+// in simulated memory (traversal kernels), and a vertex frontier that is
+// sparse (an unordered vertex list) or dense (process everything) depending
+// on its size. This header factors those shapes, plus the edge_map /
+// vertex_map loops over them, out of the individual kernels, built on the
+// simk scheduling substrate so a kernel picks MTA-style dynamic claiming or
+// SMP-style static blocks by choosing the *_dynamic / *_static wrapper.
+//
+// Charging model (the kernels.hpp instruction-accounting convention: every
+// load/store/fetch_add costs one issue slot inherently, ALU work is charged
+// with compute(k)):
+//
+//   * edge_map_slots_*:  per slot, one load each for eu[i] and ev[i], then
+//     the body's own charges. Claiming cost comes from the simk loop shape
+//     (one fetch_add per dynamic chunk; free static blocks).
+//   * neighbors_map:     per vertex, two loads for the CSR offset bounds and
+//     one compute for the loop setup; per arc, one load for the target.
+//   * vertex_map (sparse): per frontier entry, one load for verts[i]; when
+//     consuming, one store to re-arm the membership flag.
+//   * vertex_map (dense):  ignores membership and visits all n vertices; when
+//     consuming, one store per vertex to clear the flag array (the dense
+//     bitmap rewrite every dense edgeMap pays in Ligra).
+//   * Frontier::push:    one fetch_add on the membership flag (the dedup
+//     claim) plus one compute to test it; winners pay one fetch_add on the
+//     size cursor and one store of the vertex slot. push_nodedup skips the
+//     flag claim for kernels whose visited array already deduplicates (BFS).
+//
+// Host-side construction (EdgeSlots / SimCsr builders, Frontier::host_reset
+// between parallel regions) costs nothing simulated, matching the existing
+// convention that drivers stage inputs and reset counters host-side.
+//
+// Lifetime rule (sim/task.hpp): body lambdas are named parameters of the
+// wrapper coroutines — they live in the wrapper's frame — and every SimTask
+// is awaited immediately.
+#pragma once
+
+#include <algorithm>
+
+#include "common/types.hpp"
+#include "core/kernels/sim_par.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/edge_list.hpp"
+#include "sim/machine.hpp"
+
+namespace archgraph::core::frontier {
+
+/// Both orientations of every undirected edge as flat eu/ev arrays — the 2m
+/// directed slots Alg. 3 scans. Always at least one (neutralized u == v)
+/// slot so static partitions of an empty graph stay well-formed.
+struct EdgeSlots {
+  EdgeSlots(sim::SimMemory& mem, const graph::EdgeList& graph);
+
+  /// Array extent: max(2m, 1). Drivers that skip empty scans should test
+  /// `edges > 0`, not `slots()`.
+  i64 slots() const { return eu.size(); }
+
+  sim::SimArray<i64> eu;
+  sim::SimArray<i64> ev;
+  i64 edges = 0;  // 2m real slots
+};
+
+/// CSR adjacency resident in simulated memory: offsets (n+1 words) and the
+/// directed arc targets (max(arcs, 1) words), copied host-side at zero
+/// simulated cost like every other kernel input.
+struct SimCsr {
+  SimCsr(sim::SimMemory& mem, const graph::CsrGraph& graph);
+
+  sim::SimArray<i64> offsets;
+  sim::SimArray<i64> targets;
+  i64 n = 0;
+  i64 arcs = 0;
+};
+
+/// A vertex frontier in simulated memory: an unordered sparse list
+/// (verts[0..size)), a size cursor, and a per-vertex membership flag array
+/// that deduplicates concurrent pushes. flags[v] != 0 iff v is in the
+/// frontier and not yet consumed; consuming re-arms the flag with a store.
+class Frontier {
+ public:
+  Frontier(sim::SimMemory& mem, i64 n);
+
+  i64 n() const { return n_; }
+  sim::Addr count_addr() const { return count_.addr(0); }
+  sim::Addr vert_addr(i64 i) const { return verts_.addr(i); }
+  sim::Addr flag_addr(i64 v) const { return flags_.addr(v); }
+  const sim::SimArray<i64>& verts() const { return verts_; }
+  const sim::SimArray<i64>& flags() const { return flags_; }
+
+  // -- host side (zero simulated cost; only between parallel regions) --
+
+  i64 host_size() const { return count_.get(0); }
+  /// Resets the size cursor. The flag array must already be clear (every
+  /// entry consumed, or never populated).
+  void host_reset() { count_.set(0, 0); }
+  /// Density-threshold switch: dense when size * denom >= n, i.e. at least
+  /// 1/denom of the vertices are live (Ligra's |frontier| > n/20 test with
+  /// denom as the knob).
+  bool host_dense(i64 denom) const { return host_size() * denom >= n_; }
+  static bool dense(i64 size, i64 n, i64 denom) { return size * denom >= n; }
+
+  // -- sim side (charged) --
+
+  /// Deduplicating push: claim the membership flag with a fetch_add, and on
+  /// the winning (old == 0) claim append v to the sparse list.
+  sim::SimTask push(sim::Ctx ctx, i64 v);
+  /// Append without the flag claim, for kernels whose own visited array is
+  /// the dedup (each vertex provably pushed at most once).
+  sim::SimTask push_nodedup(sim::Ctx ctx, i64 v);
+
+ private:
+  sim::SimArray<i64> verts_;
+  sim::SimArray<i64> count_;
+  sim::SimArray<i64> flags_;
+  i64 n_ = 0;
+};
+
+// ---------------------------------------------------------------- edge maps
+
+/// Dynamic edge_map over raw edge slots: workers claim chunks of [0, slots)
+/// with fetch_add; per slot, loads eu[i] and ev[i] and awaits body(u, v).
+template <typename Body>
+sim::SimTask edge_map_slots_dynamic(sim::Ctx ctx, EdgeSlots es,
+                                    sim::Addr counter, i64 chunk, Body body) {
+  co_await simk::for_dynamic(ctx, counter, es.slots(), chunk,
+                             [&](i64 lo, i64 hi) -> sim::SimTask {
+                               for (i64 i = lo; i < hi; ++i) {
+                                 const i64 u = co_await ctx.load(es.eu.addr(i));
+                                 const i64 v = co_await ctx.load(es.ev.addr(i));
+                                 co_await body(u, v);
+                               }
+                               co_return 0;
+                             });
+  co_return 0;
+}
+
+/// Static edge_map over raw edge slots: worker's block of [0, slots), same
+/// per-slot charges as the dynamic shape, no claiming cost.
+template <typename Body>
+sim::SimTask edge_map_slots_static(sim::Ctx ctx, i64 worker, i64 workers,
+                                   EdgeSlots es, Body body) {
+  co_await simk::for_static(ctx, worker, workers, es.slots(),
+                            [&](i64 lo, i64 hi) -> sim::SimTask {
+                              for (i64 i = lo; i < hi; ++i) {
+                                const i64 u = co_await ctx.load(es.eu.addr(i));
+                                const i64 v = co_await ctx.load(es.ev.addr(i));
+                                co_await body(u, v);
+                              }
+                              co_return 0;
+                            });
+  co_return 0;
+}
+
+/// Arc scan of one vertex: two loads for the offset bounds, one compute for
+/// the loop setup, then one load per arc target before body(u, target).
+template <typename Body>
+sim::SimTask neighbors_map(sim::Ctx ctx, SimCsr csr, i64 u, Body body) {
+  const i64 lo = co_await ctx.load(csr.offsets.addr(u));
+  const i64 hi = co_await ctx.load(csr.offsets.addr(u + 1));
+  co_await ctx.compute(1);  // loop setup: bounds into registers
+  for (i64 a = lo; a < hi; ++a) {
+    const i64 v = co_await ctx.load(csr.targets.addr(a));
+    co_await body(u, v);
+  }
+  co_return 0;
+}
+
+// -------------------------------------------------------------- vertex maps
+
+/// Dynamic vertex_map over all of [0, n): the MTA iota/shortcut loop shape.
+template <typename Body>
+sim::SimTask vertex_map_all_dynamic(sim::Ctx ctx, sim::Addr counter, i64 n,
+                                    i64 chunk, Body body) {
+  co_await simk::for_dynamic(ctx, counter, n, chunk,
+                             [&](i64 lo, i64 hi) -> sim::SimTask {
+                               for (i64 i = lo; i < hi; ++i) {
+                                 co_await body(i);
+                               }
+                               co_return 0;
+                             });
+  co_return 0;
+}
+
+/// Static vertex_map over all of [0, n): the SMP block-partition loop shape.
+template <typename Body>
+sim::SimTask vertex_map_all_static(sim::Ctx ctx, i64 worker, i64 workers,
+                                   i64 n, Body body,
+                                   bool barrier_after = false) {
+  co_await simk::for_static(
+      ctx, worker, workers, n,
+      [&](i64 lo, i64 hi) -> sim::SimTask {
+        for (i64 i = lo; i < hi; ++i) {
+          co_await body(i);
+        }
+        co_return 0;
+      },
+      barrier_after);
+  co_return 0;
+}
+
+/// Dynamic vertex_map over a sparse frontier: claims chunks of the entry
+/// index space [0, size) (size read host-side between regions, or loaded by
+/// the caller inside one), loads verts[i], optionally re-arms the membership
+/// flag (consume), and awaits body(v).
+template <typename Body>
+sim::SimTask vertex_map_sparse_dynamic(sim::Ctx ctx, Frontier f,
+                                       sim::Addr counter, i64 size, i64 chunk,
+                                       bool consume, Body body) {
+  co_await simk::for_dynamic(ctx, counter, size, chunk,
+                             [&](i64 lo, i64 hi) -> sim::SimTask {
+                               for (i64 i = lo; i < hi; ++i) {
+                                 const i64 v = co_await ctx.load(f.vert_addr(i));
+                                 if (consume) {
+                                   co_await ctx.store(f.flag_addr(v), 0);
+                                 }
+                                 co_await body(v);
+                               }
+                               co_return 0;
+                             });
+  co_return 0;
+}
+
+/// Static vertex_map over a sparse frontier (worker blocks of [0, size)).
+template <typename Body>
+sim::SimTask vertex_map_sparse_static(sim::Ctx ctx, i64 worker, i64 workers,
+                                      Frontier f, i64 size, bool consume,
+                                      Body body) {
+  co_await simk::for_static(ctx, worker, workers, size,
+                            [&](i64 lo, i64 hi) -> sim::SimTask {
+                              for (i64 i = lo; i < hi; ++i) {
+                                const i64 v = co_await ctx.load(f.vert_addr(i));
+                                if (consume) {
+                                  co_await ctx.store(f.flag_addr(v), 0);
+                                }
+                                co_await body(v);
+                              }
+                              co_return 0;
+                            });
+  co_return 0;
+}
+
+/// Dynamic vertex_map over a dense frontier: visits every vertex regardless
+/// of membership (the sparse list is ignored), clearing the whole flag array
+/// with one store per vertex — the dense-bitmap rewrite.
+template <typename Body>
+sim::SimTask vertex_map_dense_dynamic(sim::Ctx ctx, Frontier f,
+                                      sim::Addr counter, i64 chunk,
+                                      Body body) {
+  co_await simk::for_dynamic(ctx, counter, f.n(), chunk,
+                             [&](i64 lo, i64 hi) -> sim::SimTask {
+                               for (i64 v = lo; v < hi; ++v) {
+                                 co_await ctx.store(f.flag_addr(v), 0);
+                                 co_await body(v);
+                               }
+                               co_return 0;
+                             });
+  co_return 0;
+}
+
+/// Static vertex_map over a dense frontier.
+template <typename Body>
+sim::SimTask vertex_map_dense_static(sim::Ctx ctx, i64 worker, i64 workers,
+                                     Frontier f, Body body) {
+  co_await simk::for_static(ctx, worker, workers, f.n(),
+                            [&](i64 lo, i64 hi) -> sim::SimTask {
+                              for (i64 v = lo; v < hi; ++v) {
+                                co_await ctx.store(f.flag_addr(v), 0);
+                                co_await body(v);
+                              }
+                              co_return 0;
+                            });
+  co_return 0;
+}
+
+}  // namespace archgraph::core::frontier

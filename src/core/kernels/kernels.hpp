@@ -115,4 +115,89 @@ SimCcResult sim_cc_sv_smp(sim::Machine& machine, const graph::EdgeList& graph,
 std::vector<NodeId> sim_cc_union_find_sequential(sim::Machine& machine,
                                                  const graph::EdgeList& graph);
 
+// ------------------------------------------------------------ graph coloring
+
+struct SimColorResult {
+  std::vector<i64> colors;  // == color_greedy_seq of the same graph
+  i64 rounds = 0;           // tentative/conflict-resolution passes
+};
+
+struct MtaColorParams {
+  /// Frontier entries claimed per fetch-add in the dynamic scheduler.
+  i64 chunk = 16;
+  /// Worker threads. 0 = auto: machine.concurrency().
+  i64 workers = 0;
+  /// Predicated inner loop (Green/Dukhan/Vuduc): load every neighbor color
+  /// and fold it into the palette mask with ALU ops instead of branching on
+  /// the lower-id test.
+  bool branch_avoiding = false;
+  /// Tentative passes go dense when the active set holds at least
+  /// 1/dense_denom of the vertices.
+  i64 dense_denom = 4;
+};
+
+/// Distance-1 greedy coloring by iterative speculative coloring
+/// (Çatalyürek/Feo/Gebremedhin shape) with vertex-id priorities: each round
+/// recolors the active set from lower-id neighbor colors (tentative), then
+/// propagates every change to higher-id neighbors via an edge_map over the
+/// changed frontier. Converges to exactly color_greedy_seq on any schedule.
+/// MTA shape: one dynamically-scheduled region per phase per round.
+SimColorResult sim_color_greedy_mta(sim::Machine& machine,
+                                    const graph::EdgeList& graph,
+                                    MtaColorParams params = {});
+
+struct SmpColorParams {
+  /// Threads. 0 = auto: machine.processors().
+  i64 threads = 0;
+  /// See MtaColorParams::branch_avoiding.
+  bool branch_avoiding = false;
+  /// See MtaColorParams::dense_denom.
+  i64 dense_denom = 4;
+};
+
+/// The same speculative-coloring loop as a single-region p-thread SMP
+/// program: barrier-separated tentative / propagate / combine phases with
+/// statically partitioned frontiers and worker-0 bookkeeping.
+SimColorResult sim_color_greedy_smp(sim::Machine& machine,
+                                    const graph::EdgeList& graph,
+                                    SmpColorParams params = {});
+
+// -------------------------------------------------------- BFS spanning tree
+
+struct SimBfsResult {
+  std::vector<NodeId> parent;  // parent[root] == root; a valid BFS forest
+  std::vector<i64> level;      // == bfs_tree_seq levels (exact distances)
+  i64 components = 0;
+  i64 rounds = 0;  // level-expansion rounds summed over components
+};
+
+struct MtaBfsParams {
+  /// Frontier entries claimed per fetch-add in the dynamic scheduler.
+  i64 chunk = 16;
+  /// Worker threads. 0 = auto: machine.concurrency().
+  i64 workers = 0;
+};
+
+/// Level-synchronous BFS spanning forest (the CC companion): one root per
+/// component found by a charged sequential seek, then one dynamically
+/// scheduled edge_map region per level; discovery races resolved by a
+/// fetch_add claim on the visited word. MTA shape: a region per seek and per
+/// level.
+SimBfsResult sim_bfs_tree_mta(sim::Machine& machine,
+                              const graph::EdgeList& graph,
+                              MtaBfsParams params = {});
+
+struct SmpBfsParams {
+  /// Threads. 0 = auto: machine.processors().
+  i64 threads = 0;
+};
+
+/// The same level-synchronous BFS as a single-region p-thread SMP program:
+/// alternating barrier-separated seek (worker 0 scans for the next root,
+/// everyone re-reads frontier sizes) and expand (static frontier partition)
+/// phases.
+SimBfsResult sim_bfs_tree_smp(sim::Machine& machine,
+                              const graph::EdgeList& graph,
+                              SmpBfsParams params = {});
+
 }  // namespace archgraph::core

@@ -1,5 +1,6 @@
 #include "graph/validate.hpp"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -109,6 +110,59 @@ bool is_components_labeling(const EdgeList& graph,
 i64 count_distinct_labels(std::span<const NodeId> labels) {
   std::unordered_set<NodeId> distinct(labels.begin(), labels.end());
   return static_cast<i64>(distinct.size());
+}
+
+bool is_proper_coloring(const EdgeList& graph, std::span<const i64> colors) {
+  const NodeId n = graph.num_vertices();
+  if (static_cast<NodeId>(colors.size()) != n) return false;
+  for (NodeId v = 0; v < n; ++v) {
+    if (colors[static_cast<usize>(v)] < 0) return false;
+  }
+  for (const Edge& e : graph.edges()) {
+    if (e.u != e.v &&
+        colors[static_cast<usize>(e.u)] == colors[static_cast<usize>(e.v)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_bfs_forest(const EdgeList& graph, std::span<const NodeId> parent,
+                   std::span<const i64> level) {
+  const NodeId n = graph.num_vertices();
+  if (static_cast<NodeId>(parent.size()) != n ||
+      static_cast<NodeId>(level.size()) != n) {
+    return false;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (level[static_cast<usize>(v)] < 0) return false;  // unvisited
+    const NodeId p = parent[static_cast<usize>(v)];
+    if (p < 0 || p >= n) return false;
+    if ((p == v) != (level[static_cast<usize>(v)] == 0)) return false;
+  }
+  // Edge membership for the parent-is-a-neighbor check, plus the level
+  // smoothness that pins levels to exact BFS distances.
+  std::unordered_set<u64> edge_keys;
+  edge_keys.reserve(static_cast<usize>(graph.num_edges()) * 2);
+  for (const Edge& e : graph.edges()) {
+    const u64 lo = static_cast<u64>(std::min(e.u, e.v));
+    const u64 hi = static_cast<u64>(std::max(e.u, e.v));
+    edge_keys.insert((lo << 32) | hi);
+    const i64 du =
+        level[static_cast<usize>(e.u)] - level[static_cast<usize>(e.v)];
+    if (du < -1 || du > 1) return false;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = parent[static_cast<usize>(v)];
+    if (p == v) continue;
+    if (level[static_cast<usize>(v)] != level[static_cast<usize>(p)] + 1) {
+      return false;
+    }
+    const u64 lo = static_cast<u64>(std::min(p, v));
+    const u64 hi = static_cast<u64>(std::max(p, v));
+    if (!edge_keys.contains((lo << 32) | hi)) return false;
+  }
+  return true;
 }
 
 }  // namespace archgraph::graph::validate

@@ -32,4 +32,17 @@ bool is_components_labeling(const EdgeList& graph,
 /// Number of distinct values in `labels`.
 i64 count_distinct_labels(std::span<const NodeId> labels);
 
+/// True iff `colors` assigns every vertex a color >= 0 and the endpoints of
+/// every non-loop edge get different colors.
+bool is_proper_coloring(const EdgeList& graph, std::span<const i64> colors);
+
+/// True iff (parent, level) is a BFS spanning forest of `graph`: every
+/// vertex visited (level >= 0); parent[v] == v exactly at level-0 roots;
+/// every non-root's parent is a neighbor one level below; and the endpoint
+/// levels of every edge differ by at most one. Together these force
+/// level[v] to equal the BFS distance from its component's root, so any
+/// level-synchronous BFS passes regardless of which parent won each race.
+bool is_bfs_forest(const EdgeList& graph, std::span<const NodeId> parent,
+                   std::span<const i64> level);
+
 }  // namespace archgraph::graph::validate

@@ -1,10 +1,14 @@
 #include "sweep/registry.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "core/concomp/concomp.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/listrank/listrank.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/generators.hpp"
+#include "graph/validate.hpp"
 
 namespace archgraph::sweep {
 
@@ -47,6 +51,63 @@ KernelInfo cc_kernel(std::string name, std::string description, F&& fn) {
     if (verify) {
       AG_CHECK(result.labels == core::cc_union_find(input.graph),
                "sweep kernel self-check failed (connected components)");
+      run.verified = true;
+    }
+    return run;
+  };
+  return info;
+}
+
+/// Wraps a greedy-coloring kernel returning SimColorResult. Verification is
+/// exact: the speculative kernels' fixed point is the sequential first-fit
+/// coloring, so the colors must equal color_greedy_seq (and be proper).
+template <typename F>
+KernelInfo color_kernel(std::string name, std::string description, F&& fn) {
+  KernelInfo info;
+  info.name = std::move(name);
+  info.description = std::move(description);
+  info.input = InputKind::kGraph;
+  info.run = [fn](sim::Machine& machine, const KernelInput& input,
+                  bool verify) {
+    const core::SimColorResult result = fn(machine, input.graph);
+    KernelRun run;
+    run.iterations = result.rounds;
+    if (verify) {
+      AG_CHECK(graph::validate::is_proper_coloring(input.graph, result.colors),
+               "sweep kernel self-check failed (coloring not proper)");
+      AG_CHECK(result.colors == core::color_greedy_seq(
+                                    graph::CsrGraph::from_edges(input.graph)),
+               "sweep kernel self-check failed (coloring != greedy)");
+      run.verified = true;
+    }
+    return run;
+  };
+  return info;
+}
+
+/// Wraps a BFS spanning-forest kernel returning SimBfsResult. Levels are
+/// schedule-independent (exact BFS distances) and checked for equality
+/// against bfs_tree_seq; parents are race-resolved and checked structurally.
+template <typename F>
+KernelInfo bfs_kernel(std::string name, std::string description, F&& fn) {
+  KernelInfo info;
+  info.name = std::move(name);
+  info.description = std::move(description);
+  info.input = InputKind::kGraph;
+  info.run = [fn](sim::Machine& machine, const KernelInput& input,
+                  bool verify) {
+    const core::SimBfsResult result = fn(machine, input.graph);
+    KernelRun run;
+    run.iterations = result.rounds;
+    if (verify) {
+      AG_CHECK(
+          graph::validate::is_bfs_forest(input.graph, result.parent,
+                                         result.level),
+          "sweep kernel self-check failed (BFS forest)");
+      AG_CHECK(result.level == core::bfs_tree_seq(
+                                   graph::CsrGraph::from_edges(input.graph))
+                                   .level,
+               "sweep kernel self-check failed (BFS levels)");
       run.verified = true;
     }
     return run;
@@ -109,6 +170,46 @@ std::vector<KernelInfo> build_registry() {
     };
     kernels.push_back(std::move(info));
   }
+  kernels.push_back(color_kernel(
+      "color_greedy_mta",
+      "greedy coloring, speculative recolor rounds (MTA style)",
+      [](sim::Machine& m, const graph::EdgeList& g) {
+        return core::sim_color_greedy_mta(m, g);
+      }));
+  kernels.push_back(color_kernel(
+      "color_greedy_smp",
+      "greedy coloring, barrier-separated recolor rounds (SMP style)",
+      [](sim::Machine& m, const graph::EdgeList& g) {
+        return core::sim_color_greedy_smp(m, g);
+      }));
+  kernels.push_back(color_kernel(
+      "color_greedy_mta_ba",
+      "greedy coloring, branch-avoiding inner loop (MTA style)",
+      [](sim::Machine& m, const graph::EdgeList& g) {
+        core::MtaColorParams params;
+        params.branch_avoiding = true;
+        return core::sim_color_greedy_mta(m, g, params);
+      }));
+  kernels.push_back(color_kernel(
+      "color_greedy_smp_ba",
+      "greedy coloring, branch-avoiding inner loop (SMP style)",
+      [](sim::Machine& m, const graph::EdgeList& g) {
+        core::SmpColorParams params;
+        params.branch_avoiding = true;
+        return core::sim_color_greedy_smp(m, g, params);
+      }));
+  kernels.push_back(bfs_kernel(
+      "bfs_tree_mta",
+      "BFS spanning forest, level frontiers (MTA style)",
+      [](sim::Machine& m, const graph::EdgeList& g) {
+        return core::sim_bfs_tree_mta(m, g);
+      }));
+  kernels.push_back(bfs_kernel(
+      "bfs_tree_smp",
+      "BFS spanning forest, barrier-separated levels (SMP style)",
+      [](sim::Machine& m, const graph::EdgeList& g) {
+        return core::sim_bfs_tree_smp(m, g);
+      }));
   return kernels;
 }
 
@@ -125,6 +226,30 @@ std::vector<std::string> kernel_names() {
     names.push_back(k.name);
   }
   return names;
+}
+
+std::string kernel_names_joined() {
+  std::string joined;
+  for (const KernelInfo& k : kernel_registry()) {
+    if (!joined.empty()) joined += ", ";
+    joined += k.name;
+  }
+  return joined;
+}
+
+std::string kernel_listing() {
+  usize width = 0;
+  for (const KernelInfo& k : kernel_registry()) {
+    width = std::max(width, k.name.size());
+  }
+  std::string listing;
+  for (const KernelInfo& k : kernel_registry()) {
+    listing += "  " + k.name;
+    listing.append(width - k.name.size() + 2, ' ');
+    listing += k.input == InputKind::kList ? "[list]  " : "[graph] ";
+    listing += k.description + "\n";
+  }
+  return listing;
 }
 
 const KernelInfo& find_kernel(std::string_view name) {

@@ -49,6 +49,15 @@ const std::vector<KernelInfo>& kernel_registry();
 /// Registered names, in listing order.
 std::vector<std::string> kernel_names();
 
+/// Registered names joined with ", " — for usage/error text that enumerates
+/// the kernel axis, derived from the registry so it cannot drift.
+std::string kernel_names_joined();
+
+/// One line per registered kernel, in registry order — "  name  description"
+/// with names padded to a uniform column. Shared by `archgraph_cli --list`
+/// and `archgraph_sweep --list` so the two tools cannot disagree.
+std::string kernel_listing();
+
 /// Lookup; throws std::logic_error naming the unknown kernel and listing the
 /// valid ones.
 const KernelInfo& find_kernel(std::string_view name);

@@ -11,8 +11,10 @@
 // (machine={mta:procs=2;smp:procs=2,l2_kb=64} is two machines).
 //
 // Axes (kernel, machine and n are required):
-//   kernel   registry name(s): lr_walk, lr_hj, lr_wyllie, lr_seq,
-//            cc_sv_mta, cc_sv_smp, cc_uf_seq        (see sweep/registry.hpp)
+//   kernel   registry name(s) — the single source of truth is
+//            sweep::kernel_registry() (sweep/registry.hpp); enumerate with
+//            kernel_names() / kernel_listing() or `archgraph_sweep --list`.
+//            Unknown names are rejected at parse time with the valid list.
 //   machine  machine spec string(s) in sim::parse_machine_spec's
 //            "preset[:key=value,...]" grammar; braces expand anywhere inside,
 //            e.g. machine=smp:procs={1,2,4,8} or machine={mta,smp}

@@ -1,0 +1,166 @@
+// Correctness of the simulated BFS spanning-forest kernels on both machines.
+// Levels are exact BFS distances on every schedule, so they are compared for
+// equality against bfs_tree_seq; parents are race-resolved (which discoverer
+// wins depends on the schedule) and validated structurally.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/concomp/concomp.hpp"
+#include "core/kernels/kernels.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+#include "sim/machine_spec.hpp"
+
+namespace archgraph::core {
+namespace {
+
+using graph::EdgeList;
+
+EdgeList family(int id) {
+  switch (id) {
+    case 0: return graph::path_graph(64);
+    case 1: return graph::cycle_graph(65);
+    case 2: return graph::star_graph(64);
+    case 3: return graph::binary_tree(63);
+    case 4: return graph::mesh2d(8, 8);
+    case 5: return graph::complete_graph(16);
+    case 6: return graph::random_graph(256, 1024, 1);
+    case 7: return graph::random_graph(256, 100, 2);  // disconnected
+    case 8: return graph::disjoint_random_graphs(32, 64, 4, 3);
+    case 9: return EdgeList(8);  // only isolated vertices
+    default: throw std::logic_error("bad family id");
+  }
+}
+
+BfsForest reference(const EdgeList& g) {
+  return bfs_tree_seq(graph::CsrGraph::from_edges(g));
+}
+
+std::string mta_spec(int procs) {
+  return "mta:procs=" + std::to_string(procs);
+}
+std::string smp_spec(int procs) {
+  return "smp:procs=" + std::to_string(procs);
+}
+
+class MtaBfsFamilies
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MtaBfsFamilies, ExactLevelsValidForest) {
+  const auto [fam, procs] = GetParam();
+  const EdgeList g = family(fam);
+  const BfsForest truth = reference(g);
+  const auto m = sim::make_machine(mta_spec(procs));
+  const SimBfsResult result = sim_bfs_tree_mta(*m, g);
+  EXPECT_EQ(result.level, truth.level);
+  EXPECT_EQ(result.components, truth.components);
+  EXPECT_TRUE(graph::validate::is_bfs_forest(g, result.parent, result.level));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MtaBfsFamilies,
+                         ::testing::Combine(::testing::Range(0, 10),
+                                            ::testing::Values(1, 4)));
+
+class SmpBfsFamilies
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SmpBfsFamilies, ExactLevelsValidForest) {
+  const auto [fam, procs] = GetParam();
+  const EdgeList g = family(fam);
+  const BfsForest truth = reference(g);
+  const auto m = sim::make_machine(smp_spec(procs));
+  const SimBfsResult result = sim_bfs_tree_smp(*m, g);
+  EXPECT_EQ(result.level, truth.level);
+  EXPECT_EQ(result.components, truth.components);
+  EXPECT_TRUE(graph::validate::is_bfs_forest(g, result.parent, result.level));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SmpBfsFamilies,
+                         ::testing::Combine(::testing::Range(0, 10),
+                                            ::testing::Values(1, 4)));
+
+TEST(MtaBfs, ChunkSizesDoNotChangeLevels) {
+  const EdgeList g = graph::random_graph(300, 1200, 4);
+  const BfsForest truth = reference(g);
+  for (const i64 chunk : {1, 5, 64, 4096}) {
+    const auto m = sim::make_machine("mta");
+    MtaBfsParams params;
+    params.chunk = chunk;
+    const SimBfsResult result = sim_bfs_tree_mta(*m, g, params);
+    EXPECT_EQ(result.level, truth.level) << "chunk " << chunk;
+    EXPECT_TRUE(graph::validate::is_bfs_forest(g, result.parent, result.level))
+        << "chunk " << chunk;
+  }
+}
+
+TEST(SimBfs, RoundCountsAgreeAcrossMachines) {
+  // One expansion per nonempty level frontier per component — a schedule-
+  // independent count, so both machine shapes must agree exactly.
+  for (const u64 seed : {5u, 6u}) {
+    const EdgeList g = graph::random_graph(512, 1024, seed);
+    const auto mta = sim::make_machine("mta");
+    const auto smp = sim::make_machine("smp:procs=4");
+    const SimBfsResult a = sim_bfs_tree_mta(*mta, g);
+    const SimBfsResult b = sim_bfs_tree_smp(*smp, g);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.components, b.components);
+  }
+}
+
+TEST(SimBfs, CrossMachine_KernelsRunOnEitherModel) {
+  const EdgeList g = graph::random_graph(128, 512, 7);
+  const BfsForest truth = reference(g);
+  const auto smp = sim::make_machine("smp");
+  MtaBfsParams mparams;
+  mparams.workers = 4;
+  EXPECT_EQ(sim_bfs_tree_mta(*smp, g, mparams).level, truth.level);
+  const auto mta = sim::make_machine("mta");
+  SmpBfsParams sparams;
+  sparams.threads = 32;
+  EXPECT_EQ(sim_bfs_tree_smp(*mta, g, sparams).level, truth.level);
+}
+
+TEST(MtaBfs, IsolatedVerticesEachBecomeARootRound) {
+  const auto m = sim::make_machine("mta");
+  const SimBfsResult result = sim_bfs_tree_mta(*m, EdgeList(8));
+  EXPECT_EQ(result.components, 8);
+  for (usize v = 0; v < 8; ++v) {
+    EXPECT_EQ(result.parent[v], static_cast<NodeId>(v));
+    EXPECT_EQ(result.level[v], 0);
+  }
+}
+
+TEST(MtaBfs, ExpandPhaseScalesDespiteSerialSeek) {
+  // Only the level-expansion regions parallelize; the charged sequential
+  // root seek is a serial floor of ~n dependent probes that Amdahl-limits
+  // total speedup (measured ~1.4x at p=4 on this graph). Assert the
+  // parallel fraction shows up without demanding linear scaling.
+  const EdgeList g = graph::random_graph(1 << 14, 1 << 18, 8);
+  auto cycles = [&](int p) {
+    const auto m = sim::make_machine(mta_spec(p));
+    sim_bfs_tree_mta(*m, g);
+    return m->cycles();
+  };
+  EXPECT_LT(static_cast<double>(cycles(4)),
+            0.85 * static_cast<double>(cycles(1)));
+}
+
+TEST(SmpBfs, ParentsDependOnScheduleButLevelsDoNot) {
+  // Different processor counts may resolve discovery races differently; the
+  // forest stays valid and the levels stay bit-identical.
+  const EdgeList g = graph::random_graph(512, 4096, 9);
+  const BfsForest truth = reference(g);
+  for (const int procs : {1, 2, 8}) {
+    const auto m = sim::make_machine(smp_spec(procs));
+    const SimBfsResult result = sim_bfs_tree_smp(*m, g);
+    EXPECT_EQ(result.level, truth.level) << "procs " << procs;
+    EXPECT_TRUE(graph::validate::is_bfs_forest(g, result.parent, result.level))
+        << "procs " << procs;
+  }
+}
+
+}  // namespace
+}  // namespace archgraph::core

@@ -1,0 +1,177 @@
+// Correctness of the simulated greedy-coloring kernels on both machines.
+// The speculative kernels' unique fixed point is the sequential first-fit
+// coloring, so every test asserts exact equality with color_greedy_seq — on
+// any machine, schedule, chunking, density threshold, or inner-loop variant.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/concomp/concomp.hpp"
+#include "core/kernels/kernels.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+#include "sim/machine_spec.hpp"
+
+namespace archgraph::core {
+namespace {
+
+using graph::EdgeList;
+
+EdgeList family(int id) {
+  switch (id) {
+    case 0: return graph::path_graph(64);
+    case 1: return graph::cycle_graph(65);
+    case 2: return graph::star_graph(64);
+    case 3: return graph::binary_tree(63);
+    case 4: return graph::mesh2d(8, 8);
+    case 5: return graph::complete_graph(16);
+    case 6: return graph::random_graph(256, 1024, 1);
+    case 7: return graph::random_graph(256, 100, 2);  // disconnected
+    case 8: return graph::disjoint_random_graphs(32, 64, 4, 3);
+    case 9: return EdgeList(8);  // only isolated vertices
+    default: throw std::logic_error("bad family id");
+  }
+}
+
+std::vector<i64> reference(const EdgeList& g) {
+  return color_greedy_seq(graph::CsrGraph::from_edges(g));
+}
+
+std::string mta_spec(int procs) {
+  return "mta:procs=" + std::to_string(procs);
+}
+std::string smp_spec(int procs) {
+  return "smp:procs=" + std::to_string(procs);
+}
+
+class MtaColorFamilies
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MtaColorFamilies, MatchesSequentialGreedy) {
+  const auto [fam, procs] = GetParam();
+  const EdgeList g = family(fam);
+  const auto m = sim::make_machine(mta_spec(procs));
+  const SimColorResult result = sim_color_greedy_mta(*m, g);
+  EXPECT_EQ(result.colors, reference(g));
+  EXPECT_GE(result.rounds, 1);
+  EXPECT_TRUE(graph::validate::is_proper_coloring(g, result.colors));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, MtaColorFamilies,
+                         ::testing::Combine(::testing::Range(0, 10),
+                                            ::testing::Values(1, 4)));
+
+class SmpColorFamilies
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SmpColorFamilies, MatchesSequentialGreedy) {
+  const auto [fam, procs] = GetParam();
+  const EdgeList g = family(fam);
+  const auto m = sim::make_machine(smp_spec(procs));
+  const SimColorResult result = sim_color_greedy_smp(*m, g);
+  EXPECT_EQ(result.colors, reference(g));
+  EXPECT_GE(result.rounds, 1);
+  EXPECT_TRUE(graph::validate::is_proper_coloring(g, result.colors));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SmpColorFamilies,
+                         ::testing::Combine(::testing::Range(0, 10),
+                                            ::testing::Values(1, 4)));
+
+TEST(MtaColor, BranchAvoidingVariantSameColors) {
+  const EdgeList g = graph::random_graph(300, 1500, 5);
+  const auto truth = reference(g);
+  const auto m = sim::make_machine("mta");
+  MtaColorParams params;
+  params.branch_avoiding = true;
+  EXPECT_EQ(sim_color_greedy_mta(*m, g, params).colors, truth);
+}
+
+TEST(SmpColor, BranchAvoidingVariantSameColors) {
+  const EdgeList g = graph::random_graph(300, 1500, 6);
+  const auto truth = reference(g);
+  const auto m = sim::make_machine("smp:procs=4");
+  SmpColorParams params;
+  params.branch_avoiding = true;
+  EXPECT_EQ(sim_color_greedy_smp(*m, g, params).colors, truth);
+}
+
+TEST(MtaColor, BranchAvoidingChangesInstructionMixNotAnswer) {
+  // The predicated loop trades branches for unconditional loads + ALU masks,
+  // so the instruction count must differ while colors stay identical.
+  const EdgeList g = graph::random_graph(512, 4096, 7);
+  const auto branchy = sim::make_machine("mta");
+  const auto predicated = sim::make_machine("mta");
+  MtaColorParams params;
+  const auto a = sim_color_greedy_mta(*branchy, g, params);
+  params.branch_avoiding = true;
+  const auto b = sim_color_greedy_mta(*predicated, g, params);
+  EXPECT_EQ(a.colors, b.colors);
+  EXPECT_NE(branchy->stats().instructions, predicated->stats().instructions);
+}
+
+TEST(MtaColor, ChunkSizesDoNotChangeAnswer) {
+  const EdgeList g = graph::random_graph(300, 1200, 8);
+  const auto truth = reference(g);
+  for (const i64 chunk : {1, 5, 64, 4096}) {
+    const auto m = sim::make_machine("mta");
+    MtaColorParams params;
+    params.chunk = chunk;
+    EXPECT_EQ(sim_color_greedy_mta(*m, g, params).colors, truth)
+        << "chunk " << chunk;
+  }
+}
+
+TEST(MtaColor, DensityThresholdDoesNotChangeAnswer) {
+  const EdgeList g = graph::random_graph(300, 1200, 9);
+  const auto truth = reference(g);
+  // denom=1: dense only when every vertex is active; huge denom: always
+  // dense. Both extremes and the default must agree exactly.
+  for (const i64 denom : {1, 4, 1 << 20}) {
+    const auto m = sim::make_machine("mta");
+    MtaColorParams params;
+    params.dense_denom = denom;
+    EXPECT_EQ(sim_color_greedy_mta(*m, g, params).colors, truth)
+        << "denom " << denom;
+    const auto s = sim::make_machine("smp:procs=2");
+    SmpColorParams sparams;
+    sparams.dense_denom = denom;
+    EXPECT_EQ(sim_color_greedy_smp(*s, g, sparams).colors, truth)
+        << "denom " << denom;
+  }
+}
+
+TEST(SimColor, CrossMachine_KernelsRunOnEitherModel) {
+  const EdgeList g = graph::random_graph(128, 512, 10);
+  const auto truth = reference(g);
+  const auto smp = sim::make_machine("smp");
+  MtaColorParams mparams;
+  mparams.workers = 4;
+  EXPECT_EQ(sim_color_greedy_mta(*smp, g, mparams).colors, truth);
+  const auto mta = sim::make_machine("mta");
+  SmpColorParams sparams;
+  sparams.threads = 32;
+  EXPECT_EQ(sim_color_greedy_smp(*mta, g, sparams).colors, truth);
+}
+
+TEST(MtaColor, ScalesWithProcessors) {
+  const EdgeList g = graph::random_graph(1 << 12, 1 << 15, 11);
+  auto cycles = [&](int p) {
+    const auto m = sim::make_machine(mta_spec(p));
+    sim_color_greedy_mta(*m, g);
+    return m->cycles();
+  };
+  EXPECT_LT(static_cast<double>(cycles(4)),
+            0.6 * static_cast<double>(cycles(1)));
+}
+
+TEST(MtaColor, UtilizationReasonableOnBigSparseGraph) {
+  const auto m = sim::make_machine("mta");
+  sim_color_greedy_mta(*m, graph::random_graph(1 << 13, 1 << 16, 12));
+  EXPECT_GT(m->utilization(), 0.5);
+}
+
+}  // namespace
+}  // namespace archgraph::core

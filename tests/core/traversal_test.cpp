@@ -1,0 +1,103 @@
+// Host-native traversal references: sequential first-fit greedy coloring and
+// BFS spanning forest (the ground truths the simulated kernels are
+// differentially tested against).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/concomp/concomp.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/validate.hpp"
+
+namespace archgraph::core {
+namespace {
+
+using graph::CsrGraph;
+using graph::EdgeList;
+
+i64 palette_size(const std::vector<i64>& colors) {
+  return colors.empty() ? 0
+                        : *std::max_element(colors.begin(), colors.end()) + 1;
+}
+
+TEST(ColorGreedySeq, PathAlternatesTwoColors) {
+  const EdgeList g = graph::path_graph(8);
+  const std::vector<i64> colors = color_greedy_seq(CsrGraph::from_edges(g));
+  EXPECT_EQ(colors, (std::vector<i64>{0, 1, 0, 1, 0, 1, 0, 1}));
+}
+
+TEST(ColorGreedySeq, StarUsesTwoColors) {
+  const EdgeList g = graph::star_graph(64);
+  const std::vector<i64> colors = color_greedy_seq(CsrGraph::from_edges(g));
+  EXPECT_TRUE(graph::validate::is_proper_coloring(g, colors));
+  EXPECT_EQ(palette_size(colors), 2);
+}
+
+TEST(ColorGreedySeq, CompleteGraphNeedsAllColors) {
+  const EdgeList g = graph::complete_graph(16);
+  const std::vector<i64> colors = color_greedy_seq(CsrGraph::from_edges(g));
+  EXPECT_TRUE(graph::validate::is_proper_coloring(g, colors));
+  EXPECT_EQ(palette_size(colors), 16);
+}
+
+TEST(ColorGreedySeq, IsolatedVerticesShareColorZero) {
+  const std::vector<i64> colors =
+      color_greedy_seq(CsrGraph::from_edges(EdgeList(5)));
+  EXPECT_EQ(colors, (std::vector<i64>{0, 0, 0, 0, 0}));
+}
+
+TEST(ColorGreedySeq, ProperOnRandomGraphsWithBoundedPalette) {
+  for (const u64 seed : {1u, 2u, 3u}) {
+    const EdgeList g = graph::random_graph(256, 1024, seed);
+    const std::vector<i64> colors = color_greedy_seq(CsrGraph::from_edges(g));
+    EXPECT_TRUE(graph::validate::is_proper_coloring(g, colors));
+    // First-fit greedy never exceeds max-degree + 1 colors.
+    std::vector<i64> degree(256, 0);
+    for (const auto& e : g.edges()) {
+      ++degree[static_cast<usize>(e.u)];
+      ++degree[static_cast<usize>(e.v)];
+    }
+    EXPECT_LE(palette_size(colors),
+              *std::max_element(degree.begin(), degree.end()) + 1);
+  }
+}
+
+TEST(BfsTreeSeq, PathLevelsAreDistances) {
+  const EdgeList g = graph::path_graph(6);
+  const BfsForest f = bfs_tree_seq(CsrGraph::from_edges(g));
+  EXPECT_EQ(f.level, (std::vector<i64>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(f.components, 1);
+  EXPECT_TRUE(graph::validate::is_bfs_forest(g, f.parent, f.level));
+}
+
+TEST(BfsTreeSeq, StarIsDepthOne) {
+  const EdgeList g = graph::star_graph(64);
+  const BfsForest f = bfs_tree_seq(CsrGraph::from_edges(g));
+  EXPECT_EQ(f.components, 1);
+  EXPECT_EQ(*std::max_element(f.level.begin(), f.level.end()), 1);
+  EXPECT_TRUE(graph::validate::is_bfs_forest(g, f.parent, f.level));
+}
+
+TEST(BfsTreeSeq, IsolatedVerticesAreRoots) {
+  const BfsForest f = bfs_tree_seq(CsrGraph::from_edges(EdgeList(4)));
+  EXPECT_EQ(f.components, 4);
+  for (usize v = 0; v < 4; ++v) {
+    EXPECT_EQ(f.parent[v], static_cast<NodeId>(v));
+    EXPECT_EQ(f.level[v], 0);
+  }
+}
+
+TEST(BfsTreeSeq, ComponentCountMatchesUnionFind) {
+  for (const u64 seed : {1u, 2u}) {
+    const EdgeList g = graph::random_graph(256, 100, seed);  // disconnected
+    const BfsForest f = bfs_tree_seq(CsrGraph::from_edges(g));
+    EXPECT_EQ(f.components,
+              graph::validate::count_distinct_labels(cc_union_find(g)));
+    EXPECT_TRUE(graph::validate::is_bfs_forest(g, f.parent, f.level));
+  }
+}
+
+}  // namespace
+}  // namespace archgraph::core

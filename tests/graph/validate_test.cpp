@@ -89,5 +89,73 @@ TEST(CountDistinctLabels, Counts) {
   EXPECT_EQ(count_distinct_labels(std::vector<NodeId>{}), 0);
 }
 
+TEST(IsProperColoring, AcceptsProperAndRejectsConflicts) {
+  EdgeList g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(is_proper_coloring(g, std::vector<i64>{0, 1, 0, 0}));
+  // Edge endpoints sharing a color: rejected.
+  EXPECT_FALSE(is_proper_coloring(g, std::vector<i64>{0, 0, 1, 0}));
+  // Negative (unassigned) colors: rejected.
+  EXPECT_FALSE(is_proper_coloring(g, std::vector<i64>{0, -1, 0, 0}));
+  // Wrong length: rejected.
+  EXPECT_FALSE(is_proper_coloring(g, std::vector<i64>{0, 1, 0}));
+}
+
+TEST(IsProperColoring, IgnoresSelfLoops) {
+  EdgeList g(2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(is_proper_coloring(g, std::vector<i64>{0, 1}));
+}
+
+TEST(IsBfsForest, AcceptsAPathTraversal) {
+  EdgeList g = path_graph(5);
+  const std::vector<NodeId> parent{0, 0, 1, 2, 3};
+  const std::vector<i64> level{0, 1, 2, 3, 4};
+  EXPECT_TRUE(is_bfs_forest(g, parent, level));
+}
+
+TEST(IsBfsForest, RejectsCorruption) {
+  EdgeList g = path_graph(5);
+  const std::vector<NodeId> parent{0, 0, 1, 2, 3};
+  const std::vector<i64> level{0, 1, 2, 3, 4};
+
+  // A non-BFS level assignment (level skips by 2 across an edge).
+  EXPECT_FALSE(is_bfs_forest(g, parent, std::vector<i64>{0, 1, 3, 4, 5}));
+  // Unvisited vertex.
+  EXPECT_FALSE(is_bfs_forest(g, parent, std::vector<i64>{0, 1, 2, 3, -1}));
+  // Parent that is not a neighbor.
+  EXPECT_FALSE(
+      is_bfs_forest(g, std::vector<NodeId>{0, 0, 0, 2, 3}, level));
+  // Self-parent away from level 0 (a fake extra root).
+  EXPECT_FALSE(
+      is_bfs_forest(g, std::vector<NodeId>{0, 0, 1, 3, 3}, level));
+  // Root whose level is not 0.
+  EXPECT_FALSE(is_bfs_forest(g, parent, std::vector<i64>{1, 2, 3, 4, 5}));
+  // Wrong lengths.
+  EXPECT_FALSE(is_bfs_forest(g, std::vector<NodeId>{0, 0, 1, 2}, level));
+}
+
+TEST(IsBfsForest, CatchesNonShortestLevels) {
+  // Triangle plus a tail: claiming the tail vertex is two hops away when the
+  // direct edge exists must fail (levels are exact distances).
+  EdgeList g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  const std::vector<NodeId> parent{0, 0, 0, 1};
+  const std::vector<i64> level{0, 1, 1, 2};  // 3 is adjacent to the root
+  EXPECT_FALSE(is_bfs_forest(g, parent, level));
+}
+
+TEST(IsBfsForest, IsolatedVerticesAreTheirOwnRoots) {
+  EdgeList g(3);
+  const std::vector<NodeId> parent{0, 1, 2};
+  const std::vector<i64> level{0, 0, 0};
+  EXPECT_TRUE(is_bfs_forest(g, parent, level));
+}
+
 }  // namespace
 }  // namespace archgraph::graph::validate

@@ -13,12 +13,38 @@ namespace {
 TEST(KernelRegistry, ListsEveryPaperKernel) {
   const std::vector<std::string> names = kernel_names();
   EXPECT_EQ(names,
-            (std::vector<std::string>{"lr_walk", "lr_hj", "lr_wyllie",
-                                      "lr_seq", "cc_sv_mta", "cc_sv_smp",
-                                      "cc_uf_seq"}));
+            (std::vector<std::string>{
+                "lr_walk", "lr_hj", "lr_wyllie", "lr_seq", "cc_sv_mta",
+                "cc_sv_smp", "cc_uf_seq", "color_greedy_mta",
+                "color_greedy_smp", "color_greedy_mta_ba",
+                "color_greedy_smp_ba", "bfs_tree_mta", "bfs_tree_smp"}));
   for (const KernelInfo& k : kernel_registry()) {
     EXPECT_FALSE(k.description.empty()) << k.name;
     EXPECT_TRUE(k.run != nullptr) << k.name;
+  }
+}
+
+// Satellite invariant: usage/error text derives kernel lists from the
+// registry, so every registered name must round-trip through spec parsing —
+// no listing can name a kernel the parser rejects, or vice versa.
+TEST(KernelRegistry, EveryNameRoundTripsThroughSpecParsing) {
+  for (const std::string& name : kernel_names()) {
+    const SweepSpec spec =
+        parse_sweep_spec("kernel=" + name + " machine=mta n=64");
+    ASSERT_EQ(spec.kernels.size(), 1u) << name;
+    EXPECT_EQ(spec.kernels[0], name);
+    EXPECT_EQ(spec.to_string(),
+              parse_sweep_spec(spec.to_string()).to_string());
+  }
+}
+
+TEST(KernelRegistry, JoinedNamesAndListingCoverEveryKernel) {
+  const std::string joined = kernel_names_joined();
+  const std::string listing = kernel_listing();
+  for (const KernelInfo& k : kernel_registry()) {
+    EXPECT_NE(joined.find(k.name), std::string::npos) << k.name;
+    EXPECT_NE(listing.find(k.name), std::string::npos) << k.name;
+    EXPECT_NE(listing.find(k.description), std::string::npos) << k.name;
   }
 }
 

@@ -10,6 +10,11 @@
 //                        [--machine native|SPEC] [--procs P]
 //   archgraph_cli msf    [--input FILE | --random n,m,seed]
 //                        [--algorithm kruskal|boruvka|boruvka-par]
+//   archgraph_cli color  [--input FILE | --random n,m,seed]
+//                        [--branch-avoiding]
+//                        [--machine native|SPEC] [--procs P]
+//   archgraph_cli bfs    [--input FILE | --random n,m,seed]
+//                        [--machine native|SPEC] [--procs P]
 //   archgraph_cli gen    --random n,m,seed --output FILE     (DIMACS writer)
 //   archgraph_cli --list                       (kernels and machine presets)
 //
@@ -68,7 +73,7 @@ using namespace archgraph;
 
 /// Flags that take no value.
 bool is_bool_flag(const std::string& name) {
-  return name == "json" || name == "profile";
+  return name == "json" || name == "profile" || name == "branch-avoiding";
 }
 
 struct Options {
@@ -95,7 +100,8 @@ struct Options {
 };
 
 Options parse(int argc, char** argv) {
-  AG_CHECK(argc >= 2, "usage: archgraph_cli <cc|rank|msf|gen> [--flag value]");
+  AG_CHECK(argc >= 2,
+           "usage: archgraph_cli <cc|rank|msf|color|bfs|gen> [--flag value]");
   Options opts;
   opts.command = argv[1];
   for (int i = 2; i < argc; ++i) {
@@ -330,6 +336,143 @@ int run_cc(const Options& opts) {
   return 0;
 }
 
+int run_color(const Options& opts) {
+  const graph::EdgeList g = load_graph(opts, nullptr);
+  const std::string machine = opts.get("machine", "native");
+  const auto procs = static_cast<u32>(opts.get_positive_int("procs", 4));
+  const bool branch_avoiding = opts.has("branch-avoiding");
+  const bool simulated = machine != "native";
+  check_observability_flags(opts, simulated);
+  const bool json = opts.has("json");
+  if (!json) {
+    std::cout << "greedy coloring: n=" << g.num_vertices()
+              << " m=" << g.num_edges() << " variant="
+              << (branch_avoiding ? "branch-avoiding" : "branchy")
+              << " machine=" << machine << " p=" << procs << '\n';
+  }
+
+  // The speculative kernels' unique fixed point is the sequential first-fit
+  // coloring, so the check is exact equality (plus properness) — see
+  // color_greedy_sim.cpp.
+  const std::vector<i64> reference =
+      core::color_greedy_seq(graph::CsrGraph::from_edges(g));
+  std::vector<i64> colors;
+  i64 rounds = -1;
+  if (simulated) {
+    const sim::MachineSpec spec = parse_machine_opt(machine, procs);
+    const std::string arch = sim::arch_name(spec.arch);
+    obs::TraceSession session("color/greedy/" + arch);
+    obs::TraceSession::Install install(session);
+    Profiling prof = Profiling::from_options(opts);
+    std::unique_ptr<sim::Machine> m = sim::make_machine(spec);
+    session.attach(*m, arch);
+    prof.attach(*m, arch);
+    core::SimColorResult result;
+    if (spec.arch == sim::MachineArch::kMta) {
+      core::MtaColorParams params;
+      params.branch_avoiding = branch_avoiding;
+      result = core::sim_color_greedy_mta(*m, g, params);
+    } else {
+      core::SmpColorParams params;
+      params.branch_avoiding = branch_avoiding;
+      result = core::sim_color_greedy_smp(*m, g, params);
+    }
+    colors = std::move(result.colors);
+    rounds = result.rounds;
+    AG_CHECK(graph::validate::is_proper_coloring(g, colors),
+             "self-check failed (coloring not proper)");
+    AG_CHECK(colors == reference, "self-check failed (!= sequential greedy)");
+    const i64 palette =
+        colors.empty() ? 0
+                       : *std::max_element(colors.begin(), colors.end()) + 1;
+    session.counter_add("color.palette", palette);
+    finish_simulated(session, *m, prof, opts);
+  } else {
+    Timer timer;
+    colors = core::color_greedy_seq(graph::CsrGraph::from_edges(g));
+    std::cout << "wall time:     " << timer.seconds() * 1e3 << " ms\n";
+    AG_CHECK(graph::validate::is_proper_coloring(g, colors),
+             "self-check failed (coloring not proper)");
+    AG_CHECK(colors == reference, "self-check failed (!= sequential greedy)");
+  }
+  if (!json) {
+    const i64 palette =
+        colors.empty() ? 0
+                       : *std::max_element(colors.begin(), colors.end()) + 1;
+    std::cout << "colors:        " << palette
+              << " (verified proper, == sequential greedy)\n";
+    if (rounds >= 0) {
+      std::cout << "rounds:        " << rounds << '\n';
+    }
+  }
+  return 0;
+}
+
+int run_bfs(const Options& opts) {
+  const graph::EdgeList g = load_graph(opts, nullptr);
+  const std::string machine = opts.get("machine", "native");
+  const auto procs = static_cast<u32>(opts.get_positive_int("procs", 4));
+  const bool simulated = machine != "native";
+  check_observability_flags(opts, simulated);
+  const bool json = opts.has("json");
+  if (!json) {
+    std::cout << "BFS spanning forest: n=" << g.num_vertices()
+              << " m=" << g.num_edges() << " machine=" << machine
+              << " p=" << procs << '\n';
+  }
+
+  // Levels are exact BFS distances on every schedule; parents are
+  // race-resolved, so they are validated structurally instead of compared.
+  const core::BfsForest reference =
+      core::bfs_tree_seq(graph::CsrGraph::from_edges(g));
+  std::vector<NodeId> parent;
+  std::vector<i64> level;
+  i64 components = 0;
+  i64 rounds = -1;
+  if (simulated) {
+    const sim::MachineSpec spec = parse_machine_opt(machine, procs);
+    const std::string arch = sim::arch_name(spec.arch);
+    obs::TraceSession session("bfs/tree/" + arch);
+    obs::TraceSession::Install install(session);
+    Profiling prof = Profiling::from_options(opts);
+    std::unique_ptr<sim::Machine> m = sim::make_machine(spec);
+    session.attach(*m, arch);
+    prof.attach(*m, arch);
+    core::SimBfsResult result = spec.arch == sim::MachineArch::kMta
+                                    ? core::sim_bfs_tree_mta(*m, g)
+                                    : core::sim_bfs_tree_smp(*m, g);
+    AG_CHECK(graph::validate::is_bfs_forest(g, result.parent, result.level),
+             "self-check failed (not a BFS forest)");
+    AG_CHECK(result.level == reference.level,
+             "self-check failed (levels != sequential BFS)");
+    parent = std::move(result.parent);
+    level = std::move(result.level);
+    components = result.components;
+    rounds = result.rounds;
+    finish_simulated(session, *m, prof, opts);
+  } else {
+    Timer timer;
+    core::BfsForest forest = core::bfs_tree_seq(graph::CsrGraph::from_edges(g));
+    std::cout << "wall time:     " << timer.seconds() * 1e3 << " ms\n";
+    AG_CHECK(graph::validate::is_bfs_forest(g, forest.parent, forest.level),
+             "self-check failed (not a BFS forest)");
+    parent = std::move(forest.parent);
+    level = std::move(forest.level);
+    components = forest.components;
+  }
+  if (!json) {
+    const i64 depth =
+        level.empty() ? 0 : *std::max_element(level.begin(), level.end());
+    std::cout << "components:    " << components
+              << " (verified BFS forest, exact levels)\n"
+              << "max depth:     " << depth << '\n';
+    if (rounds >= 0) {
+      std::cout << "rounds:        " << rounds << '\n';
+    }
+  }
+  return 0;
+}
+
 int run_rank(const Options& opts) {
   const i64 n = opts.get_int("n", 1 << 20);
   const std::string layout = opts.get("layout", "random");
@@ -431,14 +574,8 @@ int run_msf(const Options& opts) {
 /// `--list`: the simulator kernels (from the sweep registry, so this listing
 /// and archgraph_sweep's can never drift apart) and the machine presets.
 int run_list() {
-  std::cout << "simulated kernels (sweep registry):\n";
-  for (const sweep::KernelInfo& k : sweep::kernel_registry()) {
-    std::cout << "  " << k.name
-              << std::string(k.name.size() < 12 ? 12 - k.name.size() : 1, ' ')
-              << (k.input == sweep::InputKind::kList ? "[list]  "
-                                                     : "[graph] ")
-              << k.description << '\n';
-  }
+  std::cout << "simulated kernels (sweep registry):\n"
+            << sweep::kernel_listing();
   std::cout << "\nmachine presets (compose overrides as "
                "preset:key=value,...):\n"
             << "  mta         Cray MTA-2, 220 MHz, 128 streams/processor, "
@@ -467,6 +604,8 @@ int main(int argc, char** argv) {
     if (opts.command == "cc") return run_cc(opts);
     if (opts.command == "rank") return run_rank(opts);
     if (opts.command == "msf") return run_msf(opts);
+    if (opts.command == "color") return run_color(opts);
+    if (opts.command == "bfs") return run_bfs(opts);
     if (opts.command == "gen") return run_gen(opts);
     if (opts.command == "--list" || opts.command == "list") return run_list();
     AG_CHECK(false, "unknown command '" + opts.command + "'");

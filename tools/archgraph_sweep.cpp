@@ -12,8 +12,9 @@
 //
 // SPEC is either a spec string in the src/sweep/spec.hpp grammar, e.g.
 //   "kernel=lr_walk machine=mta:procs={1,2,4,8} layout=random n=65536"
-// or the name of a canned grid (fig1, fig2, table1, ci) — the same grids the
-// bench binaries run, honoring ARCHGRAPH_BENCH_SCALE=quick|default|full.
+// or the name of a canned grid (bench_util.hpp; `--list` prints them) — the
+// same grids the bench binaries run, honoring
+// ARCHGRAPH_BENCH_SCALE=quick|default|full.
 // Several SPECs concatenate into one plan (duplicate cells are rejected).
 //
 // `run` writes one JSON object per cell (JSONL, schema_version-stamped) to
@@ -30,6 +31,7 @@
 // category share drifts more than --breakdown-tol (default: --tol) in
 // absolute terms, or a cell is missing on either side — the regression gate
 // ci_smoke.sh runs on every commit.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -51,26 +53,24 @@ using namespace archgraph;
 int run_list() {
   std::cout << "canned sweeps (ARCHGRAPH_BENCH_SCALE=quick|default|full):\n";
   const bench::Scale scale = bench::scale_from_env();
-  for (const std::string& name : bench::canned_sweep_names()) {
+  const std::vector<std::string> canned_names = bench::canned_sweep_names();
+  usize width = 0;
+  for (const std::string& name : canned_names) {
+    width = std::max(width, name.size());
+  }
+  for (const std::string& name : canned_names) {
     const std::vector<std::string> specs = bench::canned_sweep(name, scale);
     usize cells = 0;
     for (const std::string& s : specs) {
       cells += sweep::expand(s).cells.size();
     }
-    std::cout << "  " << name << std::string(8 - name.size(), ' ') << cells
-              << " cells\n";
+    std::cout << "  " << name << std::string(width - name.size() + 2, ' ')
+              << cells << " cells\n";
     for (const std::string& s : specs) {
       std::cout << "      " << s << '\n';
     }
   }
-  std::cout << "\nkernels:\n";
-  for (const sweep::KernelInfo& k : sweep::kernel_registry()) {
-    std::cout << "  " << k.name
-              << std::string(k.name.size() < 12 ? 12 - k.name.size() : 1, ' ')
-              << (k.input == sweep::InputKind::kList ? "[list]  "
-                                                     : "[graph] ")
-              << k.description << '\n';
-  }
+  std::cout << "\nkernels:\n" << sweep::kernel_listing();
   std::cout << "\nmachine presets: mta, smp "
                "(overrides: preset:key=value,..., braces expand)\n";
   std::cout << "\nrun executes cells on --jobs N host threads (default here: "
@@ -86,9 +86,14 @@ std::vector<std::string> resolve_spec(const std::string& arg) {
   const std::vector<std::string> canned =
       bench::canned_sweep(arg, bench::scale_from_env());
   if (!canned.empty()) return canned;
+  std::string canned_names;
+  for (const std::string& name : bench::canned_sweep_names()) {
+    if (!canned_names.empty()) canned_names += ", ";
+    canned_names += name;
+  }
   AG_CHECK(arg.find('=') != std::string::npos,
-           "'" + arg + "' is neither a canned sweep (fig1, fig2, table1, ci) "
-           "nor a spec string (axis=value ...)");
+           "'" + arg + "' is neither a canned sweep (" + canned_names +
+               ") nor a spec string (axis=value ...)");
   return {arg};
 }
 

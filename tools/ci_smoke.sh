@@ -115,6 +115,44 @@ echo "== sweep regression gate (parallel ci grid vs committed baseline) =="
     --against baselines/ci_quick.jsonl
 echo "ok: ci sweep matches baselines/ci_quick.jsonl"
 
+echo "== frontier kernels (mini-grid vs committed baseline, tol 0) =="
+"$BUILD_DIR"/tools/archgraph_sweep run frontier --jobs 1 \
+    --out "$OUT_DIR/frontier_serial.jsonl" 2>/dev/null
+"$BUILD_DIR"/tools/archgraph_sweep run frontier --jobs 4 \
+    --out "$OUT_DIR/frontier.jsonl" 2>/dev/null
+cmp "$OUT_DIR/frontier_serial.jsonl" "$OUT_DIR/frontier.jsonl" || {
+  echo "error: frontier --jobs 4 output differs from --jobs 1" >&2
+  exit 1
+}
+"$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/frontier.jsonl" \
+    --against baselines/frontier_quick.jsonl --tol 0
+echo "ok: frontier grid deterministic across --jobs and matches baseline"
+
+echo "== frontier gate (corrupted frontier cell must fail) =="
+python3 - "$OUT_DIR/frontier.jsonl" "$OUT_DIR/frontier_corrupt.jsonl" <<'EOF'
+import json
+import sys
+
+records = [json.loads(line) for line in open(sys.argv[1]) if line.strip()]
+victim = next(r for r in records if r["kernel"].startswith("color_greedy"))
+victim["cycles"] += 1
+with open(sys.argv[2], "w") as f:
+    for r in records:
+        f.write(json.dumps(r) + "\n")
+EOF
+if "$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/frontier.jsonl" \
+    --against "$OUT_DIR/frontier_corrupt.jsonl" --tol 0 >/dev/null; then
+  echo "error: one-cycle coloring drift did not fail the tol-0 gate" >&2
+  exit 1
+fi
+echo "ok: single-cycle coloring drift rejected at tol 0"
+
+echo "== result validators (corrupted coloring / BFS forest rejected) =="
+"$BUILD_DIR"/tests/tests_graph \
+    --gtest_filter='IsProperColoring.*:IsBfsForest.*' \
+    --gtest_brief=1
+echo "ok: is_proper_coloring / is_bfs_forest reject corrupted results"
+
 echo "== profiler zero-drift (profiled sweep JSONL must be byte-identical) =="
 mkdir -p "$OUT_DIR/traces"
 "$BUILD_DIR"/tools/archgraph_sweep run ci --jobs 1 --profile \
