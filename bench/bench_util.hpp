@@ -29,6 +29,11 @@ inline std::string paper_mta_spec(u32 procs) {
 inline std::string paper_smp_spec(u32 procs) {
   return "smp:procs=" + std::to_string(procs);
 }
+/// The modern-comparison machine (Dehne & Yogaratnam's GPU CC study): a
+/// SIMT accelerator whose `procs` axis counts streaming multiprocessors.
+inline std::string paper_gpu_spec(u32 procs) {
+  return "gpu:procs=" + std::to_string(procs);
+}
 
 /// The scaled-L2 SMP methodology (EXPERIMENTS.md): benches run inputs scaled
 /// down from the paper's 1M+-element problems, so the stock 4 MB L2 is shrunk
@@ -116,8 +121,9 @@ inline std::vector<std::string> fig1_sweep_specs(Scale scale) {
   };
 }
 
-/// Figure 2 (connected components): Shiloach-Vishkin on both machines,
-/// p = 1,2,4,8, random graphs with m swept from 4n to 20n.
+/// Figure 2 (connected components): Shiloach-Vishkin on all three machines,
+/// p = 1,2,4,8, random graphs with m swept from 4n to 20n. The GPU runs the
+/// machine-neutral MTA kernel — same algorithm, SIMT issue discipline.
 inline std::vector<std::string> fig2_sweep_specs(Scale scale) {
   i64 n = 0;
   std::vector<i64> edge_factors{4, 8, 12, 16, 20};
@@ -141,6 +147,7 @@ inline std::vector<std::string> fig2_sweep_specs(Scale scale) {
   return {
       "kernel=cc_sv_mta machine=mta:procs={1,2,4,8}" + grid,
       "kernel=cc_sv_smp machine=smp:procs={1,2,4,8}" + grid,
+      "kernel=cc_sv_mta machine=gpu:procs={1,2,4,8}" + grid,
   };
 }
 
@@ -205,6 +212,9 @@ inline std::vector<std::string> coloring_sweep_specs(Scale scale) {
       "kernel={color_greedy_smp,color_greedy_smp_ba} "
       "machine=smp:procs={1,2,4,8}" +
           grid,
+      "kernel={color_greedy_mta,color_greedy_mta_ba} "
+      "machine=gpu:procs={1,2,4,8}" +
+          grid,
   };
 }
 
@@ -235,8 +245,20 @@ inline std::vector<std::string> frontier_sweep_specs() {
   };
 }
 
+/// The GPU CI gate: the machine-neutral kernel families at smoke scale on
+/// the SIMT machine. baselines/gpu_quick.jsonl is the committed golden for
+/// exactly this sweep (fixed scale, like the frontier gate: a baseline must
+/// match one grid).
+inline std::vector<std::string> gpu_sweep_specs() {
+  return {
+      "kernel={cc_sv_mta,color_greedy_mta,color_greedy_mta_ba,bfs_tree_mta} "
+      "machine=gpu:procs=2 n=1024 m=4096",
+      "kernel=lr_walk machine=gpu:procs=2 layout=random n=4096",
+  };
+}
+
 inline std::vector<std::string> canned_sweep_names() {
-  return {"fig1", "fig2", "table1", "coloring", "ci", "frontier"};
+  return {"fig1", "fig2", "table1", "coloring", "ci", "frontier", "gpu"};
 }
 
 /// Resolves a canned grid by name; empty for unknown names.
@@ -248,6 +270,7 @@ inline std::vector<std::string> canned_sweep(const std::string& name,
   if (name == "coloring") return coloring_sweep_specs(scale);
   if (name == "ci") return ci_sweep_specs();
   if (name == "frontier") return frontier_sweep_specs();
+  if (name == "gpu") return gpu_sweep_specs();
   return {};
 }
 
@@ -423,8 +446,10 @@ inline void print_header(const std::string& title, const std::string& what) {
                "=================\n"
             << title << '\n'
             << what << '\n'
-            << "simulated machines: Cray MTA-2 (220 MHz) and Sun E4500-class "
-               "SMP (400 MHz)\n"
+            << "simulated machines: Cray MTA-2 (220 MHz), Sun E4500-class "
+               "SMP (400 MHz),\n"
+               "                    and a SIMT accelerator (1 GHz, 32-lane "
+               "warps)\n"
             << "==============================================================="
                "=================\n\n";
 }

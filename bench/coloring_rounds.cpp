@@ -75,10 +75,14 @@ int main() {
   const Scale scale = bench::scale_from_env();
 
   // One definition of the grid: the canned sweep specs. specs[0] is the MTA
-  // half (branchy + branch-avoiding kernels), specs[1] the SMP half.
+  // third (branchy + branch-avoiding kernels), specs[1] the SMP third,
+  // specs[2] the GPU third (the machine-neutral MTA kernels on the SIMT
+  // machine, where speculative recoloring's data-dependent branches cost
+  // divergence serialization).
   const std::vector<std::string> specs = bench::coloring_sweep_specs(scale);
   const sweep::SweepSpec mta_spec = sweep::parse_sweep_spec(specs[0]);
   const sweep::SweepSpec smp_spec = sweep::parse_sweep_spec(specs[1]);
+  const sweep::SweepSpec gpu_spec = sweep::parse_sweep_spec(specs[2]);
   const i64 n = mta_spec.ns[0];
 
   bench::print_header(
@@ -122,21 +126,30 @@ int main() {
   Table smp_table({"m", "m/n", "rounds", "sec p=1", "sec p=2", "sec p=4",
                    "sec p=8", "cyc/round p=8"},
                   4);
+  Table gpu_table({"m", "m/n", "rounds", "sec p=1", "sec p=2", "sec p=4",
+                   "sec p=8", "diverge % p=8"},
+                  4);
 
   for (const i64 m : mta_spec.ms) {
     mta_table.row().add(m).add(m / n);
     smp_table.row().add(m).add(m / n);
+    gpu_table.row().add(m).add(m / n);
     mta_table.add(cell_at(mta_spec, 0, last_p, m).iterations);
     smp_table.add(cell_at(smp_spec, 0, last_p, m).iterations);
+    gpu_table.add(cell_at(gpu_spec, 0, last_p, m).iterations);
     for (usize p = 0; p < mta_spec.machines.size(); ++p) {
       const sweep::CellResult& mta = cell_at(mta_spec, 0, p, m);
       const sweep::CellResult& smp = cell_at(smp_spec, 0, p, m);
+      const sweep::CellResult& gpu = cell_at(gpu_spec, 0, p, m);
       mta_table.add(mta.meas.seconds);
       smp_table.add(smp.meas.seconds);
+      gpu_table.add(gpu.meas.seconds);
       record_run(bj, mta, "mta", false);
       record_run(bj, smp, "smp", false);
+      record_run(bj, gpu, "gpu", false);
       record_run(bj, cell_at(mta_spec, 1, p, m), "mta", true);
       record_run(bj, cell_at(smp_spec, 1, p, m), "smp", true);
+      record_run(bj, cell_at(gpu_spec, 1, p, m), "gpu", true);
     }
     mta_table.add(cell_at(mta_spec, 0, 0, m).meas.utilization);
     mta_table.add(cell_at(mta_spec, 0, last_p, m).meas.utilization);
@@ -145,6 +158,9 @@ int main() {
                       ? static_cast<double>(smp8.meas.cycles) /
                             static_cast<double>(smp8.iterations)
                       : 0.0);
+    const sweep::CellResult& gpu8 = cell_at(gpu_spec, 0, last_p, m);
+    gpu_table.add(100.0 * gpu8.meas.stats.breakdown.share(
+                              sim::CycleCat::kDivergenceSerial));
   }
 
   // Branchy vs branch-avoiding at the densest point, p = max: the SMP's
@@ -174,14 +190,31 @@ int main() {
   add_mix_row(smp_mix, "branch-avoiding",
               cell_at(smp_spec, 1, last_p, densest), smp_cats);
 
+  // The GPU's mix: the branch-avoiding variant exists to shrink exactly the
+  // divergence column.
+  Table gpu_mix({"variant (gpu p=8)", "cycles", "issued %", "diverge %",
+                 "coalesce %", "bank %", "idle %"},
+                1);
+  const std::vector<sim::CycleCat> gpu_cats{
+      sim::CycleCat::kIssued, sim::CycleCat::kDivergenceSerial,
+      sim::CycleCat::kCoalesceWait, sim::CycleCat::kBankConflict,
+      sim::CycleCat::kIdleNoThread};
+  add_mix_row(gpu_mix, "branchy", cell_at(gpu_spec, 0, last_p, densest),
+              gpu_cats);
+  add_mix_row(gpu_mix, "branch-avoiding",
+              cell_at(gpu_spec, 1, last_p, densest), gpu_cats);
+
   std::cout << "--- Cray MTA (branchy) ---\n" << mta_table << '\n'
             << "--- Sun SMP (branchy) ---\n" << smp_table << '\n'
+            << "--- SIMT GPU (branchy) ---\n" << gpu_table << '\n'
             << "--- inner-loop variant at m = " << densest
-            << " ---\n" << mta_mix << '\n' << smp_mix;
+            << " ---\n" << mta_mix << '\n' << smp_mix << '\n' << gpu_mix;
   bench::maybe_write_csv(mta_table, "coloring_mta");
   bench::maybe_write_csv(smp_table, "coloring_smp");
+  bench::maybe_write_csv(gpu_table, "coloring_gpu");
   bench::maybe_write_csv(mta_mix, "coloring_mta_mix");
   bench::maybe_write_csv(smp_mix, "coloring_smp_mix");
+  bench::maybe_write_csv(gpu_mix, "coloring_gpu_mix");
   bj.write();
   return 0;
 }

@@ -1,0 +1,202 @@
+// Cycle-approximate model of a SIMT/GPU-class machine — the third
+// architecture class next to the MTA (sim/mta) and SMP (sim/smp). Grounding:
+// Dehne & Yogaratnam, "Exploring the Limits of GPUs With Parallel Graph
+// Algorithms" (PAPERS.md) — lockstep warps win on dense, regular, coalesced
+// access and lose to latency-tolerant multithreading as divergence and
+// scatter grow. This model makes that crossover measurable on the repo's
+// machine-neutral kernels.
+//
+// What is modelled:
+//   * p streaming multiprocessors (SMs). Threads are grouped into warps of
+//     `warp_width` consecutive thread ids; warps are assigned round-robin to
+//     SMs. Each SM holds at most `warps_per_processor` resident warps
+//     (occupancy); excess warps queue for admission and enter as resident
+//     warps retire — the GPU's analog of the MTA's stream admission.
+//   * Warp-lockstep issue: an SM issues one warp-instruction per cycle to a
+//     ready warp (round-robin over the ready list — latency hiding at warp
+//     granularity, like the MTA's streams). A warp is ready only when none
+//     of its lanes has an operation in flight: the whole warp waits for its
+//     slowest lane. Lanes parked on a full/empty tag or a barrier are masked
+//     off and do not block the rest of the warp.
+//   * Divergence serialization: when the runnable lanes of a warp present
+//     different operations (they took different branches, so their op
+//     streams diverged), the lanes are partitioned into groups by operation
+//     and the groups issue serially — a branch-mask split with implicit
+//     reconvergence at the next common op. The first group's issue slot is
+//     kIssued; every further group's slots are charged kDivergenceSerial.
+//   * Coalesced-vs-scattered global memory: the addresses a warp's load or
+//     store group touches are merged into aligned `mem_seg_bytes` segments;
+//     one transaction per distinct segment. A warp touching one segment pays
+//     one transaction; fully scattered lanes pay one each, serialized on the
+//     SM's load/store pipe (extra transactions charged kCoalesceWait).
+//     Atomics (fetch_add, full/empty probes) always serialize per lane. The
+//     group completes — and the warp becomes ready again — `lat_mem` cycles
+//     after its last transaction.
+//   * Shared-memory scratchpad: each SM has a `smem_words`-word
+//     direct-mapped scratchpad standing in for the staging a hand-tuned
+//     CUDA port would manage explicitly (kernels here are machine-neutral
+//     op streams, so the model captures the reuse instead of the
+//     programmer). Loads/stores that hit it are serviced in `lat_smem`
+//     cycles; lanes whose words map to the same of the `smem_banks` banks
+//     serialize, the extra slots charged kBankConflict. The scratchpad is a
+//     timing model only — data always comes from SimMemory at service time,
+//     so it needs (and models) no coherence.
+//   * Cycle accounting closes per region (sum == SMs x cycles): issue slots
+//     split into kIssued / kDivergenceSerial / kCoalesceWait /
+//     kBankConflict; silent gaps settle to kCoalesceWait (global round trip
+//     in flight, latency not hidden), kSyncBlocked (lanes parked on tags),
+//     kBarrier, or kIdleNoThread — the same settle discipline as the MTA.
+//
+// Not modelled (see DESIGN.md §3): instruction caches, L2, special-function
+// units, and memory bandwidth limits beyond the one-transaction-per-cycle
+// LSU; utilization is defined at warp-instruction granularity (a fully busy
+// SM issues one warp-instruction per cycle), so Table-1-style utilization
+// stays in [0, 1].
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/machine.hpp"
+
+namespace archgraph::sim {
+
+struct GpuConfig {
+  u32 processors = 1;           // streaming multiprocessors (SMs)
+  u32 warps_per_processor = 32; // resident warp slots per SM (occupancy)
+  u32 warp_width = 32;          // lanes per warp (lockstep width)
+  /// Global-memory round trip in cycles (HBM-class: hundreds of cycles at
+  /// ~1 GHz; the whole warp stalls for it unless other warps cover it).
+  Cycle memory_latency = 300;
+  /// Aligned coalescing segment: a warp's accesses falling in one
+  /// `mem_seg_bytes` segment merge into one transaction.
+  u64 mem_seg_bytes = 128;
+  /// Shared-memory scratchpad banks per SM; lanes hitting the same bank
+  /// serialize.
+  u32 smem_banks = 32;
+  /// Scratchpad capacity per SM in words (direct-mapped by word address).
+  u32 smem_words = 4096;
+  /// Scratchpad access latency in cycles.
+  Cycle smem_latency = 24;
+  /// Cost of entering a parallel region (kernel launch + block dispatch).
+  Cycle region_fork_cycles = 512;
+  /// Extra cycles between the last barrier arrival and the release
+  /// (grid-wide sync is expensive on real GPUs: it ends the kernel).
+  Cycle barrier_overhead = 128;
+  double clock_hz = 1000e6;  // 1 GHz SM clock
+
+  bool operator==(const GpuConfig&) const = default;
+};
+
+/// Rejects configurations the model cannot simulate (zero processors, warps
+/// or lanes, a coalescing segment smaller than a word or not word-aligned,
+/// non-positive latencies or clock); throws std::logic_error naming the
+/// offending GpuConfig field. Called by the GpuMachine constructor and by
+/// the machine-spec factory before it.
+void validate(const GpuConfig& config);
+
+class GpuMachine final : public Machine {
+ public:
+  explicit GpuMachine(GpuConfig config = {});
+
+  u32 processors() const override { return config_.processors; }
+  double clock_hz() const override { return config_.clock_hz; }
+  /// Thread slots resident at once: SMs x warps x lanes. Kernel drivers size
+  /// fine-grain worker counts from this, exactly like the MTA's streams.
+  i64 concurrency() const override {
+    return static_cast<i64>(config_.processors) * config_.warps_per_processor *
+           config_.warp_width;
+  }
+  const GpuConfig& config() const { return config_; }
+
+  /// Gauges: per-SM issued warp-instruction slots (cumulative; reset each
+  /// region), then aggregate ready warps, blocked warps, and outstanding
+  /// global-memory lane operations (instantaneous).
+  std::vector<ProfGaugeInfo> prof_gauge_info() const override;
+  void sample_prof_gauges(i64* out) const override;
+
+ protected:
+  Cycle simulate(std::vector<std::unique_ptr<ThreadState>>& threads) override;
+
+ private:
+  enum EventKind : u32 { kIssue, kComplete, kRetry };
+
+  struct Warp {
+    std::vector<u32> members;  // lane order = ascending thread id
+    u32 sm = 0;
+    u32 live = 0;       // members not yet finished
+    u32 in_flight = 0;  // lanes with an op in flight (blocks the next issue)
+    bool resident = false;
+    bool queued = false;  // sitting in the SM's ready fifo
+  };
+
+  struct Sm {
+    std::deque<u32> ready_fifo;      // warp ids ready to issue (round-robin)
+    std::deque<u32> admission_queue; // warps waiting for a resident slot
+    u32 resident = 0;
+    bool issue_scheduled = false;
+    Cycle clock = 0;  // next cycle this SM's issue/LSU pipe is free
+    i64 issued = 0;   // warp-instruction slots consumed (profiling gauge)
+
+    // Scratchpad tag array (timing only; data lives in SimMemory).
+    std::vector<Addr> smem_tags;
+
+    // Cycle accounting: slots in [0, acct_until) are attributed; the wait
+    // counters classify the gap up to the next transition (settle()).
+    Cycle acct_until = 0;
+    i32 acct_mem = 0;      // lanes with a global round trip in flight
+    i32 acct_sync = 0;     // lanes parked on a full/empty tag
+    i32 acct_barrier = 0;  // lanes waiting at the barrier
+  };
+
+  // Per-region simulation helpers (operate on region_ state).
+  void admit_warp(u32 wid, Cycle now);
+  void maybe_enqueue_warp(u32 wid, Cycle now);
+  void handle_issue(u32 sm_id, Cycle now);
+  void post_advance(u32 tid, Cycle now);
+  void on_finish(u32 tid, Cycle now);
+  void attempt_sync_retry(u32 tid, Cycle now);
+  void wake_waiters(Addr addr, Cycle now);
+  void barrier_arrive(u32 tid, Cycle now);
+  void maybe_release_barrier();
+  /// Cycle accounting: attributes the unaccounted slots [acct_until, t) of
+  /// `sm` to the stall category its wait counters imply, then advances
+  /// acct_until. A no-op when t <= acct_until (past-time events).
+  void settle(Sm& sm, Cycle t);
+  /// Claims the unaccounted slots up to `t` as `cat` occupancy. Clamped so
+  /// acct_until never moves backward — no slot is attributed twice even when
+  /// a barrier release replays resumed warps at already-settled times.
+  void attribute_upto(Sm& sm, CycleCat cat, Cycle t);
+  /// Settles the completing thread's SM at `now` and releases the wait
+  /// counter its pre-advance pending op held.
+  void acct_complete(u32 tid, Cycle now);
+  /// Scratchpad probe: true when `addr` currently tags its slot on `sm`
+  /// (loads/stores only; misses fill the slot).
+  bool smem_probe(Sm& sm, Addr addr, bool fill);
+  usize segment_of(Addr addr) const {
+    return static_cast<usize>(addr * kWordBytes / config_.mem_seg_bytes);
+  }
+
+  GpuConfig config_;
+
+  // Region-scoped state (reset by simulate()).
+  std::vector<ThreadState*> threads_;
+  std::vector<Sm> sms_;
+  std::vector<Warp> warps_;
+  std::unordered_map<Addr, std::deque<u32>> sync_waiters_;
+  std::vector<u32> barrier_waiting_;
+  Cycle barrier_max_arrival_ = 0;
+  i64 live_ = 0;
+  Cycle region_end_ = 0;
+  EventQueue events_;
+
+  // Scratch buffers reused across issue rounds (kept out of the hot loop).
+  std::vector<u32> runnable_lanes_;
+  std::vector<u32> group_lanes_;
+  std::vector<usize> segments_;
+  std::vector<u32> bank_load_;
+};
+
+}  // namespace archgraph::sim

@@ -134,6 +134,41 @@ void apply_smp_key(SmpConfig& c, std::string_view key,
   }
 }
 
+void apply_gpu_key(GpuConfig& c, std::string_view key,
+                   std::string_view value) {
+  if (key == "procs") {
+    c.processors = parse_u32(key, value);
+  } else if (key == "warps") {
+    c.warps_per_processor = parse_u32(key, value);
+  } else if (key == "warp_width") {
+    c.warp_width = parse_u32(key, value);
+  } else if (key == "lat_mem") {
+    c.memory_latency = parse_int(key, value);
+  } else if (key == "mem_seg_bytes") {
+    const i64 v = parse_int(key, value);
+    AG_CHECK(v > 0, "machine spec value for 'mem_seg_bytes' must be > 0: '" +
+                        std::string(value) + "'");
+    c.mem_seg_bytes = static_cast<u64>(v);
+  } else if (key == "smem_banks") {
+    c.smem_banks = parse_u32(key, value);
+  } else if (key == "smem_words") {
+    c.smem_words = parse_u32(key, value);
+  } else if (key == "lat_smem") {
+    c.smem_latency = parse_int(key, value);
+  } else if (key == "fork") {
+    c.region_fork_cycles = parse_int(key, value);
+  } else if (key == "barrier") {
+    c.barrier_overhead = parse_int(key, value);
+  } else if (key == "clock_mhz") {
+    c.clock_hz = parse_num(key, value) * 1e6;
+  } else {
+    AG_CHECK(false, "unknown gpu machine spec key '" + std::string(key) +
+                        "' (valid: procs, warps, warp_width, lat_mem, "
+                        "mem_seg_bytes, smem_banks, smem_words, lat_smem, "
+                        "fork, barrier, clock_mhz)");
+  }
+}
+
 /// Prints integers without a decimal point and fractions exactly enough to
 /// round-trip through parse_kb / clock_mhz.
 std::string fmt_num(double v) {
@@ -173,12 +208,36 @@ class SpecWriter {
 }  // namespace
 
 const char* arch_name(MachineArch arch) {
-  return arch == MachineArch::kMta ? "mta" : "smp";
+  switch (arch) {
+    case MachineArch::kMta:
+      return "mta";
+    case MachineArch::kSmp:
+      return "smp";
+    case MachineArch::kGpu:
+      return "gpu";
+  }
+  return "?";  // unreachable
 }
 
 std::string MachineSpec::to_string() const {
   SpecWriter w(arch);
-  if (arch == MachineArch::kMta) {
+  if (arch == MachineArch::kGpu) {
+    const GpuConfig d;
+    w.add_int("procs", gpu.processors, d.processors);
+    w.add_int("warps", gpu.warps_per_processor, d.warps_per_processor);
+    w.add_int("warp_width", gpu.warp_width, d.warp_width);
+    w.add_int("lat_mem", gpu.memory_latency, d.memory_latency);
+    w.add_int("mem_seg_bytes", static_cast<i64>(gpu.mem_seg_bytes),
+              static_cast<i64>(d.mem_seg_bytes));
+    w.add_int("smem_banks", gpu.smem_banks, d.smem_banks);
+    w.add_int("smem_words", gpu.smem_words, d.smem_words);
+    w.add_int("lat_smem", gpu.smem_latency, d.smem_latency);
+    w.add_int("fork", gpu.region_fork_cycles, d.region_fork_cycles);
+    w.add_int("barrier", gpu.barrier_overhead, d.barrier_overhead);
+    if (gpu.clock_hz != d.clock_hz) {
+      w.add("clock_mhz", fmt_num(gpu.clock_hz / 1e6));
+    }
+  } else if (arch == MachineArch::kMta) {
     const MtaConfig d;
     w.add_int("procs", mta.processors, d.processors);
     w.add_int("streams", mta.streams_per_processor, d.streams_per_processor);
@@ -222,8 +281,9 @@ std::string MachineSpec::to_string() const {
 }
 
 MachineSpec parse_machine_spec(std::string_view text) {
-  AG_CHECK(!text.empty(), "machine spec is empty (expected 'mta' or 'smp', "
-                          "optionally with ':key=value,...' overrides)");
+  AG_CHECK(!text.empty(),
+           "machine spec is empty (valid presets: mta, smp, gpu; optionally "
+           "with ':key=value,...' overrides)");
   std::string_view preset = text;
   std::string_view rest;
   if (const auto colon = text.find(':'); colon != std::string_view::npos) {
@@ -236,9 +296,11 @@ MachineSpec parse_machine_spec(std::string_view text) {
     spec.arch = MachineArch::kMta;
   } else if (preset == "smp") {
     spec.arch = MachineArch::kSmp;
+  } else if (preset == "gpu") {
+    spec.arch = MachineArch::kGpu;
   } else {
     AG_CHECK(false, "unknown machine preset '" + std::string(preset) +
-                        "' (expected 'mta' or 'smp')");
+                        "' (valid presets: mta, smp, gpu)");
   }
 
   while (!rest.empty()) {
@@ -254,26 +316,44 @@ MachineSpec parse_machine_spec(std::string_view text) {
     const std::string_view value = pair.substr(eq + 1);
     AG_CHECK(!value.empty(), "machine spec key '" + std::string(key) +
                                  "' is missing a value");
-    if (spec.arch == MachineArch::kMta) {
-      apply_mta_key(spec.mta, key, value);
-    } else {
-      apply_smp_key(spec.smp, key, value);
+    switch (spec.arch) {
+      case MachineArch::kMta:
+        apply_mta_key(spec.mta, key, value);
+        break;
+      case MachineArch::kSmp:
+        apply_smp_key(spec.smp, key, value);
+        break;
+      case MachineArch::kGpu:
+        apply_gpu_key(spec.gpu, key, value);
+        break;
     }
   }
 
-  if (spec.arch == MachineArch::kMta) {
-    validate(spec.mta);
-  } else {
-    validate(spec.smp);
+  switch (spec.arch) {
+    case MachineArch::kMta:
+      validate(spec.mta);
+      break;
+    case MachineArch::kSmp:
+      validate(spec.smp);
+      break;
+    case MachineArch::kGpu:
+      validate(spec.gpu);
+      break;
   }
   return spec;
 }
 
 std::unique_ptr<Machine> make_machine(const MachineSpec& spec) {
-  if (spec.arch == MachineArch::kMta) {
-    return std::make_unique<MtaMachine>(spec.mta);
+  switch (spec.arch) {
+    case MachineArch::kMta:
+      return std::make_unique<MtaMachine>(spec.mta);
+    case MachineArch::kSmp:
+      return std::make_unique<SmpMachine>(spec.smp);
+    case MachineArch::kGpu:
+      return std::make_unique<GpuMachine>(spec.gpu);
   }
-  return std::make_unique<SmpMachine>(spec.smp);
+  AG_CHECK(false, "unreachable machine arch");
+  return nullptr;
 }
 
 std::unique_ptr<Machine> make_machine(std::string_view spec_text) {
@@ -286,6 +366,10 @@ std::unique_ptr<Machine> make_machine(const MtaConfig& config) {
 
 std::unique_ptr<Machine> make_machine(const SmpConfig& config) {
   return std::make_unique<SmpMachine>(config);
+}
+
+std::unique_ptr<Machine> make_machine(const GpuConfig& config) {
+  return std::make_unique<GpuMachine>(config);
 }
 
 }  // namespace archgraph::sim

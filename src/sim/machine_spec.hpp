@@ -3,19 +3,22 @@
 // and the CLI can sweep machine shape without touching config structs.
 //
 //   spec      := preset [ ":" override ("," override)* ]
-//   preset    := "mta" | "smp"            (paper-default configurations)
+//   preset    := "mta" | "smp" | "gpu"    (paper-default configurations)
 //   override  := key "=" value
 //
 // Examples:
 //   mta                         the paper's Cray MTA-2 (1 processor)
 //   mta:procs=40,streams=64     40 processors, 64 streams each
 //   smp:procs=14,l2_kb=4096     a 14-way E4500 with the stock 4 MB L2
+//   gpu:procs=4,warp_width=16   4 SMs issuing 16-lane warps
 //
 // MTA keys:  procs, streams, latency, banks, fork, barrier, hash (0/1),
 //            numa, clock_mhz
 // SMP keys:  procs, l1_kb, l1_ways, l1_lat, l2_kb, l2_ways, l2_lat, line,
 //            latency, bus, store_miss, rmw, coherence, barrier_base,
 //            barrier_per_proc, context_switch, quantum, fork, clock_mhz
+// GPU keys:  procs, warps, warp_width, lat_mem, mem_seg_bytes, smem_banks,
+//            smem_words, lat_smem, fork, barrier, clock_mhz
 //
 // Later overrides win (duplicate keys apply in order), which lets callers
 // compose a base spec with user-supplied overrides by concatenation. Parsing
@@ -27,26 +30,36 @@
 #include <string>
 #include <string_view>
 
+#include "sim/gpu/gpu_machine.hpp"
 #include "sim/mta/mta_machine.hpp"
 #include "sim/smp/smp_machine.hpp"
 
 namespace archgraph::sim {
 
-enum class MachineArch : u8 { kMta, kSmp };
+enum class MachineArch : u8 { kMta, kSmp, kGpu };
 
-/// "mta" or "smp".
+/// "mta", "smp", or "gpu".
 const char* arch_name(MachineArch arch);
 
 /// An architecture choice plus the full configuration for it. Only the
-/// config matching `arch` is meaningful; the other keeps its default so
+/// config matching `arch` is meaningful; the others keep their defaults so
 /// value comparison stays well-defined.
 struct MachineSpec {
   MachineArch arch = MachineArch::kMta;
   MtaConfig mta;
   SmpConfig smp;
+  GpuConfig gpu;
 
   u32 processors() const {
-    return arch == MachineArch::kMta ? mta.processors : smp.processors;
+    switch (arch) {
+      case MachineArch::kMta:
+        return mta.processors;
+      case MachineArch::kSmp:
+        return smp.processors;
+      case MachineArch::kGpu:
+        return gpu.processors;
+    }
+    return 0;  // unreachable
   }
 
   /// Canonical spec string: the preset name plus every override whose value
@@ -69,5 +82,6 @@ std::unique_ptr<Machine> make_machine(const MachineSpec& spec);
 std::unique_ptr<Machine> make_machine(std::string_view spec_text);
 std::unique_ptr<Machine> make_machine(const MtaConfig& config);
 std::unique_ptr<Machine> make_machine(const SmpConfig& config);
+std::unique_ptr<Machine> make_machine(const GpuConfig& config);
 
 }  // namespace archgraph::sim

@@ -31,6 +31,12 @@ const char* cycle_cat_name(CycleCat cat) {
       return "barrier_wait";
     case CycleCat::kIdle:
       return "idle";
+    case CycleCat::kDivergenceSerial:
+      return "divergence_serial";
+    case CycleCat::kCoalesceWait:
+      return "coalesce_wait";
+    case CycleCat::kBankConflict:
+      return "bank_conflict";
     case CycleCat::kCount:
       break;
   }

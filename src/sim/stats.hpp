@@ -12,15 +12,21 @@ namespace archgraph::sim {
 /// cycle-accounting engine. Every simulated cycle slot on every processor is
 /// attributed to exactly one category, so per region
 /// `sum(categories) == processors x cycles` holds exactly (enforced by
-/// Machine::run_region()). The first category is shared; the next four are
-/// MTA-only, the rest SMP-only — a machine leaves the other model's
-/// categories at zero.
+/// Machine::run_region()). kIssued is shared by every machine; the next four
+/// are used by the MTA and (where the semantics coincide — parked sync
+/// waiters, barrier episodes, empty processors) by the GPU; the SMP block is
+/// SMP-only; the last three are GPU-only. A machine leaves every category it
+/// does not own at zero.
 enum class CycleCat : u8 {
   /// An instruction issued in this slot (ALU slot, memory issue, RMW grant,
-  /// cache-hit access latency on the SMP's in-order pipeline).
+  /// cache-hit access latency on the SMP's in-order pipeline, a convergent
+  /// warp-instruction on the GPU).
   kIssued = 0,
 
-  // MTA (paper §2.2): the processor has streams but none can issue.
+  // MTA (paper §2.2): the processor has streams but none can issue. The GPU
+  // reuses kSyncBlocked / kBarrier / kIdleNoThread (same meaning at warp
+  // granularity); kNoReadyStream stays MTA-only — the GPU's memory-latency
+  // stall is kCoalesceWait below.
   kNoReadyStream,  // every live stream awaits a memory/sync round trip
   kSyncBlocked,    // streams parked on full/empty tags (no memory in flight)
   kBarrier,        // streams waiting at a barrier episode
@@ -36,6 +42,15 @@ enum class CycleCat : u8 {
   kBarrierWait,   // software-barrier arrival tickets and the parked wait
   kIdle,          // no runnable thread: fork ramp, drain, context-switch
                   // overhead, or an unused processor
+
+  // GPU (SIMT warps, sim/gpu): issue slots lost to lockstep execution.
+  kDivergenceSerial,  // extra warp-issue groups when lanes present different
+                      // ops (branch-mask split, paths charged serially)
+  kCoalesceWait,      // global-memory transactions: extra serialized
+                      // transactions of scattered access plus unhidden
+                      // round-trip latency (no warp ready to cover it)
+  kBankConflict,      // scratchpad accesses serialized behind lanes that
+                      // map to the same shared-memory bank
 
   kCount,
 };

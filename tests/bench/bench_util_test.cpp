@@ -153,13 +153,15 @@ TEST(CannedSweeps, QuickGridCellCounts) {
   // fig1: 2 kernels x 4 procs x 2 layouts x 2 sizes.
   EXPECT_EQ(sweep::expand_all(fig1_sweep_specs(Scale::kQuick)).cells.size(),
             32u);
-  // fig2: 2 kernels x 4 procs x 3 edge counts.
+  // fig2: 3 machine thirds x 4 procs x 3 edge counts.
   EXPECT_EQ(sweep::expand_all(fig2_sweep_specs(Scale::kQuick)).cells.size(),
-            24u);
+            36u);
   // table1: 3 workloads x 3 procs.
   EXPECT_EQ(sweep::expand_all(table1_sweep_specs(Scale::kQuick)).cells.size(),
             9u);
   EXPECT_EQ(sweep::expand_all(ci_sweep_specs()).cells.size(), 2u);
+  // gpu gate: 4 graph kernels + lr_walk, all on gpu:procs=2.
+  EXPECT_EQ(sweep::expand_all(gpu_sweep_specs()).cells.size(), 5u);
 }
 
 TEST(CannedSweeps, Fig1CarriesTheScaledL2AndBothLayouts) {

@@ -32,6 +32,11 @@ TEST(MachineSpec, PresetsAreThePaperDefaults) {
   EXPECT_EQ(smp.arch, MachineArch::kSmp);
   EXPECT_EQ(smp.smp, SmpConfig{});
   EXPECT_DOUBLE_EQ(smp.smp.clock_hz, 400e6);
+
+  const MachineSpec gpu = parse_machine_spec("gpu");
+  EXPECT_EQ(gpu.arch, MachineArch::kGpu);
+  EXPECT_EQ(gpu.gpu, GpuConfig{});
+  EXPECT_EQ(gpu.processors(), 1u);
 }
 
 TEST(MachineSpec, OverridesApplyToNamedFields) {
@@ -48,6 +53,19 @@ TEST(MachineSpec, OverridesApplyToNamedFields) {
   EXPECT_EQ(t.smp.l2_bytes, 4096u * 1024);
   EXPECT_EQ(t.smp.line_bytes, 128u);
   EXPECT_EQ(t.smp.memory_latency, 260);
+
+  const MachineSpec g = parse_machine_spec(
+      "gpu:procs=4,warps=16,warp_width=16,lat_mem=400,mem_seg_bytes=64,"
+      "smem_banks=16,lat_smem=30");
+  EXPECT_EQ(g.gpu.processors, 4u);
+  EXPECT_EQ(g.gpu.warps_per_processor, 16u);
+  EXPECT_EQ(g.gpu.warp_width, 16u);
+  EXPECT_EQ(g.gpu.memory_latency, 400);
+  EXPECT_EQ(g.gpu.mem_seg_bytes, 64u);
+  EXPECT_EQ(g.gpu.smem_banks, 16u);
+  EXPECT_EQ(g.gpu.smem_latency, 30);
+  // Untouched fields keep the preset defaults.
+  EXPECT_EQ(g.gpu.smem_words, GpuConfig{}.smem_words);
 }
 
 TEST(MachineSpec, FractionalKbAndClockMhzScale) {
@@ -71,6 +89,10 @@ TEST(MachineSpec, ToStringRoundTripsThroughParse) {
            "mta:latency=200,hash=0,numa=300",
            "smp:procs=14,l2_kb=4096",
            "smp:procs=2,l1_kb=0.0625,line=32,quantum=100",
+           "gpu",
+           "gpu:procs=8,warp_width=16",
+           "gpu:warps=8,lat_mem=500,mem_seg_bytes=64,smem_banks=16,"
+           "smem_words=2048,lat_smem=20,fork=1024,barrier=64,clock_mhz=1200",
        }) {
     const MachineSpec spec = parse_machine_spec(text);
     const std::string canon = spec.to_string();
@@ -85,6 +107,8 @@ TEST(MachineSpec, ToStringOmitsDefaults) {
   EXPECT_EQ(parse_machine_spec("mta:procs=1").to_string(), "mta");
   EXPECT_EQ(parse_machine_spec("mta:procs=8").to_string(), "mta:procs=8");
   EXPECT_EQ(parse_machine_spec("smp:l2_kb=4096").to_string(), "smp");
+  EXPECT_EQ(parse_machine_spec("gpu:warp_width=32").to_string(), "gpu");
+  EXPECT_EQ(parse_machine_spec("gpu:procs=4").to_string(), "gpu:procs=4");
 }
 
 TEST(MachineSpec, RejectsEmptyAndUnknownPreset) {
@@ -92,6 +116,10 @@ TEST(MachineSpec, RejectsEmptyAndUnknownPreset) {
             std::string::npos);
   const std::string msg = message_of([] { parse_machine_spec("cray:procs=1"); });
   EXPECT_NE(msg.find("unknown machine preset 'cray'"), std::string::npos);
+  // The diagnostic lists every valid preset so the fix is self-evident.
+  EXPECT_NE(msg.find("mta"), std::string::npos);
+  EXPECT_NE(msg.find("smp"), std::string::npos);
+  EXPECT_NE(msg.find("gpu"), std::string::npos);
 }
 
 TEST(MachineSpec, RejectionsNameTheBadKey) {
@@ -116,6 +144,12 @@ TEST(MachineSpec, RejectionsNameTheBadKey) {
   const std::string bad_flag =
       message_of([] { parse_machine_spec("mta:hash=maybe"); });
   EXPECT_NE(bad_flag.find("'hash'"), std::string::npos);
+
+  const std::string gpu_unknown =
+      message_of([] { parse_machine_spec("gpu:streams=64"); });
+  EXPECT_NE(gpu_unknown.find("unknown gpu machine spec key 'streams'"),
+            std::string::npos);
+  EXPECT_NE(gpu_unknown.find("warp_width"), std::string::npos);
 }
 
 TEST(MachineSpec, RejectionsNameTheBadField) {
@@ -136,6 +170,14 @@ TEST(MachineSpec, RejectionsNameTheBadField) {
   const std::string line =
       message_of([] { parse_machine_spec("smp:line=48"); });
   EXPECT_NE(line.find("SmpConfig.line_bytes"), std::string::npos);
+
+  const std::string width =
+      message_of([] { parse_machine_spec("gpu:warp_width=0"); });
+  EXPECT_NE(width.find("GpuConfig.warp_width"), std::string::npos);
+
+  const std::string seg =
+      message_of([] { parse_machine_spec("gpu:mem_seg_bytes=12"); });
+  EXPECT_NE(seg.find("GpuConfig.mem_seg_bytes"), std::string::npos);
 }
 
 TEST(MakeMachine, BuildsTheRequestedArchitecture) {
@@ -148,6 +190,11 @@ TEST(MakeMachine, BuildsTheRequestedArchitecture) {
   EXPECT_EQ(smp->processors(), 8u);
   EXPECT_EQ(smp->concurrency(), 8u);
   EXPECT_DOUBLE_EQ(smp->clock_hz(), 400e6);
+
+  const auto gpu = make_machine("gpu:procs=4,warps=8,warp_width=16");
+  EXPECT_EQ(gpu->processors(), 4u);
+  EXPECT_EQ(gpu->concurrency(), 4u * 8u * 16u);
+  EXPECT_DOUBLE_EQ(gpu->clock_hz(), 1000e6);
 }
 
 TEST(MakeMachine, ConfigOverloadsMatchSpecOverloads) {
@@ -162,6 +209,8 @@ TEST(MakeMachine, ConfigOverloadsMatchSpecOverloads) {
 TEST(MakeMachine, ThrowsOnInvalidSpec) {
   EXPECT_THROW(make_machine("mta:streams=0"), std::logic_error);
   EXPECT_THROW(make_machine("vliw"), std::logic_error);
+  EXPECT_THROW(make_machine("gpu:warp_width=0"), std::logic_error);
+  EXPECT_THROW(make_machine("gpu:wavefront=64"), std::logic_error);
 }
 
 }  // namespace

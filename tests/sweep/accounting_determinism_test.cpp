@@ -16,19 +16,19 @@
 namespace archgraph::sweep {
 namespace {
 
-/// One small cell per registry kernel on each machine (7 kernels x 2).
+/// One small cell per registry kernel on each machine (kernels x 3).
 SweepPlan small_grid() {
   std::vector<std::string> specs;
   for (const KernelInfo& k : kernel_registry()) {
     specs.push_back("kernel=" + k.name +
-                    " machine={mta:procs=2;smp:procs=2} n=512");
+                    " machine={mta:procs=2;smp:procs=2;gpu:procs=2} n=512");
   }
   return expand_all(specs);
 }
 
 TEST(AccountingDeterminism, EveryKernelClosesOnBothMachines) {
   const SweepPlan plan = small_grid();
-  ASSERT_EQ(plan.cells.size(), 2 * kernel_registry().size());
+  ASSERT_EQ(plan.cells.size(), 3 * kernel_registry().size());
   for (const SweepCell& cell : plan.cells) {
     const ResultRecord r = to_record(run_cell(cell));
     EXPECT_EQ(r.breakdown.total(),

@@ -19,9 +19,9 @@
 //   archgraph_cli --list                       (kernels and machine presets)
 //
 // SPEC is a simulated-machine description parsed by sim::parse_machine_spec:
-// a preset ("mta" or "smp", the paper's default configurations) optionally
-// followed by ":key=value,..." overrides, e.g. --machine mta:procs=40 or
-// --machine smp:procs=8,l2_kb=512 (see src/sim/machine_spec.hpp for the key
+// a preset ("mta", "smp", or "gpu", the paper-default configurations)
+// optionally followed by ":key=value,..." overrides, e.g. --machine
+// mta:procs=40 or gpu:procs=8 (see src/sim/machine_spec.hpp for the key
 // tables). --procs P is shorthand for a procs=P override; an explicit
 // procs= inside SPEC wins over it.
 //
@@ -272,7 +272,7 @@ void check_observability_flags(const Options& opts, bool simulated) {
                 !opts.has("profile") && !opts.has("profile-trace") &&
                 !opts.has("profile-interval")),
            "--trace/--json/--profile flags require a simulated --machine "
-           "(mta/smp spec)");
+           "(mta/smp/gpu spec)");
 }
 
 int run_cc(const Options& opts) {
@@ -299,9 +299,11 @@ int run_cc(const Options& opts) {
     std::unique_ptr<sim::Machine> m = sim::make_machine(spec);
     session.attach(*m, arch);
     prof.attach(*m, arch);
-    const core::SimCcResult result = spec.arch == sim::MachineArch::kMta
-                                         ? core::sim_cc_sv_mta(*m, g)
-                                         : core::sim_cc_sv_smp(*m, g);
+    // The _mta kernel family is machine-neutral (full/empty bits work on any
+    // sim::Machine); only the SMP variants carry cache-conscious layouts.
+    const core::SimCcResult result = spec.arch == sim::MachineArch::kSmp
+                                         ? core::sim_cc_sv_smp(*m, g)
+                                         : core::sim_cc_sv_mta(*m, g);
     labels = result.labels;
     AG_CHECK(labels == core::cc_union_find(g), "self-check failed");
     session.counter_add("cc.components",
@@ -368,14 +370,14 @@ int run_color(const Options& opts) {
     session.attach(*m, arch);
     prof.attach(*m, arch);
     core::SimColorResult result;
-    if (spec.arch == sim::MachineArch::kMta) {
-      core::MtaColorParams params;
-      params.branch_avoiding = branch_avoiding;
-      result = core::sim_color_greedy_mta(*m, g, params);
-    } else {
+    if (spec.arch == sim::MachineArch::kSmp) {
       core::SmpColorParams params;
       params.branch_avoiding = branch_avoiding;
       result = core::sim_color_greedy_smp(*m, g, params);
+    } else {
+      core::MtaColorParams params;
+      params.branch_avoiding = branch_avoiding;
+      result = core::sim_color_greedy_mta(*m, g, params);
     }
     colors = std::move(result.colors);
     rounds = result.rounds;
@@ -438,9 +440,9 @@ int run_bfs(const Options& opts) {
     std::unique_ptr<sim::Machine> m = sim::make_machine(spec);
     session.attach(*m, arch);
     prof.attach(*m, arch);
-    core::SimBfsResult result = spec.arch == sim::MachineArch::kMta
-                                    ? core::sim_bfs_tree_mta(*m, g)
-                                    : core::sim_bfs_tree_smp(*m, g);
+    core::SimBfsResult result = spec.arch == sim::MachineArch::kSmp
+                                    ? core::sim_bfs_tree_smp(*m, g)
+                                    : core::sim_bfs_tree_mta(*m, g);
     AG_CHECK(graph::validate::is_bfs_forest(g, result.parent, result.level),
              "self-check failed (not a BFS forest)");
     AG_CHECK(result.level == reference.level,
@@ -581,7 +583,9 @@ int run_list() {
             << "  mta         Cray MTA-2, 220 MHz, 128 streams/processor, "
                "hashed flat memory\n"
             << "  smp         Sun E4500-class SMP, 400 MHz, L1/L2 caches, "
-               "shared bus\n";
+               "shared bus\n"
+            << "  gpu         SIMT accelerator, 1 GHz, 32-lane warps, "
+               "coalesced global memory\n";
   return 0;
 }
 

@@ -71,7 +71,7 @@ int run_list() {
     }
   }
   std::cout << "\nkernels:\n" << sweep::kernel_listing();
-  std::cout << "\nmachine presets: mta, smp "
+  std::cout << "\nmachine presets: mta, smp, gpu "
                "(overrides: preset:key=value,..., braces expand)\n";
   std::cout << "\nrun executes cells on --jobs N host threads (default here: "
             << sweep::auto_jobs()

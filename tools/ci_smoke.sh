@@ -67,6 +67,15 @@ assert doc["machine"]["name"] == "smp", doc["machine"]
 assert doc["machine"]["processors"] == 2, doc["machine"]
 print("ok: smp override applied")
 '
+"$BUILD_DIR"/tools/archgraph_cli cc --machine gpu:procs=2,warp_width=8 \
+    --n 2048 --json \
+    | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["machine"]["name"] == "gpu", doc["machine"]
+assert doc["machine"]["processors"] == 2, doc["machine"]
+print("ok: gpu override applied")
+'
 
 echo "== cli --machine (malformed spec must fail) =="
 if "$BUILD_DIR"/tools/archgraph_cli rank --machine mta:bogus=1 \
@@ -74,7 +83,17 @@ if "$BUILD_DIR"/tools/archgraph_cli rank --machine mta:bogus=1 \
   echo "error: malformed machine spec did not fail" >&2
   exit 1
 fi
-echo "ok: malformed spec rejected"
+if "$BUILD_DIR"/tools/archgraph_cli cc --machine gpu:warp_width=0 \
+    --n 1024 >/dev/null 2>&1; then
+  echo "error: gpu:warp_width=0 did not fail" >&2
+  exit 1
+fi
+if "$BUILD_DIR"/tools/archgraph_cli cc --machine gpu:wavefront=64 \
+    --n 1024 >/dev/null 2>&1; then
+  echo "error: unknown gpu spec key did not fail" >&2
+  exit 1
+fi
+echo "ok: malformed specs rejected (mta unknown key, gpu zero width, gpu unknown key)"
 
 echo "== sweep determinism (--jobs must not change the output) =="
 "$BUILD_DIR"/tools/archgraph_sweep --list >/dev/null
@@ -100,8 +119,8 @@ with open(sys.argv[1]) as f:
             continue
         r = json.loads(line)
         acct = {k: v for k, v in r.items() if k.startswith("acct_")}
-        assert len(acct) == 12, \
-            f"{r['run_id']}: expected 12 acct_ fields, got {sorted(acct)}"
+        assert len(acct) == 15, \
+            f"{r['run_id']}: expected 15 acct_ fields, got {sorted(acct)}"
         total = sum(acct.values())
         expect = r["procs"] * r["cycles"]
         assert total == expect, \
@@ -127,6 +146,42 @@ cmp "$OUT_DIR/frontier_serial.jsonl" "$OUT_DIR/frontier.jsonl" || {
 "$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/frontier.jsonl" \
     --against baselines/frontier_quick.jsonl --tol 0
 echo "ok: frontier grid deterministic across --jobs and matches baseline"
+
+echo "== gpu kernels (mini-grid vs committed baseline, tol 0) =="
+"$BUILD_DIR"/tools/archgraph_sweep run gpu --jobs 1 \
+    --out "$OUT_DIR/gpu_serial.jsonl" 2>/dev/null
+"$BUILD_DIR"/tools/archgraph_sweep run gpu --jobs 4 \
+    --out "$OUT_DIR/gpu.jsonl" 2>/dev/null
+cmp "$OUT_DIR/gpu_serial.jsonl" "$OUT_DIR/gpu.jsonl" || {
+  echo "error: gpu --jobs 4 output differs from --jobs 1" >&2
+  exit 1
+}
+"$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/gpu.jsonl" \
+    --against baselines/gpu_quick.jsonl --tol 0
+echo "ok: gpu grid deterministic across --jobs and matches baseline"
+
+echo "== gpu accounting (new categories close the invariant) =="
+python3 - "$OUT_DIR/gpu.jsonl" <<'EOF'
+import json
+import sys
+
+n = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        if not line.strip():
+            continue
+        r = json.loads(line)
+        acct = {k: v for k, v in r.items() if k.startswith("acct_")}
+        total = sum(acct.values())
+        expect = r["procs"] * r["cycles"]
+        assert total == expect, \
+            f"{r['run_id']}: sum(acct_*)={total} != procs*cycles={expect}"
+        gpu_cats = (acct["acct_divergence_serial"] + acct["acct_coalesce_wait"]
+                    + acct["acct_bank_conflict"])
+        assert gpu_cats > 0, f"{r['run_id']}: no GPU-specific stall mass"
+        n += 1
+print(f"ok: accounting closed with GPU categories live on all {n} cells")
+EOF
 
 echo "== frontier gate (corrupted frontier cell must fail) =="
 python3 - "$OUT_DIR/frontier.jsonl" "$OUT_DIR/frontier_corrupt.jsonl" <<'EOF'
