@@ -1,10 +1,13 @@
 // Host-native microbenchmarks of the simulator hot paths: EventQueue
-// push/pop (same-cycle fast path and heap regime) and SimMemory read/write
-// throughput. These measure this machine, not the simulated hardware — they
+// push/pop (same-cycle fast path, near-future bucket regime, far-future heap
+// regime), SimMemory read/write throughput, and — the headline numbers —
+// whole-machine cells/sec on fig1/fig2-shaped cells for all three machine
+// presets. These measure this machine, not the simulated hardware — they
 // exist so the "make the simulator faster" optimizations are quantified and
 // gated, not asserted. With ARCHGRAPH_BENCH_JSON=<dir> set the results land
 // in <dir>/BENCH_host_sim.json (one record per benchmark, ops_per_sec is the
-// headline number).
+// headline number; for machine/* records one "op" is one simulated cell, so
+// ops_per_sec is host cells/sec — compare two runs with tools/bench_diff).
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,6 +18,8 @@
 #include "common/timer.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/memory.hpp"
+#include "sweep/registry.hpp"
+#include "sweep/runner.hpp"
 
 namespace {
 
@@ -133,6 +138,31 @@ Result bench_memory_tag_bits(u64 words, u64 passes) {
   return {"sim_memory/tag_bits_rw", 2 * words * passes, timer.seconds()};
 }
 
+/// Whole-machine throughput: run one fig1- or fig2-shaped sweep cell
+/// repeatedly on a fresh machine each time (exactly what sweep::run_plan
+/// does per cell) and report host cells/sec. This is the number every
+/// ROADMAP scenario item is bounded by — the queue/memory micros above are
+/// its ingredients.
+Result bench_machine_cell(const std::string& label, const std::string& kernel,
+                          const std::string& machine, sweep::Layout layout,
+                          i64 n, i64 m, u64 reps) {
+  sweep::SweepCell cell;
+  cell.kernel = kernel;
+  cell.machine = machine;
+  cell.layout = layout;
+  cell.n = n;
+  cell.m = m;
+  const sweep::KernelInfo& info = sweep::find_kernel(kernel);
+  const sweep::KernelInput input = sweep::make_input(info, cell);
+  Timer timer;
+  for (u64 r = 0; r < reps; ++r) {
+    const auto mach = sim::make_machine(machine);
+    info.run(*mach, input, /*verify=*/false);
+    g_sink += static_cast<u64>(mach->cycles());
+  }
+  return {"machine/" + label, reps, timer.seconds()};
+}
+
 }  // namespace
 
 int main() {
@@ -140,14 +170,20 @@ int main() {
   u64 queue_ops = 1u << 22;
   u64 words = 1u << 18;
   u64 passes = 16;
+  u64 cell_reps = 8;
+  i64 cell_n = 1 << 14;
   if (scale == bench::Scale::kQuick) {
     queue_ops = 1u << 18;
     words = 1u << 14;
     passes = 4;
+    cell_reps = 2;
+    cell_n = 1 << 12;
   } else if (scale == bench::Scale::kFull) {
     queue_ops = 1u << 24;
     words = 1u << 20;
     passes = 32;
+    cell_reps = 16;
+    cell_n = 1 << 16;
   }
 
   bench::print_header(
@@ -162,6 +198,27 @@ int main() {
   results.push_back(bench_memory_sequential(words, passes));
   results.push_back(bench_memory_random(words, passes));
   results.push_back(bench_memory_tag_bits(words, passes));
+
+  // Whole-machine cells/sec, fig1- and fig2-shaped, one pair per preset.
+  // fig1 shape: list ranking on a random list (lr_walk for the fine-grain
+  // machines, lr_hj for the SMP). fig2 shape: Shiloach-Vishkin CC on a
+  // random graph with m = 8n (cc_sv_smp on the SMP).
+  const i64 cc_n = cell_n / 4;
+  const auto layout = sweep::Layout::kRandom;
+  results.push_back(bench_machine_cell("mta/fig1", "lr_walk", "mta:procs=4",
+                                       layout, cell_n, 0, cell_reps));
+  results.push_back(bench_machine_cell("mta/fig2", "cc_sv_mta", "mta:procs=4",
+                                       layout, cc_n, 8 * cc_n, cell_reps));
+  results.push_back(bench_machine_cell("smp/fig1", "lr_hj",
+                                       "smp:procs=4,l2_kb=512", layout, cell_n,
+                                       0, cell_reps));
+  results.push_back(bench_machine_cell("smp/fig2", "cc_sv_smp",
+                                       "smp:procs=4,l2_kb=512", layout, cc_n,
+                                       8 * cc_n, cell_reps));
+  results.push_back(bench_machine_cell("gpu/fig1", "lr_walk", "gpu:procs=4",
+                                       layout, cell_n, 0, cell_reps));
+  results.push_back(bench_machine_cell("gpu/fig2", "cc_sv_mta", "gpu:procs=4",
+                                       layout, cc_n, 8 * cc_n, cell_reps));
 
   Table table({"benchmark", "ops", "seconds", "Mops/sec"}, 3);
   bench::BenchJson bj("host_sim");

@@ -1,28 +1,53 @@
 // Deterministic discrete-event queue.
 //
-// Both machine models pop events in (time, insertion-order) order, so every
-// simulation is bit-for-bit reproducible: ties never resolve by container
-// whim. Payload interpretation belongs to the machines.
+// All three machine models pop events in (time, insertion-order) order, so
+// every simulation is bit-for-bit reproducible: ties never resolve by
+// container whim. Payload interpretation belongs to the machines. The pop
+// order is a pure function of the push sequence, so any internally different
+// but contract-honoring implementation yields bit-identical simulations.
 //
-// This is the simulators' hottest structure (every issue/complete/dispatch
-// passes through it), so it is an inlined binary heap over a reserved vector
-// rather than a std::priority_queue, with one structural fast path: most
-// events are scheduled *at the current simulation time* (ready/issue/dispatch
-// chains tie on "now"), and those skip the heap entirely. Events pushed at
-// the time of the most recently popped event go to a plain FIFO — correct
-// because every such event's seq is larger than any same-time event already
-// in the heap (heap entries at the current time were necessarily pushed
-// before "now" advanced here), and pop() compares the heap root against the
-// FIFO front by (time, seq) anyway. The one corner where appending would
-// break the FIFO's (time, seq) order — a push into the past moved "now"
-// backwards under a non-empty FIFO — is detected on push and routed to the
-// heap (tests/sim/event_queue_test.cpp runs a randomized differential check
-// against a reference model, past-time pushes included).
+// This is the simulators' hottest structure (every ready/issue/complete/
+// retry passes through it), so it is a three-level scheduler ordered by how
+// hot each path is in the machine models:
+//
+//   * Same-cycle FIFO: most events are scheduled *at the current simulation
+//     time* (ready/issue/dispatch chains tie on "now") and go to a plain
+//     contiguous vector — one buffer, reused forever, no ordering work.
+//     Correct because every such event's seq is larger than any same-time
+//     event already deeper in the queue, and pop() compares level fronts by
+//     (time, seq) anyway. The one corner where appending would break the
+//     FIFO's order — a push into the past moved "now" backwards under a
+//     non-empty FIFO — is detected on push and routed to the heap.
+//   * Bucket wheel: near-future events — memory completions at +lat_mem,
+//     next-cycle issue slots — land in a ring of kBuckets one-cycle slots
+//     covering [win_base_, win_base_ + kBuckets), where win_base_ is the
+//     running maximum of popped times. O(1) push and pop. Slots are
+//     singly-linked lists of nodes in one pooled arena with a LIFO freelist,
+//     so the steady-state working set is a handful of hot nodes, not
+//     kBuckets scattered vectors. A slot never mixes times: while a time is
+//     inside the window its slot holds that time only (pop() always returns
+//     the minimum, so win_base_ cannot pass a still-bucketed time), appended
+//     in push order, which IS (time, seq) order. An occupancy bitmap finds
+//     the earliest non-empty slot in a few word scans.
+//   * Binary heap (reserved vector, std::push_heap/pop_heap): the overflow
+//     level for far-future events (deep bank convoys, SMP barrier spans,
+//     oversubscription quanta) and pushes into the past (legal, exercised by
+//     the differential test).
+//
+// pop() compares the three level fronts by (time, seq), so the levels
+// interleave exactly like one totally ordered queue.
+//
+// tests/sim/event_queue_test.cpp runs randomized differential checks against
+// a reference model, including past-time pushes, window-boundary times, and
+// same-cycle ordering across levels.
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <vector>
 
+#include "common/check.hpp"
 #include "sim/types.hpp"
 
 namespace archgraph::sim {
@@ -36,47 +61,122 @@ struct Event {
 
 class EventQueue {
  public:
+  /// Near-future window in cycles. Covers every bounded op latency in the
+  /// three machine models (MTA lat_mem ~100, GPU lat_mem ~300, SMP cache
+  /// walks ~200); longer spans overflow to the heap.
+  static constexpr usize kBuckets = 512;
+
   EventQueue() {
     heap_.reserve(64);
     fifo_.reserve(64);
+    pool_.reserve(64);
+    slot_head_.fill(kNil);
   }
 
   void push(Cycle time, u32 kind, u64 payload) {
-    // The FIFO must stay sorted by (time, seq). Appending keeps it so except
-    // after a push into the past moved now_ backwards while later-time events
-    // sit in the FIFO — that corner (never hit by the machine models) takes
-    // the heap instead.
-    if (time == now_ && (fifo_.empty() || fifo_.back().time <= time)) {
+    // Hottest path: the FIFO must stay sorted by (time, seq). Appending
+    // keeps it so except after a push into the past moved now_ backwards
+    // while later-time events sit in the FIFO — that corner (never hit by
+    // the machine models) takes the heap instead.
+    if (time == now_ &&
+        (fifo_head_ == fifo_.size() || fifo_.back().time <= time)) {
       fifo_.push_back(Event{time, next_seq_++, kind, payload});
       return;
     }
+    if (static_cast<u64>(time - win_base_) < kBuckets) {
+      // Near future: O(1) append to the slot's node list. All nodes already
+      // in this slot share this time, so append order is (time, seq) order.
+      const u32 idx = alloc_node(Event{time, next_seq_++, kind, payload});
+      const usize s = static_cast<usize>(time) & kSlotMask;
+      if (slot_head_[s] == kNil) {
+        slot_head_[s] = idx;
+        occupied_[s >> 6] |= u64{1} << (s & 63);
+      } else {
+        pool_[slot_tail_[s]].next = idx;
+      }
+      slot_tail_[s] = idx;
+      ++bucket_count_;
+      return;
+    }
+    // Far future or past: the overflow heap.
     heap_.push_back(Event{time, next_seq_++, kind, payload});
     std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
-  bool empty() const { return fifo_head_ == fifo_.size() && heap_.empty(); }
-  usize size() const { return (fifo_.size() - fifo_head_) + heap_.size(); }
+  bool empty() const {
+    return fifo_head_ == fifo_.size() && bucket_count_ == 0 && heap_.empty();
+  }
+  usize size() const {
+    return (fifo_.size() - fifo_head_) + bucket_count_ + heap_.size();
+  }
 
   Event pop() {
-    const bool have_fifo = fifo_head_ < fifo_.size();
-    if (!heap_.empty() &&
-        (!have_fifo || earlier(heap_[0], fifo_[fifo_head_]))) {
-      std::pop_heap(heap_.begin(), heap_.end(), Later{});
-      const Event e = heap_.back();
-      heap_.pop_back();
-      now_ = e.time;
-      return e;
+    // FIFO fast path. A FIFO event was pushed at a now_ the queue had
+    // already reached, and pops are monotone over the pending minimum, so
+    // the FIFO front's *time* is the global minimum: a strictly earlier
+    // bucket or heap event would have been popped before now_ ever reached
+    // that time (past-time pushes go to the heap, never the bucket). The
+    // only events that can precede it are same-time earlier-seq ones, and a
+    // same-time bucket event must live in the front's own slot (a slot
+    // never mixes times while its time is in the window) — so one slot probe
+    // plus one heap-front compare decides the pop with no bitmap scan.
+    if (fifo_head_ < fifo_.size()) {
+      const Event& f = fifo_[fifo_head_];
+      bool fifo_wins = true;
+      if (bucket_count_ != 0) {
+        const u32 h = slot_head_[static_cast<usize>(f.time) & kSlotMask];
+        if (h != kNil && earlier(pool_[h].e, f)) fifo_wins = false;
+      }
+      if (fifo_wins && !heap_.empty() && earlier(heap_[0], f)) {
+        fifo_wins = false;
+      }
+      if (fifo_wins) {
+        const Event e = f;
+        if (++fifo_head_ == fifo_.size()) {
+          fifo_.clear();
+          fifo_head_ = 0;
+        }
+        return popped(e);
+      }
     }
-    const Event e = fifo_[fifo_head_++];
-    if (fifo_head_ == fifo_.size()) {
-      fifo_.clear();
-      fifo_head_ = 0;
+    // Bucket level: the earliest slot in window order — right at the base,
+    // or the bitmap scan finds it. Yields only to an earlier heap front
+    // (past-time pushes and window-boundary ties).
+    if (bucket_count_ != 0) {
+      usize s = static_cast<usize>(win_base_) & kSlotMask;
+      if (slot_head_[s] == kNil) {
+        s = next_occupied(s);
+      }
+      const u32 idx = slot_head_[s];
+      const Event e = pool_[idx].e;
+      if (heap_.empty() || !earlier(heap_[0], e)) {
+        if ((slot_head_[s] = pool_[idx].next) == kNil) {
+          occupied_[s >> 6] &= ~(u64{1} << (s & 63));
+        }
+        pool_[idx].next = free_head_;  // LIFO reuse keeps the hot set small
+        free_head_ = idx;
+        --bucket_count_;
+        return popped(e);
+      }
     }
-    now_ = e.time;
-    return e;
+    AG_DCHECK(!heap_.empty(), "pop() on an empty EventQueue");
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const Event e = heap_.back();
+    heap_.pop_back();
+    return popped(e);
   }
 
  private:
+  static constexpr usize kSlotMask = kBuckets - 1;
+  static constexpr usize kBitmapWords = kBuckets / 64;
+  static constexpr u32 kNil = ~u32{0};
+  static_assert((kBuckets & kSlotMask) == 0, "kBuckets must be a power of 2");
+
+  struct Node {
+    Event e;
+    u32 next = kNil;
+  };
+
   static bool earlier(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time < b.time;
     return a.seq < b.seq;
@@ -92,10 +192,47 @@ class EventQueue {
     }
   };
 
-  std::vector<Event> heap_;
+  Event popped(const Event& e) {
+    now_ = e.time;
+    if (e.time > win_base_) win_base_ = e.time;  // monotone window anchor
+    return e;
+  }
+
+  u32 alloc_node(const Event& e) {
+    if (free_head_ != kNil) {
+      const u32 idx = free_head_;
+      free_head_ = pool_[idx].next;
+      pool_[idx] = Node{e, kNil};
+      return idx;
+    }
+    pool_.push_back(Node{e, kNil});
+    return static_cast<u32>(pool_.size() - 1);
+  }
+
+  /// First non-empty slot at circular distance >= 1 from `s` (window order).
+  /// Only called with bucket_count_ > 0 and slot `s` empty, so some bit is
+  /// set and the scan terminates.
+  usize next_occupied(usize s) const {
+    usize w = s >> 6;
+    u64 word = occupied_[w] & (~u64{0} << (s & 63));
+    while (word == 0) {
+      w = (w + 1) & (kBitmapWords - 1);
+      word = occupied_[w];
+    }
+    return (w << 6) + static_cast<usize>(std::countr_zero(word));
+  }
+
+  std::vector<Event> heap_;  // overflow level: far-future + past-time events
   std::vector<Event> fifo_;  // events at time now_, already in seq order
   usize fifo_head_ = 0;
-  Cycle now_ = 0;  // time of the most recently popped event
+  std::vector<Node> pool_;   // bucket nodes; LIFO freelist via free_head_
+  u32 free_head_ = kNil;
+  std::array<u32, kBuckets> slot_head_;
+  std::array<u32, kBuckets> slot_tail_;  // valid only when slot occupied
+  std::array<u64, kBitmapWords> occupied_{};
+  usize bucket_count_ = 0;
+  Cycle now_ = 0;       // time of the most recently popped event
+  Cycle win_base_ = 0;  // running max of popped times (window anchor)
   u64 next_seq_ = 0;
 };
 

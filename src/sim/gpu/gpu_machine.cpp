@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 
 namespace archgraph::sim {
 
@@ -44,6 +45,17 @@ void validate(const GpuConfig& c) {
 
 GpuMachine::GpuMachine(GpuConfig config) : config_(config) {
   validate(config_);
+  const u64 words_per_seg = config_.mem_seg_bytes / kWordBytes;
+  if (std::has_single_bit(words_per_seg)) {
+    seg_pow2_ = true;
+    seg_shift_ = static_cast<u32>(std::countr_zero(words_per_seg));
+  }
+  if (std::has_single_bit(static_cast<u64>(config_.smem_banks))) {
+    bank_mask_ = config_.smem_banks - 1;
+  }
+  if (std::has_single_bit(static_cast<u64>(config_.smem_words))) {
+    smem_mask_ = config_.smem_words - 1;
+  }
 }
 
 void GpuMachine::settle(Sm& sm, Cycle t) {
@@ -98,7 +110,9 @@ void GpuMachine::acct_complete(u32 tid, Cycle now) {
 }
 
 bool GpuMachine::smem_probe(Sm& sm, Addr addr, bool fill) {
-  const usize slot = static_cast<usize>(addr % sm.smem_tags.size());
+  const usize slot = smem_mask_ != 0
+                         ? static_cast<usize>(addr & smem_mask_)
+                         : static_cast<usize>(addr % sm.smem_tags.size());
   if (sm.smem_tags[slot] == addr) {
     return true;
   }
@@ -108,19 +122,16 @@ bool GpuMachine::smem_probe(Sm& sm, Addr addr, bool fill) {
   return false;
 }
 
-Cycle GpuMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
+Cycle GpuMachine::simulate(std::vector<ThreadState*>& threads) {
   // --- reset region state -------------------------------------------------
-  threads_.clear();
-  threads_.reserve(threads.size());
-  for (auto& t : threads) {
-    threads_.push_back(t.get());
-  }
+  threads_ = threads;
   sms_.assign(config_.processors, Sm{});
   for (Sm& sm : sms_) {
     sm.smem_tags.assign(config_.smem_words, kNoTag);
   }
   sync_waiters_.clear();
   barrier_waiting_.clear();
+  release_buf_.clear();
   barrier_max_arrival_ = 0;
   live_ = static_cast<i64>(threads_.size());
   region_end_ = 0;
@@ -133,53 +144,42 @@ Cycle GpuMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
   const u32 n = static_cast<u32>(threads_.size());
   const u32 warp_count = (n + config_.warp_width - 1) / config_.warp_width;
   warps_.assign(warp_count, Warp{});
+  // Flat ring arena: each SM gets two power-of-two windows (ready,
+  // admission). Round-robin warp placement bounds both queues by the SM's
+  // warp share, and a warp sits in at most one ring at a time, so the
+  // windows never overflow. Grow-only, so repeated regions reuse the arena.
+  const u32 cap = ring_capacity_for(
+      (warp_count + config_.processors - 1) / config_.processors);
+  const usize arena_need = static_cast<usize>(cap) * 2 * config_.processors;
+  if (ring_arena_.size() < arena_need) {
+    ring_arena_.resize(arena_need);
+  }
+  for (u32 p = 0; p < config_.processors; ++p) {
+    u32* base = ring_arena_.data() + static_cast<usize>(p) * 2 * cap;
+    sms_[p].ready_fifo.bind(base, cap);
+    sms_[p].admission_queue.bind(base + cap, cap);
+  }
   for (u32 wid = 0; wid < warp_count; ++wid) {
     Warp& w = warps_[wid];
     w.sm = wid % config_.processors;
-    const u32 first = wid * config_.warp_width;
-    const u32 last = std::min(first + config_.warp_width, n);
-    w.members.reserve(last - first);
-    for (u32 tid = first; tid < last; ++tid) {
-      w.members.push_back(tid);
-    }
-    w.live = last - first;
+    w.first = wid * config_.warp_width;
+    w.last = std::min(w.first + config_.warp_width, n);
+    w.live = w.last - w.first;
   }
   for (u32 wid = 0; wid < warp_count; ++wid) {
     Sm& sm = sms_[warps_[wid].sm];
     if (sm.resident < config_.warps_per_processor) {
       admit_warp(wid, config_.region_fork_cycles);
     } else {
-      sm.admission_queue.push_back(wid);
+      sm.admission_queue.push(wid);
     }
   }
 
   // --- main event loop ----------------------------------------------------
-  while (!events_.empty()) {
-    const Event e = events_.pop();
-    if (prof_hook_ != nullptr) {
-      prof_hook_->on_advance(*this, e.time);
-    }
-    switch (static_cast<EventKind>(e.kind)) {
-      case kIssue:
-        handle_issue(static_cast<u32>(e.payload), e.time);
-        break;
-      case kComplete: {
-        const auto tid = static_cast<u32>(e.payload);
-        acct_complete(tid, e.time);
-        // Barrier lanes never held an in-flight slot (they were masked, not
-        // in flight); every other completion releases the lane's flight so
-        // the warp can pass the lockstep readiness check again.
-        if (threads_[tid]->pending.kind != OpKind::kBarrier) {
-          --warps_[tid / config_.warp_width].in_flight;
-        }
-        threads_[tid]->advance();
-        post_advance(tid, e.time);
-        break;
-      }
-      case kRetry:
-        attempt_sync_retry(static_cast<u32>(e.payload), e.time);
-        break;
-    }
+  if (prof_hook_ != nullptr) {
+    run_events<true>();
+  } else {
+    run_events<false>();
   }
 
   AG_CHECK(live_ == 0,
@@ -207,14 +207,93 @@ Cycle GpuMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
   return region_end_;
 }
 
+template <bool Profiled>
+void GpuMachine::run_events() {
+  while (!events_.empty()) {
+    const Event e = events_.pop();
+    if constexpr (Profiled) {
+      prof_hook_->on_advance(*this, e.time);
+    }
+    switch (static_cast<EventKind>(e.kind)) {
+      case kIssue:
+        handle_issue<Profiled>(static_cast<u32>(e.payload), e.time);
+        break;
+      case kComplete: {
+        // Only satisfied full/empty flights complete one lane at a time now
+        // (their issue interleaves wake_waiters pushes, so they cannot
+        // batch); all of them held an in-flight slot.
+        const auto tid = static_cast<u32>(e.payload);
+        acct_complete(tid, e.time);
+        --warps_[tid / config_.warp_width].in_flight;
+        advance_thread(*threads_[tid]);
+        post_advance(tid, e.time);
+        break;
+      }
+      case kRetry:
+        attempt_sync_retry(static_cast<u32>(e.payload), e.time);
+        break;
+      case kBatch: {
+        // A whole compute or global-memory issue group lands together. The
+        // group is exactly the warp's lanes still in kWaitMemory on this op
+        // kind: other lanes either finished, parked on a tag/barrier
+        // (different kind or status), or belong to a different group of this
+        // round (groups are partitioned by kind). Ascending-tid replay
+        // matches the order the per-lane events popped in.
+        //
+        // The per-lane acct_complete/maybe_enqueue_warp calls are hoisted
+        // out of the loop: all group lanes share one SM and one op kind, so
+        // after the first settle every later one is a no-op, and while the
+        // loop runs w.in_flight > 0 (this round's groups land as a unit),
+        // so only the final lane's enqueue attempt could ever fire — made
+        // after the loop instead. on_finish stays inline: it retires warps
+        // and admits queued ones, and that order is observable.
+        const u32 wid = static_cast<u32>(e.payload >> 4);
+        const auto kind = static_cast<OpKind>(e.payload & 0xF);
+        Warp& w = warps_[wid];
+        Sm& sm = sms_[w.sm];
+        settle(sm, e.time);
+        const bool mem = kind == OpKind::kLoad || kind == OpKind::kStore ||
+                         kind == OpKind::kFetchAdd;
+        for (u32 tid = w.first; tid < w.last; ++tid) {
+          if (status_of(tid) != ThreadState::Status::kWaitMemory ||
+              pending_kind(tid) != kind) {
+            continue;
+          }
+          if (mem) {
+            --sm.acct_mem;  // the lane's global round trip landed
+          }
+          --w.in_flight;
+          advance_thread(*threads_[tid]);
+          if (pending_kind(tid) == OpKind::kDone) {
+            on_finish(tid, e.time);
+          } else {
+            set_status(tid, ThreadState::Status::kRunnable);
+          }
+        }
+        maybe_enqueue_warp(wid, e.time);
+        break;
+      }
+      case kRelease:
+        // Barrier lanes never held an in-flight slot (they were masked).
+        for (usize i = 0; i < release_buf_.size(); ++i) {
+          const u32 tid = release_buf_[i];
+          acct_complete(tid, e.time);
+          advance_thread(*threads_[tid]);
+          post_advance(tid, e.time);
+        }
+        release_buf_.clear();
+        break;
+    }
+  }
+}
+
 void GpuMachine::admit_warp(u32 wid, Cycle now) {
   Warp& w = warps_[wid];
   w.resident = true;
   ++sms_[w.sm].resident;
-  for (const u32 tid : w.members) {
-    ThreadState* ts = threads_[tid];
-    ts->processor = w.sm;
-    ts->advance();
+  for (u32 tid = w.first; tid < w.last; ++tid) {
+    threads_[tid]->processor = w.sm;
+    advance_thread(*threads_[tid]);
     post_advance(tid, now);
   }
 }
@@ -224,7 +303,7 @@ void GpuMachine::post_advance(u32 tid, Cycle now) {
   if (ts->pending.kind == OpKind::kDone) {
     on_finish(tid, now);
   } else {
-    ts->status = ThreadState::Status::kRunnable;
+    set_status(tid, ThreadState::Status::kRunnable);
     maybe_enqueue_warp(tid / config_.warp_width, now);
   }
 }
@@ -239,8 +318,8 @@ void GpuMachine::maybe_enqueue_warp(u32 wid, Cycle now) {
     return;
   }
   bool any_runnable = false;
-  for (const u32 tid : w.members) {
-    if (threads_[tid]->status == ThreadState::Status::kRunnable) {
+  for (u32 tid = w.first; tid < w.last; ++tid) {
+    if (status_of(tid) == ThreadState::Status::kRunnable) {
       any_runnable = true;
       break;
     }
@@ -250,21 +329,21 @@ void GpuMachine::maybe_enqueue_warp(u32 wid, Cycle now) {
   }
   w.queued = true;
   Sm& sm = sms_[w.sm];
-  sm.ready_fifo.push_back(wid);
+  sm.ready_fifo.push(wid);
   if (!sm.issue_scheduled) {
     sm.issue_scheduled = true;
     events_.push(std::max(now, sm.clock), kIssue, w.sm);
   }
 }
 
+template <bool Profiled>
 void GpuMachine::handle_issue(u32 sm_id, Cycle now) {
   Sm& sm = sms_[sm_id];
   if (sm.ready_fifo.empty()) {
     sm.issue_scheduled = false;
     return;
   }
-  const u32 wid = sm.ready_fifo.front();
-  sm.ready_fifo.pop_front();
+  const u32 wid = sm.ready_fifo.pop();
   Warp& w = warps_[wid];
   w.queued = false;
 
@@ -273,8 +352,8 @@ void GpuMachine::handle_issue(u32 sm_id, Cycle now) {
   settle(sm, now);
 
   runnable_lanes_.clear();
-  for (const u32 tid : w.members) {
-    if (threads_[tid]->status == ThreadState::Status::kRunnable) {
+  for (u32 tid = w.first; tid < w.last; ++tid) {
+    if (status_of(tid) == ThreadState::Status::kRunnable) {
       runnable_lanes_.push_back(tid);
     }
   }
@@ -287,7 +366,7 @@ void GpuMachine::handle_issue(u32 sm_id, Cycle now) {
   std::array<OpKind, 8> kinds{};
   usize kind_count = 0;
   for (const u32 tid : runnable_lanes_) {
-    const OpKind k = threads_[tid]->pending.kind;
+    const OpKind k = pending_kind(tid);
     bool seen = false;
     for (usize i = 0; i < kind_count; ++i) {
       if (kinds[i] == k) {
@@ -307,7 +386,7 @@ void GpuMachine::handle_issue(u32 sm_id, Cycle now) {
         gi == 0 ? CycleCat::kIssued : CycleCat::kDivergenceSerial;
     group_lanes_.clear();
     for (const u32 tid : runnable_lanes_) {
-      if (threads_[tid]->pending.kind == kind) {
+      if (pending_kind(tid) == kind) {
         group_lanes_.push_back(tid);
       }
     }
@@ -325,12 +404,12 @@ void GpuMachine::handle_issue(u32 sm_id, Cycle now) {
         stats_.instructions += v;
         sm.issued += v;
         for (const u32 tid : group_lanes_) {
-          ThreadState* ts = threads_[tid];
-          ts->instructions += v;
-          ts->status = ThreadState::Status::kWaitMemory;
+          threads_[tid]->instructions += v;
+          set_status(tid, ThreadState::Status::kWaitMemory);
           ++w.in_flight;
-          events_.push(t + v, kComplete, tid);
         }
+        events_.push(t + v, kBatch,
+                     (static_cast<u64>(wid) << 4) | static_cast<u64>(kind));
         t += v;
         break;
       }
@@ -346,18 +425,37 @@ void GpuMachine::handle_issue(u32 sm_id, Cycle now) {
         bank_load_.assign(config_.smem_banks, 0);
         u32 smem_lanes = 0;
         u32 max_bank = 0;
+        i64 atomic_lanes = 0;
         for (const u32 tid : group_lanes_) {
           const Addr addr = threads_[tid]->pending.addr;
           const bool smem_hit =
               kind != OpKind::kFetchAdd && smem_probe(sm, addr, /*fill=*/true);
           if (smem_hit) {
             ++smem_lanes;
-            const usize bank = static_cast<usize>(addr % config_.smem_banks);
+            const usize bank =
+                bank_mask_ != 0
+                    ? static_cast<usize>(addr & bank_mask_)
+                    : static_cast<usize>(addr % config_.smem_banks);
             max_bank = std::max(max_bank, ++bank_load_[bank]);
+          } else if (kind == OpKind::kFetchAdd) {
+            ++atomic_lanes;  // atomics never coalesce: one transaction each
           } else {
-            segments_.push_back(segment_of(addr));
+            // Distinct-segment collection. At most warp_width entries, so a
+            // linear probe beats sort+unique; consecutive lanes usually share
+            // a segment (coalesced stride), so check the newest entry first.
+            const usize seg = segment_of(addr);
+            if (segments_.empty() || segments_.back() != seg) {
+              bool seen = false;
+              for (const usize s : segments_) {
+                if (s == seg) {
+                  seen = true;
+                  break;
+                }
+              }
+              if (!seen) segments_.push_back(seg);
+            }
           }
-          if (prof_hook_ != nullptr) {
+          if constexpr (Profiled) {
             prof_hook_->on_access(addr,
                                   smem_hit ? AccessClass::kL1Hit
                                   : kind == OpKind::kFetchAdd
@@ -366,15 +464,9 @@ void GpuMachine::handle_issue(u32 sm_id, Cycle now) {
                                   kind != OpKind::kLoad);
           }
         }
-        i64 transactions;
-        if (kind == OpKind::kFetchAdd) {
-          transactions = static_cast<i64>(segments_.size());  // one per lane
-        } else {
-          std::sort(segments_.begin(), segments_.end());
-          transactions = static_cast<i64>(
-              std::unique(segments_.begin(), segments_.end()) -
-              segments_.begin());
-        }
+        const i64 transactions = kind == OpKind::kFetchAdd
+                                     ? atomic_lanes
+                                     : static_cast<i64>(segments_.size());
         // One base slot, then the serialized extra transactions, then the
         // serialized extra bank passes.
         attribute_upto(sm, base_cat, t + 1);
@@ -417,17 +509,16 @@ void GpuMachine::handle_issue(u32 sm_id, Cycle now) {
           }
           ts->instructions += 1;
           ts->memory_ops += 1;
-          ts->status = ThreadState::Status::kWaitMemory;
+          set_status(tid, ThreadState::Status::kWaitMemory);
           ++w.in_flight;
-          ++sm.acct_mem;  // round trip in flight until kComplete
+          ++sm.acct_mem;  // round trip in flight until the batch completion
         }
         // The whole group lands together: its slowest lane's round trip.
         const Cycle done = t + occ +
                            (transactions > 0 ? config_.memory_latency
                                              : config_.smem_latency);
-        for (const u32 tid : group_lanes_) {
-          events_.push(done, kComplete, tid);
-        }
+        events_.push(done, kBatch,
+                     (static_cast<u64>(wid) << 4) | static_cast<u64>(kind));
         t += occ;
         break;
       }
@@ -451,7 +542,7 @@ void GpuMachine::handle_issue(u32 sm_id, Cycle now) {
           Operation& op = ts->pending;
           ts->instructions += 1;
           ts->memory_ops += 1;
-          if (prof_hook_ != nullptr) {
+          if constexpr (Profiled) {
             prof_hook_->on_access(op.addr, AccessClass::kRmw,
                                   kind == OpKind::kWriteEF);
           }
@@ -484,12 +575,12 @@ void GpuMachine::handle_issue(u32 sm_id, Cycle now) {
             if (kind != OpKind::kReadFF) {
               wake_waiters(op.addr, group_end);
             }
-            ts->status = ThreadState::Status::kWaitMemory;
+            set_status(tid, ThreadState::Status::kWaitMemory);
             ++w.in_flight;
             ++sm.acct_mem;
             events_.push(group_end + config_.memory_latency, kComplete, tid);
           } else {
-            ts->status = ThreadState::Status::kWaitSync;
+            set_status(tid, ThreadState::Status::kWaitSync);
             sync_waiters_[op.addr].push_back(tid);
             ++sm.acct_sync;  // parked and masked until a retry succeeds
           }
@@ -569,7 +660,7 @@ void GpuMachine::attempt_sync_retry(u32 tid, Cycle now) {
     if (op.kind != OpKind::kReadFF) {
       wake_waiters(op.addr, now);
     }
-    ts->status = ThreadState::Status::kWaitMemory;
+    set_status(tid, ThreadState::Status::kWaitMemory);
     ++warps_[tid / config_.warp_width].in_flight;
     events_.push(now + config_.memory_latency, kComplete, tid);
   } else {
@@ -593,8 +684,7 @@ void GpuMachine::wake_waiters(Addr addr, Cycle now) {
 }
 
 void GpuMachine::barrier_arrive(u32 tid, Cycle now) {
-  ThreadState* ts = threads_[tid];
-  ts->status = ThreadState::Status::kWaitBarrier;
+  set_status(tid, ThreadState::Status::kWaitBarrier);
   barrier_waiting_.push_back(tid);
   barrier_max_arrival_ = std::max(barrier_max_arrival_, now);
   maybe_release_barrier();
@@ -605,18 +695,23 @@ void GpuMachine::maybe_release_barrier() {
     return;
   }
   const Cycle release = barrier_max_arrival_ + config_.barrier_overhead;
+  // Every live lane is parked here, so at most one release is ever in
+  // flight: resume the whole episode with a single kRelease event instead of
+  // one queue entry per lane. run_events() replays release_buf_ in arrival
+  // order, which is exactly the order the per-lane events popped in.
+  AG_DCHECK(release_buf_.empty(), "overlapping barrier releases");
   for (const u32 tid : barrier_waiting_) {
     threads_[tid]->pending.result = 0;
-    threads_[tid]->status = ThreadState::Status::kWaitMemory;
-    events_.push(release, kComplete, tid);
+    set_status(tid, ThreadState::Status::kWaitMemory);
   }
-  barrier_waiting_.clear();
+  release_buf_.swap(barrier_waiting_);  // leaves barrier_waiting_ empty
+  events_.push(release, kRelease, 0);
   barrier_max_arrival_ = 0;
   stats_.barriers += 1;
   // Settle the accounting up to the release before observers snapshot
   // stats(): every live lane is parked here (nothing is in flight), so the
   // per-phase breakdown deltas slice exactly at barrier boundaries. The
-  // release kComplete events settle no-op and drop the barrier counters.
+  // release event's completions settle no-op and drop the barrier counters.
   for (Sm& sm : sms_) {
     settle(sm, release);
   }
@@ -642,6 +737,7 @@ void GpuMachine::sample_prof_gauges(i64* out) const {
   // machine is idle then, so zero is also the true value).
   i64 ready = 0;
   i64 resident = 0;
+  i64 outstanding = 0;
   usize i = 0;
   for (u32 p = 0; p < config_.processors; ++p) {
     if (p < sms_.size()) {
@@ -649,25 +745,12 @@ void GpuMachine::sample_prof_gauges(i64* out) const {
       out[i++] = sm.issued;
       ready += static_cast<i64>(sm.ready_fifo.size());
       resident += sm.resident;
+      // acct_mem counts exactly the lanes in kWaitMemory on a global or
+      // satisfied-sync round trip (compute occupancy and barrier releases
+      // are charged elsewhere), so summing it replaces the per-thread walk.
+      outstanding += sm.acct_mem;
     } else {
       out[i++] = 0;
-    }
-  }
-  i64 outstanding = 0;
-  for (const ThreadState* ts : threads_) {
-    if (ts->status == ThreadState::Status::kWaitMemory) {
-      switch (ts->pending.kind) {
-        case OpKind::kLoad:
-        case OpKind::kStore:
-        case OpKind::kFetchAdd:
-        case OpKind::kReadFF:
-        case OpKind::kReadFE:
-        case OpKind::kWriteEF:
-          ++outstanding;
-          break;
-        default:
-          break;  // compute occupancy / barrier release are not memory refs
-      }
     }
   }
   out[i++] = ready;
@@ -676,8 +759,7 @@ void GpuMachine::sample_prof_gauges(i64* out) const {
 }
 
 void GpuMachine::on_finish(u32 tid, Cycle now) {
-  ThreadState* ts = threads_[tid];
-  ts->status = ThreadState::Status::kFinished;
+  set_status(tid, ThreadState::Status::kFinished);
   --live_;
   region_end_ = std::max(region_end_, now);
   Warp& w = warps_[tid / config_.warp_width];
@@ -689,9 +771,7 @@ void GpuMachine::on_finish(u32 tid, Cycle now) {
     Sm& sm = sms_[w.sm];
     --sm.resident;
     if (!sm.admission_queue.empty()) {
-      const u32 next = sm.admission_queue.front();
-      sm.admission_queue.pop_front();
-      admit_warp(next, now);
+      admit_warp(sm.admission_queue.pop(), now);
     }
   } else {
     // This lane's completion may have been the flight the rest of the warp

@@ -60,6 +60,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/machine.hpp"
+#include "sim/ring.hpp"
 
 namespace archgraph::sim {
 
@@ -118,13 +119,18 @@ class GpuMachine final : public Machine {
   void sample_prof_gauges(i64* out) const override;
 
  protected:
-  Cycle simulate(std::vector<std::unique_ptr<ThreadState>>& threads) override;
+  Cycle simulate(std::vector<ThreadState*>& threads) override;
 
  private:
-  enum EventKind : u32 { kIssue, kComplete, kRetry };
+  // kBatch resumes a whole issue group (payload = warp id << 4 | OpKind) with
+  // one event instead of one per lane; kRelease resumes a barrier episode
+  // from release_buf_. Both replay their lanes in ascending-tid order, which
+  // is exactly the order the per-lane events used to pop in.
+  enum EventKind : u32 { kIssue, kComplete, kRetry, kBatch, kRelease };
 
   struct Warp {
-    std::vector<u32> members;  // lane order = ascending thread id
+    u32 first = 0;  // member lanes are the consecutive tids [first, last)
+    u32 last = 0;
     u32 sm = 0;
     u32 live = 0;       // members not yet finished
     u32 in_flight = 0;  // lanes with an op in flight (blocks the next issue)
@@ -133,8 +139,8 @@ class GpuMachine final : public Machine {
   };
 
   struct Sm {
-    std::deque<u32> ready_fifo;      // warp ids ready to issue (round-robin)
-    std::deque<u32> admission_queue; // warps waiting for a resident slot
+    RingView ready_fifo;       // warp ids ready to issue (round-robin)
+    RingView admission_queue;  // warps waiting for a resident slot
     u32 resident = 0;
     bool issue_scheduled = false;
     Cycle clock = 0;  // next cycle this SM's issue/LSU pipe is free
@@ -152,8 +158,15 @@ class GpuMachine final : public Machine {
   };
 
   // Per-region simulation helpers (operate on region_ state).
+  /// The event loop, instantiated once with the per-pop profiler call and
+  /// once without, so unprofiled runs pay no per-event null test.
+  template <bool Profiled>
+  void run_events();
   void admit_warp(u32 wid, Cycle now);
   void maybe_enqueue_warp(u32 wid, Cycle now);
+  /// Instantiated per profiling mode by run_events so the per-lane heatmap
+  /// hook calls compile out of unprofiled runs entirely.
+  template <bool Profiled>
   void handle_issue(u32 sm_id, Cycle now);
   void post_advance(u32 tid, Cycle now);
   void on_finish(u32 tid, Cycle now);
@@ -176,17 +189,33 @@ class GpuMachine final : public Machine {
   /// (loads/stores only; misses fill the slot).
   bool smem_probe(Sm& sm, Addr addr, bool fill);
   usize segment_of(Addr addr) const {
+    // validate() guarantees mem_seg_bytes is word-aligned, so the quotient
+    // form equals the byte form; pow2 geometry (every stock preset) turns
+    // the per-lane divide into a shift.
+    if (seg_pow2_) {
+      return static_cast<usize>(addr >> seg_shift_);
+    }
     return static_cast<usize>(addr * kWordBytes / config_.mem_seg_bytes);
   }
 
   GpuConfig config_;
 
+  // Precomputed address-map geometry (constructor): pow2 segment/bank/slot
+  // counts — every stock preset — compile the three per-lane divides in the
+  // issue path down to shifts and masks.
+  bool seg_pow2_ = false;
+  u32 seg_shift_ = 0;
+  u32 bank_mask_ = 0;  // smem_banks - 1 when pow2, else 0 (use modulo)
+  u32 smem_mask_ = 0;  // smem_words - 1 when pow2, else 0 (use modulo)
+
   // Region-scoped state (reset by simulate()).
   std::vector<ThreadState*> threads_;
   std::vector<Sm> sms_;
   std::vector<Warp> warps_;
+  std::vector<u32> ring_arena_;  // backs every SM's two rings
   std::unordered_map<Addr, std::deque<u32>> sync_waiters_;
   std::vector<u32> barrier_waiting_;
+  std::vector<u32> release_buf_;  // lanes resumed by the pending kRelease
   Cycle barrier_max_arrival_ = 0;
   i64 live_ = 0;
   Cycle region_end_ = 0;

@@ -7,10 +7,12 @@ namespace {
 /// Destroys all coroutine frames even if simulate() threw. Only the root
 /// (kernel) frame is destroyed explicitly: suspended SimTask helpers live in
 /// SimTask members of their parent frames and are torn down by the cascade.
+/// The ThreadState control blocks themselves stay in the arena; their slots
+/// recycle when the next region's spawns reuse the same indices.
 struct FrameGuard {
-  std::vector<std::unique_ptr<ThreadState>>* threads;
+  std::vector<ThreadState*>* threads;
   ~FrameGuard() {
-    for (auto& t : *threads) {
+    for (ThreadState* t : *threads) {
       if (t->root) {
         t->root.destroy();
         t->root = nullptr;
@@ -24,7 +26,7 @@ struct FrameGuard {
 }  // namespace
 
 Machine::~Machine() {
-  for (auto& t : pending_) {
+  for (ThreadState* t : pending_) {
     if (t->root) {
       t->root.destroy();
     }
@@ -33,9 +35,16 @@ Machine::~Machine() {
 
 void Machine::run_region() {
   AG_CHECK(!pending_.empty(), "run_region() with no spawned threads");
-  std::vector<std::unique_ptr<ThreadState>> threads = std::move(pending_);
+  std::vector<ThreadState*> threads = std::move(pending_);
   pending_.clear();
   FrameGuard guard{&threads};
+
+  // Fresh SoA scheduling mirrors for this region's threads. Every thread
+  // starts runnable with its first operation still unknown (the machines
+  // advance each thread once at admission).
+  thread_status_.assign(threads.size(),
+                        static_cast<u8>(ThreadState::Status::kRunnable));
+  pending_kind_.assign(threads.size(), static_cast<u8>(OpKind::kNone));
 
   if (observer_ != nullptr) {
     observer_->on_region_begin(*this);
@@ -72,7 +81,7 @@ void Machine::run_region() {
     observer_->on_region_end(*this);
   }
   for (const auto& t : threads) {
-    AG_CHECK(t->status == ThreadState::Status::kFinished,
+    AG_CHECK(status_of(t->id) == ThreadState::Status::kFinished,
              "simulate() left a thread unfinished");
   }
   for (const auto& t : threads) {

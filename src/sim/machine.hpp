@@ -135,16 +135,29 @@ class Machine {
 
   /// Queues a kernel coroutine for the next region. `f(ctx, args...)` must
   /// return SimThread. Arguments are copied into the coroutine frame.
+  ///
+  /// Control blocks live in a chunked arena indexed by spawn order, so
+  /// consecutive thread ids are adjacent in host memory: the event loops'
+  /// per-thread accesses (a warp's lanes, a processor's streams) walk
+  /// contiguous ThreadStates instead of chasing pointers to pool-recycled
+  /// blocks. Chunks are never freed or moved (coroutine frames hold
+  /// ThreadState pointers), and recycle by index between regions.
   template <typename F, typename... Args>
   void spawn(F&& f, Args&&... args) {
-    auto state = std::make_unique<ThreadState>();
-    state->id = static_cast<u32>(pending_.size());
-    Ctx ctx{state.get()};
+    const usize tid = pending_.size();
+    const usize chunk = tid / kStateChunk;
+    if (chunk == state_arena_.size()) {
+      state_arena_.push_back(std::make_unique<ThreadState[]>(kStateChunk));
+    }
+    ThreadState* state = &state_arena_[chunk][tid % kStateChunk];
+    *state = ThreadState{};
+    state->id = static_cast<u32>(tid);
+    Ctx ctx{state};
     SimThread thread =
         std::invoke(std::forward<F>(f), ctx, std::forward<Args>(args)...);
-    state->handle = thread.bind(state.get());
+    state->handle = thread.bind(state);
     state->root = state->handle;
-    pending_.push_back(std::move(state));
+    pending_.push_back(state);
   }
 
   /// Simulates all spawned threads to completion; accumulates cycles and
@@ -198,19 +211,49 @@ class Machine {
   }
 
   /// Machine-specific simulation of one region. `threads` are freshly bound
-  /// coroutines suspended before their first operation. Must return the
-  /// region's span in cycles and leave every thread Finished.
-  virtual Cycle simulate(std::vector<std::unique_ptr<ThreadState>>& threads) = 0;
+  /// coroutines suspended before their first operation, indexed by thread
+  /// id. Must return the region's span in cycles and leave every thread
+  /// Finished.
+  virtual Cycle simulate(std::vector<ThreadState*>& threads) = 0;
+
+  // --- structure-of-arrays scheduling state, indexed by region-local tid ---
+  // The event loops scan status and pending-op kind (warp readiness checks,
+  // divergence grouping, gauge sampling); keeping them as dense u8 arrays
+  // makes those scans sequential byte reads instead of a pointer chase into
+  // each thread's control block. run_region() sizes both before simulate().
+
+  ThreadState::Status status_of(u32 tid) const {
+    return static_cast<ThreadState::Status>(thread_status_[tid]);
+  }
+  void set_status(u32 tid, ThreadState::Status s) {
+    thread_status_[tid] = static_cast<u8>(s);
+  }
+  OpKind pending_kind(u32 tid) const {
+    return static_cast<OpKind>(pending_kind_[tid]);
+  }
+  /// Resumes the thread's coroutine and refreshes its pending-kind mirror —
+  /// the machines' only advance path during simulation.
+  void advance_thread(ThreadState& ts) {
+    ts.advance();
+    pending_kind_[ts.id] = static_cast<u8>(ts.pending.kind);
+  }
 
   SimMemory memory_;
   MachineStats stats_;
+  std::vector<u8> thread_status_;  // ThreadState::Status per tid
+  std::vector<u8> pending_kind_;   // OpKind of each thread's pending op
   /// Read directly by the machine models' event loops and memory paths (the
   /// per-event/per-access hot paths), so it lives here rather than behind a
   /// notify helper: unprofiled runs pay exactly one null test per site.
   ProfHook* prof_hook_ = nullptr;
 
  private:
-  std::vector<std::unique_ptr<ThreadState>> pending_;
+  static constexpr usize kStateChunk = 4096;
+
+  /// Stable backing store for ThreadStates (see spawn()). unique_ptr<T[]>
+  /// chunks: addresses never move, slots recycle by index across regions.
+  std::vector<std::unique_ptr<ThreadState[]>> state_arena_;
+  std::vector<ThreadState*> pending_;
   std::vector<RegionRecord> region_log_;
   RegionObserver* observer_ = nullptr;
 };

@@ -88,26 +88,41 @@ void MtaMachine::acct_complete(u32 tid, Cycle now) {
 
 usize MtaMachine::bank_of(Addr addr) const {
   const usize banks = bank_free_.size();
-  if (config_.hash_addresses) {
-    return static_cast<usize>(hash64(addr) % banks);
+  const u64 key = config_.hash_addresses ? hash64(addr) : addr;
+  // Banks are procs x banks_per_processor; when that product is a power of
+  // two (every stock preset) the modulo is a mask — the hot path runs one
+  // integer divide per memory op otherwise.
+  if ((banks & (banks - 1)) == 0) {
+    return static_cast<usize>(key & (banks - 1));
   }
-  // Unhashed ablation: interleave words round-robin over banks, the classic
-  // layout in which power-of-two strides collide.
-  return static_cast<usize>(addr % banks);
+  return static_cast<usize>(key % banks);
 }
 
-Cycle MtaMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
+Cycle MtaMachine::simulate(std::vector<ThreadState*>& threads) {
   // --- reset region state -------------------------------------------------
-  threads_.clear();
-  threads_.reserve(threads.size());
-  for (auto& t : threads) {
-    threads_.push_back(t.get());
-  }
+  threads_ = threads;
   procs_.assign(config_.processors, Processor{});
+  // Flat ring arena: each processor gets two power-of-two windows (ready,
+  // admission). Round-robin admission bounds both queues by the processor's
+  // thread share, and a thread is enqueued at most once at a time, so the
+  // windows never overflow. Growth (never shrink) keeps the arena warm
+  // across a sweep's repeated regions — zero steady-state allocation.
+  const u32 cap = ring_capacity_for(
+      (threads_.size() + config_.processors - 1) / config_.processors);
+  const usize arena_need = static_cast<usize>(cap) * 2 * config_.processors;
+  if (ring_arena_.size() < arena_need) {
+    ring_arena_.resize(arena_need);
+  }
+  for (u32 p = 0; p < config_.processors; ++p) {
+    u32* base = ring_arena_.data() + static_cast<usize>(p) * 2 * cap;
+    procs_[p].ready_fifo.bind(base, cap);
+    procs_[p].admission_queue.bind(base + cap, cap);
+  }
   bank_free_.assign(
       static_cast<usize>(config_.banks_per_processor) * config_.processors, 0);
   sync_waiters_.clear();
   barrier_waiting_.clear();
+  release_buf_.clear();
   barrier_max_arrival_ = 0;
   live_ = static_cast<i64>(threads_.size());
   region_end_ = 0;
@@ -122,38 +137,18 @@ Cycle MtaMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
     Processor& proc = procs_[ts->processor];
     if (proc.streams_in_use < config_.streams_per_processor) {
       ++proc.streams_in_use;
-      ts->advance();
+      advance_thread(*ts);
       post_advance(tid, config_.region_fork_cycles);
     } else {
-      proc.admission_queue.push_back(tid);
+      proc.admission_queue.push(tid);
     }
   }
 
   // --- main event loop ----------------------------------------------------
-  while (!events_.empty()) {
-    const Event e = events_.pop();
-    if (prof_hook_ != nullptr) {
-      prof_hook_->on_advance(*this, e.time);
-    }
-    switch (static_cast<EventKind>(e.kind)) {
-      case kReady:
-        on_ready(static_cast<u32>(e.payload), e.time);
-        break;
-      case kIssue:
-        handle_issue(static_cast<u32>(e.payload), e.time);
-        break;
-      case kComplete: {
-        const auto tid = static_cast<u32>(e.payload);
-        acct_complete(tid, e.time);
-        threads_[tid]->advance();
-        post_advance(tid, e.time);
-        break;
-      }
-      case kRetry:
-        attempt_sync(static_cast<u32>(e.payload), e.time,
-                     /*first_attempt=*/false);
-        break;
-    }
+  if (prof_hook_ != nullptr) {
+    run_events<true>();
+  } else {
+    run_events<false>();
   }
 
   AG_CHECK(live_ == 0,
@@ -181,12 +176,55 @@ Cycle MtaMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
   return region_end_;
 }
 
+template <bool Profiled>
+void MtaMachine::run_events() {
+  while (!events_.empty()) {
+    const Event e = events_.pop();
+    if constexpr (Profiled) {
+      prof_hook_->on_advance(*this, e.time);
+    }
+    switch (static_cast<EventKind>(e.kind)) {
+      case kReady:
+        on_ready(static_cast<u32>(e.payload), e.time);
+        break;
+      case kIssue:
+        handle_issue(static_cast<u32>(e.payload), e.time);
+        break;
+      case kComplete: {
+        const auto tid = static_cast<u32>(e.payload);
+        acct_complete(tid, e.time);
+        advance_thread(*threads_[tid]);
+        post_advance(tid, e.time);
+        break;
+      }
+      case kRetry:
+        attempt_sync(static_cast<u32>(e.payload), e.time,
+                     /*first_attempt=*/false);
+        break;
+      case kRelease:
+        // A barrier-release storm batched into one event: resume every
+        // parked stream in arrival order. The per-thread kComplete events
+        // this replaces were pushed back-to-back (consecutive seqs at one
+        // time), so nothing could ever pop between them — processing the
+        // whole storm in one handler is pop-order-identical.
+        for (usize i = 0; i < release_buf_.size(); ++i) {
+          const u32 tid = release_buf_[i];
+          acct_complete(tid, e.time);
+          advance_thread(*threads_[tid]);
+          post_advance(tid, e.time);
+        }
+        release_buf_.clear();
+        break;
+    }
+  }
+}
+
 void MtaMachine::post_advance(u32 tid, Cycle now) {
   ThreadState* ts = threads_[tid];
   if (ts->pending.kind == OpKind::kDone) {
     on_finish(tid, now);
   } else {
-    ts->status = ThreadState::Status::kRunnable;
+    set_status(tid, ThreadState::Status::kRunnable);
     events_.push(now, kReady, tid);
   }
 }
@@ -194,7 +232,7 @@ void MtaMachine::post_advance(u32 tid, Cycle now) {
 void MtaMachine::on_ready(u32 tid, Cycle now) {
   ThreadState* ts = threads_[tid];
   Processor& proc = procs_[ts->processor];
-  proc.ready_fifo.push_back(tid);
+  proc.ready_fifo.push(tid);
   if (!proc.issue_scheduled) {
     proc.issue_scheduled = true;
     events_.push(std::max(now, proc.clock), kIssue, ts->processor);
@@ -207,8 +245,7 @@ void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
     proc.issue_scheduled = false;
     return;
   }
-  const u32 tid = proc.ready_fifo.front();
-  proc.ready_fifo.pop_front();
+  const u32 tid = proc.ready_fifo.pop();
   ThreadState* ts = threads_[tid];
   Operation& op = ts->pending;
 
@@ -224,7 +261,7 @@ void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
       proc.issued += slots;
       ts->instructions += slots;
       acct_issue(proc);
-      ts->status = ThreadState::Status::kWaitMemory;  // occupied until t+slots
+      set_status(tid, ThreadState::Status::kWaitMemory);  // held until t+slots
       events_.push(proc.clock, kComplete, tid);
       break;
     }
@@ -242,7 +279,7 @@ void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
       if (op.kind == OpKind::kLoad) ++stats_.loads;
       if (op.kind == OpKind::kStore) ++stats_.stores;
       if (op.kind == OpKind::kFetchAdd) ++stats_.fetch_adds;
-      ts->status = ThreadState::Status::kWaitMemory;
+      set_status(tid, ThreadState::Status::kWaitMemory);
       events_.push(service_memory(op, now, ts->processor), kComplete, tid);
       break;
     }
@@ -257,7 +294,7 @@ void MtaMachine::handle_issue(u32 proc_id, Cycle now) {
       ts->instructions += 1;
       ts->memory_ops += 1;
       acct_issue(proc);
-      ts->status = ThreadState::Status::kWaitMemory;
+      set_status(tid, ThreadState::Status::kWaitMemory);
       attempt_sync(tid, now + 1 + net_half_, /*first_attempt=*/true);
       break;
     }
@@ -390,10 +427,10 @@ void MtaMachine::attempt_sync(u32 tid, Cycle arrival, bool first_attempt) {
     if (op.kind != OpKind::kReadFF) {
       wake_waiters(op.addr, start + 1);
     }
-    ts->status = ThreadState::Status::kWaitMemory;
+    set_status(tid, ThreadState::Status::kWaitMemory);
     events_.push(start + 1 + net_half_ + extra, kComplete, tid);
   } else {
-    ts->status = ThreadState::Status::kWaitSync;
+    set_status(tid, ThreadState::Status::kWaitSync);
     sync_waiters_[op.addr].push_back(tid);
   }
 }
@@ -414,8 +451,7 @@ void MtaMachine::wake_waiters(Addr addr, Cycle now) {
 }
 
 void MtaMachine::barrier_arrive(u32 tid, Cycle now) {
-  ThreadState* ts = threads_[tid];
-  ts->status = ThreadState::Status::kWaitBarrier;
+  set_status(tid, ThreadState::Status::kWaitBarrier);
   barrier_waiting_.push_back(tid);
   barrier_max_arrival_ = std::max(barrier_max_arrival_, now);
   maybe_release_barrier();
@@ -426,12 +462,17 @@ void MtaMachine::maybe_release_barrier() {
     return;
   }
   const Cycle release = barrier_max_arrival_ + config_.barrier_overhead;
+  // Every live stream is parked here, so at most one release is ever in
+  // flight: resume the whole episode with a single kRelease event instead of
+  // one queue entry per stream. run_events() replays release_buf_ in arrival
+  // order, which is exactly the order the per-stream events popped in.
+  AG_DCHECK(release_buf_.empty(), "overlapping barrier releases");
   for (const u32 tid : barrier_waiting_) {
     threads_[tid]->pending.result = 0;
-    threads_[tid]->status = ThreadState::Status::kWaitMemory;
-    events_.push(release, kComplete, tid);
+    set_status(tid, ThreadState::Status::kWaitMemory);
   }
-  barrier_waiting_.clear();
+  release_buf_.swap(barrier_waiting_);  // leaves barrier_waiting_ empty
+  events_.push(release, kRelease, 0);
   barrier_max_arrival_ = 0;
   stats_.barriers += 1;
   // Settle the accounting up to the release before observers snapshot
@@ -463,6 +504,7 @@ void MtaMachine::sample_prof_gauges(i64* out) const {
   // machine is idle then, so zero is also the true value).
   i64 ready = 0;
   i64 in_use = 0;
+  i64 outstanding = 0;
   usize i = 0;
   for (u32 p = 0; p < config_.processors; ++p) {
     if (p < procs_.size()) {
@@ -470,25 +512,12 @@ void MtaMachine::sample_prof_gauges(i64* out) const {
       out[i++] = proc.issued;
       ready += static_cast<i64>(proc.ready_fifo.size());
       in_use += proc.streams_in_use;
+      // acct_mem counts exactly the streams in kWaitMemory on a memory or
+      // satisfied-sync round trip (compute occupancy and barrier releases are
+      // charged elsewhere), so summing it replaces the per-thread walk.
+      outstanding += proc.acct_mem;
     } else {
       out[i++] = 0;
-    }
-  }
-  i64 outstanding = 0;
-  for (const ThreadState* ts : threads_) {
-    if (ts->status == ThreadState::Status::kWaitMemory) {
-      switch (ts->pending.kind) {
-        case OpKind::kLoad:
-        case OpKind::kStore:
-        case OpKind::kFetchAdd:
-        case OpKind::kReadFF:
-        case OpKind::kReadFE:
-        case OpKind::kWriteEF:
-          ++outstanding;
-          break;
-        default:
-          break;  // compute occupancy / barrier release are not memory refs
-      }
     }
   }
   out[i++] = ready;
@@ -497,15 +526,13 @@ void MtaMachine::sample_prof_gauges(i64* out) const {
 }
 
 void MtaMachine::on_finish(u32 tid, Cycle now) {
-  ThreadState* ts = threads_[tid];
-  ts->status = ThreadState::Status::kFinished;
+  set_status(tid, ThreadState::Status::kFinished);
   --live_;
   region_end_ = std::max(region_end_, now);
-  Processor& proc = procs_[ts->processor];
+  Processor& proc = procs_[threads_[tid]->processor];
   if (!proc.admission_queue.empty()) {
-    const u32 next = proc.admission_queue.front();
-    proc.admission_queue.pop_front();
-    threads_[next]->advance();
+    const u32 next = proc.admission_queue.pop();
+    advance_thread(*threads_[next]);
     post_advance(next, now);
   } else {
     --proc.streams_in_use;

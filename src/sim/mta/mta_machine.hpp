@@ -35,6 +35,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/machine.hpp"
+#include "sim/ring.hpp"
 
 namespace archgraph::sim {
 
@@ -93,14 +94,14 @@ class MtaMachine final : public Machine {
   void sample_prof_gauges(i64* out) const override;
 
  protected:
-  Cycle simulate(std::vector<std::unique_ptr<ThreadState>>& threads) override;
+  Cycle simulate(std::vector<ThreadState*>& threads) override;
 
  private:
-  enum EventKind : u32 { kReady, kIssue, kComplete, kRetry };
+  enum EventKind : u32 { kReady, kIssue, kComplete, kRetry, kRelease };
 
   struct Processor {
-    std::deque<u32> ready_fifo;
-    std::deque<u32> admission_queue;  // threads waiting for a stream slot
+    RingView ready_fifo;       // window of MtaMachine::ring_arena_
+    RingView admission_queue;  // threads waiting for a stream slot
     u32 streams_in_use = 0;
     bool issue_scheduled = false;
     Cycle clock = 0;   // next cycle this processor may issue
@@ -115,6 +116,10 @@ class MtaMachine final : public Machine {
   };
 
   // Per-region simulation helpers (operate on region_ state).
+  /// The event loop, instantiated once with the per-pop profiler call and
+  /// once without, so unprofiled runs pay no per-event null test.
+  template <bool Profiled>
+  void run_events();
   void on_ready(u32 tid, Cycle now);
   void handle_issue(u32 proc, Cycle now);
   void post_advance(u32 tid, Cycle now);
@@ -146,9 +151,11 @@ class MtaMachine final : public Machine {
   // Region-scoped state (reset by simulate()).
   std::vector<ThreadState*> threads_;
   std::vector<Processor> procs_;
+  std::vector<u32> ring_arena_;  // backs every processor's two rings
   std::vector<Cycle> bank_free_;
   std::unordered_map<Addr, std::deque<u32>> sync_waiters_;
   std::vector<u32> barrier_waiting_;
+  std::vector<u32> release_buf_;  // threads resumed by the pending kRelease
   Cycle barrier_max_arrival_ = 0;
   i64 live_ = 0;
   Cycle region_end_ = 0;

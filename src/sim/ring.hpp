@@ -1,0 +1,81 @@
+// Flat-arena FIFO rings for the machine models' scheduler queues.
+//
+// Every per-processor ready/admission FIFO in the three machine backends is
+// a queue of small integer ids (thread, warp) with a membership invariant:
+// an id is enqueued at most once at a time (a thread re-enters the ready
+// FIFO only after its previous entry was dispatched and its next operation
+// completed). That bounds each queue's occupancy by the number of ids
+// round-robin-assigned to its processor, so all of a machine's queues can
+// live as fixed windows of ONE flat arena sized once per region — zero
+// steady-state allocation in the event loop, and clearing between regions
+// is an index reset, never a deallocation.
+//
+// RingView does not own storage: it holds a pointer into the machine's
+// arena (a std::vector<u32> that is sized before any view is bound and not
+// resized while views are live) plus a power-of-two wrap mask. push/pop are
+// a store/load plus an increment — no branch, no capacity growth. Debug
+// builds check overflow (a violated membership invariant) and underflow.
+#pragma once
+
+#include <bit>
+
+#include "common/check.hpp"
+#include "sim/types.hpp"
+
+namespace archgraph::sim {
+
+class RingView {
+ public:
+  RingView() = default;
+
+  /// Binds the view to `capacity` (a power of two) slots starting at
+  /// `slots`, and empties it. The storage must stay put while bound.
+  void bind(u32* slots, u32 capacity) {
+    AG_DCHECK(capacity > 0 && std::has_single_bit(capacity),
+              "RingView capacity must be a power of two");
+    slots_ = slots;
+    mask_ = capacity - 1;
+    head_ = 0;
+    tail_ = 0;
+  }
+
+  /// Clear-by-index: forgets the contents without touching the arena.
+  void clear() {
+    head_ = 0;
+    tail_ = 0;
+  }
+
+  bool empty() const { return head_ == tail_; }
+  u32 size() const { return tail_ - head_; }
+
+  void push(u32 v) {
+    AG_DCHECK(size() <= mask_, "RingView overflow: membership bound violated");
+    slots_[tail_++ & mask_] = v;
+  }
+
+  u32 front() const {
+    AG_DCHECK(!empty(), "RingView::front() on an empty ring");
+    return slots_[head_ & mask_];
+  }
+
+  u32 pop() {
+    AG_DCHECK(!empty(), "RingView::pop() on an empty ring");
+    return slots_[head_++ & mask_];
+  }
+
+ private:
+  u32* slots_ = nullptr;
+  u32 mask_ = 0;
+  // Free-running indices (wrap via mask_): size stays correct across u32
+  // wraparound because the difference is taken in modular arithmetic.
+  u32 head_ = 0;
+  u32 tail_ = 0;
+};
+
+/// Smallest power of two >= max(n, 1), as a u32 (ring capacities are far
+/// below 2^31 — a region's queues are bounded by its thread count).
+inline u32 ring_capacity_for(usize n) {
+  return static_cast<u32>(std::bit_ceil(n | 1));
+}
+
+}  // namespace archgraph::sim

@@ -72,16 +72,25 @@ SmpMachine::SmpMachine(SmpConfig config) : config_(config) {
   }
 }
 
-Cycle SmpMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
-  threads_.clear();
-  threads_.reserve(threads.size());
-  for (auto& t : threads) {
-    threads_.push_back(t.get());
-  }
+Cycle SmpMachine::simulate(std::vector<ThreadState*>& threads) {
+  threads_ = threads;
   // Caches and the directory stay warm across regions (phases of one
   // algorithm see each other's cached data); per-region clocks restart.
+  // Flat ring arena: one power-of-two ready window per processor. Threads
+  // map round-robin, so each ring holds at most the processor's thread
+  // share (a thread is either running or queued, never both). Grow-only,
+  // so repeated regions reuse the arena.
+  const u32 cap = ring_capacity_for(
+      (threads_.size() + config_.processors - 1) / config_.processors);
+  const usize arena_need = static_cast<usize>(cap) * config_.processors;
+  if (ring_arena_.size() < arena_need) {
+    ring_arena_.resize(arena_need);
+  }
+  for (u32 p = 0; p < config_.processors; ++p) {
+    procs_[p].ready_fifo.bind(
+        ring_arena_.data() + static_cast<usize>(p) * cap, cap);
+  }
   for (auto& proc : procs_) {
-    proc.ready_fifo.clear();
     proc.running = kNone;
     proc.last_ran = kNone;
     proc.dispatch_scheduled = false;
@@ -105,7 +114,7 @@ Cycle SmpMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
     ThreadState* ts = threads_[tid];
     ts->processor = tid % config_.processors;
     ++assigned[ts->processor];
-    ts->advance();
+    advance_thread(*ts);
     if (ts->pending.kind == OpKind::kDone) {
       on_finish(tid, config_.region_fork_cycles);
     } else {
@@ -116,19 +125,10 @@ Cycle SmpMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
     procs_[i].oversubscribed = assigned[i] > 1;
   }
 
-  while (!events_.empty()) {
-    const Event e = events_.pop();
-    if (prof_hook_ != nullptr) {
-      prof_hook_->on_advance(*this, e.time);
-    }
-    switch (static_cast<EventKind>(e.kind)) {
-      case kDispatch:
-        handle_dispatch(static_cast<u32>(e.payload), e.time);
-        break;
-      case kWake:
-        enqueue_ready(static_cast<u32>(e.payload), e.time);
-        break;
-    }
+  if (prof_hook_ != nullptr) {
+    run_events<true>();
+  } else {
+    run_events<false>();
   }
 
   AG_CHECK(live_ == 0,
@@ -143,6 +143,24 @@ Cycle SmpMachine::simulate(std::vector<std::unique_ptr<ThreadState>>& threads) {
   // pointers so nothing sampled between regions can dereference freed state.
   threads_.clear();
   return region_end_;
+}
+
+template <bool Profiled>
+void SmpMachine::run_events() {
+  while (!events_.empty()) {
+    const Event e = events_.pop();
+    if constexpr (Profiled) {
+      prof_hook_->on_advance(*this, e.time);
+    }
+    switch (static_cast<EventKind>(e.kind)) {
+      case kDispatch:
+        handle_dispatch(static_cast<u32>(e.payload), e.time);
+        break;
+      case kWake:
+        enqueue_ready(static_cast<u32>(e.payload), e.time);
+        break;
+    }
+  }
 }
 
 void SmpMachine::settle(Processor& proc, Cycle t) {
@@ -167,16 +185,16 @@ void SmpMachine::enqueue_ready(u32 tid, Cycle now) {
   Processor& park_proc = procs_[ts->processor];
   // A wake ends the thread's park episode: classify the gap up to `now`
   // under the old counters, then release them.
-  if (ts->status == ThreadState::Status::kWaitSync) {
+  if (status_of(tid) == ThreadState::Status::kWaitSync) {
     settle(park_proc, now);
     --park_proc.acct_sync;
-  } else if (ts->status == ThreadState::Status::kWaitBarrier) {
+  } else if (status_of(tid) == ThreadState::Status::kWaitBarrier) {
     settle(park_proc, now);
     --park_proc.acct_barrier;
   }
-  ts->status = ThreadState::Status::kRunnable;
+  set_status(tid, ThreadState::Status::kRunnable);
   Processor& proc = procs_[ts->processor];
-  proc.ready_fifo.push_back(tid);
+  proc.ready_fifo.push(tid);
   if (!proc.dispatch_scheduled) {
     proc.dispatch_scheduled = true;
     events_.push(std::max(now, proc.clock), kDispatch, ts->processor);
@@ -190,8 +208,7 @@ void SmpMachine::handle_dispatch(u32 proc_id, Cycle now) {
       proc.dispatch_scheduled = false;
       return;
     }
-    proc.running = proc.ready_fifo.front();
-    proc.ready_fifo.pop_front();
+    proc.running = proc.ready_fifo.pop();
     if (proc.oversubscribed && proc.last_ran != kNone &&
         proc.last_ran != proc.running) {
       settle(proc, std::max(proc.clock, now));
@@ -228,7 +245,7 @@ void SmpMachine::handle_dispatch(u32 proc_id, Cycle now) {
 
   proc.clock = completion;
   proc.quantum_used += completion - start;
-  ts->advance();
+  advance_thread(*ts);
 
   if (ts->pending.kind == OpKind::kDone) {
     on_finish(tid, completion);
@@ -242,7 +259,7 @@ void SmpMachine::handle_dispatch(u32 proc_id, Cycle now) {
   }
 
   if (proc.quantum_used >= config_.quantum && !proc.ready_fifo.empty()) {
-    proc.ready_fifo.push_back(tid);
+    proc.ready_fifo.push(tid);
     proc.running = kNone;
   }
   events_.push(completion, kDispatch, proc_id);
@@ -499,7 +516,7 @@ Cycle SmpMachine::execute_op(u32 tid, Cycle start) {
         }
         return probe_end;
       }
-      ts->status = ThreadState::Status::kWaitSync;
+      set_status(tid, ThreadState::Status::kWaitSync);
       ++proc.acct_sync;  // idle until the wake now reads as rmw_spin
       sync_waiters_[op.addr].push_back(tid);
       proc.clock = probe_end;  // the failed probe still held the processor
@@ -542,7 +559,7 @@ void SmpMachine::wake_sync_waiters(Addr addr, Cycle now) {
 }
 
 void SmpMachine::barrier_arrive(u32 tid, Cycle arrival) {
-  threads_[tid]->status = ThreadState::Status::kWaitBarrier;
+  set_status(tid, ThreadState::Status::kWaitBarrier);
   barrier_waiting_.emplace_back(tid, arrival);
   barrier_max_arrival_ = std::max(barrier_max_arrival_, arrival);
   maybe_release_barrier();
@@ -571,7 +588,7 @@ void SmpMachine::maybe_release_barrier() {
     procs_[threads_[tid]->processor].barrier_wait += release - arrival;
     ThreadState* ts = threads_[tid];
     ts->pending.result = 0;
-    ts->advance();  // step past the barrier; next op runs when dispatched
+    advance_thread(*ts);  // step past the barrier; next op runs at dispatch
     if (ts->pending.kind == OpKind::kDone) {
       on_finish(tid, release);
     } else {
@@ -604,12 +621,12 @@ void SmpMachine::on_finish(u32 tid, Cycle now) {
   // A thread whose coroutine ends right after a barrier finishes at the
   // release without passing through enqueue_ready(); release its park
   // counter here so the processor's later gaps read as plain idle.
-  if (ts->status == ThreadState::Status::kWaitBarrier) {
+  if (status_of(tid) == ThreadState::Status::kWaitBarrier) {
     Processor& proc = procs_[ts->processor];
     settle(proc, now);
     --proc.acct_barrier;
   }
-  ts->status = ThreadState::Status::kFinished;
+  set_status(tid, ThreadState::Status::kFinished);
   --live_;
   region_end_ = std::max(region_end_, now);
   maybe_release_barrier();

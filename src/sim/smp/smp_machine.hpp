@@ -26,6 +26,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/machine.hpp"
+#include "sim/ring.hpp"
 #include "sim/smp/cache.hpp"
 
 namespace archgraph::sim {
@@ -99,7 +100,7 @@ class SmpMachine final : public Machine {
   void sample_prof_gauges(i64* out) const override;
 
  protected:
-  Cycle simulate(std::vector<std::unique_ptr<ThreadState>>& threads) override;
+  Cycle simulate(std::vector<ThreadState*>& threads) override;
 
  private:
   enum EventKind : u32 { kDispatch, kWake };
@@ -111,7 +112,7 @@ class SmpMachine final : public Machine {
 
     Cache l1;
     Cache l2;
-    std::deque<u32> ready_fifo;
+    RingView ready_fifo;  // window of SmpMachine::ring_arena_
     u32 running = kNone;
     u32 last_ran = kNone;
     bool dispatch_scheduled = false;
@@ -137,6 +138,10 @@ class SmpMachine final : public Machine {
     Cycle bus = 0;       // CycleCat::kBusContention
   };
 
+  /// The event loop, instantiated once with the per-pop profiler call and
+  /// once without, so unprofiled runs pay no per-event null test.
+  template <bool Profiled>
+  void run_events();
   void handle_dispatch(u32 proc_id, Cycle now);
   void enqueue_ready(u32 tid, Cycle now);
   /// Executes the thread's pending op starting at `start`; returns its
@@ -161,6 +166,7 @@ class SmpMachine final : public Machine {
   // Region-scoped state.
   std::vector<ThreadState*> threads_;
   std::vector<Processor> procs_;
+  std::vector<u32> ring_arena_;  // backs every processor's ready ring
   std::unordered_map<u64, u32> directory_;  // line -> sharer bitmask
   std::unordered_map<Addr, std::deque<u32>> sync_waiters_;
   std::vector<std::pair<u32, Cycle>> barrier_waiting_;  // (tid, arrival)

@@ -24,12 +24,16 @@
 #include <exception>
 
 #include "common/types.hpp"
+#include "sim/frame_pool.hpp"
 #include "sim/types.hpp"
 
 namespace archgraph::sim {
 
 /// Per-thread bookkeeping owned by the machine. The coroutine communicates
-/// with its machine exclusively through `pending`.
+/// with its machine exclusively through `pending`. Scheduling state the
+/// machines' event loops scan (status, pending op kind) lives in the
+/// Machine's structure-of-arrays mirrors, not here: this block holds only
+/// what the kernel side of the seam needs.
 struct ThreadState {
   enum class Status : u8 {
     kRunnable,    // has a pending op awaiting issue
@@ -47,7 +51,6 @@ struct ThreadState {
   /// handle — SimTask members in parent frames cascade to child frames.
   std::coroutine_handle<> root;
   Operation pending;
-  Status status = Status::kRunnable;
   std::exception_ptr error;
 
   u32 id = 0;         // dense thread index within the region
@@ -68,6 +71,16 @@ class SimThread {
  public:
   struct promise_type {
     ThreadState* state = nullptr;
+
+    // Frames come from the thread-local pool (frame_pool.hpp): fine-grain
+    // kernels spawn enough short-lived threads that malloc'ing every frame
+    // is a first-order host cost.
+    static void* operator new(std::size_t size) {
+      return detail::frame_pool().alloc(size);
+    }
+    static void operator delete(void* p, std::size_t size) noexcept {
+      detail::frame_pool().free(p, size);
+    }
 
     SimThread get_return_object() {
       return SimThread{
@@ -143,6 +156,15 @@ class SimTask {
     std::coroutine_handle<> continuation;
     std::exception_ptr error;
     i64 value = 0;
+
+    // SimTask helpers are created and destroyed once per chunk claim, so
+    // their frames recycle through the same pool as kernel threads.
+    static void* operator new(std::size_t size) {
+      return detail::frame_pool().alloc(size);
+    }
+    static void operator delete(void* p, std::size_t size) noexcept {
+      detail::frame_pool().free(p, size);
+    }
 
     SimTask get_return_object() {
       return SimTask{std::coroutine_handle<promise_type>::from_promise(*this)};

@@ -120,6 +120,72 @@ TEST(EventQueue, DifferentialAgainstReferenceModel) {
   EXPECT_TRUE(ref.empty());
 }
 
+TEST(EventQueue, DifferentialAcrossBucketWindowBoundary) {
+  // Stress the two-level split: pushes land exactly at, just inside, and
+  // just beyond the bucket window [win_base, win_base + kBuckets), plus
+  // deep-future and past times, so events migrate between the bucket ring
+  // and the overflow heap while interleaving with same-cycle FIFO traffic.
+  constexpr Cycle kWin = static_cast<Cycle>(EventQueue::kBuckets);
+  Prng rng(0xb0c4e7u);
+  EventQueue q;
+  ReferenceQueue ref;
+  Cycle now = 0;
+  u32 next_kind = 1;
+  for (int step = 0; step < 30000; ++step) {
+    if (!q.empty() && rng.below(100) < 55) {
+      const Event a = q.pop();
+      const Event b = ref.pop();
+      ASSERT_EQ(a.time, b.time) << "step " << step;
+      ASSERT_EQ(a.kind, b.kind) << "step " << step;
+      now = a.time;
+    } else {
+      Cycle time = now;
+      switch (rng.below(8)) {
+        case 0: time = now; break;                          // same cycle
+        case 1: time = now + 1 + rng.below(16); break;      // near future
+        case 2: time = now + kWin - 2 + rng.below(4); break;  // window edge
+        case 3: time = now + kWin + rng.below(64); break;   // just overflow
+        case 4: time = now + 10 * kWin + rng.below(1000); break;  // deep
+        case 5:  // past, including beyond the window's trailing edge
+          time = now > 2 * kWin ? now - kWin - rng.below(64) : 0;
+          break;
+        default: time = now + rng.below(kWin); break;       // anywhere in win
+      }
+      const u32 kind = next_kind++;
+      q.push(time, kind, kind);
+      ref.push(time, kind, kind);
+    }
+    ASSERT_EQ(q.empty(), ref.empty());
+  }
+  while (!q.empty()) {
+    const Event a = q.pop();
+    const Event b = ref.pop();
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.kind, b.kind);
+  }
+  EXPECT_TRUE(ref.empty());
+}
+
+TEST(EventQueue, SameCycleOrderingAcrossLevels) {
+  // Same-time events must pop in insertion order even when some were pushed
+  // while that time was beyond the window (heap) and some after it entered
+  // the window (bucket).
+  constexpr Cycle kWin = static_cast<Cycle>(EventQueue::kBuckets);
+  EventQueue q;
+  const Cycle t = kWin + 50;
+  q.push(t, 1, 0);    // beyond window -> overflow heap
+  q.push(t, 2, 0);    // also heap
+  q.push(kWin, 9, 0);  // advances the window past t when popped
+  EXPECT_EQ(q.pop().kind, 9u);
+  q.push(t, 3, 0);  // t now in window -> bucket ring
+  q.push(t, 4, 0);
+  EXPECT_EQ(q.pop().kind, 1u);
+  EXPECT_EQ(q.pop().kind, 2u);
+  EXPECT_EQ(q.pop().kind, 3u);
+  EXPECT_EQ(q.pop().kind, 4u);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, SizeTracksFastPathAndHeap) {
   EventQueue q;
   q.push(0, 1, 0);  // fast path (now_ starts at 0)

@@ -1,0 +1,100 @@
+// Golden-value determinism pins for all three machine models. The values
+// below were captured from the pre-restructure simulator (the committed
+// baselines' generation) and must never move: hot-loop rework — event-queue
+// levels, ready-ring layouts, SoA scheduling state, event batching — may
+// change how fast the host simulates, never what it simulates. A failure
+// here means simulated behavior drifted; fix the restructure, don't re-bake
+// the goldens.
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+#include "sweep/registry.hpp"
+#include "sweep/runner.hpp"
+#include "sweep/spec.hpp"
+#include "sweep/store.hpp"
+
+namespace archgraph::sweep {
+namespace {
+
+using sim::CycleCat;
+
+struct Golden {
+  const char* spec;
+  i64 cycles;
+  i64 instructions;
+  i64 memory_ops;
+  // (category, slots) pairs for every non-zero accounting bucket; all other
+  // buckets must be exactly zero.
+  std::vector<std::pair<CycleCat, sim::Cycle>> acct;
+};
+
+/// One cell per machine model, shaped like the ci grid's cells: list
+/// ranking on the fine-grain machines' fig1 path, Shiloach-Vishkin CC for
+/// the SIMT model so divergence/coalescing accounting is exercised too.
+const std::vector<Golden>& goldens() {
+  static const std::vector<Golden> g = {
+      {"kernel=lr_walk machine=mta:procs=2 n=1024 layout=random",
+       33455,
+       16897,
+       13697,
+       {{CycleCat::kIssued, 16897},
+        {CycleCat::kNoReadyStream, 35182},
+        {CycleCat::kIdleNoThread, 14831}}},
+      {"kernel=lr_hj machine=smp:procs=2,l2_kb=256 n=1024 layout=random",
+       127157,
+       13514,
+       10370,
+       {{CycleCat::kIssued, 21822},
+        {CycleCat::kL1MissWait, 16611},
+        {CycleCat::kL2MissWait, 13839},
+        {CycleCat::kMemFillWait, 115090},
+        {CycleCat::kBusContention, 13187},
+        {CycleCat::kBarrierWait, 43654},
+        {CycleCat::kIdle, 30111}}},
+      {"kernel=cc_sv_mta machine=gpu:procs=2 n=512 m=4096 layout=random",
+       298316,
+       7675,
+       74007,
+       {{CycleCat::kIssued, 3876},
+        {CycleCat::kIdleNoThread, 127309},
+        {CycleCat::kDivergenceSerial, 3799},
+        {CycleCat::kCoalesceWait, 458295},
+        {CycleCat::kBankConflict, 3353}}},
+  };
+  return g;
+}
+
+sim::CycleBreakdown expected_breakdown(const Golden& g) {
+  sim::CycleBreakdown b;
+  for (const auto& [cat, slots] : g.acct) b[cat] = slots;
+  return b;
+}
+
+TEST(MachineDeterminism, GoldenCyclesSurviveTheHotLoopRestructure) {
+  for (const Golden& g : goldens()) {
+    const SweepPlan plan = expand_all({g.spec});
+    ASSERT_EQ(plan.cells.size(), 1u) << g.spec;
+    const ResultRecord r = to_record(run_cell(plan.cells[0]));
+    EXPECT_TRUE(r.verified) << g.spec;
+    EXPECT_EQ(r.cycles, g.cycles) << g.spec;
+    EXPECT_EQ(r.instructions, g.instructions) << g.spec;
+    EXPECT_EQ(r.memory_ops, g.memory_ops) << g.spec;
+    EXPECT_EQ(r.breakdown, expected_breakdown(g)) << g.spec;
+  }
+}
+
+TEST(MachineDeterminism, ProfilerAttachmentKeepsTheGoldens) {
+  // The profiled event loop is a separate instantiation of the hot loop —
+  // it must simulate the same machine to the cycle.
+  RunOptions profiled;
+  profiled.profile = true;
+  for (const Golden& g : goldens()) {
+    const SweepPlan plan = expand_all({g.spec});
+    const ResultRecord r = to_record(run_cell(plan.cells[0], profiled));
+    EXPECT_EQ(r.cycles, g.cycles) << g.spec;
+    EXPECT_EQ(r.breakdown, expected_breakdown(g)) << g.spec;
+  }
+}
+
+}  // namespace
+}  // namespace archgraph::sweep

@@ -1,0 +1,133 @@
+// bench_diff — compare two BENCH_host_sim.json files (bench/micro_sim_hotpath
+// with ARCHGRAPH_BENCH_JSON set) and print the per-series speedup table.
+//
+// Usage:
+//   bench_diff BEFORE.json AFTER.json [--min-speedup X --series PREFIX]
+//
+// Each record is matched by its "benchmark" name; speedup is
+// before.seconds / after.seconds, so >1 means AFTER is faster. Series
+// present on only one side are listed (and fail the run: a renamed series
+// would otherwise silently drop out of a perf gate). With --min-speedup,
+// every matched series whose name starts with PREFIX (default: all) must
+// reach X or the exit code is 1 — the hook ci_smoke.sh uses to gate the
+// hot-loop work without hard-coding host-dependent absolute times.
+//
+// Host timings on shared runners are noisy; this tool compares whatever
+// numbers it is given and leaves repetition/min-of-N policy to the caller.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/parse.hpp"
+#include "common/table.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using archgraph::obs::JsonValue;
+
+struct Series {
+  std::string name;
+  double seconds = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+std::vector<Series> load(const std::string& path) {
+  std::ifstream in(path);
+  AG_CHECK(static_cast<bool>(in), "cannot open bench json '" + path + "'");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  JsonValue doc;
+  std::string error;
+  AG_CHECK(archgraph::obs::json_parse(buf.str(), &doc, &error),
+           "'" + path + "' is not valid JSON: " + error);
+  const JsonValue* bench = doc.find("bench");
+  AG_CHECK(bench != nullptr && bench->is_string() &&
+               bench->as_string() == "host_sim",
+           "'" + path + "' is not a BENCH_host_sim.json document");
+  const JsonValue* records = doc.find("records");
+  AG_CHECK(records != nullptr && records->is_array(),
+           "'" + path + "' has no records array");
+  std::vector<Series> out;
+  for (const JsonValue& r : records->items()) {
+    const JsonValue* name = r.find("benchmark");
+    const JsonValue* seconds = r.find("seconds");
+    const JsonValue* rate = r.find("ops_per_sec");
+    AG_CHECK(name != nullptr && name->is_string() && seconds != nullptr &&
+                 seconds->is_number() && rate != nullptr && rate->is_number(),
+             "'" + path + "' record missing benchmark/seconds/ops_per_sec");
+    out.push_back(Series{name->as_string(), seconds->as_f64(),
+                         rate->as_f64()});
+  }
+  return out;
+}
+
+const Series* find(const std::vector<Series>& v, const std::string& name) {
+  for (const Series& s : v) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> paths;
+  std::optional<double> min_speedup;
+  std::string series_prefix;
+  for (archgraph::usize i = 0; i < args.size(); ++i) {
+    if (args[i] == "--min-speedup") {
+      AG_CHECK(i + 1 < args.size(), "--min-speedup needs a value");
+      min_speedup = archgraph::parse_f64("--min-speedup", args[++i]);
+    } else if (args[i] == "--series") {
+      AG_CHECK(i + 1 < args.size(), "--series needs a name prefix");
+      series_prefix = args[++i];
+    } else {
+      AG_CHECK(args[i].rfind("--", 0) != 0,
+               "unknown flag '" + args[i] +
+                   "' (valid: --min-speedup X, --series PREFIX)");
+      paths.push_back(args[i]);
+    }
+  }
+  AG_CHECK(paths.size() == 2,
+           "usage: bench_diff BEFORE.json AFTER.json "
+           "[--min-speedup X --series PREFIX]");
+
+  const std::vector<Series> before = load(paths[0]);
+  const std::vector<Series> after = load(paths[1]);
+
+  archgraph::Table table({"benchmark", "before_s", "after_s", "speedup"}, 3);
+  bool missing = false;
+  bool below = false;
+  for (const Series& b : before) {
+    const Series* a = find(after, b.name);
+    if (a == nullptr) {
+      std::cerr << "bench_diff: '" << b.name << "' only in " << paths[0]
+                << "\n";
+      missing = true;
+      continue;
+    }
+    const double speedup = b.seconds / a->seconds;
+    table.row().add(b.name).add(b.seconds).add(a->seconds).add(speedup);
+    if (min_speedup.has_value() &&
+        b.name.rfind(series_prefix, 0) == 0 && speedup < *min_speedup) {
+      std::cerr << "bench_diff: '" << b.name << "' speedup "
+                << speedup << " below --min-speedup " << *min_speedup << "\n";
+      below = true;
+    }
+  }
+  for (const Series& a : after) {
+    if (find(before, a.name) == nullptr) {
+      std::cerr << "bench_diff: '" << a.name << "' only in " << paths[1]
+                << "\n";
+      missing = true;
+    }
+  }
+  std::cout << table;
+  return (missing || below) ? 1 : 0;
+}

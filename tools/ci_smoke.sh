@@ -47,6 +47,36 @@ for r in records:
 print(f"ok: {len(records)} records, all fields present")
 EOF
 
+echo "== simulator hot-path bench (quick scale, JSON schema only) =="
+# Host timings are advisory on shared runners, so nothing here gates on a
+# speed number: the gate is that the bench runs every series and emits a
+# well-formed BENCH_host_sim.json that bench_diff can consume.
+ARCHGRAPH_BENCH_SCALE=quick ARCHGRAPH_BENCH_JSON="$OUT_DIR" \
+    "$BUILD_DIR"/bench/micro_sim_hotpath >/dev/null
+python3 - "$OUT_DIR/BENCH_host_sim.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["bench"] == "host_sim", doc.get("bench")
+records = doc["records"]
+names = {r["benchmark"] for r in records}
+for machine in ("mta", "smp", "gpu"):
+    assert any(n.startswith(f"machine/{machine}/") for n in names), \
+        f"no machine/{machine}/* series in {sorted(names)}"
+for r in records:
+    for key in ("benchmark", "ops", "seconds", "ops_per_sec"):
+        assert key in r, f"record missing {key}: {r.keys()}"
+    assert r["ops"] > 0 and r["seconds"] > 0 and r["ops_per_sec"] > 0, r
+
+print(f"ok: {len(records)} hot-path series, schema complete")
+EOF
+"$BUILD_DIR"/tools/bench_diff "$OUT_DIR/BENCH_host_sim.json" \
+    "$OUT_DIR/BENCH_host_sim.json" --min-speedup 1.0 >/dev/null
+echo "ok: bench_diff consumes the document (self-diff speedup 1.0)"
+
 echo "== cli --machine (one override per architecture) =="
 "$BUILD_DIR"/tools/archgraph_cli rank --machine mta:procs=2,streams=32 \
     --n 4096 --algorithm walk --json \
@@ -131,8 +161,8 @@ EOF
 
 echo "== sweep regression gate (parallel ci grid vs committed baseline) =="
 "$BUILD_DIR"/tools/archgraph_sweep check "$OUT_DIR/ci.jsonl" \
-    --against baselines/ci_quick.jsonl
-echo "ok: ci sweep matches baselines/ci_quick.jsonl"
+    --against baselines/ci_quick.jsonl --tol 0
+echo "ok: ci sweep matches baselines/ci_quick.jsonl at tol 0"
 
 echo "== frontier kernels (mini-grid vs committed baseline, tol 0) =="
 "$BUILD_DIR"/tools/archgraph_sweep run frontier --jobs 1 \
