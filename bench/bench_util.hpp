@@ -347,6 +347,15 @@ class BenchJson {
     has_host_summary_ = true;
   }
 
+  /// Embeds the bench's host-telemetry registry
+  /// (obs::telemetry::MetricsRegistry::to_json()) as the document's
+  /// "host_metrics" member — the JSON twin of an OpenMetrics export. The
+  /// last call wins; pass the registry after the final run_plan so the
+  /// document carries the whole campaign.
+  void set_host_metrics(std::string registry_json) {
+    host_metrics_json_ = std::move(registry_json);
+  }
+
   /// Writes the document once; false (with the errno reason on stderr) on
   /// open/write failure or when inactive.
   bool write() {
@@ -367,6 +376,9 @@ class BenchJson {
                  host_seconds_ > 0.0 ? host_cells_ / host_seconds_ : 0.0)
           .field("inputs_generated", host_inputs_)
           .end_object();
+    }
+    if (!host_metrics_json_.empty()) {
+      doc.key("host_metrics").raw(host_metrics_json_);
     }
     doc.key("records").begin_array();
     for (const std::string& r : records_) {
@@ -400,6 +412,7 @@ class BenchJson {
   i64 host_cells_ = 0;
   double host_seconds_ = 0.0;
   i64 host_inputs_ = 0;
+  std::string host_metrics_json_;
   bool has_host_summary_ = false;
   bool written_ = false;
   bool wrote_ok_ = false;

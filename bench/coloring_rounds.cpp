@@ -95,6 +95,8 @@ int main() {
   options.trace = true;
   options.jobs = bench::jobs_from_env();
   options.profile = bench::profile_from_env();
+  obs::telemetry::HostTelemetry telemetry;
+  options.telemetry = &telemetry;
   const sweep::PlanRun run =
       sweep::run_plan(sweep::expand_all(specs), options);
   std::map<std::string, const sweep::CellResult*> by_id;
@@ -118,6 +120,7 @@ int main() {
   bench::BenchJson bj("coloring_rounds");
   bj.add_host_summary(run.jobs, run.cells.size(), run.host_seconds,
                       run.inputs_generated);
+  bj.set_host_metrics(telemetry.registry.to_json());
 
   const usize last_p = mta_spec.machines.size() - 1;  // p=8 column
   Table mta_table({"m", "m/n", "rounds", "sec p=1", "sec p=2", "sec p=4",

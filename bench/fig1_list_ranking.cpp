@@ -61,6 +61,8 @@ int main() {
   options.trace = true;
   options.jobs = bench::jobs_from_env();
   options.profile = bench::profile_from_env();
+  obs::telemetry::HostTelemetry telemetry;
+  options.telemetry = &telemetry;
   std::map<std::string, const sweep::CellResult*> by_id;
   const sweep::PlanRun run = sweep::run_plan(sweep::expand_all(specs), options);
   for (const sweep::CellResult& r : run.cells) {
@@ -87,6 +89,7 @@ int main() {
   bench::BenchJson bj("fig1_list_ranking");
   bj.add_host_summary(run.jobs, run.cells.size(), run.host_seconds,
                       run.inputs_generated);
+  bj.set_host_metrics(telemetry.registry.to_json());
 
   for (const sweep::Layout layout :
        {sweep::Layout::kOrdered, sweep::Layout::kRandom}) {

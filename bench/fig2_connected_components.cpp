@@ -64,6 +64,8 @@ int main() {
   options.trace = true;
   options.jobs = bench::jobs_from_env();
   options.profile = bench::profile_from_env();
+  obs::telemetry::HostTelemetry telemetry;
+  options.telemetry = &telemetry;
   std::map<std::string, const sweep::CellResult*> by_id;
   const sweep::PlanRun run = sweep::run_plan(sweep::expand_all(specs), options);
   for (const sweep::CellResult& r : run.cells) {
@@ -94,6 +96,7 @@ int main() {
   bench::BenchJson bj("fig2_connected_components");
   bj.add_host_summary(run.jobs, run.cells.size(), run.host_seconds,
                       run.inputs_generated);
+  bj.set_host_metrics(telemetry.registry.to_json());
 
   for (const i64 m : mta_spec.ms) {
     mta_table.row().add(m).add(m / n);

@@ -58,6 +58,10 @@ int main() {
   options.trace = true;
   options.jobs = bench::jobs_from_env();
   options.profile = bench::profile_from_env();
+  // One registry across all three row sweeps — counters accumulate, so the
+  // exported host_metrics describes the whole bench.
+  obs::telemetry::HostTelemetry telemetry;
+  options.telemetry = &telemetry;
 
   // One table row per canned spec, one cell per processor count. JSON
   // records carry the workload's printed name plus the per-phase breakdown
@@ -95,6 +99,7 @@ int main() {
 
   std::cout << table;
   bench::maybe_write_csv(table, "table1_utilization");
+  bj.set_host_metrics(telemetry.registry.to_json());
   bj.write();
   return 0;
 }

@@ -1,0 +1,229 @@
+#include "obs/telemetry/metrics.hpp"
+
+#include <charconv>
+
+#include "common/check.hpp"
+#include "obs/json.hpp"
+
+namespace archgraph::obs::telemetry {
+
+namespace {
+
+/// Shortest round-trip formatting, matching JsonWriter's number style so the
+/// OpenMetrics text and the JSON splice agree on every value.
+std::string format_double(double v) {
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  AG_CHECK(ec == std::errc{}, "double formatting failed");
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
+bool is_valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto word = [](char c, bool first) {
+    return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (!first && c >= '0' && c <= '9');
+  };
+  if (!word(name[0], true)) return false;
+  for (usize i = 1; i < name.size(); ++i) {
+    if (!word(name[i], false)) return false;
+  }
+  return true;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  AG_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (usize i = 1; i < bounds_.size(); ++i) {
+    AG_CHECK(bounds_[i - 1] < bounds_[i],
+             "histogram bucket bounds must be strictly increasing");
+  }
+  counts_ = std::vector<std::atomic<u64>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double value) {
+  usize bucket = bounds_.size();  // overflow (+Inf) unless an edge fits
+  for (usize i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<u64> Histogram::cumulative_counts() const {
+  std::vector<u64> out(counts_.size());
+  u64 running = 0;
+  for (usize i = 0; i < counts_.size(); ++i) {
+    running += counts_[i].load(std::memory_order_relaxed);
+    out[i] = running;
+  }
+  return out;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+std::vector<double> default_latency_buckets_seconds() {
+  std::vector<double> bounds;
+  for (double edge = 1e-6; edge <= 512.0; edge *= 2.0) {
+    bounds.push_back(edge);
+  }
+  return bounds;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_locked(std::string_view name) {
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    if (e->name == name) return e.get();
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name)) {
+    AG_CHECK(e->kind == Kind::kCounter,
+             "metric '" + std::string(name) + "' already registered as a "
+             "different kind");
+    return *e->counter;
+  }
+  AG_CHECK(is_valid_metric_name(name),
+           "invalid metric name '" + std::string(name) + "'");
+  auto e = std::make_unique<Entry>();
+  e->name = std::string(name);
+  e->help = std::string(help);
+  e->kind = Kind::kCounter;
+  e->counter = std::make_unique<Counter>();
+  entries_.push_back(std::move(e));
+  return *entries_.back()->counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name)) {
+    AG_CHECK(e->kind == Kind::kGauge,
+             "metric '" + std::string(name) + "' already registered as a "
+             "different kind");
+    return *e->gauge;
+  }
+  AG_CHECK(is_valid_metric_name(name),
+           "invalid metric name '" + std::string(name) + "'");
+  auto e = std::make_unique<Entry>();
+  e->name = std::string(name);
+  e->help = std::string(help);
+  e->kind = Kind::kGauge;
+  e->gauge = std::make_unique<Gauge>();
+  entries_.push_back(std::move(e));
+  return *entries_.back()->gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view help,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  if (Entry* e = find_locked(name)) {
+    AG_CHECK(e->kind == Kind::kHistogram,
+             "metric '" + std::string(name) + "' already registered as a "
+             "different kind");
+    AG_CHECK(e->histogram->bounds() == bounds,
+             "histogram '" + std::string(name) + "' re-registered with a "
+             "different bucket layout");
+    return *e->histogram;
+  }
+  AG_CHECK(is_valid_metric_name(name),
+           "invalid metric name '" + std::string(name) + "'");
+  auto e = std::make_unique<Entry>();
+  e->name = std::string(name);
+  e->help = std::string(help);
+  e->kind = Kind::kHistogram;
+  e->histogram = std::make_unique<Histogram>(std::move(bounds));
+  entries_.push_back(std::move(e));
+  return *entries_.back()->histogram;
+}
+
+usize MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::to_openmetrics() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    switch (e->kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + e->name + " counter\n";
+        if (!e->help.empty()) out += "# HELP " + e->name + " " + e->help + "\n";
+        out += e->name + "_total " + std::to_string(e->counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + e->name + " gauge\n";
+        if (!e->help.empty()) out += "# HELP " + e->name + " " + e->help + "\n";
+        out += e->name + " " + std::to_string(e->gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + e->name + " histogram\n";
+        if (!e->help.empty()) out += "# HELP " + e->name + " " + e->help + "\n";
+        const Histogram& h = *e->histogram;
+        const std::vector<u64> cumulative = h.cumulative_counts();
+        for (usize i = 0; i < h.bounds().size(); ++i) {
+          out += e->name + "_bucket{le=\"" + format_double(h.bounds()[i]) +
+                 "\"} " + std::to_string(cumulative[i]) + "\n";
+        }
+        out += e->name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(cumulative.back()) + "\n";
+        out += e->name + "_count " + std::to_string(h.count()) + "\n";
+        out += e->name + "_sum " + format_double(h.sum()) + "\n";
+        break;
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  JsonWriter w;
+  w.begin_object();
+  for (const std::unique_ptr<Entry>& e : entries_) {
+    w.key(e->name).begin_object();
+    switch (e->kind) {
+      case Kind::kCounter:
+        w.field("type", "counter").field("value", e->counter->value());
+        break;
+      case Kind::kGauge:
+        w.field("type", "gauge").field("value", e->gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e->histogram;
+        w.field("type", "histogram")
+            .field("count", h.count())
+            .field("sum", h.sum());
+        w.key("buckets").begin_array();
+        const std::vector<u64> cumulative = h.cumulative_counts();
+        for (usize i = 0; i < h.bounds().size(); ++i) {
+          w.begin_object()
+              .field("le", h.bounds()[i])
+              .field("count", cumulative[i])
+              .end_object();
+        }
+        w.begin_object()
+            .field("le", "+Inf")
+            .field("count", cumulative.back())
+            .end_object();
+        w.end_array();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace archgraph::obs::telemetry

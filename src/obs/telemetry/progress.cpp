@@ -1,0 +1,116 @@
+#include "obs/telemetry/progress.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace archgraph::obs::telemetry {
+
+double eta_seconds(usize done, usize total, double elapsed) {
+  if (done >= total) return 0.0;
+  if (done == 0) return -1.0;
+  const double per_unit = elapsed / static_cast<double>(done);
+  return per_unit * static_cast<double>(total - done);
+}
+
+std::string format_duration(double seconds) {
+  std::ostringstream os;
+  if (seconds < 0.0) {
+    return "?";
+  }
+  if (seconds < 10.0) {
+    os.precision(1);
+    os << std::fixed << seconds << "s";
+    return os.str();
+  }
+  const i64 whole = static_cast<i64>(std::llround(seconds));
+  if (whole < 60) {
+    os << whole << "s";
+  } else if (whole < 3600) {
+    os << whole / 60 << "m" << whole % 60 << "s";
+  } else {
+    os << whole / 3600 << "h" << (whole % 3600) / 60 << "m";
+  }
+  return os.str();
+}
+
+bool fd_is_tty(int fd) {
+#if defined(__unix__) || defined(__APPLE__)
+  return isatty(fd) == 1;
+#else
+  (void)fd;
+  return false;
+#endif
+}
+
+std::string ProgressReporter::render(usize done, usize total,
+                                     double elapsed_seconds,
+                                     const std::string& label) {
+  std::ostringstream os;
+  const usize pct = total > 0 ? done * 100 / total : 100;
+  os << "[" << done << "/" << total << "] " << pct << "%";
+  if (elapsed_seconds > 0.0 && done > 0) {
+    os.precision(1);
+    os << " " << std::fixed
+       << static_cast<double>(done) / elapsed_seconds << " cells/sec";
+  }
+  os << " eta " << format_duration(eta_seconds(done, total, elapsed_seconds));
+  if (!label.empty()) {
+    os << " " << label;
+  }
+  return os.str();
+}
+
+ProgressReporter::ProgressReporter(std::ostream& out, usize total, bool is_tty,
+                                   ProgressOptions options)
+    : out_(out), total_(total), tty_(is_tty && !options.plain),
+      options_(options) {}
+
+ProgressReporter::~ProgressReporter() { finish(); }
+
+void ProgressReporter::paint(const std::string& label, double elapsed_seconds,
+                             bool final) {
+  const std::string line = render(done_, total_, elapsed_seconds, label);
+  if (tty_) {
+    // Redraw in place; "\x1b[K" erases the previous (possibly longer) tail.
+    out_ << '\r' << line << "\x1b[K" << std::flush;
+    if (final) out_ << '\n';
+  } else {
+    out_ << line << '\n';
+  }
+  last_paint_s_ = elapsed_seconds;
+  last_painted_done_ = done_;
+}
+
+void ProgressReporter::advance(const std::string& label,
+                               double elapsed_seconds) {
+  if (finished_) return;
+  ++done_;
+  const bool final = done_ >= total_;
+  const double interval =
+      tty_ ? options_.tty_interval_s : options_.plain_interval_s;
+  if (!final && last_paint_s_ >= 0.0 &&
+      elapsed_seconds - last_paint_s_ < interval) {
+    return;  // rate-limited; the state is carried by the next repaint
+  }
+  paint(label, elapsed_seconds, final);
+  if (final) finished_ = true;
+}
+
+void ProgressReporter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (last_painted_done_ != done_) {
+    // A suppressed tail (rate limit) still deserves a final state line.
+    paint("", last_paint_s_ < 0.0 ? 0.0 : last_paint_s_, true);
+  } else if (tty_ && last_paint_s_ >= 0.0) {
+    out_ << '\n';  // leave the terminal on a fresh line
+  }
+}
+
+}  // namespace archgraph::obs::telemetry

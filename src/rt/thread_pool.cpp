@@ -34,6 +34,7 @@ void ThreadPool::run(const std::function<void(usize)>& body) {
   start_cv_.notify_all();
   done_cv_.wait(lock, [this] { return remaining_ == 0; });
   body_ = nullptr;
+  regions_run_.fetch_add(1, std::memory_order_relaxed);
   if (first_error_) {
     std::rethrow_exception(first_error_);
   }
@@ -46,6 +47,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     std::lock_guard lock(mutex_);
     AG_CHECK(!shutdown_, "submit() on a shut-down pool");
     tasks_.push_back(std::move(packaged));
+    tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   }
   start_cv_.notify_one();
   return future;
@@ -74,6 +76,7 @@ void ThreadPool::worker_main(usize id) {
     if (task.valid()) {
       // packaged_task routes the task's exception into its future.
       task();
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     std::exception_ptr error;
@@ -92,6 +95,15 @@ void ThreadPool::worker_main(usize id) {
       }
     }
   }
+}
+
+ThreadPool::StatsSnapshot ThreadPool::stats() const {
+  StatsSnapshot s;
+  s.regions_run = regions_run_.load(std::memory_order_relaxed);
+  s.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.queue_depth = static_cast<usize>(s.tasks_submitted - s.tasks_executed);
+  return s;
 }
 
 }  // namespace archgraph::rt

@@ -6,6 +6,7 @@
 // a thread spawn — matching how the Helman–JáJá implementations are run.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -20,6 +21,16 @@ namespace archgraph::rt {
 
 class ThreadPool {
  public:
+  /// Host-execution counters the pool accumulates over its lifetime —
+  /// observational only (relaxed atomics on paths that already take the pool
+  /// lock), read by the telemetry layer after a run. `queue_depth` is the
+  /// instantaneous submit() backlog; the rest are monotonic.
+  struct StatsSnapshot {
+    u64 regions_run = 0;      ///< run() regions completed
+    u64 tasks_submitted = 0;  ///< submit() calls accepted
+    u64 tasks_executed = 0;   ///< queued tasks a worker finished
+    usize queue_depth = 0;    ///< submitted − executed: the in-flight backlog
+  };
   /// Creates `num_threads` workers (>= 1). The constructing thread is not a
   /// worker; it blocks in run() until the region completes.
   explicit ThreadPool(usize num_threads);
@@ -43,6 +54,11 @@ class ThreadPool {
   /// then join the next region.
   std::future<void> submit(std::function<void()> task);
 
+  /// A consistent-enough snapshot of the execution counters (each field is
+  /// individually atomic; the set is not taken under one lock — fine for
+  /// telemetry, wrong for synchronization).
+  StatsSnapshot stats() const;
+
  private:
   void worker_main(usize id);
 
@@ -56,6 +72,10 @@ class ThreadPool {
   usize remaining_ = 0;
   bool shutdown_ = false;
   std::exception_ptr first_error_;
+
+  std::atomic<u64> regions_run_{0};
+  std::atomic<u64> tasks_submitted_{0};
+  std::atomic<u64> tasks_executed_{0};
 };
 
 }  // namespace archgraph::rt

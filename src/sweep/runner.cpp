@@ -22,6 +22,49 @@ namespace archgraph::sweep {
 
 namespace {
 
+/// The well-known instruments of one run_plan() call, resolved once at plan
+/// start so hot paths touch atomics, never the registry lock. All pointers
+/// null when the run has no telemetry — producers test the one they need.
+struct PlanInstruments {
+  obs::telemetry::Counter* cells_completed = nullptr;
+  obs::telemetry::Counter* cells_failed = nullptr;
+  obs::telemetry::Counter* inputs_generated = nullptr;
+  obs::telemetry::Counter* cache_hits = nullptr;
+  obs::telemetry::Counter* cache_misses = nullptr;
+  obs::telemetry::Gauge* queue_depth = nullptr;
+  obs::telemetry::Histogram* cell_seconds = nullptr;
+  obs::telemetry::Histogram* input_seconds = nullptr;
+  obs::telemetry::EventLog* events = nullptr;
+
+  static PlanInstruments resolve(obs::telemetry::HostTelemetry* t) {
+    PlanInstruments inst;
+    if (t == nullptr) return inst;
+    auto& r = t->registry;
+    inst.cells_completed = &r.counter("archgraph_sweep_cells_completed",
+                                      "Sweep cells finished successfully");
+    inst.cells_failed =
+        &r.counter("archgraph_sweep_cells_failed", "Sweep cells that threw");
+    inst.inputs_generated = &r.counter("archgraph_sweep_inputs_generated",
+                                       "Distinct kernel inputs built");
+    inst.cache_hits = &r.counter("archgraph_sweep_input_cache_hits",
+                                 "Input-cache acquires served by reuse");
+    inst.cache_misses = &r.counter("archgraph_sweep_input_cache_misses",
+                                   "Input-cache acquires that had to build");
+    inst.queue_depth = &r.gauge("archgraph_sweep_queue_depth",
+                                "Plan cells not yet claimed by a worker");
+    inst.cell_seconds = &r.histogram(
+        "archgraph_sweep_cell_host_seconds",
+        "Per-cell host wall-clock (simulate + verify)",
+        obs::telemetry::default_latency_buckets_seconds());
+    inst.input_seconds = &r.histogram(
+        "archgraph_sweep_input_build_seconds",
+        "Per-input host generation time",
+        obs::telemetry::default_latency_buckets_seconds());
+    inst.events = t->events.get();
+    return inst;
+  }
+};
+
 /// What the generated input depends on — cells agreeing on this key can
 /// share one KernelInput.
 std::string input_key(const KernelInfo& kernel, const SweepCell& cell) {
@@ -41,8 +84,12 @@ std::string input_key(const KernelInfo& kernel, const SweepCell& cell) {
 class InputCache {
  public:
   /// `uses[key]` = number of cells in the plan that will acquire `key`.
-  explicit InputCache(std::unordered_map<std::string, usize> uses)
-      : uses_(std::move(uses)) {}
+  /// Hit/miss counts are deterministic under any jobs value: every distinct
+  /// key misses exactly once (the owner) and entries outlive their last use,
+  /// so hits == acquires − distinct keys.
+  InputCache(std::unordered_map<std::string, usize> uses,
+             const PlanInstruments& inst)
+      : uses_(std::move(uses)), inst_(inst) {}
 
   u64 generated() const { return generated_.load(); }
 
@@ -64,11 +111,22 @@ class InputCache {
       }
     }
     if (!owner) {
+      if (inst_.cache_hits) inst_.cache_hits->add(1);
       return ready.get();  // blocks until the owner finishes (or throws)
     }
+    if (inst_.cache_misses) inst_.cache_misses->add(1);
     try {
+      Timer timer;
       auto input = std::make_shared<const KernelInput>(make_input(kernel, cell));
+      const double seconds = timer.seconds();
       generated_.fetch_add(1);
+      if (inst_.inputs_generated) inst_.inputs_generated->add(1);
+      if (inst_.input_seconds) inst_.input_seconds->observe(seconds);
+      if (inst_.events) {
+        inst_.events->emit("input_generated", [&](obs::JsonWriter& w) {
+          w.field("key", key).field("seconds", seconds);
+        });
+      }
       mine.set_value(input);
       return input;
     } catch (...) {
@@ -91,6 +149,7 @@ class InputCache {
                      std::shared_future<std::shared_ptr<const KernelInput>>>
       entries_;
   std::unordered_map<std::string, usize> uses_;
+  PlanInstruments inst_;
   std::atomic<u64> generated_{0};
 };
 
@@ -213,7 +272,23 @@ PlanRun run_plan(
     std::filesystem::create_directories(options.profile_dir);
   }
 
-  InputCache cache(std::move(uses));
+  const PlanInstruments inst = PlanInstruments::resolve(options.telemetry);
+  if (options.telemetry) {
+    auto& r = options.telemetry->registry;
+    r.gauge("archgraph_sweep_jobs", "Resolved host worker count")
+        .set(static_cast<i64>(jobs));
+    r.gauge("archgraph_sweep_plan_cells", "Cells in the running plan")
+        .set(static_cast<i64>(total));
+    inst.queue_depth->set(static_cast<i64>(total));
+  }
+  if (inst.events) {
+    inst.events->emit("run_started", [&](obs::JsonWriter& w) {
+      w.field("cells", static_cast<i64>(total))
+          .field("jobs", static_cast<i64>(jobs));
+    });
+  }
+
+  InputCache cache(std::move(uses), inst);
 
   // Shared cursor + in-order emission. Workers claim cells from `next`;
   // finished results park in out.cells until every earlier cell is done,
@@ -226,10 +301,33 @@ PlanRun run_plan(
   std::vector<u8> completed(total, 0);
   usize next_emit = 0;
 
+  const auto on_cell_error = [&](usize i, const char* what) {
+    if (inst.cells_failed) inst.cells_failed->add(1);
+    if (inst.events) {
+      const std::string error(what);
+      inst.events->emit("cell_failed", [&](obs::JsonWriter& w) {
+        w.field("run_id", plan.cells[i].run_id())
+            .field("index", static_cast<i64>(i))
+            .field("error", error);
+      });
+    }
+    abort.store(true, std::memory_order_relaxed);
+  };
+
   const auto worker = [&](usize) {
     while (!abort.load(std::memory_order_relaxed)) {
       const usize i = next.fetch_add(1);
       if (i >= total) return;
+      if (inst.queue_depth) {
+        inst.queue_depth->set(
+            static_cast<i64>(total - std::min<usize>(i + 1, total)));
+      }
+      if (inst.events) {
+        inst.events->emit("cell_started", [&](obs::JsonWriter& w) {
+          w.field("run_id", plan.cells[i].run_id())
+              .field("index", static_cast<i64>(i));
+        });
+      }
       try {
         const std::shared_ptr<const KernelInput> input =
             cache.acquire(keys[i], *kernels[i], plan.cells[i]);
@@ -238,6 +336,16 @@ PlanRun run_plan(
             run_cell_with_input(plan.cells[i], *kernels[i], *input, options);
         result.host_seconds = timer.seconds();
         cache.release(keys[i]);
+        if (inst.cells_completed) inst.cells_completed->add(1);
+        if (inst.cell_seconds) inst.cell_seconds->observe(result.host_seconds);
+        if (inst.events) {
+          inst.events->emit("cell_finished", [&](obs::JsonWriter& w) {
+            w.field("run_id", plan.cells[i].run_id())
+                .field("index", static_cast<i64>(i))
+                .field("host_seconds", result.host_seconds)
+                .field("cycles", static_cast<i64>(result.meas.cycles));
+          });
+        }
         std::lock_guard lock(emit_mutex);
         out.cells[i] = std::move(result);
         completed[i] = 1;
@@ -245,8 +353,11 @@ PlanRun run_plan(
           if (on_cell) on_cell(out.cells[next_emit], next_emit, total);
           ++next_emit;
         }
+      } catch (const std::exception& e) {
+        on_cell_error(i, e.what());
+        throw;
       } catch (...) {
-        abort.store(true, std::memory_order_relaxed);
+        on_cell_error(i, "unknown error");
         throw;
       }
     }
@@ -258,9 +369,25 @@ PlanRun run_plan(
   } else {
     rt::ThreadPool pool(jobs);
     pool.run(worker);
+    if (options.telemetry) {
+      const rt::ThreadPool::StatsSnapshot stats = pool.stats();
+      auto& r = options.telemetry->registry;
+      r.counter("archgraph_host_pool_regions", "Thread-pool regions run")
+          .add(stats.regions_run);
+      r.counter("archgraph_host_pool_tasks", "Queued thread-pool tasks run")
+          .add(stats.tasks_executed);
+    }
   }
   out.host_seconds = total_timer.seconds();
   out.inputs_generated = cache.generated();
+  if (inst.queue_depth) inst.queue_depth->set(0);
+  if (inst.events) {
+    inst.events->emit("run_finished", [&](obs::JsonWriter& w) {
+      w.field("cells", static_cast<i64>(total))
+          .field("host_seconds", out.host_seconds)
+          .field("inputs_generated", static_cast<i64>(out.inputs_generated));
+    });
+  }
   return out;
 }
 

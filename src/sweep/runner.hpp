@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/telemetry/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sweep/registry.hpp"
 #include "sweep/spec.hpp"
@@ -49,6 +50,13 @@ struct RunOptions {
   /// if needed; the hash of the raw run ID keeps filenames unique after
   /// sanitizing), including the cell's phase spans when `trace` is also set.
   std::string profile_dir;
+  /// Host-telemetry sink (not owned; null = no telemetry). run_plan registers
+  /// the well-known instruments (see obs/telemetry/telemetry.hpp) in its
+  /// registry and, when `telemetry->events` is set, emits run_started /
+  /// cell_started / cell_finished / cell_failed / input_generated events.
+  /// Strictly observational: simulated cycles and the sweep JSONL are
+  /// byte-identical with this set or null.
+  obs::telemetry::HostTelemetry* telemetry = nullptr;
 };
 
 /// The jobs value `RunOptions::jobs == 0` resolves to: the host's hardware

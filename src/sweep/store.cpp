@@ -97,6 +97,15 @@ void write_results(std::ostream& out,
   }
 }
 
+void write_results_file(const std::string& path,
+                        const std::vector<ResultRecord>& records) {
+  std::ofstream out(path);
+  AG_CHECK(static_cast<bool>(out), "cannot write sweep results file " + path);
+  write_results(out, records);
+  out.flush();
+  AG_CHECK(static_cast<bool>(out), "short write to sweep results file " + path);
+}
+
 namespace {
 
 std::string line_ctx(std::string_view source, usize line) {

@@ -70,6 +70,11 @@ std::string record_json(const ResultRecord& record);
 /// Writes records as JSONL (one record_json line each).
 void write_results(std::ostream& out, const std::vector<ResultRecord>& records);
 
+/// write_results to a file (the symmetric twin of load_results_file); throws
+/// when the file cannot be opened or the write comes up short.
+void write_results_file(const std::string& path,
+                        const std::vector<ResultRecord>& records);
+
 /// Parses JSONL results. Throws std::logic_error naming `source` and the
 /// line number on malformed JSON, a missing/incompatible schema_version, or
 /// a missing run_id. Blank lines are skipped.

@@ -125,6 +125,50 @@ TEST(ThreadPool, PendingTasksDrainBeforeShutdown) {
   EXPECT_EQ(ran.load(), 1);
 }
 
+TEST(ThreadPool, StatsCountRegionsAndTasks) {
+  ThreadPool pool(2);
+  ThreadPool::StatsSnapshot s = pool.stats();
+  EXPECT_EQ(s.regions_run, 0u);
+  EXPECT_EQ(s.tasks_submitted, 0u);
+  EXPECT_EQ(s.tasks_executed, 0u);
+  EXPECT_EQ(s.queue_depth, 0u);
+
+  pool.run([](usize) {});
+  pool.run([](usize) {});
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 7; ++i) {
+    futures.push_back(pool.submit([] {}));
+  }
+  for (std::future<void>& f : futures) {
+    f.get();
+  }
+  // tasks_executed is bumped after the future is fulfilled; an empty region
+  // is a barrier past that window (workers re-enter the wait loop first).
+  pool.run([](usize) {});
+  s = pool.stats();
+  EXPECT_EQ(s.regions_run, 3u);
+  EXPECT_EQ(s.tasks_submitted, 7u);
+  EXPECT_EQ(s.tasks_executed, 7u);
+  EXPECT_EQ(s.queue_depth, 0u);  // submitted minus executed: all drained
+}
+
+TEST(ThreadPool, StatsCountThrowingWorkToo) {
+  // A task or region that throws still ran; the counters must not skip it,
+  // or queue_depth would report phantom backlog forever.
+  ThreadPool pool(1);
+  std::future<void> f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  EXPECT_THROW(
+      pool.run([](usize) { throw std::runtime_error("region boom"); }),
+      std::runtime_error);
+  pool.run([](usize) {});  // barrier past the post-future counter bump
+  const ThreadPool::StatsSnapshot s = pool.stats();
+  EXPECT_EQ(s.tasks_submitted, 1u);
+  EXPECT_EQ(s.tasks_executed, 1u);
+  EXPECT_EQ(s.regions_run, 2u);
+  EXPECT_EQ(s.queue_depth, 0u);
+}
+
 TEST(ThreadPool, WorkersRunConcurrentlyEnoughToMeet) {
   // All workers must be inside the region simultaneously for this to finish:
   // a cooperative meeting point (not timing-based).

@@ -36,11 +36,16 @@
 //                         Perfetto) with counter tracks and phase spans;
 //                         implies --profile
 //   --profile-interval K  sampling period in simulated cycles (default 1024)
+//   --metrics-out FILE    write the host-telemetry registry (wall-clock of
+//                         the run, not simulated state) as OpenMetrics text;
+//                         the same registry appears in --json under
+//                         "host_metrics"
 //
 // Simulated runs print cycles, simulated seconds and utilization; native
 // runs print wall time. Every run self-checks against a reference.
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <map>
@@ -62,6 +67,7 @@
 #include "graph/linked_list.hpp"
 #include "graph/validate.hpp"
 #include "obs/prof/prof.hpp"
+#include "obs/telemetry/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "rt/thread_pool.hpp"
 #include "sim/machine_spec.hpp"
@@ -225,11 +231,14 @@ void report_profile(const obs::prof::ProfSession& prof) {
 }
 
 /// Shared tail of a traced simulated run: the JSONL trace to --trace FILE,
-/// the Chrome trace to --profile-trace FILE, then either the summary JSON
-/// document (--json, with the profile object spliced in) or the human
-/// report.
+/// the Chrome trace to --profile-trace FILE, the host-telemetry registry to
+/// --metrics-out FILE, then either the summary JSON document (--json, with
+/// the profile and host_metrics objects spliced in) or the human report.
+/// `host_seconds` is the host wall-clock the kernel run took — the one
+/// number host telemetry has that the simulated counters don't.
 void finish_simulated(obs::TraceSession& session, const sim::Machine& machine,
-                      Profiling& prof, const Options& opts) {
+                      Profiling& prof, const Options& opts,
+                      double host_seconds) {
   if (prof.enabled()) {
     prof.session->detach();  // unhook; the exported summary is self-contained
   }
@@ -248,6 +257,31 @@ void finish_simulated(obs::TraceSession& session, const sim::Machine& machine,
       std::cout << "(profile trace written to " << prof.trace_path << ")\n";
     }
   }
+  // Host telemetry: what this process spent, as opposed to what the machine
+  // simulated. One run per process, so the registry is tiny — but it uses
+  // the same instruments/exposition as the sweep executor's.
+  obs::telemetry::HostTelemetry telemetry;
+  telemetry.registry
+      .counter("archgraph_cli_runs_completed", "Simulated kernel runs")
+      .add(1);
+  telemetry.registry
+      .histogram("archgraph_cli_host_seconds",
+                 "Host wall-clock of the simulated kernel run",
+                 obs::telemetry::default_latency_buckets_seconds())
+      .observe(host_seconds);
+  const std::string metrics_path = opts.get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_file(metrics_path);
+    AG_CHECK(metrics_file.good(),
+             "cannot write --metrics-out file " + metrics_path);
+    metrics_file << telemetry.registry.to_openmetrics();
+    metrics_file.flush();
+    AG_CHECK(metrics_file.good(),
+             "short write to --metrics-out file " + metrics_path);
+    if (!opts.has("json")) {
+      std::cout << "(metrics written to " << metrics_path << ")\n";
+    }
+  }
   if (opts.has("json")) {
     std::string summary = session.summary_json();
     if (prof.enabled()) {
@@ -255,6 +289,8 @@ void finish_simulated(obs::TraceSession& session, const sim::Machine& machine,
       summary.insert(summary.size() - 1,
                      ",\"profile\":" + prof.session->profile_json());
     }
+    summary.insert(summary.size() - 1,
+                   ",\"host_metrics\":" + telemetry.registry.to_json());
     std::cout << summary << '\n';
   } else {
     report_simulated(machine);
@@ -270,9 +306,9 @@ void check_observability_flags(const Options& opts, bool simulated) {
   AG_CHECK(simulated ||
                (!opts.has("json") && !opts.has("trace") &&
                 !opts.has("profile") && !opts.has("profile-trace") &&
-                !opts.has("profile-interval")),
-           "--trace/--json/--profile flags require a simulated --machine "
-           "(mta/smp/gpu spec)");
+                !opts.has("profile-interval") && !opts.has("metrics-out")),
+           "--trace/--json/--profile/--metrics-out flags require a simulated "
+           "--machine (mta/smp/gpu spec)");
 }
 
 int run_cc(const Options& opts) {
@@ -299,16 +335,18 @@ int run_cc(const Options& opts) {
     std::unique_ptr<sim::Machine> m = sim::make_machine(spec);
     session.attach(*m, arch);
     prof.attach(*m, arch);
+    Timer host_timer;
     // The _mta kernel family is machine-neutral (full/empty bits work on any
     // sim::Machine); only the SMP variants carry cache-conscious layouts.
     const core::SimCcResult result = spec.arch == sim::MachineArch::kSmp
                                          ? core::sim_cc_sv_smp(*m, g)
                                          : core::sim_cc_sv_mta(*m, g);
+    const double host_seconds = host_timer.seconds();
     labels = result.labels;
     AG_CHECK(labels == core::cc_union_find(g), "self-check failed");
     session.counter_add("cc.components",
                         graph::validate::count_distinct_labels(labels));
-    finish_simulated(session, *m, prof, opts);
+    finish_simulated(session, *m, prof, opts, host_seconds);
   } else {
     rt::ThreadPool pool(static_cast<usize>(procs));
     Timer timer;
@@ -369,6 +407,7 @@ int run_color(const Options& opts) {
     std::unique_ptr<sim::Machine> m = sim::make_machine(spec);
     session.attach(*m, arch);
     prof.attach(*m, arch);
+    Timer host_timer;
     core::SimColorResult result;
     if (spec.arch == sim::MachineArch::kSmp) {
       core::SmpColorParams params;
@@ -379,6 +418,7 @@ int run_color(const Options& opts) {
       params.branch_avoiding = branch_avoiding;
       result = core::sim_color_greedy_mta(*m, g, params);
     }
+    const double host_seconds = host_timer.seconds();
     colors = std::move(result.colors);
     rounds = result.rounds;
     AG_CHECK(graph::validate::is_proper_coloring(g, colors),
@@ -388,7 +428,7 @@ int run_color(const Options& opts) {
         colors.empty() ? 0
                        : *std::max_element(colors.begin(), colors.end()) + 1;
     session.counter_add("color.palette", palette);
-    finish_simulated(session, *m, prof, opts);
+    finish_simulated(session, *m, prof, opts, host_seconds);
   } else {
     Timer timer;
     colors = core::color_greedy_seq(graph::CsrGraph::from_edges(g));
@@ -440,9 +480,11 @@ int run_bfs(const Options& opts) {
     std::unique_ptr<sim::Machine> m = sim::make_machine(spec);
     session.attach(*m, arch);
     prof.attach(*m, arch);
+    Timer host_timer;
     core::SimBfsResult result = spec.arch == sim::MachineArch::kSmp
                                     ? core::sim_bfs_tree_smp(*m, g)
                                     : core::sim_bfs_tree_mta(*m, g);
+    const double host_seconds = host_timer.seconds();
     AG_CHECK(graph::validate::is_bfs_forest(g, result.parent, result.level),
              "self-check failed (not a BFS forest)");
     AG_CHECK(result.level == reference.level,
@@ -451,7 +493,7 @@ int run_bfs(const Options& opts) {
     level = std::move(result.level);
     components = result.components;
     rounds = result.rounds;
-    finish_simulated(session, *m, prof, opts);
+    finish_simulated(session, *m, prof, opts, host_seconds);
   } else {
     Timer timer;
     core::BfsForest forest = core::bfs_tree_seq(graph::CsrGraph::from_edges(g));
@@ -512,9 +554,11 @@ int run_rank(const Options& opts) {
     std::unique_ptr<sim::Machine> m = sim::make_machine(spec);
     session.attach(*m, arch);
     prof.attach(*m, arch);
+    Timer host_timer;
     ranks = run_on(*m);
+    const double host_seconds = host_timer.seconds();
     AG_CHECK(ranks == core::rank_sequential(list), "self-check failed");
-    finish_simulated(session, *m, prof, opts);
+    finish_simulated(session, *m, prof, opts, host_seconds);
   } else {
     rt::ThreadPool pool(static_cast<usize>(procs));
     Timer timer;

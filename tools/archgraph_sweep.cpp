@@ -6,8 +6,11 @@
 //   archgraph_sweep run SPEC... [--out FILE] [--jobs N] [--dry-run]
 //                               [--no-verify] [--profile]
 //                               [--profile-dir DIR] [--profile-interval K]
+//                               [--events-out FILE] [--metrics-out FILE]
+//                               [--no-progress]
 //   archgraph_sweep check RESULTS --against BASELINE [--tol T]
 //                                 [--breakdown-tol T]
+//   archgraph_sweep verify-manifest MANIFEST RESULTS
 //   archgraph_sweep --list
 //
 // SPEC is either a spec string in the src/sweep/spec.hpp grammar, e.g.
@@ -26,21 +29,38 @@
 // DIR/<sanitized_run_id>-<hash>.trace.json (hashed so run IDs that sanitize
 // alike cannot overwrite each other). Profiling never changes the JSONL —
 // simulated counters are byte-identical with the profiler attached.
+// Host telemetry rides alongside, equally observational: a live progress
+// line on stderr (TTY: redrawn in place; otherwise plain rate-limited lines;
+// --no-progress disables it), --events-out FILE streams the structured host
+// event log (JSONL: run_started/cell_started/cell_finished/cell_failed/
+// input_generated/run_finished with monotonic timestamps), --metrics-out
+// FILE writes the host MetricsRegistry as OpenMetrics text after the run.
+// None of it changes the result JSONL by a byte (ci_smoke binary-diffs
+// telemetry on vs off). A run with --out also writes
+// <out>.manifest.json — the provenance manifest (code version, canonical
+// specs, per-axis values, and an FNV-1a content hash per cell) that
+// `verify-manifest` checks against a result store.
 // `check` re-loads two such files, matches cells by run ID, and fails
 // (exit 1) when any gated metric leaves the ±tol band, any cycle-accounting
 // category share drifts more than --breakdown-tol (default: --tol) in
 // absolute terms, or a cell is missing on either side — the regression gate
 // ci_smoke.sh runs on every commit.
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/check.hpp"
 #include "common/parse.hpp"
+#include "common/timer.hpp"
+#include "obs/telemetry/progress.hpp"
+#include "obs/telemetry/telemetry.hpp"
 #include "sim/machine_spec.hpp"
+#include "sweep/manifest.hpp"
 #include "sweep/registry.hpp"
 #include "sweep/runner.hpp"
 #include "sweep/spec.hpp"
@@ -100,13 +120,24 @@ std::vector<std::string> resolve_spec(const std::string& arg) {
 int run_run(const std::vector<std::string>& args) {
   std::vector<std::string> spec_texts;
   std::string out_path;
+  std::string events_path;
+  std::string metrics_path;
   bool dry_run = false;
+  bool progress = true;
   sweep::RunOptions options;
   options.jobs = 0;  // auto: one worker per hardware thread
   for (usize i = 0; i < args.size(); ++i) {
     if (args[i] == "--out") {
       AG_CHECK(i + 1 < args.size(), "--out needs a file path");
       out_path = args[++i];
+    } else if (args[i] == "--events-out") {
+      AG_CHECK(i + 1 < args.size(), "--events-out needs a file path");
+      events_path = args[++i];
+    } else if (args[i] == "--metrics-out") {
+      AG_CHECK(i + 1 < args.size(), "--metrics-out needs a file path");
+      metrics_path = args[++i];
+    } else if (args[i] == "--no-progress") {
+      progress = false;
     } else if (args[i] == "--jobs") {
       AG_CHECK(i + 1 < args.size(), "--jobs needs a worker count");
       options.jobs =
@@ -128,7 +159,8 @@ int run_run(const std::vector<std::string>& args) {
       AG_CHECK(args[i].rfind("--", 0) != 0,
                "unknown run flag '" + args[i] +
                    "' (valid: --out FILE, --jobs N, --dry-run, --no-verify, "
-                   "--profile, --profile-dir DIR, --profile-interval K)");
+                   "--profile, --profile-dir DIR, --profile-interval K, "
+                   "--events-out FILE, --metrics-out FILE, --no-progress)");
       const std::vector<std::string> resolved = resolve_spec(args[i]);
       spec_texts.insert(spec_texts.end(), resolved.begin(), resolved.end());
     }
@@ -151,17 +183,34 @@ int run_run(const std::vector<std::string>& args) {
   }
   std::ostream& out = out_path.empty() ? std::cout : file;
 
+  obs::telemetry::HostTelemetry telemetry;
+  if (!events_path.empty()) {
+    telemetry.events =
+        std::make_unique<obs::telemetry::EventLog>(events_path);
+  }
+  options.telemetry = &telemetry;
+
+  std::optional<obs::telemetry::ProgressReporter> reporter;
+  if (progress) {
+    reporter.emplace(std::cerr, plan.cells.size(),
+                     obs::telemetry::fd_is_tty(fileno(stderr)));
+  }
+
   // Stream each cell's record as it finishes — a killed sweep still leaves
   // the completed prefix on disk. Emission is in plan order even under
-  // --jobs N, so this output is byte-identical for every N.
+  // --jobs N, so this output is byte-identical for every N. The progress
+  // reporter is driven from the same serialized in-order callback, so its
+  // stderr lines cannot interleave with the JSONL stream.
+  Timer timer;
   const sweep::PlanRun run = sweep::run_plan(
       plan, options,
       [&](const sweep::CellResult& r, usize index, usize total) {
+        (void)index;
+        (void)total;
         out << sweep::record_json(sweep::to_record(r)) << '\n';
-        std::cerr << "[" << index + 1 << "/" << total << "] "
-                  << r.cell.run_id() << "  cycles=" << r.meas.cycles
-                  << " util=" << r.meas.utilization << '\n';
+        if (reporter) reporter->advance(r.cell.run_id(), timer.seconds());
       });
+  if (reporter) reporter->finish();
   out.flush();
   AG_CHECK(out.good(), "short write" +
                            (out_path.empty() ? std::string{}
@@ -177,6 +226,50 @@ int run_run(const std::vector<std::string>& args) {
   if (!options.profile_dir.empty()) {
     std::cerr << "profile traces in " << options.profile_dir << "/\n";
   }
+  if (!out_path.empty()) {
+    const std::string manifest_path = sweep::default_manifest_path(out_path);
+    if (sweep::write_manifest_file(manifest_path,
+                                   sweep::make_manifest(spec_texts, plan))) {
+      std::cerr << "manifest -> " << manifest_path << '\n';
+    }
+  }
+  if (telemetry.events) {
+    AG_CHECK(telemetry.events->flush(),
+             "short write to --events-out file " + events_path);
+    std::cerr << telemetry.events->events() << " events -> " << events_path
+              << '\n';
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_file(metrics_path);
+    AG_CHECK(metrics_file.good(),
+             "cannot write --metrics-out file " + metrics_path);
+    metrics_file << telemetry.registry.to_openmetrics();
+    metrics_file.flush();
+    AG_CHECK(metrics_file.good(),
+             "short write to --metrics-out file " + metrics_path);
+    std::cerr << "metrics -> " << metrics_path << '\n';
+  }
+  return 0;
+}
+
+int run_verify_manifest(const std::vector<std::string>& args) {
+  AG_CHECK(args.size() == 2 && args[0].rfind("--", 0) != 0 &&
+               args[1].rfind("--", 0) != 0,
+           "usage: archgraph_sweep verify-manifest MANIFEST RESULTS");
+  const sweep::RunManifest manifest = sweep::load_manifest_file(args[0]);
+  const std::vector<sweep::ResultRecord> records =
+      sweep::load_results_file(args[1]);
+  const std::vector<std::string> problems =
+      sweep::verify_manifest(manifest, records);
+  for (const std::string& problem : problems) {
+    std::cout << "FAIL " << problem << '\n';
+  }
+  if (!problems.empty()) {
+    std::cout << problems.size() << " problem(s)\n";
+    return 1;
+  }
+  std::cout << "manifest ok: " << manifest.cells.size() << " cells, code "
+            << manifest.code_version << '\n';
   return 0;
 }
 
@@ -224,14 +317,16 @@ int run_check(const std::vector<std::string>& args) {
 int main(int argc, char** argv) {
   try {
     AG_CHECK(argc >= 2,
-             "usage: archgraph_sweep <run|check|--list> ... (see --list)");
+             "usage: archgraph_sweep <run|check|verify-manifest|--list> ... "
+             "(see --list)");
     const std::string command = argv[1];
     const std::vector<std::string> args(argv + 2, argv + argc);
     if (command == "run") return run_run(args);
     if (command == "check") return run_check(args);
+    if (command == "verify-manifest") return run_verify_manifest(args);
     if (command == "--list" || command == "list") return run_list();
     AG_CHECK(false, "unknown command '" + command +
-                        "' (valid: run, check, --list)");
+                        "' (valid: run, check, verify-manifest, --list)");
   } catch (const std::exception& e) {
     std::cerr << "archgraph_sweep: " << e.what() << '\n';
     return 1;

@@ -3,6 +3,7 @@
 //
 // Usage:
 //   bench_diff BEFORE.json AFTER.json [--min-speedup X --series PREFIX]
+//              [--json OUT]
 //
 // Each record is matched by its "benchmark" name; speedup is
 // before.seconds / after.seconds, so >1 means AFTER is faster. Series
@@ -11,6 +12,10 @@
 // every matched series whose name starts with PREFIX (default: all) must
 // reach X or the exit code is 1 — the hook ci_smoke.sh uses to gate the
 // hot-loop work without hard-coding host-dependent absolute times.
+//
+// --json OUT additionally writes the comparison as one machine-readable
+// JSON document (per-series before/after/speedup plus the ok verdict), so a
+// CI job can archive the diff next to its BENCH_*.json artifacts.
 //
 // Host timings on shared runners are noisy; this tool compares whatever
 // numbers it is given and leaves repetition/min-of-N policy to the caller.
@@ -80,6 +85,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::optional<double> min_speedup;
   std::string series_prefix;
+  std::string json_path;
   for (archgraph::usize i = 0; i < args.size(); ++i) {
     if (args[i] == "--min-speedup") {
       AG_CHECK(i + 1 < args.size(), "--min-speedup needs a value");
@@ -87,21 +93,32 @@ int main(int argc, char** argv) {
     } else if (args[i] == "--series") {
       AG_CHECK(i + 1 < args.size(), "--series needs a name prefix");
       series_prefix = args[++i];
+    } else if (args[i] == "--json") {
+      AG_CHECK(i + 1 < args.size(), "--json needs an output file");
+      json_path = args[++i];
     } else {
       AG_CHECK(args[i].rfind("--", 0) != 0,
                "unknown flag '" + args[i] +
-                   "' (valid: --min-speedup X, --series PREFIX)");
+                   "' (valid: --min-speedup X, --series PREFIX, --json OUT)");
       paths.push_back(args[i]);
     }
   }
   AG_CHECK(paths.size() == 2,
            "usage: bench_diff BEFORE.json AFTER.json "
-           "[--min-speedup X --series PREFIX]");
+           "[--min-speedup X --series PREFIX] [--json OUT]");
 
   const std::vector<Series> before = load(paths[0]);
   const std::vector<Series> after = load(paths[1]);
 
   archgraph::Table table({"benchmark", "before_s", "after_s", "speedup"}, 3);
+  struct Row {
+    std::string name;
+    double before_s = 0.0;
+    double after_s = 0.0;
+    double speedup = 0.0;
+  };
+  std::vector<Row> rows;
+  std::vector<std::string> only_before, only_after;
   bool missing = false;
   bool below = false;
   for (const Series& b : before) {
@@ -109,11 +126,13 @@ int main(int argc, char** argv) {
     if (a == nullptr) {
       std::cerr << "bench_diff: '" << b.name << "' only in " << paths[0]
                 << "\n";
+      only_before.push_back(b.name);
       missing = true;
       continue;
     }
     const double speedup = b.seconds / a->seconds;
     table.row().add(b.name).add(b.seconds).add(a->seconds).add(speedup);
+    rows.push_back(Row{b.name, b.seconds, a->seconds, speedup});
     if (min_speedup.has_value() &&
         b.name.rfind(series_prefix, 0) == 0 && speedup < *min_speedup) {
       std::cerr << "bench_diff: '" << b.name << "' speedup "
@@ -125,9 +144,39 @@ int main(int argc, char** argv) {
     if (find(before, a.name) == nullptr) {
       std::cerr << "bench_diff: '" << a.name << "' only in " << paths[1]
                 << "\n";
+      only_after.push_back(a.name);
       missing = true;
     }
   }
   std::cout << table;
+  if (!json_path.empty()) {
+    archgraph::obs::JsonWriter w;
+    w.begin_object()
+        .field("tool", "bench_diff")
+        .field("before", paths[0])
+        .field("after", paths[1]);
+    w.key("series").begin_array();
+    for (const Row& r : rows) {
+      w.begin_object()
+          .field("benchmark", r.name)
+          .field("before_seconds", r.before_s)
+          .field("after_seconds", r.after_s)
+          .field("speedup", r.speedup)
+          .end_object();
+    }
+    w.end_array();
+    w.key("only_before").begin_array();
+    for (const std::string& name : only_before) w.value(name);
+    w.end_array();
+    w.key("only_after").begin_array();
+    for (const std::string& name : only_after) w.value(name);
+    w.end_array();
+    w.field("ok", !(missing || below)).end_object();
+    std::ofstream json_out(json_path);
+    AG_CHECK(json_out.good(), "cannot write --json file " + json_path);
+    json_out << w.take() << '\n';
+    json_out.flush();
+    AG_CHECK(json_out.good(), "short write to --json file " + json_path);
+  }
   return (missing || below) ? 1 : 0;
 }

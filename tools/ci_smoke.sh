@@ -74,8 +74,39 @@ for r in records:
 print(f"ok: {len(records)} hot-path series, schema complete")
 EOF
 "$BUILD_DIR"/tools/bench_diff "$OUT_DIR/BENCH_host_sim.json" \
-    "$OUT_DIR/BENCH_host_sim.json" --min-speedup 1.0 >/dev/null
-echo "ok: bench_diff consumes the document (self-diff speedup 1.0)"
+    "$OUT_DIR/BENCH_host_sim.json" --min-speedup 1.0 \
+    --json "$OUT_DIR/bench_diff.json" >/dev/null
+python3 - "$OUT_DIR/bench_diff.json" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["tool"] == "bench_diff", doc.get("tool")
+assert doc["ok"] is True
+assert doc["series"], "self-diff emitted no series"
+for s in doc["series"]:
+    assert s["speedup"] == 1.0, s  # identical files: exactly 1.0
+    for key in ("benchmark", "before_seconds", "after_seconds"):
+        assert key in s, s
+assert doc["only_before"] == [] and doc["only_after"] == []
+print(f"ok: bench_diff --json emitted {len(doc['series'])} series")
+EOF
+echo "ok: bench_diff consumes the document (self-diff speedup 1.0, --json valid)"
+
+echo "== bench host_metrics (BENCH_*.json carries the registry splice) =="
+python3 - "$OUT_DIR/BENCH_table1_utilization.json" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+hm = doc["host_metrics"]
+completed = hm["archgraph_sweep_cells_completed"]
+assert completed["type"] == "counter" and completed["value"] == 9, completed
+hist = hm["archgraph_sweep_cell_host_seconds"]
+assert hist["type"] == "histogram" and hist["count"] == 9, hist
+assert hist["buckets"][-1]["le"] == "+Inf", hist["buckets"][-1]
+print(f"ok: host_metrics splice present ({len(hm)} instruments)")
+EOF
 
 echo "== cli --machine (one override per architecture) =="
 "$BUILD_DIR"/tools/archgraph_cli rank --machine mta:procs=2,streams=32 \
@@ -136,6 +167,146 @@ cmp "$OUT_DIR/ci_serial.jsonl" "$OUT_DIR/ci.jsonl" || {
   exit 1
 }
 echo "ok: ci sweep JSONL byte-identical for --jobs 1 and --jobs 4"
+
+echo "== telemetry zero-drift (events+metrics must not change the JSONL) =="
+"$BUILD_DIR"/tools/archgraph_sweep run ci --jobs 4 \
+    --out "$OUT_DIR/ci_telemetry.jsonl" \
+    --events-out "$OUT_DIR/ci_events.jsonl" \
+    --metrics-out "$OUT_DIR/ci_metrics.txt" 2>/dev/null
+cmp "$OUT_DIR/ci_serial.jsonl" "$OUT_DIR/ci_telemetry.jsonl" || {
+  echo "error: --events-out/--metrics-out changed the sweep JSONL" >&2
+  exit 1
+}
+echo "ok: instrumented ci sweep JSONL byte-identical to plain serial run"
+
+echo "== OpenMetrics lint (--metrics-out must be well-formed) =="
+python3 - "$OUT_DIR/ci_metrics.txt" <<'EOF'
+import re
+import sys
+
+text = open(sys.argv[1]).read()
+assert text.endswith("# EOF\n"), "exposition must end with '# EOF'"
+lines = text.splitlines()
+
+types = {}
+for line in lines:
+    m = re.match(r"# TYPE (\S+) (counter|gauge|histogram)$", line)
+    if m:
+        types[m.group(1)] = m.group(2)
+assert types, "no # TYPE metadata"
+
+helps = {m.group(1) for m in (re.match(r"# HELP (\S+) .+", l) for l in lines) if m}
+assert set(types) == helps, f"TYPE/HELP mismatch: {set(types) ^ helps}"
+
+name_re = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+buckets = {}
+for line in lines:
+    if line.startswith("#") or not line:
+        continue
+    sample, value = line.rsplit(" ", 1)
+    m = re.match(r'^(\S+?)_bucket\{le="([^"]+)"\}$', sample)
+    if m:
+        buckets.setdefault(m.group(1), []).append((m.group(2), int(value)))
+        continue
+    bare = re.sub(r"\{.*\}$", "", sample)
+    assert name_re.match(bare), f"bad sample name: {sample}"
+
+for family, kind in types.items():
+    if kind == "counter":
+        assert any(l.startswith(f"{family}_total ") for l in lines), \
+            f"counter {family} has no _total sample"
+    if kind == "histogram":
+        series = buckets.get(family)
+        assert series, f"histogram {family} has no _bucket samples"
+        assert series[-1][0] == "+Inf", f"{family}: last le must be +Inf"
+        counts = [c for _, c in series]
+        assert counts == sorted(counts), f"{family}: buckets not cumulative"
+        count_line = next(l for l in lines if l.startswith(f"{family}_count "))
+        assert int(count_line.split()[1]) == counts[-1], \
+            f"{family}: _count != +Inf bucket"
+
+expected = {"archgraph_sweep_cells_completed", "archgraph_sweep_jobs",
+            "archgraph_sweep_cell_host_seconds"}
+assert expected <= set(types), f"missing families: {expected - set(types)}"
+print(f"ok: {len(types)} families lint clean")
+EOF
+
+echo "== event log lint (ordered, well-formed lifecycle) =="
+python3 - "$OUT_DIR/ci_events.jsonl" <<'EOF'
+import json
+import sys
+
+events = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+assert events, "empty event log"
+assert events[0]["event"] == "run_started", events[0]
+assert events[-1]["event"] == "run_finished", events[-1]
+stamps = [e["ts_us"] for e in events]
+assert stamps == sorted(stamps), "ts_us must be non-decreasing"
+kinds = [e["event"] for e in events]
+cells = events[0]["cells"]
+assert kinds.count("cell_started") == cells, kinds
+assert kinds.count("cell_finished") == cells, kinds
+print(f"ok: {len(events)} events, lifecycle complete for {cells} cells")
+EOF
+
+echo "== run manifest (written, verifiable, and stable across re-runs) =="
+"$BUILD_DIR"/tools/archgraph_sweep verify-manifest \
+    "$OUT_DIR/ci_telemetry.jsonl.manifest.json" "$OUT_DIR/ci_telemetry.jsonl"
+cmp "$OUT_DIR/ci_serial.jsonl.manifest.json" \
+    "$OUT_DIR/ci_telemetry.jsonl.manifest.json" || {
+  echo "error: manifest differs between re-runs of the same plan" >&2
+  exit 1
+}
+python3 - "$OUT_DIR/ci_telemetry.jsonl.manifest.json" \
+    "$OUT_DIR/ci_telemetry.jsonl" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+store_ids = {json.loads(l)["run_id"] for l in open(sys.argv[2]) if l.strip()}
+cells = doc["cells"]
+assert doc["cell_count"] == len(cells), doc["cell_count"]
+assert {c["run_id"] for c in cells} == store_ids, "manifest/store coverage"
+for c in cells:
+    assert len(c["hash"]) == 16 and int(c["hash"], 16) >= 0, c["hash"]
+print(f"ok: manifest covers all {len(cells)} store cells, hashes well-formed")
+EOF
+
+echo "== run manifest (corrupted hash must fail verify-manifest) =="
+python3 - "$OUT_DIR/ci_telemetry.jsonl.manifest.json" \
+    "$OUT_DIR/ci_manifest_corrupt.json" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+h = doc["cells"][0]["hash"]
+doc["cells"][0]["hash"] = ("1" if h[0] == "0" else "0") + h[1:]
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+if "$BUILD_DIR"/tools/archgraph_sweep verify-manifest \
+    "$OUT_DIR/ci_manifest_corrupt.json" "$OUT_DIR/ci_telemetry.jsonl" \
+    >/dev/null 2>&1; then
+  echo "error: corrupted manifest hash did not fail verify-manifest" >&2
+  exit 1
+fi
+echo "ok: corrupted manifest hash rejected"
+
+echo "== cli host metrics (--json splice and --metrics-out file) =="
+"$BUILD_DIR"/tools/archgraph_cli cc --machine mta --n 2048 --json \
+    --metrics-out "$OUT_DIR/cli_metrics.txt" \
+    | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+hm = doc["host_metrics"]
+assert hm["archgraph_cli_runs_completed"]["value"] == 1, hm
+assert hm["archgraph_cli_host_seconds"]["count"] == 1, hm
+print("ok: host_metrics spliced into --json summary")
+'
+tail -1 "$OUT_DIR/cli_metrics.txt" | grep -q '^# EOF$' || {
+  echo "error: cli --metrics-out is not OpenMetrics-terminated" >&2
+  exit 1
+}
+echo "ok: cli --metrics-out ends with # EOF"
 
 echo "== cycle accounting invariant (sum of categories == procs x cycles) =="
 python3 - "$OUT_DIR/ci.jsonl" <<'EOF'
